@@ -1,0 +1,61 @@
+//! Foster B-tree point-operation throughput: insert, lookup, update,
+//! delete, and scan against a pooled, logged engine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spf_bench::{engine, key, load, val};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree_ops");
+    group.sample_size(20);
+
+    let db = engine(|cfg| {
+        cfg.data_pages = 8192;
+        cfg.pool_frames = 4096;
+    });
+    load(&db, 50_000);
+
+    group.bench_function("get_hot", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 50_000;
+            std::hint::black_box(db.get(&key(i)).unwrap());
+        })
+    });
+
+    group.bench_function("upsert", |b| {
+        let mut i = 0u64;
+        let tx = db.begin();
+        b.iter(|| {
+            i = (i + 7919) % 50_000;
+            std::hint::black_box(db.put(tx, &key(i), &val(i, 1)).unwrap());
+        });
+        db.commit(tx).unwrap();
+    });
+
+    group.bench_function("scan_100", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 49_000;
+            std::hint::black_box(db.scan(&key(i), 100).unwrap());
+        })
+    });
+
+    group.bench_function("insert_fresh_tree", |b| {
+        b.iter_batched(
+            || engine(|cfg| cfg.data_pages = 4096),
+            |db| {
+                let tx = db.begin();
+                for i in 0..2000u64 {
+                    db.insert(tx, &key(i), &val(i, 0)).unwrap();
+                }
+                db.commit(tx).unwrap();
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

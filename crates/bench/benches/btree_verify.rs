@@ -1,0 +1,45 @@
+//! Cost of continuous fence-key verification (E2's overhead ablation):
+//! identical lookups with verification on vs off, plus the offline
+//! full-tree check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spf_bench::{engine, key, load};
+use spf::VerifyMode;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree_verify");
+    group.sample_size(20);
+
+    for (label, mode) in [("continuous", VerifyMode::Continuous), ("off", VerifyMode::Off)] {
+        let db = engine(|cfg| {
+            cfg.data_pages = 8192;
+            cfg.pool_frames = 4096;
+            cfg.verify_mode = mode;
+        });
+        load(&db, 50_000);
+        group.bench_function(format!("get_verify_{label}"), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 7919) % 50_000;
+                std::hint::black_box(db.get(&key(i)).unwrap());
+            })
+        });
+    }
+
+    let db = engine(|cfg| {
+        cfg.data_pages = 8192;
+        cfg.pool_frames = 4096;
+    });
+    load(&db, 20_000);
+    group.bench_function("offline_full_verify_20k", |b| {
+        b.iter(|| {
+            let violations = db.verify_tree().unwrap();
+            assert!(violations.is_empty());
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Buffer-pool fetch paths: hits, misses with verification, and the full
+//! read-verify pipeline under eviction pressure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spf_bench::{engine, load};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_pool");
+    group.sample_size(20);
+
+    // All-resident: hits only.
+    let db = engine(|cfg| {
+        cfg.data_pages = 4096;
+        cfg.pool_frames = 2048;
+    });
+    load(&db, 20_000);
+    let leaves = db.leaf_pages();
+    group.bench_function("fetch_hit", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 13) % leaves.len();
+            std::hint::black_box(db.pool().fetch(leaves[i]).unwrap())
+        })
+    });
+
+    // Tiny pool: every fetch misses, reads the device, verifies the
+    // checksum and the PRI cross-check.
+    let db = engine(|cfg| {
+        cfg.data_pages = 4096;
+        cfg.pool_frames = 8;
+    });
+    load(&db, 20_000);
+    db.drop_cache();
+    let leaves = db.leaf_pages();
+    group.bench_function("fetch_miss_verify", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 13) % leaves.len();
+            std::hint::black_box(db.pool().fetch(leaves[i]).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

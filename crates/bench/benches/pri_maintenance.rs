@@ -1,0 +1,61 @@
+//! Page-recovery-index costs: range-map lookups/updates and the
+//! per-write maintenance overhead (E8's wall-clock companion).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spf::PageId;
+use spf_recovery::PageRecoveryIndex;
+use spf_wal::{BackupRef, Lsn};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pri");
+    group.sample_size(30);
+
+    // Dense index: one entry per page.
+    let dense = PageRecoveryIndex::new();
+    for i in 0..100_000u64 {
+        dense.set_backup(PageId(i), BackupRef::LogImage(Lsn(i + 1)), Lsn(i));
+    }
+    group.bench_function("lookup_dense_100k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            std::hint::black_box(dense.lookup(PageId(i)))
+        })
+    });
+
+    // Compressed index: one range, split by point updates.
+    let compressed = PageRecoveryIndex::new();
+    compressed.set_backup_range(
+        PageId(0),
+        PageId(100_000),
+        BackupRef::FullBackup { first_slot: 0, pages: 100_000 },
+        Lsn(1),
+    );
+    group.bench_function("lookup_single_range", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 100_000;
+            std::hint::black_box(compressed.lookup(PageId(i)))
+        })
+    });
+
+    group.bench_function("set_latest_lsn_splitting", |b| {
+        let pri = PageRecoveryIndex::new();
+        pri.set_backup_range(
+            PageId(0),
+            PageId(1_000_000),
+            BackupRef::FullBackup { first_slot: 0, pages: 1_000_000 },
+            Lsn(1),
+        );
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7919) % 1_000_000;
+            pri.set_latest_lsn(PageId(i), Lsn(100 + i));
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

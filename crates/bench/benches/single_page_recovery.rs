@@ -1,0 +1,48 @@
+//! Single-page recovery latency (E7's wall-clock companion): repair a
+//! page with k updates since its last backup.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spf::{BackupPolicy, CorruptionMode, FaultSpec};
+use spf_bench::{engine, key, load};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_page_recovery");
+    group.sample_size(10);
+
+    for updates in [0u64, 10, 100] {
+        group.bench_function(format!("recover_after_{updates}_updates"), |b| {
+            b.iter_batched(
+                || {
+                    let db = engine(|cfg| {
+                        cfg.data_pages = 1024;
+                        cfg.backup_policy = BackupPolicy::disabled();
+                    });
+                    load(&db, 1000);
+                    db.take_full_backup().unwrap();
+                    let victim = db.any_leaf_page().unwrap();
+                    let tx = db.begin();
+                    for g in 0..updates {
+                        db.put(tx, &key(999), format!("g{g}").as_bytes()).unwrap();
+                    }
+                    db.commit(tx).unwrap();
+                    db.pool().flush_all().unwrap();
+                    db.inject_fault(
+                        victim,
+                        FaultSpec::SilentCorruption(CorruptionMode::ZeroPage),
+                    );
+                    db.pool().discard_all();
+                    (db, victim)
+                },
+                |(db, victim)| {
+                    let spr = db.single_page_recovery().unwrap();
+                    std::hint::black_box(spr.recover_page(victim).unwrap());
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Restart-recovery cost vs. work since the last checkpoint (E3's
+//! wall-clock companion).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use spf_bench::{engine, load, update_all};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_recovery");
+    group.sample_size(10);
+
+    for (label, checkpoint) in [("no_checkpoint", false), ("after_checkpoint", true)] {
+        group.bench_function(format!("restart_5k_records_{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let db = engine(|cfg| {
+                        cfg.data_pages = 4096;
+                        cfg.pool_frames = 512;
+                    });
+                    load(&db, 4000);
+                    if checkpoint {
+                        db.checkpoint().unwrap();
+                    }
+                    update_all(&db, 1000, 1);
+                    db.crash();
+                    db
+                },
+                |db| {
+                    std::hint::black_box(db.restart().unwrap());
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

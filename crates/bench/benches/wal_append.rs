@@ -1,0 +1,63 @@
+//! Log-manager throughput: appends, forces, per-page chain walks, and
+//! record encode/decode round trips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spf_storage::PageId;
+use spf_wal::{LogManager, LogPayload, LogRecord, Lsn, PageOp, TxId};
+
+fn update_record(page: u64, prev_page: Lsn) -> LogRecord {
+    LogRecord {
+        tx_id: TxId(1),
+        prev_tx_lsn: Lsn::NULL,
+        page_id: PageId(page),
+        prev_page_lsn: prev_page,
+        payload: LogPayload::Update {
+            op: PageOp::InsertRecord { pos: 0, bytes: vec![7u8; 64], ghost: false },
+        },
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal");
+    group.sample_size(30);
+
+    group.bench_function("append_64b_update", |b| {
+        let log = LogManager::for_testing();
+        b.iter(|| std::hint::black_box(log.append(&update_record(1, Lsn::NULL))))
+    });
+
+    group.bench_function("append_plus_force", |b| {
+        let log = LogManager::for_testing();
+        b.iter(|| {
+            log.append(&update_record(1, Lsn::NULL));
+            std::hint::black_box(log.force())
+        })
+    });
+
+    group.bench_function("encode_decode_round_trip", |b| {
+        let rec = update_record(42, Lsn(1234));
+        b.iter(|| {
+            let bytes = rec.encode();
+            std::hint::black_box(LogRecord::decode(&bytes).unwrap())
+        })
+    });
+
+    group.bench_function("chain_walk_100", |b| {
+        let log = LogManager::for_testing();
+        let mut prev = Lsn::NULL;
+        for _ in 0..100 {
+            prev = log.append(&update_record(9, prev));
+        }
+        log.force();
+        b.iter(|| {
+            let chain = log.scan_backward_chain(prev, Lsn::NULL).unwrap();
+            assert_eq!(chain.len(), 100);
+            std::hint::black_box(chain)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Page allocation.
+//!
+//! Splits and root growth allocate pages; deallocation returns failed or
+//! merged pages to the pool (or, after a single-page failure, to the bad
+//! block list instead — "the old, failed location can be deallocated to
+//! the free space pool or registered in an appropriate data structure to
+//! prevent future use", Section 5.2.3).
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use spf_storage::PageId;
+
+/// Allocates and frees page ids.
+pub trait PageAllocator: Send + Sync {
+    /// Allocates a fresh (or recycled) page id, or `None` if the device
+    /// is full.
+    fn allocate(&self) -> Option<PageId>;
+
+    /// Returns `id` to the free pool.
+    fn deallocate(&self, id: PageId);
+
+    /// Permanently retires `id` (bad block): it will never be returned by
+    /// [`allocate`](PageAllocator::allocate) again.
+    fn retire(&self, id: PageId);
+
+    /// Pages currently on the bad-block list.
+    fn bad_blocks(&self) -> Vec<PageId>;
+
+    /// Tells the allocator that `id` is in use (recovery replays page
+    /// formats through this).
+    fn note_allocated(&self, id: PageId);
+}
+
+/// A bump allocator with a free list and a bad-block list.
+///
+/// Allocation state is volatile; after a crash, recovery rebuilds it by
+/// calling [`PageAllocator::note_allocated`] for every page whose format
+/// record it replays (see `spf-recovery`). Pages freed before the crash
+/// whose deallocation is not replayed are merely leaked until the next
+/// reorganization — a documented simplification.
+#[derive(Debug)]
+pub struct BumpAllocator {
+    next: AtomicU64,
+    capacity: u64,
+    state: Mutex<Lists>,
+}
+
+#[derive(Debug, Default)]
+struct Lists {
+    free: Vec<PageId>,
+    bad: BTreeSet<PageId>,
+}
+
+impl BumpAllocator {
+    /// Creates an allocator over pages `[first, capacity)`.
+    #[must_use]
+    pub fn new(first: u64, capacity: u64) -> Self {
+        assert!(first <= capacity);
+        Self { next: AtomicU64::new(first), capacity, state: Mutex::new(Lists::default()) }
+    }
+
+    /// Highest page id handed out so far (exclusive).
+    #[must_use]
+    pub fn high_water(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+}
+
+impl PageAllocator for BumpAllocator {
+    fn allocate(&self) -> Option<PageId> {
+        {
+            let mut lists = self.state.lock();
+            while let Some(id) = lists.free.pop() {
+                if !lists.bad.contains(&id) {
+                    return Some(id);
+                }
+            }
+        }
+        loop {
+            let id = self.next.fetch_add(1, Ordering::Relaxed);
+            if id >= self.capacity {
+                // Undo the overshoot so repeated calls do not wrap.
+                self.next.store(self.capacity, Ordering::Relaxed);
+                return None;
+            }
+            if !self.state.lock().bad.contains(&PageId(id)) {
+                return Some(PageId(id));
+            }
+        }
+    }
+
+    fn deallocate(&self, id: PageId) {
+        let mut lists = self.state.lock();
+        if !lists.bad.contains(&id) {
+            lists.free.push(id);
+        }
+    }
+
+    fn retire(&self, id: PageId) {
+        let mut lists = self.state.lock();
+        lists.bad.insert(id);
+        lists.free.retain(|&p| p != id);
+    }
+
+    fn bad_blocks(&self) -> Vec<PageId> {
+        self.state.lock().bad.iter().copied().collect()
+    }
+
+    fn note_allocated(&self, id: PageId) {
+        let mut next = self.next.load(Ordering::Relaxed);
+        while id.0 >= next {
+            match self.next.compare_exchange(
+                next,
+                id.0 + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => next = actual,
+            }
+        }
+        self.state.lock().free.retain(|&p| p != id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_then_exhaust() {
+        let alloc = BumpAllocator::new(2, 5);
+        assert_eq!(alloc.allocate(), Some(PageId(2)));
+        assert_eq!(alloc.allocate(), Some(PageId(3)));
+        assert_eq!(alloc.allocate(), Some(PageId(4)));
+        assert_eq!(alloc.allocate(), None);
+        assert_eq!(alloc.allocate(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn free_list_recycles() {
+        let alloc = BumpAllocator::new(0, 10);
+        let a = alloc.allocate().unwrap();
+        alloc.deallocate(a);
+        assert_eq!(alloc.allocate(), Some(a));
+    }
+
+    #[test]
+    fn retired_pages_never_return() {
+        let alloc = BumpAllocator::new(0, 4);
+        let a = alloc.allocate().unwrap(); // page 0
+        alloc.retire(a);
+        alloc.deallocate(a); // ignored: it is bad
+        assert_eq!(alloc.allocate(), Some(PageId(1)));
+        alloc.retire(PageId(2)); // retire an un-allocated page
+        assert_eq!(alloc.allocate(), Some(PageId(3)), "skips the bad block");
+        assert_eq!(alloc.bad_blocks(), vec![PageId(0), PageId(2)]);
+    }
+
+    #[test]
+    fn note_allocated_advances_high_water() {
+        let alloc = BumpAllocator::new(0, 100);
+        alloc.note_allocated(PageId(41));
+        assert_eq!(alloc.high_water(), 42);
+        assert_eq!(alloc.allocate(), Some(PageId(42)));
+        // Notes below the high water mark do not regress it.
+        alloc.note_allocated(PageId(5));
+        assert_eq!(alloc.high_water(), 43);
+    }
+}

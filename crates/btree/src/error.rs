@@ -1,0 +1,119 @@
+//! B-tree error taxonomy.
+//!
+//! [`BTreeError::FenceMismatch`] and [`BTreeError::NodeCorrupt`] are
+//! *detections*: the continuous verification of Section 4.2 caught a
+//! cross-page inconsistency during a normal traversal. Callers (the core
+//! `Database`) treat them as single-page failures of the named page and
+//! invoke single-page recovery.
+
+use spf_buffer::FetchError;
+use spf_storage::PageId;
+use spf_txn::TxError;
+
+use crate::keys::Bound;
+
+/// Errors from B-tree operations.
+#[derive(Debug)]
+pub enum BTreeError {
+    /// Buffer-pool fetch failed (includes escalated single-page failures).
+    Fetch(FetchError),
+    /// A node's own records could not be decoded or its in-node invariants
+    /// are violated — detected during traversal.
+    NodeCorrupt {
+        /// The offending page.
+        page: PageId,
+        /// Diagnostic detail.
+        detail: String,
+    },
+    /// Cross-page detection (the heart of Section 4.2): the fence keys in
+    /// a child do not match the adjacent key values in its parent.
+    FenceMismatch {
+        /// The child page whose fences were wrong.
+        page: PageId,
+        /// Bound the parent promised as the child's low fence.
+        expected_low: Bound,
+        /// Bound the parent promised as the child's high fence.
+        expected_high: Bound,
+        /// What the child actually carries.
+        found_low: Bound,
+        /// What the child actually carries.
+        found_high: Bound,
+    },
+    /// Insert of a key that already exists (live).
+    DuplicateKey,
+    /// Delete/lookup of a key that does not exist.
+    KeyNotFound,
+    /// Transaction-manager failure.
+    Tx(TxError),
+    /// Page allocation failed (device full).
+    AllocFailed,
+    /// A record is too large to ever fit a page.
+    RecordTooLarge {
+        /// Encoded record size.
+        size: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// Structural maintenance kept preempting the operation (defensive
+    /// bound; indicates a bug rather than a normal condition).
+    TooManyRetries,
+}
+
+impl From<FetchError> for BTreeError {
+    fn from(e: FetchError) -> Self {
+        BTreeError::Fetch(e)
+    }
+}
+
+impl From<TxError> for BTreeError {
+    fn from(e: TxError) -> Self {
+        BTreeError::Tx(e)
+    }
+}
+
+impl std::fmt::Display for BTreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BTreeError::Fetch(e) => write!(f, "fetch failed: {e}"),
+            BTreeError::NodeCorrupt { page, detail } => {
+                write!(f, "corrupt node {page}: {detail}")
+            }
+            BTreeError::FenceMismatch {
+                page,
+                expected_low,
+                expected_high,
+                found_low,
+                found_high,
+            } => write!(
+                f,
+                "fence mismatch at {page}: parent promises [{expected_low}, {expected_high}), \
+                 child carries [{found_low}, {found_high})"
+            ),
+            BTreeError::DuplicateKey => write!(f, "duplicate key"),
+            BTreeError::KeyNotFound => write!(f, "key not found"),
+            BTreeError::Tx(e) => write!(f, "transaction error: {e}"),
+            BTreeError::AllocFailed => write!(f, "page allocation failed"),
+            BTreeError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds maximum {max}")
+            }
+            BTreeError::TooManyRetries => write!(f, "too many structural-maintenance retries"),
+        }
+    }
+}
+
+impl std::error::Error for BTreeError {}
+
+impl BTreeError {
+    /// The page a *detection* names, if this error is one (fence mismatch
+    /// or node corruption): the page single-page recovery should repair.
+    #[must_use]
+    pub fn detected_page(&self) -> Option<PageId> {
+        match self {
+            BTreeError::NodeCorrupt { page, .. } | BTreeError::FenceMismatch { page, .. } => {
+                Some(*page)
+            }
+            BTreeError::Fetch(FetchError::UnrecoveredPageFailure { id, .. }) => Some(*id),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Key bounds and on-page record encodings shared by both trees.
+//!
+//! Fence keys and branch separators are [`Bound`]s: ordinary byte-string
+//! keys extended with −∞ and +∞ so the leftmost and rightmost edges of the
+//! tree have honest fences (the paper's Figure 2 shows them as the "white"
+//! and "black" extremes).
+
+use std::cmp::Ordering;
+
+use spf_util::codec::{DecodeError, Decoder, Encoder};
+
+/// A key or an infinite bound.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Bound {
+    /// Below every key.
+    NegInf,
+    /// An ordinary key.
+    Key(Vec<u8>),
+    /// Above every key.
+    PosInf,
+}
+
+impl Bound {
+    /// Borrow the key bytes if this is an ordinary key.
+    #[must_use]
+    pub fn as_key(&self) -> Option<&[u8]> {
+        match self {
+            Bound::Key(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// `true` iff `key` lies in the half-open interval `[low, high)`.
+    #[must_use]
+    pub fn contains(low: &Bound, high: &Bound, key: &[u8]) -> bool {
+        low.cmp_key(key) != Ordering::Greater
+            && high.cmp_key(key) == Ordering::Greater
+    }
+
+    /// Compares this bound with an ordinary key.
+    #[must_use]
+    pub fn cmp_key(&self, key: &[u8]) -> Ordering {
+        match self {
+            Bound::NegInf => Ordering::Less,
+            Bound::Key(k) => k.as_slice().cmp(key),
+            Bound::PosInf => Ordering::Greater,
+        }
+    }
+}
+
+impl PartialOrd for Bound {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bound {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Bound::*;
+        match (self, other) {
+            (NegInf, NegInf) | (PosInf, PosInf) => Ordering::Equal,
+            (NegInf, _) | (_, PosInf) => Ordering::Less,
+            (_, NegInf) | (PosInf, _) => Ordering::Greater,
+            (Key(a), Key(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl std::fmt::Display for Bound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bound::NegInf => write!(f, "-∞"),
+            Bound::PosInf => write!(f, "+∞"),
+            Bound::Key(k) => write!(f, "{}", spf_util::hex::hex_preview(k, 12)),
+        }
+    }
+}
+
+const TAG_NEG_INF: u8 = 0;
+const TAG_KEY: u8 = 1;
+const TAG_POS_INF: u8 = 2;
+
+/// Encodes a fence record (a bound, stored as a ghost slot).
+#[must_use]
+pub fn encode_fence(bound: &Bound) -> Vec<u8> {
+    let mut enc = Encoder::with_capacity(8);
+    match bound {
+        Bound::NegInf => enc.put_u8(TAG_NEG_INF),
+        Bound::Key(k) => {
+            enc.put_u8(TAG_KEY);
+            enc.put_len_bytes(k);
+        }
+        Bound::PosInf => enc.put_u8(TAG_POS_INF),
+    }
+    enc.finish()
+}
+
+/// Decodes a fence record.
+pub fn decode_fence(record: &[u8]) -> Result<Bound, DecodeError> {
+    let mut dec = Decoder::new(record);
+    let bound = match dec.get_u8()? {
+        TAG_NEG_INF => Bound::NegInf,
+        TAG_KEY => Bound::Key(dec.get_len_bytes(1 << 14)?.to_vec()),
+        TAG_POS_INF => Bound::PosInf,
+        tag => return Err(DecodeError::InvalidTag { tag, what: "Bound" }),
+    };
+    Ok(bound)
+}
+
+/// Encodes a leaf data record: `varint(key_len) key value`.
+#[must_use]
+pub fn encode_leaf(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut enc = Encoder::with_capacity(key.len() + value.len() + 2);
+    enc.put_len_bytes(key);
+    enc.put_bytes(value);
+    enc.finish()
+}
+
+/// Decodes a leaf data record into `(key, value)`.
+pub fn decode_leaf(record: &[u8]) -> Result<(&[u8], &[u8]), DecodeError> {
+    let mut dec = Decoder::new(record);
+    let key = dec.get_len_bytes(1 << 14)?;
+    let value = dec.get_bytes(dec.remaining())?;
+    Ok((key, value))
+}
+
+/// Encodes a branch entry: `child_pid upper_bound`. The entry routes keys
+/// in `[previous upper, upper)` to `child`.
+#[must_use]
+pub fn encode_branch(child: u64, upper: &Bound) -> Vec<u8> {
+    let mut enc = Encoder::with_capacity(16);
+    enc.put_u64(child);
+    enc.put_bytes(&encode_fence(upper));
+    enc.finish()
+}
+
+/// Decodes a branch entry into `(child_pid, upper_bound)`.
+pub fn decode_branch(record: &[u8]) -> Result<(u64, Bound), DecodeError> {
+    let mut dec = Decoder::new(record);
+    let child = dec.get_u64()?;
+    let bound = decode_fence(dec.get_bytes(dec.remaining())?)?;
+    Ok((child, bound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_ordering() {
+        let k = |s: &str| Bound::Key(s.as_bytes().to_vec());
+        assert!(Bound::NegInf < k("a"));
+        assert!(k("a") < k("b"));
+        assert!(k("zzz") < Bound::PosInf);
+        assert!(Bound::NegInf < Bound::PosInf);
+        assert_eq!(k("m").cmp(&k("m")), Ordering::Equal);
+    }
+
+    #[test]
+    fn cmp_key_and_contains() {
+        let low = Bound::Key(b"c".to_vec());
+        let high = Bound::Key(b"m".to_vec());
+        assert!(Bound::contains(&low, &high, b"c"));
+        assert!(Bound::contains(&low, &high, b"lzz"));
+        assert!(!Bound::contains(&low, &high, b"m"));
+        assert!(!Bound::contains(&low, &high, b"b"));
+        assert!(Bound::contains(&Bound::NegInf, &Bound::PosInf, b"anything"));
+    }
+
+    #[test]
+    fn fence_round_trip() {
+        for b in [Bound::NegInf, Bound::PosInf, Bound::Key(b"fence".to_vec()), Bound::Key(vec![])]
+        {
+            let enc = encode_fence(&b);
+            assert_eq!(decode_fence(&enc).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn leaf_round_trip() {
+        let enc = encode_leaf(b"key", b"value bytes");
+        let (k, v) = decode_leaf(&enc).unwrap();
+        assert_eq!(k, b"key");
+        assert_eq!(v, b"value bytes");
+        // Empty value is legal.
+        let enc = encode_leaf(b"k", b"");
+        let (k, v) = decode_leaf(&enc).unwrap();
+        assert_eq!(k, b"k");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn branch_round_trip() {
+        for bound in [Bound::Key(b"sep".to_vec()), Bound::PosInf] {
+            let enc = encode_branch(42, &bound);
+            let (child, upper) = decode_branch(&enc).unwrap();
+            assert_eq!(child, 42);
+            assert_eq!(upper, bound);
+        }
+    }
+
+    #[test]
+    fn malformed_records_do_not_panic() {
+        assert!(decode_fence(&[9, 9, 9]).is_err());
+        assert!(decode_branch(&[1, 2]).is_err());
+        assert!(decode_leaf(&[0xFF]).is_err());
+    }
+}

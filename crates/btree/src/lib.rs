@@ -1,0 +1,39 @@
+//! # spf-btree
+//!
+//! B-tree access methods for the single-page-failure workspace (Graefe &
+//! Kuno, VLDB 2012).
+//!
+//! Two trees are implemented over the same pages, log, and buffer pool:
+//!
+//! * [`FosterBTree`] — the paper's detection vehicle (Sections 4.2, Figures
+//!   2–3): every node carries symmetric **fence keys** (low and high, both
+//!   ghost records); splits are local, creating a temporary **foster
+//!   parent / foster child** relationship ("each foster parent carries the
+//!   high fence key of the entire chain"); every node has exactly one
+//!   incoming pointer; and every root-to-leaf traversal verifies that the
+//!   fence keys of each child match the two adjacent key values in its
+//!   parent — *continuous, comprehensive structural verification as a side
+//!   effect of normal processing*. Structural changes (splits, adoptions,
+//!   root growth, ghost reclamation) run as **system transactions**.
+//! * [`StandardBTree`] — the baseline: a classic B+-tree with sibling
+//!   pointers, N−1 keys per branch, and no cross-page redundancy. It
+//!   can detect in-page corruption (via the buffer pool's checksums) but
+//!   is structurally blind: corrupted linkage silently returns wrong
+//!   results. Experiment E2 quantifies the difference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod error;
+pub mod keys;
+pub mod node;
+pub mod standard;
+pub mod tree;
+
+pub use alloc::{BumpAllocator, PageAllocator};
+pub use error::BTreeError;
+pub use keys::Bound;
+pub use node::{NodeKind, NodeView};
+pub use standard::StandardBTree;
+pub use tree::{FosterBTree, TreeStats, VerifyMode, Violation};

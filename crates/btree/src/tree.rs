@@ -1,0 +1,1131 @@
+//! The Foster B-tree (paper Sections 4.2 and 2; Graefe/Kimura/Kuno [11]).
+//!
+//! Properties implemented, each traceable to the paper:
+//!
+//! * **Symmetric fence keys** in every node — "each node requires a low
+//!   and a high fence key, which are copies of the separator key posted in
+//!   the node's parent when the node was split".
+//! * **Continuous verification**: "when following a pointer from a parent
+//!   to a child, the key values next to the pointer in the parent must be
+//!   equal to the fence keys in the child. This is true for all levels."
+//!   Every pointer traversal (parent→child and foster-parent→foster-child)
+//!   performs this comparison when [`VerifyMode::Continuous`] is on.
+//! * **Local splits / foster relationships**: a split creates a foster
+//!   child; the foster parent "carries the high fence key of the entire
+//!   chain"; parents adopt foster children lazily during later write
+//!   descents; a root foster chain triggers root growth.
+//! * **Single incoming pointer per node** at all times (enables the simple
+//!   page migration used after single-page recovery, Section 5.1.3).
+//! * **System transactions** for every structural change: splits,
+//!   adoptions, root growth, ghost reclamation (Figure 5 / Section 5.1.5).
+//! * **Ghost records**: logical deletion sets the ghost bit; a system
+//!   transaction reclaims ghosts when space is needed.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use spf_buffer::{BufferPool, PageWriteGuard};
+use spf_storage::{Page, PageId, SlottedPage};
+use spf_txn::{TxKind, TxnManager};
+use spf_wal::{CompressedPageImage, LogPayload, Lsn, PageOp, TxId};
+
+use crate::alloc::PageAllocator;
+use crate::error::BTreeError;
+use crate::keys::Bound;
+use crate::node::{
+    branch_record, build_node, leaf_record, structure_bytes, Descent, NodeKind, NodeView,
+    RawRecord,
+};
+
+/// How much checking a traversal performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// No cross-page checks: the baseline behaviour of ordinary B-trees.
+    Off,
+    /// Verify fence keys on every pointer traversal (Section 4.2).
+    Continuous,
+}
+
+/// Tree operation counters for the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Node visits during descents.
+    pub node_visits: u64,
+    /// Fence-key comparisons performed (two bounds each).
+    pub fence_checks: u64,
+    /// Fence comparisons that failed — detected corruptions.
+    pub fence_failures: u64,
+    /// Leaf splits.
+    pub leaf_splits: u64,
+    /// Branch splits.
+    pub branch_splits: u64,
+    /// Foster children adopted by their permanent parent.
+    pub adoptions: u64,
+    /// Root growth events (tree height + 1).
+    pub root_growths: u64,
+    /// Ghost-reclamation system transactions.
+    pub ghost_reclaims: u64,
+}
+
+/// A structural violation found by [`FosterBTree::verify_full`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The page the violation concerns.
+    pub page: PageId,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+const MAX_RETRIES: usize = 64;
+
+/// [`UndoTarget`] adapter over a buffer pool: rollback compensations are
+/// applied to pooled pages and advance their PageLSN to the CLR's LSN.
+pub struct PoolUndo<'a> {
+    pool: &'a BufferPool,
+}
+
+impl<'a> PoolUndo<'a> {
+    /// Wraps `pool`.
+    #[must_use]
+    pub fn new(pool: &'a BufferPool) -> Self {
+        Self { pool }
+    }
+}
+
+impl spf_txn::UndoTarget for PoolUndo<'_> {
+    fn page_lsn(&self, page: PageId) -> Lsn {
+        self.pool.fetch(page).map(|g| Lsn(g.page_lsn())).unwrap_or(Lsn::NULL)
+    }
+
+    fn apply(&self, page: PageId, op: &PageOp, clr_lsn: Lsn) {
+        if let Ok(mut g) = self.pool.fetch_mut(page) {
+            op.redo(&mut g);
+            g.mark_dirty(clr_lsn);
+        }
+    }
+}
+
+
+/// The Foster B-tree.
+pub struct FosterBTree {
+    pool: BufferPool,
+    txn: TxnManager,
+    alloc: Arc<dyn PageAllocator>,
+    root: PageId,
+    page_size: usize,
+    verify: VerifyMode,
+    stats: Mutex<TreeStats>,
+}
+
+enum LeafOp {
+    Insert,
+    Upsert,
+    Delete,
+}
+
+impl FosterBTree {
+    /// Creates a new tree: formats `root` as an empty leaf under a system
+    /// transaction.
+    pub fn create(
+        pool: BufferPool,
+        txn: TxnManager,
+        alloc: Arc<dyn PageAllocator>,
+        root: PageId,
+        page_size: usize,
+        verify: VerifyMode,
+    ) -> Result<Self, BTreeError> {
+        let tree = Self::open(pool, txn, alloc, root, page_size, verify);
+        let sys = tree.txn.begin(TxKind::System);
+        let image = crate::node::build_empty_leaf(page_size, root);
+        tree.format_logged(sys, image)?;
+        tree.txn.commit(sys)?;
+        tree.alloc.note_allocated(root);
+        Ok(tree)
+    }
+
+    /// Opens an existing tree rooted at `root` (e.g. after recovery).
+    #[must_use]
+    pub fn open(
+        pool: BufferPool,
+        txn: TxnManager,
+        alloc: Arc<dyn PageAllocator>,
+        root: PageId,
+        page_size: usize,
+        verify: VerifyMode,
+    ) -> Self {
+        Self { pool, txn, alloc, root, page_size, verify, stats: Mutex::new(TreeStats::default()) }
+    }
+
+    /// The root page id (stable for the tree's lifetime; root growth
+    /// rewrites the root page in place).
+    #[must_use]
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> TreeStats {
+        *self.stats.lock()
+    }
+
+    /// The verification mode.
+    #[must_use]
+    pub fn verify_mode(&self) -> VerifyMode {
+        self.verify
+    }
+
+    /// Largest record this tree accepts (so a split always succeeds).
+    #[must_use]
+    pub fn max_record_size(&self) -> usize {
+        self.page_size / 8
+    }
+
+    // ------------------------------------------------------------------
+    // Point operations
+    // ------------------------------------------------------------------
+
+    /// Looks up `key`, returning its value if present (ghosts excluded).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, BTreeError> {
+        let (leaf, _, _) = self.descend(key)?;
+        let guard = self.pool.fetch(leaf)?;
+        let view = NodeView::new(&guard)?;
+        match view.route(key)? {
+            Descent::Leaf { pos, exact: true } => {
+                let (_, value, ghost) = view.leaf_entry(pos)?;
+                Ok(if ghost { None } else { Some(value.to_vec()) })
+            }
+            Descent::Leaf { .. } => Ok(None),
+            _ => Err(BTreeError::TooManyRetries), // concurrent restructure; cannot happen single-threaded
+        }
+    }
+
+    /// Inserts `key → value` under `tx`; duplicate live keys are an error.
+    pub fn insert(&self, tx: TxId, key: &[u8], value: &[u8]) -> Result<(), BTreeError> {
+        self.leaf_write(tx, key, value, LeafOp::Insert).map(|_| ())
+    }
+
+    /// Inserts or replaces `key → value`; returns the previous live value.
+    pub fn upsert(&self, tx: TxId, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, BTreeError> {
+        self.leaf_write(tx, key, value, LeafOp::Upsert)
+    }
+
+    /// Logically deletes `key` (ghost bit), returning the old value.
+    pub fn delete(&self, tx: TxId, key: &[u8]) -> Result<Vec<u8>, BTreeError> {
+        self.leaf_write(tx, key, &[], LeafOp::Delete)?.ok_or(BTreeError::KeyNotFound)
+    }
+
+    /// Range scan: live records with `key >= start`, at most `limit`.
+    pub fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>, BTreeError> {
+        let mut out = Vec::new();
+        let mut cursor: Vec<u8> = start.to_vec();
+        let mut first = true;
+        'chains: loop {
+            let (leaf, _, _) = self.descend(&cursor)?;
+            let mut current = leaf;
+            // Walk the leaf and its foster chain.
+            loop {
+                let guard = self.pool.fetch(current)?;
+                let view = NodeView::new(&guard)?;
+                for pos in view.payload_range() {
+                    let (k, v, ghost) = view.leaf_entry(pos)?;
+                    if ghost {
+                        continue;
+                    }
+                    if first && k < cursor.as_slice() {
+                        continue;
+                    }
+                    if !first && k <= cursor.as_slice() {
+                        continue;
+                    }
+                    out.push((k.to_vec(), v.to_vec()));
+                    if out.len() >= limit {
+                        return Ok(out);
+                    }
+                }
+                if view.has_foster() {
+                    let next = view.foster_pid();
+                    let (sep, high) = (view.foster_separator()?, view.high_fence()?);
+                    drop(guard);
+                    let g = self.pool.fetch(next)?;
+                    self.check_fences(&g, &sep, &high)?;
+                    current = next;
+                    drop(g);
+                    continue;
+                }
+                // Chain exhausted: jump to the next chain via the high fence.
+                match view.high_fence()? {
+                    Bound::PosInf => return Ok(out),
+                    Bound::Key(h) => {
+                        cursor = h;
+                        first = true; // keys >= cursor (the next chain's low fence) are new
+                        continue 'chains;
+                    }
+                    Bound::NegInf => {
+                        return Err(BTreeError::NodeCorrupt {
+                            page: current,
+                            detail: "high fence is -∞".into(),
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every live record in key order.
+    pub fn collect_all(&self) -> Result<Vec<(Vec<u8>, Vec<u8>)>, BTreeError> {
+        self.scan(&[], usize::MAX)
+    }
+
+    // ------------------------------------------------------------------
+    // Descent
+    // ------------------------------------------------------------------
+
+    /// Root-to-leaf descent with continuous verification. Returns the
+    /// target leaf (first chain node whose payload should hold `key`) and
+    /// its expected fences.
+    fn descend(&self, key: &[u8]) -> Result<(PageId, Bound, Bound), BTreeError> {
+        let mut current = self.root;
+        let mut expected: Option<(Bound, Bound)> = None;
+        let mut expected_level: Option<u8> = None;
+        for _ in 0..MAX_RETRIES * 4 {
+            let guard = self.pool.fetch(current)?;
+            self.stats.lock().node_visits += 1;
+            let view = NodeView::new(&guard)?;
+            if let Some((low, high)) = &expected {
+                self.check_fences(&guard, low, high)?;
+            }
+            if let Some(lvl) = expected_level {
+                if view.level() != lvl {
+                    return Err(BTreeError::NodeCorrupt {
+                        page: current,
+                        detail: format!("expected level {lvl}, found {}", view.level()),
+                    });
+                }
+            }
+            match view.route(key)? {
+                Descent::Foster { child, separator, high } => {
+                    expected = Some((separator, high));
+                    expected_level = Some(view.level());
+                    current = child;
+                }
+                Descent::Child { child, low, high, .. } => {
+                    expected = Some((low, high));
+                    expected_level = Some(view.level() - 1);
+                    current = child;
+                }
+                Descent::Leaf { .. } => {
+                    let (low, high) = match expected {
+                        Some(pair) => pair,
+                        None => (view.low_fence()?, view.high_fence()?),
+                    };
+                    return Ok((current, low, high));
+                }
+            }
+        }
+        Err(BTreeError::TooManyRetries)
+    }
+
+    /// The continuous-verification comparison of Section 4.2.
+    fn check_fences(
+        &self,
+        page: &Page,
+        expected_low: &Bound,
+        expected_high: &Bound,
+    ) -> Result<(), BTreeError> {
+        if self.verify == VerifyMode::Off {
+            return Ok(());
+        }
+        let view = NodeView::new(page)?;
+        let (found_low, found_high) = (view.low_fence()?, view.high_fence()?);
+        let mut stats = self.stats.lock();
+        stats.fence_checks += 1;
+        if &found_low != expected_low || &found_high != expected_high {
+            stats.fence_failures += 1;
+            return Err(BTreeError::FenceMismatch {
+                page: page.page_id(),
+                expected_low: expected_low.clone(),
+                expected_high: expected_high.clone(),
+                found_low,
+                found_high,
+            });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Leaf writes with structural maintenance
+    // ------------------------------------------------------------------
+
+    fn leaf_write(
+        &self,
+        tx: TxId,
+        key: &[u8],
+        value: &[u8],
+        op: LeafOp,
+    ) -> Result<Option<Vec<u8>>, BTreeError> {
+        let record = leaf_record(key, value);
+        if record.len() > self.max_record_size() {
+            return Err(BTreeError::RecordTooLarge {
+                size: record.len(),
+                max: self.max_record_size(),
+            });
+        }
+        for _ in 0..MAX_RETRIES {
+            // Opportunistic maintenance: shorten foster chains on the path.
+            if self.maintain_path(key)? {
+                continue;
+            }
+            let (leaf, _, _) = self.descend(key)?;
+            let mut guard = self.pool.fetch_mut(leaf)?;
+            let view = NodeView::new(&guard)?;
+            let (pos, exact) = match view.route(key)? {
+                Descent::Leaf { pos, exact } => (pos, exact),
+                _ => continue, // restructured underneath us; retry
+            };
+
+            if exact {
+                let (k, v, ghost) = view.leaf_entry(pos)?;
+                debug_assert_eq!(k, key);
+                let old_value = v.to_vec();
+                let old_record = leaf_record(k, v);
+                match op {
+                    LeafOp::Insert if !ghost => return Err(BTreeError::DuplicateKey),
+                    LeafOp::Insert | LeafOp::Upsert => {
+                        // Replace bytes (if changed), then clear the ghost.
+                        if old_record != record {
+                            // The replacement may need space.
+                            if record.len() > old_record.len()
+                                && !self.fits(&mut guard, record.len() - old_record.len())
+                            {
+                                drop(guard);
+                                self.make_room(leaf)?;
+                                continue;
+                            }
+                            self.apply_logged(
+                                tx,
+                                &mut guard,
+                                PageOp::ReplaceRecord {
+                                    pos,
+                                    old_bytes: old_record,
+                                    new_bytes: record.clone(),
+                                },
+                            )?;
+                        }
+                        if ghost {
+                            self.apply_logged(
+                                tx,
+                                &mut guard,
+                                PageOp::SetGhost { pos, old: true, new: false },
+                            )?;
+                        }
+                        return Ok(if ghost { None } else { Some(old_value) });
+                    }
+                    LeafOp::Delete => {
+                        if ghost {
+                            return Ok(None);
+                        }
+                        self.apply_logged(
+                            tx,
+                            &mut guard,
+                            PageOp::SetGhost { pos, old: false, new: true },
+                        )?;
+                        return Ok(Some(old_value));
+                    }
+                }
+            } else {
+                match op {
+                    LeafOp::Delete => return Ok(None),
+                    LeafOp::Insert | LeafOp::Upsert => {
+                        if !self.fits(&mut guard, record.len() + spf_storage::slotted::SLOT_SIZE) {
+                            drop(guard);
+                            self.make_room(leaf)?;
+                            continue;
+                        }
+                        self.apply_logged(
+                            tx,
+                            &mut guard,
+                            PageOp::InsertRecord { pos, bytes: record.clone(), ghost: false },
+                        )?;
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+        Err(BTreeError::TooManyRetries)
+    }
+
+    fn fits(&self, guard: &mut PageWriteGuard, needed: usize) -> bool {
+        SlottedPage::new(&mut *guard).total_free_space() >= needed
+    }
+
+    /// Frees space on `leaf`: reclaim ghosts if any, otherwise split.
+    fn make_room(&self, leaf: PageId) -> Result<(), BTreeError> {
+        if self.reclaim_ghosts(leaf)? {
+            return Ok(());
+        }
+        self.split(leaf)
+    }
+
+    /// Walks the path for `key`, performing at most one structural fix
+    /// (adoption or root growth). Returns true if it changed anything.
+    fn maintain_path(&self, key: &[u8]) -> Result<bool, BTreeError> {
+        let mut current = self.root;
+        loop {
+            let guard = self.pool.fetch(current)?;
+            let view = NodeView::new(&guard)?;
+            if current == self.root && view.has_foster() {
+                drop(guard);
+                self.grow_root()?;
+                return Ok(true);
+            }
+            match view.route(key)? {
+                Descent::Foster { child, .. } => {
+                    current = child;
+                }
+                Descent::Child { child, .. } => {
+                    let parent = current;
+                    drop(guard);
+                    let child_guard = self.pool.fetch(child)?;
+                    let child_view = NodeView::new(&child_guard)?;
+                    let has_foster = child_view.has_foster();
+                    drop(child_guard);
+                    if has_foster {
+                        self.adopt(parent, child)?;
+                        return Ok(true);
+                    }
+                    current = child;
+                }
+                Descent::Leaf { .. } => return Ok(false),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Structural changes (system transactions)
+    // ------------------------------------------------------------------
+
+    fn apply_logged(
+        &self,
+        tx: TxId,
+        guard: &mut PageWriteGuard,
+        op: PageOp,
+    ) -> Result<Lsn, BTreeError> {
+        let prev = Lsn(guard.page_lsn());
+        let lsn = self.txn.log_update(tx, guard.page_id(), prev, op.clone())?;
+        op.redo(&mut *guard);
+        guard.mark_dirty(lsn);
+        Ok(lsn)
+    }
+
+    /// Logs a page-format record and installs the image in the pool.
+    fn format_logged(&self, tx: TxId, image: Page) -> Result<Lsn, BTreeError> {
+        let pid = image.page_id();
+        let lsn = self.txn.log_other(
+            tx,
+            pid,
+            Lsn::NULL, // per-page chain restarts at a format record
+            LogPayload::PageFormat { image: CompressedPageImage::capture(&image) },
+        )?;
+        let mut img = image;
+        img.set_page_lsn(lsn.0);
+        img.reset_update_count();
+        self.pool.put_new(img, lsn)?;
+        self.pool.notify_page_formatted(pid, lsn);
+        Ok(lsn)
+    }
+
+    /// Splits `pid` at its payload midpoint, creating a foster child.
+    fn split(&self, pid: PageId) -> Result<(), BTreeError> {
+        let sys = self.txn.begin(TxKind::System);
+        let result = self.split_inner(sys, pid);
+        match result {
+            Ok(kind) => {
+                self.txn.commit(sys)?;
+                let mut stats = self.stats.lock();
+                match kind {
+                    NodeKind::Leaf => stats.leaf_splits += 1,
+                    NodeKind::Branch => stats.branch_splits += 1,
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // Roll the partial structural change back.
+                let _ = self.txn.abort(sys, &PoolUndo::new(&self.pool));
+                Err(e)
+            }
+        }
+    }
+
+    fn split_inner(&self, sys: TxId, pid: PageId) -> Result<NodeKind, BTreeError> {
+        let mut guard = self.pool.fetch_mut(pid)?;
+        let view = NodeView::new(&guard)?;
+        let kind = view.kind();
+        let level = view.level();
+        let range = view.payload_range();
+        let len = range.end - range.start;
+        if len < 2 {
+            return Err(BTreeError::RecordTooLarge {
+                size: self.page_size,
+                max: self.max_record_size(),
+            });
+        }
+        let split_pos = range.start + len / 2;
+
+        // The separator: first moved key (leaf) or the upper bound of the
+        // last kept entry (branch).
+        let separator = match kind {
+            NodeKind::Leaf => {
+                let (k, _, _) = view.leaf_entry(split_pos)?;
+                Bound::Key(k.to_vec())
+            }
+            NodeKind::Branch => view.branch_entry(split_pos - 1)?.1,
+        };
+        let high = view.high_fence()?;
+        let old_foster = if view.has_foster() {
+            Some((view.foster_pid(), view.foster_separator()?))
+        } else {
+            None
+        };
+
+        // Records moving to the foster child.
+        let moved: Vec<RawRecord> = (split_pos..range.end)
+            .map(|pos| {
+                let (bytes, ghost) = guard
+                    .record_at(pos)
+                    .ok_or_else(|| BTreeError::NodeCorrupt {
+                        page: pid,
+                        detail: format!("missing slot {pos} during split"),
+                    })?;
+                Ok((bytes.to_vec(), ghost))
+            })
+            .collect::<Result<_, BTreeError>>()?;
+
+        let new_pid = self.alloc.allocate().ok_or(BTreeError::AllocFailed)?;
+
+        // Build and install the foster child. It inherits this node's old
+        // foster pointer, extending the chain.
+        let child_image = build_node(
+            self.page_size,
+            new_pid,
+            kind,
+            level,
+            &separator,
+            &high,
+            &moved,
+            old_foster.as_ref().map(|(p, s)| (*p, s)),
+        );
+        self.format_logged(sys, child_image)?;
+
+        // Shrink this node and point its foster at the new child.
+        self.apply_logged(
+            sys,
+            &mut guard,
+            PageOp::RemoveRange { pos: split_pos, records: moved },
+        )?;
+        match &old_foster {
+            Some((_, old_sep)) => {
+                // Replace the old separator with the new one; structure
+                // area now points at the new (nearer) foster child.
+                let sep_slot = guard.slot_count() - 2;
+                self.apply_logged(
+                    sys,
+                    &mut guard,
+                    PageOp::ReplaceRecord {
+                        pos: sep_slot,
+                        old_bytes: crate::keys::encode_fence(old_sep),
+                        new_bytes: crate::keys::encode_fence(&separator),
+                    },
+                )?;
+                self.apply_logged(
+                    sys,
+                    &mut guard,
+                    PageOp::WriteStructure {
+                        old: structure_bytes(level, old_foster.as_ref().map(|(p, _)| *p)),
+                        new: structure_bytes(level, Some(new_pid)),
+                    },
+                )?;
+            }
+            None => {
+                let high_slot = guard.slot_count() - 1;
+                self.apply_logged(
+                    sys,
+                    &mut guard,
+                    PageOp::InsertRecord {
+                        pos: high_slot, // before the high fence
+                        bytes: crate::keys::encode_fence(&separator),
+                        ghost: true,
+                    },
+                )?;
+                self.apply_logged(
+                    sys,
+                    &mut guard,
+                    PageOp::WriteStructure {
+                        old: structure_bytes(level, None),
+                        new: structure_bytes(level, Some(new_pid)),
+                    },
+                )?;
+            }
+        }
+        Ok(kind)
+    }
+
+    /// Adopts `child`'s foster child into `parent` (paper: the temporary
+    /// foster relationship ends when the permanent parent takes over).
+    fn adopt(&self, parent: PageId, child: PageId) -> Result<(), BTreeError> {
+        // Parent must have room for one more entry; split it first if not.
+        {
+            let mut pguard = self.pool.fetch_mut(parent)?;
+            // A branch entry is at most a key + pid + slot overhead.
+            let need = self.max_record_size().min(256) + spf_storage::slotted::SLOT_SIZE;
+            if !self.fits(&mut pguard, need) {
+                drop(pguard);
+                if parent == self.root {
+                    return self.grow_root();
+                }
+                return self.split(parent);
+            }
+        }
+
+        let sys = self.txn.begin(TxKind::System);
+        let result = self.adopt_inner(sys, parent, child);
+        match result {
+            Ok(changed) => {
+                self.txn.commit(sys)?;
+                if changed {
+                    self.stats.lock().adoptions += 1;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                let _ = self.txn.abort(sys, &PoolUndo::new(&self.pool));
+                Err(e)
+            }
+        }
+    }
+
+    fn adopt_inner(&self, sys: TxId, parent: PageId, child: PageId) -> Result<bool, BTreeError> {
+        let mut cguard = self.pool.fetch_mut(child)?;
+        let cview = NodeView::new(&cguard)?;
+        if !cview.has_foster() {
+            return Ok(false); // already adopted
+        }
+        let foster_pid = cview.foster_pid();
+        let separator = cview.foster_separator()?;
+        let high = cview.high_fence()?;
+        let level = cview.level();
+
+        // Update the parent: entry (child, high) becomes (child, separator)
+        // followed by (foster, high).
+        let mut pguard = self.pool.fetch_mut(parent)?;
+        let pview = NodeView::new(&pguard)?;
+        let mut entry_pos = None;
+        for pos in pview.payload_range() {
+            let (c, upper) = pview.branch_entry(pos)?;
+            if c == child {
+                if upper != high {
+                    return Err(BTreeError::FenceMismatch {
+                        page: child,
+                        expected_low: pview.low_fence()?,
+                        expected_high: upper,
+                        found_low: cview.low_fence()?,
+                        found_high: high.clone(),
+                    });
+                }
+                entry_pos = Some(pos);
+                break;
+            }
+        }
+        let entry_pos = entry_pos.ok_or_else(|| BTreeError::NodeCorrupt {
+            page: parent,
+            detail: format!("no entry for child {child} during adoption"),
+        })?;
+
+        self.apply_logged(
+            sys,
+            &mut pguard,
+            PageOp::ReplaceRecord {
+                pos: entry_pos,
+                old_bytes: branch_record(child, &high),
+                new_bytes: branch_record(child, &separator),
+            },
+        )?;
+        self.apply_logged(
+            sys,
+            &mut pguard,
+            PageOp::InsertRecord {
+                pos: entry_pos + 1,
+                bytes: branch_record(foster_pid, &high),
+                ghost: false,
+            },
+        )?;
+        drop(pguard);
+
+        // Update the child: drop the foster separator slot, lower the high
+        // fence to the separator, clear the foster pointer.
+        let sep_slot = cguard.slot_count() - 2;
+        self.apply_logged(
+            sys,
+            &mut cguard,
+            PageOp::RemoveRecord {
+                pos: sep_slot,
+                old_bytes: crate::keys::encode_fence(&separator),
+                old_ghost: true,
+            },
+        )?;
+        let high_slot = cguard.slot_count() - 1;
+        self.apply_logged(
+            sys,
+            &mut cguard,
+            PageOp::ReplaceRecord {
+                pos: high_slot,
+                old_bytes: crate::keys::encode_fence(&high),
+                new_bytes: crate::keys::encode_fence(&separator),
+            },
+        )?;
+        self.apply_logged(
+            sys,
+            &mut cguard,
+            PageOp::WriteStructure {
+                old: structure_bytes(level, Some(foster_pid)),
+                new: structure_bytes(level, None),
+            },
+        )?;
+        Ok(true)
+    }
+
+    /// Grows the tree: the root's content moves to a fresh page, and the
+    /// root becomes a one-entry branch above it. The root's page id never
+    /// changes, so the tree has a stable anchor.
+    fn grow_root(&self) -> Result<(), BTreeError> {
+        let sys = self.txn.begin(TxKind::System);
+        let result = self.grow_root_inner(sys);
+        match result {
+            Ok(()) => {
+                self.txn.commit(sys)?;
+                self.stats.lock().root_growths += 1;
+                Ok(())
+            }
+            Err(e) => {
+                let _ = self.txn.abort(sys, &PoolUndo::new(&self.pool));
+                Err(e)
+            }
+        }
+    }
+
+    fn grow_root_inner(&self, sys: TxId) -> Result<(), BTreeError> {
+        let guard = self.pool.fetch(self.root)?;
+        let view = NodeView::new(&guard)?;
+        let (low, high) = (view.low_fence()?, view.high_fence()?);
+        let level = view.level();
+
+        // Copy the root's entire image (records, foster state and all) to
+        // a fresh page.
+        let new_pid = self.alloc.allocate().ok_or(BTreeError::AllocFailed)?;
+        let mut copy = (*guard).clone();
+        drop(guard);
+        copy.set_page_id(new_pid);
+        copy.reset_update_count();
+        self.format_logged(sys, copy)?;
+
+        // Rewrite the root as a branch with a single entry covering
+        // everything the copied node (and its chain) covers.
+        let entries: Vec<RawRecord> = vec![(branch_record(new_pid, &high), false)];
+        let new_root = build_node(
+            self.page_size,
+            self.root,
+            NodeKind::Branch,
+            level + 1,
+            &low,
+            &high,
+            &entries,
+            None,
+        );
+        self.format_logged(sys, new_root)?;
+        Ok(())
+    }
+
+    /// Physically removes ghost records from `pid` under a system
+    /// transaction. Returns true if anything was reclaimed.
+    pub fn reclaim_ghosts(&self, pid: PageId) -> Result<bool, BTreeError> {
+        let sys = self.txn.begin(TxKind::System);
+        let mut reclaimed = false;
+        {
+            let mut guard = self.pool.fetch_mut(pid)?;
+            let view = NodeView::new(&guard)?;
+            if view.kind() != NodeKind::Leaf {
+                self.txn.commit(sys)?;
+                return Ok(false);
+            }
+            let ghost_slots: Vec<u16> = view
+                .payload_range()
+                .filter(|&pos| guard.record_at(pos).map(|(_, g)| g).unwrap_or(false))
+                .collect();
+            for &pos in ghost_slots.iter().rev() {
+                let (bytes, _) = guard.record_at(pos).expect("slot exists");
+                let old_bytes = bytes.to_vec();
+                self.apply_logged(
+                    sys,
+                    &mut guard,
+                    PageOp::RemoveRecord { pos, old_bytes, old_ghost: true },
+                )?;
+                reclaimed = true;
+            }
+            if reclaimed {
+                // Compaction is contents-neutral byte shuffling; redo is
+                // slot-positional, so it needs no log record.
+                SlottedPage::new(&mut *guard).compact();
+            }
+        }
+        self.txn.commit(sys)?;
+        if reclaimed {
+            self.stats.lock().ghost_reclaims += 1;
+        }
+        Ok(reclaimed)
+    }
+
+
+    // ------------------------------------------------------------------
+    // Page migration
+    // ------------------------------------------------------------------
+
+    /// Moves node `pid` to a freshly allocated page, updating its single
+    /// incoming pointer, and returns the new page id.
+    ///
+    /// Paper, Section 5.1.3: because Foster B-trees "permit only a single
+    /// incoming pointer per node at all times … they support efficient
+    /// page migration and defragmentation". Section 5.2.3 uses exactly
+    /// this after single-page recovery: "once the page contents has been
+    /// recovered …, the page can be moved to a new location. The old,
+    /// failed location can be deallocated … or registered in an
+    /// appropriate data structure to prevent future use (bad block list)."
+    ///
+    /// The migration runs as a system transaction; the new page's format
+    /// record doubles as its backup copy (Section 5.2.1), so the migrated
+    /// page is immediately recoverable again. The root cannot migrate
+    /// (its id is the tree's stable anchor).
+    ///
+    /// `retire_old` controls the old location's fate: `true` puts it on
+    /// the allocator's bad-block list, `false` returns it to the free
+    /// pool.
+    pub fn migrate_page(&self, pid: PageId, retire_old: bool) -> Result<PageId, BTreeError> {
+        if pid == self.root {
+            return Err(BTreeError::NodeCorrupt {
+                page: pid,
+                detail: "the root page cannot migrate (stable anchor)".into(),
+            });
+        }
+        let sys = self.txn.begin(TxKind::System);
+        let result = self.migrate_inner(sys, pid);
+        match result {
+            Ok(new_pid) => {
+                self.txn.commit(sys)?;
+                self.pool.discard_page(pid);
+                if retire_old {
+                    self.alloc.retire(pid);
+                } else {
+                    self.alloc.deallocate(pid);
+                }
+                Ok(new_pid)
+            }
+            Err(e) => {
+                let _ = self.txn.abort(sys, &PoolUndo::new(&self.pool));
+                Err(e)
+            }
+        }
+    }
+
+    fn migrate_inner(&self, sys: TxId, pid: PageId) -> Result<PageId, BTreeError> {
+        // Find the single incoming pointer by descending toward a key
+        // inside the node's range.
+        let (probe_key, level) = {
+            let guard = self.pool.fetch(pid)?;
+            let view = NodeView::new(&guard)?;
+            let probe = match view.low_fence()? {
+                Bound::Key(k) => k,
+                Bound::NegInf => Vec::new(),
+                Bound::PosInf => {
+                    return Err(BTreeError::NodeCorrupt {
+                        page: pid,
+                        detail: "low fence is +∞".into(),
+                    })
+                }
+            };
+            (probe, view.level())
+        };
+
+        enum Incoming {
+            ParentEntry { parent: PageId, pos: u16, upper: Bound },
+            FosterPointer { foster_parent: PageId },
+        }
+
+        let mut current = self.root;
+        let incoming = loop {
+            let guard = self.pool.fetch(current)?;
+            let view = NodeView::new(&guard)?;
+            match view.route(&probe_key)? {
+                Descent::Foster { child, .. } => {
+                    if child == pid {
+                        break Incoming::FosterPointer { foster_parent: current };
+                    }
+                    current = child;
+                }
+                Descent::Child { pos, child, high, .. } => {
+                    if child == pid {
+                        break Incoming::ParentEntry { parent: current, pos, upper: high };
+                    }
+                    current = child;
+                }
+                Descent::Leaf { .. } => {
+                    return Err(BTreeError::NodeCorrupt {
+                        page: pid,
+                        detail: "no incoming pointer found during migration".into(),
+                    })
+                }
+            }
+        };
+
+        // Copy the node to a fresh page; the format record is its backup.
+        let new_pid = self.alloc.allocate().ok_or(BTreeError::AllocFailed)?;
+        let mut copy = {
+            let guard = self.pool.fetch(pid)?;
+            (*guard).clone()
+        };
+        copy.set_page_id(new_pid);
+        copy.reset_update_count();
+        self.format_logged(sys, copy)?;
+
+        // Redirect the single incoming pointer.
+        match incoming {
+            Incoming::ParentEntry { parent, pos, upper } => {
+                let mut pguard = self.pool.fetch_mut(parent)?;
+                self.apply_logged(
+                    sys,
+                    &mut pguard,
+                    PageOp::ReplaceRecord {
+                        pos,
+                        old_bytes: branch_record(pid, &upper),
+                        new_bytes: branch_record(new_pid, &upper),
+                    },
+                )?;
+            }
+            Incoming::FosterPointer { foster_parent } => {
+                let mut fguard = self.pool.fetch_mut(foster_parent)?;
+                let flevel = NodeView::new(&fguard)?.level();
+                debug_assert_eq!(flevel, level);
+                self.apply_logged(
+                    sys,
+                    &mut fguard,
+                    PageOp::WriteStructure {
+                        old: structure_bytes(flevel, Some(pid)),
+                        new: structure_bytes(flevel, Some(new_pid)),
+                    },
+                )?;
+            }
+        }
+        Ok(new_pid)
+    }
+
+    // ------------------------------------------------------------------
+    // Offline verification
+    // ------------------------------------------------------------------
+
+    /// Full-tree structural verification: every node's fences against its
+    /// parent, every in-node invariant, every foster chain. Returns all
+    /// violations (empty = healthy).
+    pub fn verify_full(&self) -> Result<Vec<Violation>, BTreeError> {
+        let mut violations = Vec::new();
+        // (page, expected_low, expected_high, expected_level or None)
+        let mut stack: Vec<(PageId, Bound, Bound, Option<u8>)> = vec![(
+            self.root,
+            Bound::NegInf,
+            Bound::PosInf,
+            None,
+        )];
+        let mut visited = std::collections::HashSet::new();
+        while let Some((pid, low, high, level)) = stack.pop() {
+            if !visited.insert(pid) {
+                violations.push(Violation {
+                    page: pid,
+                    detail: "page reachable via multiple pointers".into(),
+                });
+                continue;
+            }
+            let guard = match self.pool.fetch(pid) {
+                Ok(g) => g,
+                Err(e) => {
+                    violations.push(Violation { page: pid, detail: format!("unreadable: {e}") });
+                    continue;
+                }
+            };
+            let view = match NodeView::new(&guard) {
+                Ok(v) => v,
+                Err(e) => {
+                    violations.push(Violation { page: pid, detail: e.to_string() });
+                    continue;
+                }
+            };
+            let (found_low, found_high) = match (view.low_fence(), view.high_fence()) {
+                (Ok(l), Ok(h)) => (l, h),
+                (l, h) => {
+                    violations.push(Violation {
+                        page: pid,
+                        detail: format!("unreadable fences: {l:?} {h:?}"),
+                    });
+                    continue;
+                }
+            };
+            if found_low != low || found_high != high {
+                violations.push(Violation {
+                    page: pid,
+                    detail: format!(
+                        "fences [{found_low}, {found_high}) do not match parent promise [{low}, {high})"
+                    ),
+                });
+            }
+            if let Some(lvl) = level {
+                if view.level() != lvl {
+                    violations.push(Violation {
+                        page: pid,
+                        detail: format!("level {} where parent implies {lvl}", view.level()),
+                    });
+                }
+            }
+            for v in view.check_invariants() {
+                violations.push(Violation { page: pid, detail: v });
+            }
+            // Foster chain: the foster child continues this node's range.
+            if view.has_foster() {
+                if let Ok(sep) = view.foster_separator() {
+                    stack.push((view.foster_pid(), sep, found_high.clone(), Some(view.level())));
+                }
+            }
+            if view.kind() == NodeKind::Branch {
+                let mut prev = found_low.clone();
+                for pos in view.payload_range() {
+                    match view.branch_entry(pos) {
+                        Ok((child, upper)) => {
+                            stack.push((
+                                child,
+                                prev.clone(),
+                                upper.clone(),
+                                Some(view.level().saturating_sub(1)),
+                            ));
+                            prev = upper;
+                        }
+                        Err(e) => violations.push(Violation { page: pid, detail: e.to_string() }),
+                    }
+                }
+            }
+        }
+        Ok(violations)
+    }
+
+    /// Tree height: 1 for a single leaf.
+    pub fn height(&self) -> Result<u8, BTreeError> {
+        let guard = self.pool.fetch(self.root)?;
+        let view = NodeView::new(&guard)?;
+        Ok(view.level() + 1)
+    }
+}

@@ -1,0 +1,861 @@
+//! The buffer pool proper: frames, clock eviction, guards, and the
+//! verification/recovery read path.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
+use parking_lot::{Mutex, RawRwLock, RwLock};
+
+use spf_storage::{Page, PageId, StorageDevice, StorageError};
+use spf_wal::{LogManager, Lsn};
+
+use crate::traits::{
+    FetchError, PageRecoverer, ReadValidator, RecoverOutcome, ValidationError, WriteObserver,
+};
+
+/// Buffer pool configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BufferPoolConfig {
+    /// Number of page frames.
+    pub frames: usize,
+}
+
+impl Default for BufferPoolConfig {
+    fn default() -> Self {
+        Self { frames: 128 }
+    }
+}
+
+/// Counters describing pool behaviour and failure handling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fetches served from a resident frame.
+    pub hits: u64,
+    /// Fetches that had to read the device.
+    pub misses: u64,
+    /// Frames reclaimed by the clock hand.
+    pub evictions: u64,
+    /// Dirty pages written back (eviction, flush, checkpoint).
+    pub write_backs: u64,
+    /// Failures caught by the page checksum.
+    pub detected_checksum: u64,
+    /// Failures caught by the self-identifying page id.
+    pub detected_wrong_id: u64,
+    /// Failures caught by header/slot plausibility checks.
+    pub detected_plausibility: u64,
+    /// Failures caught only by the PageLSN cross-check against the page
+    /// recovery index (stale/lost writes).
+    pub detected_stale_lsn: u64,
+    /// Reads the device failed loudly.
+    pub detected_hard_error: u64,
+    /// Successful inline single-page recoveries.
+    pub pages_recovered: u64,
+    /// Failures that escalated (no recoverer, or recovery declined).
+    pub escalations: u64,
+}
+
+impl PoolStats {
+    /// All detected single-page failures, before recovery.
+    #[must_use]
+    pub fn total_detected(&self) -> u64 {
+        self.detected_checksum
+            + self.detected_wrong_id
+            + self.detected_plausibility
+            + self.detected_stale_lsn
+            + self.detected_hard_error
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DirtyState {
+    dirty: bool,
+    /// LSN of the first record that dirtied the page since it was last
+    /// clean — the recovery LSN reported in checkpoints.
+    rec_lsn: Lsn,
+}
+
+struct Frame {
+    page: Arc<RwLock<Page>>,
+    pins: AtomicU32,
+    ref_bit: AtomicBool,
+    /// Resident page id, [`PageId::INVALID`] when the frame is empty.
+    /// Kept in sync with the pool's table under the state lock.
+    id: Mutex<PageId>,
+    dirty: Mutex<DirtyState>,
+}
+
+impl Frame {
+    fn new(page_size: usize) -> Self {
+        Self {
+            page: Arc::new(RwLock::new(Page::from_bytes(vec![0u8; page_size]))),
+            pins: AtomicU32::new(0),
+            ref_bit: AtomicBool::new(false),
+            id: Mutex::new(PageId::INVALID),
+            dirty: Mutex::new(DirtyState { dirty: false, rec_lsn: Lsn::NULL }),
+        }
+    }
+}
+
+struct State {
+    table: HashMap<PageId, usize>,
+    clock_hand: usize,
+    stats: PoolStats,
+}
+
+/// The buffer pool. Cheap to clone; clones share the pool.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+struct PoolInner {
+    frames: Vec<Frame>,
+    state: Mutex<State>,
+    device: Arc<dyn StorageDevice>,
+    log: LogManager,
+    validator: Mutex<Option<Arc<dyn ReadValidator>>>,
+    recoverer: Mutex<Option<Arc<dyn PageRecoverer>>>,
+    observer: Mutex<Option<Arc<dyn WriteObserver>>>,
+}
+
+/// Shared-pin handle embedded in guards; unpins on drop.
+struct Pin {
+    pool: Arc<PoolInner>,
+    frame_idx: usize,
+}
+
+impl Drop for Pin {
+    fn drop(&mut self) {
+        self.pool.frames[self.frame_idx].pins.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Read guard over a resident page. Dereferences to [`Page`].
+pub struct PageReadGuard {
+    guard: ArcRwLockReadGuard<RawRwLock, Page>,
+    _pin: Pin,
+}
+
+impl std::fmt::Debug for PageReadGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("PageReadGuard").field(&self.guard.page_id()).finish()
+    }
+}
+
+impl std::ops::Deref for PageReadGuard {
+    type Target = Page;
+    fn deref(&self) -> &Page {
+        &self.guard
+    }
+}
+
+/// Write guard over a resident page. Dereferences to [`Page`]; callers
+/// must pair every logged mutation with [`PageWriteGuard::mark_dirty`].
+pub struct PageWriteGuard {
+    guard: ArcRwLockWriteGuard<RawRwLock, Page>,
+    pool: Arc<PoolInner>,
+    frame_idx: usize,
+    _pin: Pin,
+}
+
+impl std::fmt::Debug for PageWriteGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("PageWriteGuard").field(&self.guard.page_id()).finish()
+    }
+}
+
+impl std::ops::Deref for PageWriteGuard {
+    type Target = Page;
+    fn deref(&self) -> &Page {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for PageWriteGuard {
+    fn deref_mut(&mut self) -> &mut Page {
+        &mut self.guard
+    }
+}
+
+impl PageWriteGuard {
+    /// Records that the page was mutated under `lsn`: sets the PageLSN,
+    /// marks the frame dirty, and pins `lsn` as the recovery LSN if the
+    /// frame was clean.
+    pub fn mark_dirty(&mut self, lsn: Lsn) {
+        self.guard.set_page_lsn(lsn.0);
+        let mut dirty = self.pool.frames[self.frame_idx].dirty.lock();
+        if !dirty.dirty {
+            dirty.dirty = true;
+            dirty.rec_lsn = lsn;
+        }
+    }
+}
+
+impl BufferPool {
+    /// Creates a pool of `config.frames` frames over `device`, using
+    /// `log` for the WAL-before-write discipline.
+    #[must_use]
+    pub fn new(config: BufferPoolConfig, device: Arc<dyn StorageDevice>, log: LogManager) -> Self {
+        assert!(config.frames >= 2, "pool needs at least two frames");
+        let page_size = device.page_size();
+        Self {
+            inner: Arc::new(PoolInner {
+                frames: (0..config.frames).map(|_| Frame::new(page_size)).collect(),
+                state: Mutex::new(State {
+                    table: HashMap::new(),
+                    clock_hand: 0,
+                    stats: PoolStats::default(),
+                }),
+                device,
+                log,
+                validator: Mutex::new(None),
+                recoverer: Mutex::new(None),
+                observer: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Installs the read validator (the PRI PageLSN cross-check).
+    pub fn set_validator(&self, validator: Arc<dyn ReadValidator>) {
+        *self.inner.validator.lock() = Some(validator);
+    }
+
+    /// Installs the single-page recoverer.
+    pub fn set_recoverer(&self, recoverer: Arc<dyn PageRecoverer>) {
+        *self.inner.recoverer.lock() = Some(recoverer);
+    }
+
+    /// Installs the write observer (backup policy + PRI maintenance).
+    pub fn set_observer(&self, observer: Arc<dyn WriteObserver>) {
+        *self.inner.observer.lock() = Some(observer);
+    }
+
+    /// Number of frames.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.frames.len()
+    }
+
+    /// Number of resident pages.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.inner.state.lock().table.len()
+    }
+
+    /// True if `id` is resident.
+    #[must_use]
+    pub fn contains(&self, id: PageId) -> bool {
+        self.inner.state.lock().table.contains_key(&id)
+    }
+
+    /// Pool statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        self.inner.state.lock().stats
+    }
+
+    /// Fetches `id` for reading, verifying (and if needed recovering) the
+    /// page on a buffer fault.
+    pub fn fetch(&self, id: PageId) -> Result<PageReadGuard, FetchError> {
+        let (frame_idx, page_arc) = self.fetch_frame(id)?;
+        Ok(PageReadGuard {
+            guard: RwLock::read_arc(&page_arc),
+            _pin: Pin { pool: Arc::clone(&self.inner), frame_idx },
+        })
+    }
+
+    /// Fetches `id` for writing.
+    pub fn fetch_mut(&self, id: PageId) -> Result<PageWriteGuard, FetchError> {
+        let (frame_idx, page_arc) = self.fetch_frame(id)?;
+        Ok(PageWriteGuard {
+            guard: RwLock::write_arc(&page_arc),
+            pool: Arc::clone(&self.inner),
+            frame_idx,
+            _pin: Pin { pool: Arc::clone(&self.inner), frame_idx },
+        })
+    }
+
+    /// Installs a brand-new page image (allocation/format path or a page
+    /// rebuilt by recovery) without reading the device. The frame is
+    /// marked dirty with `rec_lsn`.
+    pub fn put_new(&self, page: Page, rec_lsn: Lsn) -> Result<PageWriteGuard, FetchError> {
+        let id = page.page_id();
+        let mut state = self.inner.state.lock();
+        let frame_idx = match state.table.get(&id) {
+            Some(&idx) => idx,
+            None => {
+                let idx = self.claim_victim(&mut state)?;
+                *self.inner.frames[idx].id.lock() = id;
+                state.table.insert(id, idx);
+                idx
+            }
+        };
+        let frame = &self.inner.frames[frame_idx];
+        frame.pins.fetch_add(1, Ordering::Acquire);
+        frame.ref_bit.store(true, Ordering::Relaxed);
+        *frame.dirty.lock() = DirtyState { dirty: true, rec_lsn };
+        drop(state);
+
+        let page_arc = Arc::clone(&frame.page);
+        let mut guard = RwLock::write_arc(&page_arc);
+        *guard = page;
+        Ok(PageWriteGuard {
+            guard,
+            pool: Arc::clone(&self.inner),
+            frame_idx,
+            _pin: Pin { pool: Arc::clone(&self.inner), frame_idx },
+        })
+    }
+
+    /// Forwards a page-format notification to the write observer (called
+    /// by access methods right after logging a format record).
+    pub fn notify_page_formatted(&self, id: PageId, format_lsn: Lsn) {
+        let observer = self.inner.observer.lock().clone();
+        if let Some(obs) = observer {
+            obs.page_formatted(id, format_lsn);
+        }
+    }
+
+    /// The dirty-page table: `(page, recovery LSN)` for every dirty frame.
+    /// This is what a fuzzy checkpoint records.
+    #[must_use]
+    pub fn dirty_pages(&self) -> Vec<(PageId, Lsn)> {
+        let state = self.inner.state.lock();
+        let mut out = Vec::new();
+        for (&id, &idx) in &state.table {
+            let d = self.inner.frames[idx].dirty.lock();
+            if d.dirty {
+                out.push((id, d.rec_lsn));
+            }
+        }
+        drop(state);
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Writes back `id` if resident and dirty; the frame stays resident.
+    pub fn flush_page(&self, id: PageId) -> Result<(), FetchError> {
+        let mut state = self.inner.state.lock();
+        if let Some(&idx) = state.table.get(&id) {
+            self.write_back(idx, id, &mut state)?;
+        }
+        Ok(())
+    }
+
+    /// Writes back every dirty page in `ids` (checkpoint uses the list it
+    /// snapshotted at checkpoint start, per Section 5.2.6).
+    pub fn flush_pages(&self, ids: &[PageId]) -> Result<(), FetchError> {
+        for &id in ids {
+            self.flush_page(id)?;
+        }
+        Ok(())
+    }
+
+    /// Writes back every dirty page.
+    pub fn flush_all(&self) -> Result<(), FetchError> {
+        let ids: Vec<PageId> = {
+            let state = self.inner.state.lock();
+            state.table.keys().copied().collect()
+        };
+        for id in ids {
+            self.flush_page(id)?;
+        }
+        Ok(())
+    }
+
+    /// Simulates a crash: every frame is discarded without write-back.
+    pub fn discard_all(&self) {
+        let mut state = self.inner.state.lock();
+        assert!(
+            self.inner.frames.iter().all(|f| f.pins.load(Ordering::Acquire) == 0),
+            "discard_all with outstanding pins"
+        );
+        state.table.clear();
+        for frame in &self.inner.frames {
+            *frame.id.lock() = PageId::INVALID;
+            *frame.dirty.lock() = DirtyState { dirty: false, rec_lsn: Lsn::NULL };
+            frame.ref_bit.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops `id` from the pool without writing it back (used when a page
+    /// is deallocated).
+    pub fn discard_page(&self, id: PageId) {
+        let mut state = self.inner.state.lock();
+        if let Some(idx) = state.table.remove(&id) {
+            let frame = &self.inner.frames[idx];
+            assert_eq!(frame.pins.load(Ordering::Acquire), 0, "discarding pinned page");
+            *frame.id.lock() = PageId::INVALID;
+            *frame.dirty.lock() = DirtyState { dirty: false, rec_lsn: Lsn::NULL };
+            frame.ref_bit.store(false, Ordering::Relaxed);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn fetch_frame(&self, id: PageId) -> Result<(usize, Arc<RwLock<Page>>), FetchError> {
+        let mut state = self.inner.state.lock();
+        if let Some(&idx) = state.table.get(&id) {
+            state.stats.hits += 1;
+            let frame = &self.inner.frames[idx];
+            frame.pins.fetch_add(1, Ordering::Acquire);
+            frame.ref_bit.store(true, Ordering::Relaxed);
+            return Ok((idx, Arc::clone(&frame.page)));
+        }
+        state.stats.misses += 1;
+
+        // Read and verify before claiming a frame, so that a failed read
+        // leaves the pool untouched.
+        let (page, recovered) = self.read_verified(id, &mut state)?;
+
+        let idx = self.claim_victim(&mut state)?;
+        let frame = &self.inner.frames[idx];
+        *frame.id.lock() = id;
+        // A page rebuilt by single-page recovery exists only in memory so
+        // far; install it dirty so it is written back before eviction.
+        *frame.dirty.lock() = if recovered {
+            DirtyState { dirty: true, rec_lsn: Lsn(page.page_lsn()) }
+        } else {
+            DirtyState { dirty: false, rec_lsn: Lsn::NULL }
+        };
+        state.table.insert(id, idx);
+        frame.pins.fetch_add(1, Ordering::Acquire);
+        frame.ref_bit.store(true, Ordering::Relaxed);
+        *frame.page.write() = page;
+        Ok((idx, Arc::clone(&frame.page)))
+    }
+
+    /// The paper's Figure 8: read, verify, and on failure either recover
+    /// inline or escalate.
+    fn read_verified(&self, id: PageId, state: &mut State) -> Result<(Page, bool), FetchError> {
+        let mut buf = vec![0u8; self.inner.device.page_size()];
+        let read_result = self.inner.device.read_page(id, &mut buf);
+
+        let error = match read_result {
+            Err(StorageError::DeviceFailed) => {
+                return Err(FetchError::MediaFailure {
+                    id,
+                    reason: "device failed".to_string(),
+                });
+            }
+            Err(StorageError::ReadFailed { .. }) => {
+                state.stats.detected_hard_error += 1;
+                None // fall through to recovery with no candidate image
+            }
+            Err(e) => return Err(FetchError::Storage(e)),
+            Ok(()) => {
+                let page = Page::from_bytes(buf);
+                match page.verify(id) {
+                    Ok(()) => {
+                        let validator = self.inner.validator.lock().clone();
+                        match validator.map_or(Ok(()), |v| v.validate(id, &page)) {
+                            Ok(()) => return Ok((page, false)),
+                            Err(e @ ValidationError::StaleLsn { .. }) => {
+                                state.stats.detected_stale_lsn += 1;
+                                Some(e)
+                            }
+                            Err(e @ ValidationError::Defect(_)) => {
+                                state.stats.detected_plausibility += 1;
+                                Some(e)
+                            }
+                        }
+                    }
+                    Err(defect) => {
+                        use spf_storage::PageDefect::*;
+                        match &defect {
+                            ChecksumMismatch { .. } => state.stats.detected_checksum += 1,
+                            WrongPageId { .. } => state.stats.detected_wrong_id += 1,
+                            UnknownPageType(_) | ImplausibleHeader(_) | ImplausibleSlot { .. } => {
+                                state.stats.detected_plausibility += 1
+                            }
+                        }
+                        Some(ValidationError::Defect(defect))
+                    }
+                }
+            }
+        };
+
+        // Single-page failure detected. Recover inline if we can.
+        let recoverer = self.inner.recoverer.lock().clone();
+        match recoverer {
+            Some(r) => match r.recover(id) {
+                RecoverOutcome::Recovered(page) => {
+                    state.stats.pages_recovered += 1;
+                    Ok((page, true))
+                }
+                RecoverOutcome::Escalate(reason) => {
+                    state.stats.escalations += 1;
+                    Err(FetchError::MediaFailure { id, reason })
+                }
+            },
+            None => {
+                state.stats.escalations += 1;
+                match error {
+                    Some(e) => Err(FetchError::UnrecoveredPageFailure { id, error: e }),
+                    None => Err(FetchError::MediaFailure {
+                        id,
+                        reason: format!("unrecoverable read error on {id}, no recovery configured"),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Clock (second chance) victim selection. Writes back a dirty victim.
+    fn claim_victim(&self, state: &mut State) -> Result<usize, FetchError> {
+        let n = self.inner.frames.len();
+        for _ in 0..2 * n {
+            let idx = state.clock_hand;
+            state.clock_hand = (state.clock_hand + 1) % n;
+            let frame = &self.inner.frames[idx];
+            if frame.pins.load(Ordering::Acquire) != 0 {
+                continue;
+            }
+            if frame.ref_bit.swap(false, Ordering::Relaxed) {
+                continue;
+            }
+            let old_id = *frame.id.lock();
+            if old_id.is_valid() {
+                let is_dirty = frame.dirty.lock().dirty;
+                if is_dirty {
+                    self.write_back(idx, old_id, state)?;
+                }
+                state.table.remove(&old_id);
+                *frame.id.lock() = PageId::INVALID;
+                state.stats.evictions += 1;
+            }
+            return Ok(idx);
+        }
+        Err(FetchError::NoFreeFrames)
+    }
+
+    /// The paper's Figure 11 write-back sequence:
+    /// 1. force the log up to the PageLSN (WAL rule);
+    /// 2. `before_page_write` (backup policy may copy the page);
+    /// 3. checksum and write the page;
+    /// 4. `after_page_write` (log the PRI update — unforced);
+    /// 5. mark the frame clean (only now may it be evicted).
+    fn write_back(&self, frame_idx: usize, id: PageId, state: &mut State) -> Result<(), FetchError> {
+        let frame = &self.inner.frames[frame_idx];
+        {
+            let d = frame.dirty.lock();
+            if !d.dirty {
+                return Ok(());
+            }
+        }
+        let mut page = frame.page.write();
+        let page_lsn = Lsn(page.page_lsn());
+
+        // (1) WAL: no dirty page reaches the device before its log
+        // records — force *through* the PageLSN, not the whole buffer
+        // (later records, e.g. other pages' PRI updates, stay unforced).
+        self.inner.log.force_through(page_lsn);
+
+        // (2) Backup policy hook.
+        let observer = self.inner.observer.lock().clone();
+        if let Some(obs) = &observer {
+            obs.before_page_write(&mut page);
+        }
+
+        // (3) Write.
+        page.finalize_checksum();
+        match self.inner.device.write_page(id, page.as_bytes()) {
+            Ok(()) => {}
+            Err(StorageError::DeviceFailed) => {
+                return Err(FetchError::MediaFailure { id, reason: "device failed".into() })
+            }
+            Err(e) => return Err(FetchError::Storage(e)),
+        }
+        state.stats.write_backs += 1;
+
+        // (4) PRI maintenance: "After each completed page write follows a
+        // single log record" (Section 5.2.4).
+        if let Some(obs) = &observer {
+            obs.after_page_write(id, page_lsn);
+        }
+
+        // (5) Clean.
+        *frame.dirty.lock() = DirtyState { dirty: false, rec_lsn: Lsn::NULL };
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_storage::{CorruptionMode, FaultSpec, MemDevice, PageType, DEFAULT_PAGE_SIZE};
+    use spf_wal::{LogPayload, LogRecord, TxId};
+
+    fn setup(frames: usize, pages: u64) -> (BufferPool, MemDevice, LogManager) {
+        let device = MemDevice::for_testing(DEFAULT_PAGE_SIZE, pages);
+        // Pre-format every page on "disk".
+        for i in 0..pages {
+            let mut p = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(i), PageType::BTreeLeaf);
+            p.finalize_checksum();
+            device.raw_overwrite(PageId(i), p.as_bytes());
+        }
+        let log = LogManager::for_testing();
+        let pool = BufferPool::new(
+            BufferPoolConfig { frames },
+            Arc::new(device.clone()),
+            log.clone(),
+        );
+        (pool, device, log)
+    }
+
+    fn dirty_page(pool: &BufferPool, id: PageId, lsn: Lsn) {
+        let mut guard = pool.fetch_mut(id).unwrap();
+        let mut sp = spf_storage::SlottedPage::new(&mut guard);
+        sp.push(b"x", false).unwrap();
+        drop(sp);
+        guard.mark_dirty(lsn);
+    }
+
+    #[test]
+    fn fetch_hit_and_miss() {
+        let (pool, _dev, _log) = setup(4, 8);
+        {
+            let g = pool.fetch(PageId(1)).unwrap();
+            assert_eq!(g.page_id(), PageId(1));
+        }
+        {
+            let g = pool.fetch(PageId(1)).unwrap();
+            assert_eq!(g.page_id(), PageId(1));
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(pool.resident(), 1);
+    }
+
+    #[test]
+    fn eviction_under_pressure() {
+        let (pool, _dev, _log) = setup(4, 16);
+        for i in 0..12 {
+            let _ = pool.fetch(PageId(i)).unwrap();
+        }
+        assert!(pool.resident() <= 4);
+        assert!(pool.stats().evictions >= 8);
+    }
+
+    #[test]
+    fn all_pinned_errors() {
+        let (pool, _dev, _log) = setup(2, 8);
+        let _a = pool.fetch(PageId(0)).unwrap();
+        let _b = pool.fetch(PageId(1)).unwrap();
+        match pool.fetch(PageId(2)) {
+            Err(FetchError::NoFreeFrames) => {}
+            other => panic!("expected NoFreeFrames, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dirty_page_written_back_on_eviction() {
+        let (pool, dev, _log) = setup(2, 8);
+        dirty_page(&pool, PageId(5), Lsn(100));
+        // Force eviction of page 5 by touching two other pages repeatedly.
+        for _ in 0..4 {
+            let _ = pool.fetch(PageId(0)).unwrap();
+            let _ = pool.fetch(PageId(1)).unwrap();
+        }
+        assert!(!pool.contains(PageId(5)));
+        let stored = Page::from_bytes(dev.raw_image(PageId(5)));
+        assert_eq!(stored.page_lsn(), 100, "write-back must have persisted the update");
+        assert_eq!(stored.verify(PageId(5)), Ok(()), "write-back must checksum the page");
+    }
+
+    #[test]
+    fn flush_page_and_dirty_table() {
+        let (pool, dev, _log) = setup(8, 8);
+        dirty_page(&pool, PageId(2), Lsn(50));
+        dirty_page(&pool, PageId(3), Lsn(60));
+        let dpt = pool.dirty_pages();
+        assert_eq!(dpt, vec![(PageId(2), Lsn(50)), (PageId(3), Lsn(60))]);
+        pool.flush_page(PageId(2)).unwrap();
+        assert_eq!(pool.dirty_pages(), vec![(PageId(3), Lsn(60))]);
+        assert_eq!(Page::from_bytes(dev.raw_image(PageId(2))).page_lsn(), 50);
+        pool.flush_all().unwrap();
+        assert!(pool.dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn write_back_forces_log_first() {
+        let (pool, _dev, log) = setup(4, 8);
+        let lsn = log.append(&LogRecord {
+            tx_id: TxId(1),
+            prev_tx_lsn: Lsn::NULL,
+            page_id: PageId(1),
+            prev_page_lsn: Lsn::NULL,
+            payload: LogPayload::TxBegin { system: false },
+        });
+        dirty_page(&pool, PageId(1), lsn);
+        assert!(log.durable_lsn() <= lsn, "record not yet durable");
+        pool.flush_page(PageId(1)).unwrap();
+        assert!(log.durable_lsn() > lsn, "WAL rule: log must be forced before the page write");
+    }
+
+    #[test]
+    fn discard_all_loses_unwritten_updates() {
+        let (pool, dev, _log) = setup(4, 8);
+        dirty_page(&pool, PageId(4), Lsn(99));
+        pool.discard_all();
+        assert_eq!(pool.resident(), 0);
+        let stored = Page::from_bytes(dev.raw_image(PageId(4)));
+        assert_eq!(stored.page_lsn(), 0, "crash: dirty update never reached the device");
+    }
+
+    #[test]
+    fn checksum_failure_without_recoverer_escalates() {
+        let (pool, dev, _log) = setup(4, 8);
+        dev.inject_fault(
+            PageId(3),
+            FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 5 }),
+        );
+        match pool.fetch(PageId(3)) {
+            Err(FetchError::UnrecoveredPageFailure { id, error }) => {
+                assert_eq!(id, PageId(3));
+                assert!(matches!(error, ValidationError::Defect(_)));
+            }
+            other => panic!("expected unrecovered failure, got {other:?}"),
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.detected_checksum, 1);
+        assert_eq!(stats.escalations, 1);
+        assert!(!pool.contains(PageId(3)), "failed page must not be cached");
+    }
+
+    #[test]
+    fn hard_read_error_without_recoverer_is_media_failure() {
+        let (pool, dev, _log) = setup(4, 8);
+        dev.inject_fault(PageId(2), FaultSpec::HardReadError);
+        assert!(matches!(pool.fetch(PageId(2)), Err(FetchError::MediaFailure { .. })));
+        assert_eq!(pool.stats().detected_hard_error, 1);
+    }
+
+    struct FixedRecoverer {
+        image: Page,
+    }
+
+    impl PageRecoverer for FixedRecoverer {
+        fn recover(&self, _id: PageId) -> RecoverOutcome {
+            RecoverOutcome::Recovered(self.image.clone())
+        }
+    }
+
+    #[test]
+    fn recoverer_repairs_inline_and_access_continues() {
+        let (pool, dev, _log) = setup(4, 8);
+        let mut good = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(3), PageType::BTreeLeaf);
+        good.set_page_lsn(777);
+        good.finalize_checksum();
+        pool.set_recoverer(Arc::new(FixedRecoverer { image: good }));
+        dev.inject_fault(
+            PageId(3),
+            FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }),
+        );
+        // The fetch itself succeeds: detection + recovery are inline.
+        let g = pool.fetch(PageId(3)).unwrap();
+        assert_eq!(g.page_lsn(), 777);
+        let stats = pool.stats();
+        assert_eq!(stats.pages_recovered, 1);
+        assert_eq!(stats.escalations, 0);
+    }
+
+    struct StrictValidator {
+        expected: Lsn,
+    }
+
+    impl ReadValidator for StrictValidator {
+        fn validate(&self, _id: PageId, page: &Page) -> Result<(), ValidationError> {
+            let found = Lsn(page.page_lsn());
+            if found == self.expected {
+                Ok(())
+            } else {
+                Err(ValidationError::StaleLsn { found, expected: self.expected })
+            }
+        }
+    }
+
+    #[test]
+    fn stale_lsn_detected_only_by_validator() {
+        let (pool, dev, _log) = setup(4, 8);
+        // Persist LSN 10, then arm lost-write and "persist" LSN 20.
+        {
+            let mut g = pool.fetch_mut(PageId(6)).unwrap();
+            g.mark_dirty(Lsn(10));
+        }
+        pool.flush_page(PageId(6)).unwrap();
+        dev.inject_fault(PageId(6), FaultSpec::SilentCorruption(CorruptionMode::StaleVersion));
+        {
+            let mut g = pool.fetch_mut(PageId(6)).unwrap();
+            g.mark_dirty(Lsn(20));
+        }
+        pool.flush_page(PageId(6)).unwrap(); // write silently dropped
+        pool.discard_page(PageId(6));
+
+        // Without the validator the stale page is accepted silently.
+        {
+            let g = pool.fetch(PageId(6)).unwrap();
+            assert_eq!(g.page_lsn(), 10, "stale image accepted: the nightmare scenario");
+        }
+        pool.discard_page(PageId(6));
+
+        // With the validator the staleness is caught.
+        pool.set_validator(Arc::new(StrictValidator { expected: Lsn(20) }));
+        match pool.fetch(PageId(6)) {
+            Err(FetchError::UnrecoveredPageFailure { error, .. }) => {
+                assert_eq!(error, ValidationError::StaleLsn { found: Lsn(10), expected: Lsn(20) });
+            }
+            other => panic!("expected stale-LSN detection, got {other:?}"),
+        }
+        assert_eq!(pool.stats().detected_stale_lsn, 1);
+    }
+
+    struct CountingObserver {
+        before: AtomicU32,
+        after: AtomicU32,
+    }
+
+    impl WriteObserver for CountingObserver {
+        fn before_page_write(&self, _page: &mut Page) {
+            self.before.fetch_add(1, Ordering::Relaxed);
+        }
+        fn after_page_write(&self, _id: PageId, _lsn: Lsn) {
+            self.after.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_write_back() {
+        let (pool, _dev, _log) = setup(4, 8);
+        let obs = Arc::new(CountingObserver { before: AtomicU32::new(0), after: AtomicU32::new(0) });
+        pool.set_observer(Arc::clone(&obs) as Arc<dyn WriteObserver>);
+        dirty_page(&pool, PageId(0), Lsn(5));
+        dirty_page(&pool, PageId(1), Lsn(6));
+        pool.flush_all().unwrap();
+        assert_eq!(obs.before.load(Ordering::Relaxed), 2);
+        assert_eq!(obs.after.load(Ordering::Relaxed), 2);
+        // Clean flush: no further callbacks.
+        pool.flush_all().unwrap();
+        assert_eq!(obs.after.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn put_new_installs_dirty_page() {
+        let (pool, dev, _log) = setup(4, 8);
+        let mut page = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(7), PageType::BTreeBranch);
+        page.set_page_lsn(42);
+        {
+            let g = pool.put_new(page, Lsn(42)).unwrap();
+            assert_eq!(g.page_id(), PageId(7));
+        }
+        assert!(pool.contains(PageId(7)));
+        assert_eq!(pool.dirty_pages(), vec![(PageId(7), Lsn(42))]);
+        pool.flush_all().unwrap();
+        assert_eq!(Page::from_bytes(dev.raw_image(PageId(7))).page_lsn(), 42);
+    }
+}

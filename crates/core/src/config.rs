@@ -1,0 +1,71 @@
+//! Database configuration.
+
+use spf_btree::VerifyMode;
+use spf_recovery::BackupPolicy;
+use spf_util::IoCostModel;
+
+/// Configuration for [`crate::Database`].
+#[derive(Debug, Clone, Copy)]
+pub struct DatabaseConfig {
+    /// Page size in bytes (default 8 KiB).
+    pub page_size: usize,
+    /// Capacity of the data device in pages.
+    pub data_pages: u64,
+    /// Buffer-pool frames.
+    pub pool_frames: usize,
+    /// Simulated I/O cost model shared by the data device, the backup
+    /// device, and the log.
+    pub io_cost: IoCostModel,
+    /// Seed for the fault injector's deterministic RNG.
+    pub seed: u64,
+    /// Enable the paper's machinery: the page recovery index with its
+    /// read-time PageLSN cross-check, PRI maintenance logging, and inline
+    /// single-page recovery. With `false` the engine behaves like a
+    /// traditional system: detected page failures escalate to media
+    /// failures (experiment E1's baseline).
+    pub single_page_recovery: bool,
+    /// When to take per-page backup copies (Section 6's policy).
+    pub backup_policy: BackupPolicy,
+    /// Fence-key verification during traversals (Section 4.2).
+    pub verify_mode: VerifyMode,
+    /// Whether this node has only this one storage device — if so, an
+    /// unhandled media failure escalates to a system failure (Figure 1).
+    pub single_device_node: bool,
+}
+
+impl Default for DatabaseConfig {
+    fn default() -> Self {
+        Self {
+            page_size: spf_storage::DEFAULT_PAGE_SIZE,
+            data_pages: 4096,
+            pool_frames: 256,
+            io_cost: IoCostModel::free(),
+            seed: 42,
+            single_page_recovery: true,
+            backup_policy: BackupPolicy::paper_default(),
+            verify_mode: VerifyMode::Continuous,
+            single_device_node: false,
+        }
+    }
+}
+
+impl DatabaseConfig {
+    /// A configuration modelling a traditional engine: no single-page
+    /// machinery at all (no PRI, no fence verification, no recovery).
+    #[must_use]
+    pub fn traditional() -> Self {
+        Self {
+            single_page_recovery: false,
+            backup_policy: BackupPolicy::disabled(),
+            verify_mode: VerifyMode::Off,
+            ..Self::default()
+        }
+    }
+
+    /// Default configuration with the 2012-disk cost model, for
+    /// experiments that report simulated times.
+    #[must_use]
+    pub fn with_disk_costs() -> Self {
+        Self { io_cost: IoCostModel::disk_2012(), ..Self::default() }
+    }
+}

@@ -1,0 +1,540 @@
+//! The [`Database`] façade: substrate wiring, transactional KV API,
+//! failure injection, and the four recovery paths.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use spf_btree::{BTreeError, BumpAllocator, FosterBTree, PageAllocator};
+use spf_buffer::{BufferPool, BufferPoolConfig, FetchError};
+use spf_recovery::{
+    BackupStore, FailureClass, MediaRecovery, MediaReport, PageRecoveryIndex, PriMaintainer,
+    RestartReport, SinglePageRecovery, SystemRecovery,
+};
+use spf_storage::{
+    FaultSpec, MemDevice, Page, PageId, PageType, StorageDevice,
+};
+use spf_txn::{LockTable, TxKind, TxnManager};
+use spf_util::SimClock;
+use spf_wal::{BackupRef, LogManager, LogPayload, LogRecord, Lsn, TxId};
+
+use crate::config::DatabaseConfig;
+use crate::error::DbError;
+use crate::stats::DbStats;
+
+/// The database engine. All substrate handles are shared; `Database`
+/// itself is not `Clone` (one façade per engine).
+pub struct Database {
+    config: DatabaseConfig,
+    clock: Arc<SimClock>,
+    device: MemDevice,
+    log: LogManager,
+    pool: BufferPool,
+    txn: TxnManager,
+    locks: LockTable,
+    alloc: Arc<BumpAllocator>,
+    pri: Arc<PageRecoveryIndex>,
+    backups: Arc<BackupStore>,
+    maintainer: Arc<PriMaintainer>,
+    spr: Option<Arc<SinglePageRecovery>>,
+    tree: FosterBTree,
+    last_full_backup: Mutex<Option<(PageId, Lsn)>>,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("pages", &self.config.data_pages)
+            .field("spf", &self.config.single_page_recovery)
+            .finish()
+    }
+}
+
+const ROOT: PageId = PageId(0);
+
+impl Database {
+    /// Creates a fresh database per `config`.
+    pub fn create(config: DatabaseConfig) -> Result<Self, DbError> {
+        let clock = Arc::new(SimClock::new());
+        let device = MemDevice::new(
+            config.page_size,
+            config.data_pages,
+            Arc::clone(&clock),
+            config.io_cost,
+            config.seed,
+        );
+        let backup_device = MemDevice::new(
+            config.page_size,
+            256,
+            Arc::clone(&clock),
+            config.io_cost,
+            config.seed.wrapping_add(1),
+        );
+        let log = LogManager::new(Arc::clone(&clock), config.io_cost);
+        let pool = BufferPool::new(
+            BufferPoolConfig { frames: config.pool_frames },
+            Arc::new(device.clone()),
+            log.clone(),
+        );
+        let txn = TxnManager::new(log.clone());
+        let alloc = Arc::new(BumpAllocator::new(0, config.data_pages));
+        let pri = Arc::new(PageRecoveryIndex::new());
+        let backups = Arc::new(BackupStore::new(backup_device));
+        let maintainer = Arc::new(PriMaintainer::new(
+            Arc::clone(&pri),
+            log.clone(),
+            Arc::clone(&backups),
+            config.backup_policy,
+        ));
+
+        let spr = if config.single_page_recovery {
+            pool.set_validator(Arc::clone(&maintainer) as _);
+            pool.set_observer(Arc::clone(&maintainer) as _);
+            let spr = Arc::new(SinglePageRecovery::new(
+                Arc::clone(&pri),
+                log.clone(),
+                Arc::clone(&backups),
+                device.clone(),
+            ));
+            pool.set_recoverer(Arc::clone(&spr) as _);
+            Some(spr)
+        } else {
+            None
+        };
+
+        let root = alloc.allocate().expect("device has capacity");
+        debug_assert_eq!(root, ROOT);
+        let tree = FosterBTree::create(
+            pool.clone(),
+            txn.clone(),
+            Arc::clone(&alloc) as Arc<dyn PageAllocator>,
+            root,
+            config.page_size,
+            config.verify_mode,
+        )
+        .map_err(DbError::Tree)?;
+        log.force();
+
+        Ok(Self {
+            config,
+            clock,
+            device,
+            log,
+            pool,
+            txn,
+            locks: LockTable::new(),
+            alloc,
+            pri,
+            backups,
+            maintainer,
+            spr,
+            tree,
+            last_full_backup: Mutex::new(None),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begins a user transaction.
+    pub fn begin(&self) -> TxId {
+        self.txn.begin(TxKind::User)
+    }
+
+    /// Commits `tx` (forces the log — durability).
+    pub fn commit(&self, tx: TxId) -> Result<Lsn, DbError> {
+        self.locks.release_all(tx);
+        Ok(self.txn.commit(tx)?)
+    }
+
+    /// Rolls `tx` back through the per-transaction log chain.
+    pub fn abort(&self, tx: TxId) -> Result<Lsn, DbError> {
+        self.locks.release_all(tx);
+        Ok(self.txn.abort(tx, &spf_btree::tree::PoolUndo::new(&self.pool))?)
+    }
+
+    fn lock_key(&self, tx: TxId, key: &[u8]) -> Result<(), DbError> {
+        Ok(self.locks.lock(tx, u64::from(spf_util::crc32c(key)))?)
+    }
+
+    // ------------------------------------------------------------------
+    // Key/value operations
+    // ------------------------------------------------------------------
+
+    /// Inserts or replaces `key → value`; returns the previous value.
+    pub fn put(&self, tx: TxId, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, DbError> {
+        self.lock_key(tx, key)?;
+        self.with_repair(|| self.tree.upsert(tx, key, value))
+    }
+
+    /// Inserts `key → value`; duplicate keys are an error.
+    pub fn insert(&self, tx: TxId, key: &[u8], value: &[u8]) -> Result<(), DbError> {
+        self.lock_key(tx, key)?;
+        self.with_repair(|| self.tree.insert(tx, key, value))
+    }
+
+    /// Deletes `key`, returning its value.
+    pub fn delete(&self, tx: TxId, key: &[u8]) -> Result<Vec<u8>, DbError> {
+        self.lock_key(tx, key)?;
+        self.with_repair(|| self.tree.delete(tx, key))
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, DbError> {
+        self.with_repair(|| self.tree.get(key))
+    }
+
+    /// Range scan: up to `limit` live records with key ≥ `start`.
+    pub fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>, DbError> {
+        self.with_repair(|| self.tree.scan(start, limit))
+    }
+
+    /// Convenience: single-op transaction around `put`.
+    pub fn put_auto(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, DbError> {
+        let tx = self.begin();
+        match self.put(tx, key, value) {
+            Ok(old) => {
+                self.commit(tx)?;
+                Ok(old)
+            }
+            Err(e) => {
+                let _ = self.abort(tx);
+                Err(e)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Detection → repair → retry
+    // ------------------------------------------------------------------
+
+    /// Runs `f`, and when it reports a detected single-page failure
+    /// (fence mismatch, node corruption, or an unrecovered fetch), invokes
+    /// single-page recovery on the named page and retries — the paper's
+    /// "instant, focused, localized recovery" with the transaction merely
+    /// delayed. Without single-page recovery configured the failure
+    /// escalates per Figure 1.
+    fn with_repair<T>(&self, f: impl Fn() -> Result<T, BTreeError>) -> Result<T, DbError> {
+        let mut last_page = None;
+        for _ in 0..8 {
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    let Some(page) = e.detected_page() else {
+                        return Err(self.map_tree_error(e));
+                    };
+                    let Some(spr) = &self.spr else {
+                        // Figure 8: "a traditional system offers no choice
+                        // but declare a media failure."
+                        return Err(self.escalate(format!(
+                            "unrepaired single-page failure at {page}: {e}"
+                        )));
+                    };
+                    if last_page == Some(page) {
+                        // Recovery did not clear the symptom; escalate
+                        // rather than loop.
+                        return Err(self.escalate(format!(
+                            "single-page recovery of {page} did not resolve: {e}"
+                        )));
+                    }
+                    last_page = Some(page);
+                    self.pool.discard_page(page);
+                    match spr.recover_page(page) {
+                        Ok(image) => {
+                            let lsn = Lsn(image.page_lsn());
+                            let _ = self.pool.put_new(image, lsn);
+                        }
+                        Err(reason) => return Err(self.escalate(reason)),
+                    }
+                }
+            }
+        }
+        Err(self.escalate("repeated single-page failures".to_string()))
+    }
+
+    fn map_tree_error(&self, e: BTreeError) -> DbError {
+        match e {
+            BTreeError::Fetch(FetchError::MediaFailure { reason, .. }) => self.escalate(reason),
+            other => DbError::Tree(other),
+        }
+    }
+
+    /// Applies Figure 1: a failure the engine cannot contain becomes a
+    /// media failure, and on a single-device node a system failure.
+    fn escalate(&self, reason: String) -> DbError {
+        let class = if self.config.single_device_node {
+            FailureClass::System
+        } else {
+            FailureClass::Media
+        };
+        DbError::Failure { class, reason }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoints, crash, restart
+    // ------------------------------------------------------------------
+
+    /// Fuzzy checkpoint (Section 5.2.6): records the active-transaction
+    /// and dirty-page tables, then writes back only the pages that were
+    /// dirty when the checkpoint started.
+    pub fn checkpoint(&self) -> Result<Lsn, DbError> {
+        let active_txns = self.txn.active_txns();
+        let dirty_pages = self.pool.dirty_pages();
+        let begin = self.log.append(&LogRecord {
+            tx_id: TxId::NONE,
+            prev_tx_lsn: Lsn::NULL,
+            page_id: PageId::INVALID,
+            prev_page_lsn: Lsn::NULL,
+            payload: LogPayload::CheckpointBegin {
+                active_txns: active_txns.clone(),
+                dirty_pages: dirty_pages.clone(),
+            },
+        });
+        let ids: Vec<PageId> = dirty_pages.iter().map(|(id, _)| *id).collect();
+        self.pool.flush_pages(&ids).map_err(|e| self.escalate(e.to_string()))?;
+        self.log.append(&LogRecord {
+            tx_id: TxId::NONE,
+            prev_tx_lsn: Lsn::NULL,
+            page_id: PageId::INVALID,
+            prev_page_lsn: Lsn::NULL,
+            payload: LogPayload::CheckpointEnd,
+        });
+        self.log.force();
+        Ok(begin)
+    }
+
+    /// Simulates a system failure: the buffer pool and the unforced log
+    /// tail vanish; locks and the active-transaction table are volatile.
+    /// Call [`restart`](Database::restart) to recover.
+    pub fn crash(&self) -> Lsn {
+        self.pool.discard_all();
+        self.locks.clear();
+        self.maintainer.on_crash();
+        self.log.crash()
+    }
+
+    /// Restart (system) recovery: analysis, redo, undo — rebuilding the
+    /// page recovery index and transaction table from the log.
+    pub fn restart(&self) -> Result<RestartReport, DbError> {
+        let recovery = SystemRecovery::new(self.log.clone(), self.pool.clone());
+        let alloc = Arc::clone(&self.alloc);
+        let report = recovery
+            .run(&self.pri, &move |p| alloc.note_allocated(p))
+            .map_err(DbError::RecoveryFailed)?;
+        self.txn.reset_after_crash(report.max_tx_seen);
+        if !self.config.single_page_recovery {
+            // A traditional engine has no PRI at all.
+            self.pri.clear();
+        }
+        Ok(report)
+    }
+
+    // ------------------------------------------------------------------
+    // Backups and media recovery
+    // ------------------------------------------------------------------
+
+    /// Takes a full database backup (after a checkpoint + flush, so the
+    /// backup is consistent), registering it as one compressed range in
+    /// the page recovery index.
+    pub fn take_full_backup(&self) -> Result<Lsn, DbError> {
+        self.checkpoint()?;
+        self.pool.flush_all().map_err(|e| self.escalate(e.to_string()))?;
+        let first = self
+            .backups
+            .take_full_backup(&self.device, self.config.data_pages)
+            .map_err(|e| self.escalate(e.to_string()))?;
+        let horizon = self.log.force();
+        let backup = BackupRef::FullBackup { first_slot: first.0, pages: self.config.data_pages };
+        self.log.append(&LogRecord {
+            tx_id: TxId::NONE,
+            prev_tx_lsn: Lsn::NULL,
+            page_id: PageId::INVALID,
+            prev_page_lsn: Lsn::NULL,
+            payload: LogPayload::BackupTaken { backup, page_lsn: horizon },
+        });
+        self.log.force();
+        if self.config.single_page_recovery {
+            self.pri.set_backup_range(
+                PageId(0),
+                PageId(self.config.data_pages),
+                backup,
+                horizon,
+            );
+        }
+        *self.last_full_backup.lock() = Some((first, horizon));
+        Ok(horizon)
+    }
+
+    /// Full media recovery: restores the last full backup onto the
+    /// device, replays the log, and runs restart recovery. This is the
+    /// *traditional* answer to a failed page — and the escalation target
+    /// when single-page recovery is absent.
+    pub fn media_recover(&self) -> Result<(MediaReport, RestartReport), DbError> {
+        let (first, horizon) = self
+            .last_full_backup
+            .lock()
+            .ok_or_else(|| DbError::RecoveryFailed("no full backup exists".to_string()))?;
+        self.pool.discard_all();
+        self.locks.clear();
+        let media = MediaRecovery::new(self.log.clone());
+        let report = media
+            .restore_device(&self.device, &self.backups, first, self.config.data_pages, horizon)
+            .map_err(DbError::RecoveryFailed)?;
+        let restart = self.restart()?;
+        Ok((report, restart))
+    }
+
+    /// The last full backup's location and horizon, if one was taken.
+    #[must_use]
+    pub fn last_full_backup(&self) -> Option<(PageId, Lsn)> {
+        *self.last_full_backup.lock()
+    }
+
+    // ------------------------------------------------------------------
+    // Failure injection and inspection (experiment surface)
+    // ------------------------------------------------------------------
+
+    /// Arms `fault` on `page` of the data device.
+    pub fn inject_fault(&self, page: PageId, fault: FaultSpec) {
+        self.device.inject_fault(page, fault);
+    }
+
+    /// Fails the entire data device (a media failure).
+    pub fn fail_device(&self) {
+        self.device.injector().fail_device();
+    }
+
+    /// Flushes and drops every cached page, so the next access re-reads
+    /// the device (and re-runs Figure 8's verification).
+    pub fn drop_cache(&self) {
+        let _ = self.pool.flush_all();
+        self.pool.discard_all();
+    }
+
+    /// Relocates `page` to a fresh device location and retires the old
+    /// one on the bad-block list — the paper's post-recovery move
+    /// (§5.2.3: "the page can be moved to a new location. The old, failed
+    /// location can be … registered in an appropriate data structure to
+    /// prevent future use"). Returns the new page id.
+    pub fn relocate_page(&self, page: PageId) -> Result<PageId, DbError> {
+        self.pri.remove(page); // the old location's history ends here
+        let new_pid = self.tree.migrate_page(page, true).map_err(DbError::Tree)?;
+        Ok(new_pid)
+    }
+
+    /// Some allocated B-tree leaf page, for targeted fault injection.
+    #[must_use]
+    pub fn any_leaf_page(&self) -> Option<PageId> {
+        self.leaf_pages().into_iter().last()
+    }
+
+    /// Every allocated B-tree leaf page (by raw device inspection).
+    #[must_use]
+    pub fn leaf_pages(&self) -> Vec<PageId> {
+        let _ = self.pool.flush_all();
+        let mut out = Vec::new();
+        for i in 0..self.alloc.high_water() {
+            let image = Page::from_bytes(self.device.raw_image(PageId(i)));
+            if image.page_type() == Some(PageType::BTreeLeaf) && image.page_id() == PageId(i) {
+                out.push(PageId(i));
+            }
+        }
+        out
+    }
+
+    /// Full structural verification of the tree (offline check).
+    pub fn verify_tree(&self) -> Result<Vec<spf_btree::Violation>, DbError> {
+        self.tree.verify_full().map_err(DbError::Tree)
+    }
+
+    /// Every live record (ordered) — used by tests to compare engines.
+    pub fn dump_all(&self) -> Result<Vec<(Vec<u8>, Vec<u8>)>, DbError> {
+        self.with_repair(|| self.tree.collect_all())
+    }
+
+    // ------------------------------------------------------------------
+    // Substrate accessors (benches, experiments)
+    // ------------------------------------------------------------------
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &DatabaseConfig {
+        &self.config
+    }
+
+    /// The shared simulated clock.
+    #[must_use]
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// The data device.
+    #[must_use]
+    pub fn device(&self) -> &MemDevice {
+        &self.device
+    }
+
+    /// The write-ahead log.
+    #[must_use]
+    pub fn log(&self) -> &LogManager {
+        &self.log
+    }
+
+    /// The buffer pool.
+    #[must_use]
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// The transaction manager.
+    #[must_use]
+    pub fn txn_manager(&self) -> &TxnManager {
+        &self.txn
+    }
+
+    /// The page recovery index.
+    #[must_use]
+    pub fn pri(&self) -> &Arc<PageRecoveryIndex> {
+        &self.pri
+    }
+
+    /// The backup store.
+    #[must_use]
+    pub fn backups(&self) -> &Arc<BackupStore> {
+        &self.backups
+    }
+
+    /// The single-page recoverer, when configured.
+    #[must_use]
+    pub fn single_page_recovery(&self) -> Option<&Arc<SinglePageRecovery>> {
+        self.spr.as_ref()
+    }
+
+    /// The Foster B-tree.
+    #[must_use]
+    pub fn tree(&self) -> &FosterBTree {
+        &self.tree
+    }
+
+    /// Aggregated statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> DbStats {
+        let m = self.maintainer.stats();
+        DbStats {
+            pool: self.pool.stats(),
+            log: self.log.stats(),
+            txn: self.txn.stats(),
+            tree: self.tree.stats(),
+            spf: self.spr.as_ref().map(|s| s.stats()).unwrap_or_default(),
+            pri: self.pri.stats(),
+            backups: self.backups.stats(),
+            device: self.device.stats(),
+            backup_device: self.backups.device().stats(),
+            pri_updates_logged: m.pri_updates_logged,
+            policy_backups: m.policy_backups,
+            stale_detections: m.stale_detections,
+            now: self.clock.now(),
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Database-level errors, expressed in the paper's failure taxonomy.
+
+use spf_btree::BTreeError;
+use spf_recovery::FailureClass;
+use spf_txn::{LockError, TxError};
+
+/// Errors surfaced by [`crate::Database`] operations.
+#[derive(Debug)]
+pub enum DbError {
+    /// A failure of the stated class that the engine could not contain.
+    /// For a single-device node, an escalated media failure is reported
+    /// as a system failure (Figure 1).
+    Failure {
+        /// The failure class after escalation.
+        class: FailureClass,
+        /// What happened.
+        reason: String,
+    },
+    /// The key is already present (insert) or absent (delete).
+    Tree(BTreeError),
+    /// A lock conflict (fail-fast lock table).
+    Locked(LockError),
+    /// Transaction bookkeeping error.
+    Tx(TxError),
+    /// Restart or media recovery itself failed.
+    RecoveryFailed(String),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Failure { class, reason } => write!(f, "{class}: {reason}"),
+            DbError::Tree(e) => write!(f, "{e}"),
+            DbError::Locked(e) => write!(f, "{e}"),
+            DbError::Tx(e) => write!(f, "{e}"),
+            DbError::RecoveryFailed(e) => write!(f, "recovery failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<TxError> for DbError {
+    fn from(e: TxError) -> Self {
+        DbError::Tx(e)
+    }
+}
+
+impl From<LockError> for DbError {
+    fn from(e: LockError) -> Self {
+        DbError::Locked(e)
+    }
+}
+
+impl DbError {
+    /// The failure class this error represents, if it is a failure.
+    #[must_use]
+    pub fn failure_class(&self) -> Option<FailureClass> {
+        match self {
+            DbError::Failure { class, .. } => Some(*class),
+            _ => None,
+        }
+    }
+}

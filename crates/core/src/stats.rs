@@ -1,0 +1,40 @@
+//! Aggregated engine statistics for the experiment harness.
+
+use spf_buffer::PoolStats;
+use spf_btree::TreeStats;
+use spf_recovery::{BackupStats, PriStats, SpfStats};
+use spf_storage::DeviceStats;
+use spf_txn::TxnStats;
+use spf_util::SimDuration;
+use spf_wal::LogStats;
+
+/// Everything the engine counts, in one snapshot.
+#[derive(Debug, Clone)]
+pub struct DbStats {
+    /// Buffer-pool behaviour and failure detections.
+    pub pool: PoolStats,
+    /// Log volume, forces, and per-kind record counts.
+    pub log: LogStats,
+    /// Transaction commits/aborts by kind.
+    pub txn: TxnStats,
+    /// B-tree traversal and maintenance counters.
+    pub tree: TreeStats,
+    /// Single-page recovery outcomes.
+    pub spf: SpfStats,
+    /// Page-recovery-index size and compression.
+    pub pri: PriStats,
+    /// Backup-store activity.
+    pub backups: BackupStats,
+    /// Data-device I/O counters.
+    pub device: DeviceStats,
+    /// Backup-device I/O counters.
+    pub backup_device: DeviceStats,
+    /// PriUpdate records logged / policy backups / stale detections.
+    pub pri_updates_logged: u64,
+    /// Policy-triggered page backups.
+    pub policy_backups: u64,
+    /// Stale-PageLSN detections by the PRI cross-check.
+    pub stale_detections: u64,
+    /// Current simulated time.
+    pub now: SimDuration,
+}

@@ -1,0 +1,94 @@
+//! The failure-class taxonomy (paper Section 3) and escalation logic
+//! (Figure 1).
+
+/// The four failure classes. The first three are the traditional taxonomy
+/// ("they are the foundation of today's failure detection, recovery,
+/// reliability, and availability"); the fourth is the paper's
+/// contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureClass {
+    /// "A transaction failure leaves other transactions running; only a
+    /// single transaction fails and must roll back."
+    Transaction,
+    /// "A media failure focuses on a storage device … all transactions
+    /// fail that have touched data on the failed media."
+    Media,
+    /// "A system failure is most severe; the database management system
+    /// and perhaps even the operating system require restart and
+    /// recovery."
+    System,
+    /// "All failures to read a data page correctly and with plausible
+    /// contents despite all correction attempts in lower system levels."
+    SinglePage,
+}
+
+impl FailureClass {
+    /// What an unhandled failure of this class becomes (Figure 1's
+    /// escalation arrows): a single-page failure without single-page
+    /// recovery must be treated as a media failure; a media failure on a
+    /// single-device node is a system failure; system failures are
+    /// terminal (restart).
+    #[must_use]
+    pub fn escalates_to(self, single_device_node: bool) -> Option<FailureClass> {
+        match self {
+            FailureClass::SinglePage => Some(FailureClass::Media),
+            FailureClass::Media if single_device_node => Some(FailureClass::System),
+            _ => None,
+        }
+    }
+
+    /// Order-of-magnitude recovery time the paper's Section 6 associates
+    /// with each class, as prose.
+    #[must_use]
+    pub fn expected_recovery_time(self) -> &'static str {
+        match self {
+            FailureClass::Transaction => "less than a second (rollback)",
+            FailureClass::System => "about a minute (restart; depends on checkpoint frequency)",
+            FailureClass::Media => "minutes to hours (restore backup + replay log)",
+            FailureClass::SinglePage => "a second or less (dozens of I/Os; no transaction aborts)",
+        }
+    }
+}
+
+impl std::fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureClass::Transaction => write!(f, "transaction failure"),
+            FailureClass::Media => write!(f, "media failure"),
+            FailureClass::System => write!(f, "system failure"),
+            FailureClass::SinglePage => write!(f, "single-page failure"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_escalation() {
+        // Left-to-right arrows of Figure 1.
+        assert_eq!(
+            FailureClass::SinglePage.escalates_to(false),
+            Some(FailureClass::Media)
+        );
+        assert_eq!(FailureClass::Media.escalates_to(true), Some(FailureClass::System));
+        assert_eq!(FailureClass::Media.escalates_to(false), None);
+        assert_eq!(FailureClass::System.escalates_to(true), None);
+        assert_eq!(FailureClass::Transaction.escalates_to(true), None);
+    }
+
+    #[test]
+    fn full_escalation_chain_on_single_device_node() {
+        // A single-page failure on a one-device node, unhandled, becomes
+        // a system failure in two hops — the paper's nightmare.
+        let mut class = FailureClass::SinglePage;
+        let mut hops = 0;
+        while let Some(next) = class.escalates_to(true) {
+            class = next;
+            hops += 1;
+        }
+        assert_eq!(class, FailureClass::System);
+        assert_eq!(hops, 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! # spf-recovery
+//!
+//! The paper's contribution (Graefe & Kuno, VLDB 2012): the **page
+//! recovery index**, **single-page recovery**, and their integration with
+//! system and media recovery.
+//!
+//! | Module | Paper source |
+//! |---|---|
+//! | [`pri`] | §5.2.2, Figures 6, 7, 9 — the page recovery index: per page, the most recent backup location and the LSN of the most recent log record |
+//! | [`backup`] | §5.2.1 — sources of backup pages: explicit copies, in-log images, format records, full backups |
+//! | [`maintainer`] | §5.2.4, Figure 11 — PRI maintenance after completed writes, as unforced single-record system transactions; backup-every-N-updates policy (§6); the PageLSN cross-check on read (Figure 8) |
+//! | [`single_page`] | §5.2.3, Figure 10 — the recovery procedure: restore backup, walk the per-page log chain backward onto a LIFO stack, pop and redo |
+//! | [`system_recovery`] | §5.1.2, §5.2.5, Figure 12 — ARIES-style restart (analysis, redo, undo) exploiting PRI records to skip redo reads and repairing PRI updates lost in the crash |
+//! | [`media`] | §5.1.3 — full-device restore + log replay; also the mirror-style single-page repair baseline (§2) |
+//! | [`failure`] | §3 — the failure-class taxonomy, including escalation |
+//! | [`versioning`] | §5.1.4 — single-page rollback over the per-page chain (the snapshot-isolation application) |
+//!
+//! ## Substitution note
+//!
+//! The paper stores the PRI in database pages (with a two-piece scheme so
+//! no page covers itself). Here the PRI lives in memory — the paper itself
+//! concludes "it seems reasonable to keep the page recovery index in
+//! memory at all times" — and is made durable through its log records:
+//! restart rebuilds it by log scan. Size accounting (experiment E5) uses
+//! the same 16-bytes-per-entry arithmetic as the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backup;
+pub mod failure;
+pub mod maintainer;
+pub mod media;
+pub mod pri;
+pub mod single_page;
+pub mod system_recovery;
+pub mod versioning;
+
+pub use backup::{BackupStats, BackupStore};
+pub use failure::FailureClass;
+pub use maintainer::{BackupPolicy, PriMaintainer};
+pub use media::{MediaRecovery, MediaReport, MirrorRepairReport};
+pub use pri::{PageRecoveryIndex, PriEntry, PriStats};
+pub use single_page::{SinglePageRecovery, SpfStats};
+pub use system_recovery::{RestartReport, SystemRecovery};
+pub use versioning::{rollback_page_to, VersionError, VersioningStats};

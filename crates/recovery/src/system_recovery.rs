@@ -1,0 +1,319 @@
+//! System (restart) recovery: log analysis, redo, undo — ARIES-style,
+//! integrated with the page recovery index per the paper's Figure 12 and
+//! Sections 5.1.2 / 5.2.5.
+//!
+//! The Figure 12 action table, implemented verbatim:
+//!
+//! | Phase | Log record | Action |
+//! |---|---|---|
+//! | Log analysis | Update a data page | "Add the data page and this LSN to the recovery requirements" (dirty-page table) |
+//! | Log analysis | Update an entry in the page recovery index | "Remove the data page from the recovery requirements; add the page in the page recovery index" |
+//! | Redo | Update a data page (no matching update in the page recovery index) | "Read the data page and check its PageLSN; if lower than the present LSN, update the data page; otherwise, create a log record for the page recovery index" |
+//!
+//! The PriUpdate records thus serve double duty (Section 5.2.5): they are
+//! the paper's new structure's maintenance trail *and* the classic
+//! "logging completed writes" optimization of Section 5.1.2/Figure 4 —
+//! pages confirmed written are dropped from the recovery requirements and
+//! never read during redo. Experiment E3 measures exactly that saving.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use spf_buffer::BufferPool;
+use spf_storage::PageId;
+use spf_util::SimDuration;
+use spf_wal::{LogManager, LogPayload, LogRecord, Lsn, TxId};
+
+use crate::pri::PageRecoveryIndex;
+
+/// What restart recovery did (experiments E3, E9).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RestartReport {
+    /// Log records scanned during analysis.
+    pub analysis_records: u64,
+    /// Pages that entered the recovery requirements at least once.
+    pub pages_ever_dirty: u64,
+    /// Pages removed from the requirements by PriUpdate records —
+    /// redo reads *saved* by the paper's mechanism.
+    pub writes_confirmed_by_pri: u64,
+    /// Pages in the dirty-page table when analysis finished.
+    pub dirty_pages_at_end: u64,
+    /// Data pages actually read (fetched) during redo.
+    pub redo_pages_read: u64,
+    /// Redo actions applied.
+    pub redo_applied: u64,
+    /// Redo actions skipped because the page already reflected them.
+    pub redo_skipped: u64,
+    /// PriUpdate records generated during redo for writes whose PRI
+    /// record was lost in the crash (Figure 12, bottom row).
+    pub pri_repairs: u64,
+    /// Loser transactions rolled back.
+    pub losers: u64,
+    /// Loser transactions that were system transactions ("should a system
+    /// failure prevent logging the commit log record of a system
+    /// transaction, the system transaction is lost").
+    pub system_losers: u64,
+    /// Compensation records written during undo.
+    pub clrs_written: u64,
+    /// Highest transaction id seen (the restarted allocator floor).
+    pub max_tx_seen: u64,
+    /// Simulated time the restart took.
+    pub sim_time: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AttEntry {
+    last_lsn: Lsn,
+    system: bool,
+}
+
+/// Restart-recovery driver.
+pub struct SystemRecovery {
+    log: LogManager,
+    pool: BufferPool,
+}
+
+impl SystemRecovery {
+    /// Creates a driver over `log` and `pool`. The pool must be freshly
+    /// discarded (post-crash) and may have a recoverer configured —
+    /// single-page failures *during* restart then recover inline.
+    #[must_use]
+    pub fn new(log: LogManager, pool: BufferPool) -> Self {
+        Self { log, pool }
+    }
+
+    /// Runs the three passes. `pri` is rebuilt as a side effect of
+    /// analysis; `note_allocated` learns every formatted page (rebuilding
+    /// the allocator's high-water mark).
+    pub fn run(
+        &self,
+        pri: &Arc<PageRecoveryIndex>,
+        note_allocated: &dyn Fn(PageId),
+    ) -> Result<RestartReport, String> {
+        let start_time = self.log.clock().now();
+        let mut report = RestartReport::default();
+
+        // ------------------------------------------------------------
+        // Pass 1: log analysis (Figure 12 rows 1 and 2). Reads only the
+        // log, no data pages — "log analysis is very fast because it
+        // reads only the log but no data pages."
+        // ------------------------------------------------------------
+        pri.clear();
+        let mut att: HashMap<TxId, AttEntry> = HashMap::new();
+        let mut dpt: BTreeMap<PageId, Lsn> = BTreeMap::new();
+        let mut ever_dirty: std::collections::HashSet<PageId> = std::collections::HashSet::new();
+
+        let records =
+            self.log.scan_from(Lsn::NULL).map_err(|e| format!("analysis scan failed: {e}"))?;
+        for (lsn, record) in &records {
+            report.analysis_records += 1;
+            report.max_tx_seen = report.max_tx_seen.max(record.tx_id.0);
+            match &record.payload {
+                LogPayload::TxBegin { system } => {
+                    att.insert(record.tx_id, AttEntry { last_lsn: *lsn, system: *system });
+                }
+                LogPayload::TxCommit { .. } | LogPayload::TxAbort => {
+                    att.remove(&record.tx_id);
+                }
+                LogPayload::Update { .. } | LogPayload::Clr { .. } => {
+                    if let Some(e) = att.get_mut(&record.tx_id) {
+                        e.last_lsn = *lsn;
+                    }
+                    dpt.entry(record.page_id).or_insert(*lsn);
+                    ever_dirty.insert(record.page_id);
+                }
+                LogPayload::PageFormat { .. } => {
+                    if let Some(e) = att.get_mut(&record.tx_id) {
+                        e.last_lsn = *lsn;
+                    }
+                    // A format supersedes all earlier redo for the page
+                    // ("redo for all prior log records is not required").
+                    dpt.insert(record.page_id, *lsn);
+                    ever_dirty.insert(record.page_id);
+                    pri.set_backup(record.page_id, spf_wal::BackupRef::FormatRecord(*lsn), *lsn);
+                    note_allocated(record.page_id);
+                }
+                LogPayload::FullPageImage { .. } => {
+                    // An in-log image likewise restarts redo at itself.
+                    dpt.insert(record.page_id, *lsn);
+                    ever_dirty.insert(record.page_id);
+                    pri.set_backup(record.page_id, spf_wal::BackupRef::LogImage(*lsn), *lsn);
+                }
+                LogPayload::BackupTaken { backup, page_lsn } => {
+                    if let spf_wal::BackupRef::FullBackup { pages, .. } = backup {
+                        pri.set_backup_range(PageId(0), PageId(*pages), *backup, *page_lsn);
+                    } else {
+                        pri.set_backup(record.page_id, *backup, *page_lsn);
+                    }
+                }
+                LogPayload::PriUpdate { page_lsn, .. } => {
+                    // Figure 12 row 2: the write completed — drop the page
+                    // from the recovery requirements, unless it was
+                    // re-dirtied by a record *after* the confirmed LSN.
+                    if let Some(&rec_lsn) = dpt.get(&record.page_id) {
+                        if rec_lsn <= *page_lsn {
+                            dpt.remove(&record.page_id);
+                            report.writes_confirmed_by_pri += 1;
+                        }
+                    }
+                    pri.set_latest_lsn(record.page_id, *page_lsn);
+                }
+                LogPayload::CheckpointBegin { .. } | LogPayload::CheckpointEnd => {}
+            }
+        }
+        report.pages_ever_dirty = ever_dirty.len() as u64;
+        report.dirty_pages_at_end = dpt.len() as u64;
+
+        // ------------------------------------------------------------
+        // Pass 2: redo (Figure 12 row 3). "The 'redo' pass must read all
+        // data pages with logged updates … these random reads dominate
+        // the cost" — except the ones analysis just crossed off.
+        // ------------------------------------------------------------
+        let redo_start = dpt.values().copied().min().unwrap_or(Lsn::NULL);
+        let mut pages_read: std::collections::HashSet<PageId> = std::collections::HashSet::new();
+        let mut pages_touched_by_redo: std::collections::HashSet<PageId> =
+            std::collections::HashSet::new();
+        if !dpt.is_empty() {
+            for (lsn, record) in records.iter().filter(|(l, _)| *l >= redo_start) {
+                let Some(&rec_lsn) = dpt.get(&record.page_id) else { continue };
+                if *lsn < rec_lsn {
+                    continue;
+                }
+                match &record.payload {
+                    LogPayload::Update { op } | LogPayload::Clr { op, .. } => {
+                        let mut guard = self
+                            .pool
+                            .fetch_mut(record.page_id)
+                            .map_err(|e| format!("redo fetch of {} failed: {e}", record.page_id))?;
+                        if pages_read.insert(record.page_id) {
+                            report.redo_pages_read += 1;
+                        }
+                        let page_lsn = Lsn(guard.page_lsn());
+                        if page_lsn < *lsn {
+                            // Defensive chain check (Section 5.1.4): the
+                            // record's chain pointer must equal the LSN we
+                            // found in the page.
+                            if record.prev_page_lsn != page_lsn {
+                                return Err(format!(
+                                    "redo chain check failed at {lsn} on {}: record expects \
+                                     prior {}, page has {page_lsn}",
+                                    record.page_id, record.prev_page_lsn
+                                ));
+                            }
+                            op.redo(&mut guard);
+                            guard.mark_dirty(*lsn);
+                            pages_touched_by_redo.insert(record.page_id);
+                            report.redo_applied += 1;
+                        } else {
+                            report.redo_skipped += 1;
+                        }
+                    }
+                    LogPayload::PageFormat { image } | LogPayload::FullPageImage { image } => {
+                        // No read needed: the record carries the state.
+                        let mut page = image.restore();
+                        page.set_page_lsn(lsn.0);
+                        page.reset_update_count();
+                        self.pool
+                            .put_new(page, *lsn)
+                            .map_err(|e| format!("redo format of {} failed: {e}", record.page_id))?;
+                        pages_touched_by_redo.insert(record.page_id);
+                        report.redo_applied += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Figure 12 bottom-right: pages in the requirements whose redo
+        // turned out to be entirely reflected on disk were written before
+        // the crash, but their PriUpdate record was lost. "The page
+        // recovery index must be updated right away … the recovery process
+        // should generate an appropriate log record."
+        for (&page_id, _) in &dpt {
+            if pages_touched_by_redo.contains(&page_id) {
+                continue; // the page is dirty again; its eventual
+                          // write-back will log the PriUpdate normally
+            }
+            if !pages_read.contains(&page_id) {
+                continue; // never visited (no redo-able record): leave it
+            }
+            let guard = self
+                .pool
+                .fetch(page_id)
+                .map_err(|e| format!("PRI repair fetch of {page_id} failed: {e}"))?;
+            let page_lsn = Lsn(guard.page_lsn());
+            drop(guard);
+            self.log.append(&LogRecord {
+                tx_id: TxId::NONE,
+                prev_tx_lsn: Lsn::NULL,
+                page_id,
+                prev_page_lsn: Lsn::NULL,
+                payload: LogPayload::PriUpdate {
+                    page_lsn,
+                    backup: pri.lookup(page_id).map_or(spf_wal::BackupRef::None, |e| e.backup),
+                },
+            });
+            pri.set_latest_lsn(page_id, page_lsn);
+            report.pri_repairs += 1;
+        }
+
+        // ------------------------------------------------------------
+        // Pass 3: undo. Roll back every loser — including uncommitted
+        // system transactions, whose loss is harmless by design.
+        // ------------------------------------------------------------
+        let mut cursors: BTreeMap<Lsn, TxId> = BTreeMap::new();
+        for (tx, entry) in &att {
+            report.losers += 1;
+            report.system_losers += u64::from(entry.system);
+            cursors.insert(entry.last_lsn, *tx);
+        }
+        let mut last_clr_per_tx: HashMap<TxId, Lsn> = HashMap::new();
+        while let Some((&lsn, &tx)) = cursors.iter().next_back() {
+            cursors.remove(&lsn);
+            let record =
+                self.log.read_record(lsn).map_err(|e| format!("undo read at {lsn}: {e}"))?;
+            debug_assert_eq!(record.tx_id, tx);
+            let next = match &record.payload {
+                LogPayload::Update { op } => {
+                    let comp = op.invert();
+                    let mut guard = self
+                        .pool
+                        .fetch_mut(record.page_id)
+                        .map_err(|e| format!("undo fetch of {} failed: {e}", record.page_id))?;
+                    let prev_page_lsn = Lsn(guard.page_lsn());
+                    let clr_lsn = self.log.append(&LogRecord {
+                        tx_id: tx,
+                        prev_tx_lsn: last_clr_per_tx.get(&tx).copied().unwrap_or(record.prev_tx_lsn),
+                        page_id: record.page_id,
+                        prev_page_lsn,
+                        payload: LogPayload::Clr { op: comp.clone(), undo_next: record.prev_tx_lsn },
+                    });
+                    comp.redo(&mut guard);
+                    guard.mark_dirty(clr_lsn);
+                    last_clr_per_tx.insert(tx, clr_lsn);
+                    report.clrs_written += 1;
+                    record.prev_tx_lsn
+                }
+                // CLRs from a pre-crash rollback: skip what they undid.
+                LogPayload::Clr { undo_next, .. } => *undo_next,
+                _ => record.prev_tx_lsn,
+            };
+            if next.is_valid() {
+                cursors.insert(next, tx);
+            } else {
+                // Chain exhausted: close the loser.
+                self.log.append(&LogRecord {
+                    tx_id: tx,
+                    prev_tx_lsn: last_clr_per_tx.get(&tx).copied().unwrap_or(Lsn::NULL),
+                    page_id: PageId::INVALID,
+                    prev_page_lsn: Lsn::NULL,
+                    payload: LogPayload::TxAbort,
+                });
+            }
+        }
+        self.log.force();
+
+        report.sim_time = self.log.clock().now() - start_time;
+        Ok(report)
+    }
+}

@@ -1,0 +1,171 @@
+//! The storage-device abstraction and its error/statistics types.
+//!
+//! Devices in this workspace present exactly the interface the paper's
+//! failure taxonomy is written against: page-granular reads and writes
+//! that can (a) succeed, (b) fail *loudly* with an error, or (c) —
+//! crucially — succeed while returning wrong bytes. Case (c) is the
+//! "silent failure" of the paper's introduction anecdote; it is why the
+//! read path must verify pages rather than trust the device.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::page::PageId;
+
+/// Errors surfaced by a storage device.
+///
+/// Note what is *not* here: silent corruption. A device that corrupts
+/// silently returns `Ok` with bad bytes — detection is the caller's
+/// problem, which is the premise of the whole paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The device reported an unrecoverable error reading this page
+    /// (a "latent sector error": data loss despite ECC and retries).
+    ReadFailed {
+        /// The page whose read failed.
+        id: PageId,
+    },
+    /// The device reported an unrecoverable error writing this page.
+    WriteFailed {
+        /// The page whose write failed.
+        id: PageId,
+    },
+    /// The entire device has failed — a *media failure* in the paper's
+    /// taxonomy. Every subsequent operation returns this.
+    DeviceFailed,
+    /// The page id is outside the device's capacity.
+    OutOfRange {
+        /// The offending page id.
+        id: PageId,
+        /// Device capacity in pages.
+        capacity: u64,
+    },
+    /// The caller's buffer size does not match the device page size.
+    BadBufferSize {
+        /// Buffer length supplied.
+        got: usize,
+        /// Device page size.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ReadFailed { id } => write!(f, "unrecoverable read error on {id}"),
+            StorageError::WriteFailed { id } => write!(f, "unrecoverable write error on {id}"),
+            StorageError::DeviceFailed => write!(f, "device failed (media failure)"),
+            StorageError::OutOfRange { id, capacity } => {
+                write!(f, "{id} out of range (capacity {capacity} pages)")
+            }
+            StorageError::BadBufferSize { got, expected } => {
+                write!(f, "buffer size {got} does not match page size {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Monotonic operation counters kept by every device.
+///
+/// The experiment harness reads these to report I/O counts alongside
+/// simulated times (the paper's Section 6 reasons in I/O counts).
+#[derive(Debug, Default)]
+pub struct DeviceCounters {
+    /// Random page reads served.
+    pub random_reads: AtomicU64,
+    /// Sequential page reads served.
+    pub sequential_reads: AtomicU64,
+    /// Random page writes served.
+    pub random_writes: AtomicU64,
+    /// Sequential page writes served.
+    pub sequential_writes: AtomicU64,
+    /// Reads that returned an explicit error.
+    pub failed_reads: AtomicU64,
+    /// Writes that returned an explicit error.
+    pub failed_writes: AtomicU64,
+    /// Reads that silently served corrupted/stale bytes.
+    pub silent_corrupt_reads: AtomicU64,
+}
+
+/// A point-in-time copy of [`DeviceCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Random page reads served.
+    pub random_reads: u64,
+    /// Sequential page reads served.
+    pub sequential_reads: u64,
+    /// Random page writes served.
+    pub random_writes: u64,
+    /// Sequential page writes served.
+    pub sequential_writes: u64,
+    /// Reads that returned an explicit error.
+    pub failed_reads: u64,
+    /// Writes that returned an explicit error.
+    pub failed_writes: u64,
+    /// Reads that silently served corrupted/stale bytes.
+    pub silent_corrupt_reads: u64,
+}
+
+impl DeviceStats {
+    /// All reads, random plus sequential.
+    #[must_use]
+    pub fn total_reads(&self) -> u64 {
+        self.random_reads + self.sequential_reads
+    }
+
+    /// All writes, random plus sequential.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.random_writes + self.sequential_writes
+    }
+}
+
+impl DeviceCounters {
+    /// Snapshots the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> DeviceStats {
+        DeviceStats {
+            random_reads: self.random_reads.load(Ordering::Relaxed),
+            sequential_reads: self.sequential_reads.load(Ordering::Relaxed),
+            random_writes: self.random_writes.load(Ordering::Relaxed),
+            sequential_writes: self.sequential_writes.load(Ordering::Relaxed),
+            failed_reads: self.failed_reads.load(Ordering::Relaxed),
+            failed_writes: self.failed_writes.load(Ordering::Relaxed),
+            silent_corrupt_reads: self.silent_corrupt_reads.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Page-granular storage.
+///
+/// `read_page`/`write_page` are random (latency-charged) accesses;
+/// `read_page_seq`/`write_page_seq` are sequential (bandwidth-charged)
+/// variants used by scans, backups, and log-style access patterns.
+pub trait StorageDevice: Send + Sync {
+    /// Page size in bytes; every buffer passed in must be exactly this long.
+    fn page_size(&self) -> usize;
+
+    /// Device capacity in pages.
+    fn capacity(&self) -> u64;
+
+    /// Reads page `id` into `buf`, charged as a random access.
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError>;
+
+    /// Writes `buf` to page `id`, charged as a random access.
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<(), StorageError>;
+
+    /// Reads page `id` into `buf`, charged as sequential transfer.
+    fn read_page_seq(&self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError>;
+
+    /// Writes `buf` to page `id`, charged as sequential transfer.
+    fn write_page_seq(&self, id: PageId, buf: &[u8]) -> Result<(), StorageError>;
+
+    /// Snapshot of the device's operation counters.
+    fn stats(&self) -> DeviceStats;
+}

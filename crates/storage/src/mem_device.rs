@@ -1,0 +1,454 @@
+//! A RAM-backed [`StorageDevice`] with fault injection and simulated I/O
+//! costs.
+//!
+//! `MemDevice` stands in for the paper's disks and flash devices. It is
+//! exact where the paper's mechanisms need it to be exact — which bytes a
+//! read returns, which failures a read raises, how many I/Os an algorithm
+//! issues — and simulated where the paper only needs arithmetic (I/O
+//! latency via [`SimClock`]).
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use spf_util::{IoCostModel, IoKind, SimClock};
+
+use crate::device::{DeviceCounters, DeviceStats, StorageDevice, StorageError};
+use crate::fault::{FaultInjector, FaultSpec, ReadOutcome, WriteOutcome};
+use crate::page::PageId;
+
+/// RAM-backed storage device.
+///
+/// Cloning is cheap and shares the underlying storage (the device handle
+/// is used by the buffer pool, the backup manager, and recovery).
+#[derive(Clone)]
+pub struct MemDevice {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    page_size: usize,
+    pages: RwLock<Vec<Box<[u8]>>>,
+    injector: FaultInjector,
+    counters: DeviceCounters,
+    clock: Arc<SimClock>,
+    cost: IoCostModel,
+}
+
+impl std::fmt::Debug for MemDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemDevice")
+            .field("page_size", &self.inner.page_size)
+            .field("capacity", &self.capacity())
+            .finish()
+    }
+}
+
+impl MemDevice {
+    /// Creates a device of `capacity` zeroed pages of `page_size` bytes.
+    ///
+    /// `seed` feeds the fault injector's RNG; all corruption is
+    /// reproducible given the seed.
+    #[must_use]
+    pub fn new(
+        page_size: usize,
+        capacity: u64,
+        clock: Arc<SimClock>,
+        cost: IoCostModel,
+        seed: u64,
+    ) -> Self {
+        let pages = (0..capacity).map(|_| vec![0u8; page_size].into_boxed_slice()).collect();
+        Self {
+            inner: Arc::new(Inner {
+                page_size,
+                pages: RwLock::new(pages),
+                injector: FaultInjector::new(seed),
+                counters: DeviceCounters::default(),
+                clock,
+                cost,
+            }),
+        }
+    }
+
+    /// Convenience constructor: free I/O, fresh clock. For unit tests.
+    #[must_use]
+    pub fn for_testing(page_size: usize, capacity: u64) -> Self {
+        Self::new(page_size, capacity, Arc::new(SimClock::new()), IoCostModel::free(), 0)
+    }
+
+    /// The device's fault injector.
+    #[must_use]
+    pub fn injector(&self) -> &FaultInjector {
+        &self.inner.injector
+    }
+
+    /// The simulated clock this device charges.
+    #[must_use]
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.inner.clock
+    }
+
+    /// The device's I/O cost model.
+    #[must_use]
+    pub fn cost_model(&self) -> IoCostModel {
+        self.inner.cost
+    }
+
+    /// Arms `fault` on `page`. For
+    /// [`crate::CorruptionMode::StaleVersion`] the current stored image is
+    /// snapshotted now; subsequent writes are lost.
+    pub fn inject_fault(&self, page: PageId, fault: FaultSpec) {
+        let snapshot = match &fault {
+            FaultSpec::SilentCorruption(crate::CorruptionMode::StaleVersion) => {
+                Some(self.inner.pages.read()[page.0 as usize].to_vec())
+            }
+            _ => None,
+        };
+        self.inner.injector.arm_internal(page, fault, snapshot);
+    }
+
+    /// Grows the device by `additional` zeroed pages, returning the id of
+    /// the first new page. Used by the backup store.
+    pub fn grow(&self, additional: u64) -> PageId {
+        let mut pages = self.inner.pages.write();
+        let first = pages.len() as u64;
+        for _ in 0..additional {
+            pages.push(vec![0u8; self.inner.page_size].into_boxed_slice());
+        }
+        PageId(first)
+    }
+
+    /// Direct, uncounted, fault-bypassing access to the stored image.
+    /// Test/diagnostic use only — this is "opening the drive in a clean
+    /// room", not an I/O path.
+    #[must_use]
+    pub fn raw_image(&self, page: PageId) -> Vec<u8> {
+        self.inner.pages.read()[page.0 as usize].to_vec()
+    }
+
+    /// Direct, uncounted, fault-bypassing overwrite of the stored image.
+    /// Test/diagnostic use only.
+    pub fn raw_overwrite(&self, page: PageId, image: &[u8]) {
+        assert_eq!(image.len(), self.inner.page_size);
+        self.inner.pages.write()[page.0 as usize].copy_from_slice(image);
+    }
+
+    fn check_args(&self, id: PageId, buf_len: usize) -> Result<(), StorageError> {
+        if buf_len != self.inner.page_size {
+            return Err(StorageError::BadBufferSize { got: buf_len, expected: self.inner.page_size });
+        }
+        let capacity = self.inner.pages.read().len() as u64;
+        if id.0 >= capacity {
+            return Err(StorageError::OutOfRange { id, capacity });
+        }
+        Ok(())
+    }
+
+    fn do_read(&self, id: PageId, buf: &mut [u8], kind: IoKind) -> Result<(), StorageError> {
+        self.check_args(id, buf.len())?;
+        self.inner.clock.advance(self.inner.cost.cost(kind, buf.len()));
+        match kind {
+            IoKind::RandomRead => DeviceCounters::bump(&self.inner.counters.random_reads),
+            IoKind::SequentialRead => DeviceCounters::bump(&self.inner.counters.sequential_reads),
+            _ => unreachable!("read path"),
+        }
+        let pages = self.inner.pages.read();
+        let stored = &pages[id.0 as usize];
+        match self.inner.injector.on_read(id, stored) {
+            ReadOutcome::Clean => {
+                buf.copy_from_slice(stored);
+                Ok(())
+            }
+            ReadOutcome::Corrupted(image) => {
+                DeviceCounters::bump(&self.inner.counters.silent_corrupt_reads);
+                buf.copy_from_slice(&image);
+                Ok(())
+            }
+            ReadOutcome::Redirect(other) => {
+                DeviceCounters::bump(&self.inner.counters.silent_corrupt_reads);
+                let capacity = pages.len() as u64;
+                if other.0 >= capacity {
+                    // Misdirection to a nonexistent page degenerates to zeros.
+                    buf.fill(0);
+                } else {
+                    buf.copy_from_slice(&pages[other.0 as usize]);
+                }
+                Ok(())
+            }
+            ReadOutcome::HardError => {
+                DeviceCounters::bump(&self.inner.counters.failed_reads);
+                Err(StorageError::ReadFailed { id })
+            }
+            ReadOutcome::DeviceFailed => {
+                DeviceCounters::bump(&self.inner.counters.failed_reads);
+                Err(StorageError::DeviceFailed)
+            }
+        }
+    }
+
+    fn do_write(&self, id: PageId, buf: &[u8], kind: IoKind) -> Result<(), StorageError> {
+        self.check_args(id, buf.len())?;
+        self.inner.clock.advance(self.inner.cost.cost(kind, buf.len()));
+        match kind {
+            IoKind::RandomWrite => DeviceCounters::bump(&self.inner.counters.random_writes),
+            IoKind::SequentialWrite => {
+                DeviceCounters::bump(&self.inner.counters.sequential_writes)
+            }
+            _ => unreachable!("write path"),
+        }
+        match self.inner.injector.on_write(id) {
+            WriteOutcome::Clean => {
+                self.inner.pages.write()[id.0 as usize].copy_from_slice(buf);
+                Ok(())
+            }
+            WriteOutcome::TornPrefix(prefix) => {
+                let prefix = prefix.min(buf.len());
+                self.inner.pages.write()[id.0 as usize][..prefix]
+                    .copy_from_slice(&buf[..prefix]);
+                Ok(())
+            }
+            WriteOutcome::Dropped => Ok(()),
+            WriteOutcome::HardError => {
+                DeviceCounters::bump(&self.inner.counters.failed_writes);
+                Err(StorageError::WriteFailed { id })
+            }
+            WriteOutcome::DeviceFailed => {
+                DeviceCounters::bump(&self.inner.counters.failed_writes);
+                Err(StorageError::DeviceFailed)
+            }
+        }
+    }
+}
+
+impl StorageDevice for MemDevice {
+    fn page_size(&self) -> usize {
+        self.inner.page_size
+    }
+
+    fn capacity(&self) -> u64 {
+        self.inner.pages.read().len() as u64
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError> {
+        self.do_read(id, buf, IoKind::RandomRead)
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<(), StorageError> {
+        self.do_write(id, buf, IoKind::RandomWrite)
+    }
+
+    fn read_page_seq(&self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError> {
+        self.do_read(id, buf, IoKind::SequentialRead)
+    }
+
+    fn write_page_seq(&self, id: PageId, buf: &[u8]) -> Result<(), StorageError> {
+        self.do_write(id, buf, IoKind::SequentialWrite)
+    }
+
+    fn stats(&self) -> DeviceStats {
+        self.inner.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::CorruptionMode;
+    use crate::page::{Page, PageType, DEFAULT_PAGE_SIZE};
+    use spf_util::SimDuration;
+
+    fn dev() -> MemDevice {
+        MemDevice::for_testing(DEFAULT_PAGE_SIZE, 16)
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let dev = dev();
+        let mut page = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(3), PageType::BTreeLeaf);
+        page.set_page_lsn(77);
+        page.finalize_checksum();
+        dev.write_page(PageId(3), page.as_bytes()).unwrap();
+
+        let mut buf = vec![0u8; DEFAULT_PAGE_SIZE];
+        dev.read_page(PageId(3), &mut buf).unwrap();
+        let read = Page::from_bytes(buf);
+        assert_eq!(read.verify(PageId(3)), Ok(()));
+        assert_eq!(read.page_lsn(), 77);
+    }
+
+    #[test]
+    fn out_of_range_and_bad_buffer() {
+        let dev = dev();
+        let mut buf = vec![0u8; DEFAULT_PAGE_SIZE];
+        assert_eq!(
+            dev.read_page(PageId(99), &mut buf),
+            Err(StorageError::OutOfRange { id: PageId(99), capacity: 16 })
+        );
+        let mut small = vec![0u8; 100];
+        assert_eq!(
+            dev.read_page(PageId(0), &mut small),
+            Err(StorageError::BadBufferSize { got: 100, expected: DEFAULT_PAGE_SIZE })
+        );
+    }
+
+    #[test]
+    fn stats_distinguish_random_and_sequential() {
+        let dev = dev();
+        let mut buf = vec![0u8; DEFAULT_PAGE_SIZE];
+        dev.read_page(PageId(0), &mut buf).unwrap();
+        dev.read_page_seq(PageId(1), &mut buf).unwrap();
+        dev.write_page(PageId(2), &buf).unwrap();
+        dev.write_page_seq(PageId(3), &buf).unwrap();
+        let stats = dev.stats();
+        assert_eq!(stats.random_reads, 1);
+        assert_eq!(stats.sequential_reads, 1);
+        assert_eq!(stats.random_writes, 1);
+        assert_eq!(stats.sequential_writes, 1);
+        assert_eq!(stats.total_reads(), 2);
+        assert_eq!(stats.total_writes(), 2);
+    }
+
+    #[test]
+    fn clock_is_charged_per_cost_model() {
+        let clock = Arc::new(SimClock::new());
+        let dev = MemDevice::new(
+            DEFAULT_PAGE_SIZE,
+            4,
+            Arc::clone(&clock),
+            IoCostModel::disk_2012(),
+            0,
+        );
+        let mut buf = vec![0u8; DEFAULT_PAGE_SIZE];
+        dev.read_page(PageId(0), &mut buf).unwrap();
+        // One random read on the 2012 disk: ≥ 8 ms.
+        assert!(clock.now() >= SimDuration::from_millis(8));
+        let after_random = clock.now();
+        dev.read_page_seq(PageId(1), &mut buf).unwrap();
+        let seq_cost = clock.now() - after_random;
+        assert!(seq_cost < SimDuration::from_millis(1), "sequential read must be cheap");
+    }
+
+    #[test]
+    fn bit_rot_detected_by_page_verify() {
+        let dev = dev();
+        let mut page = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(5), PageType::BTreeLeaf);
+        page.finalize_checksum();
+        dev.write_page(PageId(5), page.as_bytes()).unwrap();
+        dev.inject_fault(
+            PageId(5),
+            FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 3 }),
+        );
+        let mut buf = vec![0u8; DEFAULT_PAGE_SIZE];
+        dev.read_page(PageId(5), &mut buf).unwrap(); // read "succeeds"
+        let read = Page::from_bytes(buf);
+        assert!(read.verify(PageId(5)).is_err(), "corruption must be detectable");
+        assert_eq!(dev.stats().silent_corrupt_reads, 1);
+    }
+
+    #[test]
+    fn misdirected_read_serves_other_pages_image() {
+        let dev = dev();
+        for id in [6u64, 7] {
+            let mut page =
+                Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(id), PageType::BTreeLeaf);
+            page.finalize_checksum();
+            dev.write_page(PageId(id), page.as_bytes()).unwrap();
+        }
+        dev.inject_fault(
+            PageId(6),
+            FaultSpec::SilentCorruption(CorruptionMode::Misdirected { instead: PageId(7) }),
+        );
+        let mut buf = vec![0u8; DEFAULT_PAGE_SIZE];
+        dev.read_page(PageId(6), &mut buf).unwrap();
+        let read = Page::from_bytes(buf);
+        // Checksum is fine — it is a valid page. Only the self-id betrays it.
+        assert!(matches!(
+            read.verify(PageId(6)),
+            Err(crate::page::PageDefect::WrongPageId { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_version_passes_all_in_page_checks() {
+        let dev = dev();
+        let mut page = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(8), PageType::BTreeLeaf);
+        page.set_page_lsn(10);
+        page.finalize_checksum();
+        dev.write_page(PageId(8), page.as_bytes()).unwrap();
+
+        // Arm the lost-write fault, then write a newer version.
+        dev.inject_fault(PageId(8), FaultSpec::SilentCorruption(CorruptionMode::StaleVersion));
+        page.set_page_lsn(20);
+        page.finalize_checksum();
+        dev.write_page(PageId(8), page.as_bytes()).unwrap();
+
+        let mut buf = vec![0u8; DEFAULT_PAGE_SIZE];
+        dev.read_page(PageId(8), &mut buf).unwrap();
+        let read = Page::from_bytes(buf);
+        assert_eq!(read.verify(PageId(8)), Ok(()), "stale page is internally consistent");
+        assert_eq!(read.page_lsn(), 10, "but it is old — only a PageLSN cross-check can tell");
+    }
+
+    #[test]
+    fn torn_write_leaves_detectable_damage() {
+        let dev = dev();
+        let mut page = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(9), PageType::BTreeLeaf);
+        {
+            let mut sp = crate::SlottedPage::new(&mut page);
+            for i in 0..100 {
+                sp.push(format!("rec{i}").as_bytes(), false).unwrap();
+            }
+        }
+        page.finalize_checksum();
+        dev.write_page(PageId(9), page.as_bytes()).unwrap();
+
+        dev.inject_fault(PageId(9), FaultSpec::TornWrite { persisted_prefix: 100 });
+        {
+            let mut sp = crate::SlottedPage::new(&mut page);
+            sp.push(b"one more", false).unwrap();
+        }
+        page.set_page_lsn(5);
+        page.finalize_checksum();
+        dev.write_page(PageId(9), page.as_bytes()).unwrap();
+
+        let mut buf = vec![0u8; DEFAULT_PAGE_SIZE];
+        dev.read_page(PageId(9), &mut buf).unwrap();
+        let read = Page::from_bytes(buf);
+        assert!(
+            matches!(read.verify(PageId(9)), Err(crate::page::PageDefect::ChecksumMismatch { .. })),
+            "torn image mixes new header with old body: checksum must fail"
+        );
+    }
+
+    #[test]
+    fn device_failure_fails_everything() {
+        let dev = dev();
+        dev.injector().fail_device();
+        let mut buf = vec![0u8; DEFAULT_PAGE_SIZE];
+        assert_eq!(dev.read_page(PageId(0), &mut buf), Err(StorageError::DeviceFailed));
+        assert_eq!(dev.write_page(PageId(0), &buf), Err(StorageError::DeviceFailed));
+    }
+
+    #[test]
+    fn grow_appends_zeroed_pages() {
+        let dev = dev();
+        assert_eq!(dev.capacity(), 16);
+        let first_new = dev.grow(8);
+        assert_eq!(first_new, PageId(16));
+        assert_eq!(dev.capacity(), 24);
+        let mut buf = vec![1u8; DEFAULT_PAGE_SIZE];
+        dev.read_page(PageId(20), &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn raw_access_bypasses_faults_and_counters() {
+        let dev = dev();
+        dev.inject_fault(PageId(1), FaultSpec::HardReadError);
+        let image = dev.raw_image(PageId(1));
+        assert_eq!(image.len(), DEFAULT_PAGE_SIZE);
+        dev.raw_overwrite(PageId(1), &vec![7u8; DEFAULT_PAGE_SIZE]);
+        assert_eq!(dev.raw_image(PageId(1)), vec![7u8; DEFAULT_PAGE_SIZE]);
+        assert_eq!(dev.stats().total_reads(), 0);
+    }
+}

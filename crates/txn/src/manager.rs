@@ -1,0 +1,539 @@
+//! The transaction manager: begin/commit/abort, the per-transaction log
+//! chain, and rollback with compensation log records.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use spf_storage::PageId;
+use spf_wal::{LogManager, LogPayload, LogRecord, Lsn, PageOp, TxId};
+
+/// Whether a transaction is a user or a system transaction (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxKind {
+    /// Application-invoked; changes logical contents; commit forces the log.
+    User,
+    /// System-internal; contents-neutral structural change; commit does
+    /// not force the log (Section 5.1.5).
+    System,
+}
+
+impl TxKind {
+    /// True for [`TxKind::System`].
+    #[must_use]
+    pub fn is_system(self) -> bool {
+        matches!(self, TxKind::System)
+    }
+}
+
+/// Where rollback compensations land: the caller's buffer pool.
+///
+/// Splitting `page_lsn` from `apply` lets the transaction manager write
+/// the CLR (whose per-page chain pointer is the page's *current* LSN)
+/// before the page is patched, and advance the PageLSN to the CLR's LSN
+/// afterwards — keeping CLRs on the per-page chain that single-page
+/// recovery replays.
+pub trait UndoTarget {
+    /// The current PageLSN of `page`.
+    fn page_lsn(&self, page: PageId) -> Lsn;
+
+    /// Applies `op` to `page` and marks it dirty with `clr_lsn` (which
+    /// also becomes the page's PageLSN).
+    fn apply(&self, page: PageId, op: &PageOp, clr_lsn: Lsn);
+}
+
+/// Transaction-manager errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxError {
+    /// The transaction id is not active.
+    NotActive(TxId),
+    /// Rollback could not read a chained log record.
+    LogBroken(String),
+}
+
+impl std::fmt::Display for TxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxError::NotActive(tx) => write!(f, "{tx} is not active"),
+            TxError::LogBroken(detail) => write!(f, "rollback failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// Counters for the experiment harness (E4: commit behaviour of user vs
+/// system transactions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnStats {
+    /// User transactions committed.
+    pub user_commits: u64,
+    /// System transactions committed.
+    pub system_commits: u64,
+    /// Transactions rolled back.
+    pub aborts: u64,
+    /// Compensation log records written during rollbacks.
+    pub clrs_written: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ActiveTx {
+    kind: TxKind,
+    last_lsn: Lsn,
+}
+
+/// The transaction manager. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct TxnManager {
+    inner: std::sync::Arc<Inner>,
+}
+
+struct Inner {
+    log: LogManager,
+    next_tx: AtomicU64,
+    active: Mutex<HashMap<TxId, ActiveTx>>,
+    stats: Mutex<TxnStats>,
+}
+
+impl std::fmt::Debug for TxnManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnManager")
+            .field("active", &self.inner.active.lock().len())
+            .finish()
+    }
+}
+
+impl TxnManager {
+    /// Creates a manager appending to `log`.
+    #[must_use]
+    pub fn new(log: LogManager) -> Self {
+        Self {
+            inner: std::sync::Arc::new(Inner {
+                log,
+                next_tx: AtomicU64::new(1),
+                active: Mutex::new(HashMap::new()),
+                stats: Mutex::new(TxnStats::default()),
+            }),
+        }
+    }
+
+    /// Begins a transaction of `kind`, logging its begin record.
+    pub fn begin(&self, kind: TxKind) -> TxId {
+        let tx = TxId(self.inner.next_tx.fetch_add(1, Ordering::Relaxed));
+        let lsn = self.inner.log.append(&LogRecord {
+            tx_id: tx,
+            prev_tx_lsn: Lsn::NULL,
+            page_id: PageId::INVALID,
+            prev_page_lsn: Lsn::NULL,
+            payload: LogPayload::TxBegin { system: kind.is_system() },
+        });
+        self.inner.active.lock().insert(tx, ActiveTx { kind, last_lsn: lsn });
+        tx
+    }
+
+    /// Appends a page-update record for `tx`, linking both chains, and
+    /// returns its LSN. The caller applies the operation to the page and
+    /// marks the frame dirty with this LSN.
+    ///
+    /// `prev_page_lsn` is the page's PageLSN *before* the update — the
+    /// per-page chain pointer (Section 5.1.4).
+    pub fn log_update(
+        &self,
+        tx: TxId,
+        page_id: PageId,
+        prev_page_lsn: Lsn,
+        op: PageOp,
+    ) -> Result<Lsn, TxError> {
+        let mut active = self.inner.active.lock();
+        let entry = active.get_mut(&tx).ok_or(TxError::NotActive(tx))?;
+        let lsn = self.inner.log.append(&LogRecord {
+            tx_id: tx,
+            prev_tx_lsn: entry.last_lsn,
+            page_id,
+            prev_page_lsn,
+            payload: LogPayload::Update { op },
+        });
+        entry.last_lsn = lsn;
+        Ok(lsn)
+    }
+
+    /// Appends an arbitrary record on behalf of `tx` (page formats,
+    /// full-page images, backup notices), linking the per-transaction
+    /// chain and the given per-page chain pointer.
+    pub fn log_other(
+        &self,
+        tx: TxId,
+        page_id: PageId,
+        prev_page_lsn: Lsn,
+        payload: LogPayload,
+    ) -> Result<Lsn, TxError> {
+        let mut active = self.inner.active.lock();
+        let entry = active.get_mut(&tx).ok_or(TxError::NotActive(tx))?;
+        let lsn = self.inner.log.append(&LogRecord {
+            tx_id: tx,
+            prev_tx_lsn: entry.last_lsn,
+            page_id,
+            prev_page_lsn,
+            payload,
+        });
+        entry.last_lsn = lsn;
+        Ok(lsn)
+    }
+
+    /// Commits `tx`. User commits force the log; system commits do not
+    /// (Figure 5 / Section 5.1.5). Returns the commit record's LSN.
+    pub fn commit(&self, tx: TxId) -> Result<Lsn, TxError> {
+        let entry = {
+            let mut active = self.inner.active.lock();
+            active.remove(&tx).ok_or(TxError::NotActive(tx))?
+        };
+        let lsn = self.inner.log.append(&LogRecord {
+            tx_id: tx,
+            prev_tx_lsn: entry.last_lsn,
+            page_id: PageId::INVALID,
+            prev_page_lsn: Lsn::NULL,
+            payload: LogPayload::TxCommit { system: entry.kind.is_system() },
+        });
+        let mut stats = self.inner.stats.lock();
+        match entry.kind {
+            TxKind::User => {
+                // Durability: the commit record (and everything before it)
+                // must reach stable storage before commit returns.
+                self.inner.log.force();
+                stats.user_commits += 1;
+            }
+            TxKind::System => {
+                // "System transactions do not require forcing the log
+                // buffer to stable storage." A later dependent user commit
+                // (or any force) carries this record out with it.
+                stats.system_commits += 1;
+            }
+        }
+        Ok(lsn)
+    }
+
+    /// Rolls back `tx`: walks the per-transaction chain newest-first,
+    /// writes a compensation (CLR) record per update, and applies each
+    /// compensation through `target` (the caller owns the buffer pool).
+    /// Finishes with a TxAbort record.
+    ///
+    /// Per-page chain discipline: the CLR's `prev_page_lsn` is the page's
+    /// current PageLSN (read via [`UndoTarget::page_lsn`]), and after
+    /// application the page's PageLSN advances to the CLR's LSN — so CLRs
+    /// are first-class members of the per-page chain and single-page
+    /// recovery replays them like any other redo.
+    pub fn abort(&self, tx: TxId, target: &dyn UndoTarget) -> Result<Lsn, TxError> {
+        let entry = {
+            let mut active = self.inner.active.lock();
+            active.remove(&tx).ok_or(TxError::NotActive(tx))?
+        };
+        let mut clrs = 0u64;
+        let mut last_lsn = entry.last_lsn;
+        let mut cursor = entry.last_lsn;
+        while cursor.is_valid() {
+            let record = self
+                .inner
+                .log
+                .read_record(cursor)
+                .map_err(|e| TxError::LogBroken(e.to_string()))?;
+            debug_assert_eq!(record.tx_id, tx, "per-transaction chain crossed transactions");
+            match record.payload {
+                LogPayload::Update { ref op } => {
+                    let comp = op.invert();
+                    let prev_page_lsn = target.page_lsn(record.page_id);
+                    let clr_lsn = self.inner.log.append(&LogRecord {
+                        tx_id: tx,
+                        prev_tx_lsn: last_lsn,
+                        page_id: record.page_id,
+                        prev_page_lsn,
+                        payload: LogPayload::Clr {
+                            op: comp.clone(),
+                            undo_next: record.prev_tx_lsn,
+                        },
+                    });
+                    target.apply(record.page_id, &comp, clr_lsn);
+                    clrs += 1;
+                    last_lsn = clr_lsn;
+                }
+                // CLRs are never undone; begin/format/etc. have no undo.
+                _ => {}
+            }
+            cursor = record.prev_tx_lsn;
+        }
+        let abort_lsn = self.inner.log.append(&LogRecord {
+            tx_id: tx,
+            prev_tx_lsn: last_lsn,
+            page_id: PageId::INVALID,
+            prev_page_lsn: Lsn::NULL,
+            payload: LogPayload::TxAbort,
+        });
+        if entry.kind == TxKind::User {
+            self.inner.log.force();
+        }
+        let mut stats = self.inner.stats.lock();
+        stats.aborts += 1;
+        stats.clrs_written += clrs;
+        Ok(abort_lsn)
+    }
+
+    /// Active transactions and their most recent LSN, for checkpoints.
+    #[must_use]
+    pub fn active_txns(&self) -> Vec<(TxId, Lsn)> {
+        let mut out: Vec<(TxId, Lsn)> = self
+            .inner
+            .active
+            .lock()
+            .iter()
+            .map(|(tx, st)| (*tx, st.last_lsn))
+            .collect();
+        out.sort_unstable_by_key(|(tx, _)| *tx);
+        out
+    }
+
+    /// Number of active transactions.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.inner.active.lock().len()
+    }
+
+    /// True if `tx` is currently active.
+    #[must_use]
+    pub fn is_active(&self, tx: TxId) -> bool {
+        self.inner.active.lock().contains_key(&tx)
+    }
+
+    /// Forgets all active transactions (crash simulation; recovery rebuilds
+    /// the table from the log). The id allocator continues past `floor` to
+    /// avoid reusing ids of pre-crash transactions.
+    pub fn reset_after_crash(&self, floor: u64) {
+        self.inner.active.lock().clear();
+        let current = self.inner.next_tx.load(Ordering::Relaxed);
+        self.inner.next_tx.store(current.max(floor + 1), Ordering::Relaxed);
+    }
+
+    /// Statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> TxnStats {
+        *self.inner.stats.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as StdHashMap;
+
+    fn ins(pos: u16, byte: u8) -> PageOp {
+        PageOp::InsertRecord { pos, bytes: vec![byte; 4], ghost: false }
+    }
+
+    /// Records applied compensations without touching real pages.
+    #[derive(Default)]
+    struct RecordingTarget {
+        applied: Mutex<Vec<(PageId, PageOp, Lsn)>>,
+    }
+
+    impl UndoTarget for RecordingTarget {
+        fn page_lsn(&self, _page: PageId) -> Lsn {
+            Lsn::NULL
+        }
+        fn apply(&self, page: PageId, op: &PageOp, clr_lsn: Lsn) {
+            self.applied.lock().push((page, op.clone(), clr_lsn));
+        }
+    }
+
+    #[test]
+    fn user_commit_forces_log() {
+        let log = LogManager::for_testing();
+        let mgr = TxnManager::new(log.clone());
+        let tx = mgr.begin(TxKind::User);
+        mgr.log_update(tx, PageId(1), Lsn::NULL, ins(0, 1)).unwrap();
+        let before_forces = log.stats().forces;
+        let commit_lsn = mgr.commit(tx).unwrap();
+        assert_eq!(log.stats().forces, before_forces + 1);
+        assert!(log.durable_lsn() > commit_lsn, "commit record durable");
+    }
+
+    #[test]
+    fn system_commit_does_not_force() {
+        let log = LogManager::for_testing();
+        let mgr = TxnManager::new(log.clone());
+        let tx = mgr.begin(TxKind::System);
+        mgr.log_update(tx, PageId(1), Lsn::NULL, ins(0, 1)).unwrap();
+        let before = log.stats().forces;
+        let commit_lsn = mgr.commit(tx).unwrap();
+        assert_eq!(log.stats().forces, before, "system commit must not force");
+        assert!(log.durable_lsn() <= commit_lsn, "commit record still volatile");
+        // A later force (e.g. a dependent user commit) carries it out.
+        log.force();
+        assert!(log.durable_lsn() > commit_lsn);
+    }
+
+    #[test]
+    fn per_transaction_chain_links_updates() {
+        let log = LogManager::for_testing();
+        let mgr = TxnManager::new(log.clone());
+        let tx = mgr.begin(TxKind::User);
+        let a = mgr.log_update(tx, PageId(1), Lsn::NULL, ins(0, 1)).unwrap();
+        let b = mgr.log_update(tx, PageId(2), Lsn::NULL, ins(0, 2)).unwrap();
+        let c = mgr.log_update(tx, PageId(3), Lsn::NULL, ins(0, 3)).unwrap();
+        let rec_c = log.read_record(c).unwrap();
+        let rec_b = log.read_record(b).unwrap();
+        let rec_a = log.read_record(a).unwrap();
+        assert_eq!(rec_c.prev_tx_lsn, b);
+        assert_eq!(rec_b.prev_tx_lsn, a);
+        assert!(rec_a.prev_tx_lsn.is_valid(), "first update chains to the begin record");
+    }
+
+    #[test]
+    fn abort_applies_compensations_in_reverse() {
+        let log = LogManager::for_testing();
+        let mgr = TxnManager::new(log.clone());
+        let tx = mgr.begin(TxKind::User);
+        mgr.log_update(tx, PageId(1), Lsn::NULL, ins(0, 1)).unwrap();
+        mgr.log_update(tx, PageId(2), Lsn::NULL, ins(0, 2)).unwrap();
+        mgr.log_update(tx, PageId(1), Lsn::NULL, ins(1, 3)).unwrap();
+
+        let target = RecordingTarget::default();
+        mgr.abort(tx, &target).unwrap();
+        let applied = target.applied.into_inner();
+
+        // Compensations arrive newest-first and are the inverses.
+        assert_eq!(applied.len(), 3);
+        assert_eq!(applied[0].0, PageId(1));
+        assert!(matches!(applied[0].1, PageOp::RemoveRecord { pos: 1, .. }));
+        assert_eq!(applied[1].0, PageId(2));
+        assert!(matches!(applied[1].1, PageOp::RemoveRecord { pos: 0, .. }));
+        assert_eq!(applied[2].0, PageId(1));
+        assert!(matches!(applied[2].1, PageOp::RemoveRecord { pos: 0, .. }));
+
+        let stats = mgr.stats();
+        assert_eq!(stats.aborts, 1);
+        assert_eq!(stats.clrs_written, 3);
+        assert!(!mgr.is_active(tx));
+    }
+
+    #[test]
+    fn clrs_carry_undo_next_pointers() {
+        let log = LogManager::for_testing();
+        let mgr = TxnManager::new(log.clone());
+        let tx = mgr.begin(TxKind::User);
+        let u1 = mgr.log_update(tx, PageId(1), Lsn::NULL, ins(0, 1)).unwrap();
+        let _u2 = mgr.log_update(tx, PageId(1), Lsn::NULL, ins(1, 2)).unwrap();
+        mgr.abort(tx, &RecordingTarget::default()).unwrap();
+
+        // Find the CLRs in the log and check undo_next skips the undone record.
+        let records = log.scan_from(Lsn::NULL).unwrap();
+        let clrs: Vec<&LogRecord> = records
+            .iter()
+            .map(|(_, r)| r)
+            .filter(|r| matches!(r.payload, LogPayload::Clr { .. }))
+            .collect();
+        assert_eq!(clrs.len(), 2);
+        match &clrs[0].payload {
+            LogPayload::Clr { undo_next, .. } => assert_eq!(*undo_next, u1),
+            _ => unreachable!(),
+        }
+        match &clrs[1].payload {
+            LogPayload::Clr { undo_next, .. } => {
+                assert!(undo_next.is_valid(), "points to the begin record");
+                assert!(*undo_next < u1);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn abort_round_trips_page_contents() {
+        // Full loop: apply ops to real pages, roll back, contents restored.
+        use spf_storage::{Page, PageType, SlottedPage, DEFAULT_PAGE_SIZE};
+
+        struct MapTarget {
+            pages: Mutex<StdHashMap<PageId, Page>>,
+        }
+        impl UndoTarget for MapTarget {
+            fn page_lsn(&self, page: PageId) -> Lsn {
+                Lsn(self.pages.lock()[&page].page_lsn())
+            }
+            fn apply(&self, page: PageId, op: &PageOp, clr_lsn: Lsn) {
+                let mut pages = self.pages.lock();
+                let p = pages.get_mut(&page).unwrap();
+                op.redo(p);
+                p.set_page_lsn(clr_lsn.0);
+            }
+        }
+
+        let log = LogManager::for_testing();
+        let mgr = TxnManager::new(log.clone());
+        let target = MapTarget { pages: Mutex::new(StdHashMap::new()) };
+        target.pages.lock().insert(
+            PageId(1),
+            Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(1), PageType::BTreeLeaf),
+        );
+        {
+            let mut pages = target.pages.lock();
+            let p = pages.get_mut(&PageId(1)).unwrap();
+            let mut sp = SlottedPage::new(p);
+            sp.push(b"keep", false).unwrap();
+        }
+        let before = target.pages.lock()[&PageId(1)].clone();
+
+        let tx = mgr.begin(TxKind::User);
+        for (i, op) in [
+            ins(1, 0xAA),
+            PageOp::ReplaceRecord {
+                pos: 0,
+                old_bytes: b"keep".to_vec(),
+                new_bytes: b"kept!".to_vec(),
+            },
+            PageOp::SetGhost { pos: 0, old: false, new: true },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut pages = target.pages.lock();
+            let p = pages.get_mut(&PageId(1)).unwrap();
+            op.redo(p);
+            drop(pages);
+            mgr.log_update(tx, PageId(1), Lsn(i as u64), op).unwrap();
+        }
+        assert_ne!(target.pages.lock()[&PageId(1)].as_bytes(), before.as_bytes());
+
+        mgr.abort(tx, &target).unwrap();
+
+        // Logical contents restored; PageLSN advanced by the CLRs.
+        let mut after = target.pages.lock().remove(&PageId(1)).unwrap();
+        assert!(after.page_lsn() > 0, "CLRs must advance the PageLSN");
+        let sp = SlottedPage::new(&mut after);
+        let got: Vec<(Vec<u8>, bool)> = sp.iter().map(|(_, r, g)| (r.to_vec(), g)).collect();
+        assert_eq!(got, vec![(b"keep".to_vec(), false)]);
+    }
+
+    #[test]
+    fn active_table_tracks_begin_and_end() {
+        let log = LogManager::for_testing();
+        let mgr = TxnManager::new(log);
+        let a = mgr.begin(TxKind::User);
+        let b = mgr.begin(TxKind::System);
+        assert_eq!(mgr.active_count(), 2);
+        let actives = mgr.active_txns();
+        assert_eq!(actives.len(), 2);
+        assert_eq!(actives[0].0, a);
+        mgr.commit(a).unwrap();
+        mgr.commit(b).unwrap();
+        assert_eq!(mgr.active_count(), 0);
+        assert_eq!(mgr.commit(a), Err(TxError::NotActive(a)));
+    }
+
+    #[test]
+    fn reset_after_crash_clears_and_advances_ids() {
+        let log = LogManager::for_testing();
+        let mgr = TxnManager::new(log);
+        let t1 = mgr.begin(TxKind::User);
+        mgr.reset_after_crash(t1.0 + 10);
+        assert_eq!(mgr.active_count(), 0);
+        let t2 = mgr.begin(TxKind::User);
+        assert!(t2.0 > t1.0 + 10, "ids must not be reused after a crash");
+    }
+}

@@ -1,0 +1,41 @@
+//! Minimal hex-dump helpers for diagnostics and examples.
+
+/// Formats up to `limit` bytes of `data` as a compact hex string, with an
+/// ellipsis when truncated.
+///
+/// ```
+/// assert_eq!(spf_util::hex::hex_preview(&[0xDE, 0xAD, 0xBE, 0xEF], 8), "deadbeef");
+/// assert_eq!(spf_util::hex::hex_preview(&[0u8; 16], 4), "00000000…(16 bytes)");
+/// ```
+#[must_use]
+pub fn hex_preview(data: &[u8], limit: usize) -> String {
+    let shown = &data[..data.len().min(limit)];
+    let mut out = String::with_capacity(shown.len() * 2 + 16);
+    for b in shown {
+        out.push_str(&format!("{b:02x}"));
+    }
+    if data.len() > limit {
+        out.push_str(&format!("…({} bytes)", data.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::hex_preview;
+
+    #[test]
+    fn empty() {
+        assert_eq!(hex_preview(&[], 8), "");
+    }
+
+    #[test]
+    fn exact_limit_is_not_truncated() {
+        assert_eq!(hex_preview(&[1, 2], 2), "0102");
+    }
+
+    #[test]
+    fn truncation_notes_total_length() {
+        assert_eq!(hex_preview(&[0xFF; 5], 2), "ffff…(5 bytes)");
+    }
+}

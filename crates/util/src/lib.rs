@@ -1,0 +1,30 @@
+//! # spf-util
+//!
+//! Shared low-level utilities for the `spf` workspace, the reproduction of
+//! Graefe & Kuno, *"Definition, Detection, and Recovery of Single-Page
+//! Failures"* (VLDB 2012).
+//!
+//! This crate deliberately has no dependencies. It provides:
+//!
+//! * [`crc`] — a software, table-driven CRC-32C (Castagnoli) used as the
+//!   in-page checksum that drives single-page failure *detection*;
+//! * [`codec`] — little-endian binary encoding helpers used by the page
+//!   format and the log record format (the workspace hand-rolls its
+//!   serialization, as a storage engine would);
+//! * [`sim`] — a deterministic simulated clock and I/O cost model used to
+//!   reproduce the paper's Section 6 performance arithmetic (e.g. "restoring
+//!   a backup with 100 GB of data at 100 MB/s requires 1,000 s") without
+//!   real hardware;
+//! * [`hex`] — tiny hex-dump helpers used by diagnostics and examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod crc;
+pub mod hex;
+pub mod sim;
+
+pub use codec::{Decoder, Encoder};
+pub use crc::crc32c;
+pub use sim::{IoCostModel, IoKind, SimClock, SimDuration};

@@ -1,0 +1,611 @@
+//! The log manager: append, force, and the read paths recovery needs.
+//!
+//! The log is a single virtual byte sequence. [`LogManager::append`]
+//! serializes a record into the volatile log buffer and returns its LSN
+//! (byte offset); [`LogManager::force`] makes everything appended so far
+//! durable. A simulated crash ([`LogManager::crash`]) discards the
+//! unforced tail — exactly the paper's model where a system transaction's
+//! unforced commit record can be lost without data loss (Section 5.1.5).
+//!
+//! Read paths serve the three consumers in the paper:
+//!
+//! * [`LogManager::read_record`] — one record by LSN, charged as a random
+//!   I/O: this is what single-page recovery's backward chain walk pays
+//!   ("dozens of I/Os in order to read the required log records",
+//!   Section 6);
+//! * [`LogManager::scan_from`] — forward sequential scan, what system
+//!   recovery's analysis/redo passes and media recovery pay;
+//! * [`LogManager::scan_backward_chain`] — the per-page chain walk,
+//!   returning records newest-first (callers push them on a LIFO stack,
+//!   Figure 10).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use spf_storage::PageId;
+use spf_util::{IoCostModel, IoKind, SimClock};
+
+use crate::record::{LogPayload, LogRecord, Lsn, TxId};
+
+/// Errors from log reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogError {
+    /// The LSN does not address a durable record.
+    OutOfBounds {
+        /// The offending LSN.
+        lsn: Lsn,
+        /// One past the last durable byte.
+        durable_end: Lsn,
+    },
+    /// The record at this LSN failed its checksum or could not be parsed.
+    ///
+    /// By the paper's stable-storage assumption this never happens to a
+    /// correctly-written log; it indicates a bug or an unsupported failure.
+    Corrupt {
+        /// The offending LSN.
+        lsn: Lsn,
+        /// Parser diagnostics.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::OutOfBounds { lsn, durable_end } => {
+                write!(f, "{lsn} out of bounds (durable log ends at {durable_end})")
+            }
+            LogError::Corrupt { lsn, detail } => write!(f, "corrupt log record at {lsn}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+/// Counters the experiment harness reads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LogStats {
+    /// Records appended.
+    pub records_appended: u64,
+    /// Bytes appended.
+    pub bytes_appended: u64,
+    /// Explicit force (flush) calls that had bytes to flush.
+    pub forces: u64,
+    /// Records read through the random-access path.
+    pub random_record_reads: u64,
+    /// Bytes scanned through the sequential path.
+    pub bytes_scanned: u64,
+    /// Appends broken down by payload kind, keyed by
+    /// [`LogPayload::kind_name`] order — see [`LogStats::KIND_NAMES`].
+    pub appends_by_kind: [u64; 11],
+}
+
+impl LogStats {
+    /// Names corresponding to the `appends_by_kind` slots.
+    pub const KIND_NAMES: [&'static str; 11] = [
+        "tx-begin",
+        "tx-commit",
+        "tx-abort",
+        "update",
+        "clr",
+        "page-format",
+        "full-page-image",
+        "pri-update",
+        "backup-taken",
+        "checkpoint-begin",
+        "checkpoint-end",
+    ];
+
+    /// Count of appended records of the given payload kind.
+    #[must_use]
+    pub fn appends_of(&self, kind_name: &str) -> u64 {
+        Self::KIND_NAMES
+            .iter()
+            .position(|&n| n == kind_name)
+            .map_or(0, |i| self.appends_by_kind[i])
+    }
+}
+
+fn kind_index(payload: &LogPayload) -> usize {
+    LogStats::KIND_NAMES
+        .iter()
+        .position(|&n| n == payload.kind_name())
+        .expect("every payload kind is in KIND_NAMES")
+}
+
+struct Inner {
+    /// Complete log bytes: `[0, durable_len)` is stable storage, the rest
+    /// is the volatile log buffer.
+    bytes: Vec<u8>,
+    durable_len: usize,
+    stats: LogStats,
+    /// LSNs of every checkpoint-begin record appended, ascending (the
+    /// newest durable one plays the role of the "master record" a real
+    /// system keeps in a known location).
+    checkpoints: Vec<Lsn>,
+}
+
+/// The write-ahead log.
+///
+/// Cheap to clone; all clones share the same log.
+#[derive(Clone)]
+pub struct LogManager {
+    inner: Arc<Mutex<Inner>>,
+    clock: Arc<SimClock>,
+    cost: IoCostModel,
+}
+
+impl std::fmt::Debug for LogManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("LogManager")
+            .field("len", &inner.bytes.len())
+            .field("durable_len", &inner.durable_len)
+            .finish()
+    }
+}
+
+impl LogManager {
+    /// Creates an empty log charging `cost` against `clock`.
+    #[must_use]
+    pub fn new(clock: Arc<SimClock>, cost: IoCostModel) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Inner {
+                // Reserve the header region so LSN 0 is never a record.
+                bytes: vec![0u8; Lsn::FIRST.0 as usize],
+                durable_len: Lsn::FIRST.0 as usize,
+                stats: LogStats::default(),
+                checkpoints: Vec::new(),
+            })),
+            clock,
+            cost,
+        }
+    }
+
+    /// Creates a log with free I/O for unit tests.
+    #[must_use]
+    pub fn for_testing() -> Self {
+        Self::new(Arc::new(SimClock::new()), IoCostModel::free())
+    }
+
+    /// The shared simulated clock.
+    #[must_use]
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// Appends `record` to the log buffer and returns its LSN.
+    ///
+    /// The record is *not* durable until [`force`](LogManager::force); the
+    /// write-ahead discipline (force before page write, force on user
+    /// commit) is the callers' responsibility, as in ARIES.
+    pub fn append(&self, record: &LogRecord) -> Lsn {
+        let encoded = record.encode();
+        let mut inner = self.inner.lock();
+        let lsn = Lsn(inner.bytes.len() as u64);
+        inner.bytes.extend_from_slice(&encoded);
+        inner.stats.records_appended += 1;
+        inner.stats.bytes_appended += encoded.len() as u64;
+        inner.stats.appends_by_kind[kind_index(&record.payload)] += 1;
+        if matches!(record.payload, LogPayload::CheckpointBegin { .. }) {
+            inner.checkpoints.push(lsn);
+        }
+        lsn
+    }
+
+    /// Forces the log buffer to stable storage. Returns the durable end
+    /// LSN. Charged as one sequential write of the flushed bytes.
+    pub fn force(&self) -> Lsn {
+        let mut inner = self.inner.lock();
+        let pending = inner.bytes.len() - inner.durable_len;
+        if pending > 0 {
+            self.clock.advance(self.cost.cost(IoKind::SequentialWrite, pending));
+            inner.durable_len = inner.bytes.len();
+            inner.stats.forces += 1;
+        }
+        Lsn(inner.durable_len as u64)
+    }
+
+    /// Forces the log **through** the record starting at `lsn` (the WAL
+    /// rule before a page write: everything up to and including the
+    /// record that set the page's PageLSN must be durable, but records
+    /// appended later — e.g. other pages' PRI updates — need not be).
+    /// No-op if that prefix is already durable.
+    pub fn force_through(&self, lsn: Lsn) -> Lsn {
+        let mut inner = self.inner.lock();
+        if !lsn.is_valid() || (lsn.0 as usize) < inner.durable_len {
+            return Lsn(inner.durable_len as u64);
+        }
+        let end = if (lsn.0 as usize) >= inner.bytes.len() {
+            // Beyond the appended log (defensive): force everything.
+            inner.bytes.len()
+        } else {
+            match LogRecord::decode(&inner.bytes[lsn.0 as usize..]) {
+                Ok((_, len)) => lsn.0 as usize + len,
+                // Not a record boundary (defensive): force everything.
+                Err(_) => inner.bytes.len(),
+            }
+        };
+        let pending = end.saturating_sub(inner.durable_len);
+        if pending > 0 {
+            self.clock.advance(self.cost.cost(IoKind::SequentialWrite, pending));
+            inner.durable_len = end;
+            inner.stats.forces += 1;
+        }
+        Lsn(inner.durable_len as u64)
+    }
+
+    /// One past the last durable byte.
+    #[must_use]
+    pub fn durable_lsn(&self) -> Lsn {
+        Lsn(self.inner.lock().durable_len as u64)
+    }
+
+    /// One past the last appended byte (durable or not).
+    #[must_use]
+    pub fn end_lsn(&self) -> Lsn {
+        Lsn(self.inner.lock().bytes.len() as u64)
+    }
+
+    /// LSN of the most recent **durable** checkpoint-begin record, i.e.
+    /// what the master record would point to after a crash.
+    #[must_use]
+    pub fn last_checkpoint(&self) -> Lsn {
+        let inner = self.inner.lock();
+        inner
+            .checkpoints
+            .iter()
+            .rev()
+            .find(|l| l.0 < inner.durable_len as u64)
+            .copied()
+            .unwrap_or(Lsn::NULL)
+    }
+
+    /// Simulates a system failure: the volatile log buffer is discarded.
+    /// Returns the durable end LSN the restarted system will see.
+    pub fn crash(&self) -> Lsn {
+        let mut inner = self.inner.lock();
+        let durable = inner.durable_len;
+        inner.bytes.truncate(durable);
+        // Checkpoint records in the lost buffer never happened.
+        inner.checkpoints.retain(|l| l.0 < durable as u64);
+        Lsn(durable as u64)
+    }
+
+    /// Reads the single record at `lsn`, charged as one random I/O (the
+    /// cost single-page recovery pays per chain hop).
+    pub fn read_record(&self, lsn: Lsn) -> Result<LogRecord, LogError> {
+        let mut inner = self.inner.lock();
+        self.read_record_locked(&mut inner, lsn, true)
+    }
+
+    fn read_record_locked(
+        &self,
+        inner: &mut Inner,
+        lsn: Lsn,
+        charge: bool,
+    ) -> Result<LogRecord, LogError> {
+        let durable_end = Lsn(inner.bytes.len() as u64);
+        if !lsn.is_valid() || lsn.0 as usize >= inner.bytes.len() || lsn < Lsn::FIRST {
+            return Err(LogError::OutOfBounds { lsn, durable_end });
+        }
+        if charge {
+            // One random log I/O; body length is bounded by a page or so,
+            // charge a nominal 4 KiB transfer.
+            self.clock.advance(self.cost.cost(IoKind::RandomRead, 4096));
+            inner.stats.random_record_reads += 1;
+        }
+        let (record, _len) = LogRecord::decode(&inner.bytes[lsn.0 as usize..])
+            .map_err(|e| LogError::Corrupt { lsn, detail: e.to_string() })?;
+        Ok(record)
+    }
+
+    /// Forward sequential scan of `(lsn, record)` pairs starting at
+    /// `start` (or the first record if `start` is null), up to the end of
+    /// the appended log. Charged as sequential transfer of the bytes
+    /// scanned.
+    pub fn scan_from(&self, start: Lsn) -> Result<Vec<(Lsn, LogRecord)>, LogError> {
+        let mut inner = self.inner.lock();
+        let mut pos = if start.is_valid() { start.0 as usize } else { Lsn::FIRST.0 as usize };
+        let end = inner.bytes.len();
+        if pos > end {
+            return Err(LogError::OutOfBounds { lsn: start, durable_end: Lsn(end as u64) });
+        }
+        let scanned = end - pos;
+        self.clock.advance(self.cost.cost(IoKind::SequentialRead, scanned));
+        inner.stats.bytes_scanned += scanned as u64;
+
+        let mut out = Vec::new();
+        while pos < end {
+            let (record, len) = LogRecord::decode(&inner.bytes[pos..]).map_err(|e| {
+                LogError::Corrupt { lsn: Lsn(pos as u64), detail: e.to_string() }
+            })?;
+            out.push((Lsn(pos as u64), record));
+            pos += len;
+        }
+        Ok(out)
+    }
+
+    /// Walks the **per-page log chain** backward from `start` until (and
+    /// excluding) a record at or below `stop`, returning `(lsn, record)`
+    /// newest-first. Each hop is charged as a random I/O.
+    ///
+    /// This is the access pattern of single-page recovery's first phase
+    /// (Figure 10): the caller then replays the returned records in
+    /// reverse, i.e. pops them off the LIFO stack this vector represents.
+    pub fn scan_backward_chain(
+        &self,
+        start: Lsn,
+        stop: Lsn,
+    ) -> Result<Vec<(Lsn, LogRecord)>, LogError> {
+        let mut inner = self.inner.lock();
+        let mut out = Vec::new();
+        let mut lsn = start;
+        while lsn.is_valid() && lsn > stop {
+            self.clock.advance(self.cost.cost(IoKind::RandomRead, 4096));
+            inner.stats.random_record_reads += 1;
+            let record = self.read_record_locked(&mut inner, lsn, false)?;
+            let prev = record.prev_page_lsn;
+            out.push((lsn, record));
+            lsn = prev;
+        }
+        Ok(out)
+    }
+
+    /// Total bytes currently held by the log (stable prefix plus buffer).
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.lock().bytes.len() as u64
+    }
+
+    /// Snapshot of the log statistics.
+    #[must_use]
+    pub fn stats(&self) -> LogStats {
+        self.inner.lock().stats
+    }
+}
+
+/// Convenience builder for records, keeping call sites terse.
+#[must_use]
+pub fn make_record(
+    tx_id: TxId,
+    prev_tx_lsn: Lsn,
+    page_id: PageId,
+    prev_page_lsn: Lsn,
+    payload: LogPayload,
+) -> LogRecord {
+    LogRecord { tx_id, prev_tx_lsn, page_id, prev_page_lsn, payload }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::PageOp;
+
+    fn update_record(tx: u64, prev_tx: Lsn, page: u64, prev_page: Lsn) -> LogRecord {
+        make_record(
+            TxId(tx),
+            prev_tx,
+            PageId(page),
+            prev_page,
+            LogPayload::Update {
+                op: PageOp::InsertRecord { pos: 0, bytes: vec![tx as u8; 8], ghost: false },
+            },
+        )
+    }
+
+    #[test]
+    fn append_returns_increasing_lsns() {
+        let log = LogManager::for_testing();
+        let a = log.append(&update_record(1, Lsn::NULL, 10, Lsn::NULL));
+        let b = log.append(&update_record(1, a, 10, a));
+        assert_eq!(a, Lsn::FIRST);
+        assert!(b > a);
+        assert_eq!(log.end_lsn().0, log.total_bytes());
+    }
+
+    #[test]
+    fn read_record_round_trips() {
+        let log = LogManager::for_testing();
+        let rec = update_record(3, Lsn::NULL, 7, Lsn::NULL);
+        let lsn = log.append(&rec);
+        log.force();
+        assert_eq!(log.read_record(lsn).unwrap(), rec);
+    }
+
+    #[test]
+    fn read_invalid_lsn_fails() {
+        let log = LogManager::for_testing();
+        assert!(matches!(log.read_record(Lsn::NULL), Err(LogError::OutOfBounds { .. })));
+        assert!(matches!(log.read_record(Lsn(4)), Err(LogError::OutOfBounds { .. })));
+        assert!(matches!(log.read_record(Lsn(10_000)), Err(LogError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn crash_discards_unforced_tail() {
+        let log = LogManager::for_testing();
+        let a = log.append(&update_record(1, Lsn::NULL, 1, Lsn::NULL));
+        log.force();
+        let b = log.append(&update_record(1, a, 1, a));
+        assert_eq!(log.end_lsn().0, log.total_bytes());
+        let durable = log.crash();
+        assert!(durable > a, "first record survived");
+        assert!(log.read_record(a).is_ok());
+        assert!(
+            matches!(log.read_record(b), Err(LogError::OutOfBounds { .. })),
+            "unforced record must be gone"
+        );
+    }
+
+    #[test]
+    fn scan_from_returns_all_records_in_order() {
+        let log = LogManager::for_testing();
+        let mut lsns = Vec::new();
+        let mut prev = Lsn::NULL;
+        for i in 0..20 {
+            let lsn = log.append(&update_record(1, prev, i % 4, Lsn::NULL));
+            lsns.push(lsn);
+            prev = lsn;
+        }
+        let scanned = log.scan_from(Lsn::NULL).unwrap();
+        assert_eq!(scanned.len(), 20);
+        assert_eq!(scanned.iter().map(|(l, _)| *l).collect::<Vec<_>>(), lsns);
+        // Scan from the middle.
+        let mid = lsns[10];
+        let scanned = log.scan_from(mid).unwrap();
+        assert_eq!(scanned.len(), 10);
+        assert_eq!(scanned[0].0, mid);
+    }
+
+    #[test]
+    fn per_page_chain_walk() {
+        let log = LogManager::for_testing();
+        // Interleave updates to pages 1 and 2; chains must separate them.
+        let mut prev_by_page = [Lsn::NULL; 3];
+        let mut chain_page1 = Vec::new();
+        for i in 0..10 {
+            let page = 1 + (i % 2) as u64;
+            let lsn = log.append(&update_record(1, Lsn::NULL, page, prev_by_page[page as usize]));
+            prev_by_page[page as usize] = lsn;
+            if page == 1 {
+                chain_page1.push(lsn);
+            }
+        }
+        let walked = log.scan_backward_chain(prev_by_page[1], Lsn::NULL).unwrap();
+        let walked_lsns: Vec<Lsn> = walked.iter().map(|(l, _)| *l).collect();
+        let mut expected = chain_page1.clone();
+        expected.reverse();
+        assert_eq!(walked_lsns, expected, "chain must visit page-1 records newest-first");
+        for (_, rec) in &walked {
+            assert_eq!(rec.page_id, PageId(1));
+        }
+    }
+
+    #[test]
+    fn chain_walk_stops_at_boundary() {
+        let log = LogManager::for_testing();
+        let mut prev = Lsn::NULL;
+        let mut lsns = Vec::new();
+        for _ in 0..6 {
+            let lsn = log.append(&update_record(1, Lsn::NULL, 4, prev));
+            lsns.push(lsn);
+            prev = lsn;
+        }
+        // Stop at the third record: only records strictly above it return.
+        let walked = log.scan_backward_chain(prev, lsns[2]).unwrap();
+        assert_eq!(walked.len(), 3);
+        assert!(walked.iter().all(|(l, _)| *l > lsns[2]));
+    }
+
+    #[test]
+    fn checkpoint_pointer_survives_force_not_crash() {
+        let log = LogManager::for_testing();
+        log.append(&update_record(1, Lsn::NULL, 1, Lsn::NULL));
+        let ckpt = log.append(&make_record(
+            TxId::NONE,
+            Lsn::NULL,
+            PageId::INVALID,
+            Lsn::NULL,
+            LogPayload::CheckpointBegin { active_txns: vec![], dirty_pages: vec![] },
+        ));
+        assert_eq!(log.last_checkpoint(), Lsn::NULL, "not durable yet");
+        log.force();
+        assert_eq!(log.last_checkpoint(), ckpt);
+        // A later, unforced checkpoint is not yet the master record, and a
+        // crash erases it entirely.
+        let _ckpt2 = log.append(&make_record(
+            TxId::NONE,
+            Lsn::NULL,
+            PageId::INVALID,
+            Lsn::NULL,
+            LogPayload::CheckpointBegin { active_txns: vec![], dirty_pages: vec![] },
+        ));
+        assert_eq!(log.last_checkpoint(), ckpt, "unforced checkpoint is not the master record");
+        log.crash();
+        assert_eq!(log.last_checkpoint(), ckpt);
+    }
+
+    #[test]
+    fn force_through_stops_at_the_record_boundary() {
+        let log = LogManager::for_testing();
+        let a = log.append(&update_record(1, Lsn::NULL, 1, Lsn::NULL));
+        let b = log.append(&update_record(1, a, 2, Lsn::NULL));
+        let c = log.append(&update_record(1, b, 3, Lsn::NULL));
+        // Force through the middle record: a and b durable, c not.
+        let durable = log.force_through(b);
+        assert_eq!(durable, c, "durable end = start of the next record");
+        assert!(log.read_record(a).is_ok());
+        assert!(log.read_record(b).is_ok());
+        log.crash();
+        assert!(
+            matches!(log.read_record(c), Err(LogError::OutOfBounds { .. })),
+            "the record past the force boundary is lost"
+        );
+    }
+
+    #[test]
+    fn force_through_is_idempotent_and_bounded() {
+        let log = LogManager::for_testing();
+        let a = log.append(&update_record(1, Lsn::NULL, 1, Lsn::NULL));
+        log.force();
+        let forces = log.stats().forces;
+        // Already durable: no new force.
+        log.force_through(a);
+        assert_eq!(log.stats().forces, forces);
+        // Null and out-of-range LSNs never panic.
+        log.force_through(Lsn::NULL);
+        log.force_through(Lsn(1 << 40));
+    }
+
+    #[test]
+    fn stats_track_kinds_and_forces() {
+        let log = LogManager::for_testing();
+        log.append(&make_record(
+            TxId(1),
+            Lsn::NULL,
+            PageId::INVALID,
+            Lsn::NULL,
+            LogPayload::TxBegin { system: false },
+        ));
+        log.append(&update_record(1, Lsn::FIRST, 2, Lsn::NULL));
+        log.append(&make_record(
+            TxId::NONE,
+            Lsn::NULL,
+            PageId(2),
+            Lsn::NULL,
+            LogPayload::PriUpdate { page_lsn: Lsn(30), backup: crate::BackupRef::None },
+        ));
+        log.force();
+        log.force(); // nothing pending: not counted
+        let stats = log.stats();
+        assert_eq!(stats.records_appended, 3);
+        assert_eq!(stats.forces, 1);
+        assert_eq!(stats.appends_of("tx-begin"), 1);
+        assert_eq!(stats.appends_of("update"), 1);
+        assert_eq!(stats.appends_of("pri-update"), 1);
+        assert_eq!(stats.appends_of("clr"), 0);
+    }
+
+    #[test]
+    fn force_charges_sequential_io() {
+        use spf_util::SimDuration;
+        let clock = Arc::new(SimClock::new());
+        let log = LogManager::new(Arc::clone(&clock), IoCostModel::disk_2012());
+        log.append(&update_record(1, Lsn::NULL, 1, Lsn::NULL));
+        let before = clock.now();
+        log.force();
+        let force_cost = clock.now() - before;
+        assert!(force_cost > SimDuration::ZERO);
+        assert!(
+            force_cost < SimDuration::from_millis(8),
+            "a force must not pay a random-access latency"
+        );
+        let before = clock.now();
+        let _ = log.read_record(Lsn::FIRST).unwrap();
+        assert!(
+            clock.now() - before >= SimDuration::from_millis(8),
+            "a recovery-time record read pays a random access"
+        );
+    }
+}

@@ -1,0 +1,915 @@
+//! Log sequence numbers, record taxonomy, and the physiological page
+//! operations they describe.
+//!
+//! Records are encoded with a fixed header carrying both chain pointers:
+//!
+//! ```text
+//! u32  body_len      (bytes after the crc field)
+//! u32  crc32c        (over the remaining header fields + payload)
+//! u64  tx_id
+//! u64  prev_tx_lsn   — per-transaction chain (Section 5.1.1)
+//! u64  page_id       — u64::MAX when the record concerns no single page
+//! u64  prev_page_lsn — per-page chain (Section 5.1.4)
+//! u8   payload tag, then payload body
+//! ```
+//!
+//! Redo is **physical** ("applies to the same data pages") and undo is
+//! expressed through [`PageOp::invert`], generating the compensation
+//! operation that a CLR carries (Section 5.1.2's redo/undo split).
+
+use std::fmt;
+
+use spf_storage::{Page, PageId, SlotId, SlottedPage};
+use spf_util::codec::{DecodeError, Decoder, Encoder};
+
+/// A log sequence number: byte offset of a record in the virtual log.
+///
+/// `Lsn::NULL` (zero) terminates both chains; the first real record sits
+/// at offset [`Lsn::FIRST`] so that zero is never a valid record address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The null LSN: "no record". Terminates log chains.
+    pub const NULL: Lsn = Lsn(0);
+    /// Address of the first record in a fresh log (after the log header).
+    pub const FIRST: Lsn = Lsn(8);
+
+    /// True if this is not [`Lsn::NULL`].
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        self != Self::NULL
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_valid() {
+            write!(f, "lsn:{}", self.0)
+        } else {
+            write!(f, "lsn:∅")
+        }
+    }
+}
+
+/// Transaction identifier. `TxId::NONE` marks records outside any
+/// transaction (e.g. checkpoints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TxId(pub u64);
+
+impl TxId {
+    /// "No transaction".
+    pub const NONE: TxId = TxId(0);
+
+    /// True if this is a real transaction id.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        self != Self::NONE
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx:{}", self.0)
+    }
+}
+
+/// Where the most recent backup of a page lives (paper Figure 7: "Page
+/// identifier or log sequence number of last page formatting or of in-log
+/// copy").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackupRef {
+    /// No backup exists (page must be recovered from its format record or
+    /// treated as a media failure).
+    None,
+    /// An explicit backup copy stored at this page of the backup store.
+    BackupPage(PageId),
+    /// A full-page image embedded in the log at this LSN.
+    LogImage(Lsn),
+    /// The page-format log record at this LSN (initial contents after
+    /// allocation — "may substitute for an explicit backup copy").
+    FormatRecord(Lsn),
+    /// A full database backup: page `p`'s image lives at backup slot
+    /// `first_slot + p`. One [`BackupRef`] (and one page-recovery-index
+    /// range entry) covers every page — the paper's compression case.
+    FullBackup {
+        /// First backup-store slot of the run.
+        first_slot: u64,
+        /// Number of pages backed up.
+        pages: u64,
+    },
+}
+
+impl BackupRef {
+    const TAG_NONE: u8 = 0;
+    const TAG_PAGE: u8 = 1;
+    const TAG_LOG: u8 = 2;
+    const TAG_FORMAT: u8 = 3;
+    const TAG_FULL: u8 = 4;
+
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            BackupRef::None => enc.put_u8(Self::TAG_NONE),
+            BackupRef::BackupPage(id) => {
+                enc.put_u8(Self::TAG_PAGE);
+                enc.put_u64(id.0);
+            }
+            BackupRef::LogImage(lsn) => {
+                enc.put_u8(Self::TAG_LOG);
+                enc.put_u64(lsn.0);
+            }
+            BackupRef::FormatRecord(lsn) => {
+                enc.put_u8(Self::TAG_FORMAT);
+                enc.put_u64(lsn.0);
+            }
+            BackupRef::FullBackup { first_slot, pages } => {
+                enc.put_u8(Self::TAG_FULL);
+                enc.put_u64(*first_slot);
+                enc.put_u64(*pages);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            Self::TAG_NONE => Ok(BackupRef::None),
+            Self::TAG_PAGE => Ok(BackupRef::BackupPage(PageId(dec.get_u64()?))),
+            Self::TAG_LOG => Ok(BackupRef::LogImage(Lsn(dec.get_u64()?))),
+            Self::TAG_FORMAT => Ok(BackupRef::FormatRecord(Lsn(dec.get_u64()?))),
+            Self::TAG_FULL => Ok(BackupRef::FullBackup {
+                first_slot: dec.get_u64()?,
+                pages: dec.get_u64()?,
+            }),
+            tag => Err(DecodeError::InvalidTag { tag, what: "BackupRef" }),
+        }
+    }
+}
+
+/// A page image compressed by omitting the free-space gap between the
+/// slot array and the record heap ("presumably compressed", Section 5.2.1).
+///
+/// `head` holds the header plus slot directory, `tail` holds the record
+/// heap from `heap_top` to the end of the page; the gap is zero on
+/// reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedPageImage {
+    /// Page size the image reconstructs to.
+    pub page_size: u32,
+    /// Offset where the tail resumes (the page's `heap_top`).
+    pub heap_top: u32,
+    /// Bytes `[0, head.len())` of the page.
+    pub head: Vec<u8>,
+    /// Bytes `[heap_top, page_size)` of the page.
+    pub tail: Vec<u8>,
+}
+
+impl CompressedPageImage {
+    /// Captures `page`, omitting its free-space gap.
+    #[must_use]
+    pub fn capture(page: &Page) -> Self {
+        let size = page.size();
+        let slot_end =
+            spf_storage::PAGE_HEADER_SIZE + page.slot_count() as usize * 4;
+        let heap_top = page.heap_top() as usize;
+        // Guard against implausible headers on corrupted pages: fall back
+        // to a full image rather than panic.
+        let (slot_end, heap_top) = if slot_end <= heap_top && heap_top <= size {
+            (slot_end, heap_top)
+        } else {
+            (size, size)
+        };
+        Self {
+            page_size: size as u32,
+            heap_top: heap_top as u32,
+            head: page.as_bytes()[..slot_end].to_vec(),
+            tail: page.as_bytes()[heap_top..].to_vec(),
+        }
+    }
+
+    /// Reconstructs the full page image.
+    #[must_use]
+    pub fn restore(&self) -> Page {
+        let mut buf = vec![0u8; self.page_size as usize];
+        buf[..self.head.len()].copy_from_slice(&self.head);
+        let top = self.heap_top as usize;
+        buf[top..top + self.tail.len()].copy_from_slice(&self.tail);
+        Page::from_bytes(buf)
+    }
+
+    /// Encoded size in bytes (what the image costs in the log).
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        8 + self.head.len() + self.tail.len() + 10
+    }
+
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.page_size);
+        enc.put_u32(self.heap_top);
+        enc.put_len_bytes(&self.head);
+        enc.put_len_bytes(&self.tail);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let page_size = dec.get_u32()?;
+        let heap_top = dec.get_u32()?;
+        let max = 1usize << 15;
+        if page_size as usize > max || heap_top > page_size {
+            return Err(DecodeError::LengthOutOfRange { got: heap_top as usize, max });
+        }
+        let head = dec.get_len_bytes(page_size as usize)?.to_vec();
+        let tail = dec.get_len_bytes(page_size as usize)?.to_vec();
+        if head.len() > heap_top as usize || tail.len() != (page_size - heap_top) as usize {
+            return Err(DecodeError::LengthOutOfRange { got: tail.len(), max: page_size as usize });
+        }
+        Ok(Self { page_size, heap_top, head, tail })
+    }
+}
+
+/// A physiological operation on one slotted page: enough information for
+/// physical redo *and* for generating the inverse (compensation) action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageOp {
+    /// Insert a record at slot position `pos`.
+    InsertRecord {
+        /// Slot position the record is inserted at.
+        pos: u16,
+        /// Record bytes.
+        bytes: Vec<u8>,
+        /// Ghost flag of the new record.
+        ghost: bool,
+    },
+    /// Physically remove the record at `pos` (system-transaction work,
+    /// e.g. ghost reclamation).
+    RemoveRecord {
+        /// Slot position removed.
+        pos: u16,
+        /// Removed record bytes (for undo).
+        old_bytes: Vec<u8>,
+        /// Removed record's ghost flag (for undo).
+        old_ghost: bool,
+    },
+    /// Replace the record at `pos`.
+    ReplaceRecord {
+        /// Slot position replaced.
+        pos: u16,
+        /// Previous bytes (for undo).
+        old_bytes: Vec<u8>,
+        /// New bytes (for redo).
+        new_bytes: Vec<u8>,
+    },
+    /// Toggle the ghost bit at `pos` (logical delete / re-insert).
+    SetGhost {
+        /// Slot position affected.
+        pos: u16,
+        /// Previous ghost flag.
+        old: bool,
+        /// New ghost flag.
+        new: bool,
+    },
+    /// Overwrite the 32-byte structure area (fence metadata, foster
+    /// pointer, tree level…).
+    WriteStructure {
+        /// Previous structure area contents.
+        old: Vec<u8>,
+        /// New structure area contents.
+        new: Vec<u8>,
+    },
+    /// Insert a run of records starting at `pos` (node splits install the
+    /// moved half with one log record).
+    InsertRange {
+        /// First slot position of the run.
+        pos: u16,
+        /// The records, in slot order: `(bytes, ghost)`.
+        records: Vec<(Vec<u8>, bool)>,
+    },
+    /// Remove the run of records `[pos, pos + records.len())` (the moved
+    /// half leaving the split node).
+    RemoveRange {
+        /// First slot position of the run.
+        pos: u16,
+        /// The removed records, in slot order (for undo).
+        records: Vec<(Vec<u8>, bool)>,
+    },
+}
+
+impl PageOp {
+    /// Applies the redo action to `page`. Redo is physical: it assumes
+    /// the page is in the state the operation was originally applied to
+    /// (enforced by PageLSN comparison in the recovery drivers).
+    pub fn redo(&self, page: &mut Page) {
+        match self {
+            PageOp::InsertRecord { pos, bytes, ghost } => {
+                let mut sp = SlottedPage::new(page);
+                sp.insert_at(*pos, bytes, *ghost)
+                    .expect("redo insert must fit: page was in pre-op state");
+            }
+            PageOp::RemoveRecord { pos, .. } => {
+                let mut sp = SlottedPage::new(page);
+                sp.remove(SlotId(*pos));
+            }
+            PageOp::ReplaceRecord { pos, new_bytes, .. } => {
+                let mut sp = SlottedPage::new(page);
+                sp.update(SlotId(*pos), new_bytes)
+                    .expect("redo replace must fit: page was in pre-op state");
+            }
+            PageOp::SetGhost { pos, new, .. } => {
+                let mut sp = SlottedPage::new(page);
+                sp.set_ghost(SlotId(*pos), *new);
+            }
+            PageOp::WriteStructure { new, .. } => {
+                page.structure_area_mut().copy_from_slice(new);
+            }
+            PageOp::InsertRange { pos, records } => {
+                let mut sp = SlottedPage::new(page);
+                for (i, (bytes, ghost)) in records.iter().enumerate() {
+                    sp.insert_at(*pos + i as u16, bytes, *ghost)
+                        .expect("redo insert-range must fit: page was in pre-op state");
+                }
+            }
+            PageOp::RemoveRange { pos, records } => {
+                let mut sp = SlottedPage::new(page);
+                for _ in 0..records.len() {
+                    sp.remove(SlotId(*pos));
+                }
+            }
+        }
+    }
+
+    /// The inverse operation, i.e. what a CLR applies during rollback.
+    #[must_use]
+    pub fn invert(&self) -> PageOp {
+        match self {
+            PageOp::InsertRecord { pos, bytes, ghost } => PageOp::RemoveRecord {
+                pos: *pos,
+                old_bytes: bytes.clone(),
+                old_ghost: *ghost,
+            },
+            PageOp::RemoveRecord { pos, old_bytes, old_ghost } => PageOp::InsertRecord {
+                pos: *pos,
+                bytes: old_bytes.clone(),
+                ghost: *old_ghost,
+            },
+            PageOp::ReplaceRecord { pos, old_bytes, new_bytes } => PageOp::ReplaceRecord {
+                pos: *pos,
+                old_bytes: new_bytes.clone(),
+                new_bytes: old_bytes.clone(),
+            },
+            PageOp::SetGhost { pos, old, new } => {
+                PageOp::SetGhost { pos: *pos, old: *new, new: *old }
+            }
+            PageOp::WriteStructure { old, new } => {
+                PageOp::WriteStructure { old: new.clone(), new: old.clone() }
+            }
+            PageOp::InsertRange { pos, records } => {
+                PageOp::RemoveRange { pos: *pos, records: records.clone() }
+            }
+            PageOp::RemoveRange { pos, records } => {
+                PageOp::InsertRange { pos: *pos, records: records.clone() }
+            }
+        }
+    }
+
+    const TAG_INSERT: u8 = 0;
+    const TAG_REMOVE: u8 = 1;
+    const TAG_REPLACE: u8 = 2;
+    const TAG_GHOST: u8 = 3;
+    const TAG_STRUCTURE: u8 = 4;
+    const TAG_INSERT_RANGE: u8 = 5;
+    const TAG_REMOVE_RANGE: u8 = 6;
+
+    fn encode_range(enc: &mut Encoder, pos: u16, records: &[(Vec<u8>, bool)]) {
+        enc.put_u16(pos);
+        enc.put_varint(records.len() as u64);
+        for (bytes, ghost) in records {
+            enc.put_u8(u8::from(*ghost));
+            enc.put_len_bytes(bytes);
+        }
+    }
+
+    fn decode_range(dec: &mut Decoder<'_>) -> Result<(u16, Vec<(Vec<u8>, bool)>), DecodeError> {
+        let pos = dec.get_u16()?;
+        let n = dec.get_varint()? as usize;
+        if n > 1 << 15 {
+            return Err(DecodeError::LengthOutOfRange { got: n, max: 1 << 15 });
+        }
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ghost = dec.get_u8()? != 0;
+            let bytes = dec.get_len_bytes(1 << 15)?.to_vec();
+            records.push((bytes, ghost));
+        }
+        Ok((pos, records))
+    }
+
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            PageOp::InsertRecord { pos, bytes, ghost } => {
+                enc.put_u8(Self::TAG_INSERT);
+                enc.put_u16(*pos);
+                enc.put_u8(u8::from(*ghost));
+                enc.put_len_bytes(bytes);
+            }
+            PageOp::RemoveRecord { pos, old_bytes, old_ghost } => {
+                enc.put_u8(Self::TAG_REMOVE);
+                enc.put_u16(*pos);
+                enc.put_u8(u8::from(*old_ghost));
+                enc.put_len_bytes(old_bytes);
+            }
+            PageOp::ReplaceRecord { pos, old_bytes, new_bytes } => {
+                enc.put_u8(Self::TAG_REPLACE);
+                enc.put_u16(*pos);
+                enc.put_len_bytes(old_bytes);
+                enc.put_len_bytes(new_bytes);
+            }
+            PageOp::SetGhost { pos, old, new } => {
+                enc.put_u8(Self::TAG_GHOST);
+                enc.put_u16(*pos);
+                enc.put_u8(u8::from(*old));
+                enc.put_u8(u8::from(*new));
+            }
+            PageOp::WriteStructure { old, new } => {
+                enc.put_u8(Self::TAG_STRUCTURE);
+                enc.put_len_bytes(old);
+                enc.put_len_bytes(new);
+            }
+            PageOp::InsertRange { pos, records } => {
+                enc.put_u8(Self::TAG_INSERT_RANGE);
+                Self::encode_range(enc, *pos, records);
+            }
+            PageOp::RemoveRange { pos, records } => {
+                enc.put_u8(Self::TAG_REMOVE_RANGE);
+                Self::encode_range(enc, *pos, records);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        const MAX_REC: usize = 1 << 15;
+        match dec.get_u8()? {
+            Self::TAG_INSERT => {
+                let pos = dec.get_u16()?;
+                let ghost = dec.get_u8()? != 0;
+                let bytes = dec.get_len_bytes(MAX_REC)?.to_vec();
+                Ok(PageOp::InsertRecord { pos, bytes, ghost })
+            }
+            Self::TAG_REMOVE => {
+                let pos = dec.get_u16()?;
+                let old_ghost = dec.get_u8()? != 0;
+                let old_bytes = dec.get_len_bytes(MAX_REC)?.to_vec();
+                Ok(PageOp::RemoveRecord { pos, old_bytes, old_ghost })
+            }
+            Self::TAG_REPLACE => {
+                let pos = dec.get_u16()?;
+                let old_bytes = dec.get_len_bytes(MAX_REC)?.to_vec();
+                let new_bytes = dec.get_len_bytes(MAX_REC)?.to_vec();
+                Ok(PageOp::ReplaceRecord { pos, old_bytes, new_bytes })
+            }
+            Self::TAG_GHOST => {
+                let pos = dec.get_u16()?;
+                let old = dec.get_u8()? != 0;
+                let new = dec.get_u8()? != 0;
+                Ok(PageOp::SetGhost { pos, old, new })
+            }
+            Self::TAG_STRUCTURE => {
+                let old = dec.get_len_bytes(64)?.to_vec();
+                let new = dec.get_len_bytes(64)?.to_vec();
+                Ok(PageOp::WriteStructure { old, new })
+            }
+            Self::TAG_INSERT_RANGE => {
+                let (pos, records) = Self::decode_range(dec)?;
+                Ok(PageOp::InsertRange { pos, records })
+            }
+            Self::TAG_REMOVE_RANGE => {
+                let (pos, records) = Self::decode_range(dec)?;
+                Ok(PageOp::RemoveRange { pos, records })
+            }
+            tag => Err(DecodeError::InvalidTag { tag, what: "PageOp" }),
+        }
+    }
+}
+
+/// The body of a log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogPayload {
+    /// A transaction begins. `system` marks the paper's system
+    /// transactions (Figure 5): contents-neutral structural updates whose
+    /// commit does not force the log.
+    TxBegin {
+        /// True for a system transaction.
+        system: bool,
+    },
+    /// Transaction commit.
+    TxCommit {
+        /// True for a system transaction (commit record not forced).
+        system: bool,
+    },
+    /// Transaction end after complete rollback.
+    TxAbort,
+    /// A physiological update to one data page.
+    Update {
+        /// The operation; carries redo and undo information.
+        op: PageOp,
+    },
+    /// Compensation log record written during rollback: redo-only.
+    Clr {
+        /// The compensation operation (already inverted).
+        op: PageOp,
+        /// Next record to undo for this transaction (skips the undone one).
+        undo_next: Lsn,
+    },
+    /// Page formatted after allocation: carries the full initial contents,
+    /// so that "the log record containing formatting information for the
+    /// initial page image may substitute for an explicit backup copy"
+    /// (Section 5.2.1).
+    PageFormat {
+        /// The initial page image.
+        image: CompressedPageImage,
+    },
+    /// An explicit full-page image taken during normal processing — an
+    /// in-log backup copy.
+    FullPageImage {
+        /// The captured image.
+        image: CompressedPageImage,
+    },
+    /// The paper's new record: an update of the page recovery index,
+    /// written after a completed page write (Figure 11). Subsumes
+    /// "logging completed writes" (Sections 5.1.2, 5.2.4).
+    PriUpdate {
+        /// PageLSN the data page carried when it was written.
+        page_lsn: Lsn,
+        /// Most recent backup location for the page.
+        backup: BackupRef,
+    },
+    /// A backup copy of the page was taken (explicit copy, page move, or
+    /// in-log image); updates the PRI's backup information.
+    BackupTaken {
+        /// Where the backup lives.
+        backup: BackupRef,
+        /// PageLSN of the page at backup time.
+        page_lsn: Lsn,
+    },
+    /// Fuzzy checkpoint begin: active transactions and dirty pages.
+    CheckpointBegin {
+        /// Active transactions and their most recent log record.
+        active_txns: Vec<(TxId, Lsn)>,
+        /// Dirty pages and their recovery LSN (first dirtying record).
+        dirty_pages: Vec<(PageId, Lsn)>,
+    },
+    /// Checkpoint end.
+    CheckpointEnd,
+}
+
+impl LogPayload {
+    const TAG_TX_BEGIN: u8 = 0;
+    const TAG_TX_COMMIT: u8 = 1;
+    const TAG_TX_ABORT: u8 = 2;
+    const TAG_UPDATE: u8 = 3;
+    const TAG_CLR: u8 = 4;
+    const TAG_PAGE_FORMAT: u8 = 5;
+    const TAG_FULL_IMAGE: u8 = 6;
+    const TAG_PRI_UPDATE: u8 = 7;
+    const TAG_BACKUP_TAKEN: u8 = 8;
+    const TAG_CKPT_BEGIN: u8 = 9;
+    const TAG_CKPT_END: u8 = 10;
+
+    /// Short name for diagnostics and experiment tables.
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            LogPayload::TxBegin { .. } => "tx-begin",
+            LogPayload::TxCommit { .. } => "tx-commit",
+            LogPayload::TxAbort => "tx-abort",
+            LogPayload::Update { .. } => "update",
+            LogPayload::Clr { .. } => "clr",
+            LogPayload::PageFormat { .. } => "page-format",
+            LogPayload::FullPageImage { .. } => "full-page-image",
+            LogPayload::PriUpdate { .. } => "pri-update",
+            LogPayload::BackupTaken { .. } => "backup-taken",
+            LogPayload::CheckpointBegin { .. } => "checkpoint-begin",
+            LogPayload::CheckpointEnd => "checkpoint-end",
+        }
+    }
+
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            LogPayload::TxBegin { system } => {
+                enc.put_u8(Self::TAG_TX_BEGIN);
+                enc.put_u8(u8::from(*system));
+            }
+            LogPayload::TxCommit { system } => {
+                enc.put_u8(Self::TAG_TX_COMMIT);
+                enc.put_u8(u8::from(*system));
+            }
+            LogPayload::TxAbort => enc.put_u8(Self::TAG_TX_ABORT),
+            LogPayload::Update { op } => {
+                enc.put_u8(Self::TAG_UPDATE);
+                op.encode(enc);
+            }
+            LogPayload::Clr { op, undo_next } => {
+                enc.put_u8(Self::TAG_CLR);
+                enc.put_u64(undo_next.0);
+                op.encode(enc);
+            }
+            LogPayload::PageFormat { image } => {
+                enc.put_u8(Self::TAG_PAGE_FORMAT);
+                image.encode(enc);
+            }
+            LogPayload::FullPageImage { image } => {
+                enc.put_u8(Self::TAG_FULL_IMAGE);
+                image.encode(enc);
+            }
+            LogPayload::PriUpdate { page_lsn, backup } => {
+                enc.put_u8(Self::TAG_PRI_UPDATE);
+                enc.put_u64(page_lsn.0);
+                backup.encode(enc);
+            }
+            LogPayload::BackupTaken { backup, page_lsn } => {
+                enc.put_u8(Self::TAG_BACKUP_TAKEN);
+                enc.put_u64(page_lsn.0);
+                backup.encode(enc);
+            }
+            LogPayload::CheckpointBegin { active_txns, dirty_pages } => {
+                enc.put_u8(Self::TAG_CKPT_BEGIN);
+                enc.put_varint(active_txns.len() as u64);
+                for (tx, lsn) in active_txns {
+                    enc.put_u64(tx.0);
+                    enc.put_u64(lsn.0);
+                }
+                enc.put_varint(dirty_pages.len() as u64);
+                for (page, lsn) in dirty_pages {
+                    enc.put_u64(page.0);
+                    enc.put_u64(lsn.0);
+                }
+            }
+            LogPayload::CheckpointEnd => enc.put_u8(Self::TAG_CKPT_END),
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.get_u8()? {
+            Self::TAG_TX_BEGIN => Ok(LogPayload::TxBegin { system: dec.get_u8()? != 0 }),
+            Self::TAG_TX_COMMIT => Ok(LogPayload::TxCommit { system: dec.get_u8()? != 0 }),
+            Self::TAG_TX_ABORT => Ok(LogPayload::TxAbort),
+            Self::TAG_UPDATE => Ok(LogPayload::Update { op: PageOp::decode(dec)? }),
+            Self::TAG_CLR => {
+                let undo_next = Lsn(dec.get_u64()?);
+                let op = PageOp::decode(dec)?;
+                Ok(LogPayload::Clr { op, undo_next })
+            }
+            Self::TAG_PAGE_FORMAT => {
+                Ok(LogPayload::PageFormat { image: CompressedPageImage::decode(dec)? })
+            }
+            Self::TAG_FULL_IMAGE => {
+                Ok(LogPayload::FullPageImage { image: CompressedPageImage::decode(dec)? })
+            }
+            Self::TAG_PRI_UPDATE => {
+                let page_lsn = Lsn(dec.get_u64()?);
+                let backup = BackupRef::decode(dec)?;
+                Ok(LogPayload::PriUpdate { page_lsn, backup })
+            }
+            Self::TAG_BACKUP_TAKEN => {
+                let page_lsn = Lsn(dec.get_u64()?);
+                let backup = BackupRef::decode(dec)?;
+                Ok(LogPayload::BackupTaken { backup, page_lsn })
+            }
+            Self::TAG_CKPT_BEGIN => {
+                let n_tx = dec.get_varint()? as usize;
+                if n_tx > 1 << 20 {
+                    return Err(DecodeError::LengthOutOfRange { got: n_tx, max: 1 << 20 });
+                }
+                let mut active_txns = Vec::with_capacity(n_tx);
+                for _ in 0..n_tx {
+                    active_txns.push((TxId(dec.get_u64()?), Lsn(dec.get_u64()?)));
+                }
+                let n_dp = dec.get_varint()? as usize;
+                if n_dp > 1 << 24 {
+                    return Err(DecodeError::LengthOutOfRange { got: n_dp, max: 1 << 24 });
+                }
+                let mut dirty_pages = Vec::with_capacity(n_dp);
+                for _ in 0..n_dp {
+                    dirty_pages.push((PageId(dec.get_u64()?), Lsn(dec.get_u64()?)));
+                }
+                Ok(LogPayload::CheckpointBegin { active_txns, dirty_pages })
+            }
+            Self::TAG_CKPT_END => Ok(LogPayload::CheckpointEnd),
+            tag => Err(DecodeError::InvalidTag { tag, what: "LogPayload" }),
+        }
+    }
+}
+
+/// A complete log record: header plus payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Owning transaction, or [`TxId::NONE`].
+    pub tx_id: TxId,
+    /// Per-transaction chain: the transaction's previous record.
+    pub prev_tx_lsn: Lsn,
+    /// The page this record concerns, or [`PageId::INVALID`].
+    pub page_id: PageId,
+    /// Per-page chain: the page's previous record (its PageLSN before
+    /// this update was applied).
+    pub prev_page_lsn: Lsn,
+    /// The record body.
+    pub payload: LogPayload,
+}
+
+impl LogRecord {
+    /// Encodes the record, including length prefix and checksum.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Encoder::with_capacity(64);
+        body.put_u64(self.tx_id.0);
+        body.put_u64(self.prev_tx_lsn.0);
+        body.put_u64(self.page_id.0);
+        body.put_u64(self.prev_page_lsn.0);
+        self.payload.encode(&mut body);
+        let body = body.finish();
+
+        let mut out = Encoder::with_capacity(body.len() + 8);
+        out.put_u32(body.len() as u32);
+        out.put_u32(spf_util::crc32c(&body));
+        out.put_bytes(&body);
+        out.finish()
+    }
+
+    /// Decodes one record from the start of `buf`, verifying its checksum.
+    /// Returns the record and its total encoded length.
+    pub fn decode(buf: &[u8]) -> Result<(LogRecord, usize), DecodeError> {
+        let mut dec = Decoder::new(buf);
+        let body_len = dec.get_u32()? as usize;
+        let crc = dec.get_u32()?;
+        let body = dec.get_bytes(body_len)?;
+        if spf_util::crc32c(body) != crc {
+            return Err(DecodeError::InvalidTag { tag: 0, what: "LogRecord checksum" });
+        }
+        let mut body_dec = Decoder::new(body);
+        let tx_id = TxId(body_dec.get_u64()?);
+        let prev_tx_lsn = Lsn(body_dec.get_u64()?);
+        let page_id = PageId(body_dec.get_u64()?);
+        let prev_page_lsn = Lsn(body_dec.get_u64()?);
+        let payload = LogPayload::decode(&mut body_dec)?;
+        Ok((
+            LogRecord { tx_id, prev_tx_lsn, page_id, prev_page_lsn, payload },
+            8 + body_len,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_storage::{PageType, DEFAULT_PAGE_SIZE};
+
+    fn round_trip(rec: &LogRecord) {
+        let bytes = rec.encode();
+        let (decoded, len) = LogRecord::decode(&bytes).expect("decode");
+        assert_eq!(&decoded, rec);
+        assert_eq!(len, bytes.len());
+    }
+
+    #[test]
+    fn record_round_trips_all_payloads() {
+        let page = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(3), PageType::BTreeLeaf);
+        let image = CompressedPageImage::capture(&page);
+        let payloads = vec![
+            LogPayload::TxBegin { system: false },
+            LogPayload::TxBegin { system: true },
+            LogPayload::TxCommit { system: true },
+            LogPayload::TxAbort,
+            LogPayload::Update {
+                op: PageOp::InsertRecord { pos: 4, bytes: b"hello".to_vec(), ghost: false },
+            },
+            LogPayload::Update {
+                op: PageOp::ReplaceRecord {
+                    pos: 2,
+                    old_bytes: b"old".to_vec(),
+                    new_bytes: b"new".to_vec(),
+                },
+            },
+            LogPayload::Update { op: PageOp::SetGhost { pos: 9, old: false, new: true } },
+            LogPayload::Update {
+                op: PageOp::WriteStructure { old: vec![0; 32], new: vec![1; 32] },
+            },
+            LogPayload::Clr {
+                op: PageOp::RemoveRecord { pos: 1, old_bytes: b"x".to_vec(), old_ghost: true },
+                undo_next: Lsn(42),
+            },
+            LogPayload::PageFormat { image: image.clone() },
+            LogPayload::FullPageImage { image },
+            LogPayload::PriUpdate { page_lsn: Lsn(77), backup: BackupRef::BackupPage(PageId(5)) },
+            LogPayload::PriUpdate { page_lsn: Lsn(78), backup: BackupRef::LogImage(Lsn(12)) },
+            LogPayload::BackupTaken { backup: BackupRef::FormatRecord(Lsn(8)), page_lsn: Lsn(9) },
+            LogPayload::BackupTaken {
+                backup: BackupRef::FullBackup { first_slot: 3, pages: 1000 },
+                page_lsn: Lsn(11),
+            },
+            LogPayload::CheckpointBegin {
+                active_txns: vec![(TxId(1), Lsn(10)), (TxId(2), Lsn(20))],
+                dirty_pages: vec![(PageId(3), Lsn(5))],
+            },
+            LogPayload::CheckpointEnd,
+        ];
+        for payload in payloads {
+            round_trip(&LogRecord {
+                tx_id: TxId(9),
+                prev_tx_lsn: Lsn(100),
+                page_id: PageId(55),
+                prev_page_lsn: Lsn(90),
+                payload,
+            });
+        }
+    }
+
+    #[test]
+    fn corrupted_record_fails_checksum() {
+        let rec = LogRecord {
+            tx_id: TxId(1),
+            prev_tx_lsn: Lsn::NULL,
+            page_id: PageId(2),
+            prev_page_lsn: Lsn::NULL,
+            payload: LogPayload::TxBegin { system: false },
+        };
+        let mut bytes = rec.encode();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01;
+        assert!(LogRecord::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn page_op_redo_and_invert_are_inverse() {
+        let mut page = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(1), PageType::BTreeLeaf);
+        {
+            let mut sp = SlottedPage::new(&mut page);
+            sp.push(b"a", false).unwrap();
+            sp.push(b"c", false).unwrap();
+        }
+        let before = page.clone();
+
+        let ops = vec![
+            PageOp::InsertRecord { pos: 1, bytes: b"b".to_vec(), ghost: false },
+            PageOp::ReplaceRecord { pos: 0, old_bytes: b"a".to_vec(), new_bytes: b"A!".to_vec() },
+            PageOp::SetGhost { pos: 1, old: false, new: true },
+            PageOp::WriteStructure { old: vec![0; 32], new: (0..32).collect() },
+        ];
+        for op in ops {
+            let mut p = before.clone();
+            op.redo(&mut p);
+            assert_ne!(p.as_bytes(), before.as_bytes(), "op must change the page: {op:?}");
+            op.invert().redo(&mut p);
+            // Structural bytes may differ after insert+remove (heap_top moves,
+            // fragmentation) but logical contents must match.
+            let a = SlottedPage::new(&mut p);
+            let got: Vec<(Vec<u8>, bool)> =
+                a.iter().map(|(_, r, g)| (r.to_vec(), g)).collect();
+            drop(a);
+            let mut b = before.clone();
+            let bsp = SlottedPage::new(&mut b);
+            let want: Vec<(Vec<u8>, bool)> =
+                bsp.iter().map(|(_, r, g)| (r.to_vec(), g)).collect();
+            assert_eq!(got, want, "invert must restore logical contents: {op:?}");
+            assert_eq!(p.structure_area(), before.structure_area());
+        }
+    }
+
+    #[test]
+    fn compressed_image_round_trip_and_compression() {
+        let mut page = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(44), PageType::BTreeLeaf);
+        page.set_page_lsn(123);
+        {
+            let mut sp = SlottedPage::new(&mut page);
+            for i in 0..20 {
+                sp.push(format!("row-{i:03}").as_bytes(), false).unwrap();
+            }
+        }
+        page.finalize_checksum();
+        let image = CompressedPageImage::capture(&page);
+        assert!(
+            image.encoded_len() < DEFAULT_PAGE_SIZE / 4,
+            "mostly-empty page must compress well, got {}",
+            image.encoded_len()
+        );
+        let restored = image.restore();
+        assert_eq!(restored.as_bytes(), page.as_bytes(), "restore must be byte-exact");
+    }
+
+    #[test]
+    fn compressed_image_of_full_page() {
+        let mut page = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(44), PageType::BTreeLeaf);
+        {
+            let mut sp = SlottedPage::new(&mut page);
+            while sp.push(&[0xCD; 64], false).is_ok() {}
+        }
+        page.finalize_checksum();
+        let image = CompressedPageImage::capture(&page);
+        assert_eq!(image.restore().as_bytes(), page.as_bytes());
+    }
+
+    #[test]
+    fn payload_kind_names_are_stable() {
+        assert_eq!(LogPayload::TxAbort.kind_name(), "tx-abort");
+        assert_eq!(
+            LogPayload::PriUpdate { page_lsn: Lsn(1), backup: BackupRef::None }.kind_name(),
+            "pri-update"
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! # spf-workload
+//!
+//! Deterministic key/value workload generators for the experiments:
+//! uniform and Zipfian key selection, configurable value sizes, and
+//! operation mixes. Everything is seeded, so every experiment run is
+//! reproducible bit for bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How keys are drawn from the key space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with the given exponent (typically 0.99, YCSB-style):
+    /// a small set of hot keys absorbs most operations — the access
+    /// pattern under which per-page update counters grow fastest and the
+    /// backup-every-N policy matters most.
+    Zipfian {
+        /// The skew exponent (larger = more skewed).
+        theta: f64,
+    },
+}
+
+/// An operation emitted by the generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Insert or update `key → value`.
+    Put {
+        /// Encoded key.
+        key: Vec<u8>,
+        /// Value payload.
+        value: Vec<u8>,
+    },
+    /// Look up `key`.
+    Get {
+        /// Encoded key.
+        key: Vec<u8>,
+    },
+    /// Delete `key`.
+    Delete {
+        /// Encoded key.
+        key: Vec<u8>,
+    },
+}
+
+/// Fractions of each operation kind; must sum to ≤ 1.0 (the remainder
+/// becomes `Get`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// Fraction of puts.
+    pub put: f64,
+    /// Fraction of deletes.
+    pub delete: f64,
+}
+
+impl OpMix {
+    /// An update-heavy mix (50% puts), the paper-relevant stressor.
+    #[must_use]
+    pub const fn update_heavy() -> Self {
+        Self { put: 0.5, delete: 0.05 }
+    }
+
+    /// A read-mostly mix (5% puts).
+    #[must_use]
+    pub const fn read_mostly() -> Self {
+        Self { put: 0.05, delete: 0.0 }
+    }
+}
+
+/// Deterministic workload generator.
+#[derive(Debug)]
+pub struct Workload {
+    rng: StdRng,
+    key_space: u64,
+    distribution: KeyDistribution,
+    mix: OpMix,
+    value_len: usize,
+    zipf_table: Option<ZipfSampler>,
+    counter: u64,
+}
+
+impl Workload {
+    /// Creates a generator over `key_space` keys.
+    #[must_use]
+    pub fn new(
+        seed: u64,
+        key_space: u64,
+        distribution: KeyDistribution,
+        mix: OpMix,
+        value_len: usize,
+    ) -> Self {
+        assert!(key_space > 0);
+        let zipf_table = match distribution {
+            KeyDistribution::Zipfian { theta } => Some(ZipfSampler::new(key_space, theta)),
+            KeyDistribution::Uniform => None,
+        };
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            key_space,
+            distribution,
+            mix,
+            value_len,
+            zipf_table,
+            counter: 0,
+        }
+    }
+
+    /// Encodes key index `i` as a fixed-width sortable byte string.
+    #[must_use]
+    pub fn encode_key(i: u64) -> Vec<u8> {
+        format!("user{i:012}").into_bytes()
+    }
+
+    /// Draws the next key index.
+    pub fn next_key_index(&mut self) -> u64 {
+        match self.distribution {
+            KeyDistribution::Uniform => self.rng.gen_range(0..self.key_space),
+            KeyDistribution::Zipfian { .. } => {
+                self.zipf_table.as_mut().expect("sampler built").sample(&mut self.rng)
+            }
+        }
+    }
+
+    /// Generates a value payload (deterministic content, fixed length).
+    pub fn next_value(&mut self) -> Vec<u8> {
+        self.counter += 1;
+        let mut v = format!("v{:08x}-", self.counter).into_bytes();
+        while v.len() < self.value_len {
+            v.push(b'a' + (v.len() % 26) as u8);
+        }
+        v.truncate(self.value_len);
+        v
+    }
+
+    /// Generates the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let key = Self::encode_key(self.next_key_index());
+        let roll: f64 = self.rng.gen();
+        if roll < self.mix.put {
+            let value = self.next_value();
+            Op::Put { key, value }
+        } else if roll < self.mix.put + self.mix.delete {
+            Op::Delete { key }
+        } else {
+            Op::Get { key }
+        }
+    }
+
+    /// Generates `n` operations.
+    pub fn take_ops(&mut self, n: usize) -> Vec<Op> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+
+    /// Keys `[0, n)` in order, with values — for bulk loading.
+    pub fn load_phase(&mut self, n: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (0..n).map(|i| (Self::encode_key(i), self.next_value())).collect()
+    }
+}
+
+/// Zipfian sampler using the Gray et al. rejection-free method
+/// (precomputed zeta constants), as in YCSB.
+#[derive(Debug)]
+struct ZipfSampler {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl ZipfSampler {
+    fn new(n: u64, theta: f64) -> Self {
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self { n, theta, alpha, zetan, eta, zeta2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum; key spaces in this workspace are ≤ a few million.
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    fn sample(&mut self, rng: &mut StdRng) -> u64 {
+        let _ = self.zeta2;
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let idx = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        idx.min(self.n - 1)
+    }
+}
+
+impl Distribution<u64> for ZipfSampler {
+    fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> u64 {
+        unimplemented!("use the inherent sample method")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Workload::new(7, 1000, KeyDistribution::Uniform, OpMix::update_heavy(), 64);
+        let mut b = Workload::new(7, 1000, KeyDistribution::Uniform, OpMix::update_heavy(), 64);
+        assert_eq!(a.take_ops(100), b.take_ops(100));
+        let mut c = Workload::new(8, 1000, KeyDistribution::Uniform, OpMix::update_heavy(), 64);
+        assert_ne!(a.take_ops(100), c.take_ops(100));
+    }
+
+    #[test]
+    fn keys_are_sortable_and_in_space() {
+        let mut w = Workload::new(1, 100, KeyDistribution::Uniform, OpMix::read_mostly(), 16);
+        for _ in 0..1000 {
+            let i = w.next_key_index();
+            assert!(i < 100);
+        }
+        assert!(Workload::encode_key(1) < Workload::encode_key(2));
+        assert!(Workload::encode_key(99) < Workload::encode_key(100));
+        assert!(Workload::encode_key(999_999_999_999) > Workload::encode_key(1));
+    }
+
+    #[test]
+    fn values_have_requested_length() {
+        let mut w = Workload::new(1, 10, KeyDistribution::Uniform, OpMix::update_heavy(), 100);
+        for _ in 0..10 {
+            assert_eq!(w.next_value().len(), 100);
+        }
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let mut w = Workload::new(
+            42,
+            10_000,
+            KeyDistribution::Zipfian { theta: 0.99 },
+            OpMix::read_mostly(),
+            16,
+        );
+        let mut counts = vec![0u64; 10_000];
+        for _ in 0..100_000 {
+            counts[w.next_key_index() as usize] += 1;
+        }
+        let hot: u64 = counts.iter().take(100).sum();
+        // With theta 0.99, the hottest 1% of keys should absorb far more
+        // than 1% of accesses.
+        assert!(hot > 30_000, "zipfian skew too weak: hot-100 got {hot}");
+        let mut uniform = Workload::new(
+            42,
+            10_000,
+            KeyDistribution::Uniform,
+            OpMix::read_mostly(),
+            16,
+        );
+        let mut ucounts = vec![0u64; 10_000];
+        for _ in 0..100_000 {
+            ucounts[uniform.next_key_index() as usize] += 1;
+        }
+        let uhot: u64 = ucounts.iter().take(100).sum();
+        assert!(uhot < 3_000, "uniform must not be skewed: {uhot}");
+    }
+
+    #[test]
+    fn op_mix_fractions_roughly_hold() {
+        let mut w = Workload::new(
+            3,
+            1000,
+            KeyDistribution::Uniform,
+            OpMix { put: 0.3, delete: 0.1 },
+            16,
+        );
+        let ops = w.take_ops(10_000);
+        let puts = ops.iter().filter(|o| matches!(o, Op::Put { .. })).count();
+        let dels = ops.iter().filter(|o| matches!(o, Op::Delete { .. })).count();
+        assert!((2500..3500).contains(&puts), "puts {puts}");
+        assert!((700..1300).contains(&dels), "deletes {dels}");
+    }
+
+    #[test]
+    fn load_phase_is_dense_and_ordered() {
+        let mut w = Workload::new(1, 10, KeyDistribution::Uniform, OpMix::read_mostly(), 8);
+        let load = w.load_phase(10);
+        assert_eq!(load.len(), 10);
+        assert!(load.windows(2).all(|p| p[0].0 < p[1].0));
+    }
+}
