@@ -3,14 +3,17 @@
 //! full-tree check.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use spf_bench::{engine, key, load};
 use spf::VerifyMode;
+use spf_bench::{engine, key, load};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("btree_verify");
     group.sample_size(20);
 
-    for (label, mode) in [("continuous", VerifyMode::Continuous), ("off", VerifyMode::Off)] {
+    for (label, mode) in [
+        ("continuous", VerifyMode::Continuous),
+        ("off", VerifyMode::Off),
+    ] {
         let db = engine(|cfg| {
             cfg.data_pages = 8192;
             cfg.pool_frames = 4096;

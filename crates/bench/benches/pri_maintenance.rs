@@ -28,7 +28,10 @@ fn bench(c: &mut Criterion) {
     compressed.set_backup_range(
         PageId(0),
         PageId(100_000),
-        BackupRef::FullBackup { first_slot: 0, pages: 100_000 },
+        BackupRef::FullBackup {
+            first_slot: 0,
+            pages: 100_000,
+        },
         Lsn(1),
     );
     group.bench_function("lookup_single_range", |b| {
@@ -44,7 +47,10 @@ fn bench(c: &mut Criterion) {
         pri.set_backup_range(
             PageId(0),
             PageId(1_000_000),
-            BackupRef::FullBackup { first_slot: 0, pages: 1_000_000 },
+            BackupRef::FullBackup {
+                first_slot: 0,
+                pages: 1_000_000,
+            },
             Lsn(1),
         );
         let mut i = 0u64;

@@ -12,7 +12,11 @@ fn update_record(page: u64, prev_page: Lsn) -> LogRecord {
         page_id: PageId(page),
         prev_page_lsn: prev_page,
         payload: LogPayload::Update {
-            op: PageOp::InsertRecord { pos: 0, bytes: vec![7u8; 64], ghost: false },
+            op: PageOp::InsertRecord {
+                pos: 0,
+                bytes: vec![7u8; 64],
+                ghost: false,
+            },
         },
     }
 }

@@ -10,10 +10,9 @@
 //! Experiment ids and their paper sources are indexed in DESIGN.md §4 and
 //! results recorded in EXPERIMENTS.md.
 
-
 use spf::{
-    BackupPolicy, CorruptionMode, DatabaseConfig, DbError, FaultSpec,
-    IoCostModel, PageId, VerifyMode,
+    BackupPolicy, CorruptionMode, DatabaseConfig, DbError, FaultSpec, IoCostModel, PageId,
+    VerifyMode,
 };
 use spf_bench::{engine, key, load, ratio, read_all, update_all, val, Table};
 use spf_storage::{Page, StorageDevice};
@@ -91,7 +90,10 @@ fn e1_failure_escalation() {
         load(&db, 3000);
         db.take_full_backup().unwrap();
         let victim = db.any_leaf_page().unwrap();
-        db.inject_fault(victim, FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }));
+        db.inject_fault(
+            victim,
+            FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }),
+        );
         db.drop_cache();
 
         let mut outcome = "all reads fine".to_string();
@@ -243,7 +245,11 @@ fn e2_detection_coverage() {
             }
             db.drop_cache();
 
-            let gen = if matches!(damage, Damage::StaleLeaf) { 1 } else { 0 };
+            let gen = if matches!(damage, Damage::StaleLeaf) {
+                1
+            } else {
+                0
+            };
             let mut detected = 0u64;
             let mut wrong = 0u64;
             for i in 0..3000u64 {
@@ -343,8 +349,7 @@ fn e3_logged_writes_speed_redo() {
             load(&db, 6000);
             // Flush a fraction of the dirty pages, as buffer cleaning
             // would have; the rest are lost in the crash.
-            let dirty: Vec<PageId> =
-                db.pool().dirty_pages().iter().map(|(p, _)| *p).collect();
+            let dirty: Vec<PageId> = db.pool().dirty_pages().iter().map(|(p, _)| *p).collect();
             let to_flush = dirty.len() as u64 * flush_fraction / 100;
             for p in dirty.iter().take(to_flush as usize) {
                 db.pool().flush_page(*p).unwrap();
@@ -449,8 +454,10 @@ fn e5_pri_size() {
         "fraction of DB",
     ]);
 
-    for (page_size, label) in [(8192usize, "8 KiB pages"), (16384, "16 KiB pages (paper's ratio)")]
-    {
+    for (page_size, label) in [
+        (8192usize, "8 KiB pages"),
+        (16384, "16 KiB pages (paper's ratio)"),
+    ] {
         let data_pages = 4096u64;
         let db = engine(|c| {
             c.page_size = page_size;
@@ -468,7 +475,10 @@ fn e5_pri_size() {
                 stats.entries.to_string(),
                 stats.approx_bytes.to_string(),
                 format!("{:.3}", stats.approx_bytes as f64 / data_pages as f64),
-                format!("{:.2}‰", stats.approx_bytes as f64 / db_bytes as f64 * 1000.0),
+                format!(
+                    "{:.2}‰",
+                    stats.approx_bytes as f64 / db_bytes as f64 * 1000.0
+                ),
             ]);
         };
         emit("right after full backup", db.pri().stats());
@@ -485,7 +495,10 @@ fn e5_pri_size() {
             data_pages.to_string(),
             stats.dense_bytes.to_string(),
             "16.000".into(),
-            format!("{:.2}‰", stats.dense_bytes as f64 / db_bytes as f64 * 1000.0),
+            format!(
+                "{:.2}‰",
+                stats.dense_bytes as f64 / db_bytes as f64 * 1000.0
+            ),
         ]);
     }
     table.print();
@@ -516,14 +529,23 @@ fn e6_detection_at_read() {
     let leaves = db.leaf_pages();
     assert!(leaves.len() >= 10);
     // One victim per failure mode.
-    db.inject_fault(leaves[0], FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }));
-    db.inject_fault(leaves[1], FaultSpec::SilentCorruption(CorruptionMode::ZeroPage));
+    db.inject_fault(
+        leaves[0],
+        FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }),
+    );
+    db.inject_fault(
+        leaves[1],
+        FaultSpec::SilentCorruption(CorruptionMode::ZeroPage),
+    );
     db.inject_fault(
         leaves[2],
         FaultSpec::SilentCorruption(CorruptionMode::Misdirected { instead: leaves[5] }),
     );
     db.inject_fault(leaves[3], FaultSpec::HardReadError);
-    db.inject_fault(leaves[4], FaultSpec::SilentCorruption(CorruptionMode::StaleVersion));
+    db.inject_fault(
+        leaves[4],
+        FaultSpec::SilentCorruption(CorruptionMode::StaleVersion),
+    );
     // Make the stale fault meaningful: update + flush everything.
     update_all(&db, 6000, 1);
     db.drop_cache();
@@ -625,12 +647,16 @@ fn e7_single_page_recovery_latency() {
         let _ = victim_keys;
         let tx = db.begin();
         for g in 0..updates {
-            db.put(tx, &view_key, &format!("gen-{g}").into_bytes()).unwrap();
+            db.put(tx, &view_key, &format!("gen-{g}").into_bytes())
+                .unwrap();
         }
         db.commit(tx).unwrap();
         db.pool().flush_all().unwrap();
 
-        db.inject_fault(victim, FaultSpec::SilentCorruption(CorruptionMode::ZeroPage));
+        db.inject_fault(
+            victim,
+            FaultSpec::SilentCorruption(CorruptionMode::ZeroPage),
+        );
         db.pool().discard_all();
 
         let dev_reads_0 = db.device().stats().random_reads
@@ -648,7 +674,12 @@ fn e7_single_page_recovery_latency() {
             spf.chain_records_fetched.to_string(),
             dev_reads.to_string(),
             spf.sim_time.to_string(),
-            if spf.sim_time <= SimDuration::from_secs(1) { "yes" } else { "NO" }.to_string(),
+            if spf.sim_time <= SimDuration::from_secs(1) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
     table.print();
@@ -679,9 +710,21 @@ fn e8_pri_maintenance_overhead() {
     ]);
 
     for (label, spf_on, policy) in [
-        ("traditional (no write logging)", false, BackupPolicy::disabled()),
-        ("PRI updates only (== logging completed writes)", true, BackupPolicy::disabled()),
-        ("PRI + backup every 100 updates (paper)", true, BackupPolicy::paper_default()),
+        (
+            "traditional (no write logging)",
+            false,
+            BackupPolicy::disabled(),
+        ),
+        (
+            "PRI updates only (== logging completed writes)",
+            true,
+            BackupPolicy::disabled(),
+        ),
+        (
+            "PRI + backup every 100 updates (paper)",
+            true,
+            BackupPolicy::paper_default(),
+        ),
     ] {
         let db = engine(|c| {
             c.data_pages = 4096;
@@ -699,8 +742,7 @@ fn e8_pri_maintenance_overhead() {
 
         let stats = db.stats();
         let writes = stats.pool.write_backs;
-        let pri_records =
-            stats.log.appends_of("pri-update") + stats.log.appends_of("backup-taken");
+        let pri_records = stats.log.appends_of("pri-update") + stats.log.appends_of("backup-taken");
         // Log bytes attributable: measure average encoded sizes directly.
         let pri_bytes = pri_records * 55; // header 40 + payload ≈ 15
         table.row(&[
@@ -709,7 +751,10 @@ fn e8_pri_maintenance_overhead() {
             pri_records.to_string(),
             format!("{:.2}", pri_records as f64 / writes as f64),
             format!("≈{pri_bytes}"),
-            format!("{:.2}%", pri_bytes as f64 / stats.log.bytes_appended as f64 * 100.0),
+            format!(
+                "{:.2}%",
+                pri_bytes as f64 / stats.log.bytes_appended as f64 * 100.0
+            ),
         ]);
     }
     table.print();
@@ -773,7 +818,10 @@ fn e9_lost_pri_updates() {
         "\"otherwise, create a log record for the PRI\"".into(),
     ]);
     table.print();
-    assert!(report.pri_repairs > 0, "the lost-update window must trigger repairs");
+    assert!(
+        report.pri_repairs > 0,
+        "the lost-update window must trigger repairs"
+    );
     read_all(&db, 3000);
     println!(
         "post-restart reads all correct; the repaired PRI again protects reads \
@@ -864,13 +912,19 @@ fn e10_recovery_time_by_class() {
     }
     db.commit(tx).unwrap();
     db.pool().flush_all().unwrap();
-    db.inject_fault(victim, FaultSpec::SilentCorruption(CorruptionMode::ZeroPage));
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::ZeroPage),
+    );
     db.drop_cache();
     read_all(&db, 10_000);
     let spf = db.single_page_recovery().unwrap().stats();
     table.row(&[
         "single page".into(),
-        format!("{} ({} chained records)", spf.sim_time, spf.chain_records_fetched),
+        format!(
+            "{} ({} chained records)",
+            spf.sim_time, spf.chain_records_fetched
+        ),
         "NONE — access merely delayed".into(),
         "≤ 1 s".into(),
     ]);
@@ -886,7 +940,11 @@ fn e10_recovery_time_by_class() {
     let report = db.restart().unwrap();
     table.row(&[
         "system".into(),
-        format!("{} ({} redo reads)", db.clock().now() - t0, report.redo_pages_read),
+        format!(
+            "{} ({} redo reads)",
+            db.clock().now() - t0,
+            report.redo_pages_read
+        ),
         "all uncommitted".into(),
         "about a minute (checkpoint-dependent)".into(),
     ]);
@@ -898,7 +956,11 @@ fn e10_recovery_time_by_class() {
     let (media, _) = db.media_recover().unwrap();
     table.row(&[
         "media".into(),
-        format!("{} ({} pages restored)", db.clock().now() - t0, media.pages_restored),
+        format!(
+            "{} ({} pages restored)",
+            db.clock().now() - t0,
+            media.pages_restored
+        ),
         "all touching the device".into(),
         "minutes to hours".into(),
     ]);
@@ -937,7 +999,9 @@ fn e11_backup_policy_sweep() {
             c.backup_policy = if n == 0 {
                 BackupPolicy::disabled()
             } else {
-                BackupPolicy { every_n_updates: Some(n) }
+                BackupPolicy {
+                    every_n_updates: Some(n),
+                }
             };
         });
         load(&db, 2000);
@@ -949,7 +1013,9 @@ fn e11_backup_policy_sweep() {
         let mut rng_state = 0x243F_6A88u64;
         let tx = db.begin();
         for step in 0..updates {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = rng_state >> 33;
             db.put(tx, &key(k % 2000), &val(k % 2000, step)).unwrap();
         }
@@ -967,12 +1033,20 @@ fn e11_backup_policy_sweep() {
 
         let recoveries = (after.spf.recoveries - before.spf.recoveries).max(1);
         let replayed = after.spf.chain_records_fetched - before.spf.chain_records_fetched;
-        let rec_time =
-            SimDuration::from_nanos((after.spf.sim_time - before.spf.sim_time).as_nanos() / recoveries);
+        let rec_time = SimDuration::from_nanos(
+            (after.spf.sim_time - before.spf.sim_time).as_nanos() / recoveries,
+        );
         table.row(&[
-            if n == 0 { "disabled (full backup only)".into() } else { n.to_string() },
+            if n == 0 {
+                "disabled (full backup only)".into()
+            } else {
+                n.to_string()
+            },
             after.backups.page_backups_taken.to_string(),
-            format!("{:.4}", after.backups.page_backups_taken as f64 / updates as f64),
+            format!(
+                "{:.4}",
+                after.backups.page_backups_taken as f64 / updates as f64
+            ),
             format!("{:.1}", replayed as f64 / recoveries as f64),
             rec_time.to_string(),
         ]);
@@ -1012,7 +1086,10 @@ fn e12_mirror_vs_chain() {
     let victim = db.any_leaf_page().unwrap();
 
     // (a) Per-page chain (the paper).
-    db.inject_fault(victim, FaultSpec::SilentCorruption(CorruptionMode::ZeroPage));
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::ZeroPage),
+    );
     db.pool().discard_all();
     let t0 = db.clock().now();
     read_all(&db, 6000);
@@ -1027,8 +1104,9 @@ fn e12_mirror_vs_chain() {
         .backups()
         .read_backup(PageId(first_slot.0 + victim.0), victim)
         .expect("backup image");
-    let (_page, mirror) =
-        media.mirror_style_page_repair(victim, base, horizon, IoCostModel::disk_2012()).unwrap();
+    let (_page, mirror) = media
+        .mirror_style_page_repair(victim, base, horizon, IoCostModel::disk_2012())
+        .unwrap();
 
     let mut table = Table::new(&[
         "approach",
@@ -1057,7 +1135,10 @@ fn e12_mirror_vs_chain() {
          scans ({}): the chain wins by the selectivity of one page among many.",
         spf.chain_records_fetched,
         mirror.log_records_scanned,
-        ratio(mirror.log_records_scanned as f64, spf.chain_records_fetched.max(1) as f64),
+        ratio(
+            mirror.log_records_scanned as f64,
+            spf.chain_records_fetched.max(1) as f64
+        ),
     );
     println!("shape check: whole-log replay cost scales with database activity, chain cost with one page's activity.");
 }
@@ -1116,7 +1197,11 @@ fn e13_multi_page_failures() {
         db.checkpoint().unwrap();
 
         let leaves = db.leaf_pages();
-        let count = if k == 0 { leaves.len() } else { k.min(leaves.len()) };
+        let count = if k == 0 {
+            leaves.len()
+        } else {
+            k.min(leaves.len())
+        };
         for &leaf in leaves.iter().take(count) {
             db.inject_fault(leaf, FaultSpec::SilentCorruption(CorruptionMode::ZeroPage));
         }
@@ -1125,7 +1210,11 @@ fn e13_multi_page_failures() {
         let spf = db.single_page_recovery().unwrap().stats();
         assert_eq!(spf.recoveries as usize, count, "all victims must repair");
         table.row(&[
-            if k == 0 { format!("{count} (every leaf)") } else { count.to_string() },
+            if k == 0 {
+                format!("{count} (every leaf)")
+            } else {
+                count.to_string()
+            },
             "yes".into(),
             spf.sim_time.to_string(),
             SimDuration::from_nanos(spf.sim_time.as_nanos() / count as u64).to_string(),

@@ -67,7 +67,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Adds a row (must match the header count).
@@ -94,7 +97,11 @@ impl Table {
         line(&self.headers);
         println!(
             "{}",
-            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
         );
         for row in &self.rows {
             line(row);

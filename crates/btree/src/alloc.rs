@@ -59,7 +59,11 @@ impl BumpAllocator {
     #[must_use]
     pub fn new(first: u64, capacity: u64) -> Self {
         assert!(first <= capacity);
-        Self { next: AtomicU64::new(first), capacity, state: Mutex::new(Lists::default()) }
+        Self {
+            next: AtomicU64::new(first),
+            capacity,
+            state: Mutex::new(Lists::default()),
+        }
     }
 
     /// Highest page id handed out so far (exclusive).
@@ -112,12 +116,10 @@ impl PageAllocator for BumpAllocator {
     fn note_allocated(&self, id: PageId) {
         let mut next = self.next.load(Ordering::Relaxed);
         while id.0 >= next {
-            match self.next.compare_exchange(
-                next,
-                id.0 + 1,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .next
+                .compare_exchange(next, id.0 + 1, Ordering::Relaxed, Ordering::Relaxed)
+            {
                 Ok(_) => break,
                 Err(actual) => next = actual,
             }

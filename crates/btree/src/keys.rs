@@ -33,8 +33,7 @@ impl Bound {
     /// `true` iff `key` lies in the half-open interval `[low, high)`.
     #[must_use]
     pub fn contains(low: &Bound, high: &Bound, key: &[u8]) -> bool {
-        low.cmp_key(key) != Ordering::Greater
-            && high.cmp_key(key) == Ordering::Greater
+        low.cmp_key(key) != Ordering::Greater && high.cmp_key(key) == Ordering::Greater
     }
 
     /// Compares this bound with an ordinary key.
@@ -169,8 +168,12 @@ mod tests {
 
     #[test]
     fn fence_round_trip() {
-        for b in [Bound::NegInf, Bound::PosInf, Bound::Key(b"fence".to_vec()), Bound::Key(vec![])]
-        {
+        for b in [
+            Bound::NegInf,
+            Bound::PosInf,
+            Bound::Key(b"fence".to_vec()),
+            Bound::Key(vec![]),
+        ] {
             let enc = encode_fence(&b);
             assert_eq!(decode_fence(&enc).unwrap(), b);
         }

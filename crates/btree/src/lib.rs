@@ -31,6 +31,9 @@ pub mod node;
 pub mod standard;
 pub mod tree;
 
+/// Owned `(key, value)` pairs, as returned by scans and full collects.
+pub type KvPairs = Vec<(Vec<u8>, Vec<u8>)>;
+
 pub use alloc::{BumpAllocator, PageAllocator};
 pub use error::BTreeError;
 pub use keys::Bound;

@@ -140,7 +140,10 @@ impl<'a> NodeView<'a> {
     }
 
     fn corrupt(&self, detail: impl Into<String>) -> BTreeError {
-        BTreeError::NodeCorrupt { page: self.id(), detail: detail.into() }
+        BTreeError::NodeCorrupt {
+            page: self.id(),
+            detail: detail.into(),
+        }
     }
 
     fn fence_at(&self, slot: u16) -> Result<Bound, BTreeError> {
@@ -250,7 +253,12 @@ impl<'a> NodeView<'a> {
                 } else {
                     self.branch_entry(lo - 1)?.1
                 };
-                Ok(Descent::Child { pos: lo, child, low, high: upper })
+                Ok(Descent::Child {
+                    pos: lo,
+                    child,
+                    low,
+                    high: upper,
+                })
             }
         }
     }
@@ -418,11 +426,11 @@ pub fn build_node(
     id: PageId,
     kind: NodeKind,
     level: u8,
-    low: &Bound,
-    high: &Bound,
+    fences: (&Bound, &Bound),
     payload: &[RawRecord],
     foster: Option<(PageId, &Bound)>,
 ) -> Page {
+    let (low, high) = fences;
     let ptype = match kind {
         NodeKind::Leaf => PageType::BTreeLeaf,
         NodeKind::Branch => PageType::BTreeBranch,
@@ -436,7 +444,8 @@ pub fn build_node(
             sp.push(bytes, *ghost).expect("payload fits in fresh node");
         }
         if let Some((_, sep)) = foster {
-            sp.push(&encode_fence(sep), true).expect("foster separator fits");
+            sp.push(&encode_fence(sep), true)
+                .expect("foster separator fits");
         }
         sp.push(&encode_fence(high), true).expect("high fence fits");
     }
@@ -448,7 +457,15 @@ pub fn build_node(
 /// ghost — here both are).
 #[must_use]
 pub fn build_empty_leaf(page_size: usize, id: PageId) -> Page {
-    build_node(page_size, id, NodeKind::Leaf, 0, &Bound::NegInf, &Bound::PosInf, &[], None)
+    build_node(
+        page_size,
+        id,
+        NodeKind::Leaf,
+        0,
+        (&Bound::NegInf, &Bound::PosInf),
+        &[],
+        None,
+    )
 }
 
 /// Convenience: encodes a leaf data record.
@@ -482,8 +499,7 @@ mod tests {
             PageId(9),
             NodeKind::Leaf,
             0,
-            &key("c"),
-            &key("p"),
+            (&key("c"), &key("p")),
             &payload,
             None,
         )
@@ -510,7 +526,10 @@ mod tests {
         assert_eq!(view.search_leaf(b"cow").unwrap(), (2, false));
         assert_eq!(view.search_leaf(b"zeb").unwrap(), (4, false));
         match view.route(b"fox").unwrap() {
-            Descent::Leaf { pos: 3, exact: true } => {}
+            Descent::Leaf {
+                pos: 3,
+                exact: true,
+            } => {}
             other => panic!("unexpected route {other:?}"),
         }
     }
@@ -527,8 +546,7 @@ mod tests {
             PageId(2),
             NodeKind::Branch,
             1,
-            &Bound::NegInf,
-            &Bound::PosInf,
+            (&Bound::NegInf, &Bound::PosInf),
             &payload,
             None,
         );
@@ -544,7 +562,9 @@ mod tests {
         ];
         for (k, want_child, want_low, want_high) in cases {
             match view.route(k).unwrap() {
-                Descent::Child { child, low, high, .. } => {
+                Descent::Child {
+                    child, low, high, ..
+                } => {
                     assert_eq!(child, want_child, "key {k:?}");
                     assert_eq!(low, want_low, "key {k:?}");
                     assert_eq!(high, want_high, "key {k:?}");
@@ -557,15 +577,16 @@ mod tests {
     #[test]
     fn foster_routing() {
         // Leaf covering [c, p) split at "h": foster child holds [h, p).
-        let payload: Vec<RawRecord> =
-            vec![(leaf_record(b"cat", b"1"), false), (leaf_record(b"dog", b"2"), false)];
+        let payload: Vec<RawRecord> = vec![
+            (leaf_record(b"cat", b"1"), false),
+            (leaf_record(b"dog", b"2"), false),
+        ];
         let page = build_node(
             DEFAULT_PAGE_SIZE,
             PageId(3),
             NodeKind::Leaf,
             0,
-            &key("c"),
-            &key("p"),
+            (&key("c"), &key("p")),
             &payload,
             Some((PageId(77), &key("h"))),
         );
@@ -576,7 +597,11 @@ mod tests {
         assert!(view.check_invariants().is_empty());
 
         match view.route(b"mouse").unwrap() {
-            Descent::Foster { child, separator, high } => {
+            Descent::Foster {
+                child,
+                separator,
+                high,
+            } => {
                 assert_eq!(child, PageId(77));
                 assert_eq!(separator, key("h"));
                 assert_eq!(high, key("p"));
@@ -584,7 +609,10 @@ mod tests {
             other => panic!("unexpected route {other:?}"),
         }
         match view.route(b"dog").unwrap() {
-            Descent::Leaf { pos: 2, exact: true } => {}
+            Descent::Leaf {
+                pos: 2,
+                exact: true,
+            } => {}
             other => panic!("unexpected route {other:?}"),
         }
     }
@@ -605,7 +633,9 @@ mod tests {
         let view = NodeView::new(&page).unwrap();
         let violations = view.check_invariants();
         assert!(
-            violations.iter().any(|v| v.contains("at/above upper bound")),
+            violations
+                .iter()
+                .any(|v| v.contains("at/above upper bound")),
             "got {violations:?}"
         );
     }
@@ -619,20 +649,25 @@ mod tests {
             PageId(2),
             NodeKind::Branch,
             1,
-            &Bound::NegInf,
-            &Bound::PosInf,
+            (&Bound::NegInf, &Bound::PosInf),
             &payload,
             None,
         );
         let view = NodeView::new(&page).unwrap();
         let violations = view.check_invariants();
-        assert!(violations.iter().any(|v| v.contains("chain upper")), "got {violations:?}");
+        assert!(
+            violations.iter().any(|v| v.contains("chain upper")),
+            "got {violations:?}"
+        );
     }
 
     #[test]
     fn non_btree_page_rejected() {
         let page = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(1), PageType::Meta);
-        assert!(matches!(NodeView::new(&page), Err(BTreeError::NodeCorrupt { .. })));
+        assert!(matches!(
+            NodeView::new(&page),
+            Err(BTreeError::NodeCorrupt { .. })
+        ));
     }
 
     #[test]

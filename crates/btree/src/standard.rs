@@ -55,7 +55,9 @@ fn level_of(page: &Page) -> u8 {
 }
 
 fn next_sibling(page: &Page) -> PageId {
-    PageId(u64::from_le_bytes(page.structure_area()[2..10].try_into().expect("8 bytes")))
+    PageId(u64::from_le_bytes(
+        page.structure_area()[2..10].try_into().expect("8 bytes"),
+    ))
 }
 
 fn structure(level: u8, next: PageId) -> Vec<u8> {
@@ -78,10 +80,19 @@ impl StandardBTree {
         root: PageId,
         page_size: usize,
     ) -> Result<Self, BTreeError> {
-        let tree = Self { pool, txn, alloc, root, page_size, stats: Mutex::new(TreeStats::default()) };
+        let tree = Self {
+            pool,
+            txn,
+            alloc,
+            root,
+            page_size,
+            stats: Mutex::new(TreeStats::default()),
+        };
         let sys = tree.txn.begin(TxKind::System);
         let mut image = Page::new_formatted(page_size, root, PageType::BTreeLeaf);
-        image.structure_area_mut().copy_from_slice(&structure(0, PageId::INVALID));
+        image
+            .structure_area_mut()
+            .copy_from_slice(&structure(0, PageId::INVALID));
         tree.format_logged(sys, image)?;
         tree.txn.commit(sys)?;
         tree.alloc.note_allocated(root);
@@ -97,7 +108,14 @@ impl StandardBTree {
         root: PageId,
         page_size: usize,
     ) -> Self {
-        Self { pool, txn, alloc, root, page_size, stats: Mutex::new(TreeStats::default()) }
+        Self {
+            pool,
+            txn,
+            alloc,
+            root,
+            page_size,
+            stats: Mutex::new(TreeStats::default()),
+        }
     }
 
     /// The root page id.
@@ -113,7 +131,10 @@ impl StandardBTree {
     }
 
     fn corrupt(&self, page: PageId, detail: impl Into<String>) -> BTreeError {
-        BTreeError::NodeCorrupt { page, detail: detail.into() }
+        BTreeError::NodeCorrupt {
+            page,
+            detail: detail.into(),
+        }
     }
 
     fn branch_entry(&self, page: &Page, pos: u16) -> Result<(PageId, Bound), BTreeError> {
@@ -209,7 +230,10 @@ impl StandardBTree {
     pub fn insert(&self, tx: TxId, key: &[u8], value: &[u8]) -> Result<(), BTreeError> {
         let record = encode_leaf(key, value);
         if record.len() > self.page_size / 8 {
-            return Err(BTreeError::RecordTooLarge { size: record.len(), max: self.page_size / 8 });
+            return Err(BTreeError::RecordTooLarge {
+                size: record.len(),
+                max: self.page_size / 8,
+            });
         }
         for _ in 0..MAX_RETRIES {
             let leaf = self.descend(key)?;
@@ -225,14 +249,26 @@ impl StandardBTree {
                     self.apply_logged(
                         tx,
                         &mut guard,
-                        PageOp::ReplaceRecord { pos, old_bytes: old, new_bytes: record },
+                        PageOp::ReplaceRecord {
+                            pos,
+                            old_bytes: old,
+                            new_bytes: record,
+                        },
                     )?;
                 }
-                self.apply_logged(tx, &mut guard, PageOp::SetGhost { pos, old: true, new: false })?;
+                self.apply_logged(
+                    tx,
+                    &mut guard,
+                    PageOp::SetGhost {
+                        pos,
+                        old: true,
+                        new: false,
+                    },
+                )?;
                 return Ok(());
             }
             let need = record.len() + spf_storage::slotted::SLOT_SIZE;
-            if SlottedPage::new(&mut *guard).total_free_space() < need {
+            if SlottedPage::new(&mut guard).total_free_space() < need {
                 drop(guard);
                 self.split_path(key)?;
                 continue;
@@ -240,7 +276,11 @@ impl StandardBTree {
             self.apply_logged(
                 tx,
                 &mut guard,
-                PageOp::InsertRecord { pos, bytes: record, ghost: false },
+                PageOp::InsertRecord {
+                    pos,
+                    bytes: record,
+                    ghost: false,
+                },
             )?;
             return Ok(());
         }
@@ -260,12 +300,20 @@ impl StandardBTree {
             return Err(BTreeError::KeyNotFound);
         }
         let old = v.to_vec();
-        self.apply_logged(tx, &mut guard, PageOp::SetGhost { pos, old: false, new: true })?;
+        self.apply_logged(
+            tx,
+            &mut guard,
+            PageOp::SetGhost {
+                pos,
+                old: false,
+                new: true,
+            },
+        )?;
         Ok(old)
     }
 
     /// Range scan via sibling pointers (the classic B+-tree way).
-    pub fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>, BTreeError> {
+    pub fn scan(&self, start: &[u8], limit: usize) -> Result<crate::KvPairs, BTreeError> {
         let mut out = Vec::new();
         let mut current = self.descend(start)?;
         while current.is_valid() {
@@ -286,7 +334,7 @@ impl StandardBTree {
     }
 
     /// Every live record in key order.
-    pub fn collect_all(&self) -> Result<Vec<(Vec<u8>, Vec<u8>)>, BTreeError> {
+    pub fn collect_all(&self) -> Result<crate::KvPairs, BTreeError> {
         self.scan(&[], usize::MAX)
     }
 
@@ -313,7 +361,9 @@ impl StandardBTree {
             tx,
             pid,
             Lsn::NULL,
-            LogPayload::PageFormat { image: CompressedPageImage::capture(&image) },
+            LogPayload::PageFormat {
+                image: CompressedPageImage::capture(&image),
+            },
         )?;
         let mut img = image;
         img.set_page_lsn(lsn.0);
@@ -355,22 +405,51 @@ impl StandardBTree {
 
     fn split_leaf_upward(&self, sys: TxId, path: &[PageId]) -> Result<(), BTreeError> {
         let leaf = *path.last().expect("path never empty");
-        let (sep, new_right) = self.split_node(sys, leaf)?;
-        // Install (sep, new_right) into ancestors, splitting them if full.
-        let mut child_sep = sep;
-        let mut new_child = new_right;
-        let mut level_idx = path.len().saturating_sub(2);
-        loop {
-            if path.is_empty() || (level_idx == 0 && path.len() == 1) {
-                // The split node *was* the root: grow the tree.
-                self.grow_root(sys, child_sep, new_child)?;
-                return Ok(());
+        let (child_sep, new_child) = self.split_node(sys, leaf)?;
+        // Install (child_sep, new_child) into the parent, splitting it
+        // if full.
+        let level_idx = path.len().saturating_sub(2);
+        if path.len() <= 1 {
+            // The split node *was* the root: grow the tree.
+            self.grow_root(sys, child_sep, new_child)?;
+            return Ok(());
+        }
+        let parent = path[level_idx];
+        let mut pguard = self.pool.fetch_mut(parent)?;
+        // Find the entry pointing at the split child to place the new
+        // entry after it.
+        let split_child = if level_idx + 1 < path.len() {
+            path[level_idx + 1]
+        } else {
+            leaf
+        };
+        let mut entry_pos = None;
+        for pos in 0..pguard.slot_count() {
+            let (c, _) = self.branch_entry(&pguard, pos)?;
+            if c == split_child {
+                entry_pos = Some(pos);
+                break;
             }
-            let parent = path[level_idx];
-            let mut pguard = self.pool.fetch_mut(parent)?;
-            // Find the entry pointing at the split child to place the new
-            // entry after it.
-            let split_child = if level_idx + 1 < path.len() { path[level_idx + 1] } else { leaf };
+        }
+        let entry_pos =
+            entry_pos.ok_or_else(|| self.corrupt(parent, "lost track of child during split"))?;
+        let (_, old_upper) = self.branch_entry(&pguard, entry_pos)?;
+
+        let new_entry = encode_branch(new_child.0, &old_upper);
+        let need = new_entry.len() + spf_storage::slotted::SLOT_SIZE;
+        if SlottedPage::new(&mut pguard).total_free_space() < need {
+            // Parent full: split it first, then retry the insertion at
+            // whichever half now routes the child. For simplicity,
+            // split the parent and retry the entire operation.
+            drop(pguard);
+            let (psep, pright) = self.split_node(sys, parent)?;
+            if level_idx == 0 {
+                self.grow_root(sys, psep, pright)?;
+            }
+            // Re-find the proper parent by routing. One retry level is
+            // enough because the parent now has free space.
+            let target = self.find_parent_of(split_child, child_sep.clone())?;
+            let mut pguard = self.pool.fetch_mut(target)?;
             let mut entry_pos = None;
             for pos in 0..pguard.slot_count() {
                 let (c, _) = self.branch_entry(&pguard, pos)?;
@@ -379,57 +458,9 @@ impl StandardBTree {
                     break;
                 }
             }
-            let entry_pos = entry_pos
-                .ok_or_else(|| self.corrupt(parent, "lost track of child during split"))?;
+            let entry_pos =
+                entry_pos.ok_or_else(|| self.corrupt(target, "lost child after parent split"))?;
             let (_, old_upper) = self.branch_entry(&pguard, entry_pos)?;
-
-            let new_entry = encode_branch(new_child.0, &old_upper);
-            let need = new_entry.len() + spf_storage::slotted::SLOT_SIZE;
-            if SlottedPage::new(&mut *pguard).total_free_space() < need {
-                // Parent full: split it first, then retry the insertion at
-                // whichever half now routes the child. For simplicity,
-                // split the parent and retry the entire operation.
-                drop(pguard);
-                let (psep, pright) = self.split_node(sys, parent)?;
-                if level_idx == 0 {
-                    self.grow_root(sys, psep, pright)?;
-                }
-                // Re-find the proper parent by routing. One retry level is
-                // enough because the parent now has free space.
-                let target = self.find_parent_of(split_child, child_sep.clone())?;
-                let mut pguard = self.pool.fetch_mut(target)?;
-                let mut entry_pos = None;
-                for pos in 0..pguard.slot_count() {
-                    let (c, _) = self.branch_entry(&pguard, pos)?;
-                    if c == split_child {
-                        entry_pos = Some(pos);
-                        break;
-                    }
-                }
-                let entry_pos = entry_pos
-                    .ok_or_else(|| self.corrupt(target, "lost child after parent split"))?;
-                let (_, old_upper) = self.branch_entry(&pguard, entry_pos)?;
-                self.apply_logged(
-                    sys,
-                    &mut pguard,
-                    PageOp::ReplaceRecord {
-                        pos: entry_pos,
-                        old_bytes: encode_branch(split_child.0, &old_upper),
-                        new_bytes: encode_branch(split_child.0, &child_sep),
-                    },
-                )?;
-                self.apply_logged(
-                    sys,
-                    &mut pguard,
-                    PageOp::InsertRecord {
-                        pos: entry_pos + 1,
-                        bytes: encode_branch(new_child.0, &old_upper),
-                        ghost: false,
-                    },
-                )?;
-                return Ok(());
-            }
-
             self.apply_logged(
                 sys,
                 &mut pguard,
@@ -448,11 +479,28 @@ impl StandardBTree {
                     ghost: false,
                 },
             )?;
-            let _ = &mut child_sep;
-            let _ = &mut new_child;
-            let _ = &mut level_idx;
             return Ok(());
         }
+
+        self.apply_logged(
+            sys,
+            &mut pguard,
+            PageOp::ReplaceRecord {
+                pos: entry_pos,
+                old_bytes: encode_branch(split_child.0, &old_upper),
+                new_bytes: encode_branch(split_child.0, &child_sep),
+            },
+        )?;
+        self.apply_logged(
+            sys,
+            &mut pguard,
+            PageOp::InsertRecord {
+                pos: entry_pos + 1,
+                bytes: encode_branch(new_child.0, &old_upper),
+                ghost: false,
+            },
+        )?;
+        Ok(())
     }
 
     /// Finds the branch holding the entry for `child` by routing `sep`.
@@ -483,7 +531,10 @@ impl StandardBTree {
         let mut guard = self.pool.fetch_mut(pid)?;
         let count = guard.slot_count();
         if count < 2 {
-            return Err(BTreeError::RecordTooLarge { size: self.page_size, max: self.page_size / 8 });
+            return Err(BTreeError::RecordTooLarge {
+                size: self.page_size,
+                max: self.page_size / 8,
+            });
         }
         let split_pos = count / 2;
         let branch = is_branch(&guard);
@@ -507,18 +558,32 @@ impl StandardBTree {
             .collect::<Result<_, BTreeError>>()?;
 
         let new_pid = self.alloc.allocate().ok_or(BTreeError::AllocFailed)?;
-        let ptype = if branch { PageType::BTreeBranch } else { PageType::BTreeLeaf };
+        let ptype = if branch {
+            PageType::BTreeBranch
+        } else {
+            PageType::BTreeLeaf
+        };
         let mut image = Page::new_formatted(self.page_size, new_pid, ptype);
-        image.structure_area_mut().copy_from_slice(&structure(level, old_next));
+        image
+            .structure_area_mut()
+            .copy_from_slice(&structure(level, old_next));
         {
             let mut sp = SlottedPage::new(&mut image);
             for (bytes, ghost) in &moved {
-                sp.push(bytes, *ghost).expect("half a node fits a fresh page");
+                sp.push(bytes, *ghost)
+                    .expect("half a node fits a fresh page");
             }
         }
         self.format_logged(sys, image)?;
 
-        self.apply_logged(sys, &mut guard, PageOp::RemoveRange { pos: split_pos, records: moved })?;
+        self.apply_logged(
+            sys,
+            &mut guard,
+            PageOp::RemoveRange {
+                pos: split_pos,
+                records: moved,
+            },
+        )?;
         if !branch {
             self.apply_logged(
                 sys,
@@ -547,11 +612,15 @@ impl StandardBTree {
         self.format_logged(sys, copy)?;
 
         let mut new_root = Page::new_formatted(self.page_size, self.root, PageType::BTreeBranch);
-        new_root.structure_area_mut().copy_from_slice(&structure(level + 1, PageId::INVALID));
+        new_root
+            .structure_area_mut()
+            .copy_from_slice(&structure(level + 1, PageId::INVALID));
         {
             let mut sp = SlottedPage::new(&mut new_root);
-            sp.push(&encode_branch(copy_pid.0, &sep), false).expect("fits");
-            sp.push(&encode_branch(right.0, &Bound::PosInf), false).expect("fits");
+            sp.push(&encode_branch(copy_pid.0, &sep), false)
+                .expect("fits");
+            sp.push(&encode_branch(right.0, &Bound::PosInf), false)
+                .expect("fits");
         }
         self.format_logged(sys, new_root)?;
         self.stats.lock().root_growths += 1;

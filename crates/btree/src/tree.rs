@@ -34,8 +34,7 @@ use crate::alloc::PageAllocator;
 use crate::error::BTreeError;
 use crate::keys::Bound;
 use crate::node::{
-    branch_record, build_node, leaf_record, structure_bytes, Descent, NodeKind, NodeView,
-    RawRecord,
+    branch_record, build_node, leaf_record, structure_bytes, Descent, NodeKind, NodeView, RawRecord,
 };
 
 /// How much checking a traversal performs.
@@ -95,7 +94,10 @@ impl<'a> PoolUndo<'a> {
 
 impl spf_txn::UndoTarget for PoolUndo<'_> {
     fn page_lsn(&self, page: PageId) -> Lsn {
-        self.pool.fetch(page).map(|g| Lsn(g.page_lsn())).unwrap_or(Lsn::NULL)
+        self.pool
+            .fetch(page)
+            .map(|g| Lsn(g.page_lsn()))
+            .unwrap_or(Lsn::NULL)
     }
 
     fn apply(&self, page: PageId, op: &PageOp, clr_lsn: Lsn) {
@@ -105,7 +107,6 @@ impl spf_txn::UndoTarget for PoolUndo<'_> {
         }
     }
 }
-
 
 /// The Foster B-tree.
 pub struct FosterBTree {
@@ -154,7 +155,15 @@ impl FosterBTree {
         page_size: usize,
         verify: VerifyMode,
     ) -> Self {
-        Self { pool, txn, alloc, root, page_size, verify, stats: Mutex::new(TreeStats::default()) }
+        Self {
+            pool,
+            txn,
+            alloc,
+            root,
+            page_size,
+            verify,
+            stats: Mutex::new(TreeStats::default()),
+        }
     }
 
     /// The root page id (stable for the tree's lifetime; root growth
@@ -207,17 +216,23 @@ impl FosterBTree {
     }
 
     /// Inserts or replaces `key → value`; returns the previous live value.
-    pub fn upsert(&self, tx: TxId, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, BTreeError> {
+    pub fn upsert(
+        &self,
+        tx: TxId,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<Option<Vec<u8>>, BTreeError> {
         self.leaf_write(tx, key, value, LeafOp::Upsert)
     }
 
     /// Logically deletes `key` (ghost bit), returning the old value.
     pub fn delete(&self, tx: TxId, key: &[u8]) -> Result<Vec<u8>, BTreeError> {
-        self.leaf_write(tx, key, &[], LeafOp::Delete)?.ok_or(BTreeError::KeyNotFound)
+        self.leaf_write(tx, key, &[], LeafOp::Delete)?
+            .ok_or(BTreeError::KeyNotFound)
     }
 
     /// Range scan: live records with `key >= start`, at most `limit`.
-    pub fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>, BTreeError> {
+    pub fn scan(&self, start: &[u8], limit: usize) -> Result<crate::KvPairs, BTreeError> {
         let mut out = Vec::new();
         let mut cursor: Vec<u8> = start.to_vec();
         let mut first = true;
@@ -274,7 +289,7 @@ impl FosterBTree {
     }
 
     /// Every live record in key order.
-    pub fn collect_all(&self) -> Result<Vec<(Vec<u8>, Vec<u8>)>, BTreeError> {
+    pub fn collect_all(&self) -> Result<crate::KvPairs, BTreeError> {
         self.scan(&[], usize::MAX)
     }
 
@@ -305,12 +320,18 @@ impl FosterBTree {
                 }
             }
             match view.route(key)? {
-                Descent::Foster { child, separator, high } => {
+                Descent::Foster {
+                    child,
+                    separator,
+                    high,
+                } => {
                     expected = Some((separator, high));
                     expected_level = Some(view.level());
                     current = child;
                 }
-                Descent::Child { child, low, high, .. } => {
+                Descent::Child {
+                    child, low, high, ..
+                } => {
                     expected = Some((low, high));
                     expected_level = Some(view.level() - 1);
                     current = child;
@@ -417,7 +438,11 @@ impl FosterBTree {
                             self.apply_logged(
                                 tx,
                                 &mut guard,
-                                PageOp::SetGhost { pos, old: true, new: false },
+                                PageOp::SetGhost {
+                                    pos,
+                                    old: true,
+                                    new: false,
+                                },
                             )?;
                         }
                         return Ok(if ghost { None } else { Some(old_value) });
@@ -429,7 +454,11 @@ impl FosterBTree {
                         self.apply_logged(
                             tx,
                             &mut guard,
-                            PageOp::SetGhost { pos, old: false, new: true },
+                            PageOp::SetGhost {
+                                pos,
+                                old: false,
+                                new: true,
+                            },
                         )?;
                         return Ok(Some(old_value));
                     }
@@ -446,7 +475,11 @@ impl FosterBTree {
                         self.apply_logged(
                             tx,
                             &mut guard,
-                            PageOp::InsertRecord { pos, bytes: record.clone(), ghost: false },
+                            PageOp::InsertRecord {
+                                pos,
+                                bytes: record.clone(),
+                                ghost: false,
+                            },
                         )?;
                         return Ok(None);
                     }
@@ -457,7 +490,7 @@ impl FosterBTree {
     }
 
     fn fits(&self, guard: &mut PageWriteGuard, needed: usize) -> bool {
-        SlottedPage::new(&mut *guard).total_free_space() >= needed
+        SlottedPage::new(guard).total_free_space() >= needed
     }
 
     /// Frees space on `leaf`: reclaim ghosts if any, otherwise split.
@@ -526,7 +559,9 @@ impl FosterBTree {
             tx,
             pid,
             Lsn::NULL, // per-page chain restarts at a format record
-            LogPayload::PageFormat { image: CompressedPageImage::capture(&image) },
+            LogPayload::PageFormat {
+                image: CompressedPageImage::capture(&image),
+            },
         )?;
         let mut img = image;
         img.set_page_lsn(lsn.0);
@@ -592,12 +627,13 @@ impl FosterBTree {
         // Records moving to the foster child.
         let moved: Vec<RawRecord> = (split_pos..range.end)
             .map(|pos| {
-                let (bytes, ghost) = guard
-                    .record_at(pos)
-                    .ok_or_else(|| BTreeError::NodeCorrupt {
-                        page: pid,
-                        detail: format!("missing slot {pos} during split"),
-                    })?;
+                let (bytes, ghost) =
+                    guard
+                        .record_at(pos)
+                        .ok_or_else(|| BTreeError::NodeCorrupt {
+                            page: pid,
+                            detail: format!("missing slot {pos} during split"),
+                        })?;
                 Ok((bytes.to_vec(), ghost))
             })
             .collect::<Result<_, BTreeError>>()?;
@@ -611,8 +647,7 @@ impl FosterBTree {
             new_pid,
             kind,
             level,
-            &separator,
-            &high,
+            (&separator, &high),
             &moved,
             old_foster.as_ref().map(|(p, s)| (*p, s)),
         );
@@ -622,7 +657,10 @@ impl FosterBTree {
         self.apply_logged(
             sys,
             &mut guard,
-            PageOp::RemoveRange { pos: split_pos, records: moved },
+            PageOp::RemoveRange {
+                pos: split_pos,
+                records: moved,
+            },
         )?;
         match &old_foster {
             Some((_, old_sep)) => {
@@ -837,8 +875,7 @@ impl FosterBTree {
             self.root,
             NodeKind::Branch,
             level + 1,
-            &low,
-            &high,
+            (&low, &high),
             &entries,
             None,
         );
@@ -868,14 +905,18 @@ impl FosterBTree {
                 self.apply_logged(
                     sys,
                     &mut guard,
-                    PageOp::RemoveRecord { pos, old_bytes, old_ghost: true },
+                    PageOp::RemoveRecord {
+                        pos,
+                        old_bytes,
+                        old_ghost: true,
+                    },
                 )?;
                 reclaimed = true;
             }
             if reclaimed {
                 // Compaction is contents-neutral byte shuffling; redo is
                 // slot-positional, so it needs no log record.
-                SlottedPage::new(&mut *guard).compact();
+                SlottedPage::new(&mut guard).compact();
             }
         }
         self.txn.commit(sys)?;
@@ -884,7 +925,6 @@ impl FosterBTree {
         }
         Ok(reclaimed)
     }
-
 
     // ------------------------------------------------------------------
     // Page migration
@@ -956,8 +996,14 @@ impl FosterBTree {
         };
 
         enum Incoming {
-            ParentEntry { parent: PageId, pos: u16, upper: Bound },
-            FosterPointer { foster_parent: PageId },
+            ParentEntry {
+                parent: PageId,
+                pos: u16,
+                upper: Bound,
+            },
+            FosterPointer {
+                foster_parent: PageId,
+            },
         }
 
         let mut current = self.root;
@@ -967,13 +1013,21 @@ impl FosterBTree {
             match view.route(&probe_key)? {
                 Descent::Foster { child, .. } => {
                     if child == pid {
-                        break Incoming::FosterPointer { foster_parent: current };
+                        break Incoming::FosterPointer {
+                            foster_parent: current,
+                        };
                     }
                     current = child;
                 }
-                Descent::Child { pos, child, high, .. } => {
+                Descent::Child {
+                    pos, child, high, ..
+                } => {
                     if child == pid {
-                        break Incoming::ParentEntry { parent: current, pos, upper: high };
+                        break Incoming::ParentEntry {
+                            parent: current,
+                            pos,
+                            upper: high,
+                        };
                     }
                     current = child;
                 }
@@ -1037,12 +1091,8 @@ impl FosterBTree {
     pub fn verify_full(&self) -> Result<Vec<Violation>, BTreeError> {
         let mut violations = Vec::new();
         // (page, expected_low, expected_high, expected_level or None)
-        let mut stack: Vec<(PageId, Bound, Bound, Option<u8>)> = vec![(
-            self.root,
-            Bound::NegInf,
-            Bound::PosInf,
-            None,
-        )];
+        let mut stack: Vec<(PageId, Bound, Bound, Option<u8>)> =
+            vec![(self.root, Bound::NegInf, Bound::PosInf, None)];
         let mut visited = std::collections::HashSet::new();
         while let Some((pid, low, high, level)) = stack.pop() {
             if !visited.insert(pid) {
@@ -1055,14 +1105,20 @@ impl FosterBTree {
             let guard = match self.pool.fetch(pid) {
                 Ok(g) => g,
                 Err(e) => {
-                    violations.push(Violation { page: pid, detail: format!("unreadable: {e}") });
+                    violations.push(Violation {
+                        page: pid,
+                        detail: format!("unreadable: {e}"),
+                    });
                     continue;
                 }
             };
             let view = match NodeView::new(&guard) {
                 Ok(v) => v,
                 Err(e) => {
-                    violations.push(Violation { page: pid, detail: e.to_string() });
+                    violations.push(Violation {
+                        page: pid,
+                        detail: e.to_string(),
+                    });
                     continue;
                 }
             };
@@ -1093,12 +1149,20 @@ impl FosterBTree {
                 }
             }
             for v in view.check_invariants() {
-                violations.push(Violation { page: pid, detail: v });
+                violations.push(Violation {
+                    page: pid,
+                    detail: v,
+                });
             }
             // Foster chain: the foster child continues this node's range.
             if view.has_foster() {
                 if let Ok(sep) = view.foster_separator() {
-                    stack.push((view.foster_pid(), sep, found_high.clone(), Some(view.level())));
+                    stack.push((
+                        view.foster_pid(),
+                        sep,
+                        found_high.clone(),
+                        Some(view.level()),
+                    ));
                 }
             }
             if view.kind() == NodeKind::Branch {
@@ -1114,7 +1178,10 @@ impl FosterBTree {
                             ));
                             prev = upper;
                         }
-                        Err(e) => violations.push(Violation { page: pid, detail: e.to_string() }),
+                        Err(e) => violations.push(Violation {
+                            page: pid,
+                            detail: e.to_string(),
+                        }),
                     }
                 }
             }

@@ -9,9 +9,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use spf_btree::{
-    BTreeError, BumpAllocator, FosterBTree, PageAllocator, StandardBTree, VerifyMode,
-};
+use spf_btree::{BTreeError, BumpAllocator, FosterBTree, PageAllocator, StandardBTree, VerifyMode};
 use spf_buffer::{BufferPool, BufferPoolConfig};
 use spf_storage::{MemDevice, PageId, StorageDevice, DEFAULT_PAGE_SIZE};
 use spf_txn::{TxKind, TxnManager};
@@ -34,7 +32,12 @@ fn fixture(frames: usize, capacity: u64) -> Fixture {
     );
     let txn = TxnManager::new(log);
     let alloc = Arc::new(BumpAllocator::new(1, capacity));
-    Fixture { device, pool, txn, alloc }
+    Fixture {
+        device,
+        pool,
+        txn,
+        alloc,
+    }
 }
 
 fn foster_tree(fx: &Fixture, verify: VerifyMode) -> FosterBTree {
@@ -90,7 +93,10 @@ fn duplicate_insert_rejected_upsert_replaces() {
     let tree = foster_tree(&fx, VerifyMode::Continuous);
     let tx = fx.txn.begin(TxKind::User);
     tree.insert(tx, b"k", b"v1").unwrap();
-    assert!(matches!(tree.insert(tx, b"k", b"v2"), Err(BTreeError::DuplicateKey)));
+    assert!(matches!(
+        tree.insert(tx, b"k", b"v2"),
+        Err(BTreeError::DuplicateKey)
+    ));
     assert_eq!(tree.upsert(tx, b"k", b"v2").unwrap(), Some(b"v1".to_vec()));
     assert_eq!(tree.get(b"k").unwrap(), Some(b"v2".to_vec()));
     fx.txn.commit(tx).unwrap();
@@ -104,7 +110,10 @@ fn delete_ghosts_and_reinsert() {
     tree.insert(tx, b"gone", b"old").unwrap();
     assert_eq!(tree.delete(tx, b"gone").unwrap(), b"old".to_vec());
     assert_eq!(tree.get(b"gone").unwrap(), None);
-    assert!(matches!(tree.delete(tx, b"gone"), Err(BTreeError::KeyNotFound)));
+    assert!(matches!(
+        tree.delete(tx, b"gone"),
+        Err(BTreeError::KeyNotFound)
+    ));
     // Re-insert over the ghost resurrects the slot.
     tree.insert(tx, b"gone", b"new").unwrap();
     assert_eq!(tree.get(b"gone").unwrap(), Some(b"new".to_vec()));
@@ -124,8 +133,14 @@ fn growth_through_many_splits() {
     fx.txn.commit(tx).unwrap();
 
     let stats = tree.stats();
-    assert!(stats.leaf_splits > 10, "expected many leaf splits, got {stats:?}");
-    assert!(stats.adoptions > 0, "foster children must be adopted over time");
+    assert!(
+        stats.leaf_splits > 10,
+        "expected many leaf splits, got {stats:?}"
+    );
+    assert!(
+        stats.adoptions > 0,
+        "foster children must be adopted over time"
+    );
     assert!(stats.root_growths >= 1, "tree must have grown");
     assert!(tree.height().unwrap() >= 2);
 
@@ -133,7 +148,10 @@ fn growth_through_many_splits() {
         assert_eq!(tree.get(&key(i)).unwrap(), Some(val(i)), "key {i}");
     }
     let violations = tree.verify_full().unwrap();
-    assert!(violations.is_empty(), "tree must verify clean: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "tree must verify clean: {violations:?}"
+    );
     // No fence check ever failed during healthy operation.
     assert_eq!(tree.stats().fence_failures, 0);
     assert!(tree.stats().fence_checks > 0);
@@ -162,7 +180,10 @@ fn reverse_and_random_insert_orders() {
         fx.txn.commit(tx).unwrap();
         let all = tree.collect_all().unwrap();
         assert_eq!(all.len(), 1500);
-        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "scan must be ordered");
+        assert!(
+            all.windows(2).all(|w| w[0].0 < w[1].0),
+            "scan must be ordered"
+        );
         assert!(tree.verify_full().unwrap().is_empty(), "seed {seed}");
     }
 }
@@ -183,9 +204,14 @@ fn scan_ranges() {
 
     let out = tree.scan(&key(395), 10).unwrap();
     let got: Vec<Vec<u8>> = out.into_iter().map(|(k, _)| k).collect();
-    let want: Vec<Vec<u8>> =
-        [395, 396, 397, 398, 399, 420, 421, 422, 423, 424].iter().map(|&i| key(i)).collect();
-    assert_eq!(got, want, "scan must skip ghosts and cross chain boundaries");
+    let want: Vec<Vec<u8>> = [395, 396, 397, 398, 399, 420, 421, 422, 423, 424]
+        .iter()
+        .map(|&i| key(i))
+        .collect();
+    assert_eq!(
+        got, want,
+        "scan must skip ghosts and cross chain boundaries"
+    );
 
     assert_eq!(tree.scan(&key(999), 100).unwrap().len(), 1);
     assert_eq!(tree.scan(b"zzzz", 100).unwrap().len(), 0);
@@ -212,14 +238,24 @@ fn rollback_undoes_tree_updates() {
     tree.upsert(tx, &key(50), b"changed").unwrap();
 
     // Roll back through the per-transaction chain.
-    fx.txn.abort(tx, &spf_btree::tree::PoolUndo::new(&fx.pool)).unwrap();
+    fx.txn
+        .abort(tx, &spf_btree::tree::PoolUndo::new(&fx.pool))
+        .unwrap();
 
     // All effects gone.
     for i in 100..150 {
-        assert_eq!(tree.get(&key(i)).unwrap(), None, "inserted key {i} must vanish");
+        assert_eq!(
+            tree.get(&key(i)).unwrap(),
+            None,
+            "inserted key {i} must vanish"
+        );
     }
     for i in 0..10 {
-        assert_eq!(tree.get(&key(i)).unwrap(), Some(val(i)), "deleted key {i} must return");
+        assert_eq!(
+            tree.get(&key(i)).unwrap(),
+            Some(val(i)),
+            "deleted key {i} must return"
+        );
     }
     assert_eq!(tree.get(&key(50)).unwrap(), Some(val(50)));
     assert!(tree.verify_full().unwrap().is_empty());
@@ -285,15 +321,15 @@ fn cross_page_corruption_detection_asymmetry() {
 
     let mut detected = 0;
     for i in 0..2000 {
-        match tree.get(&key(i)) {
-            Err(BTreeError::FenceMismatch { .. }) => {
-                detected += 1;
-                break;
-            }
-            _ => {}
+        if let Err(BTreeError::FenceMismatch { .. }) = tree.get(&key(i)) {
+            detected += 1;
+            break;
         }
     }
-    assert!(detected > 0, "Foster tree must detect the swapped pages via fences");
+    assert!(
+        detected > 0,
+        "Foster tree must detect the swapped pages via fences"
+    );
 
     // --- Standard tree does not ---
     let fx = fixture(16, 1024);
@@ -492,7 +528,10 @@ fn migrated_page_remains_recoverable_reference() {
         tree.upsert(tx, &key(i), b"after-migration").unwrap();
     }
     fx.txn.commit(tx).unwrap();
-    assert_eq!(tree.get(&key(500)).unwrap(), Some(b"after-migration".to_vec()));
+    assert_eq!(
+        tree.get(&key(500)).unwrap(),
+        Some(b"after-migration".to_vec())
+    );
     assert!(new_pid.is_valid());
     assert!(tree.verify_full().unwrap().is_empty());
 }

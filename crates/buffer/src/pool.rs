@@ -93,7 +93,10 @@ impl Frame {
             pins: AtomicU32::new(0),
             ref_bit: AtomicBool::new(false),
             id: Mutex::new(PageId::INVALID),
-            dirty: Mutex::new(DirtyState { dirty: false, rec_lsn: Lsn::NULL }),
+            dirty: Mutex::new(DirtyState {
+                dirty: false,
+                rec_lsn: Lsn::NULL,
+            }),
         }
     }
 }
@@ -128,7 +131,9 @@ struct Pin {
 
 impl Drop for Pin {
     fn drop(&mut self) {
-        self.pool.frames[self.frame_idx].pins.fetch_sub(1, Ordering::Release);
+        self.pool.frames[self.frame_idx]
+            .pins
+            .fetch_sub(1, Ordering::Release);
     }
 }
 
@@ -140,7 +145,9 @@ pub struct PageReadGuard {
 
 impl std::fmt::Debug for PageReadGuard {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_tuple("PageReadGuard").field(&self.guard.page_id()).finish()
+        f.debug_tuple("PageReadGuard")
+            .field(&self.guard.page_id())
+            .finish()
     }
 }
 
@@ -162,7 +169,9 @@ pub struct PageWriteGuard {
 
 impl std::fmt::Debug for PageWriteGuard {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_tuple("PageWriteGuard").field(&self.guard.page_id()).finish()
+        f.debug_tuple("PageWriteGuard")
+            .field(&self.guard.page_id())
+            .finish()
     }
 }
 
@@ -262,7 +271,10 @@ impl BufferPool {
         let (frame_idx, page_arc) = self.fetch_frame(id)?;
         Ok(PageReadGuard {
             guard: RwLock::read_arc(&page_arc),
-            _pin: Pin { pool: Arc::clone(&self.inner), frame_idx },
+            _pin: Pin {
+                pool: Arc::clone(&self.inner),
+                frame_idx,
+            },
         })
     }
 
@@ -273,7 +285,10 @@ impl BufferPool {
             guard: RwLock::write_arc(&page_arc),
             pool: Arc::clone(&self.inner),
             frame_idx,
-            _pin: Pin { pool: Arc::clone(&self.inner), frame_idx },
+            _pin: Pin {
+                pool: Arc::clone(&self.inner),
+                frame_idx,
+            },
         })
     }
 
@@ -295,7 +310,10 @@ impl BufferPool {
         let frame = &self.inner.frames[frame_idx];
         frame.pins.fetch_add(1, Ordering::Acquire);
         frame.ref_bit.store(true, Ordering::Relaxed);
-        *frame.dirty.lock() = DirtyState { dirty: true, rec_lsn };
+        *frame.dirty.lock() = DirtyState {
+            dirty: true,
+            rec_lsn,
+        };
         drop(state);
 
         let page_arc = Arc::clone(&frame.page);
@@ -305,7 +323,10 @@ impl BufferPool {
             guard,
             pool: Arc::clone(&self.inner),
             frame_idx,
-            _pin: Pin { pool: Arc::clone(&self.inner), frame_idx },
+            _pin: Pin {
+                pool: Arc::clone(&self.inner),
+                frame_idx,
+            },
         })
     }
 
@@ -369,13 +390,19 @@ impl BufferPool {
     pub fn discard_all(&self) {
         let mut state = self.inner.state.lock();
         assert!(
-            self.inner.frames.iter().all(|f| f.pins.load(Ordering::Acquire) == 0),
+            self.inner
+                .frames
+                .iter()
+                .all(|f| f.pins.load(Ordering::Acquire) == 0),
             "discard_all with outstanding pins"
         );
         state.table.clear();
         for frame in &self.inner.frames {
             *frame.id.lock() = PageId::INVALID;
-            *frame.dirty.lock() = DirtyState { dirty: false, rec_lsn: Lsn::NULL };
+            *frame.dirty.lock() = DirtyState {
+                dirty: false,
+                rec_lsn: Lsn::NULL,
+            };
             frame.ref_bit.store(false, Ordering::Relaxed);
         }
     }
@@ -386,9 +413,16 @@ impl BufferPool {
         let mut state = self.inner.state.lock();
         if let Some(idx) = state.table.remove(&id) {
             let frame = &self.inner.frames[idx];
-            assert_eq!(frame.pins.load(Ordering::Acquire), 0, "discarding pinned page");
+            assert_eq!(
+                frame.pins.load(Ordering::Acquire),
+                0,
+                "discarding pinned page"
+            );
             *frame.id.lock() = PageId::INVALID;
-            *frame.dirty.lock() = DirtyState { dirty: false, rec_lsn: Lsn::NULL };
+            *frame.dirty.lock() = DirtyState {
+                dirty: false,
+                rec_lsn: Lsn::NULL,
+            };
             frame.ref_bit.store(false, Ordering::Relaxed);
         }
     }
@@ -418,9 +452,15 @@ impl BufferPool {
         // A page rebuilt by single-page recovery exists only in memory so
         // far; install it dirty so it is written back before eviction.
         *frame.dirty.lock() = if recovered {
-            DirtyState { dirty: true, rec_lsn: Lsn(page.page_lsn()) }
+            DirtyState {
+                dirty: true,
+                rec_lsn: Lsn(page.page_lsn()),
+            }
         } else {
-            DirtyState { dirty: false, rec_lsn: Lsn::NULL }
+            DirtyState {
+                dirty: false,
+                rec_lsn: Lsn::NULL,
+            }
         };
         state.table.insert(id, idx);
         frame.pins.fetch_add(1, Ordering::Acquire);
@@ -539,7 +579,12 @@ impl BufferPool {
     /// 3. checksum and write the page;
     /// 4. `after_page_write` (log the PRI update — unforced);
     /// 5. mark the frame clean (only now may it be evicted).
-    fn write_back(&self, frame_idx: usize, id: PageId, state: &mut State) -> Result<(), FetchError> {
+    fn write_back(
+        &self,
+        frame_idx: usize,
+        id: PageId,
+        state: &mut State,
+    ) -> Result<(), FetchError> {
         let frame = &self.inner.frames[frame_idx];
         {
             let d = frame.dirty.lock();
@@ -566,7 +611,10 @@ impl BufferPool {
         match self.inner.device.write_page(id, page.as_bytes()) {
             Ok(()) => {}
             Err(StorageError::DeviceFailed) => {
-                return Err(FetchError::MediaFailure { id, reason: "device failed".into() })
+                return Err(FetchError::MediaFailure {
+                    id,
+                    reason: "device failed".into(),
+                })
             }
             Err(e) => return Err(FetchError::Storage(e)),
         }
@@ -579,7 +627,10 @@ impl BufferPool {
         }
 
         // (5) Clean.
-        *frame.dirty.lock() = DirtyState { dirty: false, rec_lsn: Lsn::NULL };
+        *frame.dirty.lock() = DirtyState {
+            dirty: false,
+            rec_lsn: Lsn::NULL,
+        };
         Ok(())
     }
 }
@@ -611,7 +662,6 @@ mod tests {
         let mut guard = pool.fetch_mut(id).unwrap();
         let mut sp = spf_storage::SlottedPage::new(&mut guard);
         sp.push(b"x", false).unwrap();
-        drop(sp);
         guard.mark_dirty(lsn);
     }
 
@@ -664,8 +714,16 @@ mod tests {
         }
         assert!(!pool.contains(PageId(5)));
         let stored = Page::from_bytes(dev.raw_image(PageId(5)));
-        assert_eq!(stored.page_lsn(), 100, "write-back must have persisted the update");
-        assert_eq!(stored.verify(PageId(5)), Ok(()), "write-back must checksum the page");
+        assert_eq!(
+            stored.page_lsn(),
+            100,
+            "write-back must have persisted the update"
+        );
+        assert_eq!(
+            stored.verify(PageId(5)),
+            Ok(()),
+            "write-back must checksum the page"
+        );
     }
 
     #[test]
@@ -695,7 +753,10 @@ mod tests {
         dirty_page(&pool, PageId(1), lsn);
         assert!(log.durable_lsn() <= lsn, "record not yet durable");
         pool.flush_page(PageId(1)).unwrap();
-        assert!(log.durable_lsn() > lsn, "WAL rule: log must be forced before the page write");
+        assert!(
+            log.durable_lsn() > lsn,
+            "WAL rule: log must be forced before the page write"
+        );
     }
 
     #[test]
@@ -705,7 +766,11 @@ mod tests {
         pool.discard_all();
         assert_eq!(pool.resident(), 0);
         let stored = Page::from_bytes(dev.raw_image(PageId(4)));
-        assert_eq!(stored.page_lsn(), 0, "crash: dirty update never reached the device");
+        assert_eq!(
+            stored.page_lsn(),
+            0,
+            "crash: dirty update never reached the device"
+        );
     }
 
     #[test]
@@ -732,7 +797,10 @@ mod tests {
     fn hard_read_error_without_recoverer_is_media_failure() {
         let (pool, dev, _log) = setup(4, 8);
         dev.inject_fault(PageId(2), FaultSpec::HardReadError);
-        assert!(matches!(pool.fetch(PageId(2)), Err(FetchError::MediaFailure { .. })));
+        assert!(matches!(
+            pool.fetch(PageId(2)),
+            Err(FetchError::MediaFailure { .. })
+        ));
         assert_eq!(pool.stats().detected_hard_error, 1);
     }
 
@@ -775,7 +843,10 @@ mod tests {
             if found == self.expected {
                 Ok(())
             } else {
-                Err(ValidationError::StaleLsn { found, expected: self.expected })
+                Err(ValidationError::StaleLsn {
+                    found,
+                    expected: self.expected,
+                })
             }
         }
     }
@@ -789,7 +860,10 @@ mod tests {
             g.mark_dirty(Lsn(10));
         }
         pool.flush_page(PageId(6)).unwrap();
-        dev.inject_fault(PageId(6), FaultSpec::SilentCorruption(CorruptionMode::StaleVersion));
+        dev.inject_fault(
+            PageId(6),
+            FaultSpec::SilentCorruption(CorruptionMode::StaleVersion),
+        );
         {
             let mut g = pool.fetch_mut(PageId(6)).unwrap();
             g.mark_dirty(Lsn(20));
@@ -800,7 +874,11 @@ mod tests {
         // Without the validator the stale page is accepted silently.
         {
             let g = pool.fetch(PageId(6)).unwrap();
-            assert_eq!(g.page_lsn(), 10, "stale image accepted: the nightmare scenario");
+            assert_eq!(
+                g.page_lsn(),
+                10,
+                "stale image accepted: the nightmare scenario"
+            );
         }
         pool.discard_page(PageId(6));
 
@@ -808,7 +886,13 @@ mod tests {
         pool.set_validator(Arc::new(StrictValidator { expected: Lsn(20) }));
         match pool.fetch(PageId(6)) {
             Err(FetchError::UnrecoveredPageFailure { error, .. }) => {
-                assert_eq!(error, ValidationError::StaleLsn { found: Lsn(10), expected: Lsn(20) });
+                assert_eq!(
+                    error,
+                    ValidationError::StaleLsn {
+                        found: Lsn(10),
+                        expected: Lsn(20)
+                    }
+                );
             }
             other => panic!("expected stale-LSN detection, got {other:?}"),
         }
@@ -832,7 +916,10 @@ mod tests {
     #[test]
     fn observer_sees_every_write_back() {
         let (pool, _dev, _log) = setup(4, 8);
-        let obs = Arc::new(CountingObserver { before: AtomicU32::new(0), after: AtomicU32::new(0) });
+        let obs = Arc::new(CountingObserver {
+            before: AtomicU32::new(0),
+            after: AtomicU32::new(0),
+        });
         pool.set_observer(Arc::clone(&obs) as Arc<dyn WriteObserver>);
         dirty_page(&pool, PageId(0), Lsn(5));
         dirty_page(&pool, PageId(1), Lsn(6));

@@ -37,7 +37,10 @@ impl std::fmt::Display for ValidationError {
         match self {
             ValidationError::Defect(d) => write!(f, "in-page defect: {d}"),
             ValidationError::StaleLsn { found, expected } => {
-                write!(f, "stale page: PageLSN {found}, page recovery index expects {expected}")
+                write!(
+                    f,
+                    "stale page: PageLSN {found}, page recovery index expects {expected}"
+                )
             }
         }
     }

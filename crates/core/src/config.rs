@@ -66,6 +66,9 @@ impl DatabaseConfig {
     /// experiments that report simulated times.
     #[must_use]
     pub fn with_disk_costs() -> Self {
-        Self { io_cost: IoCostModel::disk_2012(), ..Self::default() }
+        Self {
+            io_cost: IoCostModel::disk_2012(),
+            ..Self::default()
+        }
     }
 }

@@ -5,15 +5,13 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use spf_btree::{BTreeError, BumpAllocator, FosterBTree, PageAllocator};
+use spf_btree::{BTreeError, BumpAllocator, FosterBTree, KvPairs, PageAllocator};
 use spf_buffer::{BufferPool, BufferPoolConfig, FetchError};
 use spf_recovery::{
     BackupStore, FailureClass, MediaRecovery, MediaReport, PageRecoveryIndex, PriMaintainer,
     RestartReport, SinglePageRecovery, SystemRecovery,
 };
-use spf_storage::{
-    FaultSpec, MemDevice, Page, PageId, PageType, StorageDevice,
-};
+use spf_storage::{FaultSpec, MemDevice, Page, PageId, PageType, StorageDevice};
 use spf_txn::{LockTable, TxKind, TxnManager};
 use spf_util::SimClock;
 use spf_wal::{BackupRef, LogManager, LogPayload, LogRecord, Lsn, TxId};
@@ -72,7 +70,9 @@ impl Database {
         );
         let log = LogManager::new(Arc::clone(&clock), config.io_cost);
         let pool = BufferPool::new(
-            BufferPoolConfig { frames: config.pool_frames },
+            BufferPoolConfig {
+                frames: config.pool_frames,
+            },
             Arc::new(device.clone()),
             log.clone(),
         );
@@ -151,7 +151,9 @@ impl Database {
     /// Rolls `tx` back through the per-transaction log chain.
     pub fn abort(&self, tx: TxId) -> Result<Lsn, DbError> {
         self.locks.release_all(tx);
-        Ok(self.txn.abort(tx, &spf_btree::tree::PoolUndo::new(&self.pool))?)
+        Ok(self
+            .txn
+            .abort(tx, &spf_btree::tree::PoolUndo::new(&self.pool))?)
     }
 
     fn lock_key(&self, tx: TxId, key: &[u8]) -> Result<(), DbError> {
@@ -186,7 +188,7 @@ impl Database {
     }
 
     /// Range scan: up to `limit` live records with key ≥ `start`.
-    pub fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>, DbError> {
+    pub fn scan(&self, start: &[u8], limit: usize) -> Result<KvPairs, DbError> {
         self.with_repair(|| self.tree.scan(start, limit))
     }
 
@@ -227,9 +229,9 @@ impl Database {
                     let Some(spr) = &self.spr else {
                         // Figure 8: "a traditional system offers no choice
                         // but declare a media failure."
-                        return Err(self.escalate(format!(
-                            "unrepaired single-page failure at {page}: {e}"
-                        )));
+                        return Err(
+                            self.escalate(format!("unrepaired single-page failure at {page}: {e}"))
+                        );
                     };
                     if last_page == Some(page) {
                         // Recovery did not clear the symptom; escalate
@@ -292,7 +294,9 @@ impl Database {
             },
         });
         let ids: Vec<PageId> = dirty_pages.iter().map(|(id, _)| *id).collect();
-        self.pool.flush_pages(&ids).map_err(|e| self.escalate(e.to_string()))?;
+        self.pool
+            .flush_pages(&ids)
+            .map_err(|e| self.escalate(e.to_string()))?;
         self.log.append(&LogRecord {
             tx_id: TxId::NONE,
             prev_tx_lsn: Lsn::NULL,
@@ -339,28 +343,32 @@ impl Database {
     /// the page recovery index.
     pub fn take_full_backup(&self) -> Result<Lsn, DbError> {
         self.checkpoint()?;
-        self.pool.flush_all().map_err(|e| self.escalate(e.to_string()))?;
+        self.pool
+            .flush_all()
+            .map_err(|e| self.escalate(e.to_string()))?;
         let first = self
             .backups
             .take_full_backup(&self.device, self.config.data_pages)
             .map_err(|e| self.escalate(e.to_string()))?;
         let horizon = self.log.force();
-        let backup = BackupRef::FullBackup { first_slot: first.0, pages: self.config.data_pages };
+        let backup = BackupRef::FullBackup {
+            first_slot: first.0,
+            pages: self.config.data_pages,
+        };
         self.log.append(&LogRecord {
             tx_id: TxId::NONE,
             prev_tx_lsn: Lsn::NULL,
             page_id: PageId::INVALID,
             prev_page_lsn: Lsn::NULL,
-            payload: LogPayload::BackupTaken { backup, page_lsn: horizon },
+            payload: LogPayload::BackupTaken {
+                backup,
+                page_lsn: horizon,
+            },
         });
         self.log.force();
         if self.config.single_page_recovery {
-            self.pri.set_backup_range(
-                PageId(0),
-                PageId(self.config.data_pages),
-                backup,
-                horizon,
-            );
+            self.pri
+                .set_backup_range(PageId(0), PageId(self.config.data_pages), backup, horizon);
         }
         *self.last_full_backup.lock() = Some((first, horizon));
         Ok(horizon)
@@ -379,7 +387,13 @@ impl Database {
         self.locks.clear();
         let media = MediaRecovery::new(self.log.clone());
         let report = media
-            .restore_device(&self.device, &self.backups, first, self.config.data_pages, horizon)
+            .restore_device(
+                &self.device,
+                &self.backups,
+                first,
+                self.config.data_pages,
+                horizon,
+            )
             .map_err(DbError::RecoveryFailed)?;
         let restart = self.restart()?;
         Ok((report, restart))
@@ -449,7 +463,7 @@ impl Database {
     }
 
     /// Every live record (ordered) — used by tests to compare engines.
-    pub fn dump_all(&self) -> Result<Vec<(Vec<u8>, Vec<u8>)>, DbError> {
+    pub fn dump_all(&self) -> Result<KvPairs, DbError> {
         self.with_repair(|| self.tree.collect_all())
     }
 

@@ -53,7 +53,7 @@ pub use error::DbError;
 pub use stats::DbStats;
 
 // Re-export the pieces users touch through the façade.
-pub use spf_btree::VerifyMode;
+pub use spf_btree::{KvPairs, VerifyMode};
 pub use spf_recovery::{BackupPolicy, FailureClass};
 pub use spf_storage::{CorruptionMode, FaultSpec, PageId};
 pub use spf_util::{IoCostModel, SimDuration};

@@ -1,7 +1,7 @@
 //! Aggregated engine statistics for the experiment harness.
 
-use spf_buffer::PoolStats;
 use spf_btree::TreeStats;
+use spf_buffer::PoolStats;
 use spf_recovery::{BackupStats, PriStats, SpfStats};
 use spf_storage::DeviceStats;
 use spf_txn::TxnStats;

@@ -18,7 +18,11 @@ fn val(i: u64, gen: u64) -> Vec<u8> {
 }
 
 fn small_config() -> DatabaseConfig {
-    DatabaseConfig { data_pages: 1024, pool_frames: 64, ..DatabaseConfig::default() }
+    DatabaseConfig {
+        data_pages: 1024,
+        pool_frames: 64,
+        ..DatabaseConfig::default()
+    }
 }
 
 fn load(db: &Database, n: u64) {
@@ -39,7 +43,10 @@ fn committed_updates_survive_crash() {
     load(&db, 500);
     db.crash();
     let report = db.restart().unwrap();
-    assert!(report.redo_applied > 0, "nothing was flushed: redo must replay");
+    assert!(
+        report.redo_applied > 0,
+        "nothing was flushed: redo must replay"
+    );
     for i in 0..500 {
         assert_eq!(db.get(&key(i)).unwrap(), Some(val(i, 0)), "key {i}");
     }
@@ -60,7 +67,11 @@ fn uncommitted_updates_vanish_on_crash() {
     db.crash();
     db.restart().unwrap();
     for i in 100..150 {
-        assert_eq!(db.get(&key(i)).unwrap(), None, "uncommitted insert {i} must vanish");
+        assert_eq!(
+            db.get(&key(i)).unwrap(),
+            None,
+            "uncommitted insert {i} must vanish"
+        );
     }
     assert_eq!(db.get(&key(5)).unwrap(), Some(val(5, 0)));
     assert!(db.verify_tree().unwrap().is_empty());
@@ -83,7 +94,11 @@ fn loser_with_flushed_pages_is_rolled_back() {
     assert!(report.losers >= 1);
     assert!(report.clrs_written >= 50, "flushed loser updates need CLRs");
     for i in 0..50 {
-        assert_eq!(db.get(&key(i)).unwrap(), Some(val(i, 0)), "key {i} must be rolled back");
+        assert_eq!(
+            db.get(&key(i)).unwrap(),
+            Some(val(i, 0)),
+            "key {i} must be rolled back"
+        );
     }
     assert!(db.verify_tree().unwrap().is_empty());
 }
@@ -125,7 +140,10 @@ fn checkpoint_reduces_restart_redo() {
         with.redo_pages_read,
         without.redo_pages_read
     );
-    assert!(with.writes_confirmed_by_pri > 0, "PRI records confirm the checkpoint writes");
+    assert!(
+        with.writes_confirmed_by_pri > 0,
+        "PRI records confirm the checkpoint writes"
+    );
 }
 
 // ----------------------------------------------------------------------
@@ -134,11 +152,25 @@ fn checkpoint_reduces_restart_redo() {
 
 fn fault_matrix() -> Vec<(&'static str, FaultSpec)> {
     vec![
-        ("bit-rot", FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 16 })),
-        ("zero-page", FaultSpec::SilentCorruption(CorruptionMode::ZeroPage)),
+        (
+            "bit-rot",
+            FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 16 }),
+        ),
+        (
+            "zero-page",
+            FaultSpec::SilentCorruption(CorruptionMode::ZeroPage),
+        ),
         ("hard-read-error", FaultSpec::HardReadError),
-        ("torn-write", FaultSpec::TornWrite { persisted_prefix: 512 }),
-        ("stale-version", FaultSpec::SilentCorruption(CorruptionMode::StaleVersion)),
+        (
+            "torn-write",
+            FaultSpec::TornWrite {
+                persisted_prefix: 512,
+            },
+        ),
+        (
+            "stale-version",
+            FaultSpec::SilentCorruption(CorruptionMode::StaleVersion),
+        ),
     ]
 }
 
@@ -173,7 +205,10 @@ fn every_fault_mode_is_detected_and_repaired() {
             stats.spf.recoveries >= 1 || stats.pool.pages_recovered >= 1,
             "fault {name}: no recovery recorded: {stats:?}"
         );
-        assert!(db.verify_tree().unwrap().is_empty(), "fault {name}: tree damaged");
+        assert!(
+            db.verify_tree().unwrap().is_empty(),
+            "fault {name}: tree damaged"
+        );
     }
 }
 
@@ -188,14 +223,21 @@ fn traditional_engine_escalates_instead() {
     .unwrap();
     load(&db, 1500);
     let victim = db.any_leaf_page().unwrap();
-    db.inject_fault(victim, FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 16 }));
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 16 }),
+    );
     db.drop_cache();
 
     let mut escalated = false;
     for i in 0..1500 {
         match db.get(&key(i)) {
             Err(DbError::Failure { class, .. }) => {
-                assert_eq!(class, FailureClass::Media, "multi-device node -> media failure");
+                assert_eq!(
+                    class,
+                    FailureClass::Media,
+                    "multi-device node -> media failure"
+                );
                 escalated = true;
                 break;
             }
@@ -203,7 +245,10 @@ fn traditional_engine_escalates_instead() {
             Err(e) => panic!("unexpected error {e}"),
         }
     }
-    assert!(escalated, "a traditional engine must declare a media failure");
+    assert!(
+        escalated,
+        "a traditional engine must declare a media failure"
+    );
 
     // On a single-device node, the same failure is a *system* failure.
     let db = Database::create(DatabaseConfig {
@@ -215,7 +260,10 @@ fn traditional_engine_escalates_instead() {
     .unwrap();
     load(&db, 1500);
     let victim = db.any_leaf_page().unwrap();
-    db.inject_fault(victim, FaultSpec::SilentCorruption(CorruptionMode::ZeroPage));
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::ZeroPage),
+    );
     db.drop_cache();
     let mut class_seen = None;
     for i in 0..1500 {
@@ -237,7 +285,10 @@ fn lost_write_is_caught_only_by_pri_cross_check() {
     db.checkpoint().unwrap();
 
     let victim = db.any_leaf_page().unwrap();
-    db.inject_fault(victim, FaultSpec::SilentCorruption(CorruptionMode::StaleVersion));
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::StaleVersion),
+    );
 
     // Update everything (the victim included), flush, drop cache.
     let tx = db.begin();
@@ -255,7 +306,10 @@ fn lost_write_is_caught_only_by_pri_cross_check() {
         stats.pool.detected_stale_lsn >= 1,
         "staleness must be caught by the PRI cross-check: {stats:?}"
     );
-    assert_eq!(stats.pool.detected_checksum, 0, "checksums cannot see lost writes");
+    assert_eq!(
+        stats.pool.detected_checksum, 0,
+        "checksums cannot see lost writes"
+    );
 }
 
 #[test]
@@ -304,7 +358,10 @@ fn failure_detected_mid_transaction_does_not_abort_it() {
     load(&db, 1500);
     db.checkpoint().unwrap();
     let victim = db.any_leaf_page().unwrap();
-    db.inject_fault(victim, FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }));
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }),
+    );
     db.drop_cache();
 
     let tx = db.begin();
@@ -378,15 +435,24 @@ fn single_page_recovery_works_from_full_backup_entry() {
     db.commit(tx).unwrap();
 
     let victim = db.any_leaf_page().unwrap();
-    db.inject_fault(victim, FaultSpec::SilentCorruption(CorruptionMode::ZeroPage));
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::ZeroPage),
+    );
     db.drop_cache();
     for i in 0..1500 {
         assert_eq!(db.get(&key(i)).unwrap(), Some(val(i, 4)), "key {i}");
     }
     let stats = db.stats();
     assert!(stats.spf.recoveries >= 1);
-    assert!(stats.spf.chain_records_fetched > 0, "chain replay over the backup image");
-    assert!(entries_after_backup <= 2, "full backup must compress the PRI");
+    assert!(
+        stats.spf.chain_records_fetched > 0,
+        "chain replay over the backup image"
+    );
+    assert!(
+        entries_after_backup <= 2,
+        "full backup must compress the PRI"
+    );
 }
 
 #[test]
@@ -400,7 +466,10 @@ fn pri_rebuild_after_crash_still_recovers_pages() {
     db.restart().unwrap();
 
     let victim = db.any_leaf_page().unwrap();
-    db.inject_fault(victim, FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }));
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }),
+    );
     db.drop_cache();
     for i in 0..1500 {
         assert_eq!(db.get(&key(i)).unwrap(), Some(val(i, 0)), "key {i}");
@@ -423,7 +492,10 @@ fn failure_during_restart_redo_recovers_inline() {
 
     let victim = db.any_leaf_page().unwrap();
     db.crash();
-    db.inject_fault(victim, FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }));
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }),
+    );
     db.restart().unwrap();
     for i in 0..1000 {
         assert_eq!(db.get(&key(i)).unwrap(), Some(val(i, 5)), "key {i}");
@@ -507,7 +579,10 @@ fn recover_then_relocate_off_bad_block() {
     db.checkpoint().unwrap();
 
     let victim = db.any_leaf_page().unwrap();
-    db.inject_fault(victim, FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }));
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }),
+    );
     db.drop_cache();
 
     // Reads repair inline…
@@ -522,15 +597,26 @@ fn recover_then_relocate_off_bad_block() {
     db.drop_cache();
 
     for i in 0..1500 {
-        assert_eq!(db.get(&key(i)).unwrap(), Some(val(i, 0)), "key {i} after relocation");
+        assert_eq!(
+            db.get(&key(i)).unwrap(),
+            Some(val(i, 0)),
+            "key {i} after relocation"
+        );
     }
     assert!(db.verify_tree().unwrap().is_empty());
 
     // The relocated page is itself recoverable (format record = backup).
-    db.inject_fault(new_pid, FaultSpec::SilentCorruption(CorruptionMode::ZeroPage));
+    db.inject_fault(
+        new_pid,
+        FaultSpec::SilentCorruption(CorruptionMode::ZeroPage),
+    );
     db.drop_cache();
     for i in 0..1500 {
-        assert_eq!(db.get(&key(i)).unwrap(), Some(val(i, 0)), "key {i} after second failure");
+        assert_eq!(
+            db.get(&key(i)).unwrap(),
+            Some(val(i, 0)),
+            "key {i} after second failure"
+        );
     }
     assert!(db.stats().spf.recoveries >= 2);
 }

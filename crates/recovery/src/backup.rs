@@ -51,7 +51,9 @@ struct State {
 
 impl std::fmt::Debug for BackupStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BackupStore").field("next_slot", &self.state.lock().next_slot).finish()
+        f.debug_struct("BackupStore")
+            .field("next_slot", &self.state.lock().next_slot)
+            .finish()
     }
 }
 
@@ -60,7 +62,10 @@ impl BackupStore {
     /// sharing the system's simulated clock).
     #[must_use]
     pub fn new(device: MemDevice) -> Self {
-        Self { device, state: Mutex::new(State::default()) }
+        Self {
+            device,
+            state: Mutex::new(State::default()),
+        }
     }
 
     /// The underlying device (for statistics).
@@ -77,7 +82,8 @@ impl BackupStore {
         let slot = state.next_slot;
         state.next_slot += 1;
         if slot >= self.device.capacity() {
-            self.device.grow((slot - self.device.capacity() + 64).max(64));
+            self.device
+                .grow((slot - self.device.capacity() + 64).max(64));
         }
         PageId(slot)
     }

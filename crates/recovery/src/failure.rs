@@ -72,7 +72,10 @@ mod tests {
             FailureClass::SinglePage.escalates_to(false),
             Some(FailureClass::Media)
         );
-        assert_eq!(FailureClass::Media.escalates_to(true), Some(FailureClass::System));
+        assert_eq!(
+            FailureClass::Media.escalates_to(true),
+            Some(FailureClass::System)
+        );
         assert_eq!(FailureClass::Media.escalates_to(false), None);
         assert_eq!(FailureClass::System.escalates_to(true), None);
         assert_eq!(FailureClass::Transaction.escalates_to(true), None);

@@ -45,13 +45,17 @@ impl BackupPolicy {
     /// The paper's example policy: backup after every 100 updates.
     #[must_use]
     pub const fn paper_default() -> Self {
-        Self { every_n_updates: Some(100) }
+        Self {
+            every_n_updates: Some(100),
+        }
     }
 
     /// No explicit page backups (rely on format records / full backups).
     #[must_use]
     pub const fn disabled() -> Self {
-        Self { every_n_updates: None }
+        Self {
+            every_n_updates: None,
+        }
     }
 }
 
@@ -145,7 +149,9 @@ impl PriMaintainer {
 
 impl WriteObserver for PriMaintainer {
     fn before_page_write(&self, page: &mut Page) {
-        let Some(n) = self.policy.every_n_updates else { return };
+        let Some(n) = self.policy.every_n_updates else {
+            return;
+        };
         if page.update_count() < n {
             return;
         }
@@ -176,7 +182,8 @@ impl WriteObserver for PriMaintainer {
 
     fn page_formatted(&self, id: PageId, format_lsn: Lsn) {
         // A format record doubles as the page's backup copy.
-        self.pri.set_backup(id, BackupRef::FormatRecord(format_lsn), format_lsn);
+        self.pri
+            .set_backup(id, BackupRef::FormatRecord(format_lsn), format_lsn);
     }
 
     fn after_page_write(&self, id: PageId, page_lsn: Lsn) {
@@ -229,10 +236,20 @@ mod tests {
     use super::*;
     use spf_storage::{MemDevice, PageType, DEFAULT_PAGE_SIZE};
 
-    fn setup(policy: BackupPolicy) -> (Arc<PageRecoveryIndex>, LogManager, Arc<BackupStore>, PriMaintainer) {
+    fn setup(
+        policy: BackupPolicy,
+    ) -> (
+        Arc<PageRecoveryIndex>,
+        LogManager,
+        Arc<BackupStore>,
+        PriMaintainer,
+    ) {
         let pri = Arc::new(PageRecoveryIndex::new());
         let log = LogManager::for_testing();
-        let backups = Arc::new(BackupStore::new(MemDevice::for_testing(DEFAULT_PAGE_SIZE, 8)));
+        let backups = Arc::new(BackupStore::new(MemDevice::for_testing(
+            DEFAULT_PAGE_SIZE,
+            8,
+        )));
         let maintainer =
             PriMaintainer::new(Arc::clone(&pri), log.clone(), Arc::clone(&backups), policy);
         (pri, log, backups, maintainer)
@@ -253,7 +270,11 @@ mod tests {
         let before = log.stats().records_appended;
         maintainer.after_page_write(PageId(3), Lsn(77));
         let stats = log.stats();
-        assert_eq!(stats.records_appended, before + 1, "exactly one record per write");
+        assert_eq!(
+            stats.records_appended,
+            before + 1,
+            "exactly one record per write"
+        );
         assert_eq!(stats.appends_of("pri-update"), 1);
         assert_eq!(pri.lookup(PageId(3)).unwrap().latest_lsn, Some(Lsn(77)));
         // Not forced: the record sits in the log buffer.
@@ -262,7 +283,9 @@ mod tests {
 
     #[test]
     fn policy_triggers_backup_and_frees_old() {
-        let (pri, log, backups, maintainer) = setup(BackupPolicy { every_n_updates: Some(10) });
+        let (pri, log, backups, maintainer) = setup(BackupPolicy {
+            every_n_updates: Some(10),
+        });
         // Below threshold: nothing happens.
         let mut page = page_with_updates(5, 3, 30);
         maintainer.before_page_write(&mut page);
@@ -319,7 +342,10 @@ mod tests {
         page.set_page_lsn(50);
         assert_eq!(
             maintainer.validate(PageId(7), &page),
-            Err(ValidationError::StaleLsn { found: Lsn(50), expected: Lsn(100) })
+            Err(ValidationError::StaleLsn {
+                found: Lsn(50),
+                expected: Lsn(100)
+            })
         );
         assert_eq!(maintainer.stats().stale_detections, 1);
 

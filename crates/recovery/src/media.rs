@@ -160,8 +160,10 @@ impl MediaRecovery {
         let page_size = base_image.size();
 
         let bytes_before = self.log.stats().bytes_scanned;
-        let records =
-            self.log.scan_from(backup_lsn).map_err(|e| format!("mirror scan: {e}"))?;
+        let records = self
+            .log
+            .scan_from(backup_lsn)
+            .map_err(|e| format!("mirror scan: {e}"))?;
         for (lsn, record) in records {
             report.log_records_scanned += 1;
             if record.page_id.is_valid()
@@ -183,12 +185,12 @@ impl MediaRecovery {
                 continue;
             }
             match &record.payload {
-                LogPayload::Update { op } | LogPayload::Clr { op, .. } => {
-                    if base_image.page_lsn() < lsn.0 {
-                        op.redo(&mut base_image);
-                        base_image.set_page_lsn(lsn.0);
-                        report.records_for_target += 1;
-                    }
+                LogPayload::Update { op } | LogPayload::Clr { op, .. }
+                    if base_image.page_lsn() < lsn.0 =>
+                {
+                    op.redo(&mut base_image);
+                    base_image.set_page_lsn(lsn.0);
+                    report.records_for_target += 1;
                 }
                 LogPayload::PageFormat { image } | LogPayload::FullPageImage { image } => {
                     base_image = image.restore();

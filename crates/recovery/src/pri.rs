@@ -90,12 +90,21 @@ impl PageRecoveryIndex {
     /// mapping (splitting a covering range if needed). Returns the
     /// previous backup reference so the caller can free it ("used when
     /// freeing the old backup page").
-    pub fn set_backup(&self, page: PageId, backup: BackupRef, backup_lsn: Lsn) -> Option<BackupRef> {
+    pub fn set_backup(
+        &self,
+        page: PageId,
+        backup: BackupRef,
+        backup_lsn: Lsn,
+    ) -> Option<BackupRef> {
         let old = self.lookup(page).map(|e| e.backup);
         self.insert_range(
             page.0,
             page.0 + 1,
-            PriEntry { backup, backup_lsn, latest_lsn: None },
+            PriEntry {
+                backup,
+                backup_lsn,
+                latest_lsn: None,
+            },
         );
         old
     }
@@ -106,7 +115,11 @@ impl PageRecoveryIndex {
         self.insert_range(
             start.0,
             end.0,
-            PriEntry { backup, backup_lsn, latest_lsn: None },
+            PriEntry {
+                backup,
+                backup_lsn,
+                latest_lsn: None,
+            },
         );
     }
 
@@ -120,7 +133,11 @@ impl PageRecoveryIndex {
             self.insert_range(
                 page.0,
                 page.0 + 1,
-                PriEntry { backup: BackupRef::None, backup_lsn: Lsn::NULL, latest_lsn: Some(lsn) },
+                PriEntry {
+                    backup: BackupRef::None,
+                    backup_lsn: Lsn::NULL,
+                    latest_lsn: Some(lsn),
+                },
             );
         }
     }
@@ -160,7 +177,13 @@ impl PageRecoveryIndex {
         if new_end != end {
             ranges.remove(&end);
         }
-        ranges.insert(new_start, RangeEntry { end: new_end, entry });
+        ranges.insert(
+            new_start,
+            RangeEntry {
+                end: new_end,
+                entry,
+            },
+        );
     }
 
     /// Removes coverage of `[start, end)`, truncating/splitting overlaps.
@@ -172,7 +195,13 @@ impl PageRecoveryIndex {
                 ranges.get_mut(&ls).expect("exists").end = start;
                 if left.end > end {
                     // The carve splits one range in two.
-                    ranges.insert(end, RangeEntry { end: left.end, entry: left.entry });
+                    ranges.insert(
+                        end,
+                        RangeEntry {
+                            end: left.end,
+                            entry: left.entry,
+                        },
+                    );
                 }
             }
         }
@@ -203,7 +232,11 @@ impl PageRecoveryIndex {
     /// All `(start, end, entry)` ranges, for diagnostics and tests.
     #[must_use]
     pub fn dump(&self) -> Vec<(u64, u64, PriEntry)> {
-        self.ranges.read().iter().map(|(&s, r)| (s, r.end, r.entry)).collect()
+        self.ranges
+            .read()
+            .iter()
+            .map(|(&s, r)| (s, r.end, r.entry))
+            .collect()
     }
 }
 
@@ -233,7 +266,12 @@ mod tests {
     #[test]
     fn full_backup_is_one_entry_then_splits() {
         let pri = PageRecoveryIndex::new();
-        pri.set_backup_range(PageId(0), PageId(1000), BackupRef::BackupPage(PageId(0)), Lsn(50));
+        pri.set_backup_range(
+            PageId(0),
+            PageId(1000),
+            BackupRef::BackupPage(PageId(0)),
+            Lsn(50),
+        );
         assert_eq!(pri.stats().entries, 1);
         assert_eq!(pri.stats().pages_covered, 1000);
 
@@ -241,17 +279,34 @@ mod tests {
         // page, the range must be split as appropriate."
         pri.set_backup(PageId(500), BackupRef::BackupPage(PageId(9)), Lsn(60));
         let stats = pri.stats();
-        assert_eq!(stats.entries, 3, "left remainder, new page, right remainder");
+        assert_eq!(
+            stats.entries, 3,
+            "left remainder, new page, right remainder"
+        );
         assert_eq!(stats.pages_covered, 1000);
-        assert_eq!(pri.lookup(PageId(499)).unwrap().backup, BackupRef::BackupPage(PageId(0)));
-        assert_eq!(pri.lookup(PageId(500)).unwrap().backup, BackupRef::BackupPage(PageId(9)));
-        assert_eq!(pri.lookup(PageId(501)).unwrap().backup, BackupRef::BackupPage(PageId(0)));
+        assert_eq!(
+            pri.lookup(PageId(499)).unwrap().backup,
+            BackupRef::BackupPage(PageId(0))
+        );
+        assert_eq!(
+            pri.lookup(PageId(500)).unwrap().backup,
+            BackupRef::BackupPage(PageId(9))
+        );
+        assert_eq!(
+            pri.lookup(PageId(501)).unwrap().backup,
+            BackupRef::BackupPage(PageId(0))
+        );
     }
 
     #[test]
     fn set_latest_lsn_tracks_most_recent_record() {
         let pri = PageRecoveryIndex::new();
-        pri.set_backup_range(PageId(0), PageId(10), BackupRef::BackupPage(PageId(0)), Lsn(5));
+        pri.set_backup_range(
+            PageId(0),
+            PageId(10),
+            BackupRef::BackupPage(PageId(0)),
+            Lsn(5),
+        );
         pri.set_latest_lsn(PageId(3), Lsn(100));
         assert_eq!(pri.lookup(PageId(3)).unwrap().latest_lsn, Some(Lsn(100)));
         assert_eq!(pri.lookup(PageId(4)).unwrap().latest_lsn, None);
@@ -266,7 +321,10 @@ mod tests {
     #[test]
     fn set_backup_returns_old_ref_for_freeing() {
         let pri = PageRecoveryIndex::new();
-        assert_eq!(pri.set_backup(PageId(1), BackupRef::BackupPage(PageId(5)), Lsn(1)), None);
+        assert_eq!(
+            pri.set_backup(PageId(1), BackupRef::BackupPage(PageId(5)), Lsn(1)),
+            None
+        );
         let old = pri.set_backup(PageId(1), BackupRef::BackupPage(PageId(6)), Lsn(2));
         assert_eq!(old, Some(BackupRef::BackupPage(PageId(5))));
     }
@@ -282,14 +340,23 @@ mod tests {
                 Lsn(5),
             );
         }
-        assert_eq!(pri.stats().entries, 1, "identical adjacent entries must merge");
+        assert_eq!(
+            pri.stats().entries,
+            1,
+            "identical adjacent entries must merge"
+        );
         assert_eq!(pri.stats().pages_covered, 10);
     }
 
     #[test]
     fn remove_uncovers_page() {
         let pri = PageRecoveryIndex::new();
-        pri.set_backup_range(PageId(0), PageId(10), BackupRef::BackupPage(PageId(0)), Lsn(5));
+        pri.set_backup_range(
+            PageId(0),
+            PageId(10),
+            BackupRef::BackupPage(PageId(0)),
+            Lsn(5),
+        );
         pri.remove(PageId(4));
         assert_eq!(pri.lookup(PageId(4)), None);
         assert!(pri.lookup(PageId(3)).is_some());

@@ -187,7 +187,8 @@ impl SinglePageRecovery {
 
         // Sanity: the rebuilt page must verify.
         page.finalize_checksum();
-        page.verify(id).map_err(|d| format!("recovered page fails verification: {d}"))?;
+        page.verify(id)
+            .map_err(|d| format!("recovered page fails verification: {d}"))?;
 
         // (5) Retire the failed physical location: the simulated firmware
         // remaps the logical address onto a fresh block.
@@ -198,9 +199,7 @@ impl SinglePageRecovery {
         stats.recoveries += 1;
         stats.sim_time = stats.sim_time.saturating_add(self.clock.now() - start_time);
         match entry.backup {
-            BackupRef::BackupPage(_) | BackupRef::FullBackup { .. } => {
-                stats.from_backup_page += 1
-            }
+            BackupRef::BackupPage(_) | BackupRef::FullBackup { .. } => stats.from_backup_page += 1,
             BackupRef::LogImage(_) => stats.from_log_image += 1,
             BackupRef::FormatRecord(_) => stats.from_format_record += 1,
             BackupRef::None => {}
@@ -212,8 +211,10 @@ impl SinglePageRecovery {
         match backup {
             BackupRef::BackupPage(slot) => self.backups.read_backup(slot, id),
             BackupRef::LogImage(lsn) => {
-                let record =
-                    self.log.read_record(lsn).map_err(|e| format!("in-log image read: {e}"))?;
+                let record = self
+                    .log
+                    .read_record(lsn)
+                    .map_err(|e| format!("in-log image read: {e}"))?;
                 match record.payload {
                     LogPayload::FullPageImage { image } => {
                         let mut page = image.restore();
@@ -227,8 +228,10 @@ impl SinglePageRecovery {
                 }
             }
             BackupRef::FormatRecord(lsn) => {
-                let record =
-                    self.log.read_record(lsn).map_err(|e| format!("format record read: {e}"))?;
+                let record = self
+                    .log
+                    .read_record(lsn)
+                    .map_err(|e| format!("format record read: {e}"))?;
                 match record.payload {
                     LogPayload::PageFormat { image } => {
                         let mut page = image.restore();
@@ -283,14 +286,23 @@ mod tests {
         let pri = Arc::new(PageRecoveryIndex::new());
         let log = LogManager::for_testing();
         let device = MemDevice::for_testing(DEFAULT_PAGE_SIZE, 16);
-        let backups = Arc::new(BackupStore::new(MemDevice::for_testing(DEFAULT_PAGE_SIZE, 16)));
+        let backups = Arc::new(BackupStore::new(MemDevice::for_testing(
+            DEFAULT_PAGE_SIZE,
+            16,
+        )));
         let spr = SinglePageRecovery::new(
             Arc::clone(&pri),
             log.clone(),
             Arc::clone(&backups),
             device.clone(),
         );
-        Fixture { pri, log, backups, device, spr }
+        Fixture {
+            pri,
+            log,
+            backups,
+            device,
+            spr,
+        }
     }
 
     /// Builds a page, takes a backup, applies `n` chained updates through
@@ -300,7 +312,8 @@ mod tests {
         let mut page = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(id), PageType::BTreeLeaf);
         page.set_page_lsn(1);
         let slot = fx.backups.take_page_backup(&page).unwrap();
-        fx.pri.set_backup(PageId(id), BackupRef::BackupPage(slot), Lsn(1));
+        fx.pri
+            .set_backup(PageId(id), BackupRef::BackupPage(slot), Lsn(1));
 
         let mut last = Lsn::NULL;
         for i in 0..n {
@@ -336,10 +349,14 @@ mod tests {
         // Logical contents identical.
         let mut a = recovered.clone();
         let mut b = expected.clone();
-        let got: Vec<(Vec<u8>, bool)> =
-            SlottedPage::new(&mut a).iter().map(|(_, r, g)| (r.to_vec(), g)).collect();
-        let want: Vec<(Vec<u8>, bool)> =
-            SlottedPage::new(&mut b).iter().map(|(_, r, g)| (r.to_vec(), g)).collect();
+        let got: Vec<(Vec<u8>, bool)> = SlottedPage::new(&mut a)
+            .iter()
+            .map(|(_, r, g)| (r.to_vec(), g))
+            .collect();
+        let want: Vec<(Vec<u8>, bool)> = SlottedPage::new(&mut b)
+            .iter()
+            .map(|(_, r, g)| (r.to_vec(), g))
+            .collect();
         assert_eq!(got, want);
         let stats = fx.spr.stats();
         assert_eq!(stats.recoveries, 1);
@@ -379,7 +396,8 @@ mod tests {
             },
         });
         page.set_page_lsn(format_lsn.0);
-        fx.pri.set_backup(PageId(5), BackupRef::FormatRecord(format_lsn), format_lsn);
+        fx.pri
+            .set_backup(PageId(5), BackupRef::FormatRecord(format_lsn), format_lsn);
 
         // Two updates after the format.
         let mut last_page_lsn = format_lsn;
@@ -428,7 +446,8 @@ mod tests {
             },
         });
         fx.log.force();
-        fx.pri.set_backup(PageId(6), BackupRef::LogImage(img_lsn), img_lsn);
+        fx.pri
+            .set_backup(PageId(6), BackupRef::LogImage(img_lsn), img_lsn);
         let recovered = fx.spr.recover_page(PageId(6)).unwrap();
         assert_eq!(recovered.page_lsn(), img_lsn.0);
         assert_eq!(recovered.record_at(0).unwrap().0, b"snapshot");
@@ -456,7 +475,10 @@ mod tests {
         let other = page_with_history(&fx, 8, 3);
         fx.pri.set_latest_lsn(PageId(7), Lsn(other.page_lsn()));
         let result = fx.spr.recover_page(PageId(7));
-        assert!(result.is_err(), "cross-linked chain must not be silently applied");
+        assert!(
+            result.is_err(),
+            "cross-linked chain must not be silently applied"
+        );
     }
 
     #[test]
@@ -482,13 +504,22 @@ mod tests {
             Arc::clone(&backups),
             device.clone(),
         );
-        let fx = Fixture { pri, log, backups, device, spr };
+        let fx = Fixture {
+            pri,
+            log,
+            backups,
+            device,
+            spr,
+        };
         let _ = page_with_history(&fx, 2, 30);
 
         let t0 = clock.now();
         fx.spr.recover_page(PageId(2)).unwrap();
         let elapsed = (clock.now() - t0).as_secs_f64();
-        assert!(elapsed < 1.0, "single-page recovery must be sub-second, got {elapsed}");
+        assert!(
+            elapsed < 1.0,
+            "single-page recovery must be sub-second, got {elapsed}"
+        );
         assert!(elapsed > 0.1, "it is not free either: {elapsed}");
     }
 }

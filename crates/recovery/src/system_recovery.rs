@@ -103,14 +103,22 @@ impl SystemRecovery {
         let mut dpt: BTreeMap<PageId, Lsn> = BTreeMap::new();
         let mut ever_dirty: std::collections::HashSet<PageId> = std::collections::HashSet::new();
 
-        let records =
-            self.log.scan_from(Lsn::NULL).map_err(|e| format!("analysis scan failed: {e}"))?;
+        let records = self
+            .log
+            .scan_from(Lsn::NULL)
+            .map_err(|e| format!("analysis scan failed: {e}"))?;
         for (lsn, record) in &records {
             report.analysis_records += 1;
             report.max_tx_seen = report.max_tx_seen.max(record.tx_id.0);
             match &record.payload {
                 LogPayload::TxBegin { system } => {
-                    att.insert(record.tx_id, AttEntry { last_lsn: *lsn, system: *system });
+                    att.insert(
+                        record.tx_id,
+                        AttEntry {
+                            last_lsn: *lsn,
+                            system: *system,
+                        },
+                    );
                 }
                 LogPayload::TxCommit { .. } | LogPayload::TxAbort => {
                     att.remove(&record.tx_id);
@@ -175,7 +183,9 @@ impl SystemRecovery {
             std::collections::HashSet::new();
         if !dpt.is_empty() {
             for (lsn, record) in records.iter().filter(|(l, _)| *l >= redo_start) {
-                let Some(&rec_lsn) = dpt.get(&record.page_id) else { continue };
+                let Some(&rec_lsn) = dpt.get(&record.page_id) else {
+                    continue;
+                };
                 if *lsn < rec_lsn {
                     continue;
                 }
@@ -213,9 +223,9 @@ impl SystemRecovery {
                         let mut page = image.restore();
                         page.set_page_lsn(lsn.0);
                         page.reset_update_count();
-                        self.pool
-                            .put_new(page, *lsn)
-                            .map_err(|e| format!("redo format of {} failed: {e}", record.page_id))?;
+                        self.pool.put_new(page, *lsn).map_err(|e| {
+                            format!("redo format of {} failed: {e}", record.page_id)
+                        })?;
                         pages_touched_by_redo.insert(record.page_id);
                         report.redo_applied += 1;
                     }
@@ -229,7 +239,7 @@ impl SystemRecovery {
         // the crash, but their PriUpdate record was lost. "The page
         // recovery index must be updated right away … the recovery process
         // should generate an appropriate log record."
-        for (&page_id, _) in &dpt {
+        for &page_id in dpt.keys() {
             if pages_touched_by_redo.contains(&page_id) {
                 continue; // the page is dirty again; its eventual
                           // write-back will log the PriUpdate normally
@@ -250,7 +260,9 @@ impl SystemRecovery {
                 prev_page_lsn: Lsn::NULL,
                 payload: LogPayload::PriUpdate {
                     page_lsn,
-                    backup: pri.lookup(page_id).map_or(spf_wal::BackupRef::None, |e| e.backup),
+                    backup: pri
+                        .lookup(page_id)
+                        .map_or(spf_wal::BackupRef::None, |e| e.backup),
                 },
             });
             pri.set_latest_lsn(page_id, page_lsn);
@@ -270,8 +282,10 @@ impl SystemRecovery {
         let mut last_clr_per_tx: HashMap<TxId, Lsn> = HashMap::new();
         while let Some((&lsn, &tx)) = cursors.iter().next_back() {
             cursors.remove(&lsn);
-            let record =
-                self.log.read_record(lsn).map_err(|e| format!("undo read at {lsn}: {e}"))?;
+            let record = self
+                .log
+                .read_record(lsn)
+                .map_err(|e| format!("undo read at {lsn}: {e}"))?;
             debug_assert_eq!(record.tx_id, tx);
             let next = match &record.payload {
                 LogPayload::Update { op } => {
@@ -283,10 +297,16 @@ impl SystemRecovery {
                     let prev_page_lsn = Lsn(guard.page_lsn());
                     let clr_lsn = self.log.append(&LogRecord {
                         tx_id: tx,
-                        prev_tx_lsn: last_clr_per_tx.get(&tx).copied().unwrap_or(record.prev_tx_lsn),
+                        prev_tx_lsn: last_clr_per_tx
+                            .get(&tx)
+                            .copied()
+                            .unwrap_or(record.prev_tx_lsn),
                         page_id: record.page_id,
                         prev_page_lsn,
-                        payload: LogPayload::Clr { op: comp.clone(), undo_next: record.prev_tx_lsn },
+                        payload: LogPayload::Clr {
+                            op: comp.clone(),
+                            undo_next: record.prev_tx_lsn,
+                        },
                     });
                     comp.redo(&mut guard);
                     guard.mark_dirty(clr_lsn);

@@ -54,7 +54,10 @@ impl std::fmt::Display for VersionError {
         match self {
             VersionError::Log(e) => write!(f, "log read failed: {e}"),
             VersionError::HistoryHorizon { at } => {
-                write!(f, "version predates reconstructable history (format/image at {at})")
+                write!(
+                    f,
+                    "version predates reconstructable history (format/image at {at})"
+                )
             }
             VersionError::ChainBroken { detail } => write!(f, "per-page chain broken: {detail}"),
         }
@@ -99,7 +102,10 @@ pub fn rollback_page_to(
             }
             other => {
                 return Err(VersionError::ChainBroken {
-                    detail: format!("unexpected {} record on chain at {cursor}", other.kind_name()),
+                    detail: format!(
+                        "unexpected {} record on chain at {cursor}",
+                        other.kind_name()
+                    ),
                 })
             }
         }
@@ -175,9 +181,21 @@ mod tests {
         let log = LogManager::for_testing();
         let mut page = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(5), PageType::BTreeLeaf);
         let ops = vec![
-            PageOp::InsertRecord { pos: 0, bytes: b"a".to_vec(), ghost: false },
-            PageOp::ReplaceRecord { pos: 0, old_bytes: b"a".to_vec(), new_bytes: b"A2".to_vec() },
-            PageOp::SetGhost { pos: 0, old: false, new: true },
+            PageOp::InsertRecord {
+                pos: 0,
+                bytes: b"a".to_vec(),
+                ghost: false,
+            },
+            PageOp::ReplaceRecord {
+                pos: 0,
+                old_bytes: b"a".to_vec(),
+                new_bytes: b"A2".to_vec(),
+            },
+            PageOp::SetGhost {
+                pos: 0,
+                old: false,
+                new: true,
+            },
         ];
         let mut lsns = vec![Lsn::NULL];
         for op in ops {
@@ -224,7 +242,11 @@ mod tests {
             },
         });
         page.set_page_lsn(fmt_lsn.0);
-        let op = PageOp::InsertRecord { pos: 0, bytes: b"x".to_vec(), ghost: false };
+        let op = PageOp::InsertRecord {
+            pos: 0,
+            bytes: b"x".to_vec(),
+            ghost: false,
+        };
         let lsn = log.append(&LogRecord {
             tx_id: TxId(1),
             prev_tx_lsn: Lsn::NULL,
@@ -253,7 +275,11 @@ mod tests {
         let mut forged = page.clone();
         let other = {
             let mut p = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(9), PageType::BTreeLeaf);
-            let op = PageOp::InsertRecord { pos: 0, bytes: b"o".to_vec(), ghost: false };
+            let op = PageOp::InsertRecord {
+                pos: 0,
+                bytes: b"o".to_vec(),
+                ghost: false,
+            };
             let lsn = log.append(&LogRecord {
                 tx_id: TxId(2),
                 prev_tx_lsn: Lsn::NULL,

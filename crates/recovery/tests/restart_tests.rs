@@ -32,7 +32,13 @@ fn fixture() -> Fixture {
         log.clone(),
     );
     let txn = TxnManager::new(log.clone());
-    Fixture { device, log, pool, txn, pri: Arc::new(PageRecoveryIndex::new()) }
+    Fixture {
+        device,
+        log,
+        pool,
+        txn,
+        pri: Arc::new(PageRecoveryIndex::new()),
+    }
 }
 
 fn apply_and_log(fx: &Fixture, tx: spf_wal::TxId, page: PageId, op: PageOp) -> Lsn {
@@ -62,27 +68,42 @@ fn uncommitted_system_transaction_is_rolled_back() {
 
     // A committed user transaction first (content that must survive).
     let user = fx.txn.begin(TxKind::User);
-    apply_and_log(&fx, user, PageId(1), PageOp::InsertRecord {
-        pos: 0,
-        bytes: b"user-data".to_vec(),
-        ghost: false,
-    });
+    apply_and_log(
+        &fx,
+        user,
+        PageId(1),
+        PageOp::InsertRecord {
+            pos: 0,
+            bytes: b"user-data".to_vec(),
+            ghost: false,
+        },
+    );
     fx.txn.commit(user).unwrap();
 
     // A system transaction mimicking half a split: removes a record from
     // page 1, inserts it into page 2 — then the system fails before its
     // commit record becomes durable.
     let sys = fx.txn.begin(TxKind::System);
-    apply_and_log(&fx, sys, PageId(1), PageOp::RemoveRecord {
-        pos: 0,
-        old_bytes: b"user-data".to_vec(),
-        old_ghost: false,
-    });
-    apply_and_log(&fx, sys, PageId(2), PageOp::InsertRecord {
-        pos: 0,
-        bytes: b"user-data".to_vec(),
-        ghost: false,
-    });
+    apply_and_log(
+        &fx,
+        sys,
+        PageId(1),
+        PageOp::RemoveRecord {
+            pos: 0,
+            old_bytes: b"user-data".to_vec(),
+            old_ghost: false,
+        },
+    );
+    apply_and_log(
+        &fx,
+        sys,
+        PageId(2),
+        PageOp::InsertRecord {
+            pos: 0,
+            bytes: b"user-data".to_vec(),
+            ghost: false,
+        },
+    );
     // The structural updates are durable (e.g. carried out by a page
     // write), but the commit record is not:
     fx.log.force();
@@ -108,21 +129,36 @@ fn interleaved_winners_and_losers() {
 
     let winner = fx.txn.begin(TxKind::User);
     let loser = fx.txn.begin(TxKind::User);
-    apply_and_log(&fx, winner, PageId(3), PageOp::InsertRecord {
-        pos: 0,
-        bytes: b"w0".to_vec(),
-        ghost: false,
-    });
-    apply_and_log(&fx, loser, PageId(3), PageOp::InsertRecord {
-        pos: 1,
-        bytes: b"l0".to_vec(),
-        ghost: false,
-    });
-    apply_and_log(&fx, winner, PageId(3), PageOp::InsertRecord {
-        pos: 2,
-        bytes: b"w1".to_vec(),
-        ghost: false,
-    });
+    apply_and_log(
+        &fx,
+        winner,
+        PageId(3),
+        PageOp::InsertRecord {
+            pos: 0,
+            bytes: b"w0".to_vec(),
+            ghost: false,
+        },
+    );
+    apply_and_log(
+        &fx,
+        loser,
+        PageId(3),
+        PageOp::InsertRecord {
+            pos: 1,
+            bytes: b"l0".to_vec(),
+            ghost: false,
+        },
+    );
+    apply_and_log(
+        &fx,
+        winner,
+        PageId(3),
+        PageOp::InsertRecord {
+            pos: 2,
+            bytes: b"w1".to_vec(),
+            ghost: false,
+        },
+    );
     fx.txn.commit(winner).unwrap(); // forces; loser records durable too
 
     fx.pool.discard_all();
@@ -146,11 +182,16 @@ fn restart_rebuilds_pri_equivalently() {
     let tx = fx.txn.begin(TxKind::User);
     for page in 4..10u64 {
         for rec in 0..5u16 {
-            apply_and_log(&fx, tx, PageId(page), PageOp::InsertRecord {
-                pos: rec,
-                bytes: format!("p{page}-r{rec}").into_bytes(),
-                ghost: false,
-            });
+            apply_and_log(
+                &fx,
+                tx,
+                PageId(page),
+                PageOp::InsertRecord {
+                    pos: rec,
+                    bytes: format!("p{page}-r{rec}").into_bytes(),
+                    ghost: false,
+                },
+            );
         }
     }
     fx.txn.commit(tx).unwrap();

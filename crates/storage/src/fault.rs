@@ -77,10 +77,17 @@ pub enum FaultSpec {
 
 #[derive(Debug)]
 enum ArmedFault {
-    Silent { mode: CorruptionMode, snapshot: Option<Vec<u8>> },
+    Silent {
+        mode: CorruptionMode,
+        snapshot: Option<Vec<u8>>,
+    },
     HardReadError,
-    TornWrite { persisted_prefix: usize },
-    WearOut { writes_remaining: u64 },
+    TornWrite {
+        persisted_prefix: usize,
+    },
+    WearOut {
+        writes_remaining: u64,
+    },
 }
 
 /// Deterministic per-page fault injector shared by a [`crate::MemDevice`].
@@ -143,9 +150,7 @@ impl FaultInjector {
         let armed = match fault {
             FaultSpec::SilentCorruption(mode) => ArmedFault::Silent { mode, snapshot },
             FaultSpec::HardReadError => ArmedFault::HardReadError,
-            FaultSpec::TornWrite { persisted_prefix } => {
-                ArmedFault::TornWrite { persisted_prefix }
-            }
+            FaultSpec::TornWrite { persisted_prefix } => ArmedFault::TornWrite { persisted_prefix },
             FaultSpec::WearOut { writes_remaining } => ArmedFault::WearOut { writes_remaining },
         };
         self.inner.lock().faults.insert(page, armed);
@@ -259,7 +264,10 @@ impl FaultInjector {
                     WriteOutcome::Clean
                 }
             }
-            ArmedFault::Silent { mode: CorruptionMode::StaleVersion, .. } => {
+            ArmedFault::Silent {
+                mode: CorruptionMode::StaleVersion,
+                ..
+            } => {
                 // Lost write: the device acknowledges but persists nothing.
                 WriteOutcome::Dropped
             }
@@ -275,7 +283,10 @@ mod tests {
     #[test]
     fn clean_by_default() {
         let inj = FaultInjector::new(1);
-        assert!(matches!(inj.on_read(PageId(0), &[0u8; 64]), ReadOutcome::Clean));
+        assert!(matches!(
+            inj.on_read(PageId(0), &[0u8; 64]),
+            ReadOutcome::Clean
+        ));
         assert!(matches!(inj.on_write(PageId(0)), WriteOutcome::Clean));
         assert!(inj.faulted_pages().is_empty());
     }
@@ -315,10 +326,16 @@ mod tests {
     fn hard_error_and_clear() {
         let inj = FaultInjector::new(7);
         inj.arm_internal(PageId(3), FaultSpec::HardReadError, None);
-        assert!(matches!(inj.on_read(PageId(3), &[0; 8]), ReadOutcome::HardError));
+        assert!(matches!(
+            inj.on_read(PageId(3), &[0; 8]),
+            ReadOutcome::HardError
+        ));
         assert_eq!(inj.faulted_pages(), vec![PageId(3)]);
         inj.clear(PageId(3));
-        assert!(matches!(inj.on_read(PageId(3), &[0; 8]), ReadOutcome::Clean));
+        assert!(matches!(
+            inj.on_read(PageId(3), &[0; 8]),
+            ReadOutcome::Clean
+        ));
     }
 
     #[test]
@@ -340,19 +357,37 @@ mod tests {
     #[test]
     fn torn_write_fires_once() {
         let inj = FaultInjector::new(7);
-        inj.arm_internal(PageId(9), FaultSpec::TornWrite { persisted_prefix: 512 }, None);
-        assert!(matches!(inj.on_write(PageId(9)), WriteOutcome::TornPrefix(512)));
+        inj.arm_internal(
+            PageId(9),
+            FaultSpec::TornWrite {
+                persisted_prefix: 512,
+            },
+            None,
+        );
+        assert!(matches!(
+            inj.on_write(PageId(9)),
+            WriteOutcome::TornPrefix(512)
+        ));
         assert!(matches!(inj.on_write(PageId(9)), WriteOutcome::Clean));
     }
 
     #[test]
     fn wear_out_counts_down_then_fails() {
         let inj = FaultInjector::new(7);
-        inj.arm_internal(PageId(2), FaultSpec::WearOut { writes_remaining: 2 }, None);
+        inj.arm_internal(
+            PageId(2),
+            FaultSpec::WearOut {
+                writes_remaining: 2,
+            },
+            None,
+        );
         assert!(matches!(inj.on_write(PageId(2)), WriteOutcome::Clean));
         assert!(matches!(inj.on_write(PageId(2)), WriteOutcome::Clean));
         assert!(matches!(inj.on_write(PageId(2)), WriteOutcome::HardError));
-        assert!(matches!(inj.on_read(PageId(2), &[0; 8]), ReadOutcome::HardError));
+        assert!(matches!(
+            inj.on_read(PageId(2), &[0; 8]),
+            ReadOutcome::HardError
+        ));
     }
 
     #[test]
@@ -360,11 +395,20 @@ mod tests {
         let inj = FaultInjector::new(7);
         inj.fail_device();
         assert!(inj.device_failed());
-        assert!(matches!(inj.on_read(PageId(0), &[0; 8]), ReadOutcome::DeviceFailed));
-        assert!(matches!(inj.on_write(PageId(0)), WriteOutcome::DeviceFailed));
+        assert!(matches!(
+            inj.on_read(PageId(0), &[0; 8]),
+            ReadOutcome::DeviceFailed
+        ));
+        assert!(matches!(
+            inj.on_write(PageId(0)),
+            WriteOutcome::DeviceFailed
+        ));
         inj.clear_all();
         assert!(!inj.device_failed());
-        assert!(matches!(inj.on_read(PageId(0), &[0; 8]), ReadOutcome::Clean));
+        assert!(matches!(
+            inj.on_read(PageId(0), &[0; 8]),
+            ReadOutcome::Clean
+        ));
     }
 
     #[test]
@@ -383,7 +427,10 @@ mod tests {
                 assert_ne!(img, stored, "image must be damaged");
                 let recomputed = spf_util::crc32c(&img[4..]);
                 let stored_sum = u32::from_le_bytes(img[0..4].try_into().unwrap());
-                assert_eq!(recomputed, stored_sum, "checksum must be valid — that is the point");
+                assert_eq!(
+                    recomputed, stored_sum,
+                    "checksum must be valid — that is the point"
+                );
             }
             _ => panic!("expected corruption"),
         }

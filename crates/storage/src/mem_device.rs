@@ -57,7 +57,9 @@ impl MemDevice {
         cost: IoCostModel,
         seed: u64,
     ) -> Self {
-        let pages = (0..capacity).map(|_| vec![0u8; page_size].into_boxed_slice()).collect();
+        let pages = (0..capacity)
+            .map(|_| vec![0u8; page_size].into_boxed_slice())
+            .collect();
         Self {
             inner: Arc::new(Inner {
                 page_size,
@@ -73,7 +75,13 @@ impl MemDevice {
     /// Convenience constructor: free I/O, fresh clock. For unit tests.
     #[must_use]
     pub fn for_testing(page_size: usize, capacity: u64) -> Self {
-        Self::new(page_size, capacity, Arc::new(SimClock::new()), IoCostModel::free(), 0)
+        Self::new(
+            page_size,
+            capacity,
+            Arc::new(SimClock::new()),
+            IoCostModel::free(),
+            0,
+        )
     }
 
     /// The device's fault injector.
@@ -135,7 +143,10 @@ impl MemDevice {
 
     fn check_args(&self, id: PageId, buf_len: usize) -> Result<(), StorageError> {
         if buf_len != self.inner.page_size {
-            return Err(StorageError::BadBufferSize { got: buf_len, expected: self.inner.page_size });
+            return Err(StorageError::BadBufferSize {
+                got: buf_len,
+                expected: self.inner.page_size,
+            });
         }
         let capacity = self.inner.pages.read().len() as u64;
         if id.0 >= capacity {
@@ -146,7 +157,9 @@ impl MemDevice {
 
     fn do_read(&self, id: PageId, buf: &mut [u8], kind: IoKind) -> Result<(), StorageError> {
         self.check_args(id, buf.len())?;
-        self.inner.clock.advance(self.inner.cost.cost(kind, buf.len()));
+        self.inner
+            .clock
+            .advance(self.inner.cost.cost(kind, buf.len()));
         match kind {
             IoKind::RandomRead => DeviceCounters::bump(&self.inner.counters.random_reads),
             IoKind::SequentialRead => DeviceCounters::bump(&self.inner.counters.sequential_reads),
@@ -188,12 +201,12 @@ impl MemDevice {
 
     fn do_write(&self, id: PageId, buf: &[u8], kind: IoKind) -> Result<(), StorageError> {
         self.check_args(id, buf.len())?;
-        self.inner.clock.advance(self.inner.cost.cost(kind, buf.len()));
+        self.inner
+            .clock
+            .advance(self.inner.cost.cost(kind, buf.len()));
         match kind {
             IoKind::RandomWrite => DeviceCounters::bump(&self.inner.counters.random_writes),
-            IoKind::SequentialWrite => {
-                DeviceCounters::bump(&self.inner.counters.sequential_writes)
-            }
+            IoKind::SequentialWrite => DeviceCounters::bump(&self.inner.counters.sequential_writes),
             _ => unreachable!("write path"),
         }
         match self.inner.injector.on_write(id) {
@@ -203,8 +216,7 @@ impl MemDevice {
             }
             WriteOutcome::TornPrefix(prefix) => {
                 let prefix = prefix.min(buf.len());
-                self.inner.pages.write()[id.0 as usize][..prefix]
-                    .copy_from_slice(&buf[..prefix]);
+                self.inner.pages.write()[id.0 as usize][..prefix].copy_from_slice(&buf[..prefix]);
                 Ok(())
             }
             WriteOutcome::Dropped => Ok(()),
@@ -282,12 +294,18 @@ mod tests {
         let mut buf = vec![0u8; DEFAULT_PAGE_SIZE];
         assert_eq!(
             dev.read_page(PageId(99), &mut buf),
-            Err(StorageError::OutOfRange { id: PageId(99), capacity: 16 })
+            Err(StorageError::OutOfRange {
+                id: PageId(99),
+                capacity: 16
+            })
         );
         let mut small = vec![0u8; 100];
         assert_eq!(
             dev.read_page(PageId(0), &mut small),
-            Err(StorageError::BadBufferSize { got: 100, expected: DEFAULT_PAGE_SIZE })
+            Err(StorageError::BadBufferSize {
+                got: 100,
+                expected: DEFAULT_PAGE_SIZE
+            })
         );
     }
 
@@ -325,7 +343,10 @@ mod tests {
         let after_random = clock.now();
         dev.read_page_seq(PageId(1), &mut buf).unwrap();
         let seq_cost = clock.now() - after_random;
-        assert!(seq_cost < SimDuration::from_millis(1), "sequential read must be cheap");
+        assert!(
+            seq_cost < SimDuration::from_millis(1),
+            "sequential read must be cheap"
+        );
     }
 
     #[test]
@@ -341,7 +362,10 @@ mod tests {
         let mut buf = vec![0u8; DEFAULT_PAGE_SIZE];
         dev.read_page(PageId(5), &mut buf).unwrap(); // read "succeeds"
         let read = Page::from_bytes(buf);
-        assert!(read.verify(PageId(5)).is_err(), "corruption must be detectable");
+        assert!(
+            read.verify(PageId(5)).is_err(),
+            "corruption must be detectable"
+        );
         assert_eq!(dev.stats().silent_corrupt_reads, 1);
     }
 
@@ -349,8 +373,7 @@ mod tests {
     fn misdirected_read_serves_other_pages_image() {
         let dev = dev();
         for id in [6u64, 7] {
-            let mut page =
-                Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(id), PageType::BTreeLeaf);
+            let mut page = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(id), PageType::BTreeLeaf);
             page.finalize_checksum();
             dev.write_page(PageId(id), page.as_bytes()).unwrap();
         }
@@ -377,7 +400,10 @@ mod tests {
         dev.write_page(PageId(8), page.as_bytes()).unwrap();
 
         // Arm the lost-write fault, then write a newer version.
-        dev.inject_fault(PageId(8), FaultSpec::SilentCorruption(CorruptionMode::StaleVersion));
+        dev.inject_fault(
+            PageId(8),
+            FaultSpec::SilentCorruption(CorruptionMode::StaleVersion),
+        );
         page.set_page_lsn(20);
         page.finalize_checksum();
         dev.write_page(PageId(8), page.as_bytes()).unwrap();
@@ -385,8 +411,16 @@ mod tests {
         let mut buf = vec![0u8; DEFAULT_PAGE_SIZE];
         dev.read_page(PageId(8), &mut buf).unwrap();
         let read = Page::from_bytes(buf);
-        assert_eq!(read.verify(PageId(8)), Ok(()), "stale page is internally consistent");
-        assert_eq!(read.page_lsn(), 10, "but it is old — only a PageLSN cross-check can tell");
+        assert_eq!(
+            read.verify(PageId(8)),
+            Ok(()),
+            "stale page is internally consistent"
+        );
+        assert_eq!(
+            read.page_lsn(),
+            10,
+            "but it is old — only a PageLSN cross-check can tell"
+        );
     }
 
     #[test]
@@ -402,7 +436,12 @@ mod tests {
         page.finalize_checksum();
         dev.write_page(PageId(9), page.as_bytes()).unwrap();
 
-        dev.inject_fault(PageId(9), FaultSpec::TornWrite { persisted_prefix: 100 });
+        dev.inject_fault(
+            PageId(9),
+            FaultSpec::TornWrite {
+                persisted_prefix: 100,
+            },
+        );
         {
             let mut sp = crate::SlottedPage::new(&mut page);
             sp.push(b"one more", false).unwrap();
@@ -415,7 +454,10 @@ mod tests {
         dev.read_page(PageId(9), &mut buf).unwrap();
         let read = Page::from_bytes(buf);
         assert!(
-            matches!(read.verify(PageId(9)), Err(crate::page::PageDefect::ChecksumMismatch { .. })),
+            matches!(
+                read.verify(PageId(9)),
+                Err(crate::page::PageDefect::ChecksumMismatch { .. })
+            ),
             "torn image mixes new header with old body: checksum must fail"
         );
     }
@@ -425,8 +467,14 @@ mod tests {
         let dev = dev();
         dev.injector().fail_device();
         let mut buf = vec![0u8; DEFAULT_PAGE_SIZE];
-        assert_eq!(dev.read_page(PageId(0), &mut buf), Err(StorageError::DeviceFailed));
-        assert_eq!(dev.write_page(PageId(0), &buf), Err(StorageError::DeviceFailed));
+        assert_eq!(
+            dev.read_page(PageId(0), &mut buf),
+            Err(StorageError::DeviceFailed)
+        );
+        assert_eq!(
+            dev.write_page(PageId(0), &buf),
+            Err(StorageError::DeviceFailed)
+        );
     }
 
     #[test]

@@ -159,7 +159,10 @@ impl fmt::Display for PageDefect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PageDefect::ChecksumMismatch { stored, computed } => {
-                write!(f, "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
             }
             PageDefect::WrongPageId { expected, found } => {
                 write!(f, "wrong page id: expected {expected}, found {found}")
@@ -206,9 +209,17 @@ impl Page {
     /// page to a device.
     #[must_use]
     pub fn new_formatted(page_size: usize, id: PageId, ptype: PageType) -> Self {
-        assert!(page_size >= PAGE_HEADER_SIZE + 64, "page size too small: {page_size}");
-        assert!(page_size <= 1 << 15, "page size exceeds u16 offsets: {page_size}");
-        let mut page = Self { buf: vec![0u8; page_size].into_boxed_slice() };
+        assert!(
+            page_size >= PAGE_HEADER_SIZE + 64,
+            "page size too small: {page_size}"
+        );
+        assert!(
+            page_size <= 1 << 15,
+            "page size exceeds u16 offsets: {page_size}"
+        );
+        let mut page = Self {
+            buf: vec![0u8; page_size].into_boxed_slice(),
+        };
         page.set_page_id(id);
         page.set_page_type(ptype);
         page.set_slot_count(0);
@@ -220,7 +231,9 @@ impl Page {
     /// call [`verify`](Page::verify) to check the image.
     #[must_use]
     pub fn from_bytes(buf: Vec<u8>) -> Self {
-        Self { buf: buf.into_boxed_slice() }
+        Self {
+            buf: buf.into_boxed_slice(),
+        }
     }
 
     /// Total size of the page in bytes.
@@ -427,7 +440,10 @@ impl Page {
         }
         let found = self.page_id();
         if found != expected_id {
-            return Err(PageDefect::WrongPageId { expected: expected_id, found });
+            return Err(PageDefect::WrongPageId {
+                expected: expected_id,
+                found,
+            });
         }
         if self.page_type().is_none() {
             return Err(PageDefect::UnknownPageType(self.raw_page_type()));
@@ -553,7 +569,10 @@ mod tests {
         p.set_page_lsn(42);
         p.finalize_checksum();
         p.as_bytes_mut()[5] ^= 0xFF;
-        assert!(matches!(p.verify(PageId(7)), Err(PageDefect::ChecksumMismatch { .. })));
+        assert!(matches!(
+            p.verify(PageId(7)),
+            Err(PageDefect::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]
@@ -583,7 +602,10 @@ mod tests {
         let mut p = page();
         p.set_heap_top(10); // below the header: nonsense
         p.finalize_checksum();
-        assert!(matches!(p.verify(PageId(7)), Err(PageDefect::ImplausibleHeader(_))));
+        assert!(matches!(
+            p.verify(PageId(7)),
+            Err(PageDefect::ImplausibleHeader(_))
+        ));
     }
 
     #[test]
@@ -591,7 +613,10 @@ mod tests {
         let mut p = page();
         p.set_slot_count(u16::MAX);
         p.finalize_checksum();
-        assert!(matches!(p.verify(PageId(7)), Err(PageDefect::ImplausibleHeader(_))));
+        assert!(matches!(
+            p.verify(PageId(7)),
+            Err(PageDefect::ImplausibleHeader(_))
+        ));
     }
 
     #[test]
@@ -618,7 +643,10 @@ mod tests {
         assert_eq!(p.structure_area().len(), 32);
         assert_eq!(p.verify(PageId(7)), Ok(()));
         p.structure_area_mut()[0] = 0xBB;
-        assert!(matches!(p.verify(PageId(7)), Err(PageDefect::ChecksumMismatch { .. })));
+        assert!(matches!(
+            p.verify(PageId(7)),
+            Err(PageDefect::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]

@@ -49,7 +49,11 @@ pub struct PageFull {
 
 impl std::fmt::Display for PageFull {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "page full: needed {} bytes, {} available", self.needed, self.available)
+        write!(
+            f,
+            "page full: needed {} bytes, {} available",
+            self.needed, self.available
+        )
     }
 }
 
@@ -113,7 +117,10 @@ impl<'a> SlottedPage<'a> {
     pub fn record(&self, slot: SlotId) -> (&[u8], bool) {
         assert!(slot.0 < self.slot_count(), "slot {} out of range", slot.0);
         let (offset, len, ghost) = read_slot(self.page, slot.0);
-        (&self.page.as_bytes()[offset as usize..offset as usize + len as usize], ghost)
+        (
+            &self.page.as_bytes()[offset as usize..offset as usize + len as usize],
+            ghost,
+        )
     }
 
     /// True if the record at `slot` carries the ghost bit.
@@ -137,8 +144,14 @@ impl<'a> SlottedPage<'a> {
     /// Compacts the heap first if total (but not contiguous) space
     /// suffices. Returns [`PageFull`] when even compaction cannot help.
     pub fn insert_at(&mut self, pos: u16, record: &[u8], ghost: bool) -> Result<(), PageFull> {
-        assert!(pos <= self.slot_count(), "insert position {pos} out of range");
-        assert!(record.len() <= LEN_MASK as usize, "record too large for slot encoding");
+        assert!(
+            pos <= self.slot_count(),
+            "insert position {pos} out of range"
+        );
+        assert!(
+            record.len() <= LEN_MASK as usize,
+            "record too large for slot encoding"
+        );
         let needed = record.len() + SLOT_SIZE;
         if self.contiguous_free_space() < needed {
             if self.total_free_space() >= needed {
@@ -150,7 +163,10 @@ impl<'a> SlottedPage<'a> {
                 });
             }
             if self.contiguous_free_space() < needed {
-                return Err(PageFull { needed, available: self.contiguous_free_space() });
+                return Err(PageFull {
+                    needed,
+                    available: self.contiguous_free_space(),
+                });
             }
         }
 
@@ -163,7 +179,9 @@ impl<'a> SlottedPage<'a> {
         let count = self.slot_count();
         let start = PAGE_HEADER_SIZE + pos as usize * SLOT_SIZE;
         let end = PAGE_HEADER_SIZE + count as usize * SLOT_SIZE;
-        self.page.as_bytes_mut().copy_within(start..end, start + SLOT_SIZE);
+        self.page
+            .as_bytes_mut()
+            .copy_within(start..end, start + SLOT_SIZE);
         self.page.set_slot_count(count + 1);
         self.write_slot(pos, new_top as u16, record.len() as u16, ghost);
         Ok(())
@@ -183,7 +201,9 @@ impl<'a> SlottedPage<'a> {
         assert!(slot.0 < count, "slot {} out of range", slot.0);
         let start = PAGE_HEADER_SIZE + (slot.0 as usize + 1) * SLOT_SIZE;
         let end = PAGE_HEADER_SIZE + count as usize * SLOT_SIZE;
-        self.page.as_bytes_mut().copy_within(start..end, start - SLOT_SIZE);
+        self.page
+            .as_bytes_mut()
+            .copy_within(start..end, start - SLOT_SIZE);
         self.page.set_slot_count(count - 1);
     }
 
@@ -209,7 +229,10 @@ impl<'a> SlottedPage<'a> {
             } else {
                 // Restore the old slot before failing.
                 self.write_slot(slot.0, offset, len, ghost);
-                return Err(PageFull { needed, available: self.total_free_space() });
+                return Err(PageFull {
+                    needed,
+                    available: self.total_free_space(),
+                });
             }
         }
         let new_top = self.page.heap_top() as usize - record.len();
@@ -319,11 +342,8 @@ mod tests {
         let mut sp = SlottedPage::new(&mut page);
         let big = vec![0xABu8; 2000];
         let mut inserted = 0;
-        loop {
-            match sp.push(&big, false) {
-                Ok(_) => inserted += 1,
-                Err(PageFull { .. }) => break,
-            }
+        while sp.push(&big, false).is_ok() {
+            inserted += 1;
         }
         // 8 KiB page, 64 B header: exactly 4 two-KB records fit.
         assert_eq!(inserted, 4);
@@ -391,7 +411,8 @@ mod tests {
         {
             let mut sp = SlottedPage::new(&mut page);
             for i in 0..50 {
-                sp.push(format!("record-{i}").as_bytes(), i % 7 == 0).unwrap();
+                sp.push(format!("record-{i}").as_bytes(), i % 7 == 0)
+                    .unwrap();
             }
             for idx in [40u16, 30, 20, 10, 0] {
                 sp.remove(SlotId(idx));
@@ -417,10 +438,17 @@ mod tests {
 
     fn op_strategy() -> impl Strategy<Value = Op> {
         prop_oneof![
-            (any::<usize>(), proptest::collection::vec(any::<u8>(), 0..200), any::<bool>())
+            (
+                any::<usize>(),
+                proptest::collection::vec(any::<u8>(), 0..200),
+                any::<bool>()
+            )
                 .prop_map(|(p, r, g)| Op::Insert(p, r, g)),
             any::<usize>().prop_map(Op::Remove),
-            (any::<usize>(), proptest::collection::vec(any::<u8>(), 0..200))
+            (
+                any::<usize>(),
+                proptest::collection::vec(any::<u8>(), 0..200)
+            )
                 .prop_map(|(s, r)| Op::Update(s, r)),
             (any::<usize>(), any::<bool>()).prop_map(|(s, g)| Op::SetGhost(s, g)),
             Just(Op::Compact),
@@ -478,7 +506,7 @@ mod tests {
             }
 
             // The page must remain structurally plausible and checksummable.
-            drop(sp);
+            // (sp's borrow of the page ends here.)
             page.finalize_checksum();
             prop_assert_eq!(page.verify(PageId(1)), Ok(()));
         }

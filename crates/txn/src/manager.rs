@@ -126,9 +126,17 @@ impl TxnManager {
             prev_tx_lsn: Lsn::NULL,
             page_id: PageId::INVALID,
             prev_page_lsn: Lsn::NULL,
-            payload: LogPayload::TxBegin { system: kind.is_system() },
+            payload: LogPayload::TxBegin {
+                system: kind.is_system(),
+            },
         });
-        self.inner.active.lock().insert(tx, ActiveTx { kind, last_lsn: lsn });
+        self.inner.active.lock().insert(
+            tx,
+            ActiveTx {
+                kind,
+                last_lsn: lsn,
+            },
+        );
         tx
     }
 
@@ -193,7 +201,9 @@ impl TxnManager {
             prev_tx_lsn: entry.last_lsn,
             page_id: PageId::INVALID,
             prev_page_lsn: Lsn::NULL,
-            payload: LogPayload::TxCommit { system: entry.kind.is_system() },
+            payload: LogPayload::TxCommit {
+                system: entry.kind.is_system(),
+            },
         });
         let mut stats = self.inner.stats.lock();
         match entry.kind {
@@ -237,27 +247,27 @@ impl TxnManager {
                 .log
                 .read_record(cursor)
                 .map_err(|e| TxError::LogBroken(e.to_string()))?;
-            debug_assert_eq!(record.tx_id, tx, "per-transaction chain crossed transactions");
-            match record.payload {
-                LogPayload::Update { ref op } => {
-                    let comp = op.invert();
-                    let prev_page_lsn = target.page_lsn(record.page_id);
-                    let clr_lsn = self.inner.log.append(&LogRecord {
-                        tx_id: tx,
-                        prev_tx_lsn: last_lsn,
-                        page_id: record.page_id,
-                        prev_page_lsn,
-                        payload: LogPayload::Clr {
-                            op: comp.clone(),
-                            undo_next: record.prev_tx_lsn,
-                        },
-                    });
-                    target.apply(record.page_id, &comp, clr_lsn);
-                    clrs += 1;
-                    last_lsn = clr_lsn;
-                }
-                // CLRs are never undone; begin/format/etc. have no undo.
-                _ => {}
+            debug_assert_eq!(
+                record.tx_id, tx,
+                "per-transaction chain crossed transactions"
+            );
+            // CLRs are never undone; begin/format/etc. have no undo.
+            if let LogPayload::Update { ref op } = record.payload {
+                let comp = op.invert();
+                let prev_page_lsn = target.page_lsn(record.page_id);
+                let clr_lsn = self.inner.log.append(&LogRecord {
+                    tx_id: tx,
+                    prev_tx_lsn: last_lsn,
+                    page_id: record.page_id,
+                    prev_page_lsn,
+                    payload: LogPayload::Clr {
+                        op: comp.clone(),
+                        undo_next: record.prev_tx_lsn,
+                    },
+                });
+                target.apply(record.page_id, &comp, clr_lsn);
+                clrs += 1;
+                last_lsn = clr_lsn;
             }
             cursor = record.prev_tx_lsn;
         }
@@ -309,7 +319,9 @@ impl TxnManager {
     pub fn reset_after_crash(&self, floor: u64) {
         self.inner.active.lock().clear();
         let current = self.inner.next_tx.load(Ordering::Relaxed);
-        self.inner.next_tx.store(current.max(floor + 1), Ordering::Relaxed);
+        self.inner
+            .next_tx
+            .store(current.max(floor + 1), Ordering::Relaxed);
     }
 
     /// Statistics snapshot.
@@ -325,7 +337,11 @@ mod tests {
     use std::collections::HashMap as StdHashMap;
 
     fn ins(pos: u16, byte: u8) -> PageOp {
-        PageOp::InsertRecord { pos, bytes: vec![byte; 4], ghost: false }
+        PageOp::InsertRecord {
+            pos,
+            bytes: vec![byte; 4],
+            ghost: false,
+        }
     }
 
     /// Records applied compensations without touching real pages.
@@ -364,7 +380,10 @@ mod tests {
         let before = log.stats().forces;
         let commit_lsn = mgr.commit(tx).unwrap();
         assert_eq!(log.stats().forces, before, "system commit must not force");
-        assert!(log.durable_lsn() <= commit_lsn, "commit record still volatile");
+        assert!(
+            log.durable_lsn() <= commit_lsn,
+            "commit record still volatile"
+        );
         // A later force (e.g. a dependent user commit) carries it out.
         log.force();
         assert!(log.durable_lsn() > commit_lsn);
@@ -383,7 +402,10 @@ mod tests {
         let rec_a = log.read_record(a).unwrap();
         assert_eq!(rec_c.prev_tx_lsn, b);
         assert_eq!(rec_b.prev_tx_lsn, a);
-        assert!(rec_a.prev_tx_lsn.is_valid(), "first update chains to the begin record");
+        assert!(
+            rec_a.prev_tx_lsn.is_valid(),
+            "first update chains to the begin record"
+        );
     }
 
     #[test]
@@ -466,7 +488,9 @@ mod tests {
 
         let log = LogManager::for_testing();
         let mgr = TxnManager::new(log.clone());
-        let target = MapTarget { pages: Mutex::new(StdHashMap::new()) };
+        let target = MapTarget {
+            pages: Mutex::new(StdHashMap::new()),
+        };
         target.pages.lock().insert(
             PageId(1),
             Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(1), PageType::BTreeLeaf),
@@ -487,7 +511,11 @@ mod tests {
                 old_bytes: b"keep".to_vec(),
                 new_bytes: b"kept!".to_vec(),
             },
-            PageOp::SetGhost { pos: 0, old: false, new: true },
+            PageOp::SetGhost {
+                pos: 0,
+                old: false,
+                new: true,
+            },
         ]
         .into_iter()
         .enumerate()
@@ -498,7 +526,10 @@ mod tests {
             drop(pages);
             mgr.log_update(tx, PageId(1), Lsn(i as u64), op).unwrap();
         }
-        assert_ne!(target.pages.lock()[&PageId(1)].as_bytes(), before.as_bytes());
+        assert_ne!(
+            target.pages.lock()[&PageId(1)].as_bytes(),
+            before.as_bytes()
+        );
 
         mgr.abort(tx, &target).unwrap();
 

@@ -47,7 +47,10 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::UnexpectedEof { wanted, remaining } => {
-                write!(f, "unexpected end of buffer: wanted {wanted} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "unexpected end of buffer: wanted {wanted} bytes, {remaining} remain"
+                )
             }
             DecodeError::VarintOverflow => write!(f, "varint overflows target type"),
             DecodeError::LengthOutOfRange { got, max } => {
@@ -78,7 +81,9 @@ impl Encoder {
     /// Creates an encoder with `cap` bytes preallocated.
     #[must_use]
     pub fn with_capacity(cap: usize) -> Self {
-        Self { buf: Vec::with_capacity(cap) }
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of bytes written so far.
@@ -184,7 +189,10 @@ impl<'a> Decoder<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.remaining() < n {
-            return Err(DecodeError::UnexpectedEof { wanted: n, remaining: self.remaining() });
+            return Err(DecodeError::UnexpectedEof {
+                wanted: n,
+                remaining: self.remaining(),
+            });
         }
         let out = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -211,7 +219,9 @@ impl<'a> Decoder<'a> {
     /// Reads a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64, DecodeError> {
         let b = self.take(8)?;
-        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     /// Reads exactly `n` raw bytes.
@@ -278,7 +288,10 @@ mod tests {
         let mut dec = Decoder::new(&[1, 2, 3]);
         assert_eq!(
             dec.get_u32(),
-            Err(DecodeError::UnexpectedEof { wanted: 4, remaining: 3 })
+            Err(DecodeError::UnexpectedEof {
+                wanted: 4,
+                remaining: 3
+            })
         );
     }
 

@@ -27,7 +27,11 @@ const fn build_table() -> [u32; 256] {
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
             bit += 1;
         }
         table[i] = crc;
@@ -149,11 +153,11 @@ mod tests {
         // A lost write that presents another valid-looking sector must not
         // collide. Swapping two distinct halves changes the checksum.
         let mut data = Vec::new();
-        data.extend(std::iter::repeat(0x11u8).take(4096));
-        data.extend(std::iter::repeat(0x22u8).take(4096));
+        data.extend(std::iter::repeat_n(0x11u8, 4096));
+        data.extend(std::iter::repeat_n(0x22u8, 4096));
         let mut swapped = Vec::new();
-        swapped.extend(std::iter::repeat(0x22u8).take(4096));
-        swapped.extend(std::iter::repeat(0x11u8).take(4096));
+        swapped.extend(std::iter::repeat_n(0x22u8, 4096));
+        swapped.extend(std::iter::repeat_n(0x11u8, 4096));
         assert_ne!(crc32c(&data), crc32c(&swapped));
     }
 }

@@ -44,19 +44,25 @@ impl SimDuration {
     /// Creates a duration from microseconds.
     #[must_use]
     pub const fn from_micros(micros: u64) -> Self {
-        Self { nanos: micros * 1_000 }
+        Self {
+            nanos: micros * 1_000,
+        }
     }
 
     /// Creates a duration from milliseconds.
     #[must_use]
     pub const fn from_millis(millis: u64) -> Self {
-        Self { nanos: millis * 1_000_000 }
+        Self {
+            nanos: millis * 1_000_000,
+        }
     }
 
     /// Creates a duration from whole seconds.
     #[must_use]
     pub const fn from_secs(secs: u64) -> Self {
-        Self { nanos: secs * 1_000_000_000 }
+        Self {
+            nanos: secs * 1_000_000_000,
+        }
     }
 
     /// The duration in nanoseconds.
@@ -80,14 +86,18 @@ impl SimDuration {
     /// Saturating sum of two durations.
     #[must_use]
     pub fn saturating_add(self, other: SimDuration) -> SimDuration {
-        SimDuration { nanos: self.nanos.saturating_add(other.nanos) }
+        SimDuration {
+            nanos: self.nanos.saturating_add(other.nanos),
+        }
     }
 }
 
 impl std::ops::Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { nanos: self.nanos + rhs.nanos }
+        SimDuration {
+            nanos: self.nanos + rhs.nanos,
+        }
     }
 }
 
@@ -100,7 +110,9 @@ impl std::ops::AddAssign for SimDuration {
 impl std::ops::Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { nanos: self.nanos.saturating_sub(rhs.nanos) }
+        SimDuration {
+            nanos: self.nanos.saturating_sub(rhs.nanos),
+        }
     }
 }
 
@@ -207,9 +219,7 @@ impl IoCostModel {
             IoKind::RandomRead | IoKind::RandomWrite => {
                 self.random_access + self.command_overhead + transfer
             }
-            IoKind::SequentialRead | IoKind::SequentialWrite => {
-                self.command_overhead + transfer
-            }
+            IoKind::SequentialRead | IoKind::SequentialWrite => self.command_overhead + transfer,
         }
     }
 }
@@ -235,7 +245,9 @@ impl SimClock {
     /// Creates a clock at time zero.
     #[must_use]
     pub fn new() -> Self {
-        Self { now_nanos: AtomicU64::new(0) }
+        Self {
+            now_nanos: AtomicU64::new(0),
+        }
     }
 
     /// Current simulated time.
@@ -293,7 +305,10 @@ mod tests {
         }
         let secs = total.as_secs_f64();
         assert!(secs < 1.0, "dozens of I/Os should be under 1 s, got {secs}");
-        assert!(secs > 0.3, "should be a noticeable fraction of a second, got {secs}");
+        assert!(
+            secs > 0.3,
+            "should be a noticeable fraction of a second, got {secs}"
+        );
     }
 
     #[test]
@@ -317,7 +332,10 @@ mod tests {
     fn free_model_never_advances() {
         let model = IoCostModel::free();
         assert_eq!(model.cost(IoKind::RandomRead, 1 << 20), SimDuration::ZERO);
-        assert_eq!(model.cost(IoKind::SequentialWrite, 1 << 30), SimDuration::ZERO);
+        assert_eq!(
+            model.cost(IoKind::SequentialWrite, 1 << 30),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

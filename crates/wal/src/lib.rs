@@ -35,6 +35,4 @@ pub mod manager;
 pub mod record;
 
 pub use manager::{LogError, LogManager, LogStats};
-pub use record::{
-    BackupRef, CompressedPageImage, LogPayload, LogRecord, Lsn, PageOp, TxId,
-};
+pub use record::{BackupRef, CompressedPageImage, LogPayload, LogRecord, Lsn, PageOp, TxId};

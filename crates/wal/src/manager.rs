@@ -200,7 +200,8 @@ impl LogManager {
         let mut inner = self.inner.lock();
         let pending = inner.bytes.len() - inner.durable_len;
         if pending > 0 {
-            self.clock.advance(self.cost.cost(IoKind::SequentialWrite, pending));
+            self.clock
+                .advance(self.cost.cost(IoKind::SequentialWrite, pending));
             inner.durable_len = inner.bytes.len();
             inner.stats.forces += 1;
         }
@@ -229,7 +230,8 @@ impl LogManager {
         };
         let pending = end.saturating_sub(inner.durable_len);
         if pending > 0 {
-            self.clock.advance(self.cost.cost(IoKind::SequentialWrite, pending));
+            self.clock
+                .advance(self.cost.cost(IoKind::SequentialWrite, pending));
             inner.durable_len = end;
             inner.stats.forces += 1;
         }
@@ -296,8 +298,11 @@ impl LogManager {
             self.clock.advance(self.cost.cost(IoKind::RandomRead, 4096));
             inner.stats.random_record_reads += 1;
         }
-        let (record, _len) = LogRecord::decode(&inner.bytes[lsn.0 as usize..])
-            .map_err(|e| LogError::Corrupt { lsn, detail: e.to_string() })?;
+        let (record, _len) =
+            LogRecord::decode(&inner.bytes[lsn.0 as usize..]).map_err(|e| LogError::Corrupt {
+                lsn,
+                detail: e.to_string(),
+            })?;
         Ok(record)
     }
 
@@ -307,20 +312,30 @@ impl LogManager {
     /// scanned.
     pub fn scan_from(&self, start: Lsn) -> Result<Vec<(Lsn, LogRecord)>, LogError> {
         let mut inner = self.inner.lock();
-        let mut pos = if start.is_valid() { start.0 as usize } else { Lsn::FIRST.0 as usize };
+        let mut pos = if start.is_valid() {
+            start.0 as usize
+        } else {
+            Lsn::FIRST.0 as usize
+        };
         let end = inner.bytes.len();
         if pos > end {
-            return Err(LogError::OutOfBounds { lsn: start, durable_end: Lsn(end as u64) });
+            return Err(LogError::OutOfBounds {
+                lsn: start,
+                durable_end: Lsn(end as u64),
+            });
         }
         let scanned = end - pos;
-        self.clock.advance(self.cost.cost(IoKind::SequentialRead, scanned));
+        self.clock
+            .advance(self.cost.cost(IoKind::SequentialRead, scanned));
         inner.stats.bytes_scanned += scanned as u64;
 
         let mut out = Vec::new();
         while pos < end {
-            let (record, len) = LogRecord::decode(&inner.bytes[pos..]).map_err(|e| {
-                LogError::Corrupt { lsn: Lsn(pos as u64), detail: e.to_string() }
-            })?;
+            let (record, len) =
+                LogRecord::decode(&inner.bytes[pos..]).map_err(|e| LogError::Corrupt {
+                    lsn: Lsn(pos as u64),
+                    detail: e.to_string(),
+                })?;
             out.push((Lsn(pos as u64), record));
             pos += len;
         }
@@ -375,7 +390,13 @@ pub fn make_record(
     prev_page_lsn: Lsn,
     payload: LogPayload,
 ) -> LogRecord {
-    LogRecord { tx_id, prev_tx_lsn, page_id, prev_page_lsn, payload }
+    LogRecord {
+        tx_id,
+        prev_tx_lsn,
+        page_id,
+        prev_page_lsn,
+        payload,
+    }
 }
 
 #[cfg(test)]
@@ -390,7 +411,11 @@ mod tests {
             PageId(page),
             prev_page,
             LogPayload::Update {
-                op: PageOp::InsertRecord { pos: 0, bytes: vec![tx as u8; 8], ghost: false },
+                op: PageOp::InsertRecord {
+                    pos: 0,
+                    bytes: vec![tx as u8; 8],
+                    ghost: false,
+                },
             },
         )
     }
@@ -417,9 +442,18 @@ mod tests {
     #[test]
     fn read_invalid_lsn_fails() {
         let log = LogManager::for_testing();
-        assert!(matches!(log.read_record(Lsn::NULL), Err(LogError::OutOfBounds { .. })));
-        assert!(matches!(log.read_record(Lsn(4)), Err(LogError::OutOfBounds { .. })));
-        assert!(matches!(log.read_record(Lsn(10_000)), Err(LogError::OutOfBounds { .. })));
+        assert!(matches!(
+            log.read_record(Lsn::NULL),
+            Err(LogError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            log.read_record(Lsn(4)),
+            Err(LogError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            log.read_record(Lsn(10_000)),
+            Err(LogError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -466,7 +500,12 @@ mod tests {
         let mut chain_page1 = Vec::new();
         for i in 0..10 {
             let page = 1 + (i % 2) as u64;
-            let lsn = log.append(&update_record(1, Lsn::NULL, page, prev_by_page[page as usize]));
+            let lsn = log.append(&update_record(
+                1,
+                Lsn::NULL,
+                page,
+                prev_by_page[page as usize],
+            ));
             prev_by_page[page as usize] = lsn;
             if page == 1 {
                 chain_page1.push(lsn);
@@ -476,7 +515,10 @@ mod tests {
         let walked_lsns: Vec<Lsn> = walked.iter().map(|(l, _)| *l).collect();
         let mut expected = chain_page1.clone();
         expected.reverse();
-        assert_eq!(walked_lsns, expected, "chain must visit page-1 records newest-first");
+        assert_eq!(
+            walked_lsns, expected,
+            "chain must visit page-1 records newest-first"
+        );
         for (_, rec) in &walked {
             assert_eq!(rec.page_id, PageId(1));
         }
@@ -507,7 +549,10 @@ mod tests {
             Lsn::NULL,
             PageId::INVALID,
             Lsn::NULL,
-            LogPayload::CheckpointBegin { active_txns: vec![], dirty_pages: vec![] },
+            LogPayload::CheckpointBegin {
+                active_txns: vec![],
+                dirty_pages: vec![],
+            },
         ));
         assert_eq!(log.last_checkpoint(), Lsn::NULL, "not durable yet");
         log.force();
@@ -519,9 +564,16 @@ mod tests {
             Lsn::NULL,
             PageId::INVALID,
             Lsn::NULL,
-            LogPayload::CheckpointBegin { active_txns: vec![], dirty_pages: vec![] },
+            LogPayload::CheckpointBegin {
+                active_txns: vec![],
+                dirty_pages: vec![],
+            },
         ));
-        assert_eq!(log.last_checkpoint(), ckpt, "unforced checkpoint is not the master record");
+        assert_eq!(
+            log.last_checkpoint(),
+            ckpt,
+            "unforced checkpoint is not the master record"
+        );
         log.crash();
         assert_eq!(log.last_checkpoint(), ckpt);
     }
@@ -574,7 +626,10 @@ mod tests {
             Lsn::NULL,
             PageId(2),
             Lsn::NULL,
-            LogPayload::PriUpdate { page_lsn: Lsn(30), backup: crate::BackupRef::None },
+            LogPayload::PriUpdate {
+                page_lsn: Lsn(30),
+                backup: crate::BackupRef::None,
+            },
         ));
         log.force();
         log.force(); // nothing pending: not counted

@@ -140,7 +140,10 @@ impl BackupRef {
                 first_slot: dec.get_u64()?,
                 pages: dec.get_u64()?,
             }),
-            tag => Err(DecodeError::InvalidTag { tag, what: "BackupRef" }),
+            tag => Err(DecodeError::InvalidTag {
+                tag,
+                what: "BackupRef",
+            }),
         }
     }
 }
@@ -168,8 +171,7 @@ impl CompressedPageImage {
     #[must_use]
     pub fn capture(page: &Page) -> Self {
         let size = page.size();
-        let slot_end =
-            spf_storage::PAGE_HEADER_SIZE + page.slot_count() as usize * 4;
+        let slot_end = spf_storage::PAGE_HEADER_SIZE + page.slot_count() as usize * 4;
         let heap_top = page.heap_top() as usize;
         // Guard against implausible headers on corrupted pages: fall back
         // to a full image rather than panic.
@@ -214,14 +216,25 @@ impl CompressedPageImage {
         let heap_top = dec.get_u32()?;
         let max = 1usize << 15;
         if page_size as usize > max || heap_top > page_size {
-            return Err(DecodeError::LengthOutOfRange { got: heap_top as usize, max });
+            return Err(DecodeError::LengthOutOfRange {
+                got: heap_top as usize,
+                max,
+            });
         }
         let head = dec.get_len_bytes(page_size as usize)?.to_vec();
         let tail = dec.get_len_bytes(page_size as usize)?.to_vec();
         if head.len() > heap_top as usize || tail.len() != (page_size - heap_top) as usize {
-            return Err(DecodeError::LengthOutOfRange { got: tail.len(), max: page_size as usize });
+            return Err(DecodeError::LengthOutOfRange {
+                got: tail.len(),
+                max: page_size as usize,
+            });
         }
-        Ok(Self { page_size, heap_top, head, tail })
+        Ok(Self {
+            page_size,
+            heap_top,
+            head,
+            tail,
+        })
     }
 }
 
@@ -292,6 +305,10 @@ pub enum PageOp {
     },
 }
 
+/// Decoded form of a record-run payload: the starting slot position and
+/// the `(bytes, ghost)` records of the run.
+type DecodedRange = (u16, Vec<(Vec<u8>, bool)>);
+
 impl PageOp {
     /// Applies the redo action to `page`. Redo is physical: it assumes
     /// the page is in the state the operation was originally applied to
@@ -344,28 +361,41 @@ impl PageOp {
                 old_bytes: bytes.clone(),
                 old_ghost: *ghost,
             },
-            PageOp::RemoveRecord { pos, old_bytes, old_ghost } => PageOp::InsertRecord {
+            PageOp::RemoveRecord {
+                pos,
+                old_bytes,
+                old_ghost,
+            } => PageOp::InsertRecord {
                 pos: *pos,
                 bytes: old_bytes.clone(),
                 ghost: *old_ghost,
             },
-            PageOp::ReplaceRecord { pos, old_bytes, new_bytes } => PageOp::ReplaceRecord {
+            PageOp::ReplaceRecord {
+                pos,
+                old_bytes,
+                new_bytes,
+            } => PageOp::ReplaceRecord {
                 pos: *pos,
                 old_bytes: new_bytes.clone(),
                 new_bytes: old_bytes.clone(),
             },
-            PageOp::SetGhost { pos, old, new } => {
-                PageOp::SetGhost { pos: *pos, old: *new, new: *old }
-            }
-            PageOp::WriteStructure { old, new } => {
-                PageOp::WriteStructure { old: new.clone(), new: old.clone() }
-            }
-            PageOp::InsertRange { pos, records } => {
-                PageOp::RemoveRange { pos: *pos, records: records.clone() }
-            }
-            PageOp::RemoveRange { pos, records } => {
-                PageOp::InsertRange { pos: *pos, records: records.clone() }
-            }
+            PageOp::SetGhost { pos, old, new } => PageOp::SetGhost {
+                pos: *pos,
+                old: *new,
+                new: *old,
+            },
+            PageOp::WriteStructure { old, new } => PageOp::WriteStructure {
+                old: new.clone(),
+                new: old.clone(),
+            },
+            PageOp::InsertRange { pos, records } => PageOp::RemoveRange {
+                pos: *pos,
+                records: records.clone(),
+            },
+            PageOp::RemoveRange { pos, records } => PageOp::InsertRange {
+                pos: *pos,
+                records: records.clone(),
+            },
         }
     }
 
@@ -386,11 +416,14 @@ impl PageOp {
         }
     }
 
-    fn decode_range(dec: &mut Decoder<'_>) -> Result<(u16, Vec<(Vec<u8>, bool)>), DecodeError> {
+    fn decode_range(dec: &mut Decoder<'_>) -> Result<DecodedRange, DecodeError> {
         let pos = dec.get_u16()?;
         let n = dec.get_varint()? as usize;
         if n > 1 << 15 {
-            return Err(DecodeError::LengthOutOfRange { got: n, max: 1 << 15 });
+            return Err(DecodeError::LengthOutOfRange {
+                got: n,
+                max: 1 << 15,
+            });
         }
         let mut records = Vec::with_capacity(n);
         for _ in 0..n {
@@ -409,13 +442,21 @@ impl PageOp {
                 enc.put_u8(u8::from(*ghost));
                 enc.put_len_bytes(bytes);
             }
-            PageOp::RemoveRecord { pos, old_bytes, old_ghost } => {
+            PageOp::RemoveRecord {
+                pos,
+                old_bytes,
+                old_ghost,
+            } => {
                 enc.put_u8(Self::TAG_REMOVE);
                 enc.put_u16(*pos);
                 enc.put_u8(u8::from(*old_ghost));
                 enc.put_len_bytes(old_bytes);
             }
-            PageOp::ReplaceRecord { pos, old_bytes, new_bytes } => {
+            PageOp::ReplaceRecord {
+                pos,
+                old_bytes,
+                new_bytes,
+            } => {
                 enc.put_u8(Self::TAG_REPLACE);
                 enc.put_u16(*pos);
                 enc.put_len_bytes(old_bytes);
@@ -456,13 +497,21 @@ impl PageOp {
                 let pos = dec.get_u16()?;
                 let old_ghost = dec.get_u8()? != 0;
                 let old_bytes = dec.get_len_bytes(MAX_REC)?.to_vec();
-                Ok(PageOp::RemoveRecord { pos, old_bytes, old_ghost })
+                Ok(PageOp::RemoveRecord {
+                    pos,
+                    old_bytes,
+                    old_ghost,
+                })
             }
             Self::TAG_REPLACE => {
                 let pos = dec.get_u16()?;
                 let old_bytes = dec.get_len_bytes(MAX_REC)?.to_vec();
                 let new_bytes = dec.get_len_bytes(MAX_REC)?.to_vec();
-                Ok(PageOp::ReplaceRecord { pos, old_bytes, new_bytes })
+                Ok(PageOp::ReplaceRecord {
+                    pos,
+                    old_bytes,
+                    new_bytes,
+                })
             }
             Self::TAG_GHOST => {
                 let pos = dec.get_u16()?;
@@ -483,7 +532,10 @@ impl PageOp {
                 let (pos, records) = Self::decode_range(dec)?;
                 Ok(PageOp::RemoveRange { pos, records })
             }
-            tag => Err(DecodeError::InvalidTag { tag, what: "PageOp" }),
+            tag => Err(DecodeError::InvalidTag {
+                tag,
+                what: "PageOp",
+            }),
         }
     }
 }
@@ -628,7 +680,10 @@ impl LogPayload {
                 enc.put_u64(page_lsn.0);
                 backup.encode(enc);
             }
-            LogPayload::CheckpointBegin { active_txns, dirty_pages } => {
+            LogPayload::CheckpointBegin {
+                active_txns,
+                dirty_pages,
+            } => {
                 enc.put_u8(Self::TAG_CKPT_BEGIN);
                 enc.put_varint(active_txns.len() as u64);
                 for (tx, lsn) in active_txns {
@@ -647,21 +702,27 @@ impl LogPayload {
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         match dec.get_u8()? {
-            Self::TAG_TX_BEGIN => Ok(LogPayload::TxBegin { system: dec.get_u8()? != 0 }),
-            Self::TAG_TX_COMMIT => Ok(LogPayload::TxCommit { system: dec.get_u8()? != 0 }),
+            Self::TAG_TX_BEGIN => Ok(LogPayload::TxBegin {
+                system: dec.get_u8()? != 0,
+            }),
+            Self::TAG_TX_COMMIT => Ok(LogPayload::TxCommit {
+                system: dec.get_u8()? != 0,
+            }),
             Self::TAG_TX_ABORT => Ok(LogPayload::TxAbort),
-            Self::TAG_UPDATE => Ok(LogPayload::Update { op: PageOp::decode(dec)? }),
+            Self::TAG_UPDATE => Ok(LogPayload::Update {
+                op: PageOp::decode(dec)?,
+            }),
             Self::TAG_CLR => {
                 let undo_next = Lsn(dec.get_u64()?);
                 let op = PageOp::decode(dec)?;
                 Ok(LogPayload::Clr { op, undo_next })
             }
-            Self::TAG_PAGE_FORMAT => {
-                Ok(LogPayload::PageFormat { image: CompressedPageImage::decode(dec)? })
-            }
-            Self::TAG_FULL_IMAGE => {
-                Ok(LogPayload::FullPageImage { image: CompressedPageImage::decode(dec)? })
-            }
+            Self::TAG_PAGE_FORMAT => Ok(LogPayload::PageFormat {
+                image: CompressedPageImage::decode(dec)?,
+            }),
+            Self::TAG_FULL_IMAGE => Ok(LogPayload::FullPageImage {
+                image: CompressedPageImage::decode(dec)?,
+            }),
             Self::TAG_PRI_UPDATE => {
                 let page_lsn = Lsn(dec.get_u64()?);
                 let backup = BackupRef::decode(dec)?;
@@ -675,7 +736,10 @@ impl LogPayload {
             Self::TAG_CKPT_BEGIN => {
                 let n_tx = dec.get_varint()? as usize;
                 if n_tx > 1 << 20 {
-                    return Err(DecodeError::LengthOutOfRange { got: n_tx, max: 1 << 20 });
+                    return Err(DecodeError::LengthOutOfRange {
+                        got: n_tx,
+                        max: 1 << 20,
+                    });
                 }
                 let mut active_txns = Vec::with_capacity(n_tx);
                 for _ in 0..n_tx {
@@ -683,16 +747,25 @@ impl LogPayload {
                 }
                 let n_dp = dec.get_varint()? as usize;
                 if n_dp > 1 << 24 {
-                    return Err(DecodeError::LengthOutOfRange { got: n_dp, max: 1 << 24 });
+                    return Err(DecodeError::LengthOutOfRange {
+                        got: n_dp,
+                        max: 1 << 24,
+                    });
                 }
                 let mut dirty_pages = Vec::with_capacity(n_dp);
                 for _ in 0..n_dp {
                     dirty_pages.push((PageId(dec.get_u64()?), Lsn(dec.get_u64()?)));
                 }
-                Ok(LogPayload::CheckpointBegin { active_txns, dirty_pages })
+                Ok(LogPayload::CheckpointBegin {
+                    active_txns,
+                    dirty_pages,
+                })
             }
             Self::TAG_CKPT_END => Ok(LogPayload::CheckpointEnd),
-            tag => Err(DecodeError::InvalidTag { tag, what: "LogPayload" }),
+            tag => Err(DecodeError::InvalidTag {
+                tag,
+                what: "LogPayload",
+            }),
         }
     }
 }
@@ -740,7 +813,10 @@ impl LogRecord {
         let crc = dec.get_u32()?;
         let body = dec.get_bytes(body_len)?;
         if spf_util::crc32c(body) != crc {
-            return Err(DecodeError::InvalidTag { tag: 0, what: "LogRecord checksum" });
+            return Err(DecodeError::InvalidTag {
+                tag: 0,
+                what: "LogRecord checksum",
+            });
         }
         let mut body_dec = Decoder::new(body);
         let tx_id = TxId(body_dec.get_u64()?);
@@ -749,7 +825,13 @@ impl LogRecord {
         let prev_page_lsn = Lsn(body_dec.get_u64()?);
         let payload = LogPayload::decode(&mut body_dec)?;
         Ok((
-            LogRecord { tx_id, prev_tx_lsn, page_id, prev_page_lsn, payload },
+            LogRecord {
+                tx_id,
+                prev_tx_lsn,
+                page_id,
+                prev_page_lsn,
+                payload,
+            },
             8 + body_len,
         ))
     }
@@ -777,7 +859,11 @@ mod tests {
             LogPayload::TxCommit { system: true },
             LogPayload::TxAbort,
             LogPayload::Update {
-                op: PageOp::InsertRecord { pos: 4, bytes: b"hello".to_vec(), ghost: false },
+                op: PageOp::InsertRecord {
+                    pos: 4,
+                    bytes: b"hello".to_vec(),
+                    ghost: false,
+                },
             },
             LogPayload::Update {
                 op: PageOp::ReplaceRecord {
@@ -786,21 +872,48 @@ mod tests {
                     new_bytes: b"new".to_vec(),
                 },
             },
-            LogPayload::Update { op: PageOp::SetGhost { pos: 9, old: false, new: true } },
             LogPayload::Update {
-                op: PageOp::WriteStructure { old: vec![0; 32], new: vec![1; 32] },
+                op: PageOp::SetGhost {
+                    pos: 9,
+                    old: false,
+                    new: true,
+                },
+            },
+            LogPayload::Update {
+                op: PageOp::WriteStructure {
+                    old: vec![0; 32],
+                    new: vec![1; 32],
+                },
             },
             LogPayload::Clr {
-                op: PageOp::RemoveRecord { pos: 1, old_bytes: b"x".to_vec(), old_ghost: true },
+                op: PageOp::RemoveRecord {
+                    pos: 1,
+                    old_bytes: b"x".to_vec(),
+                    old_ghost: true,
+                },
                 undo_next: Lsn(42),
             },
-            LogPayload::PageFormat { image: image.clone() },
+            LogPayload::PageFormat {
+                image: image.clone(),
+            },
             LogPayload::FullPageImage { image },
-            LogPayload::PriUpdate { page_lsn: Lsn(77), backup: BackupRef::BackupPage(PageId(5)) },
-            LogPayload::PriUpdate { page_lsn: Lsn(78), backup: BackupRef::LogImage(Lsn(12)) },
-            LogPayload::BackupTaken { backup: BackupRef::FormatRecord(Lsn(8)), page_lsn: Lsn(9) },
+            LogPayload::PriUpdate {
+                page_lsn: Lsn(77),
+                backup: BackupRef::BackupPage(PageId(5)),
+            },
+            LogPayload::PriUpdate {
+                page_lsn: Lsn(78),
+                backup: BackupRef::LogImage(Lsn(12)),
+            },
             LogPayload::BackupTaken {
-                backup: BackupRef::FullBackup { first_slot: 3, pages: 1000 },
+                backup: BackupRef::FormatRecord(Lsn(8)),
+                page_lsn: Lsn(9),
+            },
+            LogPayload::BackupTaken {
+                backup: BackupRef::FullBackup {
+                    first_slot: 3,
+                    pages: 1000,
+                },
                 page_lsn: Lsn(11),
             },
             LogPayload::CheckpointBegin {
@@ -846,26 +959,42 @@ mod tests {
         let before = page.clone();
 
         let ops = vec![
-            PageOp::InsertRecord { pos: 1, bytes: b"b".to_vec(), ghost: false },
-            PageOp::ReplaceRecord { pos: 0, old_bytes: b"a".to_vec(), new_bytes: b"A!".to_vec() },
-            PageOp::SetGhost { pos: 1, old: false, new: true },
-            PageOp::WriteStructure { old: vec![0; 32], new: (0..32).collect() },
+            PageOp::InsertRecord {
+                pos: 1,
+                bytes: b"b".to_vec(),
+                ghost: false,
+            },
+            PageOp::ReplaceRecord {
+                pos: 0,
+                old_bytes: b"a".to_vec(),
+                new_bytes: b"A!".to_vec(),
+            },
+            PageOp::SetGhost {
+                pos: 1,
+                old: false,
+                new: true,
+            },
+            PageOp::WriteStructure {
+                old: vec![0; 32],
+                new: (0..32).collect(),
+            },
         ];
         for op in ops {
             let mut p = before.clone();
             op.redo(&mut p);
-            assert_ne!(p.as_bytes(), before.as_bytes(), "op must change the page: {op:?}");
+            assert_ne!(
+                p.as_bytes(),
+                before.as_bytes(),
+                "op must change the page: {op:?}"
+            );
             op.invert().redo(&mut p);
             // Structural bytes may differ after insert+remove (heap_top moves,
             // fragmentation) but logical contents must match.
             let a = SlottedPage::new(&mut p);
-            let got: Vec<(Vec<u8>, bool)> =
-                a.iter().map(|(_, r, g)| (r.to_vec(), g)).collect();
-            drop(a);
+            let got: Vec<(Vec<u8>, bool)> = a.iter().map(|(_, r, g)| (r.to_vec(), g)).collect();
             let mut b = before.clone();
             let bsp = SlottedPage::new(&mut b);
-            let want: Vec<(Vec<u8>, bool)> =
-                bsp.iter().map(|(_, r, g)| (r.to_vec(), g)).collect();
+            let want: Vec<(Vec<u8>, bool)> = bsp.iter().map(|(_, r, g)| (r.to_vec(), g)).collect();
             assert_eq!(got, want, "invert must restore logical contents: {op:?}");
             assert_eq!(p.structure_area(), before.structure_area());
         }
@@ -889,7 +1018,11 @@ mod tests {
             image.encoded_len()
         );
         let restored = image.restore();
-        assert_eq!(restored.as_bytes(), page.as_bytes(), "restore must be byte-exact");
+        assert_eq!(
+            restored.as_bytes(),
+            page.as_bytes(),
+            "restore must be byte-exact"
+        );
     }
 
     #[test]
@@ -908,7 +1041,11 @@ mod tests {
     fn payload_kind_names_are_stable() {
         assert_eq!(LogPayload::TxAbort.kind_name(), "tx-abort");
         assert_eq!(
-            LogPayload::PriUpdate { page_lsn: Lsn(1), backup: BackupRef::None }.kind_name(),
+            LogPayload::PriUpdate {
+                page_lsn: Lsn(1),
+                backup: BackupRef::None
+            }
+            .kind_name(),
             "pri-update"
         );
     }

@@ -63,13 +63,19 @@ impl OpMix {
     /// An update-heavy mix (50% puts), the paper-relevant stressor.
     #[must_use]
     pub const fn update_heavy() -> Self {
-        Self { put: 0.5, delete: 0.05 }
+        Self {
+            put: 0.5,
+            delete: 0.05,
+        }
     }
 
     /// A read-mostly mix (5% puts).
     #[must_use]
     pub const fn read_mostly() -> Self {
-        Self { put: 0.05, delete: 0.0 }
+        Self {
+            put: 0.05,
+            delete: 0.0,
+        }
     }
 }
 
@@ -121,9 +127,11 @@ impl Workload {
     pub fn next_key_index(&mut self) -> u64 {
         match self.distribution {
             KeyDistribution::Uniform => self.rng.gen_range(0..self.key_space),
-            KeyDistribution::Zipfian { .. } => {
-                self.zipf_table.as_mut().expect("sampler built").sample(&mut self.rng)
-            }
+            KeyDistribution::Zipfian { .. } => self
+                .zipf_table
+                .as_mut()
+                .expect("sampler built")
+                .sample(&mut self.rng),
         }
     }
 
@@ -159,7 +167,9 @@ impl Workload {
 
     /// Keys `[0, n)` in order, with values — for bulk loading.
     pub fn load_phase(&mut self, n: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
-        (0..n).map(|i| (Self::encode_key(i), self.next_value())).collect()
+        (0..n)
+            .map(|i| (Self::encode_key(i), self.next_value()))
+            .collect()
     }
 }
 
@@ -181,7 +191,14 @@ impl ZipfSampler {
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Self { n, theta, alpha, zetan, eta, zeta2 }
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -285,12 +302,18 @@ mod tests {
             3,
             1000,
             KeyDistribution::Uniform,
-            OpMix { put: 0.3, delete: 0.1 },
+            OpMix {
+                put: 0.3,
+                delete: 0.1,
+            },
             16,
         );
         let ops = w.take_ops(10_000);
         let puts = ops.iter().filter(|o| matches!(o, Op::Put { .. })).count();
-        let dels = ops.iter().filter(|o| matches!(o, Op::Delete { .. })).count();
+        let dels = ops
+            .iter()
+            .filter(|o| matches!(o, Op::Delete { .. }))
+            .count();
         assert!((2500..3500).contains(&puts), "puts {puts}");
         assert!((700..1300).contains(&dels), "deletes {dels}");
     }

@@ -11,9 +11,7 @@
 //! cargo run --release --example backup_policy_tuning
 //! ```
 
-use spf::{
-    BackupPolicy, CorruptionMode, Database, DatabaseConfig, FaultSpec, IoCostModel,
-};
+use spf::{BackupPolicy, CorruptionMode, Database, DatabaseConfig, FaultSpec, IoCostModel};
 use spf_workload::{KeyDistribution, OpMix, Workload};
 
 fn main() {
@@ -25,7 +23,9 @@ fn main() {
             data_pages: 2048,
             pool_frames: 64, // small pool: steady eviction traffic
             io_cost: IoCostModel::disk_2012(),
-            backup_policy: BackupPolicy { every_n_updates: Some(n) },
+            backup_policy: BackupPolicy {
+                every_n_updates: Some(n),
+            },
             ..DatabaseConfig::default()
         })
         .expect("create");
@@ -73,8 +73,7 @@ fn main() {
             );
         }
         db.drop_cache();
-        let mut w2 =
-            Workload::new(8, 2000, KeyDistribution::Uniform, OpMix::read_mostly(), 64);
+        let mut w2 = Workload::new(8, 2000, KeyDistribution::Uniform, OpMix::read_mostly(), 64);
         for _ in 0..4000 {
             let k = Workload::encode_key(w2.next_key_index());
             let _ = db.get(&k).unwrap();
@@ -83,9 +82,12 @@ fn main() {
         let after = db.stats();
         let recoveries = after.spf.recoveries - before.spf.recoveries;
         let replayed = after.spf.chain_records_fetched - before.spf.chain_records_fetched;
-        let avg_replay = if recoveries > 0 { replayed as f64 / recoveries as f64 } else { 0.0 };
-        let backup_writes_per_update =
-            after.backups.page_backups_taken as f64 / updates as f64;
+        let avg_replay = if recoveries > 0 {
+            replayed as f64 / recoveries as f64
+        } else {
+            0.0
+        };
+        let backup_writes_per_update = after.backups.page_backups_taken as f64 / updates as f64;
 
         println!(
             "{n:>14} | {:>13} | {avg_replay:>22.1} | {:>17} | {backup_writes_per_update:>26.4}",

@@ -24,7 +24,8 @@ fn main() {
     // Load and back up.
     let tx = db.begin();
     for i in 0..8000u64 {
-        db.insert(tx, &key(i), format!("payload-{i}").as_bytes()).unwrap();
+        db.insert(tx, &key(i), format!("payload-{i}").as_bytes())
+            .unwrap();
     }
     db.commit(tx).unwrap();
     db.take_full_backup().unwrap();
@@ -32,7 +33,8 @@ fn main() {
     // Ongoing updates so every recovery path has log to replay.
     let tx = db.begin();
     for i in 0..8000u64 {
-        db.put(tx, &key(i), format!("payload-v2-{i}").as_bytes()).unwrap();
+        db.put(tx, &key(i), format!("payload-v2-{i}").as_bytes())
+            .unwrap();
     }
     db.commit(tx).unwrap();
     db.checkpoint().unwrap();
@@ -54,7 +56,10 @@ fn main() {
 
     // (2) Single-page failure: corrupt one page, read through it.
     let victim = db.any_leaf_page().unwrap();
-    db.inject_fault(victim, FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }));
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }),
+    );
     db.drop_cache();
     let t0 = db.clock().now();
     let _ = db.get(&key(4000)).unwrap();
@@ -78,7 +83,8 @@ fn main() {
     }
     let winner = db.begin();
     for i in 4000..4500u64 {
-        db.put(winner, &key(i), b"committed-after-checkpoint").unwrap();
+        db.put(winner, &key(i), b"committed-after-checkpoint")
+            .unwrap();
     }
     db.commit(winner).unwrap(); // forces the log, making the loser durable too
     db.crash();

@@ -35,7 +35,10 @@ fn run_scenario(config: DatabaseConfig, label: &str) {
     // The device develops the silent fault of the anecdote: one page's
     // writes are acknowledged but dropped — reads return the old version.
     let victim = db.any_leaf_page().unwrap();
-    db.inject_fault(victim, FaultSpec::SilentCorruption(CorruptionMode::StaleVersion));
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::StaleVersion),
+    );
     println!("armed lost-write fault on {victim}");
 
     // Business continues: every balance is updated (the victim included),
@@ -92,11 +95,17 @@ fn run_scenario(config: DatabaseConfig, label: &str) {
 
 fn main() {
     run_scenario(
-        DatabaseConfig { data_pages: 2048, ..DatabaseConfig::traditional() },
+        DatabaseConfig {
+            data_pages: 2048,
+            ..DatabaseConfig::traditional()
+        },
         "traditional engine (no single-page failure support)",
     );
     run_scenario(
-        DatabaseConfig { data_pages: 2048, ..DatabaseConfig::default() },
+        DatabaseConfig {
+            data_pages: 2048,
+            ..DatabaseConfig::default()
+        },
         "engine with single-page detection + recovery (the paper)",
     );
 }

@@ -1,0 +1,272 @@
+//! Offline stand-in for the subset of `criterion` used by this
+//! workspace's benches: `Criterion`, `benchmark_group` + `sample_size` +
+//! `bench_function` + `finish`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The build container has no registry access, so the real harness
+//! cannot be fetched. This one keeps the same call shapes so benches
+//! compile unchanged (`cargo bench --no-run` is part of tier-1), and it
+//! really measures: each benchmark is warmed up, then timed over
+//! `sample_size` samples with an iteration count auto-scaled to the
+//! routine's speed, reporting min/median/mean per iteration. No
+//! statistics beyond that, no HTML reports, no comparison to saved
+//! baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample time target; long enough to average out scheduler noise,
+/// short enough that a full bench suite stays interactive.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+
+/// How setup output is handled in `iter_batched`. All variants behave
+/// identically here (setup runs untimed before every timed batch); the
+/// distinctions only matter for the real harness's memory planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh setup for every single iteration.
+    PerIteration,
+    /// Explicit number of batches.
+    NumBatches(u64),
+    /// Explicit iterations per batch.
+    NumIterations(u64),
+}
+
+/// The benchmark context handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+    /// Substring filter from the CLI (cargo bench -- <filter>), so the
+    /// usual `cargo bench wal` narrowing works.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes harness flags (e.g. --bench); everything
+        // that doesn't look like a flag is a name filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self {
+            sample_size: 100,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        self.run_one(&id, sample_size, f);
+        self
+    }
+
+    fn run_one(&self, id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a routine under `group/id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(&id, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (a no-op here; the real harness finalizes reports).
+    pub fn finish(self) {}
+}
+
+/// Times closures; handed to each `bench_function` callback.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>, // per-iteration time of each sample
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: how many iterations fit in one sample target?
+        let calib = Instant::now();
+        black_box(routine());
+        let once = calib.elapsed().max(Duration::from_nanos(1));
+        let iters = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by `&mut`.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_size {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        self.samples.sort();
+        let min = self.samples[0];
+        let median = self.samples[self.samples.len() / 2];
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{id:<48} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            self.samples.len(),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, as in the real harness.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, as in the real harness.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet(sample_size: usize) -> Criterion {
+        Criterion {
+            sample_size,
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn iter_records_samples_and_reports() {
+        let mut c = quiet(5);
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_output() {
+        let mut c = quiet(3);
+        c.bench_function("rev", |b| {
+            b.iter_batched(
+                || vec![1u8, 2, 3],
+                |mut v| {
+                    v.reverse();
+                    v
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+}

@@ -1,0 +1,395 @@
+//! Offline stand-in for the subset of [`parking_lot`] used by this
+//! workspace: `Mutex`, `RwLock` (borrowed guards), and the `arc_lock`
+//! owned guards `ArcRwLockReadGuard` / `ArcRwLockWriteGuard`.
+//!
+//! The container this repo builds in has no network access to a crates
+//! registry, so the real dependency cannot be fetched; this crate mirrors
+//! the API (same paths, same call shapes) over `std::sync` primitives.
+//! Semantics match where the workspace relies on them: guards release on
+//! drop, `Mutex::lock` never returns a poison error, and the `RwLock` is
+//! writer-preferring enough that writers cannot starve behind a stream of
+//! readers. Performance characteristics of the real crate (adaptive
+//! spinning, word-sized locks) are intentionally out of scope.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+/// A mutual-exclusion lock with `parking_lot`'s poison-free API.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the data.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available. Unlike
+    /// `std::sync::Mutex`, poisoning is ignored (a panic while holding
+    /// the lock does not permanently break it).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: e.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_tuple("Mutex").field(&&*g).finish(),
+            None => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+// ---------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------
+
+/// Marker type standing in for `parking_lot::RawRwLock`; only used as a
+/// type parameter of the owned guard types, never instantiated.
+pub struct RawRwLock {
+    _private: (),
+}
+
+#[derive(Default)]
+struct RwState {
+    /// Number of active readers.
+    readers: usize,
+    /// Whether a writer currently holds the lock.
+    writer: bool,
+    /// Writers blocked waiting; new readers stand aside while > 0 so
+    /// writers cannot starve.
+    waiting_writers: usize,
+}
+
+/// A reader-writer lock with `parking_lot`'s poison-free API, including
+/// the `arc_lock` owned guards.
+///
+/// Built from a `Mutex`/`Condvar` state machine plus an `UnsafeCell`
+/// for the data; the two `unsafe` blocks below are the usual guard
+/// derefs, sound because the state machine guarantees
+/// readers XOR writer.
+pub struct RwLock<T: ?Sized> {
+    state: StdMutex<RwState>,
+    cond: Condvar,
+    data: UnsafeCell<T>,
+}
+
+// Safety: same bounds as std::sync::RwLock — the state machine hands out
+// &T to many threads (needs T: Sync) and &mut T / by-value moves across
+// threads (needs T: Send).
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub fn new(value: T) -> Self {
+        Self {
+            state: StdMutex::new(RwState::default()),
+            cond: Condvar::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the data.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn raw_lock_shared(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while s.writer || s.waiting_writers > 0 {
+            s = self.cond.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.readers += 1;
+    }
+
+    fn raw_unlock_shared(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.readers -= 1;
+        if s.readers == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    fn raw_lock_exclusive(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.waiting_writers += 1;
+        while s.writer || s.readers > 0 {
+            s = self.cond.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.waiting_writers -= 1;
+        s.writer = true;
+    }
+
+    fn raw_unlock_exclusive(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.writer = false;
+        self.cond.notify_all();
+    }
+
+    /// Acquires shared (read) access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.raw_lock_shared();
+        RwLockReadGuard { lock: self }
+    }
+
+    /// Acquires exclusive (write) access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.raw_lock_exclusive();
+        RwLockWriteGuard { lock: self }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        // Safety: &mut self guarantees no guards are outstanding.
+        unsafe { &mut *self.data.get() }
+    }
+
+    /// Acquires shared access, returning an owned guard that keeps the
+    /// `Arc` (and thus the lock) alive for the guard's lifetime.
+    /// Call as `RwLock::read_arc(&arc)`, matching the `arc_lock` API.
+    pub fn read_arc(this: &Arc<Self>) -> lock_api::ArcRwLockReadGuard<RawRwLock, T> {
+        this.raw_lock_shared();
+        lock_api::ArcRwLockReadGuard {
+            lock: Arc::clone(this),
+            _raw: PhantomData,
+        }
+    }
+
+    /// Acquires exclusive access, returning an owned guard; see
+    /// [`RwLock::read_arc`].
+    pub fn write_arc(this: &Arc<Self>) -> lock_api::ArcRwLockWriteGuard<RawRwLock, T> {
+        this.raw_lock_exclusive();
+        lock_api::ArcRwLockWriteGuard {
+            lock: Arc::clone(this),
+            _raw: PhantomData,
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RwLock(..)")
+    }
+}
+
+/// RAII shared guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: shared access is held until drop.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.raw_unlock_shared();
+    }
+}
+
+/// RAII exclusive guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: exclusive access is held until drop.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: exclusive access is held until drop.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.raw_unlock_exclusive();
+    }
+}
+
+/// The subset of the `lock_api` facade the workspace names: the owned
+/// (Arc-backed) guard types. The `R` parameter mirrors the raw-lock
+/// parameter of the real types and is phantom here.
+pub mod lock_api {
+    use super::*;
+
+    /// Owned shared guard; keeps its `Arc<RwLock<T>>` alive until drop.
+    pub struct ArcRwLockReadGuard<R, T: ?Sized> {
+        pub(crate) lock: Arc<RwLock<T>>,
+        pub(crate) _raw: PhantomData<R>,
+    }
+
+    impl<R, T: ?Sized> Deref for ArcRwLockReadGuard<R, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // Safety: shared access is held until drop.
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<R, T: ?Sized> Drop for ArcRwLockReadGuard<R, T> {
+        fn drop(&mut self) {
+            self.lock.raw_unlock_shared();
+        }
+    }
+
+    /// Owned exclusive guard; keeps its `Arc<RwLock<T>>` alive until drop.
+    pub struct ArcRwLockWriteGuard<R, T: ?Sized> {
+        pub(crate) lock: Arc<RwLock<T>>,
+        pub(crate) _raw: PhantomData<R>,
+    }
+
+    impl<R, T: ?Sized> Deref for ArcRwLockWriteGuard<R, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // Safety: exclusive access is held until drop.
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<R, T: ?Sized> DerefMut for ArcRwLockWriteGuard<R, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // Safety: exclusive access is held until drop.
+            unsafe { &mut *self.lock.data.get() }
+        }
+    }
+
+    impl<R, T: ?Sized> Drop for ArcRwLockWriteGuard<R, T> {
+        fn drop(&mut self) {
+            self.lock.raw_unlock_exclusive();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_many_readers_one_writer() {
+        let l = Arc::new(RwLock::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            handles.push(thread::spawn(move || {
+                for _ in 0..1000 {
+                    *l.write() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 4000);
+    }
+
+    #[test]
+    fn arc_guards_outlive_the_borrow() {
+        let l = Arc::new(RwLock::new(7u32));
+        let g = RwLock::read_arc(&l);
+        drop(l); // the guard keeps the lock alive
+        assert_eq!(*g, 7);
+        drop(g);
+    }
+
+    #[test]
+    fn arc_write_guard_excludes_readers() {
+        let l = Arc::new(RwLock::new(0u32));
+        let mut w = RwLock::write_arc(&l);
+        *w = 5;
+        assert!(l.try_read_would_block());
+        drop(w);
+        assert_eq!(*l.read(), 5);
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        fn try_read_would_block(&self) -> bool {
+            let s = self.state.lock().unwrap();
+            s.writer || s.waiting_writers > 0
+        }
+    }
+}

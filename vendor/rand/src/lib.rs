@@ -1,0 +1,299 @@
+//! Offline stand-in for the subset of `rand` 0.8 used by this workspace:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng::{gen, gen_range,
+//! gen_bool, fill_bytes}`, and `distributions::{Distribution, Standard}`.
+//!
+//! The build container has no registry access, so the real crate cannot
+//! be fetched. The API shapes match rand 0.8 exactly (call sites compile
+//! unchanged); the *stream* of numbers does not match the real `StdRng`
+//! (this one is xoshiro256++ seeded via SplitMix64). Every consumer in
+//! the workspace only requires seeded determinism — identical seeds give
+//! identical streams across runs and platforms — never a specific
+//! ChaCha-12 stream, so this is sufficient.
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of randomness, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// High-level convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value via the [`Standard`](distributions::Standard)
+    /// distribution (`rng.gen::<f64>()` etc.).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Samples uniformly from a range (`0..n` or `0..=n`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+
+    /// Fills a byte slice with random data (alias of
+    /// [`RngCore::fill_bytes`], as `rand::Rng::fill` for `[u8]`).
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding, mirroring `rand::SeedableRng` (only the `seed_from_u64`
+/// entry point the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic generator standing in for `rand::rngs::StdRng`:
+    /// xoshiro256++ with SplitMix64 seed expansion. Not the real StdRng
+    /// stream — see the crate docs.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ (Blackman & Vigna, public domain reference).
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions, mirroring `rand::distributions`.
+pub mod distributions {
+    use super::Rng;
+
+    /// A sampling strategy over values of `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution for a type: uniform over all values
+    /// for integers and bool, uniform in `[0, 1)` for floats.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits → uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    /// Uniform-range sampling, mirroring `rand::distributions::uniform`.
+    pub mod uniform {
+        use super::super::Rng;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Integer types that can be drawn uniformly from a range.
+        /// (Lemire-style rejection is overkill here; modulo bias over a
+        /// 64-bit draw is ≤ 2⁻⁴⁰ for every span the workspace uses.)
+        pub trait SampleUniform: Copy {
+            /// Widens to u64 (two's-complement for signed).
+            fn to_u64(self) -> u64;
+            /// Narrows from u64.
+            fn from_u64(v: u64) -> Self;
+        }
+
+        macro_rules! impl_sample_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn to_u64(self) -> u64 { self as u64 }
+                    fn from_u64(v: u64) -> Self { v as $t }
+                }
+            )*};
+        }
+        impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        /// Range arguments accepted by `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            /// Draws one value from the range.
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+                let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+                assert!(lo < hi, "cannot sample empty range");
+                T::from_u64(lo + rng.next_u64() % (hi - lo))
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+                let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = hi - lo;
+                if span == u64::MAX {
+                    return T::from_u64(rng.next_u64());
+                }
+                T::from_u64(lo + rng.next_u64() % (span + 1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::Distribution;
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.gen()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(0usize..=5);
+            assert!(w <= 5);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn distribution_trait_is_object_usable_via_generics() {
+        struct Halves;
+        impl Distribution<u64> for Halves {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+                rng.next_u64() / 2
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = Halves.sample(&mut rng);
+    }
+}
