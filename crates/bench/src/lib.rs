@@ -6,7 +6,7 @@
 
 #![forbid(unsafe_code)]
 
-use spf::{Database, DatabaseConfig, TxId};
+use spf::{Database, DatabaseConfig, PageId, TxId};
 
 /// Standard key encoding used across experiments.
 pub fn key(i: u64) -> Vec<u8> {
@@ -49,6 +49,39 @@ pub fn engine(f: impl FnOnce(&mut DatabaseConfig)) -> Database {
     let mut config = DatabaseConfig::default();
     f(&mut config);
     Database::create(config).expect("create database")
+}
+
+/// Wall-clock time for `iters` buffer-pool fetches spread across
+/// `threads` workers, each walking `leaves` from a different offset with
+/// a shared stride. Thread spawn/teardown is excluded via barriers.
+/// Shared by the `buffer_pool` bench and the e14 perf experiment.
+pub fn concurrent_fetch_time(
+    db: &Database,
+    leaves: &[PageId],
+    threads: usize,
+    iters: u64,
+) -> std::time::Duration {
+    let per_thread = iters.div_ceil(threads as u64);
+    let barrier = std::sync::Barrier::new(threads + 1);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let pool = db.pool().clone();
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut i = t * 997;
+                barrier.wait();
+                for _ in 0..per_thread {
+                    i = (i + 13) % leaves.len();
+                    std::hint::black_box(pool.fetch(leaves[i]).unwrap());
+                }
+                barrier.wait();
+            });
+        }
+        barrier.wait();
+        let start = std::time::Instant::now();
+        barrier.wait();
+        start.elapsed()
+    })
 }
 
 /// Begins a transaction, runs `f`, commits.

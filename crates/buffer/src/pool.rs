@@ -1,9 +1,33 @@
 //! The buffer pool proper: frames, clock eviction, guards, and the
 //! verification/recovery read path.
+//!
+//! # Concurrency scheme
+//!
+//! The page table is **sharded**: residency is tracked in `SHARDS`
+//! independently locked hash maps keyed by a `PageId` hash, so fetches of
+//! unrelated pages never contend on a common lock, and pool statistics are
+//! plain atomics. The invariant that makes this safe to run fast is:
+//!
+//! > **No device read, no device write, and no log force ever happens
+//! > while a shard lock is held.** Shard locks only guard table lookups
+//! > and the publish/unlink of frames.
+//!
+//! A buffer fault installs an *in-flight* marker in the shard, drops the
+//! lock, and performs the whole Figure 8 sequence — device read, in-page
+//! verification, PRI cross-check, inline single-page recovery — with no
+//! table lock held. Concurrent faults on the same page find the marker
+//! and wait on it instead of issuing duplicate device reads (miss
+//! coalescing); once the leader publishes the frame they resolve as hits.
+//! Eviction (the Figure 11 write-back: log force, backup hook, device
+//! write, PRI record) likewise claims the victim frame with a per-frame
+//! flag, performs all I/O unlocked, and only then takes the shard lock to
+//! unlink the page — re-checking that no one pinned or re-dirtied the
+//! frame while the write-back ran.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::sync::{Condvar, Mutex as StdMutex};
 
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
 use parking_lot::{Mutex, RawRwLock, RwLock};
@@ -14,6 +38,9 @@ use spf_wal::{LogManager, Lsn};
 use crate::traits::{
     FetchError, PageRecoverer, ReadValidator, RecoverOutcome, ValidationError, WriteObserver,
 };
+
+/// Number of page-table shards. A power of two so the hash can mask.
+const SHARDS: usize = 16;
 
 /// Buffer pool configuration.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +62,10 @@ pub struct PoolStats {
     pub hits: u64,
     /// Fetches that had to read the device.
     pub misses: u64,
+    /// Fetches that found another thread's read of the same page in
+    /// flight and waited for it instead of issuing a duplicate device
+    /// read. They resolve as hits once the leader publishes the frame.
+    pub coalesced_misses: u64,
     /// Frames reclaimed by the clock hand.
     pub evictions: u64,
     /// Dirty pages written back (eviction, flush, checkpoint).
@@ -68,22 +99,78 @@ impl PoolStats {
     }
 }
 
+/// Lock-free pool counters; snapshotted into [`PoolStats`].
+#[derive(Default)]
+struct StatCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced_misses: AtomicU64,
+    evictions: AtomicU64,
+    write_backs: AtomicU64,
+    detected_checksum: AtomicU64,
+    detected_wrong_id: AtomicU64,
+    detected_plausibility: AtomicU64,
+    detected_stale_lsn: AtomicU64,
+    detected_hard_error: AtomicU64,
+    pages_recovered: AtomicU64,
+    escalations: AtomicU64,
+}
+
+impl StatCounters {
+    fn snapshot(&self) -> PoolStats {
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        PoolStats {
+            hits: ld(&self.hits),
+            misses: ld(&self.misses),
+            coalesced_misses: ld(&self.coalesced_misses),
+            evictions: ld(&self.evictions),
+            write_backs: ld(&self.write_backs),
+            detected_checksum: ld(&self.detected_checksum),
+            detected_wrong_id: ld(&self.detected_wrong_id),
+            detected_plausibility: ld(&self.detected_plausibility),
+            detected_stale_lsn: ld(&self.detected_stale_lsn),
+            detected_hard_error: ld(&self.detected_hard_error),
+            pages_recovered: ld(&self.pages_recovered),
+            escalations: ld(&self.escalations),
+        }
+    }
+}
+
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Per-frame bookkeeping guarded by one mutex: the resident page id and
+/// the dirty state (merged so write-back and eviction take a single
+/// frame-lock acquisition instead of separate `id`/`dirty` locks).
 #[derive(Debug, Clone, Copy)]
-struct DirtyState {
+struct FrameMeta {
+    /// Resident page id, [`PageId::INVALID`] when the frame is empty.
+    id: PageId,
     dirty: bool,
     /// LSN of the first record that dirtied the page since it was last
     /// clean — the recovery LSN reported in checkpoints.
     rec_lsn: Lsn,
 }
 
+impl FrameMeta {
+    const EMPTY: FrameMeta = FrameMeta {
+        id: PageId::INVALID,
+        dirty: false,
+        rec_lsn: Lsn::NULL,
+    };
+}
+
 struct Frame {
     page: Arc<RwLock<Page>>,
     pins: AtomicU32,
     ref_bit: AtomicBool,
-    /// Resident page id, [`PageId::INVALID`] when the frame is empty.
-    /// Kept in sync with the pool's table under the state lock.
-    id: Mutex<PageId>,
-    dirty: Mutex<DirtyState>,
+    /// Eviction/installation claim. Set by exactly one thread at a time:
+    /// either an evictor running the unlocked write-back, or a miss
+    /// leader filling the frame before publishing it. A claimed frame is
+    /// skipped by the clock sweep.
+    claimed: AtomicBool,
+    meta: Mutex<FrameMeta>,
 }
 
 impl Frame {
@@ -92,19 +179,62 @@ impl Frame {
             page: Arc::new(RwLock::new(Page::from_bytes(vec![0u8; page_size]))),
             pins: AtomicU32::new(0),
             ref_bit: AtomicBool::new(false),
-            id: Mutex::new(PageId::INVALID),
-            dirty: Mutex::new(DirtyState {
-                dirty: false,
-                rec_lsn: Lsn::NULL,
-            }),
+            claimed: AtomicBool::new(false),
+            meta: Mutex::new(FrameMeta::EMPTY),
         }
     }
 }
 
-struct State {
-    table: HashMap<PageId, usize>,
-    clock_hand: usize,
-    stats: PoolStats,
+/// A shard's view of a page: resident in a frame, or being read in by
+/// another thread.
+enum Slot {
+    Resident(usize),
+    InFlight(Arc<InFlight>),
+}
+
+/// What [`BufferPool::try_evict`] did with a claimed candidate frame.
+enum EvictOutcome {
+    /// The frame is unlinked and empty; the caller owns it.
+    Claimed,
+    /// Pinned, re-dirtied, or already unlinked: move the clock hand on.
+    Skip,
+    /// A short-lived owner (page-latch holder) blocked the write-back;
+    /// worth retrying after a yield.
+    SkipTransient,
+}
+
+/// Rendezvous for coalesced misses: waiters block here until the leader
+/// publishes the frame (or fails and removes the marker), then re-probe
+/// the shard.
+struct InFlight {
+    done: StdMutex<bool>,
+    cv: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        Self {
+            done: StdMutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn complete(&self) {
+        *self.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_all();
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    table: HashMap<PageId, Slot>,
 }
 
 /// The buffer pool. Cheap to clone; clones share the pool.
@@ -115,12 +245,23 @@ pub struct BufferPool {
 
 struct PoolInner {
     frames: Vec<Frame>,
-    state: Mutex<State>,
+    shards: Vec<Mutex<Shard>>,
+    clock_hand: AtomicUsize,
+    stats: StatCounters,
     device: Arc<dyn StorageDevice>,
     log: LogManager,
     validator: Mutex<Option<Arc<dyn ReadValidator>>>,
     recoverer: Mutex<Option<Arc<dyn PageRecoverer>>>,
     observer: Mutex<Option<Arc<dyn WriteObserver>>>,
+}
+
+impl PoolInner {
+    fn shard(&self, id: PageId) -> &Mutex<Shard> {
+        // Fibonacci hashing spreads the sequential page ids an allocator
+        // hands out across all shards.
+        let h = (id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 57) as usize;
+        &self.shards[h & (SHARDS - 1)]
+    }
 }
 
 /// Shared-pin handle embedded in guards; unpins on drop.
@@ -191,13 +332,13 @@ impl std::ops::DerefMut for PageWriteGuard {
 impl PageWriteGuard {
     /// Records that the page was mutated under `lsn`: sets the PageLSN,
     /// marks the frame dirty, and pins `lsn` as the recovery LSN if the
-    /// frame was clean.
+    /// frame was clean. One frame-lock acquisition.
     pub fn mark_dirty(&mut self, lsn: Lsn) {
         self.guard.set_page_lsn(lsn.0);
-        let mut dirty = self.pool.frames[self.frame_idx].dirty.lock();
-        if !dirty.dirty {
-            dirty.dirty = true;
-            dirty.rec_lsn = lsn;
+        let mut meta = self.pool.frames[self.frame_idx].meta.lock();
+        if !meta.dirty {
+            meta.dirty = true;
+            meta.rec_lsn = lsn;
         }
     }
 }
@@ -212,11 +353,9 @@ impl BufferPool {
         Self {
             inner: Arc::new(PoolInner {
                 frames: (0..config.frames).map(|_| Frame::new(page_size)).collect(),
-                state: Mutex::new(State {
-                    table: HashMap::new(),
-                    clock_hand: 0,
-                    stats: PoolStats::default(),
-                }),
+                shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+                clock_hand: AtomicUsize::new(0),
+                stats: StatCounters::default(),
                 device,
                 log,
                 validator: Mutex::new(None),
@@ -250,19 +389,32 @@ impl BufferPool {
     /// Number of resident pages.
     #[must_use]
     pub fn resident(&self) -> usize {
-        self.inner.state.lock().table.len()
+        self.inner
+            .shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .table
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Resident(_)))
+                    .count()
+            })
+            .sum()
     }
 
     /// True if `id` is resident.
     #[must_use]
     pub fn contains(&self, id: PageId) -> bool {
-        self.inner.state.lock().table.contains_key(&id)
+        matches!(
+            self.inner.shard(id).lock().table.get(&id),
+            Some(Slot::Resident(_))
+        )
     }
 
     /// Pool statistics snapshot.
     #[must_use]
     pub fn stats(&self) -> PoolStats {
-        self.inner.state.lock().stats
+        self.inner.stats.snapshot()
     }
 
     /// Fetches `id` for reading, verifying (and if needed recovering) the
@@ -297,37 +449,81 @@ impl BufferPool {
     /// marked dirty with `rec_lsn`.
     pub fn put_new(&self, page: Page, rec_lsn: Lsn) -> Result<PageWriteGuard, FetchError> {
         let id = page.page_id();
-        let mut state = self.inner.state.lock();
-        let frame_idx = match state.table.get(&id) {
-            Some(&idx) => idx,
-            None => {
-                let idx = self.claim_victim(&mut state)?;
-                *self.inner.frames[idx].id.lock() = id;
-                state.table.insert(id, idx);
-                idx
+        loop {
+            enum Probe {
+                Resident(usize),
+                Wait(Arc<InFlight>),
+                Lead,
             }
-        };
-        let frame = &self.inner.frames[frame_idx];
-        frame.pins.fetch_add(1, Ordering::Acquire);
-        frame.ref_bit.store(true, Ordering::Relaxed);
-        *frame.dirty.lock() = DirtyState {
-            dirty: true,
-            rec_lsn,
-        };
-        drop(state);
-
-        let page_arc = Arc::clone(&frame.page);
-        let mut guard = RwLock::write_arc(&page_arc);
-        *guard = page;
-        Ok(PageWriteGuard {
-            guard,
-            pool: Arc::clone(&self.inner),
-            frame_idx,
-            _pin: Pin {
-                pool: Arc::clone(&self.inner),
-                frame_idx,
-            },
-        })
+            let probe = {
+                let mut shard = self.inner.shard(id).lock();
+                match shard.table.get(&id) {
+                    Some(Slot::Resident(idx)) => {
+                        let idx = *idx;
+                        let frame = &self.inner.frames[idx];
+                        frame.pins.fetch_add(1, Ordering::Acquire);
+                        frame.ref_bit.store(true, Ordering::Relaxed);
+                        Probe::Resident(idx)
+                    }
+                    Some(Slot::InFlight(fl)) => Probe::Wait(Arc::clone(fl)),
+                    None => {
+                        shard
+                            .table
+                            .insert(id, Slot::InFlight(Arc::new(InFlight::new())));
+                        Probe::Lead
+                    }
+                }
+            };
+            match probe {
+                Probe::Resident(idx) => {
+                    let frame = &self.inner.frames[idx];
+                    let page_arc = Arc::clone(&frame.page);
+                    let mut guard = RwLock::write_arc(&page_arc);
+                    // Dirty bookkeeping under the page write latch (the
+                    // same discipline as `mark_dirty`), so a concurrent
+                    // write-back cannot clean the frame between our meta
+                    // update and the image install. Reusing a resident
+                    // frame must not lose an earlier recovery LSN: the
+                    // DPT entry names the oldest un-persisted change.
+                    {
+                        let mut meta = frame.meta.lock();
+                        if !meta.dirty || rec_lsn < meta.rec_lsn {
+                            meta.dirty = true;
+                            meta.rec_lsn = rec_lsn;
+                        }
+                    }
+                    *guard = page;
+                    return Ok(PageWriteGuard {
+                        guard,
+                        pool: Arc::clone(&self.inner),
+                        frame_idx: idx,
+                        _pin: Pin {
+                            pool: Arc::clone(&self.inner),
+                            frame_idx: idx,
+                        },
+                    });
+                }
+                Probe::Wait(fl) => {
+                    fl.wait();
+                    continue;
+                }
+                Probe::Lead => {
+                    // Victim selection and its write-back run with no
+                    // shard lock held.
+                    let staged = self.claim_victim().map(|idx| (idx, page, true, rec_lsn));
+                    let (idx, arc) = self.publish_frame(id, staged)?;
+                    return Ok(PageWriteGuard {
+                        guard: RwLock::write_arc(&arc),
+                        pool: Arc::clone(&self.inner),
+                        frame_idx: idx,
+                        _pin: Pin {
+                            pool: Arc::clone(&self.inner),
+                            frame_idx: idx,
+                        },
+                    });
+                }
+            }
+        }
     }
 
     /// Forwards a page-format notification to the write observer (called
@@ -340,29 +536,37 @@ impl BufferPool {
     }
 
     /// The dirty-page table: `(page, recovery LSN)` for every dirty frame.
-    /// This is what a fuzzy checkpoint records.
+    /// This is what a fuzzy checkpoint records. Touches only the per-frame
+    /// locks, never the shard locks.
     #[must_use]
     pub fn dirty_pages(&self) -> Vec<(PageId, Lsn)> {
-        let state = self.inner.state.lock();
         let mut out = Vec::new();
-        for (&id, &idx) in &state.table {
-            let d = self.inner.frames[idx].dirty.lock();
-            if d.dirty {
-                out.push((id, d.rec_lsn));
+        for frame in &self.inner.frames {
+            let meta = frame.meta.lock();
+            if meta.dirty && meta.id.is_valid() {
+                out.push((meta.id, meta.rec_lsn));
             }
         }
-        drop(state);
         out.sort_unstable_by_key(|(id, _)| *id);
         out
     }
 
     /// Writes back `id` if resident and dirty; the frame stays resident.
     pub fn flush_page(&self, id: PageId) -> Result<(), FetchError> {
-        let mut state = self.inner.state.lock();
-        if let Some(&idx) = state.table.get(&id) {
-            self.write_back(idx, id, &mut state)?;
-        }
-        Ok(())
+        // No pin is taken (a transient flush pin could trip
+        // `discard_page`'s pinned assertion): `write_back` re-checks
+        // under the page latch that the frame still holds `id`. If
+        // eviction recycled the frame meanwhile, the eviction itself
+        // wrote the dirty page back, so the flush contract holds either
+        // way.
+        let idx = {
+            let shard = self.inner.shard(id).lock();
+            match shard.table.get(&id) {
+                Some(Slot::Resident(idx)) => *idx,
+                _ => return Ok(()),
+            }
+        };
+        self.write_back(idx, id)
     }
 
     /// Writes back every dirty page in `ids` (checkpoint uses the list it
@@ -376,11 +580,7 @@ impl BufferPool {
 
     /// Writes back every dirty page.
     pub fn flush_all(&self) -> Result<(), FetchError> {
-        let ids: Vec<PageId> = {
-            let state = self.inner.state.lock();
-            state.table.keys().copied().collect()
-        };
-        for id in ids {
+        for (id, _) in self.dirty_pages() {
             self.flush_page(id)?;
         }
         Ok(())
@@ -388,7 +588,6 @@ impl BufferPool {
 
     /// Simulates a crash: every frame is discarded without write-back.
     pub fn discard_all(&self) {
-        let mut state = self.inner.state.lock();
         assert!(
             self.inner
                 .frames
@@ -396,13 +595,16 @@ impl BufferPool {
                 .all(|f| f.pins.load(Ordering::Acquire) == 0),
             "discard_all with outstanding pins"
         );
-        state.table.clear();
+        for shard in &self.inner.shards {
+            let mut shard = shard.lock();
+            assert!(
+                shard.table.values().all(|s| matches!(s, Slot::Resident(_))),
+                "discard_all with reads in flight"
+            );
+            shard.table.clear();
+        }
         for frame in &self.inner.frames {
-            *frame.id.lock() = PageId::INVALID;
-            *frame.dirty.lock() = DirtyState {
-                dirty: false,
-                rec_lsn: Lsn::NULL,
-            };
+            *frame.meta.lock() = FrameMeta::EMPTY;
             frame.ref_bit.store(false, Ordering::Relaxed);
         }
     }
@@ -410,20 +612,17 @@ impl BufferPool {
     /// Drops `id` from the pool without writing it back (used when a page
     /// is deallocated).
     pub fn discard_page(&self, id: PageId) {
-        let mut state = self.inner.state.lock();
-        if let Some(idx) = state.table.remove(&id) {
-            let frame = &self.inner.frames[idx];
+        let mut shard = self.inner.shard(id).lock();
+        if let Some(Slot::Resident(idx)) = shard.table.get(&id) {
+            let frame = &self.inner.frames[*idx];
             assert_eq!(
                 frame.pins.load(Ordering::Acquire),
                 0,
                 "discarding pinned page"
             );
-            *frame.id.lock() = PageId::INVALID;
-            *frame.dirty.lock() = DirtyState {
-                dirty: false,
-                rec_lsn: Lsn::NULL,
-            };
+            *frame.meta.lock() = FrameMeta::EMPTY;
             frame.ref_bit.store(false, Ordering::Relaxed);
+            shard.table.remove(&id);
         }
     }
 
@@ -432,46 +631,101 @@ impl BufferPool {
     // ------------------------------------------------------------------
 
     fn fetch_frame(&self, id: PageId) -> Result<(usize, Arc<RwLock<Page>>), FetchError> {
-        let mut state = self.inner.state.lock();
-        if let Some(&idx) = state.table.get(&id) {
-            state.stats.hits += 1;
-            let frame = &self.inner.frames[idx];
-            frame.pins.fetch_add(1, Ordering::Acquire);
-            frame.ref_bit.store(true, Ordering::Relaxed);
-            return Ok((idx, Arc::clone(&frame.page)));
+        loop {
+            let waiter = {
+                let mut shard = self.inner.shard(id).lock();
+                match shard.table.get(&id) {
+                    Some(Slot::Resident(idx)) => {
+                        let idx = *idx;
+                        let frame = &self.inner.frames[idx];
+                        frame.pins.fetch_add(1, Ordering::Acquire);
+                        frame.ref_bit.store(true, Ordering::Relaxed);
+                        bump(&self.inner.stats.hits);
+                        return Ok((idx, Arc::clone(&frame.page)));
+                    }
+                    Some(Slot::InFlight(fl)) => Arc::clone(fl),
+                    None => {
+                        shard
+                            .table
+                            .insert(id, Slot::InFlight(Arc::new(InFlight::new())));
+                        drop(shard);
+                        return self.load_miss(id);
+                    }
+                }
+            };
+            // Coalesced miss: another thread is already reading this
+            // page. Wait for it to publish, then re-probe (normally a
+            // hit; on leader failure each waiter retries as leader).
+            bump(&self.inner.stats.coalesced_misses);
+            waiter.wait();
         }
-        state.stats.misses += 1;
+    }
 
-        // Read and verify before claiming a frame, so that a failed read
-        // leaves the pool untouched.
-        let (page, recovered) = self.read_verified(id, &mut state)?;
+    /// The miss path, entered owning the in-flight marker for `id`. All
+    /// I/O — the verified read (with inline recovery) and any eviction
+    /// write-back — happens with no shard lock held.
+    fn load_miss(&self, id: PageId) -> Result<(usize, Arc<RwLock<Page>>), FetchError> {
+        bump(&self.inner.stats.misses);
+        let staged = self.read_verified(id).and_then(|(page, recovered)| {
+            let idx = self.claim_victim()?;
+            let rec_lsn = Lsn(page.page_lsn());
+            Ok((idx, page, recovered, rec_lsn))
+        });
+        self.publish_frame(id, staged)
+    }
 
-        let idx = self.claim_victim(&mut state)?;
-        let frame = &self.inner.frames[idx];
-        *frame.id.lock() = id;
-        // A page rebuilt by single-page recovery exists only in memory so
-        // far; install it dirty so it is written back before eviction.
-        *frame.dirty.lock() = if recovered {
-            DirtyState {
-                dirty: true,
-                rec_lsn: Lsn(page.page_lsn()),
+    /// Completes a miss (or `put_new`) by publishing the staged frame
+    /// under the shard lock — or, on error, removing the in-flight marker
+    /// — and waking every coalesced waiter.
+    ///
+    /// `staged` carries `(claimed frame, image, install dirty, rec_lsn)`.
+    /// On success the frame is pinned on the caller's behalf.
+    fn publish_frame(
+        &self,
+        id: PageId,
+        staged: Result<(usize, Page, bool, Lsn), FetchError>,
+    ) -> Result<(usize, Arc<RwLock<Page>>), FetchError> {
+        // Install the image in the still-unpublished frame first: the
+        // moment the shard entry flips to Resident, hits pin and read the
+        // frame with no further synchronization.
+        let staged = staged.map(|(idx, page, dirty, rec_lsn)| {
+            *self.inner.frames[idx].page.write() = page;
+            (idx, dirty, rec_lsn)
+        });
+        let mut shard = self.inner.shard(id).lock();
+        let fl = match shard.table.get(&id) {
+            Some(Slot::InFlight(fl)) => Arc::clone(fl),
+            _ => unreachable!("in-flight marker owned by this thread"),
+        };
+        let result = match staged {
+            Ok((idx, dirty, rec_lsn)) => {
+                let frame = &self.inner.frames[idx];
+                {
+                    let mut meta = frame.meta.lock();
+                    meta.id = id;
+                    meta.dirty = dirty;
+                    meta.rec_lsn = if dirty { rec_lsn } else { Lsn::NULL };
+                }
+                frame.pins.fetch_add(1, Ordering::Acquire);
+                frame.ref_bit.store(true, Ordering::Relaxed);
+                shard.table.insert(id, Slot::Resident(idx));
+                frame.claimed.store(false, Ordering::Release);
+                Ok((idx, Arc::clone(&frame.page)))
             }
-        } else {
-            DirtyState {
-                dirty: false,
-                rec_lsn: Lsn::NULL,
+            Err(e) => {
+                shard.table.remove(&id);
+                Err(e)
             }
         };
-        state.table.insert(id, idx);
-        frame.pins.fetch_add(1, Ordering::Acquire);
-        frame.ref_bit.store(true, Ordering::Relaxed);
-        *frame.page.write() = page;
-        Ok((idx, Arc::clone(&frame.page)))
+        drop(shard);
+        fl.complete();
+        result
     }
 
     /// The paper's Figure 8: read, verify, and on failure either recover
-    /// inline or escalate.
-    fn read_verified(&self, id: PageId, state: &mut State) -> Result<(Page, bool), FetchError> {
+    /// inline or escalate. Runs with **no lock held**.
+    fn read_verified(&self, id: PageId) -> Result<(Page, bool), FetchError> {
+        let stats = &self.inner.stats;
         let mut buf = vec![0u8; self.inner.device.page_size()];
         let read_result = self.inner.device.read_page(id, &mut buf);
 
@@ -483,7 +737,7 @@ impl BufferPool {
                 });
             }
             Err(StorageError::ReadFailed { .. }) => {
-                state.stats.detected_hard_error += 1;
+                bump(&stats.detected_hard_error);
                 None // fall through to recovery with no candidate image
             }
             Err(e) => return Err(FetchError::Storage(e)),
@@ -495,11 +749,11 @@ impl BufferPool {
                         match validator.map_or(Ok(()), |v| v.validate(id, &page)) {
                             Ok(()) => return Ok((page, false)),
                             Err(e @ ValidationError::StaleLsn { .. }) => {
-                                state.stats.detected_stale_lsn += 1;
+                                bump(&stats.detected_stale_lsn);
                                 Some(e)
                             }
                             Err(e @ ValidationError::Defect(_)) => {
-                                state.stats.detected_plausibility += 1;
+                                bump(&stats.detected_plausibility);
                                 Some(e)
                             }
                         }
@@ -507,10 +761,10 @@ impl BufferPool {
                     Err(defect) => {
                         use spf_storage::PageDefect::*;
                         match &defect {
-                            ChecksumMismatch { .. } => state.stats.detected_checksum += 1,
-                            WrongPageId { .. } => state.stats.detected_wrong_id += 1,
+                            ChecksumMismatch { .. } => bump(&stats.detected_checksum),
+                            WrongPageId { .. } => bump(&stats.detected_wrong_id),
                             UnknownPageType(_) | ImplausibleHeader(_) | ImplausibleSlot { .. } => {
-                                state.stats.detected_plausibility += 1
+                                bump(&stats.detected_plausibility)
                             }
                         }
                         Some(ValidationError::Defect(defect))
@@ -524,16 +778,16 @@ impl BufferPool {
         match recoverer {
             Some(r) => match r.recover(id) {
                 RecoverOutcome::Recovered(page) => {
-                    state.stats.pages_recovered += 1;
+                    bump(&stats.pages_recovered);
                     Ok((page, true))
                 }
                 RecoverOutcome::Escalate(reason) => {
-                    state.stats.escalations += 1;
+                    bump(&stats.escalations);
                     Err(FetchError::MediaFailure { id, reason })
                 }
             },
             None => {
-                state.stats.escalations += 1;
+                bump(&stats.escalations);
                 match error {
                     Some(e) => Err(FetchError::UnrecoveredPageFailure { id, error: e }),
                     None => Err(FetchError::MediaFailure {
@@ -545,32 +799,107 @@ impl BufferPool {
         }
     }
 
-    /// Clock (second chance) victim selection. Writes back a dirty victim.
-    fn claim_victim(&self, state: &mut State) -> Result<usize, FetchError> {
+    /// Clock (second chance) victim selection. Returns a **claimed**,
+    /// unlinked, empty frame; the caller publishes it and clears the
+    /// claim. A dirty victim is written back with no shard lock held.
+    ///
+    /// A sweep blocked by pins and reference bits alone is the genuine
+    /// everything-in-use condition and fails fast (`NoFreeFrames`).
+    /// Sweeps that lost races against *transient* owners (frames claimed
+    /// by concurrent misses/evictors, or latched mid-write-back) retry
+    /// after yielding, which makes a spurious out-of-frames error
+    /// unlikely — though not impossible under sustained contention, so
+    /// concurrent callers should treat `NoFreeFrames` as retryable (as
+    /// the stress tests do).
+    fn claim_victim(&self) -> Result<usize, FetchError> {
         let n = self.inner.frames.len();
-        for _ in 0..2 * n {
-            let idx = state.clock_hand;
-            state.clock_hand = (state.clock_hand + 1) % n;
-            let frame = &self.inner.frames[idx];
-            if frame.pins.load(Ordering::Acquire) != 0 {
-                continue;
-            }
-            if frame.ref_bit.swap(false, Ordering::Relaxed) {
-                continue;
-            }
-            let old_id = *frame.id.lock();
-            if old_id.is_valid() {
-                let is_dirty = frame.dirty.lock().dirty;
-                if is_dirty {
-                    self.write_back(idx, old_id, state)?;
+        for _round in 0..16 {
+            let mut lost_race = false;
+            // Two clock revolutions clear every ref bit; the extra
+            // slack absorbs interleaving with concurrent sweeps.
+            for _ in 0..4 * n {
+                let idx = self.inner.clock_hand.fetch_add(1, Ordering::Relaxed) % n;
+                let frame = &self.inner.frames[idx];
+                if frame.pins.load(Ordering::Acquire) != 0 {
+                    continue;
                 }
-                state.table.remove(&old_id);
-                *frame.id.lock() = PageId::INVALID;
-                state.stats.evictions += 1;
+                if frame.ref_bit.swap(false, Ordering::Relaxed) {
+                    continue;
+                }
+                if frame
+                    .claimed
+                    .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_err()
+                {
+                    lost_race = true;
+                    continue; // another evictor or miss leader owns it
+                }
+                match self.try_evict(idx) {
+                    Ok(EvictOutcome::Claimed) => return Ok(idx),
+                    Ok(EvictOutcome::Skip) => {
+                        frame.claimed.store(false, Ordering::Release);
+                        continue;
+                    }
+                    Ok(EvictOutcome::SkipTransient) => {
+                        frame.claimed.store(false, Ordering::Release);
+                        lost_race = true;
+                        continue;
+                    }
+                    Err(e) => {
+                        frame.claimed.store(false, Ordering::Release);
+                        return Err(e);
+                    }
+                }
             }
-            return Ok(idx);
+            if !lost_race {
+                break;
+            }
+            std::thread::yield_now();
         }
         Err(FetchError::NoFreeFrames)
+    }
+
+    /// With frame `idx` claimed: write it back if dirty (unlocked I/O),
+    /// then atomically re-check evictability and unlink it from its
+    /// shard. `Skip` means the frame was pinned or re-dirtied while the
+    /// write-back ran; `SkipTransient` means a short-lived owner (a
+    /// page-latch holder) is in the way and a retry is worthwhile.
+    fn try_evict(&self, idx: usize) -> Result<EvictOutcome, FetchError> {
+        let frame = &self.inner.frames[idx];
+        let (old_id, was_dirty) = {
+            let meta = frame.meta.lock();
+            (meta.id, meta.dirty)
+        };
+        if !old_id.is_valid() {
+            // Empty frame; never reachable from a shard, so the claim
+            // alone secures it.
+            return Ok(EvictOutcome::Claimed);
+        }
+        if was_dirty {
+            // Figure 11 write-back: log force and device write with no
+            // shard lock held; the page stays fetchable throughout. The
+            // latch is only *tried*: blocking here while holding the
+            // claim (and, on the miss path, an in-flight marker) could
+            // deadlock against a latch holder waiting on that marker.
+            let Some(mut page) = frame.page.try_write() else {
+                return Ok(EvictOutcome::SkipTransient);
+            };
+            self.write_back_locked(idx, old_id, &mut page)?;
+        }
+        let mut shard = self.inner.shard(old_id).lock();
+        let mut meta = frame.meta.lock();
+        if frame.pins.load(Ordering::Acquire) != 0 || meta.dirty || meta.id != old_id {
+            return Ok(EvictOutcome::Skip);
+        }
+        match shard.table.get(&old_id) {
+            Some(Slot::Resident(resident)) if *resident == idx => {
+                shard.table.remove(&old_id);
+            }
+            _ => return Ok(EvictOutcome::Skip),
+        }
+        *meta = FrameMeta::EMPTY;
+        bump(&self.inner.stats.evictions);
+        Ok(EvictOutcome::Claimed)
     }
 
     /// The paper's Figure 11 write-back sequence:
@@ -579,20 +908,32 @@ impl BufferPool {
     /// 3. checksum and write the page;
     /// 4. `after_page_write` (log the PRI update — unforced);
     /// 5. mark the frame clean (only now may it be evicted).
-    fn write_back(
+    ///
+    /// Holds the page's write latch and the frame meta lock — one
+    /// acquisition each — but **no shard lock**. The dirty state cannot
+    /// change underneath us: `mark_dirty` requires the page write latch
+    /// we are holding.
+    fn write_back(&self, frame_idx: usize, id: PageId) -> Result<(), FetchError> {
+        let frame = &self.inner.frames[frame_idx];
+        let mut page = frame.page.write();
+        self.write_back_locked(frame_idx, id, &mut page)
+    }
+
+    /// The write-back body, entered with the page write latch held.
+    /// Re-checks under the latch that the frame still holds `id`
+    /// (`flush_page` runs unpinned, so eviction may have recycled the
+    /// frame; the eviction then already wrote the page back).
+    fn write_back_locked(
         &self,
         frame_idx: usize,
         id: PageId,
-        state: &mut State,
+        page: &mut Page,
     ) -> Result<(), FetchError> {
         let frame = &self.inner.frames[frame_idx];
-        {
-            let d = frame.dirty.lock();
-            if !d.dirty {
-                return Ok(());
-            }
+        let mut meta = frame.meta.lock();
+        if meta.id != id || !meta.dirty {
+            return Ok(());
         }
-        let mut page = frame.page.write();
         let page_lsn = Lsn(page.page_lsn());
 
         // (1) WAL: no dirty page reaches the device before its log
@@ -603,7 +944,7 @@ impl BufferPool {
         // (2) Backup policy hook.
         let observer = self.inner.observer.lock().clone();
         if let Some(obs) = &observer {
-            obs.before_page_write(&mut page);
+            obs.before_page_write(page);
         }
 
         // (3) Write.
@@ -618,7 +959,7 @@ impl BufferPool {
             }
             Err(e) => return Err(FetchError::Storage(e)),
         }
-        state.stats.write_backs += 1;
+        bump(&self.inner.stats.write_backs);
 
         // (4) PRI maintenance: "After each completed page write follows a
         // single log record" (Section 5.2.4).
@@ -627,10 +968,8 @@ impl BufferPool {
         }
 
         // (5) Clean.
-        *frame.dirty.lock() = DirtyState {
-            dirty: false,
-            rec_lsn: Lsn::NULL,
-        };
+        meta.dirty = false;
+        meta.rec_lsn = Lsn::NULL;
         Ok(())
     }
 }
@@ -701,6 +1040,10 @@ mod tests {
             Err(FetchError::NoFreeFrames) => {}
             other => panic!("expected NoFreeFrames, got {other:?}"),
         }
+        // The failed miss must not leave a stuck in-flight marker.
+        assert!(!pool.contains(PageId(2)));
+        drop(_a);
+        assert!(pool.fetch(PageId(2)).is_ok());
     }
 
     #[test]
@@ -944,5 +1287,22 @@ mod tests {
         assert_eq!(pool.dirty_pages(), vec![(PageId(7), Lsn(42))]);
         pool.flush_all().unwrap();
         assert_eq!(Page::from_bytes(dev.raw_image(PageId(7))).page_lsn(), 42);
+    }
+
+    #[test]
+    fn put_new_on_dirty_resident_keeps_earliest_rec_lsn() {
+        let (pool, _dev, _log) = setup(4, 8);
+        // Frame dirtied at LSN 50; replacing the image at LSN 100 must not
+        // advance the recovery LSN past the first un-persisted change.
+        dirty_page(&pool, PageId(3), Lsn(50));
+        let mut page = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(3), PageType::BTreeLeaf);
+        page.set_page_lsn(100);
+        drop(pool.put_new(page, Lsn(100)).unwrap());
+        assert_eq!(pool.dirty_pages(), vec![(PageId(3), Lsn(50))]);
+        // The other direction: an earlier rec_lsn in put_new wins too.
+        let mut page = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(3), PageType::BTreeLeaf);
+        page.set_page_lsn(100);
+        drop(pool.put_new(page, Lsn(40)).unwrap());
+        assert_eq!(pool.dirty_pages(), vec![(PageId(3), Lsn(40))]);
     }
 }

@@ -97,11 +97,14 @@ impl MediaRecovery {
         // Replay the log forward from the backup point, page by page,
         // directly against the device (the pool is bypassed: media
         // recovery is offline; "all affected transactions be aborted").
-        let records = self
+        // Streamed in bounded chunks; a day-long log replays without
+        // ever being materialized in memory.
+        let scanner = self
             .log
-            .scan_from(backup_lsn)
+            .scan_records(backup_lsn)
             .map_err(|e| format!("log replay scan: {e}"))?;
-        for (lsn, record) in records {
+        for item in scanner {
+            let (lsn, record) = item.map_err(|e| format!("log replay scan: {e}"))?;
             report.log_records_scanned += 1;
             if record.page_id.0 >= n {
                 continue;
@@ -160,11 +163,12 @@ impl MediaRecovery {
         let page_size = base_image.size();
 
         let bytes_before = self.log.stats().bytes_scanned;
-        let records = self
+        let scanner = self
             .log
-            .scan_from(backup_lsn)
+            .scan_records(backup_lsn)
             .map_err(|e| format!("mirror scan: {e}"))?;
-        for (lsn, record) in records {
+        for item in scanner {
+            let (lsn, record) = item.map_err(|e| format!("mirror scan: {e}"))?;
             report.log_records_scanned += 1;
             if record.page_id.is_valid()
                 && matches!(

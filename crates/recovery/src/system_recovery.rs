@@ -103,11 +103,16 @@ impl SystemRecovery {
         let mut dpt: BTreeMap<PageId, Lsn> = BTreeMap::new();
         let mut ever_dirty: std::collections::HashSet<PageId> = std::collections::HashSet::new();
 
-        let records = self
+        // Streamed in bounded chunks: analysis of an arbitrarily long
+        // log never materializes it as one `Vec`.
+        let scanner = self
             .log
-            .scan_from(Lsn::NULL)
+            .scan_records(Lsn::NULL)
             .map_err(|e| format!("analysis scan failed: {e}"))?;
-        for (lsn, record) in &records {
+        for item in scanner {
+            let (lsn, record) = item.map_err(|e| format!("analysis scan failed: {e}"))?;
+            let lsn = &lsn;
+            let record = &record;
             report.analysis_records += 1;
             report.max_tx_seen = report.max_tx_seen.max(record.tx_id.0);
             match &record.payload {
@@ -182,7 +187,16 @@ impl SystemRecovery {
         let mut pages_touched_by_redo: std::collections::HashSet<PageId> =
             std::collections::HashSet::new();
         if !dpt.is_empty() {
-            for (lsn, record) in records.iter().filter(|(l, _)| *l >= redo_start) {
+            // Second streaming pass, starting at the oldest recovery LSN
+            // (as ARIES does) rather than replaying a materialized vec.
+            let scanner = self
+                .log
+                .scan_records(redo_start)
+                .map_err(|e| format!("redo scan failed: {e}"))?;
+            for item in scanner {
+                let (lsn, record) = item.map_err(|e| format!("redo scan failed: {e}"))?;
+                let lsn = &lsn;
+                let record = &record;
                 let Some(&rec_lsn) = dpt.get(&record.page_id) else {
                     continue;
                 };

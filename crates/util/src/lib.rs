@@ -26,5 +26,5 @@ pub mod hex;
 pub mod sim;
 
 pub use codec::{Decoder, Encoder};
-pub use crc::crc32c;
+pub use crc::{crc32c, crc32c_bytewise, Crc32c};
 pub use sim::{IoCostModel, IoKind, SimClock, SimDuration};

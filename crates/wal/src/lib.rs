@@ -34,5 +34,5 @@
 pub mod manager;
 pub mod record;
 
-pub use manager::{LogError, LogManager, LogStats};
+pub use manager::{LogError, LogManager, LogScanner, LogStats};
 pub use record::{BackupRef, CompressedPageImage, LogPayload, LogRecord, Lsn, PageOp, TxId};

@@ -1,8 +1,9 @@
 //! Offline stand-in for the subset of `criterion` used by this
 //! workspace's benches: `Criterion`, `benchmark_group` + `sample_size` +
-//! `bench_function` + `finish`, `Bencher::{iter, iter_batched}`,
-//! `BatchSize`, `black_box`, and the `criterion_group!` /
-//! `criterion_main!` macros.
+//! `bench_function` + `finish`, `Bencher::{iter, iter_custom,
+//! iter_batched}`, `BatchSize`, `black_box`, and the `criterion_group!`
+//! / `criterion_main!` macros. The `SPF_BENCH_SAMPLES` environment
+//! variable overrides every sample size (CI smoke runs set it low).
 //!
 //! The build container has no registry access, so the real harness
 //! cannot be fetched. This one keeps the same call shapes so benches
@@ -54,10 +55,20 @@ impl Default for Criterion {
         // that doesn't look like a flag is a name filter.
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Self {
-            sample_size: 100,
+            sample_size: sample_size_override().unwrap_or(100),
             filter,
         }
     }
+}
+
+/// CI smoke runs set `SPF_BENCH_SAMPLES` to a small count so the whole
+/// suite executes in seconds; it overrides any programmatic
+/// `sample_size` so benches need no smoke-mode awareness of their own.
+fn sample_size_override() -> Option<usize> {
+    std::env::var("SPF_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 2)
 }
 
 impl Criterion {
@@ -105,10 +116,11 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark. The
+    /// `SPF_BENCH_SAMPLES` environment override (CI smoke mode) wins.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n >= 2, "sample size must be at least 2");
-        self.sample_size = n;
+        self.sample_size = sample_size_override().unwrap_or(n);
         self
     }
 
@@ -148,6 +160,21 @@ impl Bencher {
                 black_box(routine());
             }
             self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    /// Hands full timing control to the routine, as in the real harness:
+    /// `routine` receives an iteration count and returns the total time
+    /// those iterations took. Used by multi-threaded benchmarks, where
+    /// the measured region spans thread spawn/join barriers the harness
+    /// cannot see.
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        // Calibrate as in `iter`, but trusting the routine's own clock.
+        let once = routine(1).max(Duration::from_nanos(1));
+        let iters = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_size {
+            let total = routine(iters);
+            self.samples.push(total / iters as u32);
         }
     }
 

@@ -190,10 +190,30 @@ impl<T: ?Sized> RwLock<T> {
         self.cond.notify_all();
     }
 
+    fn raw_try_lock_exclusive(&self) -> bool {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.writer || s.readers > 0 {
+            false
+        } else {
+            s.writer = true;
+            true
+        }
+    }
+
     /// Acquires shared (read) access, blocking until available.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         self.raw_lock_shared();
         RwLockReadGuard { lock: self }
+    }
+
+    /// Attempts exclusive (write) access without blocking, as in the
+    /// real crate.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        if self.raw_try_lock_exclusive() {
+            Some(RwLockWriteGuard { lock: self })
+        } else {
+            None
+        }
     }
 
     /// Acquires exclusive (write) access, blocking until available.
