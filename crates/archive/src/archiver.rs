@@ -1,0 +1,213 @@
+//! The log archiver: drains the durable WAL prefix into archive runs.
+//!
+//! Each drain scans the WAL from the previous watermark up to the
+//! current durable end (never into the volatile log buffer — the archive
+//! must not capture records a crash could revoke), keeps every
+//! **page-relevant** record, and installs them as one level-0 run whose
+//! window is exactly the drained byte range. Page-relevant means every
+//! record recovery could ever replay or consult again after the WAL tail
+//! is truncated:
+//!
+//! * `Update` / `Clr` — the per-page chain bodies (Figure 10 replay);
+//! * `PageFormat` / `FullPageImage` — the in-log "sources of backup
+//!   pages" of Section 5.2.1, which PRI entries keep pointing at;
+//! * `PriUpdate` / `BackupTaken` — the page recovery index's maintenance
+//!   trail, needed to rebuild the PRI during restart analysis once the
+//!   records are no longer in the WAL.
+//!
+//! Transaction-control and checkpoint records are *not* archived: by the
+//! safe-truncation rule, truncation never passes the oldest active
+//! transaction's begin LSN or the last durable checkpoint, so every
+//! control record that still matters is always in the live WAL.
+
+use std::sync::Arc;
+
+use spf_wal::{LogManager, Lsn};
+
+use crate::run::RunBuilder;
+use crate::store::ArchiveStore;
+use crate::ArchiveError;
+
+/// What one archiver drain did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArchiveReport {
+    /// First WAL offset of the drained window (inclusive).
+    pub from: Lsn,
+    /// End of the drained window (exclusive) — the new watermark.
+    pub to: Lsn,
+    /// WAL records scanned.
+    pub records_scanned: u64,
+    /// Page-relevant records captured into the run.
+    pub records_archived: u64,
+    /// Serialized size of the new run (0 when nothing was archived).
+    pub run_bytes: u64,
+}
+
+/// Drains the durable WAL prefix into [`ArchiveStore`] runs.
+pub struct LogArchiver {
+    log: LogManager,
+    store: Arc<ArchiveStore>,
+}
+
+impl LogArchiver {
+    /// Creates an archiver from `log` into `store`.
+    #[must_use]
+    pub fn new(log: LogManager, store: Arc<ArchiveStore>) -> Self {
+        Self { log, store }
+    }
+
+    /// The store this archiver fills.
+    #[must_use]
+    pub fn store(&self) -> &Arc<ArchiveStore> {
+        &self.store
+    }
+
+    /// Drains `[watermark, durable_lsn)` into one new run, advances the
+    /// store's watermark and the log's archive watermark. Idempotent: a
+    /// drain with nothing new to read is a no-op report, and when two
+    /// drains race, [`ArchiveStore::commit_drain`] admits exactly one —
+    /// the loser's run is discarded (reported as an empty drain) rather
+    /// than installed as a duplicate, overlapping window.
+    pub fn archive_up_to_durable(&self) -> Result<ArchiveReport, ArchiveError> {
+        let from = self.store.archived_through().max(Lsn::FIRST);
+        let to = self.log.durable_lsn();
+        let mut report = ArchiveReport {
+            from,
+            to,
+            ..ArchiveReport::default()
+        };
+        if to.0 <= from.0 {
+            report.to = from;
+            return Ok(report);
+        }
+
+        let mut builder = RunBuilder::new();
+        let scanner = self
+            .log
+            .scan_records(from)
+            .map_err(|e| ArchiveError::WalScan {
+                detail: e.to_string(),
+            })?;
+        for item in scanner {
+            let (lsn, record) = item.map_err(|e| ArchiveError::WalScan {
+                detail: e.to_string(),
+            })?;
+            if lsn >= to {
+                break; // never archive the volatile tail
+            }
+            report.records_scanned += 1;
+            if record.payload.is_page_relevant() {
+                builder.push(lsn, record);
+            }
+        }
+
+        report.records_archived = builder.len() as u64;
+        let run = if builder.is_empty() {
+            None
+        } else {
+            let run = builder.finish(self.store.allocate_run_id(), from, to);
+            report.run_bytes = run.encoded_len() as u64;
+            Some(run)
+        };
+        if self.store.commit_drain(from, to, run)? {
+            self.log.set_archive_watermark(to);
+        } else {
+            // A concurrent drain covered this window first; nothing of
+            // ours was installed.
+            report.records_archived = 0;
+            report.run_bytes = 0;
+            report.to = from;
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_storage::PageId;
+    use spf_wal::{LogPayload, LogRecord, PageOp, TxId};
+
+    fn append_update(log: &LogManager, page: u64, prev: Lsn) -> Lsn {
+        log.append(&LogRecord {
+            tx_id: TxId(1),
+            prev_tx_lsn: Lsn::NULL,
+            page_id: PageId(page),
+            prev_page_lsn: prev,
+            payload: LogPayload::Update {
+                op: PageOp::InsertRecord {
+                    pos: 0,
+                    bytes: vec![7; 16],
+                    ghost: false,
+                },
+            },
+        })
+    }
+
+    #[test]
+    fn drains_durable_prefix_and_advances_watermark() {
+        let log = LogManager::for_testing();
+        let store = Arc::new(ArchiveStore::for_testing());
+        let archiver = LogArchiver::new(log.clone(), Arc::clone(&store));
+
+        // Control records interleaved with page updates.
+        log.append(&LogRecord {
+            tx_id: TxId(1),
+            prev_tx_lsn: Lsn::NULL,
+            page_id: PageId::INVALID,
+            prev_page_lsn: Lsn::NULL,
+            payload: LogPayload::TxBegin { system: false },
+        });
+        let mut prev = Lsn::NULL;
+        for _ in 0..10 {
+            prev = append_update(&log, 4, prev);
+        }
+        log.force();
+        let unforced = append_update(&log, 4, prev);
+
+        let report = archiver.archive_up_to_durable().unwrap();
+        assert_eq!(report.from, Lsn::FIRST);
+        assert_eq!(report.to, log.durable_lsn());
+        assert_eq!(report.records_scanned, 11, "begin + 10 updates");
+        assert_eq!(report.records_archived, 10, "control records filtered");
+        assert_eq!(log.archive_watermark(), report.to);
+        assert_eq!(store.archived_through(), report.to);
+        assert!(unforced >= report.to, "the volatile tail is never archived");
+
+        // Idempotent until more log becomes durable.
+        let again = archiver.archive_up_to_durable().unwrap();
+        assert_eq!(again.records_scanned, 0);
+        assert_eq!(store.stats().runs_written, 1);
+
+        // The next drain picks up exactly the newly durable suffix.
+        log.force();
+        let third = archiver.archive_up_to_durable().unwrap();
+        assert_eq!(third.from, report.to);
+        assert_eq!(third.records_archived, 1);
+        let hist = store
+            .page_history(PageId(4), Lsn::NULL, Lsn(u64::MAX >> 1))
+            .unwrap();
+        assert_eq!(hist.len(), 11);
+        assert!(hist.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn empty_drain_still_advances_watermark() {
+        let log = LogManager::for_testing();
+        let store = Arc::new(ArchiveStore::for_testing());
+        let archiver = LogArchiver::new(log.clone(), Arc::clone(&store));
+        log.append(&LogRecord {
+            tx_id: TxId(2),
+            prev_tx_lsn: Lsn::NULL,
+            page_id: PageId::INVALID,
+            prev_page_lsn: Lsn::NULL,
+            payload: LogPayload::TxBegin { system: true },
+        });
+        log.force();
+        let report = archiver.archive_up_to_durable().unwrap();
+        assert_eq!(report.records_archived, 0);
+        assert_eq!(report.run_bytes, 0);
+        assert_eq!(store.stats().runs_written, 0, "no empty runs");
+        assert_eq!(log.archive_watermark(), log.durable_lsn());
+    }
+}

@@ -1,0 +1,34 @@
+//! Archive counters the experiment harness reads.
+
+use spf_wal::Lsn;
+
+/// Everything the archive counts, in one snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArchiveStats {
+    /// Level-0 runs written by the archiver.
+    pub runs_written: u64,
+    /// Records captured from the WAL.
+    pub records_archived: u64,
+    /// Bytes written to archive storage (fresh runs + merge outputs).
+    pub bytes_written: u64,
+    /// Leveled merges performed.
+    pub merges: u64,
+    /// Input runs consumed by merges.
+    pub runs_merged: u64,
+    /// Per-page history queries served.
+    pub page_queries: u64,
+    /// Records returned by page-history queries.
+    pub records_served: u64,
+    /// Point lookups of single archived records (backup refs).
+    pub find_queries: u64,
+    /// Whole-archive replays (media recovery, restart analysis).
+    pub replays: u64,
+    /// Run bytes sequentially read by replays.
+    pub bytes_replayed: u64,
+    /// Live runs across all levels (snapshot).
+    pub live_runs: u64,
+    /// Serialized bytes of all live runs (snapshot).
+    pub live_bytes: u64,
+    /// Exclusive upper bound of the archived WAL prefix (snapshot).
+    pub archived_through: Lsn,
+}

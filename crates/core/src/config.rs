@@ -4,6 +4,46 @@ use spf_btree::VerifyMode;
 use spf_recovery::BackupPolicy;
 use spf_util::IoCostModel;
 
+/// Log-archive configuration: whether the engine keeps a partitioned
+/// log archive (enabling WAL truncation) and how aggressively its runs
+/// are merged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchiveConfig {
+    /// Wire up the archiver. Without it the WAL can never be truncated
+    /// (the seed behaviour): `Database::archive_now` and
+    /// `Database::truncate_wal` become errors / no-ops.
+    pub enabled: bool,
+    /// Leveled-merge fanout: a level holding this many runs is merged
+    /// into one run on the next level. 0 disables merging.
+    pub merge_fanout: usize,
+}
+
+impl ArchiveConfig {
+    /// Archiving on, default leveled merging (fanout 4).
+    #[must_use]
+    pub const fn default_on() -> Self {
+        Self {
+            enabled: true,
+            merge_fanout: 4,
+        }
+    }
+
+    /// No archive at all (the traditional engine).
+    #[must_use]
+    pub const fn disabled() -> Self {
+        Self {
+            enabled: false,
+            merge_fanout: 0,
+        }
+    }
+}
+
+impl Default for ArchiveConfig {
+    fn default() -> Self {
+        Self::default_on()
+    }
+}
+
 /// Configuration for [`crate::Database`].
 #[derive(Debug, Clone, Copy)]
 pub struct DatabaseConfig {
@@ -31,6 +71,10 @@ pub struct DatabaseConfig {
     /// Whether this node has only this one storage device — if so, an
     /// unhandled media failure escalates to a system failure (Figure 1).
     pub single_device_node: bool,
+    /// The log archive: per-page-sorted, indexed runs that let the WAL
+    /// be truncated while keeping all pre-truncation page history
+    /// recoverable (see `spf-archive`).
+    pub archive: ArchiveConfig,
 }
 
 impl Default for DatabaseConfig {
@@ -45,6 +89,7 @@ impl Default for DatabaseConfig {
             backup_policy: BackupPolicy::paper_default(),
             verify_mode: VerifyMode::Continuous,
             single_device_node: false,
+            archive: ArchiveConfig::default_on(),
         }
     }
 }
@@ -58,6 +103,7 @@ impl DatabaseConfig {
             single_page_recovery: false,
             backup_policy: BackupPolicy::disabled(),
             verify_mode: VerifyMode::Off,
+            archive: ArchiveConfig::disabled(),
             ..Self::default()
         }
     }

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use spf_archive::{ArchiveReport, ArchiveStore, LogArchiver, MergePolicy};
 use spf_btree::{BTreeError, BumpAllocator, FosterBTree, KvPairs, PageAllocator};
 use spf_buffer::{BufferPool, BufferPoolConfig, FetchError};
 use spf_recovery::{
@@ -35,6 +36,8 @@ pub struct Database {
     backups: Arc<BackupStore>,
     maintainer: Arc<PriMaintainer>,
     spr: Option<Arc<SinglePageRecovery>>,
+    archive: Option<Arc<ArchiveStore>>,
+    archiver: Option<LogArchiver>,
     tree: FosterBTree,
     last_full_backup: Mutex<Option<(PageId, Lsn)>>,
 }
@@ -87,15 +90,32 @@ impl Database {
             config.backup_policy,
         ));
 
+        let archive = config.archive.enabled.then(|| {
+            Arc::new(ArchiveStore::new(
+                Arc::clone(&clock),
+                config.io_cost,
+                MergePolicy {
+                    fanout: config.archive.merge_fanout,
+                },
+            ))
+        });
+        let archiver = archive
+            .as_ref()
+            .map(|store| LogArchiver::new(log.clone(), Arc::clone(store)));
+
         let spr = if config.single_page_recovery {
             pool.set_validator(Arc::clone(&maintainer) as _);
             pool.set_observer(Arc::clone(&maintainer) as _);
-            let spr = Arc::new(SinglePageRecovery::new(
+            let mut spr = SinglePageRecovery::new(
                 Arc::clone(&pri),
                 log.clone(),
                 Arc::clone(&backups),
                 device.clone(),
-            ));
+            );
+            if let Some(store) = &archive {
+                spr = spr.with_archive(Arc::clone(store));
+            }
+            let spr = Arc::new(spr);
             pool.set_recoverer(Arc::clone(&spr) as _);
             Some(spr)
         } else {
@@ -128,6 +148,8 @@ impl Database {
             backups,
             maintainer,
             spr,
+            archive,
+            archiver,
             tree,
             last_full_backup: Mutex::new(None),
         })
@@ -321,7 +343,10 @@ impl Database {
     /// Restart (system) recovery: analysis, redo, undo — rebuilding the
     /// page recovery index and transaction table from the log.
     pub fn restart(&self) -> Result<RestartReport, DbError> {
-        let recovery = SystemRecovery::new(self.log.clone(), self.pool.clone());
+        let mut recovery = SystemRecovery::new(self.log.clone(), self.pool.clone());
+        if let Some(store) = &self.archive {
+            recovery = recovery.with_archive(Arc::clone(store));
+        }
         let alloc = Arc::clone(&self.alloc);
         let report = recovery
             .run(&self.pri, &move |p| alloc.note_allocated(p))
@@ -385,7 +410,10 @@ impl Database {
             .ok_or_else(|| DbError::RecoveryFailed("no full backup exists".to_string()))?;
         self.pool.discard_all();
         self.locks.clear();
-        let media = MediaRecovery::new(self.log.clone());
+        let mut media = MediaRecovery::new(self.log.clone());
+        if let Some(store) = &self.archive {
+            media = media.with_archive(Arc::clone(store));
+        }
         let report = media
             .restore_device(
                 &self.device,
@@ -403,6 +431,83 @@ impl Database {
     #[must_use]
     pub fn last_full_backup(&self) -> Option<(PageId, Lsn)> {
         *self.last_full_backup.lock()
+    }
+
+    // ------------------------------------------------------------------
+    // Log archiving and WAL truncation
+    // ------------------------------------------------------------------
+
+    /// Forces the log and drains the durable prefix into the log
+    /// archive: one new per-page-sorted, indexed run, and an advanced
+    /// archive watermark. Errors if archiving is disabled.
+    pub fn archive_now(&self) -> Result<ArchiveReport, DbError> {
+        let archiver = self
+            .archiver
+            .as_ref()
+            .ok_or_else(|| DbError::RecoveryFailed("log archiving is disabled".to_string()))?;
+        self.log.force();
+        archiver
+            .archive_up_to_durable()
+            .map_err(|e| DbError::RecoveryFailed(e.to_string()))
+    }
+
+    /// The highest LSN up to which the WAL may safely be truncated right
+    /// now: the minimum of
+    ///
+    /// * the **archive watermark** — everything dropped must be in the
+    ///   archive for page-history replay;
+    /// * the **last durable checkpoint** — restart analysis starts from
+    ///   the truncation point, so the checkpoint must survive (null, and
+    ///   therefore "nothing", until a checkpoint has been taken);
+    /// * the pool's **oldest dirty-page recovery LSN** — any update not
+    ///   yet on the data device may still need redo from the WAL;
+    /// * the **oldest active transaction's begin LSN** — its undo chain
+    ///   must stay walkable.
+    #[must_use]
+    pub fn safe_truncation_lsn(&self) -> Lsn {
+        let watermark = self.log.archive_watermark();
+        if !watermark.is_valid() {
+            return Lsn::NULL;
+        }
+        let checkpoint = self.log.last_checkpoint();
+        if !checkpoint.is_valid() {
+            return Lsn::NULL;
+        }
+        let mut safe = watermark.min(checkpoint);
+        if let Some(min_rec) = self
+            .pool
+            .dirty_pages()
+            .iter()
+            .map(|(_, rec_lsn)| *rec_lsn)
+            .filter(|l| l.is_valid())
+            .min()
+        {
+            safe = safe.min(min_rec);
+        }
+        if let Some(oldest_begin) = self.txn.oldest_active_begin() {
+            safe = safe.min(oldest_begin);
+        }
+        safe
+    }
+
+    /// Truncates the WAL up to [`safe_truncation_lsn`]
+    /// (`Database::safe_truncation_lsn`), reclaiming its memory. Returns
+    /// the bytes dropped (0 when nothing can go yet — e.g. no checkpoint
+    /// or no archive run covers the prefix).
+    pub fn truncate_wal(&self) -> Result<u64, DbError> {
+        let safe = self.safe_truncation_lsn();
+        if !safe.is_valid() {
+            return Ok(0);
+        }
+        self.log
+            .truncate_until(safe)
+            .map_err(|e| DbError::RecoveryFailed(e.to_string()))
+    }
+
+    /// The log archive, when configured.
+    #[must_use]
+    pub fn archive(&self) -> Option<&Arc<ArchiveStore>> {
+        self.archive.as_ref()
     }
 
     // ------------------------------------------------------------------
@@ -545,6 +650,7 @@ impl Database {
             backups: self.backups.stats(),
             device: self.device.stats(),
             backup_device: self.backups.device().stats(),
+            archive: self.archive.as_ref().map(|a| a.stats()).unwrap_or_default(),
             pri_updates_logged: m.pri_updates_logged,
             policy_backups: m.policy_backups,
             stale_detections: m.stale_detections,

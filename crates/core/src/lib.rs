@@ -47,12 +47,13 @@ pub mod db;
 pub mod error;
 pub mod stats;
 
-pub use config::DatabaseConfig;
+pub use config::{ArchiveConfig, DatabaseConfig};
 pub use db::Database;
 pub use error::DbError;
 pub use stats::DbStats;
 
 // Re-export the pieces users touch through the façade.
+pub use spf_archive::{ArchiveReport, ArchiveStats, MergePolicy};
 pub use spf_btree::{KvPairs, VerifyMode};
 pub use spf_recovery::{BackupPolicy, FailureClass};
 pub use spf_storage::{CorruptionMode, FaultSpec, PageId};

@@ -1,5 +1,6 @@
 //! Aggregated engine statistics for the experiment harness.
 
+use spf_archive::ArchiveStats;
 use spf_btree::TreeStats;
 use spf_buffer::PoolStats;
 use spf_recovery::{BackupStats, PriStats, SpfStats};
@@ -29,6 +30,8 @@ pub struct DbStats {
     pub device: DeviceStats,
     /// Backup-device I/O counters.
     pub backup_device: DeviceStats,
+    /// Log-archive activity (runs, merges, queries, live footprint).
+    pub archive: ArchiveStats,
     /// PriUpdate records logged / policy backups / stale detections.
     pub pri_updates_logged: u64,
     /// Policy-triggered page backups.

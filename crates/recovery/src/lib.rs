@@ -23,6 +23,16 @@
 //! memory at all times" — and is made durable through its log records:
 //! restart rebuilds it by log scan. Size accounting (experiment E5) uses
 //! the same 16-bytes-per-entry arithmetic as the paper.
+//!
+//! ## Log-archive integration
+//!
+//! Every recovery path here is **archive-aware** (`spf-archive`): once
+//! the WAL has been truncated at a safe LSN, single-page recovery
+//! splices pre-truncation history from per-page-sorted archive runs
+//! (and fetches truncated in-log backup sources — format records,
+//! full-page images — from the archive), restart analysis rebuilds the
+//! PRI from an archive pre-pass before scanning the WAL tail, and media
+//! recovery replays archived history sequentially ahead of the tail.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,4 +53,4 @@ pub use media::{MediaRecovery, MediaReport, MirrorRepairReport};
 pub use pri::{PageRecoveryIndex, PriEntry, PriStats};
 pub use single_page::{SinglePageRecovery, SpfStats};
 pub use system_recovery::{RestartReport, SystemRecovery};
-pub use versioning::{rollback_page_to, VersionError, VersioningStats};
+pub use versioning::{rollback_page_to, rollback_page_to_archived, VersionError, VersioningStats};

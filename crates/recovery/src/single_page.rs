@@ -28,10 +28,11 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use spf_archive::ArchiveStore;
 use spf_buffer::{PageRecoverer, RecoverOutcome};
 use spf_storage::{MemDevice, Page, PageId};
 use spf_util::{SimClock, SimDuration};
-use spf_wal::{BackupRef, LogManager, LogPayload, Lsn};
+use spf_wal::{BackupRef, LogError, LogManager, LogPayload, LogRecord, Lsn};
 
 use crate::backup::BackupStore;
 use crate::pri::PageRecoveryIndex;
@@ -45,6 +46,11 @@ pub struct SpfStats {
     pub escalations: u64,
     /// Log records fetched through per-page chains (the "dozens of I/Os").
     pub chain_records_fetched: u64,
+    /// Records served by the log archive (indexed sequential reads, for
+    /// history older than the WAL truncation point).
+    pub archive_records_fetched: u64,
+    /// Recoveries that needed the archive for part of their history.
+    pub archive_backed_recoveries: u64,
     /// Redo actions applied to backup images.
     pub redo_applied: u64,
     /// Recoveries that started from an explicit backup page.
@@ -66,6 +72,8 @@ pub struct SinglePageRecovery {
     pri: Arc<PageRecoveryIndex>,
     log: LogManager,
     backups: Arc<BackupStore>,
+    /// The log archive: history older than the WAL truncation point.
+    archive: Option<Arc<ArchiveStore>>,
     /// The data device, for clearing the fault (firmware remap model).
     device: MemDevice,
     clock: Arc<SimClock>,
@@ -87,11 +95,21 @@ impl SinglePageRecovery {
             pri,
             log,
             backups,
+            archive: None,
             device,
             clock,
             stats: Mutex::new(SpfStats::default()),
             bad_blocks: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Attaches the log archive: recovery then replays history older
+    /// than the WAL truncation point from indexed archive runs instead
+    /// of failing on truncated chain reads.
+    #[must_use]
+    pub fn with_archive(mut self, archive: Arc<ArchiveStore>) -> Self {
+        self.archive = Some(archive);
+        self
     }
 
     /// Statistics snapshot.
@@ -125,26 +143,88 @@ impl SinglePageRecovery {
         // (2) Restore the backup copy.
         let mut page = self.load_backup(id, entry.backup)?;
 
-        // (3) Walk the per-page chain backward to the backup point; the
-        // returned newest-first vector *is* the LIFO stack.
+        // (3) Gather the page's history above the backup point. The live
+        // WAL serves the unarchived suffix through the backward per-page
+        // chain walk (the returned newest-first vector *is* the LIFO
+        // stack); anything older than the WAL truncation point comes from
+        // the log archive — already sorted oldest-first, as one indexed
+        // seek plus a sequential run scan per run, instead of one random
+        // I/O per chain hop.
         let backup_lsn = Lsn(page.page_lsn());
         let target = match entry.latest_lsn {
             Some(lsn) => lsn,
             None => backup_lsn, // no updates since backup: nothing to replay
         };
-        let mut stack = Vec::new();
+        let mut replay: Vec<(Lsn, LogRecord)> = Vec::new();
         if target > backup_lsn {
-            stack = self
-                .log
-                .scan_backward_chain(target, backup_lsn)
-                .map_err(|e| format!("per-page chain walk failed: {e}"))?;
-        }
-        let mut stats = self.stats.lock();
-        stats.chain_records_fetched += stack.len() as u64;
-        drop(stats);
+            // Truncation can advance concurrently with this gather; a
+            // chain hop that lands below a fresher cut answers
+            // `Truncated`, and the retry re-reads the (monotone)
+            // truncation point — the records are in the archive either
+            // way, so this converges instead of escalating.
+            let (floor, mut wal_part) = {
+                let mut attempts = 0;
+                loop {
+                    attempts += 1;
+                    let floor = self.log.truncate_point();
+                    // The WAL walk must not read below the truncation
+                    // point; stop just under it so the record *at* the
+                    // point is still walked.
+                    let wal_stop = if floor > backup_lsn {
+                        Lsn(floor.0 - 1)
+                    } else {
+                        backup_lsn
+                    };
+                    if target <= wal_stop {
+                        break (floor, Vec::new());
+                    }
+                    match self.log.scan_backward_chain(target, wal_stop) {
+                        Ok(part) => break (floor, part),
+                        Err(LogError::Truncated { .. }) if attempts < 8 => continue,
+                        Err(e) => return Err(format!("per-page chain walk failed: {e}")),
+                    }
+                }
+            };
+            let mut stats = self.stats.lock();
+            stats.chain_records_fetched += wal_part.len() as u64;
+            drop(stats);
 
-        // (4) Pop and redo, oldest first.
-        while let Some((lsn, record)) = stack.pop() {
+            if floor > backup_lsn {
+                // The oldest WAL record's chain pointer names the newest
+                // record that must come from the archive (or, when the
+                // whole history predates the truncation point, `target`).
+                let bound = wal_part
+                    .last()
+                    .map_or(target, |(_, record)| record.prev_page_lsn);
+                if bound > backup_lsn {
+                    let Some(archive) = &self.archive else {
+                        return Err(format!(
+                            "history of {id} below the WAL truncation point \
+                             ({floor}) and no log archive is attached"
+                        ));
+                    };
+                    // The archive also holds the page's PRI maintenance
+                    // trail (PriUpdate/BackupTaken, for restart
+                    // analysis); only content-chain records replay here.
+                    let archived: Vec<(Lsn, LogRecord)> = archive
+                        .page_history(id, backup_lsn, bound)
+                        .map_err(|e| format!("archive history read failed: {e}"))?
+                        .into_iter()
+                        .filter(|(_, record)| record.payload.is_page_content())
+                        .collect();
+                    let mut stats = self.stats.lock();
+                    stats.archive_records_fetched += archived.len() as u64;
+                    stats.archive_backed_recoveries += 1;
+                    drop(stats);
+                    replay.extend(archived);
+                }
+            }
+            wal_part.reverse(); // pop the LIFO stack onto the replay tail
+            replay.extend(wal_part);
+        }
+
+        // (4) Redo, oldest first.
+        for (lsn, record) in replay {
             // Every chained record must name the page being recovered; a
             // cross-linked chain (corrupt PRI or log) must not be applied.
             if record.page_id != id {
@@ -207,13 +287,27 @@ impl SinglePageRecovery {
         Ok(page)
     }
 
+    /// Reads the record at `lsn`, falling back to the log archive when
+    /// the WAL has been truncated past it — in-log backup sources
+    /// (Section 5.2.1) stay valid across truncation this way.
+    fn read_log_or_archive(&self, id: PageId, lsn: Lsn) -> Result<LogRecord, String> {
+        match &self.archive {
+            Some(archive) => archive
+                .read_log_or_archive(&self.log, id, lsn)
+                .map_err(|e| e.to_string()),
+            None => self
+                .log
+                .read_record(lsn)
+                .map_err(|e| format!("log record read at {lsn}: {e}")),
+        }
+    }
+
     fn load_backup(&self, id: PageId, backup: BackupRef) -> Result<Page, String> {
         match backup {
             BackupRef::BackupPage(slot) => self.backups.read_backup(slot, id),
             BackupRef::LogImage(lsn) => {
                 let record = self
-                    .log
-                    .read_record(lsn)
+                    .read_log_or_archive(id, lsn)
                     .map_err(|e| format!("in-log image read: {e}"))?;
                 match record.payload {
                     LogPayload::FullPageImage { image } => {
@@ -229,8 +323,7 @@ impl SinglePageRecovery {
             }
             BackupRef::FormatRecord(lsn) => {
                 let record = self
-                    .log
-                    .read_record(lsn)
+                    .read_log_or_archive(id, lsn)
                     .map_err(|e| format!("format record read: {e}"))?;
                 match record.payload {
                     LogPayload::PageFormat { image } => {
@@ -277,6 +370,7 @@ mod tests {
         pri: Arc<PageRecoveryIndex>,
         log: LogManager,
         backups: Arc<BackupStore>,
+        archive: Arc<ArchiveStore>,
         #[allow(dead_code)]
         device: MemDevice,
         spr: SinglePageRecovery,
@@ -290,19 +384,35 @@ mod tests {
             DEFAULT_PAGE_SIZE,
             16,
         )));
+        let archive = Arc::new(ArchiveStore::for_testing());
         let spr = SinglePageRecovery::new(
             Arc::clone(&pri),
             log.clone(),
             Arc::clone(&backups),
             device.clone(),
-        );
+        )
+        .with_archive(Arc::clone(&archive));
         Fixture {
             pri,
             log,
             backups,
+            archive,
             device,
             spr,
         }
+    }
+
+    /// Drains the fixture's log into its archive and truncates the WAL
+    /// up to `cut` (or everything durable when `cut` is null).
+    fn archive_and_truncate(fx: &Fixture, cut: Lsn) {
+        let archiver = spf_archive::LogArchiver::new(fx.log.clone(), Arc::clone(&fx.archive));
+        archiver.archive_up_to_durable().unwrap();
+        let cut = if cut.is_valid() {
+            cut
+        } else {
+            fx.log.durable_lsn()
+        };
+        assert!(fx.log.truncate_until(cut).unwrap() > 0);
     }
 
     /// Builds a page, takes a backup, applies `n` chained updates through
@@ -455,6 +565,115 @@ mod tests {
     }
 
     #[test]
+    fn archive_backed_recovery_matches_pure_chain_walk() {
+        // Same history twice; one WAL archived + fully truncated. The
+        // recovered images must be byte-identical.
+        let fx_pure = fixture();
+        let _ = page_with_history(&fx_pure, 3, 25);
+        let pure = fx_pure.spr.recover_page(PageId(3)).unwrap();
+        assert_eq!(fx_pure.spr.stats().chain_records_fetched, 25);
+        assert_eq!(fx_pure.spr.stats().archive_records_fetched, 0);
+
+        let fx = fixture();
+        let _ = page_with_history(&fx, 3, 25);
+        archive_and_truncate(&fx, Lsn::NULL);
+        let recovered = fx.spr.recover_page(PageId(3)).unwrap();
+        assert_eq!(
+            recovered.as_bytes(),
+            pure.as_bytes(),
+            "archive-backed replay must reproduce the chain-walk result"
+        );
+        let stats = fx.spr.stats();
+        assert_eq!(stats.chain_records_fetched, 0, "WAL is empty below the cut");
+        assert_eq!(stats.archive_records_fetched, 25);
+        assert_eq!(stats.archive_backed_recoveries, 1);
+        assert_eq!(stats.redo_applied, 25);
+    }
+
+    #[test]
+    fn recovery_splices_archive_and_wal_history() {
+        // Truncate mid-chain: the suffix stays in the WAL, the prefix
+        // moves to the archive, and recovery stitches them seamlessly.
+        let fx = fixture();
+        let mut page = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(2), PageType::BTreeLeaf);
+        page.set_page_lsn(1);
+        let slot = fx.backups.take_page_backup(&page).unwrap();
+        fx.pri
+            .set_backup(PageId(2), BackupRef::BackupPage(slot), Lsn(1));
+        let mut lsns = Vec::new();
+        for i in 0..20usize {
+            let op = PageOp::InsertRecord {
+                pos: i as u16,
+                bytes: format!("row-{i:04}").into_bytes(),
+                ghost: false,
+            };
+            let lsn = fx.log.append(&LogRecord {
+                tx_id: TxId(1),
+                prev_tx_lsn: Lsn::NULL,
+                page_id: PageId(2),
+                prev_page_lsn: Lsn(page.page_lsn()),
+                payload: spf_wal::LogPayload::Update { op: op.clone() },
+            });
+            op.redo(&mut page);
+            page.set_page_lsn(lsn.0);
+            lsns.push(lsn);
+        }
+        fx.log.force();
+        fx.pri.set_latest_lsn(PageId(2), *lsns.last().unwrap());
+
+        archive_and_truncate(&fx, lsns[12]);
+        let recovered = fx.spr.recover_page(PageId(2)).unwrap();
+        assert_eq!(recovered.page_lsn(), page.page_lsn());
+        assert_eq!(recovered.slot_count(), page.slot_count());
+        let stats = fx.spr.stats();
+        assert_eq!(stats.chain_records_fetched, 8, "WAL part: lsns[12..20]");
+        assert_eq!(
+            stats.archive_records_fetched, 12,
+            "archive part: lsns[0..12]"
+        );
+        assert_eq!(stats.redo_applied, 20);
+        assert_eq!(stats.chain_check_failures, 0);
+    }
+
+    #[test]
+    fn format_record_backup_survives_truncation() {
+        // A PRI backup reference pointing *into* the log (a format
+        // record) keeps working after the WAL below it is truncated: the
+        // record is fetched from the archive instead (§5.2.1's in-log
+        // backup sources made truncation-proof).
+        let fx = fixture();
+        let mut page = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(5), PageType::BTreeLeaf);
+        {
+            let mut sp = SlottedPage::new(&mut page);
+            sp.push(b"fence-low", true).unwrap();
+            sp.push(b"fence-high", true).unwrap();
+        }
+        let format_lsn = fx.log.append(&LogRecord {
+            tx_id: TxId(2),
+            prev_tx_lsn: Lsn::NULL,
+            page_id: PageId(5),
+            prev_page_lsn: Lsn::NULL,
+            payload: spf_wal::LogPayload::PageFormat {
+                image: CompressedPageImage::capture(&page),
+            },
+        });
+        page.set_page_lsn(format_lsn.0);
+        fx.pri
+            .set_backup(PageId(5), BackupRef::FormatRecord(format_lsn), format_lsn);
+        fx.log.force();
+
+        archive_and_truncate(&fx, Lsn::NULL);
+        assert!(matches!(
+            fx.log.read_record(format_lsn),
+            Err(spf_wal::LogError::Truncated { .. })
+        ));
+        let recovered = fx.spr.recover_page(PageId(5)).unwrap();
+        assert_eq!(recovered.page_lsn(), format_lsn.0);
+        assert_eq!(recovered.slot_count(), 2);
+        assert_eq!(fx.spr.stats().from_format_record, 1);
+    }
+
+    #[test]
     fn missing_pri_entry_escalates() {
         let fx = fixture();
         match fx.spr.recover(PageId(9)) {
@@ -508,6 +727,7 @@ mod tests {
             pri,
             log,
             backups,
+            archive: Arc::new(ArchiveStore::for_testing()),
             device,
             spr,
         };

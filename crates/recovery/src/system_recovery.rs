@@ -19,6 +19,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+use spf_archive::ArchiveStore;
 use spf_buffer::BufferPool;
 use spf_storage::PageId;
 use spf_util::SimDuration;
@@ -31,6 +32,9 @@ use crate::pri::PageRecoveryIndex;
 pub struct RestartReport {
     /// Log records scanned during analysis.
     pub analysis_records: u64,
+    /// Archived records replayed to rebuild the page recovery index for
+    /// history below the WAL truncation point.
+    pub archive_records_scanned: u64,
     /// Pages that entered the recovery requirements at least once.
     pub pages_ever_dirty: u64,
     /// Pages removed from the requirements by PriUpdate records —
@@ -67,10 +71,44 @@ struct AttEntry {
     system: bool,
 }
 
+/// One log record's page-recovery-index effects (Figure 12's PRI arms)
+/// — shared verbatim by the archive pre-pass and the WAL analysis loop
+/// so the two rebuild paths can never diverge.
+fn apply_pri_effect(
+    pri: &PageRecoveryIndex,
+    note_allocated: &dyn Fn(PageId),
+    lsn: Lsn,
+    record: &LogRecord,
+) {
+    match &record.payload {
+        LogPayload::PageFormat { .. } => {
+            pri.set_backup(record.page_id, spf_wal::BackupRef::FormatRecord(lsn), lsn);
+            note_allocated(record.page_id);
+        }
+        LogPayload::FullPageImage { .. } => {
+            pri.set_backup(record.page_id, spf_wal::BackupRef::LogImage(lsn), lsn);
+        }
+        LogPayload::BackupTaken { backup, page_lsn } => {
+            if let spf_wal::BackupRef::FullBackup { pages, .. } = backup {
+                pri.set_backup_range(PageId(0), PageId(*pages), *backup, *page_lsn);
+            } else {
+                pri.set_backup(record.page_id, *backup, *page_lsn);
+            }
+        }
+        LogPayload::PriUpdate { page_lsn, .. } => {
+            pri.set_latest_lsn(record.page_id, *page_lsn);
+        }
+        _ => {}
+    }
+}
+
 /// Restart-recovery driver.
 pub struct SystemRecovery {
     log: LogManager,
     pool: BufferPool,
+    /// The log archive: the analysis source for history below the WAL
+    /// truncation point.
+    archive: Option<Arc<ArchiveStore>>,
 }
 
 impl SystemRecovery {
@@ -79,7 +117,18 @@ impl SystemRecovery {
     /// single-page failures *during* restart then recover inline.
     #[must_use]
     pub fn new(log: LogManager, pool: BufferPool) -> Self {
-        Self { log, pool }
+        Self {
+            log,
+            pool,
+            archive: None,
+        }
+    }
+
+    /// Attaches the log archive so restart works on a truncated WAL.
+    #[must_use]
+    pub fn with_archive(mut self, archive: Arc<ArchiveStore>) -> Self {
+        self.archive = Some(archive);
+        self
     }
 
     /// Runs the three passes. `pri` is rebuilt as a side effect of
@@ -103,11 +152,37 @@ impl SystemRecovery {
         let mut dpt: BTreeMap<PageId, Lsn> = BTreeMap::new();
         let mut ever_dirty: std::collections::HashSet<PageId> = std::collections::HashSet::new();
 
+        // Pre-pass over the archive when the WAL has been truncated:
+        // records below the truncation point rebuild the page recovery
+        // index (backup locations, format records, confirmed writes) but
+        // contribute nothing to the recovery requirements — the safe
+        // truncation rule guarantees every one of them is durably on the
+        // data device and outside every live transaction's undo chain.
+        let floor = self.log.truncate_point();
+        if floor.is_valid() {
+            let archive = self.archive.as_ref().ok_or_else(|| {
+                format!("log truncated at {floor} and no log archive is attached")
+            })?;
+            let mut max_tx = 0u64;
+            report.archive_records_scanned = archive
+                .replay_lsn_order(Lsn::NULL, floor, |lsn, record| {
+                    max_tx = max_tx.max(record.tx_id.0);
+                    // Archived updates and CLRs are durably applied and
+                    // contribute no recovery requirements; only the PRI
+                    // effects (and, via format records, the allocator
+                    // floor) matter here.
+                    apply_pri_effect(pri, note_allocated, lsn, record);
+                })
+                .map_err(|e| format!("archive analysis replay failed: {e}"))?;
+            report.max_tx_seen = report.max_tx_seen.max(max_tx);
+        }
+
         // Streamed in bounded chunks: analysis of an arbitrarily long
-        // log never materializes it as one `Vec`.
+        // log never materializes it as one `Vec`. Starts at the
+        // truncation point (the null start clamps there anyway).
         let scanner = self
             .log
-            .scan_records(Lsn::NULL)
+            .scan_records(floor)
             .map_err(|e| format!("analysis scan failed: {e}"))?;
         for item in scanner {
             let (lsn, record) = item.map_err(|e| format!("analysis scan failed: {e}"))?;
@@ -115,6 +190,7 @@ impl SystemRecovery {
             let record = &record;
             report.analysis_records += 1;
             report.max_tx_seen = report.max_tx_seen.max(record.tx_id.0);
+            apply_pri_effect(pri, note_allocated, *lsn, record);
             match &record.payload {
                 LogPayload::TxBegin { system } => {
                     att.insert(
@@ -143,21 +219,11 @@ impl SystemRecovery {
                     // ("redo for all prior log records is not required").
                     dpt.insert(record.page_id, *lsn);
                     ever_dirty.insert(record.page_id);
-                    pri.set_backup(record.page_id, spf_wal::BackupRef::FormatRecord(*lsn), *lsn);
-                    note_allocated(record.page_id);
                 }
                 LogPayload::FullPageImage { .. } => {
                     // An in-log image likewise restarts redo at itself.
                     dpt.insert(record.page_id, *lsn);
                     ever_dirty.insert(record.page_id);
-                    pri.set_backup(record.page_id, spf_wal::BackupRef::LogImage(*lsn), *lsn);
-                }
-                LogPayload::BackupTaken { backup, page_lsn } => {
-                    if let spf_wal::BackupRef::FullBackup { pages, .. } = backup {
-                        pri.set_backup_range(PageId(0), PageId(*pages), *backup, *page_lsn);
-                    } else {
-                        pri.set_backup(record.page_id, *backup, *page_lsn);
-                    }
                 }
                 LogPayload::PriUpdate { page_lsn, .. } => {
                     // Figure 12 row 2: the write completed — drop the page
@@ -169,9 +235,10 @@ impl SystemRecovery {
                             report.writes_confirmed_by_pri += 1;
                         }
                     }
-                    pri.set_latest_lsn(record.page_id, *page_lsn);
                 }
-                LogPayload::CheckpointBegin { .. } | LogPayload::CheckpointEnd => {}
+                LogPayload::BackupTaken { .. }
+                | LogPayload::CheckpointBegin { .. }
+                | LogPayload::CheckpointEnd => {}
             }
         }
         report.pages_ever_dirty = ever_dirty.len() as u64;

@@ -73,15 +73,43 @@ impl std::error::Error for VersionError {}
 /// is one chained log read plus one in-memory inverse application per
 /// record between the page's LSN and the target — "applying dozens of log
 /// records in memory should also be very fast" (Section 6).
+///
+/// Chain hops below the WAL truncation point fail with the log's
+/// `Truncated` error; use
+/// [`rollback_page_to_archived`] to resolve them from the log archive.
 pub fn rollback_page_to(
     log: &LogManager,
     page: &Page,
     target_lsn: Lsn,
 ) -> Result<Page, VersionError> {
+    rollback_page_to_archived(log, None, page, target_lsn)
+}
+
+/// [`rollback_page_to`] with a log archive attached: chain records the
+/// WAL has truncated are fetched from the archive's per-page runs, so
+/// snapshot versions reaching below the truncation point stay
+/// reconstructable.
+pub fn rollback_page_to_archived(
+    log: &LogManager,
+    archive: Option<&spf_archive::ArchiveStore>,
+    page: &Page,
+    target_lsn: Lsn,
+) -> Result<Page, VersionError> {
+    // The shared Truncated-to-archive fallback; without an archive the
+    // log's own error (including `Truncated`) surfaces untouched.
+    let read_chain_record = |page_id: spf_storage::PageId, cursor: Lsn| match archive {
+        Some(store) => store
+            .read_log_or_archive(log, page_id, cursor)
+            .map_err(|e| VersionError::ChainBroken {
+                detail: e.to_string(),
+            }),
+        None => log.read_record(cursor).map_err(VersionError::Log),
+    };
+
     let mut image = page.clone();
     let mut cursor = Lsn(image.page_lsn());
     while cursor.is_valid() && cursor > target_lsn {
-        let record = log.read_record(cursor).map_err(VersionError::Log)?;
+        let record = read_chain_record(image.page_id(), cursor)?;
         if record.page_id != image.page_id() {
             return Err(VersionError::ChainBroken {
                 detail: format!(
@@ -265,6 +293,42 @@ mod tests {
             rollback_page_to(&log, &page, Lsn(1)),
             Err(VersionError::HistoryHorizon { .. })
         ));
+    }
+
+    #[test]
+    fn rollback_spans_a_truncated_wal_via_the_archive() {
+        use spf_archive::{ArchiveStore, LogArchiver};
+        use std::sync::Arc;
+
+        let log = LogManager::for_testing();
+        let (page, lsns) = history(&log, 8);
+        // Reference versions computed while the WAL is still whole.
+        let reference: Vec<Page> = lsns
+            .iter()
+            .map(|&lsn| rollback_page_to(&log, &page, lsn).unwrap())
+            .collect();
+
+        let archive = Arc::new(ArchiveStore::for_testing());
+        LogArchiver::new(log.clone(), Arc::clone(&archive))
+            .archive_up_to_durable()
+            .unwrap();
+        log.truncate_until(lsns[5]).unwrap();
+
+        // The plain path now fails once the chain dips below the cut…
+        assert!(matches!(
+            rollback_page_to(&log, &page, lsns[2]),
+            Err(VersionError::Log(spf_wal::LogError::Truncated { .. }))
+        ));
+        // …while the archive-aware path reconstructs every version
+        // byte-for-byte.
+        for (step, &lsn) in lsns.iter().enumerate() {
+            let version = rollback_page_to_archived(&log, Some(&archive), &page, lsn).unwrap();
+            assert_eq!(
+                version.as_bytes(),
+                reference[step].as_bytes(),
+                "version as of step {step}"
+            );
+        }
     }
 
     #[test]

@@ -80,6 +80,9 @@ pub struct TxnStats {
 #[derive(Debug, Clone, Copy)]
 struct ActiveTx {
     kind: TxKind,
+    /// The begin record's LSN — the floor of this transaction's undo
+    /// chain, and therefore a bound on safe WAL truncation.
+    first_lsn: Lsn,
     last_lsn: Lsn,
 }
 
@@ -134,6 +137,7 @@ impl TxnManager {
             tx,
             ActiveTx {
                 kind,
+                first_lsn: lsn,
                 last_lsn: lsn,
             },
         );
@@ -299,6 +303,20 @@ impl TxnManager {
             .collect();
         out.sort_unstable_by_key(|(tx, _)| *tx);
         out
+    }
+
+    /// The begin-record LSN of the **oldest** active transaction — the
+    /// lower bound every live undo chain needs the log to retain. `None`
+    /// when no transaction is active. Used by the safe-WAL-truncation
+    /// rule: truncating past this LSN could strand a rollback.
+    #[must_use]
+    pub fn oldest_active_begin(&self) -> Option<Lsn> {
+        self.inner
+            .active
+            .lock()
+            .values()
+            .map(|st| st.first_lsn)
+            .min()
     }
 
     /// Number of active transactions.

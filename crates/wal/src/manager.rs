@@ -38,6 +38,16 @@ pub enum LogError {
         /// One past the last durable byte.
         durable_end: Lsn,
     },
+    /// The LSN addresses a record that was valid once but has been
+    /// truncated away ([`LogManager::truncate_until`]). Its history now
+    /// lives only in the log archive; consumers holding an archive handle
+    /// should retry there.
+    Truncated {
+        /// The offending LSN.
+        lsn: Lsn,
+        /// First LSN still held by the log.
+        truncate_point: Lsn,
+    },
     /// The record at this LSN failed its checksum or could not be parsed.
     ///
     /// By the paper's stable-storage assumption this never happens to a
@@ -56,6 +66,14 @@ impl std::fmt::Display for LogError {
             LogError::OutOfBounds { lsn, durable_end } => {
                 write!(f, "{lsn} out of bounds (durable log ends at {durable_end})")
             }
+            LogError::Truncated {
+                lsn,
+                truncate_point,
+            } => write!(
+                f,
+                "{lsn} truncated from the log (tail starts at {truncate_point}); \
+                 consult the log archive"
+            ),
             LogError::Corrupt { lsn, detail } => write!(f, "corrupt log record at {lsn}: {detail}"),
         }
     }
@@ -76,6 +94,10 @@ pub struct LogStats {
     pub random_record_reads: u64,
     /// Bytes scanned through the sequential path.
     pub bytes_scanned: u64,
+    /// Successful [`LogManager::truncate_until`] calls that dropped bytes.
+    pub truncations: u64,
+    /// Bytes reclaimed by truncation (they live on in the archive).
+    pub bytes_truncated: u64,
     /// Appends broken down by payload kind, keyed by
     /// [`LogPayload::kind_name`] order — see [`LogStats::KIND_NAMES`].
     pub appends_by_kind: [u64; 11],
@@ -115,15 +137,49 @@ fn kind_index(payload: &LogPayload) -> usize {
 }
 
 struct Inner {
-    /// Complete log bytes: `[0, durable_len)` is stable storage, the rest
-    /// is the volatile log buffer.
+    /// Virtual offset of `bytes[0]`: the truncation point. LSNs below it
+    /// no longer address the log — their records live in the log archive.
+    base: u64,
+    /// Log bytes for the virtual range `[base, base + bytes.len())`:
+    /// `[base, durable_len)` is stable storage, the rest is the volatile
+    /// log buffer.
     bytes: Vec<u8>,
-    durable_len: usize,
+    /// One past the last durable byte (a *virtual* offset, like an LSN).
+    durable_len: u64,
     stats: LogStats,
     /// LSNs of every checkpoint-begin record appended, ascending (the
     /// newest durable one plays the role of the "master record" a real
-    /// system keeps in a known location).
+    /// system keeps in a known location). Truncation drops leading
+    /// entries; a crash drops unforced trailing ones.
     checkpoints: Vec<Lsn>,
+    /// How many leading `checkpoints` entries are known durable — the
+    /// cursor that makes [`LogManager::last_checkpoint`] O(1).
+    durable_ckpts: usize,
+    /// Exclusive upper bound of the WAL prefix captured by the log
+    /// archive. Truncation never passes it.
+    archive_watermark: Lsn,
+}
+
+impl Inner {
+    /// One past the last appended byte (virtual offset).
+    fn end(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+
+    /// The log bytes starting at virtual offset `lsn` (caller checks
+    /// `base <= lsn < end`).
+    fn slice_from(&self, lsn: u64) -> &[u8] {
+        &self.bytes[(lsn - self.base) as usize..]
+    }
+
+    /// Advances the durable-checkpoint cursor over newly durable entries.
+    fn advance_ckpt_cursor(&mut self) {
+        while self.durable_ckpts < self.checkpoints.len()
+            && self.checkpoints[self.durable_ckpts].0 < self.durable_len
+        {
+            self.durable_ckpts += 1;
+        }
+    }
 }
 
 /// The write-ahead log.
@@ -152,11 +208,14 @@ impl LogManager {
     pub fn new(clock: Arc<SimClock>, cost: IoCostModel) -> Self {
         Self {
             inner: Arc::new(Mutex::new(Inner {
+                base: 0,
                 // Reserve the header region so LSN 0 is never a record.
                 bytes: vec![0u8; Lsn::FIRST.0 as usize],
-                durable_len: Lsn::FIRST.0 as usize,
+                durable_len: Lsn::FIRST.0,
                 stats: LogStats::default(),
                 checkpoints: Vec::new(),
+                durable_ckpts: 0,
+                archive_watermark: Lsn::NULL,
             })),
             clock,
             cost,
@@ -183,7 +242,7 @@ impl LogManager {
     pub fn append(&self, record: &LogRecord) -> Lsn {
         let encoded = record.encode();
         let mut inner = self.inner.lock();
-        let lsn = Lsn(inner.bytes.len() as u64);
+        let lsn = Lsn(inner.end());
         inner.bytes.extend_from_slice(&encoded);
         inner.stats.records_appended += 1;
         inner.stats.bytes_appended += encoded.len() as u64;
@@ -198,14 +257,15 @@ impl LogManager {
     /// LSN. Charged as one sequential write of the flushed bytes.
     pub fn force(&self) -> Lsn {
         let mut inner = self.inner.lock();
-        let pending = inner.bytes.len() - inner.durable_len;
+        let pending = inner.end() - inner.durable_len;
         if pending > 0 {
             self.clock
-                .advance(self.cost.cost(IoKind::SequentialWrite, pending));
-            inner.durable_len = inner.bytes.len();
+                .advance(self.cost.cost(IoKind::SequentialWrite, pending as usize));
+            inner.durable_len = inner.end();
             inner.stats.forces += 1;
+            inner.advance_ckpt_cursor();
         }
-        Lsn(inner.durable_len as u64)
+        Lsn(inner.durable_len)
     }
 
     /// Forces the log **through** the record starting at `lsn` (the WAL
@@ -215,53 +275,58 @@ impl LogManager {
     /// No-op if that prefix is already durable.
     pub fn force_through(&self, lsn: Lsn) -> Lsn {
         let mut inner = self.inner.lock();
-        if !lsn.is_valid() || (lsn.0 as usize) < inner.durable_len {
-            return Lsn(inner.durable_len as u64);
+        if !lsn.is_valid() || lsn.0 < inner.durable_len {
+            return Lsn(inner.durable_len);
         }
-        let end = if (lsn.0 as usize) >= inner.bytes.len() {
+        let end = if lsn.0 >= inner.end() {
             // Beyond the appended log (defensive): force everything.
-            inner.bytes.len()
+            inner.end()
         } else {
-            match LogRecord::decode(&inner.bytes[lsn.0 as usize..]) {
-                Ok((_, len)) => lsn.0 as usize + len,
+            match LogRecord::decode(inner.slice_from(lsn.0)) {
+                Ok((_, len)) => lsn.0 + len as u64,
                 // Not a record boundary (defensive): force everything.
-                Err(_) => inner.bytes.len(),
+                Err(_) => inner.end(),
             }
         };
         let pending = end.saturating_sub(inner.durable_len);
         if pending > 0 {
             self.clock
-                .advance(self.cost.cost(IoKind::SequentialWrite, pending));
+                .advance(self.cost.cost(IoKind::SequentialWrite, pending as usize));
             inner.durable_len = end;
             inner.stats.forces += 1;
+            inner.advance_ckpt_cursor();
         }
-        Lsn(inner.durable_len as u64)
+        Lsn(inner.durable_len)
     }
 
     /// One past the last durable byte.
     #[must_use]
     pub fn durable_lsn(&self) -> Lsn {
-        Lsn(self.inner.lock().durable_len as u64)
+        Lsn(self.inner.lock().durable_len)
     }
 
     /// One past the last appended byte (durable or not).
     #[must_use]
     pub fn end_lsn(&self) -> Lsn {
-        Lsn(self.inner.lock().bytes.len() as u64)
+        Lsn(self.inner.lock().end())
     }
 
     /// LSN of the most recent **durable** checkpoint-begin record, i.e.
     /// what the master record would point to after a crash.
+    ///
+    /// O(1): a cursor over the ascending checkpoint list is advanced as
+    /// the durable boundary moves (on force), never scanned backward.
     #[must_use]
     pub fn last_checkpoint(&self) -> Lsn {
-        let inner = self.inner.lock();
-        inner
-            .checkpoints
-            .iter()
-            .rev()
-            .find(|l| l.0 < inner.durable_len as u64)
-            .copied()
-            .unwrap_or(Lsn::NULL)
+        let mut inner = self.inner.lock();
+        // The cursor is maintained by the force paths; catching up here
+        // too keeps the method correct even if a future force path
+        // forgets (amortized O(1) — each entry is crossed once, ever).
+        inner.advance_ckpt_cursor();
+        match inner.durable_ckpts {
+            0 => Lsn::NULL,
+            n => inner.checkpoints[n - 1],
+        }
     }
 
     /// Simulates a system failure: the volatile log buffer is discarded.
@@ -269,10 +334,84 @@ impl LogManager {
     pub fn crash(&self) -> Lsn {
         let mut inner = self.inner.lock();
         let durable = inner.durable_len;
-        inner.bytes.truncate(durable);
-        // Checkpoint records in the lost buffer never happened.
-        inner.checkpoints.retain(|l| l.0 < durable as u64);
-        Lsn(durable as u64)
+        let keep = (durable - inner.base) as usize;
+        inner.bytes.truncate(keep);
+        // Checkpoint records in the lost buffer never happened; every
+        // retained entry is durable, so the O(1) cursor covers them all.
+        inner.checkpoints.retain(|l| l.0 < durable);
+        inner.durable_ckpts = inner.checkpoints.len();
+        // The archive only ever captured the durable prefix, so the
+        // watermark survives a crash unchanged; clamp defensively.
+        inner.archive_watermark = inner.archive_watermark.min(Lsn(durable));
+        Lsn(durable)
+    }
+
+    /// First LSN still addressed by the log: [`Lsn::NULL`] while the log
+    /// has never been truncated, else the cut point of the most recent
+    /// [`truncate_until`](LogManager::truncate_until). Records below it
+    /// must be fetched from the log archive.
+    #[must_use]
+    pub fn truncate_point(&self) -> Lsn {
+        Lsn(self.inner.lock().base)
+    }
+
+    /// Exclusive upper bound of the WAL prefix the log archive has
+    /// durably captured. Set by the archiver after each drain.
+    #[must_use]
+    pub fn archive_watermark(&self) -> Lsn {
+        self.inner.lock().archive_watermark
+    }
+
+    /// Records that the archive now holds every page-relevant record
+    /// below `lsn`. Monotone; clamped to the durable end (the archiver
+    /// only ever reads the durable prefix).
+    pub fn set_archive_watermark(&self, lsn: Lsn) {
+        let mut inner = self.inner.lock();
+        let clamped = Lsn(lsn.0.min(inner.durable_len));
+        inner.archive_watermark = inner.archive_watermark.max(clamped);
+    }
+
+    /// Discards log bytes below `lsn`, reclaiming their memory. The cut
+    /// is clamped to the archive watermark and the durable end — nothing
+    /// unarchived or unforced is ever dropped — and must land on a record
+    /// boundary. Returns the bytes reclaimed (0 if nothing to drop).
+    ///
+    /// Callers are expected to pass a *safe* LSN, i.e. the minimum of the
+    /// archive watermark, the last durable checkpoint, the buffer pool's
+    /// oldest dirty-page recovery LSN, and the oldest active
+    /// transaction's begin LSN (`Database::safe_truncation_lsn` computes
+    /// exactly this); the clamps here only defend the log's own
+    /// invariants.
+    pub fn truncate_until(&self, lsn: Lsn) -> Result<u64, LogError> {
+        let mut inner = self.inner.lock();
+        if !inner.archive_watermark.is_valid() {
+            return Ok(0); // nothing archived: nothing may be dropped
+        }
+        let cut = lsn.0.min(inner.archive_watermark.0).min(inner.durable_len);
+        if cut <= inner.base {
+            return Ok(0);
+        }
+        // The cut must be a record boundary (or the very end), or every
+        // later read would land mid-record.
+        if cut < inner.end() {
+            LogRecord::decode(inner.slice_from(cut)).map_err(|e| LogError::Corrupt {
+                lsn: Lsn(cut),
+                detail: format!("truncation point is not a record boundary: {e}"),
+            })?;
+        }
+        let dropped = cut - inner.base;
+        let tail = inner.bytes.split_off(dropped as usize);
+        inner.bytes = tail; // the head's allocation is freed here
+        inner.base = cut;
+        // Checkpoints below the cut are unreadable now; all of them were
+        // durable (cut <= durable_len), so the cursor shifts with them.
+        inner.advance_ckpt_cursor();
+        let before = inner.checkpoints.len();
+        inner.checkpoints.retain(|l| l.0 >= cut);
+        inner.durable_ckpts -= before - inner.checkpoints.len();
+        inner.stats.truncations += 1;
+        inner.stats.bytes_truncated += dropped;
+        Ok(dropped)
     }
 
     /// Reads the single record at `lsn`, charged as one random I/O (the
@@ -288,9 +427,15 @@ impl LogManager {
         lsn: Lsn,
         charge: bool,
     ) -> Result<LogRecord, LogError> {
-        let durable_end = Lsn(inner.bytes.len() as u64);
-        if !lsn.is_valid() || lsn.0 as usize >= inner.bytes.len() || lsn < Lsn::FIRST {
+        let durable_end = Lsn(inner.end());
+        if !lsn.is_valid() || lsn.0 >= inner.end() || lsn < Lsn::FIRST {
             return Err(LogError::OutOfBounds { lsn, durable_end });
+        }
+        if lsn.0 < inner.base {
+            return Err(LogError::Truncated {
+                lsn,
+                truncate_point: Lsn(inner.base),
+            });
         }
         if charge {
             // One random log I/O; body length is bounded by a page or so,
@@ -299,7 +444,7 @@ impl LogManager {
             inner.stats.random_record_reads += 1;
         }
         let (record, _len) =
-            LogRecord::decode(&inner.bytes[lsn.0 as usize..]).map_err(|e| LogError::Corrupt {
+            LogRecord::decode(inner.slice_from(lsn.0)).map_err(|e| LogError::Corrupt {
                 lsn,
                 detail: e.to_string(),
             })?;
@@ -328,22 +473,28 @@ impl LogManager {
     pub fn scan_records(&self, start: Lsn) -> Result<LogScanner, LogError> {
         let inner = self.inner.lock();
         let pos = if start.is_valid() {
-            start.0 as usize
+            start.0
         } else {
-            Lsn::FIRST.0 as usize
+            Lsn::FIRST.0.max(inner.base)
         };
-        let end = inner.bytes.len();
+        let end = inner.end();
         if pos > end {
             return Err(LogError::OutOfBounds {
                 lsn: start,
-                durable_end: Lsn(end as u64),
+                durable_end: Lsn(end),
+            });
+        }
+        if pos < inner.base {
+            return Err(LogError::Truncated {
+                lsn: start,
+                truncate_point: Lsn(inner.base),
             });
         }
         drop(inner);
         Ok(LogScanner {
             log: self.clone(),
-            pos: pos as u64,
-            end: end as u64,
+            pos,
+            end,
             buffered: std::collections::VecDeque::new(),
             failed: false,
             charged_overhead: false,
@@ -376,7 +527,9 @@ impl LogManager {
         Ok(out)
     }
 
-    /// Total bytes currently held by the log (stable prefix plus buffer).
+    /// Bytes currently **held** by the log (stable prefix plus buffer).
+    /// This is the live WAL footprint: truncation shrinks it even though
+    /// LSNs (virtual byte offsets) keep growing.
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
         self.inner.lock().bytes.len() as u64
@@ -414,22 +567,29 @@ impl LogScanner {
     /// Decodes the next chunk of records under the log lock.
     fn refill(&mut self) -> Result<(), LogError> {
         let mut inner = self.log.inner.lock();
-        let end = (self.end as usize).min(inner.bytes.len());
-        let start = self.pos as usize;
+        if self.pos < inner.base {
+            // The log was truncated out from under a paused scan.
+            return Err(LogError::Truncated {
+                lsn: Lsn(self.pos),
+                truncate_point: Lsn(inner.base),
+            });
+        }
+        let end = self.end.min(inner.end());
+        let start = self.pos;
         if start >= end {
             return Ok(());
         }
         let mut pos = start;
-        while pos < end && pos - start < Self::CHUNK_BYTES {
+        while pos < end && pos - start < Self::CHUNK_BYTES as u64 {
             let (record, len) =
-                LogRecord::decode(&inner.bytes[pos..]).map_err(|e| LogError::Corrupt {
-                    lsn: Lsn(pos as u64),
+                LogRecord::decode(inner.slice_from(pos)).map_err(|e| LogError::Corrupt {
+                    lsn: Lsn(pos),
                     detail: e.to_string(),
                 })?;
-            self.buffered.push_back((Lsn(pos as u64), record));
-            pos += len;
+            self.buffered.push_back((Lsn(pos), record));
+            pos += len as u64;
         }
-        let scanned = pos - start;
+        let scanned = (pos - start) as usize;
         // One logical sequential scan: the per-command overhead is paid
         // on the first chunk only, so the charged total matches what the
         // materializing `scan_from` charged for the same byte range.
@@ -440,7 +600,7 @@ impl LogScanner {
         self.charged_overhead = true;
         self.log.clock.advance(cost);
         inner.stats.bytes_scanned += scanned as u64;
-        self.pos = pos as u64;
+        self.pos = pos;
         Ok(())
     }
 }
@@ -790,6 +950,152 @@ mod tests {
         assert_eq!(stats.appends_of("update"), 1);
         assert_eq!(stats.appends_of("pri-update"), 1);
         assert_eq!(stats.appends_of("clr"), 0);
+    }
+
+    #[test]
+    fn truncate_reclaims_bytes_and_preserves_lsns() {
+        let log = LogManager::for_testing();
+        let mut lsns = Vec::new();
+        let mut prev = Lsn::NULL;
+        for i in 0..50 {
+            let lsn = log.append(&update_record(1, prev, i % 4, Lsn::NULL));
+            lsns.push(lsn);
+            prev = lsn;
+        }
+        log.force();
+        // Nothing archived yet: truncation is refused outright.
+        assert_eq!(log.truncate_until(lsns[25]).unwrap(), 0);
+        assert_eq!(log.truncate_point(), Lsn::NULL);
+
+        log.set_archive_watermark(lsns[30]);
+        let before = log.total_bytes();
+        let dropped = log.truncate_until(lsns[25]).unwrap();
+        assert!(dropped > 0);
+        assert_eq!(log.total_bytes(), before - dropped);
+        assert_eq!(log.truncate_point(), lsns[25]);
+        assert_eq!(log.stats().truncations, 1);
+        assert_eq!(log.stats().bytes_truncated, dropped);
+
+        // LSNs are stable: surviving records read back identically.
+        for &lsn in &lsns[25..] {
+            assert!(log.read_record(lsn).is_ok(), "surviving {lsn} readable");
+        }
+        // Truncated records answer with the dedicated error.
+        assert!(matches!(
+            log.read_record(lsns[10]),
+            Err(LogError::Truncated { .. })
+        ));
+        assert!(matches!(
+            log.scan_records(lsns[10]),
+            Err(LogError::Truncated { .. })
+        ));
+        // A scan from the cut (or a null start) sees exactly the tail.
+        let tail = log.scan_from(lsns[25]).unwrap();
+        assert_eq!(tail.len(), 25);
+        assert_eq!(tail[0].0, lsns[25]);
+        let from_null = log.scan_from(Lsn::NULL).unwrap();
+        assert_eq!(from_null, tail, "null start clamps to the cut");
+        // Appends continue with monotone LSNs past the cut.
+        let next = log.append(&update_record(1, prev, 0, Lsn::NULL));
+        assert!(next > *lsns.last().unwrap());
+    }
+
+    #[test]
+    fn truncate_clamps_to_watermark_and_durable() {
+        let log = LogManager::for_testing();
+        let a = log.append(&update_record(1, Lsn::NULL, 1, Lsn::NULL));
+        let b = log.append(&update_record(1, a, 1, a));
+        log.force();
+        let c = log.append(&update_record(1, b, 1, b)); // unforced
+        log.set_archive_watermark(b);
+        let end_before = log.end_lsn();
+        // Asking to truncate everything only drops up to the watermark.
+        log.truncate_until(Lsn(1 << 40)).unwrap();
+        assert_eq!(log.truncate_point(), b);
+        assert!(log.read_record(b).is_ok());
+        // The unforced tail is untouched: same end, record still there.
+        assert_eq!(log.end_lsn(), end_before);
+        assert_eq!(log.read_record(c).unwrap(), update_record(1, b, 1, b));
+        // Re-truncating at the same point is a no-op.
+        assert_eq!(log.truncate_until(b).unwrap(), 0);
+        assert_eq!(log.stats().truncations, 1);
+    }
+
+    #[test]
+    fn truncate_keeps_checkpoint_list_consistent() {
+        let log = LogManager::for_testing();
+        let ckpt_record = || {
+            make_record(
+                TxId::NONE,
+                Lsn::NULL,
+                PageId::INVALID,
+                Lsn::NULL,
+                LogPayload::CheckpointBegin {
+                    active_txns: vec![],
+                    dirty_pages: vec![],
+                },
+            )
+        };
+        let ck1 = log.append(&ckpt_record());
+        let mid = log.append(&update_record(1, Lsn::NULL, 1, Lsn::NULL));
+        let ck2 = log.append(&ckpt_record());
+        log.force();
+        assert_eq!(log.last_checkpoint(), ck2);
+
+        // Truncate past the first checkpoint: the master record is still
+        // the second one, and the dropped entry no longer confuses it.
+        log.set_archive_watermark(ck2);
+        log.truncate_until(mid).unwrap();
+        assert_eq!(log.last_checkpoint(), ck2);
+        assert!(matches!(
+            log.read_record(ck1),
+            Err(LogError::Truncated { .. })
+        ));
+
+        // An unforced later checkpoint still does not become the master
+        // record, and a crash keeps the list and cursor consistent.
+        let _ck3 = log.append(&ckpt_record());
+        assert_eq!(log.last_checkpoint(), ck2);
+        log.crash();
+        assert_eq!(log.last_checkpoint(), ck2);
+        // Watermark survives the crash (it covered only durable bytes).
+        assert_eq!(log.archive_watermark(), ck2);
+    }
+
+    #[test]
+    fn truncate_rejects_mid_record_cut() {
+        let log = LogManager::for_testing();
+        let a = log.append(&update_record(1, Lsn::NULL, 1, Lsn::NULL));
+        let b = log.append(&update_record(1, a, 1, a));
+        log.force();
+        log.set_archive_watermark(log.durable_lsn());
+        assert!(matches!(
+            log.truncate_until(Lsn(b.0 + 1)),
+            Err(LogError::Corrupt { .. })
+        ));
+        // The failed attempt changed nothing.
+        assert_eq!(log.truncate_point(), Lsn::NULL);
+        assert!(log.read_record(a).is_ok());
+    }
+
+    #[test]
+    fn watermark_is_monotone_and_durable_clamped() {
+        let log = LogManager::for_testing();
+        let a = log.append(&update_record(1, Lsn::NULL, 1, Lsn::NULL));
+        log.force();
+        let b = log.append(&update_record(1, a, 1, a)); // unforced
+        log.set_archive_watermark(b);
+        assert_eq!(
+            log.archive_watermark(),
+            log.durable_lsn(),
+            "watermark never covers unforced bytes"
+        );
+        log.set_archive_watermark(a);
+        assert_eq!(
+            log.archive_watermark(),
+            log.durable_lsn(),
+            "watermark never regresses"
+        );
     }
 
     #[test]

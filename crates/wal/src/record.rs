@@ -624,6 +624,36 @@ impl LogPayload {
     const TAG_CKPT_BEGIN: u8 = 9;
     const TAG_CKPT_END: u8 = 10;
 
+    /// True for the records that form a page's **content chain** — the
+    /// ones whose redo (or inverse) reconstructs page state: updates,
+    /// CLRs, format records, and full-page images. These are what
+    /// single-page recovery replays (Figure 10) and page versioning
+    /// inverts (Section 5.1.4).
+    #[must_use]
+    pub fn is_page_content(&self) -> bool {
+        matches!(
+            self,
+            LogPayload::Update { .. }
+                | LogPayload::Clr { .. }
+                | LogPayload::PageFormat { .. }
+                | LogPayload::FullPageImage { .. }
+        )
+    }
+
+    /// True for every record recovery could need again once the WAL is
+    /// truncated: the content chain plus the page-recovery-index
+    /// maintenance trail (PriUpdate, BackupTaken). This is the
+    /// archiver's keep-filter; transaction-control and checkpoint
+    /// records stay WAL-only by the safe-truncation rule.
+    #[must_use]
+    pub fn is_page_relevant(&self) -> bool {
+        self.is_page_content()
+            || matches!(
+                self,
+                LogPayload::PriUpdate { .. } | LogPayload::BackupTaken { .. }
+            )
+    }
+
     /// Short name for diagnostics and experiment tables.
     #[must_use]
     pub fn kind_name(&self) -> &'static str {

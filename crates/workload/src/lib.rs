@@ -8,7 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rand::distributions::Distribution;
+use rand::distributions::{Distribution, Standard};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -182,7 +182,6 @@ struct ZipfSampler {
     alpha: f64,
     zetan: f64,
     eta: f64,
-    zeta2: f64,
 }
 
 impl ZipfSampler {
@@ -197,7 +196,6 @@ impl ZipfSampler {
             alpha,
             zetan,
             eta,
-            zeta2,
         }
     }
 
@@ -211,8 +209,16 @@ impl ZipfSampler {
     }
 
     fn sample(&mut self, rng: &mut StdRng) -> u64 {
-        let _ = self.zeta2;
-        let u: f64 = rng.gen();
+        self.sample_with(rng)
+    }
+
+    /// The Gray et al. draw, usable through any [`Rng`] — shared by the
+    /// inherent path and the [`Distribution`] impl. Sampling goes
+    /// through `Standard` directly (`Rng::gen` requires `Self: Sized`,
+    /// which a `?Sized` receiver cannot promise; `Standard` is exactly
+    /// what `gen::<f64>()` delegates to, so the stream is identical).
+    fn sample_with<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = Standard.sample(rng);
         let uz = u * self.zetan;
         if uz < 1.0 {
             return 0;
@@ -226,8 +232,8 @@ impl ZipfSampler {
 }
 
 impl Distribution<u64> for ZipfSampler {
-    fn sample<R: Rng + ?Sized>(&self, _rng: &mut R) -> u64 {
-        unimplemented!("use the inherent sample method")
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.sample_with(rng)
     }
 }
 
@@ -316,6 +322,33 @@ mod tests {
             .count();
         assert!((2500..3500).contains(&puts), "puts {puts}");
         assert!((700..1300).contains(&dels), "deletes {dels}");
+    }
+
+    #[test]
+    fn distribution_impl_matches_inherent_sampler() {
+        // The generic `Distribution` path (what combinators and generic
+        // samplers see) must behave exactly like the inherent method —
+        // it used to panic with `unimplemented!`.
+        fn draw_via_trait<D: Distribution<u64>>(d: &D, rng: &mut StdRng, n: usize) -> Vec<u64> {
+            (0..n).map(|_| d.sample(rng)).collect()
+        }
+        let sampler = ZipfSampler::new(1000, 0.99);
+        let via_trait = draw_via_trait(&sampler, &mut StdRng::seed_from_u64(9), 500);
+        let via_inherent: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut s = ZipfSampler::new(1000, 0.99);
+            // UFCS pins the *inherent* method (what `next_key_index`
+            // calls), not the trait impl being compared against.
+            (0..500)
+                .map(|_| ZipfSampler::sample(&mut s, &mut rng))
+                .collect()
+        };
+        assert_eq!(via_trait, via_inherent);
+        assert!(via_trait.iter().all(|&i| i < 1000));
+        assert!(
+            via_trait.iter().filter(|&&i| i < 10).count() > 100,
+            "skew reaches the trait path too"
+        );
     }
 
     #[test]
