@@ -19,6 +19,12 @@
 //! safe-truncation rule, truncation never passes the oldest active
 //! transaction's begin LSN or the last durable checkpoint, so every
 //! control record that still matters is always in the live WAL.
+//!
+//! The drain reads through [`LogManager::scan_records`], which streams
+//! chunks straight out of the log's segmented buffer; because the
+//! scanner snapshots the contiguously complete end at creation, a drain
+//! racing concurrent appenders never observes a half-copied record, and
+//! the watermark it publishes is always a record boundary.
 
 use std::sync::Arc;
 

@@ -939,6 +939,9 @@ impl BufferPool {
         // (1) WAL: no dirty page reaches the device before its log
         // records — force *through* the PageLSN, not the whole buffer
         // (later records, e.g. other pages' PRI updates, stay unforced).
+        // This joins the log's combined-force protocol, so a write-back
+        // racing user commits shares their group-commit flush instead of
+        // issuing its own.
         self.inner.log.force_through(page_lsn);
 
         // (2) Backup policy hook.

@@ -41,3 +41,20 @@ pub struct DbStats {
     /// Current simulated time.
     pub now: SimDuration,
 }
+
+impl DbStats {
+    /// Log flushes per committed user transaction — the group-commit
+    /// effectiveness ratio. 1.0 means every commit paid its own flush;
+    /// under concurrent committers the combined-force protocol drives it
+    /// below 1.0 (waiters absorb into a leader's flush). Write-backs and
+    /// checkpoints also force the log, so a single-threaded workload can
+    /// sit slightly above 1.0.
+    #[must_use]
+    pub fn forces_per_commit(&self) -> f64 {
+        if self.txn.user_commits == 0 {
+            0.0
+        } else {
+            self.log.forces as f64 / self.txn.user_commits as f64
+        }
+    }
+}

@@ -54,6 +54,29 @@ fn committed_updates_survive_crash() {
 }
 
 #[test]
+fn group_commit_telemetry_flows_through_db_stats() {
+    let db = Database::create(small_config()).unwrap();
+    for i in 0..50 {
+        let tx = db.begin();
+        db.insert(tx, &key(i), &val(i, 0)).unwrap();
+        db.commit(tx).unwrap();
+    }
+    let stats = db.stats();
+    assert_eq!(stats.txn.user_commits, 50);
+    // Single-threaded: no combined flushes, every commit pays one force
+    // (engine startup and write-backs may add a few more).
+    assert_eq!(stats.log.force_batches, 0);
+    assert_eq!(stats.log.force_waiters_absorbed, 0);
+    assert!(stats.forces_per_commit() >= 1.0);
+    assert!(stats.log.bytes_per_force() > 0.0);
+    // Flush accounting is exact: every durable byte was flushed once.
+    assert_eq!(
+        stats.log.bytes_forced,
+        db.log().durable_lsn().0 - spf::Lsn::FIRST.0
+    );
+}
+
+#[test]
 fn uncommitted_updates_vanish_on_crash() {
     let db = Database::create(small_config()).unwrap();
     load(&db, 100);

@@ -193,8 +193,10 @@ impl TxnManager {
         Ok(lsn)
     }
 
-    /// Commits `tx`. User commits force the log; system commits do not
-    /// (Figure 5 / Section 5.1.5). Returns the commit record's LSN.
+    /// Commits `tx`. User commits force the log through their commit
+    /// record — concurrent committers combine into one group-commit
+    /// flush — while system commits do not force at all (Figure 5 /
+    /// Section 5.1.5). Returns the commit record's LSN.
     pub fn commit(&self, tx: TxId) -> Result<Lsn, TxError> {
         let entry = {
             let mut active = self.inner.active.lock();
@@ -209,19 +211,24 @@ impl TxnManager {
                 system: entry.kind.is_system(),
             },
         });
-        let mut stats = self.inner.stats.lock();
         match entry.kind {
             TxKind::User => {
                 // Durability: the commit record (and everything before it)
-                // must reach stable storage before commit returns.
-                self.inner.log.force();
-                stats.user_commits += 1;
+                // must reach stable storage before commit returns. Forcing
+                // *through* the commit record joins the log's group-commit
+                // batch: concurrent committers share one flush, and records
+                // appended after this commit stay unforced. The force runs
+                // before the stats lock is taken — a committer absorbed as
+                // a group-commit waiter must not block the leader (or any
+                // peer) on it.
+                self.inner.log.force_through(lsn);
+                self.inner.stats.lock().user_commits += 1;
             }
             TxKind::System => {
                 // "System transactions do not require forcing the log
                 // buffer to stable storage." A later dependent user commit
                 // (or any force) carries this record out with it.
-                stats.system_commits += 1;
+                self.inner.stats.lock().system_commits += 1;
             }
         }
         Ok(lsn)
@@ -283,7 +290,9 @@ impl TxnManager {
             payload: LogPayload::TxAbort,
         });
         if entry.kind == TxKind::User {
-            self.inner.log.force();
+            // Like commit: force through the abort record via the
+            // group-commit path rather than flushing the whole buffer.
+            self.inner.log.force_through(abort_lsn);
         }
         let mut stats = self.inner.stats.lock();
         stats.aborts += 1;

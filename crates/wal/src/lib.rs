@@ -27,9 +27,19 @@
 //! recovery log is on stable storage" (Section 5) — the stable prefix here
 //! is exactly that assumption, while I/O costs of appends, forces, and
 //! recovery-time reads are charged to the shared simulated clock.
+//!
+//! Because every layer funnels through the log, its hot paths are built
+//! to scale with threads: appends reserve their byte range with one
+//! atomic fetch-add and copy into a segmented buffer without an
+//! exclusive lock, and forces combine through a group-commit protocol so
+//! N concurrent committers pay ~1 flush. See the [`manager`] module docs
+//! for the full scheme.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod group_force;
+mod segment;
 
 pub mod manager;
 pub mod record;

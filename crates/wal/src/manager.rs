@@ -7,6 +7,28 @@
 //! unforced tail — exactly the paper's model where a system transaction's
 //! unforced commit record can be lost without data loss (Section 5.1.5).
 //!
+//! # Concurrency scheme
+//!
+//! The log is the busiest shared structure in the system — the paper's
+//! machinery (per-page log chains, PRI maintenance records after every
+//! page write, forced commits) funnels every layer through it — so the
+//! hot paths are built to scale with threads instead of serializing:
+//!
+//! * **Appends** reserve their byte range with one atomic `fetch_add`
+//!   and copy the encoded record directly into a fixed-size segment of
+//!   the segmented log buffer (`segment.rs`) with no exclusive lock
+//!   held. Per-segment filled watermarks (release-ordered) tell the
+//!   force path how far the buffer is contiguously complete.
+//! * **Forces** go through a combined-force protocol
+//!   (`group_force.rs`): a committer publishes its target LSN and
+//!   either leads one flush for every target published so far (charging
+//!   the simulated clock one sequential write for the whole batch) or
+//!   waits for a leader whose flush covers it — group commit. N
+//!   concurrent committers pay ~1 force instead of N.
+//! * Statistics are plain atomics; only the rare control state
+//!   (checkpoint list, archive watermark, truncation) sits behind a
+//!   mutex, and no I/O or flush ever happens while it is held.
+//!
 //! Read paths serve the three consumers in the paper:
 //!
 //! * [`LogManager::read_record`] — one record by LSN, charged as a random
@@ -19,6 +41,7 @@
 //!   returning records newest-first (callers push them on a LIFO stack,
 //!   Figure 10).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -26,7 +49,9 @@ use parking_lot::Mutex;
 use spf_storage::PageId;
 use spf_util::{IoCostModel, IoKind, SimClock};
 
+use crate::group_force::{Forced, GroupForce};
 use crate::record::{LogPayload, LogRecord, Lsn, TxId};
+use crate::segment::SegmentedBuffer;
 
 /// Errors from log reads.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,8 +113,20 @@ pub struct LogStats {
     pub records_appended: u64,
     /// Bytes appended.
     pub bytes_appended: u64,
-    /// Explicit force (flush) calls that had bytes to flush.
+    /// Flushes of the log buffer to stable storage. Under group commit
+    /// one flush may satisfy many concurrent force requests, so with N
+    /// concurrent committers this stays below the commit count.
     pub forces: u64,
+    /// Flushes that covered more than the leading request alone — true
+    /// group-commit batches.
+    pub force_batches: u64,
+    /// Force requests satisfied by another thread's flush (they waited
+    /// instead of flushing themselves).
+    pub force_waiters_absorbed: u64,
+    /// Total bytes made durable by all flushes. `bytes_forced /
+    /// forces` — see [`LogStats::bytes_per_force`] — is the average
+    /// flush size; group commit drives it up under concurrency.
+    pub bytes_forced: u64,
     /// Records read through the random-access path.
     pub random_record_reads: u64,
     /// Bytes scanned through the sequential path.
@@ -127,26 +164,87 @@ impl LogStats {
             .position(|&n| n == kind_name)
             .map_or(0, |i| self.appends_by_kind[i])
     }
+
+    /// Average bytes made durable per flush (0 if nothing was flushed).
+    /// Group commit shows up as this growing with committer concurrency.
+    #[must_use]
+    pub fn bytes_per_force(&self) -> f64 {
+        if self.forces == 0 {
+            0.0
+        } else {
+            self.bytes_forced as f64 / self.forces as f64
+        }
+    }
 }
 
+/// Slot of `payload` in [`LogStats::KIND_NAMES`] order. A direct match
+/// (not a name scan): this runs on every append.
 fn kind_index(payload: &LogPayload) -> usize {
-    LogStats::KIND_NAMES
-        .iter()
-        .position(|&n| n == payload.kind_name())
-        .expect("every payload kind is in KIND_NAMES")
+    match payload {
+        LogPayload::TxBegin { .. } => 0,
+        LogPayload::TxCommit { .. } => 1,
+        LogPayload::TxAbort => 2,
+        LogPayload::Update { .. } => 3,
+        LogPayload::Clr { .. } => 4,
+        LogPayload::PageFormat { .. } => 5,
+        LogPayload::FullPageImage { .. } => 6,
+        LogPayload::PriUpdate { .. } => 7,
+        LogPayload::BackupTaken { .. } => 8,
+        LogPayload::CheckpointBegin { .. } => 9,
+        LogPayload::CheckpointEnd => 10,
+    }
 }
 
-struct Inner {
-    /// Virtual offset of `bytes[0]`: the truncation point. LSNs below it
-    /// no longer address the log — their records live in the log archive.
-    base: u64,
-    /// Log bytes for the virtual range `[base, base + bytes.len())`:
-    /// `[base, durable_len)` is stable storage, the rest is the volatile
-    /// log buffer.
-    bytes: Vec<u8>,
-    /// One past the last durable byte (a *virtual* offset, like an LSN).
-    durable_len: u64,
-    stats: LogStats,
+/// Lock-free statistics cells; snapshotted into [`LogStats`].
+///
+/// The append path pays exactly **one** counter update (its kind slot):
+/// `records_appended` is the sum of the kind slots, and `bytes_appended`
+/// is derived from the reservation counter plus the bytes crashes
+/// discarded (counted once per crash, like the old single-mutex log
+/// which also never un-counted discarded appends).
+#[derive(Default)]
+struct Counters {
+    /// Appended-then-crash-discarded bytes (still "appended" in the
+    /// cumulative sense `bytes_appended` has always had).
+    bytes_discarded: AtomicU64,
+    forces: AtomicU64,
+    force_batches: AtomicU64,
+    force_waiters_absorbed: AtomicU64,
+    bytes_forced: AtomicU64,
+    random_record_reads: AtomicU64,
+    bytes_scanned: AtomicU64,
+    truncations: AtomicU64,
+    bytes_truncated: AtomicU64,
+    appends_by_kind: [AtomicU64; 11],
+}
+
+impl Counters {
+    /// `live_appended` is the byte count currently in the virtual log
+    /// above the header (`reserved - FIRST`).
+    fn snapshot(&self, live_appended: u64) -> LogStats {
+        let mut appends_by_kind = [0u64; 11];
+        for (out, cell) in appends_by_kind.iter_mut().zip(&self.appends_by_kind) {
+            *out = cell.load(Ordering::Relaxed);
+        }
+        LogStats {
+            records_appended: appends_by_kind.iter().sum(),
+            bytes_appended: live_appended + self.bytes_discarded.load(Ordering::Relaxed),
+            forces: self.forces.load(Ordering::Relaxed),
+            force_batches: self.force_batches.load(Ordering::Relaxed),
+            force_waiters_absorbed: self.force_waiters_absorbed.load(Ordering::Relaxed),
+            bytes_forced: self.bytes_forced.load(Ordering::Relaxed),
+            random_record_reads: self.random_record_reads.load(Ordering::Relaxed),
+            bytes_scanned: self.bytes_scanned.load(Ordering::Relaxed),
+            truncations: self.truncations.load(Ordering::Relaxed),
+            bytes_truncated: self.bytes_truncated.load(Ordering::Relaxed),
+            appends_by_kind,
+        }
+    }
+}
+
+/// Rare, cold control state: everything appends and forces do *not*
+/// need on their hot paths.
+struct Control {
     /// LSNs of every checkpoint-begin record appended, ascending (the
     /// newest durable one plays the role of the "master record" a real
     /// system keeps in a known location). Truncation drops leading
@@ -160,26 +258,28 @@ struct Inner {
     archive_watermark: Lsn,
 }
 
-impl Inner {
-    /// One past the last appended byte (virtual offset).
-    fn end(&self) -> u64 {
-        self.base + self.bytes.len() as u64
-    }
-
-    /// The log bytes starting at virtual offset `lsn` (caller checks
-    /// `base <= lsn < end`).
-    fn slice_from(&self, lsn: u64) -> &[u8] {
-        &self.bytes[(lsn - self.base) as usize..]
-    }
-
+impl Control {
     /// Advances the durable-checkpoint cursor over newly durable entries.
-    fn advance_ckpt_cursor(&mut self) {
+    fn advance_ckpt_cursor(&mut self, durable: u64) {
         while self.durable_ckpts < self.checkpoints.len()
-            && self.checkpoints[self.durable_ckpts].0 < self.durable_len
+            && self.checkpoints[self.durable_ckpts].0 < durable
         {
             self.durable_ckpts += 1;
         }
     }
+}
+
+struct Inner {
+    /// The segmented log buffer holding the virtual range
+    /// `[base, reserved)`; `[base, durable)` mirrors stable storage, the
+    /// rest is the volatile log buffer.
+    buf: SegmentedBuffer,
+    /// One past the last durable byte (a *virtual* offset, like an LSN).
+    /// Written only by force leaders, release-ordered.
+    durable: AtomicU64,
+    force: GroupForce,
+    stats: Counters,
+    control: Mutex<Control>,
 }
 
 /// The write-ahead log.
@@ -187,18 +287,30 @@ impl Inner {
 /// Cheap to clone; all clones share the same log.
 #[derive(Clone)]
 pub struct LogManager {
-    inner: Arc<Mutex<Inner>>,
+    inner: Arc<Inner>,
     clock: Arc<SimClock>,
     cost: IoCostModel,
 }
 
 impl std::fmt::Debug for LogManager {
+    /// Never blocks: the hot-path fields are atomics, and the control
+    /// state is only peeked at with `try_lock` — formatting a shared log
+    /// from a panic handler or a log line while another thread holds the
+    /// control mutex must not deadlock.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock();
-        f.debug_struct("LogManager")
-            .field("len", &inner.bytes.len())
-            .field("durable_len", &inner.durable_len)
-            .finish()
+        let mut s = f.debug_struct("LogManager");
+        s.field("len", &self.total_bytes())
+            .field("durable_len", &self.inner.durable.load(Ordering::Relaxed));
+        match self.inner.control.try_lock() {
+            Some(control) => {
+                let n = control.checkpoints.len();
+                s.field("checkpoints", &n);
+            }
+            None => {
+                s.field("checkpoints", &"<locked>");
+            }
+        }
+        s.finish()
     }
 }
 
@@ -207,16 +319,18 @@ impl LogManager {
     #[must_use]
     pub fn new(clock: Arc<SimClock>, cost: IoCostModel) -> Self {
         Self {
-            inner: Arc::new(Mutex::new(Inner {
-                base: 0,
+            inner: Arc::new(Inner {
                 // Reserve the header region so LSN 0 is never a record.
-                bytes: vec![0u8; Lsn::FIRST.0 as usize],
-                durable_len: Lsn::FIRST.0,
-                stats: LogStats::default(),
-                checkpoints: Vec::new(),
-                durable_ckpts: 0,
-                archive_watermark: Lsn::NULL,
-            })),
+                buf: SegmentedBuffer::new(Lsn::FIRST.0),
+                durable: AtomicU64::new(Lsn::FIRST.0),
+                force: GroupForce::new(Lsn::FIRST.0),
+                stats: Counters::default(),
+                control: Mutex::new(Control {
+                    checkpoints: Vec::new(),
+                    durable_ckpts: 0,
+                    archive_watermark: Lsn::NULL,
+                }),
+            }),
             clock,
             cost,
         }
@@ -234,81 +348,121 @@ impl LogManager {
         &self.clock
     }
 
+    /// One past the last byte every completed append has fully written —
+    /// the read horizon. Equals [`end_lsn`](LogManager::end_lsn) except
+    /// while a concurrent append is mid-copy.
+    fn complete_end(&self) -> u64 {
+        self.inner
+            .buf
+            .complete_end(self.inner.durable.load(Ordering::Acquire))
+    }
+
     /// Appends `record` to the log buffer and returns its LSN.
     ///
     /// The record is *not* durable until [`force`](LogManager::force); the
     /// write-ahead discipline (force before page write, force on user
     /// commit) is the callers' responsibility, as in ARIES.
+    ///
+    /// Concurrent appends do not serialize: each reserves its byte range
+    /// with one atomic fetch-add and copies into the segmented buffer in
+    /// parallel. LSNs are therefore unique and densely packed — every
+    /// byte between two records belongs to exactly one record.
     pub fn append(&self, record: &LogRecord) -> Lsn {
         let encoded = record.encode();
-        let mut inner = self.inner.lock();
-        let lsn = Lsn(inner.end());
-        inner.bytes.extend_from_slice(&encoded);
-        inner.stats.records_appended += 1;
-        inner.stats.bytes_appended += encoded.len() as u64;
-        inner.stats.appends_by_kind[kind_index(&record.payload)] += 1;
+        let len = encoded.len() as u64;
+        let lsn = self.inner.buf.reserve(len);
+        self.inner.buf.write(lsn, &encoded);
+        self.inner.stats.appends_by_kind[kind_index(&record.payload)]
+            .fetch_add(1, Ordering::Relaxed);
         if matches!(record.payload, LogPayload::CheckpointBegin { .. }) {
-            inner.checkpoints.push(lsn);
+            // Sorted insert: with racing appenders the reservation order
+            // (LSN order) need not match arrival order here.
+            let mut control = self.inner.control.lock();
+            let pos = control.checkpoints.partition_point(|l| *l < Lsn(lsn));
+            control.checkpoints.insert(pos, Lsn(lsn));
         }
-        lsn
+        Lsn(lsn)
+    }
+
+    /// The combined-force protocol: publish `target`, then lead one
+    /// flush for the whole batch of published targets or wait for a
+    /// leader whose flush covers ours. The flush waits until the buffer
+    /// is contiguously complete through its goal (concurrent appenders
+    /// finish their short copies), charges the simulated clock one
+    /// sequential write for the batch, and advances the durable
+    /// boundary.
+    fn combined_force(&self, target: u64) -> Lsn {
+        let inner = &self.inner;
+        let outcome = inner.force.force_to(target, |from, to, batched| {
+            while inner.buf.complete_end(from) < to {
+                std::thread::yield_now();
+            }
+            self.clock.advance(
+                self.cost
+                    .cost(IoKind::SequentialWrite, (to - from) as usize),
+            );
+            inner.durable.store(to, Ordering::Release);
+            inner.control.lock().advance_ckpt_cursor(to);
+            inner.stats.forces.fetch_add(1, Ordering::Relaxed);
+            inner
+                .stats
+                .bytes_forced
+                .fetch_add(to - from, Ordering::Relaxed);
+            if batched {
+                inner.stats.force_batches.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        if matches!(outcome, Forced::Absorbed(_)) {
+            inner
+                .stats
+                .force_waiters_absorbed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Lsn(outcome.durable())
     }
 
     /// Forces the log buffer to stable storage. Returns the durable end
-    /// LSN. Charged as one sequential write of the flushed bytes.
+    /// LSN. Concurrent forces combine: the batch is charged as **one**
+    /// sequential write of all the flushed bytes.
     pub fn force(&self) -> Lsn {
-        let mut inner = self.inner.lock();
-        let pending = inner.end() - inner.durable_len;
-        if pending > 0 {
-            self.clock
-                .advance(self.cost.cost(IoKind::SequentialWrite, pending as usize));
-            inner.durable_len = inner.end();
-            inner.stats.forces += 1;
-            inner.advance_ckpt_cursor();
-        }
-        Lsn(inner.durable_len)
+        self.combined_force(self.inner.buf.end())
     }
 
     /// Forces the log **through** the record starting at `lsn` (the WAL
     /// rule before a page write: everything up to and including the
     /// record that set the page's PageLSN must be durable, but records
     /// appended later — e.g. other pages' PRI updates — need not be).
-    /// No-op if that prefix is already durable.
+    /// No-op if that prefix is already durable. User commits take this
+    /// path too, so commits and write-backs share the group-commit batch.
     pub fn force_through(&self, lsn: Lsn) -> Lsn {
-        let mut inner = self.inner.lock();
-        if !lsn.is_valid() || lsn.0 < inner.durable_len {
-            return Lsn(inner.durable_len);
+        let durable = self.inner.durable.load(Ordering::Acquire);
+        if !lsn.is_valid() || lsn.0 < durable {
+            return Lsn(durable);
         }
-        let end = if lsn.0 >= inner.end() {
+        let end = self.inner.buf.end();
+        let target = if lsn.0 >= end {
             // Beyond the appended log (defensive): force everything.
-            inner.end()
+            end
         } else {
-            match LogRecord::decode(inner.slice_from(lsn.0)) {
+            match self.decode_at(lsn.0, end) {
                 Ok((_, len)) => lsn.0 + len as u64,
                 // Not a record boundary (defensive): force everything.
-                Err(_) => inner.end(),
+                Err(_) => end,
             }
         };
-        let pending = end.saturating_sub(inner.durable_len);
-        if pending > 0 {
-            self.clock
-                .advance(self.cost.cost(IoKind::SequentialWrite, pending as usize));
-            inner.durable_len = end;
-            inner.stats.forces += 1;
-            inner.advance_ckpt_cursor();
-        }
-        Lsn(inner.durable_len)
+        self.combined_force(target)
     }
 
     /// One past the last durable byte.
     #[must_use]
     pub fn durable_lsn(&self) -> Lsn {
-        Lsn(self.inner.lock().durable_len)
+        Lsn(self.inner.durable.load(Ordering::Acquire))
     }
 
     /// One past the last appended byte (durable or not).
     #[must_use]
     pub fn end_lsn(&self) -> Lsn {
-        Lsn(self.inner.lock().end())
+        Lsn(self.inner.buf.end())
     }
 
     /// LSN of the most recent **durable** checkpoint-begin record, i.e.
@@ -318,31 +472,39 @@ impl LogManager {
     /// the durable boundary moves (on force), never scanned backward.
     #[must_use]
     pub fn last_checkpoint(&self) -> Lsn {
-        let mut inner = self.inner.lock();
-        // The cursor is maintained by the force paths; catching up here
-        // too keeps the method correct even if a future force path
-        // forgets (amortized O(1) — each entry is crossed once, ever).
-        inner.advance_ckpt_cursor();
-        match inner.durable_ckpts {
+        let durable = self.inner.durable.load(Ordering::Acquire);
+        let mut control = self.inner.control.lock();
+        // The cursor is maintained by the force path; catching up here
+        // too keeps the method correct even if a checkpoint append
+        // published its entry after a force passed it (amortized O(1) —
+        // each entry is crossed once, ever).
+        control.advance_ckpt_cursor(durable);
+        match control.durable_ckpts {
             0 => Lsn::NULL,
-            n => inner.checkpoints[n - 1],
+            n => control.checkpoints[n - 1],
         }
     }
 
     /// Simulates a system failure: the volatile log buffer is discarded.
-    /// Returns the durable end LSN the restarted system will see.
+    /// Returns the durable end LSN the restarted system will see. Must
+    /// not race appends or forces — the crash owns the simulated system.
     pub fn crash(&self) -> Lsn {
-        let mut inner = self.inner.lock();
-        let durable = inner.durable_len;
-        let keep = (durable - inner.base) as usize;
-        inner.bytes.truncate(keep);
+        let mut control = self.inner.control.lock();
+        let durable = self.inner.durable.load(Ordering::Acquire);
+        let discarded = self.inner.buf.end().saturating_sub(durable);
+        self.inner
+            .stats
+            .bytes_discarded
+            .fetch_add(discarded, Ordering::Relaxed);
+        self.inner.buf.crash_to(durable);
+        self.inner.force.crash_reset();
         // Checkpoint records in the lost buffer never happened; every
         // retained entry is durable, so the O(1) cursor covers them all.
-        inner.checkpoints.retain(|l| l.0 < durable);
-        inner.durable_ckpts = inner.checkpoints.len();
+        control.checkpoints.retain(|l| l.0 < durable);
+        control.durable_ckpts = control.checkpoints.len();
         // The archive only ever captured the durable prefix, so the
         // watermark survives a crash unchanged; clamp defensively.
-        inner.archive_watermark = inner.archive_watermark.min(Lsn(durable));
+        control.archive_watermark = control.archive_watermark.min(Lsn(durable));
         Lsn(durable)
     }
 
@@ -352,29 +514,32 @@ impl LogManager {
     /// must be fetched from the log archive.
     #[must_use]
     pub fn truncate_point(&self) -> Lsn {
-        Lsn(self.inner.lock().base)
+        Lsn(self.inner.buf.base())
     }
 
     /// Exclusive upper bound of the WAL prefix the log archive has
     /// durably captured. Set by the archiver after each drain.
     #[must_use]
     pub fn archive_watermark(&self) -> Lsn {
-        self.inner.lock().archive_watermark
+        self.inner.control.lock().archive_watermark
     }
 
     /// Records that the archive now holds every page-relevant record
     /// below `lsn`. Monotone; clamped to the durable end (the archiver
     /// only ever reads the durable prefix).
     pub fn set_archive_watermark(&self, lsn: Lsn) {
-        let mut inner = self.inner.lock();
-        let clamped = Lsn(lsn.0.min(inner.durable_len));
-        inner.archive_watermark = inner.archive_watermark.max(clamped);
+        let durable = self.inner.durable.load(Ordering::Acquire);
+        let mut control = self.inner.control.lock();
+        let clamped = Lsn(lsn.0.min(durable));
+        control.archive_watermark = control.archive_watermark.max(clamped);
     }
 
-    /// Discards log bytes below `lsn`, reclaiming their memory. The cut
-    /// is clamped to the archive watermark and the durable end — nothing
-    /// unarchived or unforced is ever dropped — and must land on a record
-    /// boundary. Returns the bytes reclaimed (0 if nothing to drop).
+    /// Discards log bytes below `lsn`, reclaiming their memory (whole
+    /// segments of the buffer are retired; the segment straddling the
+    /// cut is freed once a later cut passes its end). The cut is clamped
+    /// to the archive watermark and the durable end — nothing unarchived
+    /// or unforced is ever dropped — and must land on a record boundary.
+    /// Returns the bytes reclaimed (0 if nothing to drop).
     ///
     /// Callers are expected to pass a *safe* LSN, i.e. the minimum of the
     /// archive watermark, the last durable checkpoint, the buffer pool's
@@ -383,71 +548,117 @@ impl LogManager {
     /// exactly this); the clamps here only defend the log's own
     /// invariants.
     pub fn truncate_until(&self, lsn: Lsn) -> Result<u64, LogError> {
-        let mut inner = self.inner.lock();
-        if !inner.archive_watermark.is_valid() {
+        let mut control = self.inner.control.lock();
+        if !control.archive_watermark.is_valid() {
             return Ok(0); // nothing archived: nothing may be dropped
         }
-        let cut = lsn.0.min(inner.archive_watermark.0).min(inner.durable_len);
-        if cut <= inner.base {
+        let durable = self.inner.durable.load(Ordering::Acquire);
+        let cut = lsn.0.min(control.archive_watermark.0).min(durable);
+        let base = self.inner.buf.base();
+        if cut <= base {
             return Ok(0);
         }
         // The cut must be a record boundary (or the very end), or every
         // later read would land mid-record.
-        if cut < inner.end() {
-            LogRecord::decode(inner.slice_from(cut)).map_err(|e| LogError::Corrupt {
-                lsn: Lsn(cut),
-                detail: format!("truncation point is not a record boundary: {e}"),
+        let end = self.inner.buf.end();
+        if cut < end {
+            self.decode_at(cut, end).map_err(|e| {
+                let detail = match e {
+                    LogError::Corrupt { detail, .. } => detail,
+                    other => other.to_string(),
+                };
+                LogError::Corrupt {
+                    lsn: Lsn(cut),
+                    detail: format!("truncation point is not a record boundary: {detail}"),
+                }
             })?;
         }
-        let dropped = cut - inner.base;
-        let tail = inner.bytes.split_off(dropped as usize);
-        inner.bytes = tail; // the head's allocation is freed here
-        inner.base = cut;
+        let dropped = cut - base;
+        self.inner.buf.truncate_to(cut);
         // Checkpoints below the cut are unreadable now; all of them were
-        // durable (cut <= durable_len), so the cursor shifts with them.
-        inner.advance_ckpt_cursor();
-        let before = inner.checkpoints.len();
-        inner.checkpoints.retain(|l| l.0 >= cut);
-        inner.durable_ckpts -= before - inner.checkpoints.len();
-        inner.stats.truncations += 1;
-        inner.stats.bytes_truncated += dropped;
+        // durable (cut <= durable), so the cursor shifts with them.
+        control.advance_ckpt_cursor(durable);
+        let before = control.checkpoints.len();
+        control.checkpoints.retain(|l| l.0 >= cut);
+        control.durable_ckpts -= before - control.checkpoints.len();
+        self.inner.stats.truncations.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .bytes_truncated
+            .fetch_add(dropped, Ordering::Relaxed);
         Ok(dropped)
+    }
+
+    /// Decodes the complete record at virtual offset `off` (`off` must
+    /// be below `limit`, which in turn must be at or below the complete
+    /// end). One allocation-free probe read sized for typical records;
+    /// only a record longer than the probe pays a second, exactly-sized
+    /// heap copy.
+    fn decode_at(&self, off: u64, limit: u64) -> Result<(LogRecord, usize), LogError> {
+        /// Covers the fixed header plus the common update payloads.
+        const PROBE_BYTES: usize = 192;
+        let truncated = |base: u64| LogError::Truncated {
+            lsn: Lsn(off),
+            truncate_point: Lsn(base),
+        };
+        let corrupt = |detail: String| LogError::Corrupt {
+            lsn: Lsn(off),
+            detail,
+        };
+        let avail = ((limit - off).min(PROBE_BYTES as u64)) as usize;
+        let mut probe = [0u8; PROBE_BYTES];
+        self.inner
+            .buf
+            .copy_to(off, &mut probe[..avail])
+            .map_err(truncated)?;
+        if avail < 4 {
+            return Err(corrupt("truncated record header".into()));
+        }
+        let framed = LogRecord::framed_len(probe[..4].try_into().expect("4 bytes")) as u64;
+        let total = framed.min(limit - off);
+        if total <= avail as u64 {
+            return LogRecord::decode(&probe[..avail]).map_err(|e| corrupt(e.to_string()));
+        }
+        let bytes = self.inner.buf.copy(off, off + total).map_err(truncated)?;
+        LogRecord::decode(&bytes).map_err(|e| corrupt(e.to_string()))
     }
 
     /// Reads the single record at `lsn`, charged as one random I/O (the
     /// cost single-page recovery pays per chain hop).
     pub fn read_record(&self, lsn: Lsn) -> Result<LogRecord, LogError> {
-        let mut inner = self.inner.lock();
-        self.read_record_locked(&mut inner, lsn, true)
+        self.read_record_at(lsn, true)
     }
 
-    fn read_record_locked(
-        &self,
-        inner: &mut Inner,
-        lsn: Lsn,
-        charge: bool,
-    ) -> Result<LogRecord, LogError> {
-        let durable_end = Lsn(inner.end());
-        if !lsn.is_valid() || lsn.0 >= inner.end() || lsn < Lsn::FIRST {
-            return Err(LogError::OutOfBounds { lsn, durable_end });
+    fn read_record_at(&self, lsn: Lsn, charge: bool) -> Result<LogRecord, LogError> {
+        // Bounds come from the *reserved* end, not the complete
+        // watermark: a reader always holds an LSN whose append has
+        // returned (most importantly rollback re-reading its own chain),
+        // so its bytes are complete even while unrelated appends are
+        // still mid-copy below the watermark.
+        let end = self.inner.buf.end();
+        if !lsn.is_valid() || lsn.0 >= end || lsn < Lsn::FIRST {
+            return Err(LogError::OutOfBounds {
+                lsn,
+                durable_end: Lsn(end),
+            });
         }
-        if lsn.0 < inner.base {
+        let base = self.inner.buf.base();
+        if lsn.0 < base {
             return Err(LogError::Truncated {
                 lsn,
-                truncate_point: Lsn(inner.base),
+                truncate_point: Lsn(base),
             });
         }
         if charge {
             // One random log I/O; body length is bounded by a page or so,
             // charge a nominal 4 KiB transfer.
             self.clock.advance(self.cost.cost(IoKind::RandomRead, 4096));
-            inner.stats.random_record_reads += 1;
+            self.inner
+                .stats
+                .random_record_reads
+                .fetch_add(1, Ordering::Relaxed);
         }
-        let (record, _len) =
-            LogRecord::decode(inner.slice_from(lsn.0)).map_err(|e| LogError::Corrupt {
-                lsn,
-                detail: e.to_string(),
-            })?;
+        let (record, _len) = self.decode_at(lsn.0, end)?;
         Ok(record)
     }
 
@@ -464,33 +675,33 @@ impl LogManager {
     }
 
     /// Streaming forward scan from `start` (or the first record if
-    /// `start` is null) to the end of the log as appended at this call.
-    /// Records are decoded in chunks of at most
-    /// [`LogScanner::CHUNK_BYTES`] per log-lock acquisition, so analysis
-    /// and media-recovery passes over an arbitrarily long log hold only
-    /// one chunk in memory. Each chunk is charged as sequential transfer
-    /// of the bytes consumed.
+    /// `start` is null) to the end of the log as appended at this call
+    /// (more precisely: to the contiguously complete end, so a scan
+    /// racing appenders never observes a half-copied record). Records
+    /// are decoded in chunks of at most [`LogScanner::CHUNK_BYTES`] per
+    /// buffer access, so analysis and media-recovery passes over an
+    /// arbitrarily long log hold only one chunk in memory. Each chunk is
+    /// charged as sequential transfer of the bytes consumed.
     pub fn scan_records(&self, start: Lsn) -> Result<LogScanner, LogError> {
-        let inner = self.inner.lock();
+        let base = self.inner.buf.base();
         let pos = if start.is_valid() {
             start.0
         } else {
-            Lsn::FIRST.0.max(inner.base)
+            Lsn::FIRST.0.max(base)
         };
-        let end = inner.end();
+        let end = self.complete_end();
         if pos > end {
             return Err(LogError::OutOfBounds {
                 lsn: start,
                 durable_end: Lsn(end),
             });
         }
-        if pos < inner.base {
+        if pos < base {
             return Err(LogError::Truncated {
                 lsn: start,
-                truncate_point: Lsn(inner.base),
+                truncate_point: Lsn(base),
             });
         }
-        drop(inner);
         Ok(LogScanner {
             log: self.clone(),
             pos,
@@ -513,13 +724,10 @@ impl LogManager {
         start: Lsn,
         stop: Lsn,
     ) -> Result<Vec<(Lsn, LogRecord)>, LogError> {
-        let mut inner = self.inner.lock();
         let mut out = Vec::new();
         let mut lsn = start;
         while lsn.is_valid() && lsn > stop {
-            self.clock.advance(self.cost.cost(IoKind::RandomRead, 4096));
-            inner.stats.random_record_reads += 1;
-            let record = self.read_record_locked(&mut inner, lsn, false)?;
+            let record = self.read_record_at(lsn, true)?;
             let prev = record.prev_page_lsn;
             out.push((lsn, record));
             lsn = prev;
@@ -527,28 +735,33 @@ impl LogManager {
         Ok(out)
     }
 
-    /// Bytes currently **held** by the log (stable prefix plus buffer).
-    /// This is the live WAL footprint: truncation shrinks it even though
-    /// LSNs (virtual byte offsets) keep growing.
+    /// Bytes currently **addressed** by the log (stable prefix plus
+    /// buffer). This is the live WAL footprint: truncation shrinks it
+    /// even though LSNs (virtual byte offsets) keep growing.
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
-        self.inner.lock().bytes.len() as u64
+        self.inner.buf.end().saturating_sub(self.inner.buf.base())
     }
 
-    /// Snapshot of the log statistics.
+    /// Snapshot of the log statistics. Counters are read individually
+    /// (they are independent atomics), so a snapshot taken while other
+    /// threads run is internally consistent only counter-by-counter.
     #[must_use]
     pub fn stats(&self) -> LogStats {
-        self.inner.lock().stats
+        self.inner
+            .stats
+            .snapshot(self.inner.buf.end() - Lsn::FIRST.0)
     }
 }
 
 /// Streaming forward log scan (see [`LogManager::scan_records`]).
 ///
-/// The scanner snapshots the log end at creation: records appended while
-/// the scan runs (e.g. by inline single-page recovery during a redo
-/// pass) are not visited, matching the materializing
-/// [`LogManager::scan_from`]. The log lock is only held while refilling
-/// one chunk, never across the caller's per-record work.
+/// The scanner snapshots the log's complete end at creation: records
+/// appended while the scan runs (e.g. by inline single-page recovery
+/// during a redo pass) are not visited, matching the materializing
+/// [`LogManager::scan_from`]. No lock is held across the caller's
+/// per-record work; each refill copies one chunk out of the segmented
+/// buffer.
 pub struct LogScanner {
     log: LogManager,
     pos: u64,
@@ -561,35 +774,96 @@ pub struct LogScanner {
 
 impl LogScanner {
     /// Upper bound on bytes decoded (and buffered records' worth of log)
-    /// per lock acquisition.
+    /// per buffer access. A single record larger than this is fetched
+    /// exactly, on its own.
     pub const CHUNK_BYTES: usize = 64 * 1024;
 
-    /// Decodes the next chunk of records under the log lock.
+    /// Copies and decodes the next chunk of records.
     fn refill(&mut self) -> Result<(), LogError> {
-        let mut inner = self.log.inner.lock();
-        if self.pos < inner.base {
+        let buf = &self.log.inner.buf;
+        let truncated = |pos: u64, base: u64| LogError::Truncated {
+            lsn: Lsn(pos),
+            truncate_point: Lsn(base),
+        };
+        let base = buf.base();
+        if self.pos < base {
             // The log was truncated out from under a paused scan.
-            return Err(LogError::Truncated {
-                lsn: Lsn(self.pos),
-                truncate_point: Lsn(inner.base),
-            });
+            return Err(truncated(self.pos, base));
         }
-        let end = self.end.min(inner.end());
+        // A crash while the scan is paused may shrink the log.
+        let end = self.end.min(self.log.complete_end());
         let start = self.pos;
         if start >= end {
             return Ok(());
         }
-        let mut pos = start;
-        while pos < end && pos - start < Self::CHUNK_BYTES as u64 {
+        let chunk_end = end.min(start + Self::CHUNK_BYTES as u64);
+        let mut bytes = buf
+            .copy(start, chunk_end)
+            .map_err(|b| truncated(start, b))?;
+        let mut off = 0usize;
+        loop {
+            let rem = bytes.len() - off;
+            let pos = start + off as u64;
+            if rem < LogRecord::FRAME_BYTES {
+                // The chunk boundary sliced a header — or, when the
+                // chunk reaches the scan horizon, the horizon itself
+                // sits mid-record (the complete watermark has segment
+                // granularity, so it may cut a record that straddles a
+                // segment while its tail copy is still publishing). A
+                // header that would not even fit below the reserved end
+                // is corruption, not an append in flight.
+                if rem > 0 && pos + LogRecord::FRAME_BYTES as u64 > self.log.inner.buf.end() {
+                    return Err(LogError::Corrupt {
+                        lsn: Lsn(pos),
+                        detail: "truncated record header".into(),
+                    });
+                }
+                break;
+            }
+            let total =
+                LogRecord::framed_len(bytes[off..off + 4].try_into().expect("4 bytes")) as u64;
+            if total > rem as u64 {
+                if off > 0 {
+                    break; // next refill restarts at this record
+                }
+                if pos + total > end {
+                    // The record extends past the scan horizon: an
+                    // append still in flight ends the scan cleanly; a
+                    // length running past even the reserved end is
+                    // garbage.
+                    if pos + total > self.log.inner.buf.end() {
+                        return Err(LogError::Corrupt {
+                            lsn: Lsn(pos),
+                            detail: "record length runs past the log end".into(),
+                        });
+                    }
+                    break;
+                }
+                // A single record larger than the chunk: fetch exactly.
+                bytes = buf.copy(pos, pos + total).map_err(|b| truncated(pos, b))?;
+                let (record, len) = LogRecord::decode(&bytes).map_err(|e| LogError::Corrupt {
+                    lsn: Lsn(pos),
+                    detail: e.to_string(),
+                })?;
+                self.buffered.push_back((Lsn(pos), record));
+                off = len;
+                break;
+            }
             let (record, len) =
-                LogRecord::decode(inner.slice_from(pos)).map_err(|e| LogError::Corrupt {
+                LogRecord::decode(&bytes[off..]).map_err(|e| LogError::Corrupt {
                     lsn: Lsn(pos),
                     detail: e.to_string(),
                 })?;
             self.buffered.push_back((Lsn(pos), record));
-            pos += len as u64;
+            off += len;
+            if off >= Self::CHUNK_BYTES {
+                break;
+            }
         }
-        let scanned = (pos - start) as usize;
+        if off == 0 {
+            return Ok(()); // nothing fully visible yet: not an error
+        }
+        let scanned = off;
         // One logical sequential scan: the per-command overhead is paid
         // on the first chunk only, so the charged total matches what the
         // materializing `scan_from` charged for the same byte range.
@@ -599,8 +873,12 @@ impl LogScanner {
         }
         self.charged_overhead = true;
         self.log.clock.advance(cost);
-        inner.stats.bytes_scanned += scanned as u64;
-        self.pos = pos;
+        self.log
+            .inner
+            .stats
+            .bytes_scanned
+            .fetch_add(scanned as u64, Ordering::Relaxed);
+        self.pos = start + off as u64;
         Ok(())
     }
 }
@@ -803,6 +1081,36 @@ mod tests {
     }
 
     #[test]
+    fn oversized_records_span_segments_and_scan_back() {
+        let log = LogManager::for_testing();
+        // A checkpoint record much larger than one buffer segment
+        // (64 KiB): its copy must straddle several segments and the
+        // scanner's exact-fetch path must hand it back whole.
+        let dirty_pages: Vec<(PageId, Lsn)> = (0..6000).map(|i| (PageId(i), Lsn(i + 1))).collect();
+        let big = make_record(
+            TxId::NONE,
+            Lsn::NULL,
+            PageId::INVALID,
+            Lsn::NULL,
+            LogPayload::CheckpointBegin {
+                active_txns: vec![(TxId(1), Lsn(9))],
+                dirty_pages,
+            },
+        );
+        assert!(big.encode().len() > LogScanner::CHUNK_BYTES);
+        let before = log.append(&update_record(1, Lsn::NULL, 1, Lsn::NULL));
+        let lsn = log.append(&big);
+        let after = log.append(&update_record(1, Lsn::NULL, 2, Lsn::NULL));
+        assert_eq!(log.read_record(lsn).unwrap(), big);
+        let scanned = log.scan_from(Lsn::NULL).unwrap();
+        assert_eq!(
+            scanned.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            vec![before, lsn, after]
+        );
+        assert_eq!(scanned[1].1, big);
+    }
+
+    #[test]
     fn per_page_chain_walk() {
         let log = LogManager::for_testing();
         // Interleave updates to pages 1 and 2; chains must separate them.
@@ -921,6 +1229,39 @@ mod tests {
     }
 
     #[test]
+    fn force_through_past_the_appended_end_forces_everything() {
+        // Defensive branch 1: an LSN beyond the appended log must not
+        // panic or spin — the whole buffer is forced instead.
+        let log = LogManager::for_testing();
+        let a = log.append(&update_record(1, Lsn::NULL, 1, Lsn::NULL));
+        let b = log.append(&update_record(1, a, 2, Lsn::NULL));
+        let before = log.stats().forces;
+        let durable = log.force_through(Lsn(log.end_lsn().0 + 1_000));
+        assert_eq!(durable, log.end_lsn(), "everything becomes durable");
+        assert_eq!(log.stats().forces, before + 1);
+        assert!(log.durable_lsn() > b, "both records durable");
+        log.crash();
+        assert!(log.read_record(a).is_ok());
+        assert!(log.read_record(b).is_ok());
+    }
+
+    #[test]
+    fn force_through_mid_record_forces_everything() {
+        // Defensive branch 2: an LSN that is not a record boundary fails
+        // the checksummed decode and falls back to forcing everything —
+        // over-forcing is safe, under-forcing would break the WAL rule.
+        let log = LogManager::for_testing();
+        let a = log.append(&update_record(1, Lsn::NULL, 1, Lsn::NULL));
+        let b = log.append(&update_record(1, a, 2, Lsn::NULL));
+        let before = log.stats().forces;
+        let durable = log.force_through(Lsn(a.0 + 1));
+        assert_eq!(durable, log.end_lsn(), "fallback forces the whole buffer");
+        assert_eq!(log.stats().forces, before + 1);
+        log.crash();
+        assert!(log.read_record(b).is_ok(), "record past the bogus LSN kept");
+    }
+
+    #[test]
     fn stats_track_kinds_and_forces() {
         let log = LogManager::for_testing();
         log.append(&make_record(
@@ -950,6 +1291,91 @@ mod tests {
         assert_eq!(stats.appends_of("update"), 1);
         assert_eq!(stats.appends_of("pri-update"), 1);
         assert_eq!(stats.appends_of("clr"), 0);
+    }
+
+    #[test]
+    fn kind_index_matches_kind_names() {
+        use crate::record::{BackupRef, CompressedPageImage};
+        let image = CompressedPageImage {
+            page_size: 64,
+            heap_top: 64,
+            head: vec![],
+            tail: vec![],
+        };
+        let samples = [
+            LogPayload::TxBegin { system: false },
+            LogPayload::TxCommit { system: true },
+            LogPayload::TxAbort,
+            LogPayload::Update {
+                op: PageOp::SetGhost {
+                    pos: 0,
+                    old: false,
+                    new: true,
+                },
+            },
+            LogPayload::Clr {
+                op: PageOp::SetGhost {
+                    pos: 0,
+                    old: true,
+                    new: false,
+                },
+                undo_next: Lsn::NULL,
+            },
+            LogPayload::PageFormat {
+                image: image.clone(),
+            },
+            LogPayload::FullPageImage { image },
+            LogPayload::PriUpdate {
+                page_lsn: Lsn(1),
+                backup: BackupRef::None,
+            },
+            LogPayload::BackupTaken {
+                backup: BackupRef::None,
+                page_lsn: Lsn(1),
+            },
+            LogPayload::CheckpointBegin {
+                active_txns: vec![],
+                dirty_pages: vec![],
+            },
+            LogPayload::CheckpointEnd,
+        ];
+        for (i, payload) in samples.iter().enumerate() {
+            assert_eq!(kind_index(payload), i);
+            assert_eq!(LogStats::KIND_NAMES[i], payload.kind_name());
+        }
+    }
+
+    #[test]
+    fn group_commit_telemetry_reconciles_single_threaded() {
+        let log = LogManager::for_testing();
+        let mut prev = Lsn::NULL;
+        for i in 0..10 {
+            prev = log.append(&update_record(1, prev, i, Lsn::NULL));
+            log.force_through(prev);
+        }
+        let stats = log.stats();
+        assert_eq!(stats.forces, 10, "one flush per uncombined force");
+        assert_eq!(stats.force_batches, 0, "no concurrency, no batches");
+        assert_eq!(stats.force_waiters_absorbed, 0);
+        // Every durable byte was flushed exactly once.
+        assert_eq!(stats.bytes_forced, log.durable_lsn().0 - Lsn::FIRST.0);
+        assert!(stats.bytes_per_force() > 0.0);
+    }
+
+    #[test]
+    fn debug_format_never_blocks_on_the_control_lock() {
+        let log = LogManager::for_testing();
+        log.append(&update_record(1, Lsn::NULL, 1, Lsn::NULL));
+        assert!(format!("{log:?}").contains("checkpoints"));
+        // Formatting while another holder owns the control mutex must
+        // not deadlock: the Debug impl try-locks and reports <locked>.
+        let guard = log.inner.control.lock();
+        let rendered = format!("{log:?}");
+        drop(guard);
+        assert!(
+            rendered.contains("<locked>"),
+            "contended Debug must degrade, not block: {rendered}"
+        );
     }
 
     #[test]

@@ -817,22 +817,41 @@ pub struct LogRecord {
 }
 
 impl LogRecord {
+    /// Bytes of framing before the body: the `u32` body length and the
+    /// `u32` checksum.
+    pub const FRAME_BYTES: usize = 8;
+
+    /// Total encoded length of the record whose encoding starts with
+    /// `length_prefix` (its first four bytes). The framing rule lives
+    /// here, next to `encode`/`decode`, so the log's probe and scan
+    /// paths never re-derive it.
+    #[must_use]
+    pub fn framed_len(length_prefix: [u8; 4]) -> usize {
+        Self::FRAME_BYTES + u32::from_le_bytes(length_prefix) as usize
+    }
+
     /// Encodes the record, including length prefix and checksum.
+    ///
+    /// Single allocation: the header is emitted as placeholders, the
+    /// body appended behind it, and length + checksum patched in place —
+    /// this runs on every log append, so the extra buffer + copy of the
+    /// obvious two-pass encoding is worth avoiding.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut body = Encoder::with_capacity(64);
-        body.put_u64(self.tx_id.0);
-        body.put_u64(self.prev_tx_lsn.0);
-        body.put_u64(self.page_id.0);
-        body.put_u64(self.prev_page_lsn.0);
-        self.payload.encode(&mut body);
-        let body = body.finish();
-
-        let mut out = Encoder::with_capacity(body.len() + 8);
-        out.put_u32(body.len() as u32);
-        out.put_u32(spf_util::crc32c(&body));
-        out.put_bytes(&body);
-        out.finish()
+        let mut enc = Encoder::with_capacity(128);
+        enc.put_u32(0); // body length, patched below
+        enc.put_u32(0); // crc32c, patched below
+        enc.put_u64(self.tx_id.0);
+        enc.put_u64(self.prev_tx_lsn.0);
+        enc.put_u64(self.page_id.0);
+        enc.put_u64(self.prev_page_lsn.0);
+        self.payload.encode(&mut enc);
+        let mut out = enc.finish();
+        let body_len = (out.len() - 8) as u32;
+        let crc = spf_util::crc32c(&out[8..]);
+        out[..4].copy_from_slice(&body_len.to_le_bytes());
+        out[4..8].copy_from_slice(&crc.to_le_bytes());
+        out
     }
 
     /// Decodes one record from the start of `buf`, verifying its checksum.
@@ -862,7 +881,7 @@ impl LogRecord {
                 prev_page_lsn,
                 payload,
             },
-            8 + body_len,
+            Self::FRAME_BYTES + body_len,
         ))
     }
 }

@@ -114,6 +114,12 @@ struct RwState {
     /// Writers blocked waiting; new readers stand aside while > 0 so
     /// writers cannot starve.
     waiting_writers: usize,
+    /// Threads currently asleep on the condvar. Unlock paths only
+    /// notify when this is non-zero: `Condvar::notify_all` performs a
+    /// futex wake syscall even with nobody waiting, which would tax
+    /// every uncontended unlock on hot read paths (the WAL's segment
+    /// directory, the buffer pool's page latches).
+    sleepers: usize,
 }
 
 /// A reader-writer lock with `parking_lot`'s poison-free API, including
@@ -161,7 +167,9 @@ impl<T: ?Sized> RwLock<T> {
     fn raw_lock_shared(&self) {
         let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
         while s.writer || s.waiting_writers > 0 {
+            s.sleepers += 1;
             s = self.cond.wait(s).unwrap_or_else(|e| e.into_inner());
+            s.sleepers -= 1;
         }
         s.readers += 1;
     }
@@ -169,7 +177,7 @@ impl<T: ?Sized> RwLock<T> {
     fn raw_unlock_shared(&self) {
         let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
         s.readers -= 1;
-        if s.readers == 0 {
+        if s.readers == 0 && s.sleepers > 0 {
             self.cond.notify_all();
         }
     }
@@ -178,7 +186,9 @@ impl<T: ?Sized> RwLock<T> {
         let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
         s.waiting_writers += 1;
         while s.writer || s.readers > 0 {
+            s.sleepers += 1;
             s = self.cond.wait(s).unwrap_or_else(|e| e.into_inner());
+            s.sleepers -= 1;
         }
         s.waiting_writers -= 1;
         s.writer = true;
@@ -187,7 +197,9 @@ impl<T: ?Sized> RwLock<T> {
     fn raw_unlock_exclusive(&self) {
         let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
         s.writer = false;
-        self.cond.notify_all();
+        if s.sleepers > 0 {
+            self.cond.notify_all();
+        }
     }
 
     fn raw_try_lock_exclusive(&self) -> bool {
