@@ -32,7 +32,10 @@
 pub mod pool;
 pub mod traits;
 
-pub use pool::{BufferPool, BufferPoolConfig, PageReadGuard, PageWriteGuard, PoolStats};
+pub use pool::{
+    BufferPool, BufferPoolConfig, PageReadGuard, PageWriteGuard, PoolStats, RepairOutcome,
+    Residency,
+};
 pub use traits::{
     FetchError, NoopObserver, PageRecoverer, ReadValidator, RecoverOutcome, ValidationError,
     WriteObserver,

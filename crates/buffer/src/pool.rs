@@ -192,6 +192,44 @@ enum Slot {
     InFlight(Arc<InFlight>),
 }
 
+/// Where a page currently lives relative to the pool — the background
+/// scrubber's residency probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// Not resident, no read in flight: the device image is the only copy.
+    Absent,
+    /// Resident and clean: the pooled copy matches the last completed
+    /// write-back, so the device image can be verified independently.
+    Clean,
+    /// Resident and dirty: the pooled copy is newer than anything on the
+    /// device; the device image must not be judged (or "repaired") against
+    /// outside expectations.
+    Dirty,
+    /// Another thread is reading or repairing the page right now.
+    InFlight,
+}
+
+/// Outcome of a pool-cooperative background repair
+/// ([`BufferPool::repair_absent`]).
+#[derive(Debug)]
+pub enum RepairOutcome {
+    /// The recovered image was installed in a frame, dirty, so the next
+    /// write-back (or an explicit flush) persists it.
+    Repaired,
+    /// The page was resident when the repair started; nothing was
+    /// installed. `dirty` reports the frame's state at that moment.
+    Resident {
+        /// Whether the resident frame held unwritten changes.
+        dirty: bool,
+    },
+    /// Another thread's read or repair was in flight, or no frame could
+    /// be claimed; retry later.
+    Busy,
+    /// The supplied recovery closure failed; the in-flight marker was
+    /// removed and waiters were released.
+    Failed(String),
+}
+
 /// What [`BufferPool::try_evict`] did with a claimed candidate frame.
 enum EvictOutcome {
     /// The frame is unlinked and empty; the caller owns it.
@@ -610,19 +648,152 @@ impl BufferPool {
     }
 
     /// Drops `id` from the pool without writing it back (used when a page
-    /// is deallocated).
-    pub fn discard_page(&self, id: PageId) {
+    /// is deallocated, or to force the next access back through the
+    /// verified read path). Best-effort: a page pinned by a concurrent
+    /// reader (e.g. the background scrubber's transient inspection pin)
+    /// is left in place and `false` is returned — callers that replace
+    /// the image afterwards go through [`put_new`](BufferPool::put_new),
+    /// which handles resident frames under the page latch.
+    pub fn discard_page(&self, id: PageId) -> bool {
         let mut shard = self.inner.shard(id).lock();
         if let Some(Slot::Resident(idx)) = shard.table.get(&id) {
             let frame = &self.inner.frames[*idx];
-            assert_eq!(
-                frame.pins.load(Ordering::Acquire),
-                0,
-                "discarding pinned page"
-            );
+            if frame.pins.load(Ordering::Acquire) != 0 {
+                return false;
+            }
             *frame.meta.lock() = FrameMeta::EMPTY;
             frame.ref_bit.store(false, Ordering::Relaxed);
             shard.table.remove(&id);
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Scrubber cooperation (residency probe, verify-in-place, repair)
+    // ------------------------------------------------------------------
+
+    /// Reports where `id` currently lives relative to the pool, without
+    /// fetching it. One shard-lock plus (when resident) one frame-meta
+    /// acquisition; no I/O, no pin.
+    #[must_use]
+    pub fn probe(&self, id: PageId) -> Residency {
+        let shard = self.inner.shard(id).lock();
+        match shard.table.get(&id) {
+            Some(Slot::Resident(idx)) => {
+                let meta = self.inner.frames[*idx].meta.lock();
+                if meta.dirty {
+                    Residency::Dirty
+                } else {
+                    Residency::Clean
+                }
+            }
+            Some(Slot::InFlight(_)) => Residency::InFlight,
+            None => Residency::Absent,
+        }
+    }
+
+    /// Runs `f` over the resident image of `id` under its read latch —
+    /// the scrubber's verify-in-place hook for dirty resident pages.
+    /// Never touches the device: returns `None` when the page is not
+    /// resident. The frame is pinned for the duration of `f`. Does not
+    /// count as a fetch in [`PoolStats`].
+    pub fn inspect_resident<T>(&self, id: PageId, f: impl FnOnce(&Page) -> T) -> Option<T> {
+        let (frame_idx, page_arc) = {
+            let shard = self.inner.shard(id).lock();
+            match shard.table.get(&id) {
+                Some(Slot::Resident(idx)) => {
+                    let idx = *idx;
+                    let frame = &self.inner.frames[idx];
+                    frame.pins.fetch_add(1, Ordering::Acquire);
+                    (idx, Arc::clone(&frame.page))
+                }
+                _ => return None,
+            }
+        };
+        let _pin = Pin {
+            pool: Arc::clone(&self.inner),
+            frame_idx,
+        };
+        let guard = page_arc.read();
+        Some(f(&guard))
+    }
+
+    /// Drops `id` from the pool if it is resident, clean, and unpinned —
+    /// all checked atomically under the shard lock, so this never races a
+    /// reader (fetches pin under the same lock) and never loses updates
+    /// (dirty frames are refused). Returns whether the page was dropped.
+    ///
+    /// The scrubber uses this to make a clean resident page *absent* so
+    /// that [`repair_absent`](BufferPool::repair_absent) can rebuild its
+    /// failed device image.
+    pub fn try_discard_clean(&self, id: PageId) -> bool {
+        let mut shard = self.inner.shard(id).lock();
+        let Some(Slot::Resident(idx)) = shard.table.get(&id) else {
+            return false;
+        };
+        let frame = &self.inner.frames[*idx];
+        let mut meta = frame.meta.lock();
+        if meta.dirty || frame.pins.load(Ordering::Acquire) != 0 {
+            return false;
+        }
+        *meta = FrameMeta::EMPTY;
+        frame.ref_bit.store(false, Ordering::Relaxed);
+        drop(meta);
+        shard.table.remove(&id);
+        true
+    }
+
+    /// Background repair of a page that is (still) absent from the pool:
+    /// installs the same in-flight marker a miss leader would, so
+    /// concurrent foreground fetches of `id` coalesce behind the repair
+    /// and resolve as hits on the recovered image — they wait briefly
+    /// instead of racing a duplicate detection/recovery. If the page
+    /// turns out to be resident or in flight, nothing happens and the
+    /// caller is told why.
+    ///
+    /// On success the recovered image is published **dirty** (recovery
+    /// LSN = its PageLSN), so the WAL-ordered write-back path persists
+    /// it; callers wanting the device fixed immediately follow up with
+    /// [`flush_page`](BufferPool::flush_page).
+    pub fn repair_absent(
+        &self,
+        id: PageId,
+        recover: impl FnOnce() -> Result<Page, String>,
+    ) -> RepairOutcome {
+        {
+            let mut shard = self.inner.shard(id).lock();
+            match shard.table.get(&id) {
+                Some(Slot::Resident(idx)) => {
+                    let meta = self.inner.frames[*idx].meta.lock();
+                    return RepairOutcome::Resident { dirty: meta.dirty };
+                }
+                Some(Slot::InFlight(_)) => return RepairOutcome::Busy,
+                None => {
+                    shard
+                        .table
+                        .insert(id, Slot::InFlight(Arc::new(InFlight::new())));
+                }
+            }
+        }
+        // We own the marker; all I/O below runs with no shard lock held.
+        let staged = match recover() {
+            Ok(page) => {
+                let rec_lsn = Lsn(page.page_lsn());
+                self.claim_victim().map(|idx| (idx, page, true, rec_lsn))
+            }
+            Err(reason) => Err(FetchError::MediaFailure { id, reason }),
+        };
+        match self.publish_frame(id, staged) {
+            Ok((frame_idx, _)) => {
+                // publish_frame pinned the frame on our behalf; release it.
+                self.inner.frames[frame_idx]
+                    .pins
+                    .fetch_sub(1, Ordering::Release);
+                RepairOutcome::Repaired
+            }
+            Err(FetchError::NoFreeFrames) => RepairOutcome::Busy,
+            Err(FetchError::MediaFailure { reason, .. }) => RepairOutcome::Failed(reason),
+            Err(e) => RepairOutcome::Failed(e.to_string()),
         }
     }
 
@@ -1290,6 +1461,119 @@ mod tests {
         assert_eq!(pool.dirty_pages(), vec![(PageId(7), Lsn(42))]);
         pool.flush_all().unwrap();
         assert_eq!(Page::from_bytes(dev.raw_image(PageId(7))).page_lsn(), 42);
+    }
+
+    #[test]
+    fn probe_reports_residency_and_dirtiness() {
+        let (pool, _dev, _log) = setup(4, 8);
+        assert_eq!(pool.probe(PageId(1)), Residency::Absent);
+        {
+            let _g = pool.fetch(PageId(1)).unwrap();
+        }
+        assert_eq!(pool.probe(PageId(1)), Residency::Clean);
+        dirty_page(&pool, PageId(1), Lsn(10));
+        assert_eq!(pool.probe(PageId(1)), Residency::Dirty);
+        pool.flush_page(PageId(1)).unwrap();
+        assert_eq!(pool.probe(PageId(1)), Residency::Clean);
+    }
+
+    #[test]
+    fn inspect_resident_is_hit_only() {
+        let (pool, _dev, _log) = setup(4, 8);
+        assert!(
+            pool.inspect_resident(PageId(2), |_| ()).is_none(),
+            "must not fetch from the device"
+        );
+        assert_eq!(pool.stats().misses, 0);
+        {
+            let _g = pool.fetch(PageId(2)).unwrap();
+        }
+        let id = pool.inspect_resident(PageId(2), |p| p.page_id()).unwrap();
+        assert_eq!(id, PageId(2));
+        // Not counted as a fetch.
+        assert_eq!(pool.stats().hits, 0);
+    }
+
+    #[test]
+    fn try_discard_clean_refuses_dirty_and_pinned() {
+        let (pool, _dev, _log) = setup(4, 8);
+        dirty_page(&pool, PageId(3), Lsn(5));
+        assert!(!pool.try_discard_clean(PageId(3)), "dirty must be refused");
+        pool.flush_page(PageId(3)).unwrap();
+        {
+            let _g = pool.fetch(PageId(3)).unwrap();
+            assert!(!pool.try_discard_clean(PageId(3)), "pinned must be refused");
+        }
+        assert!(pool.try_discard_clean(PageId(3)));
+        assert!(!pool.contains(PageId(3)));
+        assert!(!pool.try_discard_clean(PageId(3)), "already absent");
+    }
+
+    #[test]
+    fn repair_absent_installs_dirty_image_or_reports_state() {
+        let (pool, dev, _log) = setup(4, 8);
+
+        // Resident clean / dirty are reported, the closure never runs.
+        {
+            let _g = pool.fetch(PageId(5)).unwrap();
+        }
+        match pool.repair_absent(PageId(5), || panic!("must not recover a resident page")) {
+            RepairOutcome::Resident { dirty: false } => {}
+            other => panic!("expected clean-resident report, got {other:?}"),
+        }
+        dirty_page(&pool, PageId(5), Lsn(7));
+        match pool.repair_absent(PageId(5), || panic!("must not recover a resident page")) {
+            RepairOutcome::Resident { dirty: true } => {}
+            other => panic!("expected dirty-resident report, got {other:?}"),
+        }
+
+        // Absent: the recovered image is installed dirty and flushable.
+        let mut good = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(6), PageType::BTreeLeaf);
+        good.set_page_lsn(123);
+        match pool.repair_absent(PageId(6), move || Ok(good)) {
+            RepairOutcome::Repaired => {}
+            other => panic!("expected repair, got {other:?}"),
+        }
+        assert_eq!(pool.probe(PageId(6)), Residency::Dirty);
+        assert!(pool.dirty_pages().contains(&(PageId(6), Lsn(123))));
+        pool.flush_page(PageId(6)).unwrap();
+        assert_eq!(Page::from_bytes(dev.raw_image(PageId(6))).page_lsn(), 123);
+
+        // Failure removes the marker; the page stays absent and fetchable.
+        match pool.repair_absent(PageId(7), || Err("no backup".to_string())) {
+            RepairOutcome::Failed(reason) => assert_eq!(reason, "no backup"),
+            other => panic!("expected failure, got {other:?}"),
+        }
+        assert_eq!(pool.probe(PageId(7)), Residency::Absent);
+        assert!(pool.fetch(PageId(7)).is_ok());
+    }
+
+    #[test]
+    fn fetch_coalesces_behind_repair_absent() {
+        let (pool, _dev, _log) = setup(4, 8);
+        let mut good = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(4), PageType::BTreeLeaf);
+        good.set_page_lsn(55);
+        let started = Arc::new(std::sync::Barrier::new(2));
+        let started2 = Arc::clone(&started);
+        let pool2 = pool.clone();
+        let reader = std::thread::spawn(move || {
+            started2.wait();
+            // This fetch starts while the repair holds the in-flight
+            // marker; it must wait and then see the recovered image.
+            let g = pool2.fetch(PageId(4)).unwrap();
+            g.page_lsn()
+        });
+        match pool.repair_absent(PageId(4), move || {
+            started.wait();
+            // Give the reader a moment to reach the marker.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            Ok(good)
+        }) {
+            RepairOutcome::Repaired => {}
+            other => panic!("expected repair, got {other:?}"),
+        }
+        assert_eq!(reader.join().unwrap(), 55);
+        assert_eq!(pool.stats().misses, 0, "the waiter must not re-read");
     }
 
     #[test]

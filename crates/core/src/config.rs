@@ -2,6 +2,7 @@
 
 use spf_btree::VerifyMode;
 use spf_recovery::BackupPolicy;
+use spf_scrub::ScrubConfig;
 use spf_util::IoCostModel;
 
 /// Log-archive configuration: whether the engine keeps a partitioned
@@ -75,6 +76,11 @@ pub struct DatabaseConfig {
     /// be truncated while keeping all pre-truncation page history
     /// recoverable (see `spf-archive`).
     pub archive: ArchiveConfig,
+    /// The online page scrubber: background detection sweeps over cold
+    /// pages, with queue-driven self-healing repair (see `spf-scrub`).
+    /// `Database::scrub_now` runs one sweep; `Database::start_scrubber`
+    /// runs sweeps continuously on a background thread.
+    pub scrub: ScrubConfig,
 }
 
 impl Default for DatabaseConfig {
@@ -90,6 +96,7 @@ impl Default for DatabaseConfig {
             verify_mode: VerifyMode::Continuous,
             single_device_node: false,
             archive: ArchiveConfig::default_on(),
+            scrub: ScrubConfig::default_on(),
         }
     }
 }
@@ -104,6 +111,7 @@ impl DatabaseConfig {
             backup_policy: BackupPolicy::disabled(),
             verify_mode: VerifyMode::Off,
             archive: ArchiveConfig::disabled(),
+            scrub: ScrubConfig::disabled(),
             ..Self::default()
         }
     }

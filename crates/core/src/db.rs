@@ -12,6 +12,7 @@ use spf_recovery::{
     BackupStore, FailureClass, MediaRecovery, MediaReport, PageRecoveryIndex, PriMaintainer,
     RestartReport, SinglePageRecovery, SystemRecovery,
 };
+use spf_scrub::{ScanExtent, ScrubCycleReport, Scrubber};
 use spf_storage::{FaultSpec, MemDevice, Page, PageId, PageType, StorageDevice};
 use spf_txn::{LockTable, TxKind, TxnManager};
 use spf_util::SimClock;
@@ -40,6 +41,19 @@ pub struct Database {
     archiver: Option<LogArchiver>,
     tree: FosterBTree,
     last_full_backup: Mutex<Option<(PageId, Lsn)>>,
+    scrubber: Option<Arc<Scrubber>>,
+    scrub_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// Adapts the B-tree allocator's high-water mark as the scrubber's scan
+/// extent: the sweep covers exactly the pages ever allocated, so
+/// never-formatted (all-zero) tail pages don't read as corrupt.
+struct AllocExtent(Arc<BumpAllocator>);
+
+impl ScanExtent for AllocExtent {
+    fn allocated_pages(&self) -> u64 {
+        self.0.high_water()
+    }
 }
 
 impl std::fmt::Debug for Database {
@@ -122,6 +136,18 @@ impl Database {
             None
         };
 
+        let scrubber = config.scrub.enabled.then(|| {
+            Arc::new(Scrubber::new(
+                config.scrub,
+                config.single_device_node,
+                device.clone(),
+                pool.clone(),
+                Arc::clone(&pri),
+                spr.clone().map(|s| s as _),
+                Arc::new(AllocExtent(Arc::clone(&alloc))),
+            ))
+        });
+
         let root = alloc.allocate().expect("device has capacity");
         debug_assert_eq!(root, ROOT);
         let tree = FosterBTree::create(
@@ -152,6 +178,8 @@ impl Database {
             archiver,
             tree,
             last_full_backup: Mutex::new(None),
+            scrubber,
+            scrub_thread: Mutex::new(None),
         })
     }
 
@@ -332,8 +360,15 @@ impl Database {
 
     /// Simulates a system failure: the buffer pool and the unforced log
     /// tail vanish; locks and the active-transaction table are volatile.
-    /// Call [`restart`](Database::restart) to recover.
+    /// Call [`restart`](Database::restart) to recover. A running
+    /// background scrubber is a server thread and "dies in the crash"
+    /// too (it is stopped; a recovered server calls
+    /// [`start_scrubber`](Database::start_scrubber) again) — it must
+    /// not keep sweeping against the pre-crash page recovery index
+    /// while restart rebuilds it, and its transient pins would trip the
+    /// pool's discard assertions.
     pub fn crash(&self) -> Lsn {
+        self.stop_scrubber();
         self.pool.discard_all();
         self.locks.clear();
         self.maintainer.on_crash();
@@ -408,6 +443,9 @@ impl Database {
             .last_full_backup
             .lock()
             .ok_or_else(|| DbError::RecoveryFailed("no full backup exists".to_string()))?;
+        // A media failure takes the background scrubber down with it
+        // (and its transient pins would trip the discard below).
+        self.stop_scrubber();
         self.pool.discard_all();
         self.locks.clear();
         let mut media = MediaRecovery::new(self.log.clone());
@@ -511,6 +549,75 @@ impl Database {
     }
 
     // ------------------------------------------------------------------
+    // Online scrubbing (spf-scrub)
+    // ------------------------------------------------------------------
+
+    /// One synchronous scrub sweep over every allocated page: runs the
+    /// full detector ladder, drains the repair queue, and returns what
+    /// was found and fixed. Errors if scrubbing is disabled.
+    pub fn scrub_now(&self) -> Result<ScrubCycleReport, DbError> {
+        let scrubber = self
+            .scrubber
+            .as_ref()
+            .ok_or_else(|| DbError::RecoveryFailed("scrubbing is disabled".to_string()))?;
+        // `run_cycle` ignores the stop flag, so an explicit sweep always
+        // completes — and never clears a stop the background driver may
+        // be waiting on.
+        Ok(scrubber.run_cycle())
+    }
+
+    /// Starts the background scrubber thread: continuous rate-limited
+    /// sweep cycles concurrent with foreground transactions. Returns
+    /// `false` if scrubbing is disabled or the thread is already
+    /// running.
+    pub fn start_scrubber(&self) -> bool {
+        let Some(scrubber) = &self.scrubber else {
+            return false;
+        };
+        let mut slot = self.scrub_thread.lock();
+        if slot.is_some() {
+            return false;
+        }
+        scrubber.clear_stop();
+        let scrubber = Arc::clone(scrubber);
+        *slot = Some(std::thread::spawn(move || {
+            while !scrubber.stop_requested() {
+                scrubber.run_cycle_interruptible();
+                // Wall-clock pacing between sweeps: a small extent must
+                // not turn the daemon into a hot spin stealing a core
+                // from foreground transactions.
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            }
+        }));
+        true
+    }
+
+    /// Stops the background scrubber and waits for it to finish its
+    /// current page. Idempotent; returns whether a thread was actually
+    /// stopped. The slot lock is held across signal *and* join so a
+    /// concurrent [`start_scrubber`](Database::start_scrubber) cannot
+    /// clear the stop flag before the old thread observes it (which
+    /// would leave that thread running forever and this join hung).
+    pub fn stop_scrubber(&self) -> bool {
+        let mut slot = self.scrub_thread.lock();
+        let Some(handle) = slot.take() else {
+            return false;
+        };
+        if let Some(scrubber) = &self.scrubber {
+            scrubber.request_stop();
+        }
+        let _ = handle.join();
+        true
+    }
+
+    /// The scrubber, when configured (benches and experiments reach its
+    /// statistics and escalation report through this).
+    #[must_use]
+    pub fn scrubber(&self) -> Option<&Arc<Scrubber>> {
+        self.scrubber.as_ref()
+    }
+
+    // ------------------------------------------------------------------
     // Failure injection and inspection (experiment surface)
     // ------------------------------------------------------------------
 
@@ -525,10 +632,16 @@ impl Database {
     }
 
     /// Flushes and drops every cached page, so the next access re-reads
-    /// the device (and re-runs Figure 8's verification).
+    /// the device (and re-runs Figure 8's verification). A running
+    /// background scrubber is paused for the discard (its transient
+    /// pins would trip the pool's assertions) and resumed after.
     pub fn drop_cache(&self) {
+        let was_running = self.stop_scrubber();
         let _ = self.pool.flush_all();
         self.pool.discard_all();
+        if was_running {
+            self.start_scrubber();
+        }
     }
 
     /// Relocates `page` to a fresh device location and retires the old
@@ -651,10 +764,23 @@ impl Database {
             device: self.device.stats(),
             backup_device: self.backups.device().stats(),
             archive: self.archive.as_ref().map(|a| a.stats()).unwrap_or_default(),
+            scrub: self
+                .scrubber
+                .as_ref()
+                .map(|s| s.stats())
+                .unwrap_or_default(),
             pri_updates_logged: m.pri_updates_logged,
             policy_backups: m.policy_backups,
             stale_detections: m.stale_detections,
             now: self.clock.now(),
         }
+    }
+}
+
+impl Drop for Database {
+    /// The background scrubber thread borrows the engine's shared
+    /// substrate; stop it before the façade goes away.
+    fn drop(&mut self) {
+        self.stop_scrubber();
     }
 }

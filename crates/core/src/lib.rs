@@ -56,6 +56,9 @@ pub use stats::DbStats;
 pub use spf_archive::{ArchiveReport, ArchiveStats, MergePolicy};
 pub use spf_btree::{KvPairs, VerifyMode};
 pub use spf_recovery::{BackupPolicy, FailureClass};
+pub use spf_scrub::{
+    DetectorClass, ScrubConfig, ScrubCycleReport, ScrubEscalation, ScrubFinding, ScrubStats,
+};
 pub use spf_storage::{CorruptionMode, FaultSpec, PageId};
 pub use spf_util::{IoCostModel, SimDuration};
 pub use spf_wal::{Lsn, TxId};

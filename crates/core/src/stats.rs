@@ -4,6 +4,7 @@ use spf_archive::ArchiveStats;
 use spf_btree::TreeStats;
 use spf_buffer::PoolStats;
 use spf_recovery::{BackupStats, PriStats, SpfStats};
+use spf_scrub::ScrubStats;
 use spf_storage::DeviceStats;
 use spf_txn::TxnStats;
 use spf_util::SimDuration;
@@ -32,6 +33,9 @@ pub struct DbStats {
     pub backup_device: DeviceStats,
     /// Log-archive activity (runs, merges, queries, live footprint).
     pub archive: ArchiveStats,
+    /// Online-scrubber activity: sweeps, findings per detector class,
+    /// repairs, and recorded Figure 1 escalations of failed repairs.
+    pub scrub: ScrubStats,
     /// PriUpdate records logged / policy backups / stale detections.
     pub pri_updates_logged: u64,
     /// Policy-triggered page backups.

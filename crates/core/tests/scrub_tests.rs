@@ -1,0 +1,442 @@
+//! The online scrubber end to end: detector attribution across the full
+//! fault taxonomy, twin-engine zero-data-loss oracles, background
+//! self-healing under a fault storm concurrent with foreground traffic,
+//! and Figure 1 escalation when repair is impossible.
+
+use spf::{
+    CorruptionMode, Database, DatabaseConfig, DetectorClass, FailureClass, FaultSpec, PageId,
+    ScrubConfig, SimDuration,
+};
+use spf_workload::{FaultStorm, FaultStormConfig, KeyDistribution, Op, OpMix, StormEvent};
+
+fn key(i: u64) -> Vec<u8> {
+    format!("key-{i:08}").into_bytes()
+}
+
+fn val(i: u64, gen: u64) -> Vec<u8> {
+    format!("value-{i:08}-gen{gen}").into_bytes()
+}
+
+fn config() -> DatabaseConfig {
+    DatabaseConfig {
+        data_pages: 1024,
+        pool_frames: 128,
+        scrub: ScrubConfig {
+            enabled: true,
+            pages_per_tick: 32,
+            tick_idle: SimDuration::from_micros(100),
+        },
+        ..DatabaseConfig::default()
+    }
+}
+
+fn load(db: &Database, n: u64) {
+    let tx = db.begin();
+    for i in 0..n {
+        db.insert(tx, &key(i), &val(i, 0)).unwrap();
+    }
+    db.commit(tx).unwrap();
+}
+
+fn update_all(db: &Database, n: u64, gen: u64) {
+    let tx = db.begin();
+    for i in 0..n {
+        db.put(tx, &key(i), &val(i, gen)).unwrap();
+    }
+    db.commit(tx).unwrap();
+}
+
+const KEYS: u64 = 1500;
+
+/// Arms each fault of the `fault.rs` taxonomy on a cold page, runs one
+/// scrub cycle, and asserts (a) the finding is attributed to the
+/// detector class the fault table documents, (b) the fault is repaired,
+/// and (c) the repaired engine's contents are byte-identical to a
+/// fault-free twin fed the exact same operations.
+#[test]
+fn every_taxonomy_fault_is_caught_by_its_documented_detector() {
+    let cases: Vec<(&str, FaultSpec, bool)> = vec![
+        (
+            "bit-rot",
+            FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }),
+            false,
+        ),
+        (
+            "zero-page",
+            FaultSpec::SilentCorruption(CorruptionMode::ZeroPage),
+            false,
+        ),
+        (
+            "garbage-header",
+            FaultSpec::SilentCorruption(CorruptionMode::GarbageHeader),
+            false,
+        ),
+        (
+            "stale-version",
+            FaultSpec::SilentCorruption(CorruptionMode::StaleVersion),
+            true, // lost writes exist only if writes follow the arming
+        ),
+        // Misdirected target filled in per-engine below.
+        (
+            "torn-write",
+            FaultSpec::TornWrite {
+                persisted_prefix: 512,
+            },
+            true, // the tear happens on the next write
+        ),
+        ("hard-read-error", FaultSpec::HardReadError, false),
+        (
+            "wear-out",
+            FaultSpec::WearOut {
+                writes_remaining: 0,
+            },
+            false,
+        ),
+    ];
+
+    for (name, fault, update_after_arm) in cases {
+        check_detection_and_repair(name, fault, update_after_arm);
+    }
+
+    // Misdirected needs a second leaf as the served image; build it here.
+    let db = Database::create(config()).unwrap();
+    load(&db, KEYS);
+    let leaves = db.leaf_pages();
+    assert!(leaves.len() >= 2, "need two leaves for misdirection");
+    let (victim, instead) = (leaves[0], leaves[1]);
+    db.drop_cache();
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::Misdirected { instead }),
+    );
+    let report = db.scrub_now().unwrap();
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.page == victim)
+        .expect("misdirection must be found");
+    assert_eq!(finding.detector, DetectorClass::SelfId);
+    assert_eq!(report.repairs, 1);
+    assert!(db.device().injector().faulted_pages().is_empty());
+}
+
+fn check_detection_and_repair(name: &str, fault: FaultSpec, update_after_arm: bool) {
+    let db = Database::create(config()).unwrap();
+    let twin = Database::create(config()).unwrap();
+    load(&db, KEYS);
+    load(&twin, KEYS);
+    db.drop_cache();
+
+    let victim = db.any_leaf_page().expect("a leaf exists");
+    let expected = DetectorClass::expected_for(&fault);
+    db.inject_fault(victim, fault);
+    if update_after_arm {
+        update_all(&db, KEYS, 1);
+        update_all(&twin, KEYS, 1);
+        db.drop_cache(); // write-backs hit the armed fault; pages go cold
+    }
+
+    let report = db.scrub_now().unwrap();
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.page == victim)
+        .unwrap_or_else(|| panic!("{name}: fault on {victim} not found; report {report:?}"));
+    assert!(
+        expected.contains(&finding.detector),
+        "{name}: detected by {}, fault table documents {expected:?}",
+        finding.detector
+    );
+    assert_eq!(report.repairs, 1, "{name}: must be repaired");
+    assert!(report.escalations.is_empty(), "{name}: no escalation");
+    assert!(
+        db.device().injector().faulted_pages().is_empty(),
+        "{name}: fault must be cleared by repair"
+    );
+
+    // Twin oracle: zero data loss.
+    assert_eq!(
+        db.dump_all().unwrap(),
+        twin.dump_all().unwrap(),
+        "{name}: repaired engine must match the fault-free twin"
+    );
+
+    // Attribution also lands in the cumulative stats (DbStats surface).
+    let stats = db.stats();
+    assert!(
+        expected.iter().any(|c| stats.scrub.found_by(*c) > 0),
+        "{name}: stats must attribute the finding"
+    );
+    assert_eq!(stats.scrub.repairs, 1);
+    assert_eq!(stats.scrub.repair_failures, 0);
+    assert!(
+        stats.scrub.mean_time_to_detect().is_some(),
+        "{name}: detection latency must be measured"
+    );
+
+    // A second sweep finds a healthy device.
+    let report = db.scrub_now().unwrap();
+    assert!(report.findings.is_empty(), "{name}: must stay healed");
+}
+
+/// The acceptance scenario: the scrubber runs on its background thread
+/// while foreground transactions keep committing, and a seeded fault
+/// storm keeps corrupting cold pages. At the end every armed fault has
+/// been detected and repaired — by the scrubber or by Figure 8 when the
+/// foreground got there first — with zero data loss against a twin
+/// engine fed the identical operation stream.
+#[test]
+fn background_scrubber_self_heals_under_concurrent_fault_storm() {
+    let db = Database::create(config()).unwrap();
+    let twin = Database::create(config()).unwrap();
+    load(&db, KEYS);
+    load(&twin, KEYS);
+    let leaves = db.leaf_pages();
+    db.drop_cache();
+
+    assert!(db.start_scrubber(), "background scrubber must start");
+    assert!(!db.start_scrubber(), "second start is a no-op");
+
+    let mut storm = FaultStorm::new(
+        42,
+        KEYS,
+        KeyDistribution::Zipfian { theta: 0.99 },
+        32,
+        FaultStormConfig {
+            fault_rate: 0.01,
+            include_hard_errors: true,
+            mix: OpMix::update_heavy(),
+        },
+    );
+    let mut injected = 0u64;
+    for event in storm.take_events(4_000) {
+        match event {
+            StormEvent::Op(op) => apply_to_both(&db, &twin, &op),
+            StormEvent::Inject {
+                victim,
+                other,
+                kind,
+            } => {
+                let victim_page = leaves[victim % leaves.len()];
+                let mut instead = leaves[other % leaves.len()];
+                if instead == victim_page {
+                    // Self-misdirection serves the page's own valid image:
+                    // undetectable by construction, so aim elsewhere.
+                    instead = leaves[(other + 1) % leaves.len()];
+                }
+                db.inject_fault(victim_page, kind.to_spec(instead));
+                injected += 1;
+            }
+        }
+    }
+    assert!(injected > 0, "the storm must have injected faults");
+
+    db.stop_scrubber();
+    db.stop_scrubber(); // idempotent
+
+    // Make any remaining armed stale-write fault observable (a lost
+    // write needs a write to lose), then sweep until the device is
+    // clean. Bounded: each sweep repairs everything it can see.
+    update_all(&db, KEYS, 9);
+    update_all(&twin, KEYS, 9);
+    db.drop_cache();
+    for _ in 0..4 {
+        if db.device().injector().faulted_pages().is_empty() {
+            break;
+        }
+        db.scrub_now().unwrap();
+    }
+    assert!(
+        db.device().injector().faulted_pages().is_empty(),
+        "every armed fault must be repaired, leftover: {:?}",
+        db.device().injector().faulted_pages()
+    );
+
+    // Zero data loss: the storm-battered engine matches its fault-free
+    // twin exactly.
+    assert_eq!(db.dump_all().unwrap(), twin.dump_all().unwrap());
+
+    let stats = db.stats();
+    assert!(
+        stats.scrub.cycles_completed > 0 || stats.scrub.pages_scanned > 0,
+        "the background scrubber must have swept"
+    );
+    let healed = stats.scrub.repairs + stats.pool.pages_recovered;
+    assert!(
+        healed > 0,
+        "something must have been repaired (scrub {} + inline {})",
+        stats.scrub.repairs,
+        stats.pool.pages_recovered
+    );
+    assert_eq!(stats.scrub.repair_failures, 0, "nothing may escalate");
+    // The scrubber's reads are metered separately from foreground I/O.
+    assert!(stats.device.scrub_reads > 0);
+}
+
+fn apply_to_both(db: &Database, twin: &Database, op: &Op) {
+    match op {
+        Op::Put { key, value } => {
+            let a = db.put_auto(key, value).unwrap();
+            let b = twin.put_auto(key, value).unwrap();
+            assert_eq!(a, b, "put result diverged");
+        }
+        Op::Get { key } => {
+            let a = db.get(key).unwrap();
+            let b = twin.get(key).unwrap();
+            assert_eq!(a, b, "get diverged on {key:?}");
+        }
+        Op::Delete { key } => {
+            let a = delete_auto(db, key);
+            let b = delete_auto(twin, key);
+            assert_eq!(a, b, "delete diverged on {key:?}");
+        }
+    }
+}
+
+fn delete_auto(db: &Database, key: &[u8]) -> Option<Vec<u8>> {
+    let tx = db.begin();
+    match db.delete(tx, key) {
+        Ok(old) => {
+            db.commit(tx).unwrap();
+            Some(old)
+        }
+        Err(_) => {
+            let _ = db.abort(tx);
+            None
+        }
+    }
+}
+
+/// When single-page repair is impossible (here: the page recovery index
+/// lost the page's entry), the scrubbed failure escalates along
+/// Figure 1 — recorded in `DbStats`, never a panic.
+#[test]
+fn unrepairable_fault_escalates_along_figure_1() {
+    // Multi-device node: single-page → media.
+    let db = Database::create(config()).unwrap();
+    load(&db, KEYS);
+    db.drop_cache();
+    let victim = db.any_leaf_page().unwrap();
+    db.pri().remove(victim);
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }),
+    );
+    let report = db.scrub_now().unwrap();
+    assert!(report.findings.iter().any(|f| f.page == victim));
+    assert_eq!(report.repairs, 0);
+    assert_eq!(report.escalations.len(), 1);
+    assert_eq!(report.escalations[0].page, victim);
+    assert_eq!(report.escalations[0].escalated_to, FailureClass::Media);
+    let stats = db.stats();
+    assert_eq!(stats.scrub.repair_failures, 1);
+    assert_eq!(stats.scrub.escalations_media, 1);
+    assert_eq!(stats.scrub.escalations_system, 0);
+    assert_eq!(db.scrubber().unwrap().escalated().len(), 1);
+    // The engine survives: further sweeps re-find, re-escalate, no panic.
+    let report = db.scrub_now().unwrap();
+    assert_eq!(report.escalations.len(), 1);
+
+    // Single-device node: the same failure runs on to a system failure.
+    let db = Database::create(DatabaseConfig {
+        single_device_node: true,
+        ..config()
+    })
+    .unwrap();
+    load(&db, KEYS);
+    db.drop_cache();
+    let victim = db.any_leaf_page().unwrap();
+    db.pri().remove(victim);
+    db.inject_fault(victim, FaultSpec::HardReadError);
+    let report = db.scrub_now().unwrap();
+    assert_eq!(report.escalations.len(), 1);
+    assert_eq!(report.escalations[0].escalated_to, FailureClass::System);
+    let stats = db.stats();
+    assert_eq!(stats.scrub.escalations_media, 1, "passed through media");
+    assert_eq!(stats.scrub.escalations_system, 1);
+}
+
+/// Engine paths that discard the whole pool (`drop_cache`, `crash`,
+/// media recovery) must quiesce the background scrubber first — its
+/// transient pins and in-flight repair markers would otherwise trip
+/// the pool's discard assertions mid-sweep.
+#[test]
+fn crash_and_drop_cache_quiesce_the_background_scrubber() {
+    let db = Database::create(config()).unwrap();
+    load(&db, 400);
+    db.checkpoint().unwrap();
+    assert!(db.start_scrubber());
+    // drop_cache pauses the daemon for the discard and resumes it.
+    db.drop_cache();
+    assert!(
+        !db.start_scrubber(),
+        "the daemon must have been resumed after drop_cache"
+    );
+    // A crash takes the daemon down with the server; restart recovers
+    // the engine and the operator starts a fresh daemon.
+    db.crash();
+    assert!(db.restart().is_ok());
+    assert!(
+        db.start_scrubber(),
+        "a recovered server starts a fresh scrubber"
+    );
+    assert!(db.stop_scrubber());
+    assert!(!db.stop_scrubber(), "second stop is a no-op");
+}
+
+/// The traditional engine has no scrubber at all; the façade says so
+/// instead of pretending.
+#[test]
+fn traditional_engine_has_no_scrubber() {
+    let db = Database::create(DatabaseConfig::traditional()).unwrap();
+    assert!(db.scrubber().is_none());
+    assert!(db.scrub_now().is_err());
+    assert!(!db.start_scrubber());
+    db.stop_scrubber(); // no-op, no panic
+    assert_eq!(db.stats().scrub, spf::ScrubStats::default());
+}
+
+/// Scrub I/O is rate-limited: the simulated clock is charged the
+/// configured idle time per tick, bounding the scrubber's share of
+/// device bandwidth.
+#[test]
+fn scrub_cycles_charge_the_simulated_io_budget() {
+    let db = Database::create(DatabaseConfig {
+        data_pages: 512,
+        scrub: ScrubConfig {
+            enabled: true,
+            pages_per_tick: 8,
+            tick_idle: SimDuration::from_millis(2),
+        },
+        ..config()
+    })
+    .unwrap();
+    load(&db, 400);
+    db.drop_cache();
+    let allocated = db.leaf_pages().len() as u64; // lower bound on extent
+    let t0 = db.clock().now();
+    db.scrub_now().unwrap();
+    let elapsed = db.clock().now() - t0;
+    let min_ticks = allocated / 8;
+    assert!(
+        elapsed >= SimDuration::from_millis(2 * min_ticks),
+        "rate limit must charge the clock: {elapsed} for ≥{min_ticks} ticks"
+    );
+}
+
+/// `PageId` re-export sanity for the scrub surface (documentation
+/// example parity).
+#[test]
+fn scrub_finding_names_real_pages() {
+    let db = Database::create(config()).unwrap();
+    load(&db, 200);
+    db.drop_cache();
+    let victim = db.any_leaf_page().unwrap();
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::ZeroPage),
+    );
+    let report = db.scrub_now().unwrap();
+    let pages: Vec<PageId> = report.findings.iter().map(|f| f.page).collect();
+    assert_eq!(pages, vec![victim]);
+}

@@ -1,0 +1,228 @@
+//! The detector ladder: which check catches which failure.
+//!
+//! Mirrors the fault table in `spf_storage::fault` — every armed fault
+//! is documented there with the detector expected to catch it, and
+//! [`DetectorClass::expected_for`] returns exactly that documented set
+//! so tests can assert attribution.
+
+use spf_btree::NodeView;
+use spf_storage::{CorruptionMode, FaultSpec, Page, PageDefect, PageId, PageType};
+use spf_wal::Lsn;
+
+/// Which rung of the detector ladder caught a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectorClass {
+    /// The CRC-32C page checksum.
+    Checksum,
+    /// The self-identifying page id.
+    SelfId,
+    /// Header/slot plausibility (unknown page type, offsets and lengths
+    /// outside the page, heap/slot-array overlap).
+    Plausibility,
+    /// B-tree fence-key plausibility (`NodeView` invariants): the
+    /// cross-structure check that catches damage protected by a valid
+    /// checksum.
+    FenceKeys,
+    /// The PageLSN cross-check against the page recovery index: the
+    /// lost-write detector.
+    StaleLsn,
+    /// The device returned an explicit read error.
+    HardError,
+}
+
+impl DetectorClass {
+    /// The detector classes the fault table documents as able to catch
+    /// `fault`, primary first.
+    #[must_use]
+    pub fn expected_for(fault: &FaultSpec) -> &'static [DetectorClass] {
+        match fault {
+            FaultSpec::SilentCorruption(mode) => match mode {
+                CorruptionMode::BitRot { .. } => &[DetectorClass::Checksum],
+                CorruptionMode::ZeroPage => &[DetectorClass::Checksum, DetectorClass::Plausibility],
+                CorruptionMode::GarbageHeader => {
+                    &[DetectorClass::Plausibility, DetectorClass::FenceKeys]
+                }
+                CorruptionMode::StaleVersion => &[DetectorClass::StaleLsn],
+                CorruptionMode::Misdirected { .. } => &[DetectorClass::SelfId],
+            },
+            FaultSpec::TornWrite { .. } => &[DetectorClass::Checksum],
+            FaultSpec::HardReadError | FaultSpec::WearOut { .. } => &[DetectorClass::HardError],
+        }
+    }
+
+    /// Maps an in-page defect to its detector class.
+    #[must_use]
+    pub fn of_defect(defect: &PageDefect) -> DetectorClass {
+        match defect {
+            PageDefect::ChecksumMismatch { .. } => DetectorClass::Checksum,
+            PageDefect::WrongPageId { .. } => DetectorClass::SelfId,
+            PageDefect::UnknownPageType(_)
+            | PageDefect::ImplausibleHeader(_)
+            | PageDefect::ImplausibleSlot { .. } => DetectorClass::Plausibility,
+        }
+    }
+}
+
+impl std::fmt::Display for DetectorClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectorClass::Checksum => write!(f, "checksum"),
+            DetectorClass::SelfId => write!(f, "self-id"),
+            DetectorClass::Plausibility => write!(f, "plausibility"),
+            DetectorClass::FenceKeys => write!(f, "fence-keys"),
+            DetectorClass::StaleLsn => write!(f, "stale-lsn"),
+            DetectorClass::HardError => write!(f, "hard-error"),
+        }
+    }
+}
+
+/// Runs the full ladder over an image read from the device and returns
+/// the first failing rung, with a human-readable detail.
+///
+/// `expected_lsn` is the page recovery index's `latest_lsn` **as
+/// snapshotted before the device read** — that ordering is what makes
+/// the stale check race-free against concurrent write-backs: the PRI is
+/// only advanced *after* a device write completes, so an image read
+/// after the snapshot can never be legitimately older than it.
+#[must_use]
+pub fn run_ladder(
+    id: PageId,
+    page: &Page,
+    expected_lsn: Option<Lsn>,
+) -> Option<(DetectorClass, String)> {
+    // Rung 1: everything verifiable from the page alone.
+    if let Err(defect) = page.verify(id) {
+        return Some((DetectorClass::of_defect(&defect), defect.to_string()));
+    }
+    // Rung 2: the PageLSN cross-check (lost writes).
+    if let Some(expected) = expected_lsn {
+        let found = Lsn(page.page_lsn());
+        if found < expected {
+            return Some((
+                DetectorClass::StaleLsn,
+                format!("stale page: PageLSN {found}, page recovery index expects {expected}"),
+            ));
+        }
+    }
+    // Rung 3: cross-structure fence-key plausibility for B-tree nodes.
+    if matches!(
+        page.page_type(),
+        Some(PageType::BTreeLeaf | PageType::BTreeBranch)
+    ) {
+        match NodeView::new(page) {
+            Ok(view) => {
+                let violations = view.check_invariants();
+                if !violations.is_empty() {
+                    return Some((DetectorClass::FenceKeys, violations.join("; ")));
+                }
+            }
+            Err(e) => return Some((DetectorClass::FenceKeys, e.to_string())),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_btree::node::{build_node, leaf_record, NodeKind};
+    use spf_btree::Bound;
+    use spf_storage::DEFAULT_PAGE_SIZE;
+
+    fn clean_leaf(id: u64) -> Page {
+        let payload = vec![
+            (leaf_record(b"cat", b"1"), false),
+            (leaf_record(b"dog", b"2"), false),
+        ];
+        let mut page = build_node(
+            DEFAULT_PAGE_SIZE,
+            PageId(id),
+            NodeKind::Leaf,
+            0,
+            (&Bound::NegInf, &Bound::PosInf),
+            &payload,
+            None,
+        );
+        page.set_page_lsn(10);
+        page.finalize_checksum();
+        page
+    }
+
+    #[test]
+    fn clean_page_passes_every_rung() {
+        let page = clean_leaf(3);
+        assert_eq!(run_ladder(PageId(3), &page, Some(Lsn(10))), None);
+        assert_eq!(run_ladder(PageId(3), &page, None), None);
+    }
+
+    #[test]
+    fn checksum_rung_fires_first() {
+        let mut page = clean_leaf(3);
+        page.as_bytes_mut()[2000] ^= 0xFF;
+        let (class, _) = run_ladder(PageId(3), &page, None).unwrap();
+        assert_eq!(class, DetectorClass::Checksum);
+    }
+
+    #[test]
+    fn self_id_rung() {
+        let page = clean_leaf(4);
+        let (class, detail) = run_ladder(PageId(9), &page, None).unwrap();
+        assert_eq!(class, DetectorClass::SelfId);
+        assert!(detail.contains("wrong page id"), "{detail}");
+    }
+
+    #[test]
+    fn stale_rung_compares_against_snapshot() {
+        let page = clean_leaf(5);
+        let (class, _) = run_ladder(PageId(5), &page, Some(Lsn(99))).unwrap();
+        assert_eq!(class, DetectorClass::StaleLsn);
+        // Newer than expected is fine (the PRI missed a write, not us).
+        assert_eq!(run_ladder(PageId(5), &page, Some(Lsn(3))), None);
+    }
+
+    #[test]
+    fn fence_rung_catches_checksum_valid_damage() {
+        // Swap fences so low >= high, then re-checksum: in-page tests
+        // pass, only the cross-structure rung can object.
+        let payload = vec![(leaf_record(b"m", b"1"), false)];
+        let mut page = build_node(
+            DEFAULT_PAGE_SIZE,
+            PageId(6),
+            NodeKind::Leaf,
+            0,
+            (&Bound::Key(b"z".to_vec()), &Bound::Key(b"a".to_vec())),
+            &payload,
+            None,
+        );
+        page.finalize_checksum();
+        assert_eq!(page.verify(PageId(6)), Ok(()));
+        let (class, detail) = run_ladder(PageId(6), &page, None).unwrap();
+        assert_eq!(class, DetectorClass::FenceKeys);
+        assert!(
+            detail.contains("out of order") || detail.contains("fence"),
+            "{detail}"
+        );
+    }
+
+    #[test]
+    fn expected_for_mirrors_fault_table() {
+        assert_eq!(
+            DetectorClass::expected_for(&FaultSpec::SilentCorruption(CorruptionMode::BitRot {
+                bits: 3
+            })),
+            &[DetectorClass::Checksum]
+        );
+        assert_eq!(
+            DetectorClass::expected_for(&FaultSpec::SilentCorruption(CorruptionMode::StaleVersion)),
+            &[DetectorClass::StaleLsn]
+        );
+        assert_eq!(
+            DetectorClass::expected_for(&FaultSpec::HardReadError),
+            &[DetectorClass::HardError]
+        );
+        assert!(DetectorClass::expected_for(&FaultSpec::SilentCorruption(
+            CorruptionMode::GarbageHeader
+        ))
+        .contains(&DetectorClass::FenceKeys));
+    }
+}

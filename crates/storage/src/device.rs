@@ -87,6 +87,10 @@ pub struct DeviceCounters {
     pub failed_writes: AtomicU64,
     /// Reads that silently served corrupted/stale bytes.
     pub silent_corrupt_reads: AtomicU64,
+    /// Sequential reads issued by the background scrubber (a subset of
+    /// `sequential_reads`), so experiments can separate scrub I/O from
+    /// foreground I/O.
+    pub scrub_reads: AtomicU64,
 }
 
 /// A point-in-time copy of [`DeviceCounters`].
@@ -106,6 +110,9 @@ pub struct DeviceStats {
     pub failed_writes: u64,
     /// Reads that silently served corrupted/stale bytes.
     pub silent_corrupt_reads: u64,
+    /// Sequential reads issued by the background scrubber (a subset of
+    /// `sequential_reads`).
+    pub scrub_reads: u64,
 }
 
 impl DeviceStats {
@@ -134,6 +141,7 @@ impl DeviceCounters {
             failed_reads: self.failed_reads.load(Ordering::Relaxed),
             failed_writes: self.failed_writes.load(Ordering::Relaxed),
             silent_corrupt_reads: self.silent_corrupt_reads.load(Ordering::Relaxed),
+            scrub_reads: self.scrub_reads.load(Ordering::Relaxed),
         }
     }
 

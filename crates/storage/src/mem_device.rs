@@ -126,6 +126,19 @@ impl MemDevice {
         PageId(first)
     }
 
+    /// The scrubber's read path: charged as sequential transfer (a sweep
+    /// reads the device in page order, paying bandwidth, not seeks),
+    /// counted separately ([`DeviceStats::scrub_reads`]), and served
+    /// **through the fault injector with no repair layered on top** — the
+    /// scrubber must see exactly the bytes (or the error) a foreground
+    /// read would see, because its whole purpose is to find them first.
+    ///
+    /// [`DeviceStats::scrub_reads`]: crate::DeviceStats
+    pub fn scan_read(&self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError> {
+        DeviceCounters::bump(&self.inner.counters.scrub_reads);
+        self.do_read(id, buf, IoKind::SequentialRead)
+    }
+
     /// Direct, uncounted, fault-bypassing access to the stored image.
     /// Test/diagnostic use only — this is "opening the drive in a clean
     /// room", not an I/O path.
@@ -487,6 +500,38 @@ mod tests {
         let mut buf = vec![1u8; DEFAULT_PAGE_SIZE];
         dev.read_page(PageId(20), &mut buf).unwrap();
         assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn scan_read_sees_faults_and_is_counted_separately() {
+        let dev = dev();
+        let mut page = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(2), PageType::BTreeLeaf);
+        page.finalize_checksum();
+        dev.write_page(PageId(2), page.as_bytes()).unwrap();
+        dev.inject_fault(
+            PageId(2),
+            FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 4 }),
+        );
+        let mut buf = vec![0u8; DEFAULT_PAGE_SIZE];
+        dev.scan_read(PageId(2), &mut buf).unwrap();
+        assert!(
+            Page::from_bytes(buf).verify(PageId(2)).is_err(),
+            "scan read must present the fault, not mask it"
+        );
+        let stats = dev.stats();
+        assert_eq!(stats.scrub_reads, 1);
+        assert_eq!(
+            stats.sequential_reads, 1,
+            "scrub reads are sequential reads too"
+        );
+        assert_eq!(stats.random_reads, 0);
+
+        dev.inject_fault(PageId(3), FaultSpec::HardReadError);
+        assert_eq!(
+            dev.scan_read(PageId(3), &mut vec![0u8; DEFAULT_PAGE_SIZE]),
+            Err(StorageError::ReadFailed { id: PageId(3) })
+        );
+        assert_eq!(dev.stats().scrub_reads, 2);
     }
 
     #[test]

@@ -12,6 +12,8 @@ use rand::distributions::{Distribution, Standard};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use spf_storage::{CorruptionMode, FaultSpec, PageId};
+
 /// How keys are drawn from the key space.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum KeyDistribution {
@@ -170,6 +172,170 @@ impl Workload {
         (0..n)
             .map(|i| (Self::encode_key(i), self.next_value()))
             .collect()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Fault storm: traffic + seeded fault injection in one stream
+// ----------------------------------------------------------------------
+
+/// What kind of fault a storm event arms. A storm picks the *kind*; the
+/// driver maps the victim/other indices onto real page ids (the
+/// generator cannot know the engine's page layout) via
+/// [`StormFaultKind::to_spec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StormFaultKind {
+    /// Random bit flips (caught by the page checksum).
+    BitRot,
+    /// All-zero read image (caught by the checksum).
+    ZeroPage,
+    /// Scrambled header under a valid checksum (caught by plausibility /
+    /// fence keys).
+    GarbageHeader,
+    /// Lost writes (caught only by the PageLSN cross-check).
+    StaleVersion,
+    /// Another page's image served (caught by the self-identifying id).
+    Misdirected,
+    /// Explicit unrecoverable read error.
+    HardReadError,
+}
+
+impl StormFaultKind {
+    /// Builds the concrete [`FaultSpec`], given the resolved misdirection
+    /// target (ignored for every kind but [`Misdirected`]).
+    ///
+    /// [`Misdirected`]: StormFaultKind::Misdirected
+    #[must_use]
+    pub fn to_spec(self, other: PageId) -> FaultSpec {
+        match self {
+            StormFaultKind::BitRot => {
+                FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 })
+            }
+            StormFaultKind::ZeroPage => FaultSpec::SilentCorruption(CorruptionMode::ZeroPage),
+            StormFaultKind::GarbageHeader => {
+                FaultSpec::SilentCorruption(CorruptionMode::GarbageHeader)
+            }
+            StormFaultKind::StaleVersion => {
+                FaultSpec::SilentCorruption(CorruptionMode::StaleVersion)
+            }
+            StormFaultKind::Misdirected => {
+                FaultSpec::SilentCorruption(CorruptionMode::Misdirected { instead: other })
+            }
+            StormFaultKind::HardReadError => FaultSpec::HardReadError,
+        }
+    }
+
+    /// Every kind a storm can draw (in draw order).
+    pub const ALL: [StormFaultKind; 6] = [
+        StormFaultKind::BitRot,
+        StormFaultKind::ZeroPage,
+        StormFaultKind::GarbageHeader,
+        StormFaultKind::StaleVersion,
+        StormFaultKind::Misdirected,
+        StormFaultKind::HardReadError,
+    ];
+}
+
+/// One event of a fault storm: either normal traffic or an injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StormEvent {
+    /// A normal workload operation, to be applied to every engine under
+    /// comparison (faulted and twin alike).
+    Op(Op),
+    /// Arm a fault. `victim` and `other` are indices the driver resolves
+    /// against its current list of target pages (e.g. `victim %
+    /// leaves.len()`); `other` is the misdirection source.
+    Inject {
+        /// Index choosing the page the fault is armed on.
+        victim: usize,
+        /// Index choosing the misdirection target page.
+        other: usize,
+        /// Which fault to arm.
+        kind: StormFaultKind,
+    },
+}
+
+/// Configuration of a [`FaultStorm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultStormConfig {
+    /// Probability that an event is a fault injection instead of an
+    /// operation (e.g. `0.01` = one injection per ~100 ops).
+    pub fault_rate: f64,
+    /// Whether loud [`StormFaultKind::HardReadError`] faults are drawn
+    /// (some experiments want silent corruption only).
+    pub include_hard_errors: bool,
+    /// Operation mix of the traffic portion.
+    pub mix: OpMix,
+}
+
+impl FaultStormConfig {
+    /// One injection per ~200 ops, all fault kinds, update-heavy traffic.
+    #[must_use]
+    pub const fn default_storm() -> Self {
+        Self {
+            fault_rate: 0.005,
+            include_hard_errors: true,
+            mix: OpMix::update_heavy(),
+        }
+    }
+}
+
+/// A deterministic stream mixing normal put/get/delete traffic with
+/// seeded random fault injections — the shared driver for the scrubber
+/// experiments and the self-healing engine tests, so both see the exact
+/// same storm given the same seed.
+#[derive(Debug)]
+pub struct FaultStorm {
+    workload: Workload,
+    rng: StdRng,
+    config: FaultStormConfig,
+}
+
+impl FaultStorm {
+    /// Creates a storm over `key_space` keys. The traffic stream and the
+    /// injection stream use independent RNGs derived from `seed`, so the
+    /// *operations* are identical to a plain [`Workload`] with the same
+    /// parameters — a twin engine can replay them fault-free.
+    #[must_use]
+    pub fn new(
+        seed: u64,
+        key_space: u64,
+        distribution: KeyDistribution,
+        value_len: usize,
+        config: FaultStormConfig,
+    ) -> Self {
+        Self {
+            workload: Workload::new(seed, key_space, distribution, config.mix, value_len),
+            rng: StdRng::seed_from_u64(seed ^ 0xF417_5708_13AD_C0DE),
+            config,
+        }
+    }
+
+    /// Draws the next event.
+    pub fn next_event(&mut self) -> StormEvent {
+        let roll: f64 = self.rng.gen();
+        if roll < self.config.fault_rate {
+            let kinds = if self.config.include_hard_errors {
+                &StormFaultKind::ALL[..]
+            } else {
+                &StormFaultKind::ALL[..5]
+            };
+            // Fixed-width draws keep the stream identical across
+            // platforms (a usize-width range would consume the RNG
+            // differently on 32- vs 64-bit targets).
+            StormEvent::Inject {
+                victim: self.rng.gen::<u32>() as usize,
+                other: self.rng.gen::<u32>() as usize,
+                kind: kinds[self.rng.gen_range(0..kinds.len())],
+            }
+        } else {
+            StormEvent::Op(self.workload.next_op())
+        }
+    }
+
+    /// Draws `n` events.
+    pub fn take_events(&mut self, n: usize) -> Vec<StormEvent> {
+        (0..n).map(|_| self.next_event()).collect()
     }
 }
 
@@ -349,6 +515,74 @@ mod tests {
             via_trait.iter().filter(|&&i| i < 10).count() > 100,
             "skew reaches the trait path too"
         );
+    }
+
+    #[test]
+    fn fault_storm_is_deterministic_and_respects_rate() {
+        let cfg = FaultStormConfig {
+            fault_rate: 0.05,
+            include_hard_errors: true,
+            mix: OpMix::update_heavy(),
+        };
+        let mut a = FaultStorm::new(11, 500, KeyDistribution::Uniform, 32, cfg);
+        let mut b = FaultStorm::new(11, 500, KeyDistribution::Uniform, 32, cfg);
+        let ea = a.take_events(5_000);
+        assert_eq!(ea, b.take_events(5_000), "same seed, same storm");
+        let injections = ea
+            .iter()
+            .filter(|e| matches!(e, StormEvent::Inject { .. }))
+            .count();
+        assert!(
+            (150..350).contains(&injections),
+            "~5% of 5000 expected, got {injections}"
+        );
+        // All kinds eventually appear.
+        for kind in StormFaultKind::ALL {
+            assert!(
+                ea.iter()
+                    .any(|e| matches!(e, StormEvent::Inject { kind: k, .. } if *k == kind)),
+                "{kind:?} never drawn"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_storm_ops_match_plain_workload() {
+        // The traffic portion must be replayable on a fault-free twin:
+        // the op stream equals a plain Workload with the same seed.
+        let cfg = FaultStormConfig {
+            fault_rate: 0.1,
+            include_hard_errors: false,
+            mix: OpMix::read_mostly(),
+        };
+        let mut storm = FaultStorm::new(3, 100, KeyDistribution::Uniform, 16, cfg);
+        let storm_ops: Vec<Op> = storm
+            .take_events(2_000)
+            .into_iter()
+            .filter_map(|e| match e {
+                StormEvent::Op(op) => Some(op),
+                StormEvent::Inject { .. } => None,
+            })
+            .collect();
+        let mut plain = Workload::new(3, 100, KeyDistribution::Uniform, OpMix::read_mostly(), 16);
+        let plain_ops = plain.take_ops(storm_ops.len());
+        assert_eq!(storm_ops, plain_ops);
+    }
+
+    #[test]
+    fn storm_fault_kinds_build_specs() {
+        assert_eq!(
+            StormFaultKind::Misdirected.to_spec(PageId(9)),
+            FaultSpec::SilentCorruption(CorruptionMode::Misdirected { instead: PageId(9) })
+        );
+        assert_eq!(
+            StormFaultKind::HardReadError.to_spec(PageId(0)),
+            FaultSpec::HardReadError
+        );
+        assert!(matches!(
+            StormFaultKind::StaleVersion.to_spec(PageId(0)),
+            FaultSpec::SilentCorruption(CorruptionMode::StaleVersion)
+        ));
     }
 
     #[test]
