@@ -54,9 +54,14 @@ pub enum BTreeError {
         /// Maximum supported.
         max: usize,
     },
-    /// Structural maintenance kept preempting the operation (defensive
-    /// bound; indicates a bug rather than a normal condition).
-    TooManyRetries,
+    /// Concurrent restructures (splits, adoptions) kept preempting the
+    /// operation past its bounded retry budget. A real, expected code
+    /// path under heavy concurrent maintenance: callers may back off and
+    /// reissue the operation.
+    TooManyRetries {
+        /// How many retries the operation burned before giving up.
+        retries: usize,
+    },
 }
 
 impl From<FetchError> for BTreeError {
@@ -96,7 +101,9 @@ impl std::fmt::Display for BTreeError {
             BTreeError::RecordTooLarge { size, max } => {
                 write!(f, "record of {size} bytes exceeds maximum {max}")
             }
-            BTreeError::TooManyRetries => write!(f, "too many structural-maintenance retries"),
+            BTreeError::TooManyRetries { retries } => {
+                write!(f, "gave up after {retries} concurrent-restructure retries")
+            }
         }
     }
 }

@@ -39,4 +39,4 @@ pub use error::BTreeError;
 pub use keys::Bound;
 pub use node::{NodeKind, NodeView};
 pub use standard::StandardBTree;
-pub use tree::{FosterBTree, TreeStats, VerifyMode, Violation};
+pub use tree::{FosterBTree, ReacquireHook, TreeStats, VerifyMode, Violation};

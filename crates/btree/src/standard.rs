@@ -26,8 +26,6 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use spf_buffer::{BufferPool, PageWriteGuard};
 use spf_storage::{Page, PageId, PageType, SlottedPage};
 use spf_txn::{TxKind, TxnManager};
@@ -47,7 +45,7 @@ pub struct StandardBTree {
     alloc: Arc<dyn PageAllocator>,
     root: PageId,
     page_size: usize,
-    stats: Mutex<TreeStats>,
+    stats: crate::tree::TreeStatCounters,
 }
 
 fn level_of(page: &Page) -> u8 {
@@ -86,7 +84,7 @@ impl StandardBTree {
             alloc,
             root,
             page_size,
-            stats: Mutex::new(TreeStats::default()),
+            stats: crate::tree::TreeStatCounters::default(),
         };
         let sys = tree.txn.begin(TxKind::System);
         let mut image = Page::new_formatted(page_size, root, PageType::BTreeLeaf);
@@ -114,7 +112,7 @@ impl StandardBTree {
             alloc,
             root,
             page_size,
-            stats: Mutex::new(TreeStats::default()),
+            stats: crate::tree::TreeStatCounters::default(),
         }
     }
 
@@ -127,7 +125,7 @@ impl StandardBTree {
     /// Statistics snapshot.
     #[must_use]
     pub fn stats(&self) -> TreeStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 
     fn corrupt(&self, page: PageId, detail: impl Into<String>) -> BTreeError {
@@ -199,7 +197,7 @@ impl StandardBTree {
         let mut current = self.root;
         loop {
             let guard = self.pool.fetch(current)?;
-            self.stats.lock().node_visits += 1;
+            crate::tree::TreeStatCounters::bump(&self.stats.node_visits);
             if !is_branch(&guard) {
                 return Ok(current);
             }
@@ -284,7 +282,9 @@ impl StandardBTree {
             )?;
             return Ok(());
         }
-        Err(BTreeError::TooManyRetries)
+        Err(BTreeError::TooManyRetries {
+            retries: MAX_RETRIES,
+        })
     }
 
     /// Logically deletes `key` (ghost bit).
@@ -594,8 +594,12 @@ impl StandardBTree {
                 },
             )?;
         }
-        self.stats.lock().leaf_splits += u64::from(!branch);
-        self.stats.lock().branch_splits += u64::from(branch);
+        let counter = if branch {
+            &self.stats.branch_splits
+        } else {
+            &self.stats.leaf_splits
+        };
+        crate::tree::TreeStatCounters::bump(counter);
         Ok((separator, new_pid))
     }
 
@@ -623,7 +627,7 @@ impl StandardBTree {
                 .expect("fits");
         }
         self.format_logged(sys, new_root)?;
-        self.stats.lock().root_growths += 1;
+        crate::tree::TreeStatCounters::bump(&self.stats.root_growths);
         Ok(())
     }
 

@@ -20,14 +20,26 @@
 //!   adoptions, root growth, ghost reclamation (Figure 5 / Section 5.1.5).
 //! * **Ghost records**: logical deletion sets the ghost bit; a system
 //!   transaction reclaims ghosts when space is needed.
+//! * **Latch-crabbed concurrent descent**: readers couple shared page
+//!   latches parent→child over the buffer pool's latches (the child is
+//!   fetched and fence-checked before the parent latch drops); writers
+//!   descend shared and take a write latch only at the leaf. Foster-chain
+//!   hops after re-latching retry bounded-many times when a concurrent
+//!   split or adoption moves the separator
+//!   ([`BTreeError::TooManyRetries`] carries the count). Structural
+//!   changes run as system transactions that re-validate fence keys
+//!   after re-latching and back off on conflict — safe because every
+//!   node has exactly one incoming pointer, so a restructure touches a
+//!   node only through that pointer's owner.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use spf_buffer::{BufferPool, PageWriteGuard};
+use spf_buffer::{BufferPool, PageReadGuard, PageWriteGuard};
 use spf_storage::{Page, PageId, SlottedPage};
-use spf_txn::{TxKind, TxnManager};
+use spf_txn::{SysAttempt, TxKind, TxnManager};
 use spf_wal::{CompressedPageImage, LogPayload, Lsn, PageOp, TxId};
 
 use crate::alloc::PageAllocator;
@@ -65,6 +77,51 @@ pub struct TreeStats {
     pub root_growths: u64,
     /// Ghost-reclamation system transactions.
     pub ghost_reclaims: u64,
+    /// Descents retried (re-descents and foster hops after re-latching)
+    /// because a concurrent restructure moved the target.
+    pub descent_retries: u64,
+    /// Structural system transactions that backed off because a
+    /// concurrent restructure won the race after re-latching.
+    pub restructure_conflicts: u64,
+}
+
+/// The atomic counters behind [`TreeStats`]: hot-path tree operations
+/// bump these with relaxed atomics so no descent or restructure takes a
+/// global stats lock.
+#[derive(Default)]
+pub(crate) struct TreeStatCounters {
+    pub(crate) node_visits: AtomicU64,
+    pub(crate) fence_checks: AtomicU64,
+    pub(crate) fence_failures: AtomicU64,
+    pub(crate) leaf_splits: AtomicU64,
+    pub(crate) branch_splits: AtomicU64,
+    pub(crate) adoptions: AtomicU64,
+    pub(crate) root_growths: AtomicU64,
+    pub(crate) ghost_reclaims: AtomicU64,
+    pub(crate) descent_retries: AtomicU64,
+    pub(crate) restructure_conflicts: AtomicU64,
+}
+
+impl TreeStatCounters {
+    pub(crate) fn snapshot(&self) -> TreeStats {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        TreeStats {
+            node_visits: load(&self.node_visits),
+            fence_checks: load(&self.fence_checks),
+            fence_failures: load(&self.fence_failures),
+            leaf_splits: load(&self.leaf_splits),
+            branch_splits: load(&self.branch_splits),
+            adoptions: load(&self.adoptions),
+            root_growths: load(&self.root_growths),
+            ghost_reclaims: load(&self.ghost_reclaims),
+            descent_retries: load(&self.descent_retries),
+            restructure_conflicts: load(&self.restructure_conflicts),
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// A structural violation found by [`FosterBTree::verify_full`].
@@ -77,6 +134,18 @@ pub struct Violation {
 }
 
 const MAX_RETRIES: usize = 64;
+
+/// Attempts a structural system transaction makes before conceding the
+/// restructure to whoever holds the conflicting latch.
+const SYS_ATTEMPTS: usize = 4;
+
+/// Callback fired with the target leaf's id in the window between a
+/// descent releasing its last shared latch and the point operation
+/// re-latching the leaf — exactly where a concurrent split or adoption
+/// can slip in. Installed via [`FosterBTree::set_reacquire_hook`];
+/// used by the concurrency tests to drive the foster-chain retry path
+/// deterministically.
+pub type ReacquireHook = Arc<dyn Fn(PageId) + Send + Sync>;
 
 /// [`UndoTarget`] adapter over a buffer pool: rollback compensations are
 /// applied to pooled pages and advance their PageLSN to the CLR's LSN.
@@ -116,13 +185,31 @@ pub struct FosterBTree {
     root: PageId,
     page_size: usize,
     verify: VerifyMode,
-    stats: Mutex<TreeStats>,
+    stats: TreeStatCounters,
+    /// Bound on concurrent-restructure retries per point operation.
+    retry_limit: AtomicUsize,
+    /// Fast guard so the hook costs one relaxed load when disarmed.
+    hook_armed: AtomicBool,
+    reacquire_hook: Mutex<Option<ReacquireHook>>,
 }
 
 enum LeafOp {
     Insert,
     Upsert,
     Delete,
+}
+
+/// What one latched attempt at an adoption found.
+enum AdoptStep {
+    /// The foster child was adopted.
+    Adopted,
+    /// Nothing to adopt any more (a concurrent pass did it, or the
+    /// topology changed); the stale plan is simply dropped.
+    Nothing,
+    /// The parent lacks space for another entry; split/grow it first.
+    ParentFull,
+    /// A latch was contended; roll back and retry after back-off.
+    Busy,
 }
 
 impl FosterBTree {
@@ -162,7 +249,10 @@ impl FosterBTree {
             root,
             page_size,
             verify,
-            stats: Mutex::new(TreeStats::default()),
+            stats: TreeStatCounters::default(),
+            retry_limit: AtomicUsize::new(MAX_RETRIES),
+            hook_armed: AtomicBool::new(false),
+            reacquire_hook: Mutex::new(None),
         }
     }
 
@@ -176,7 +266,32 @@ impl FosterBTree {
     /// Statistics snapshot.
     #[must_use]
     pub fn stats(&self) -> TreeStats {
-        *self.stats.lock()
+        self.stats.snapshot()
+    }
+
+    /// Caps how many concurrent-restructure retries a point operation
+    /// tolerates before failing with [`BTreeError::TooManyRetries`]
+    /// (clamped to ≥ 1; default 64). Tests lower this to reach the
+    /// too-many-retries path with few injected restructures.
+    pub fn set_retry_limit(&self, limit: usize) {
+        self.retry_limit.store(limit.max(1), Ordering::Relaxed);
+    }
+
+    /// Installs (or, with `None`, clears) the latch release/re-acquire
+    /// window hook; see [`ReacquireHook`].
+    pub fn set_reacquire_hook(&self, hook: Option<ReacquireHook>) {
+        let armed = hook.is_some();
+        *self.reacquire_hook.lock() = hook;
+        self.hook_armed.store(armed, Ordering::Release);
+    }
+
+    fn fire_reacquire_hook(&self, leaf: PageId) {
+        if self.hook_armed.load(Ordering::Acquire) {
+            let hook = self.reacquire_hook.lock().clone();
+            if let Some(hook) = hook {
+                hook(leaf);
+            }
+        }
     }
 
     /// The verification mode.
@@ -196,17 +311,74 @@ impl FosterBTree {
     // ------------------------------------------------------------------
 
     /// Looks up `key`, returning its value if present (ghosts excluded).
+    ///
+    /// Concurrency: the crabbed descent's leaf latch is dropped and the
+    /// leaf re-latched (mirroring the write path, which re-latches in
+    /// write mode), so a concurrent split or adoption can move the key
+    /// between release and re-acquire. The lookup then hops the foster
+    /// chain or re-descends, bounded by the retry limit.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, BTreeError> {
-        let (leaf, _, _) = self.descend(key)?;
-        let guard = self.pool.fetch(leaf)?;
-        let view = NodeView::new(&guard)?;
-        match view.route(key)? {
-            Descent::Leaf { pos, exact: true } => {
-                let (_, value, ghost) = view.leaf_entry(pos)?;
-                Ok(if ghost { None } else { Some(value.to_vec()) })
+        enum Hop {
+            Done(Option<Vec<u8>>),
+            Chain(PageId, Bound, Bound),
+            Restart,
+        }
+        let limit = self.retry_limit.load(Ordering::Relaxed);
+        let mut retries = 0usize;
+        loop {
+            let (guard, _, _) = self.descend(key)?;
+            let leaf = guard.page_id();
+            drop(guard);
+            self.fire_reacquire_hook(leaf);
+            let mut guard = self.pool.fetch(leaf)?;
+            loop {
+                let hop = {
+                    let view = NodeView::new(&guard)?;
+                    if !Bound::contains(&view.low_fence()?, &view.high_fence()?, key) {
+                        // The node no longer covers the key (concurrent
+                        // adoption lowered its high fence): re-descend.
+                        Hop::Restart
+                    } else {
+                        match view.route(key)? {
+                            Descent::Leaf { pos, exact: true } => {
+                                let (_, value, ghost) = view.leaf_entry(pos)?;
+                                Hop::Done(if ghost { None } else { Some(value.to_vec()) })
+                            }
+                            Descent::Leaf { .. } => Hop::Done(None),
+                            Descent::Foster {
+                                child,
+                                separator,
+                                high,
+                            } => Hop::Chain(child, separator, high),
+                            Descent::Child { .. } => Hop::Restart,
+                        }
+                    }
+                };
+                match hop {
+                    Hop::Done(value) => return Ok(value),
+                    Hop::Chain(child, separator, high) => {
+                        // A concurrent split moved the key into a foster
+                        // child: crab along the chain (next node latched
+                        // before this one drops), bounded-many times.
+                        retries += 1;
+                        TreeStatCounters::bump(&self.stats.descent_retries);
+                        if retries > limit {
+                            return Err(BTreeError::TooManyRetries { retries });
+                        }
+                        let next = self.pool.fetch(child)?;
+                        self.check_fences(&next, &separator, &high)?;
+                        guard = next;
+                    }
+                    Hop::Restart => {
+                        retries += 1;
+                        TreeStatCounters::bump(&self.stats.descent_retries);
+                        if retries > limit {
+                            return Err(BTreeError::TooManyRetries { retries });
+                        }
+                        break;
+                    }
+                }
             }
-            Descent::Leaf { .. } => Ok(None),
-            _ => Err(BTreeError::TooManyRetries), // concurrent restructure; cannot happen single-threaded
         }
     }
 
@@ -233,56 +405,73 @@ impl FosterBTree {
 
     /// Range scan: live records with `key >= start`, at most `limit`.
     pub fn scan(&self, start: &[u8], limit: usize) -> Result<crate::KvPairs, BTreeError> {
+        enum Next {
+            Chain(PageId, Bound, Bound),
+            Jump(Vec<u8>),
+            Done,
+        }
         let mut out = Vec::new();
         let mut cursor: Vec<u8> = start.to_vec();
         let mut first = true;
         'chains: loop {
-            let (leaf, _, _) = self.descend(&cursor)?;
-            let mut current = leaf;
-            // Walk the leaf and its foster chain.
+            let (mut guard, _, _) = self.descend(&cursor)?;
+            // Walk the leaf and its foster chain, crabbing: the next
+            // chain node is latched before the current one drops, so a
+            // concurrent split cannot tear the chain under the scan.
+            // (Across chain jumps the scan re-descends latch-free, so it
+            // is not a snapshot of the whole tree.)
             loop {
-                let guard = self.pool.fetch(current)?;
-                let view = NodeView::new(&guard)?;
-                for pos in view.payload_range() {
-                    let (k, v, ghost) = view.leaf_entry(pos)?;
-                    if ghost {
-                        continue;
+                let next = {
+                    let view = NodeView::new(&guard)?;
+                    for pos in view.payload_range() {
+                        let (k, v, ghost) = view.leaf_entry(pos)?;
+                        if ghost {
+                            continue;
+                        }
+                        if first && k < cursor.as_slice() {
+                            continue;
+                        }
+                        if !first && k <= cursor.as_slice() {
+                            continue;
+                        }
+                        out.push((k.to_vec(), v.to_vec()));
+                        if out.len() >= limit {
+                            return Ok(out);
+                        }
                     }
-                    if first && k < cursor.as_slice() {
-                        continue;
+                    if view.has_foster() {
+                        Next::Chain(
+                            view.foster_pid(),
+                            view.foster_separator()?,
+                            view.high_fence()?,
+                        )
+                    } else {
+                        // Chain exhausted: jump to the next chain via the
+                        // high fence.
+                        match view.high_fence()? {
+                            Bound::PosInf => Next::Done,
+                            Bound::Key(h) => Next::Jump(h),
+                            Bound::NegInf => {
+                                return Err(BTreeError::NodeCorrupt {
+                                    page: guard.page_id(),
+                                    detail: "high fence is -∞".into(),
+                                })
+                            }
+                        }
                     }
-                    if !first && k <= cursor.as_slice() {
-                        continue;
+                };
+                match next {
+                    Next::Chain(pid, sep, high) => {
+                        let g = self.pool.fetch(pid)?;
+                        self.check_fences(&g, &sep, &high)?;
+                        guard = g;
                     }
-                    out.push((k.to_vec(), v.to_vec()));
-                    if out.len() >= limit {
-                        return Ok(out);
-                    }
-                }
-                if view.has_foster() {
-                    let next = view.foster_pid();
-                    let (sep, high) = (view.foster_separator()?, view.high_fence()?);
-                    drop(guard);
-                    let g = self.pool.fetch(next)?;
-                    self.check_fences(&g, &sep, &high)?;
-                    current = next;
-                    drop(g);
-                    continue;
-                }
-                // Chain exhausted: jump to the next chain via the high fence.
-                match view.high_fence()? {
-                    Bound::PosInf => return Ok(out),
-                    Bound::Key(h) => {
+                    Next::Jump(h) => {
                         cursor = h;
                         first = true; // keys >= cursor (the next chain's low fence) are new
                         continue 'chains;
                     }
-                    Bound::NegInf => {
-                        return Err(BTreeError::NodeCorrupt {
-                            page: current,
-                            detail: "high fence is -∞".into(),
-                        })
-                    }
+                    Next::Done => return Ok(out),
                 }
             }
         }
@@ -297,55 +486,75 @@ impl FosterBTree {
     // Descent
     // ------------------------------------------------------------------
 
-    /// Root-to-leaf descent with continuous verification. Returns the
-    /// target leaf (first chain node whose payload should hold `key`) and
-    /// its expected fences.
-    fn descend(&self, key: &[u8]) -> Result<(PageId, Bound, Bound), BTreeError> {
-        let mut current = self.root;
+    /// Latch-crabbed root-to-leaf descent with continuous verification.
+    /// Returns the target leaf's shared guard (first chain node whose
+    /// payload should hold `key`) and its expected fences.
+    ///
+    /// Crabbing protocol: each child (or foster child) is fetched — and
+    /// its fences verified against the pointer's promise — while the
+    /// parent's shared latch is still held, so no restructure can slip
+    /// between reading a pointer and following it. The parent latch
+    /// drops as soon as the child guard exists. With the latch held
+    /// across the hop, a fence mismatch here is real corruption, not a
+    /// benign race.
+    fn descend(&self, key: &[u8]) -> Result<(PageReadGuard, Bound, Bound), BTreeError> {
+        let mut guard = self.pool.fetch(self.root)?;
+        TreeStatCounters::bump(&self.stats.node_visits);
         let mut expected: Option<(Bound, Bound)> = None;
-        let mut expected_level: Option<u8> = None;
         for _ in 0..MAX_RETRIES * 4 {
-            let guard = self.pool.fetch(current)?;
-            self.stats.lock().node_visits += 1;
-            let view = NodeView::new(&guard)?;
-            if let Some((low, high)) = &expected {
-                self.check_fences(&guard, low, high)?;
-            }
-            if let Some(lvl) = expected_level {
-                if view.level() != lvl {
-                    return Err(BTreeError::NodeCorrupt {
-                        page: current,
-                        detail: format!("expected level {lvl}, found {}", view.level()),
-                    });
-                }
-            }
-            match view.route(key)? {
+            let (step, level) = {
+                let view = NodeView::new(&guard)?;
+                (view.route(key)?, view.level())
+            };
+            match step {
                 Descent::Foster {
                     child,
                     separator,
                     high,
                 } => {
+                    let next = self.pool.fetch(child)?;
+                    TreeStatCounters::bump(&self.stats.node_visits);
+                    self.check_fences(&next, &separator, &high)?;
+                    self.check_level(&next, level)?;
                     expected = Some((separator, high));
-                    expected_level = Some(view.level());
-                    current = child;
+                    guard = next;
                 }
                 Descent::Child {
                     child, low, high, ..
                 } => {
+                    let next = self.pool.fetch(child)?;
+                    TreeStatCounters::bump(&self.stats.node_visits);
+                    self.check_fences(&next, &low, &high)?;
+                    self.check_level(&next, level - 1)?;
                     expected = Some((low, high));
-                    expected_level = Some(view.level() - 1);
-                    current = child;
+                    guard = next;
                 }
                 Descent::Leaf { .. } => {
                     let (low, high) = match expected {
                         Some(pair) => pair,
-                        None => (view.low_fence()?, view.high_fence()?),
+                        None => {
+                            let view = NodeView::new(&guard)?;
+                            (view.low_fence()?, view.high_fence()?)
+                        }
                     };
-                    return Ok((current, low, high));
+                    return Ok((guard, low, high));
                 }
             }
         }
-        Err(BTreeError::TooManyRetries)
+        Err(BTreeError::TooManyRetries {
+            retries: MAX_RETRIES * 4,
+        })
+    }
+
+    fn check_level(&self, page: &Page, expected: u8) -> Result<(), BTreeError> {
+        let found = NodeView::new(page)?.level();
+        if found != expected {
+            return Err(BTreeError::NodeCorrupt {
+                page: page.page_id(),
+                detail: format!("expected level {expected}, found {found}"),
+            });
+        }
+        Ok(())
     }
 
     /// The continuous-verification comparison of Section 4.2.
@@ -360,10 +569,9 @@ impl FosterBTree {
         }
         let view = NodeView::new(page)?;
         let (found_low, found_high) = (view.low_fence()?, view.high_fence()?);
-        let mut stats = self.stats.lock();
-        stats.fence_checks += 1;
+        TreeStatCounters::bump(&self.stats.fence_checks);
         if &found_low != expected_low || &found_high != expected_high {
-            stats.fence_failures += 1;
+            TreeStatCounters::bump(&self.stats.fence_failures);
             return Err(BTreeError::FenceMismatch {
                 page: page.page_id(),
                 expected_low: expected_low.clone(),
@@ -393,100 +601,163 @@ impl FosterBTree {
                 max: self.max_record_size(),
             });
         }
-        for _ in 0..MAX_RETRIES {
+        enum Step {
+            Apply { pos: u16, exact: bool },
+            Chain(PageId, Bound, Bound),
+            Restart,
+        }
+        let limit = self.retry_limit.load(Ordering::Relaxed);
+        // Conflict retries (bounded by the configurable limit) are
+        // counted apart from structural-progress passes (splits, ghost
+        // reclaims — each makes room, bounded by MAX_RETRIES), so a
+        // test-lowered retry limit cannot starve legitimate growth.
+        let mut conflicts = 0usize;
+        let mut progress = 0usize;
+        'restart: loop {
+            if progress > MAX_RETRIES {
+                return Err(BTreeError::TooManyRetries { retries: progress });
+            }
             // Opportunistic maintenance: shorten foster chains on the path.
             if self.maintain_path(key)? {
+                progress += 1;
                 continue;
             }
-            let (leaf, _, _) = self.descend(key)?;
-            let mut guard = self.pool.fetch_mut(leaf)?;
-            let view = NodeView::new(&guard)?;
-            let (pos, exact) = match view.route(key)? {
-                Descent::Leaf { pos, exact } => (pos, exact),
-                _ => continue, // restructured underneath us; retry
-            };
-
-            if exact {
-                let (k, v, ghost) = view.leaf_entry(pos)?;
-                debug_assert_eq!(k, key);
-                let old_value = v.to_vec();
-                let old_record = leaf_record(k, v);
-                match op {
-                    LeafOp::Insert if !ghost => return Err(BTreeError::DuplicateKey),
-                    LeafOp::Insert | LeafOp::Upsert => {
-                        // Replace bytes (if changed), then clear the ghost.
-                        if old_record != record {
-                            // The replacement may need space.
-                            if record.len() > old_record.len()
-                                && !self.fits(&mut guard, record.len() - old_record.len())
-                            {
-                                drop(guard);
-                                self.make_room(leaf)?;
-                                continue;
-                            }
-                            self.apply_logged(
-                                tx,
-                                &mut guard,
-                                PageOp::ReplaceRecord {
-                                    pos,
-                                    old_bytes: old_record,
-                                    new_bytes: record.clone(),
-                                },
-                            )?;
+            // Writers descend with shared latches and upgrade only at the
+            // leaf: the descent guard drops here and the leaf is
+            // re-latched in write mode below — the window a concurrent
+            // restructure can slip into, handled by the bounded retries.
+            let (guard, _, _) = self.descend(key)?;
+            let mut target = guard.page_id();
+            drop(guard);
+            self.fire_reacquire_hook(target);
+            let mut guard = self.pool.fetch_mut(target)?;
+            loop {
+                let step = {
+                    let view = NodeView::new(&guard)?;
+                    if !Bound::contains(&view.low_fence()?, &view.high_fence()?, key) {
+                        Step::Restart
+                    } else {
+                        match view.route(key)? {
+                            Descent::Leaf { pos, exact } => Step::Apply { pos, exact },
+                            Descent::Foster {
+                                child,
+                                separator,
+                                high,
+                            } => Step::Chain(child, separator, high),
+                            Descent::Child { .. } => Step::Restart,
                         }
-                        if ghost {
+                    }
+                };
+                let (pos, exact) = match step {
+                    Step::Apply { pos, exact } => (pos, exact),
+                    Step::Chain(child, separator, high) => {
+                        conflicts += 1;
+                        TreeStatCounters::bump(&self.stats.descent_retries);
+                        if conflicts > limit {
+                            return Err(BTreeError::TooManyRetries { retries: conflicts });
+                        }
+                        let next = self.pool.fetch_mut(child)?;
+                        self.check_fences(&next, &separator, &high)?;
+                        target = child;
+                        guard = next;
+                        continue;
+                    }
+                    Step::Restart => {
+                        conflicts += 1;
+                        TreeStatCounters::bump(&self.stats.descent_retries);
+                        if conflicts > limit {
+                            return Err(BTreeError::TooManyRetries { retries: conflicts });
+                        }
+                        continue 'restart;
+                    }
+                };
+
+                if exact {
+                    let view = NodeView::new(&guard)?;
+                    let (k, v, ghost) = view.leaf_entry(pos)?;
+                    debug_assert_eq!(k, key);
+                    let old_value = v.to_vec();
+                    let old_record = leaf_record(k, v);
+                    match op {
+                        LeafOp::Insert if !ghost => return Err(BTreeError::DuplicateKey),
+                        LeafOp::Insert | LeafOp::Upsert => {
+                            // Replace bytes (if changed), then clear the ghost.
+                            if old_record != record {
+                                // The replacement may need space.
+                                if record.len() > old_record.len()
+                                    && !self.fits(&mut guard, record.len() - old_record.len())
+                                {
+                                    drop(guard);
+                                    self.make_room(target)?;
+                                    progress += 1;
+                                    continue 'restart;
+                                }
+                                self.apply_logged(
+                                    tx,
+                                    &mut guard,
+                                    PageOp::ReplaceRecord {
+                                        pos,
+                                        old_bytes: old_record,
+                                        new_bytes: record.clone(),
+                                    },
+                                )?;
+                            }
+                            if ghost {
+                                self.apply_logged(
+                                    tx,
+                                    &mut guard,
+                                    PageOp::SetGhost {
+                                        pos,
+                                        old: true,
+                                        new: false,
+                                    },
+                                )?;
+                            }
+                            return Ok(if ghost { None } else { Some(old_value) });
+                        }
+                        LeafOp::Delete => {
+                            if ghost {
+                                return Ok(None);
+                            }
                             self.apply_logged(
                                 tx,
                                 &mut guard,
                                 PageOp::SetGhost {
                                     pos,
-                                    old: true,
-                                    new: false,
+                                    old: false,
+                                    new: true,
                                 },
                             )?;
+                            return Ok(Some(old_value));
                         }
-                        return Ok(if ghost { None } else { Some(old_value) });
                     }
-                    LeafOp::Delete => {
-                        if ghost {
+                } else {
+                    match op {
+                        LeafOp::Delete => return Ok(None),
+                        LeafOp::Insert | LeafOp::Upsert => {
+                            if !self
+                                .fits(&mut guard, record.len() + spf_storage::slotted::SLOT_SIZE)
+                            {
+                                drop(guard);
+                                self.make_room(target)?;
+                                progress += 1;
+                                continue 'restart;
+                            }
+                            self.apply_logged(
+                                tx,
+                                &mut guard,
+                                PageOp::InsertRecord {
+                                    pos,
+                                    bytes: record.clone(),
+                                    ghost: false,
+                                },
+                            )?;
                             return Ok(None);
                         }
-                        self.apply_logged(
-                            tx,
-                            &mut guard,
-                            PageOp::SetGhost {
-                                pos,
-                                old: false,
-                                new: true,
-                            },
-                        )?;
-                        return Ok(Some(old_value));
-                    }
-                }
-            } else {
-                match op {
-                    LeafOp::Delete => return Ok(None),
-                    LeafOp::Insert | LeafOp::Upsert => {
-                        if !self.fits(&mut guard, record.len() + spf_storage::slotted::SLOT_SIZE) {
-                            drop(guard);
-                            self.make_room(leaf)?;
-                            continue;
-                        }
-                        self.apply_logged(
-                            tx,
-                            &mut guard,
-                            PageOp::InsertRecord {
-                                pos,
-                                bytes: record.clone(),
-                                ghost: false,
-                            },
-                        )?;
-                        return Ok(None);
                     }
                 }
             }
         }
-        Err(BTreeError::TooManyRetries)
     }
 
     fn fits(&self, guard: &mut PageWriteGuard, needed: usize) -> bool {
@@ -503,15 +774,25 @@ impl FosterBTree {
 
     /// Walks the path for `key`, performing at most one structural fix
     /// (adoption or root growth). Returns true if it changed anything.
+    ///
+    /// The walk is uncoupled (each node is fetched after its parent's
+    /// latch dropped) because it is purely opportunistic: a stale
+    /// observation at worst skips or re-attempts maintenance, and the
+    /// structural change itself re-validates under write latches.
     fn maintain_path(&self, key: &[u8]) -> Result<bool, BTreeError> {
         let mut current = self.root;
-        loop {
+        for _ in 0..MAX_RETRIES * 4 {
             let guard = self.pool.fetch(current)?;
             let view = NodeView::new(&guard)?;
             if current == self.root && view.has_foster() {
                 drop(guard);
                 self.grow_root()?;
                 return Ok(true);
+            }
+            if !Bound::contains(&view.low_fence()?, &view.high_fence()?, key) {
+                // A concurrent restructure moved the key out of this
+                // subtree; skip maintenance, the write path re-descends.
+                return Ok(false);
             }
             match view.route(key)? {
                 Descent::Foster { child, .. } => {
@@ -533,6 +814,9 @@ impl FosterBTree {
                 Descent::Leaf { .. } => return Ok(false),
             }
         }
+        // The path kept changing underneath the walk; maintenance is
+        // best-effort, so concede to the concurrent restructures.
+        Ok(false)
     }
 
     // ------------------------------------------------------------------
@@ -571,29 +855,68 @@ impl FosterBTree {
         Ok(lsn)
     }
 
-    /// Splits `pid` at its payload midpoint, creating a foster child.
-    fn split(&self, pid: PageId) -> Result<(), BTreeError> {
-        let sys = self.txn.begin(TxKind::System);
-        let result = self.split_inner(sys, pid);
-        match result {
-            Ok(kind) => {
-                self.txn.commit(sys)?;
-                let mut stats = self.stats.lock();
-                match kind {
-                    NodeKind::Leaf => stats.leaf_splits += 1,
-                    NodeKind::Branch => stats.branch_splits += 1,
-                }
-                Ok(())
-            }
-            Err(e) => {
-                // Roll the partial structural change back.
-                let _ = self.txn.abort(sys, &PoolUndo::new(&self.pool));
-                Err(e)
-            }
-        }
+    /// Logs a page-format record and installs the image *through an
+    /// already-held write guard*. [`BufferPool::put_new`] would
+    /// self-deadlock here: the page latch is not reentrant, and root
+    /// growth must keep the root latched from re-validation to rewrite.
+    fn format_in_place(
+        &self,
+        tx: TxId,
+        guard: &mut PageWriteGuard,
+        image: Page,
+    ) -> Result<Lsn, BTreeError> {
+        let pid = image.page_id();
+        debug_assert_eq!(pid, guard.page_id());
+        let lsn = self.txn.log_other(
+            tx,
+            pid,
+            Lsn::NULL, // per-page chain restarts at a format record
+            LogPayload::PageFormat {
+                image: CompressedPageImage::capture(&image),
+            },
+        )?;
+        let mut img = image;
+        img.set_page_lsn(lsn.0);
+        img.reset_update_count();
+        **guard = img;
+        guard.mark_dirty(lsn);
+        self.pool.notify_page_formatted(pid, lsn);
+        Ok(lsn)
     }
 
-    fn split_inner(&self, sys: TxId, pid: PageId) -> Result<NodeKind, BTreeError> {
+    /// Splits `pid` at its payload midpoint, creating a foster child.
+    fn split(&self, pid: PageId) -> Result<(), BTreeError> {
+        let undo = PoolUndo::new(&self.pool);
+        let outcome = self.txn.run_system(
+            &undo,
+            SYS_ATTEMPTS,
+            |sys| -> Result<SysAttempt<NodeKind>, BTreeError> {
+                Ok(match self.split_inner(sys, pid)? {
+                    Some(kind) => SysAttempt::Done(kind),
+                    None => SysAttempt::Conflict,
+                })
+            },
+        )?;
+        match outcome {
+            Some(NodeKind::Leaf) => TreeStatCounters::bump(&self.stats.leaf_splits),
+            Some(NodeKind::Branch) => TreeStatCounters::bump(&self.stats.branch_splits),
+            None => TreeStatCounters::bump(&self.stats.restructure_conflicts),
+        }
+        Ok(())
+    }
+
+    /// Forces a foster split of `pid` regardless of its fill level — the
+    /// load-balancing/maintenance entry point, and the restructure the
+    /// concurrency tests inject from a [`ReacquireHook`] to drive the
+    /// foster-chain retry path deterministically.
+    pub fn force_split(&self, pid: PageId) -> Result<(), BTreeError> {
+        self.split(pid)
+    }
+
+    /// Returns the split node's kind, or `None` when the node has fewer
+    /// than two payload records — under concurrency that means a racing
+    /// split already divided it, so there is nothing left to move.
+    fn split_inner(&self, sys: TxId, pid: PageId) -> Result<Option<NodeKind>, BTreeError> {
         let mut guard = self.pool.fetch_mut(pid)?;
         let view = NodeView::new(&guard)?;
         let kind = view.kind();
@@ -601,10 +924,7 @@ impl FosterBTree {
         let range = view.payload_range();
         let len = range.end - range.start;
         if len < 2 {
-            return Err(BTreeError::RecordTooLarge {
-                size: self.page_size,
-                max: self.max_record_size(),
-            });
+            return Ok(None);
         }
         let split_pos = range.start + len / 2;
 
@@ -706,80 +1026,119 @@ impl FosterBTree {
                 )?;
             }
         }
-        Ok(kind)
+        Ok(Some(kind))
     }
 
     /// Adopts `child`'s foster child into `parent` (paper: the temporary
     /// foster relationship ends when the permanent parent takes over).
+    ///
+    /// Runs as a system transaction with bounded retry: latches are
+    /// taken top-down (parent, then child — the global latch order) and
+    /// with try-latches, so maintenance backs off rather than stalling
+    /// or deadlocking against foreground descents. After re-latching,
+    /// the plan is re-validated: a vanished entry or foster pointer
+    /// means a concurrent restructure already did the work.
     fn adopt(&self, parent: PageId, child: PageId) -> Result<(), BTreeError> {
-        // Parent must have room for one more entry; split it first if not.
-        {
-            let mut pguard = self.pool.fetch_mut(parent)?;
-            // A branch entry is at most a key + pid + slot overhead.
-            let need = self.max_record_size().min(256) + spf_storage::slotted::SLOT_SIZE;
-            if !self.fits(&mut pguard, need) {
-                drop(pguard);
-                if parent == self.root {
-                    return self.grow_root();
-                }
-                return self.split(parent);
-            }
-        }
-
-        let sys = self.txn.begin(TxKind::System);
-        let result = self.adopt_inner(sys, parent, child);
-        match result {
-            Ok(changed) => {
-                self.txn.commit(sys)?;
-                if changed {
-                    self.stats.lock().adoptions += 1;
-                }
+        let undo = PoolUndo::new(&self.pool);
+        let outcome = self.txn.run_system(
+            &undo,
+            SYS_ATTEMPTS,
+            |sys| -> Result<SysAttempt<AdoptStep>, BTreeError> {
+                Ok(match self.adopt_inner(sys, parent, child)? {
+                    AdoptStep::Busy => SysAttempt::Conflict,
+                    done => SysAttempt::Done(done),
+                })
+            },
+        )?;
+        match outcome {
+            Some(AdoptStep::Adopted) => {
+                TreeStatCounters::bump(&self.stats.adoptions);
                 Ok(())
             }
-            Err(e) => {
-                let _ = self.txn.abort(sys, &PoolUndo::new(&self.pool));
-                Err(e)
+            Some(AdoptStep::ParentFull) => {
+                // Make room one level up, then let a later pass adopt.
+                if parent == self.root {
+                    self.grow_root()
+                } else {
+                    self.split(parent)
+                }
+            }
+            Some(AdoptStep::Nothing) | Some(AdoptStep::Busy) => Ok(()),
+            None => {
+                TreeStatCounters::bump(&self.stats.restructure_conflicts);
+                Ok(())
             }
         }
     }
 
-    fn adopt_inner(&self, sys: TxId, parent: PageId, child: PageId) -> Result<bool, BTreeError> {
-        let mut cguard = self.pool.fetch_mut(child)?;
-        let cview = NodeView::new(&cguard)?;
-        if !cview.has_foster() {
-            return Ok(false); // already adopted
+    fn adopt_inner(
+        &self,
+        sys: TxId,
+        parent: PageId,
+        child: PageId,
+    ) -> Result<AdoptStep, BTreeError> {
+        let Some(mut pguard) = self.pool.try_fetch_mut(parent)? else {
+            return Ok(AdoptStep::Busy);
+        };
+        // Re-validate under the parent latch: find the child's entry.
+        let (entry_pos, upper, parent_low) = {
+            let pview = NodeView::new(&pguard)?;
+            if pview.kind() != NodeKind::Branch {
+                return Ok(AdoptStep::Nothing); // stale plan
+            }
+            let mut found = None;
+            for pos in pview.payload_range() {
+                let (c, entry_upper) = pview.branch_entry(pos)?;
+                if c == child {
+                    found = Some((pos, entry_upper));
+                    break;
+                }
+            }
+            match found {
+                Some((pos, entry_upper)) => (pos, entry_upper, pview.low_fence()?),
+                // The entry moved into one of the parent's own foster
+                // children; a later maintenance pass sees the new
+                // topology.
+                None => return Ok(AdoptStep::Nothing),
+            }
+        };
+        // Parent must have room for one more entry (a branch entry is at
+        // most a key + pid + slot overhead) — checked under the latch.
+        let need = self.max_record_size().min(256) + spf_storage::slotted::SLOT_SIZE;
+        if !self.fits(&mut pguard, need) {
+            return Ok(AdoptStep::ParentFull);
         }
-        let foster_pid = cview.foster_pid();
-        let separator = cview.foster_separator()?;
-        let high = cview.high_fence()?;
-        let level = cview.level();
+        let Some(mut cguard) = self.pool.try_fetch_mut(child)? else {
+            return Ok(AdoptStep::Busy);
+        };
+        let (foster_pid, separator, high, level) = {
+            let cview = NodeView::new(&cguard)?;
+            if !cview.has_foster() {
+                return Ok(AdoptStep::Nothing); // already adopted
+            }
+            let high = cview.high_fence()?;
+            if upper != high {
+                // Both pages are write-latched, so this cannot be a
+                // racing restructure: the parent promises `upper`, the
+                // chain ends at `high` — real damage.
+                return Err(BTreeError::FenceMismatch {
+                    page: child,
+                    expected_low: parent_low,
+                    expected_high: upper,
+                    found_low: cview.low_fence()?,
+                    found_high: high,
+                });
+            }
+            (
+                cview.foster_pid(),
+                cview.foster_separator()?,
+                high,
+                cview.level(),
+            )
+        };
 
         // Update the parent: entry (child, high) becomes (child, separator)
         // followed by (foster, high).
-        let mut pguard = self.pool.fetch_mut(parent)?;
-        let pview = NodeView::new(&pguard)?;
-        let mut entry_pos = None;
-        for pos in pview.payload_range() {
-            let (c, upper) = pview.branch_entry(pos)?;
-            if c == child {
-                if upper != high {
-                    return Err(BTreeError::FenceMismatch {
-                        page: child,
-                        expected_low: pview.low_fence()?,
-                        expected_high: upper,
-                        found_low: cview.low_fence()?,
-                        found_high: high.clone(),
-                    });
-                }
-                entry_pos = Some(pos);
-                break;
-            }
-        }
-        let entry_pos = entry_pos.ok_or_else(|| BTreeError::NodeCorrupt {
-            page: parent,
-            detail: format!("no entry for child {child} during adoption"),
-        })?;
-
         self.apply_logged(
             sys,
             &mut pguard,
@@ -830,45 +1189,54 @@ impl FosterBTree {
                 new: structure_bytes(level, None),
             },
         )?;
-        Ok(true)
+        Ok(AdoptStep::Adopted)
     }
 
     /// Grows the tree: the root's content moves to a fresh page, and the
     /// root becomes a one-entry branch above it. The root's page id never
     /// changes, so the tree has a stable anchor.
     fn grow_root(&self) -> Result<(), BTreeError> {
-        let sys = self.txn.begin(TxKind::System);
-        let result = self.grow_root_inner(sys);
-        match result {
-            Ok(()) => {
-                self.txn.commit(sys)?;
-                self.stats.lock().root_growths += 1;
-                Ok(())
-            }
-            Err(e) => {
-                let _ = self.txn.abort(sys, &PoolUndo::new(&self.pool));
-                Err(e)
-            }
+        let undo = PoolUndo::new(&self.pool);
+        let grown = self
+            .txn
+            .run_system(&undo, SYS_ATTEMPTS, |sys| {
+                self.grow_root_inner(sys).map(SysAttempt::Done)
+            })?
+            .unwrap_or(false);
+        if grown {
+            TreeStatCounters::bump(&self.stats.root_growths);
         }
+        Ok(())
     }
 
-    fn grow_root_inner(&self, sys: TxId) -> Result<(), BTreeError> {
-        let guard = self.pool.fetch(self.root)?;
-        let view = NodeView::new(&guard)?;
-        let (low, high) = (view.low_fence()?, view.high_fence()?);
-        let level = view.level();
+    /// Returns whether the root actually grew. The root's write latch is
+    /// held from re-validation to the in-place rewrite, so no concurrent
+    /// descent or split can observe (or create) an intermediate state:
+    /// growth is required for progress, hence a blocking latch rather
+    /// than the adoption path's try-latch.
+    fn grow_root_inner(&self, sys: TxId) -> Result<bool, BTreeError> {
+        let mut guard = self.pool.fetch_mut(self.root)?;
+        let (low, high, level) = {
+            let view = NodeView::new(&guard)?;
+            if !view.has_foster() {
+                // A concurrent growth already absorbed the root's chain.
+                return Ok(false);
+            }
+            (view.low_fence()?, view.high_fence()?, view.level())
+        };
 
         // Copy the root's entire image (records, foster state and all) to
-        // a fresh page.
+        // a fresh page. The fresh pid is unreferenced, so `put_new`
+        // cannot contend with the root latch this thread holds.
         let new_pid = self.alloc.allocate().ok_or(BTreeError::AllocFailed)?;
         let mut copy = (*guard).clone();
-        drop(guard);
         copy.set_page_id(new_pid);
         copy.reset_update_count();
         self.format_logged(sys, copy)?;
 
         // Rewrite the root as a branch with a single entry covering
-        // everything the copied node (and its chain) covers.
+        // everything the copied node (and its chain) covers — through the
+        // held guard, not `put_new` (the page latch is not reentrant).
         let entries: Vec<RawRecord> = vec![(branch_record(new_pid, &high), false)];
         let new_root = build_node(
             self.page_size,
@@ -879,49 +1247,56 @@ impl FosterBTree {
             &entries,
             None,
         );
-        self.format_logged(sys, new_root)?;
-        Ok(())
+        self.format_in_place(sys, &mut guard, new_root)?;
+        Ok(true)
     }
 
     /// Physically removes ghost records from `pid` under a system
     /// transaction. Returns true if anything was reclaimed.
     pub fn reclaim_ghosts(&self, pid: PageId) -> Result<bool, BTreeError> {
-        let sys = self.txn.begin(TxKind::System);
-        let mut reclaimed = false;
-        {
-            let mut guard = self.pool.fetch_mut(pid)?;
+        let undo = PoolUndo::new(&self.pool);
+        let reclaimed = self
+            .txn
+            .run_system(&undo, SYS_ATTEMPTS, |sys| {
+                self.reclaim_inner(sys, pid).map(SysAttempt::Done)
+            })?
+            .unwrap_or(false);
+        if reclaimed {
+            TreeStatCounters::bump(&self.stats.ghost_reclaims);
+        }
+        Ok(reclaimed)
+    }
+
+    fn reclaim_inner(&self, sys: TxId, pid: PageId) -> Result<bool, BTreeError> {
+        let mut guard = self.pool.fetch_mut(pid)?;
+        let ghost_slots: Vec<u16> = {
             let view = NodeView::new(&guard)?;
             if view.kind() != NodeKind::Leaf {
-                self.txn.commit(sys)?;
                 return Ok(false);
             }
-            let ghost_slots: Vec<u16> = view
-                .payload_range()
+            view.payload_range()
                 .filter(|&pos| guard.record_at(pos).map(|(_, g)| g).unwrap_or(false))
-                .collect();
-            for &pos in ghost_slots.iter().rev() {
-                let (bytes, _) = guard.record_at(pos).expect("slot exists");
-                let old_bytes = bytes.to_vec();
-                self.apply_logged(
-                    sys,
-                    &mut guard,
-                    PageOp::RemoveRecord {
-                        pos,
-                        old_bytes,
-                        old_ghost: true,
-                    },
-                )?;
-                reclaimed = true;
-            }
-            if reclaimed {
-                // Compaction is contents-neutral byte shuffling; redo is
-                // slot-positional, so it needs no log record.
-                SlottedPage::new(&mut guard).compact();
-            }
+                .collect()
+        };
+        let mut reclaimed = false;
+        for &pos in ghost_slots.iter().rev() {
+            let (bytes, _) = guard.record_at(pos).expect("slot exists");
+            let old_bytes = bytes.to_vec();
+            self.apply_logged(
+                sys,
+                &mut guard,
+                PageOp::RemoveRecord {
+                    pos,
+                    old_bytes,
+                    old_ghost: true,
+                },
+            )?;
+            reclaimed = true;
         }
-        self.txn.commit(sys)?;
         if reclaimed {
-            self.stats.lock().ghost_reclaims += 1;
+            // Compaction is contents-neutral byte shuffling; redo is
+            // slot-positional, so it needs no log record.
+            SlottedPage::new(&mut guard).compact();
         }
         Ok(reclaimed)
     }
@@ -1007,7 +1382,15 @@ impl FosterBTree {
         }
 
         let mut current = self.root;
+        let mut hops = 0usize;
         let incoming = loop {
+            hops += 1;
+            if hops > MAX_RETRIES * 4 {
+                // Concurrent restructures kept moving the incoming
+                // pointer; migration is invoked on quiesced/failed pages,
+                // so give up rather than loop forever.
+                return Err(BTreeError::TooManyRetries { retries: hops });
+            }
             let guard = self.pool.fetch(current)?;
             let view = NodeView::new(&guard)?;
             match view.route(&probe_key)? {

@@ -1,0 +1,350 @@
+//! Concurrency tests for the Foster B-tree: latch-crabbed descents under
+//! concurrent restructures.
+//!
+//! Three storms (disjoint writers, overlapping upserts, readers during
+//! splits/adoptions) check that no committed write is ever lost and that
+//! the structure stays verifiable afterwards — `verify_full` walks every
+//! reachable node through `NodeView::check_invariants` and re-checks all
+//! fence promises. Two deterministic tests then use the release/re-acquire
+//! hook to drive the foster-chain retry path on purpose, covering both
+//! recovery (bounded hops succeed) and `TooManyRetries` (a lowered limit
+//! trips with an exact retry count).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spf_btree::{BTreeError, BumpAllocator, FosterBTree, PageAllocator, VerifyMode};
+use spf_buffer::{BufferPool, BufferPoolConfig};
+use spf_storage::{MemDevice, PageId, DEFAULT_PAGE_SIZE};
+use spf_txn::{TxKind, TxnManager};
+use spf_wal::LogManager;
+
+struct Fixture {
+    pool: BufferPool,
+    txn: TxnManager,
+    alloc: Arc<BumpAllocator>,
+}
+
+fn fixture(frames: usize, capacity: u64) -> Fixture {
+    let device = MemDevice::for_testing(DEFAULT_PAGE_SIZE, capacity);
+    let log = LogManager::for_testing();
+    let pool = BufferPool::new(
+        BufferPoolConfig { frames },
+        Arc::new(device.clone()),
+        log.clone(),
+    );
+    let txn = TxnManager::new(log);
+    let alloc = Arc::new(BumpAllocator::new(1, capacity));
+    Fixture { pool, txn, alloc }
+}
+
+fn foster_tree(fx: &Fixture, verify: VerifyMode) -> FosterBTree {
+    FosterBTree::create(
+        fx.pool.clone(),
+        fx.txn.clone(),
+        fx.alloc.clone() as Arc<dyn PageAllocator>,
+        PageId(0),
+        DEFAULT_PAGE_SIZE,
+        verify,
+    )
+    .expect("create tree")
+}
+
+/// A second handle over the same pages, for hooks that restructure while
+/// the handle under test is mid-operation.
+fn second_handle(fx: &Fixture) -> FosterBTree {
+    FosterBTree::open(
+        fx.pool.clone(),
+        fx.txn.clone(),
+        fx.alloc.clone() as Arc<dyn PageAllocator>,
+        PageId(0),
+        DEFAULT_PAGE_SIZE,
+        VerifyMode::Continuous,
+    )
+}
+
+/// Per-thread upsert observations: (key index, new value, replaced value).
+type Observations = Vec<Vec<(u64, Vec<u8>, Option<Vec<u8>>)>>;
+
+fn key(i: u64) -> Vec<u8> {
+    format!("key-{i:08}").into_bytes()
+}
+
+fn val(thread: usize, seq: u64) -> Vec<u8> {
+    format!("t{thread:02}-{seq:012}").into_bytes()
+}
+
+/// Post-storm structural check: every node's invariants and every fence
+/// promise, then the fence-verification counters from the storm itself.
+fn assert_structurally_clean(tree: &FosterBTree) {
+    let violations = tree.verify_full().expect("verify_full");
+    assert!(
+        violations.is_empty(),
+        "violations after storm: {violations:?}"
+    );
+    assert_eq!(
+        tree.stats().fence_failures,
+        0,
+        "continuous verification flagged a fence during the storm"
+    );
+}
+
+#[test]
+fn disjoint_writers_every_committed_key_readable() {
+    const THREADS: usize = 4;
+    const PER_THREAD: u64 = 400;
+    let fx = fixture(512, 8192);
+    let tree = foster_tree(&fx, VerifyMode::Continuous);
+    let barrier = Barrier::new(THREADS);
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let tree = &tree;
+            let txn = &fx.txn;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                let base = t as u64 * PER_THREAD;
+                let mut tx = txn.begin(TxKind::User);
+                for i in 0..PER_THREAD {
+                    tree.insert(tx, &key(base + i), &val(t, i)).unwrap();
+                    if i % 25 == 24 {
+                        txn.commit(tx).unwrap();
+                        tx = txn.begin(TxKind::User);
+                    }
+                }
+                txn.commit(tx).unwrap();
+            });
+        }
+    });
+
+    for t in 0..THREADS {
+        let base = t as u64 * PER_THREAD;
+        for i in 0..PER_THREAD {
+            assert_eq!(
+                tree.get(&key(base + i)).unwrap(),
+                Some(val(t, i)),
+                "committed key {} lost",
+                base + i
+            );
+        }
+    }
+    let all = tree.collect_all().unwrap();
+    assert_eq!(all.len(), THREADS * PER_THREAD as usize);
+    assert_structurally_clean(&tree);
+    assert!(
+        tree.stats().leaf_splits > 0,
+        "storm too small to exercise concurrent splits"
+    );
+}
+
+#[test]
+fn overlapping_upserts_form_a_linear_chain_per_key() {
+    const THREADS: usize = 4;
+    const OPS: u64 = 300;
+    const KEYS: u64 = 100;
+    let fx = fixture(512, 8192);
+    let tree = foster_tree(&fx, VerifyMode::Continuous);
+    let barrier = Barrier::new(THREADS);
+
+    // Each committed upsert is one observation: (key, new value, value it
+    // replaced). Values are globally unique, so the observations on a key
+    // must chain final → … → None if no update was lost or torn.
+    let observations: Observations = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let tree = &tree;
+                let txn = &fx.txn;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ t as u64);
+                    let mut seen = Vec::with_capacity(OPS as usize);
+                    for seq in 0..OPS {
+                        let k = rng.gen_range(0..KEYS);
+                        let v = val(t, seq);
+                        let tx = txn.begin(TxKind::User);
+                        let prev = tree.upsert(tx, &key(k), &v).unwrap();
+                        txn.commit(tx).unwrap();
+                        seen.push((k, v, prev));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Reconstruct the per-key linearization from the prev-value pointers.
+    let mut by_new: BTreeMap<u64, BTreeMap<Vec<u8>, Option<Vec<u8>>>> = BTreeMap::new();
+    for (k, new, prev) in observations.into_iter().flatten() {
+        let dup = by_new.entry(k).or_default().insert(new, prev);
+        assert!(dup.is_none(), "value written twice");
+    }
+    for (k, chain) in &by_new {
+        let mut cursor = tree.get(&key(*k)).unwrap();
+        let mut walked = BTreeSet::new();
+        while let Some(value) = cursor {
+            assert!(walked.insert(value.clone()), "cycle in update chain");
+            cursor = chain
+                .get(&value)
+                .unwrap_or_else(|| panic!("final value of key {k} not written by any op"))
+                .clone();
+        }
+        assert_eq!(
+            walked.len(),
+            chain.len(),
+            "key {k}: {} of {} upserts missing from the chain — lost update",
+            chain.len() - walked.len(),
+            chain.len()
+        );
+    }
+    assert_structurally_clean(&tree);
+}
+
+#[test]
+fn readers_see_all_committed_keys_during_splits_and_adoptions() {
+    const TOTAL: u64 = 600;
+    const BATCH: u64 = 20;
+    const READERS: usize = 3;
+    let fx = fixture(512, 8192);
+    let tree = foster_tree(&fx, VerifyMode::Continuous);
+    let watermark = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        let tree = &tree;
+        let txn = &fx.txn;
+        let watermark = &watermark;
+        s.spawn(move || {
+            let mut tx = txn.begin(TxKind::User);
+            for i in 0..TOTAL {
+                tree.insert(tx, &key(i), &val(0, i)).unwrap();
+                if (i + 1) % BATCH == 0 {
+                    txn.commit(tx).unwrap();
+                    watermark.store(i + 1, Ordering::Release);
+                    tx = txn.begin(TxKind::User);
+                }
+            }
+            txn.commit(tx).unwrap();
+        });
+        for r in 0..READERS {
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(77 + r as u64);
+                loop {
+                    let committed = watermark.load(Ordering::Acquire);
+                    if committed > 0 {
+                        let i = rng.gen_range(0..committed);
+                        assert_eq!(
+                            tree.get(&key(i)).unwrap(),
+                            Some(val(0, i)),
+                            "committed key {i} invisible mid-storm"
+                        );
+                        // Crabbed scans must stay sorted and duplicate-free
+                        // while the chain restructures underneath them.
+                        let run = tree.scan(&key(i), 16).unwrap();
+                        assert!(
+                            run.windows(2).all(|w| w[0].0 < w[1].0),
+                            "scan produced unsorted or duplicate keys"
+                        );
+                    }
+                    if committed == TOTAL {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(tree.collect_all().unwrap().len(), TOTAL as usize);
+    assert_structurally_clean(&tree);
+    let stats = tree.stats();
+    assert!(stats.leaf_splits > 0 && stats.adoptions > 0);
+}
+
+/// Fills one leaf, then lets the hook split it several times in the
+/// window between the descent's latch release and the lookup's re-latch:
+/// the lookup must recover by hopping the foster chain, and the hops are
+/// visible in `descent_retries`.
+#[test]
+fn injected_splits_drive_foster_hops_and_recovery() {
+    let fx = fixture(64, 256);
+    let tree = foster_tree(&fx, VerifyMode::Continuous);
+    let tx = fx.txn.begin(TxKind::User);
+    for i in 0..40 {
+        tree.insert(tx, &key(i), &val(0, i)).unwrap();
+    }
+    fx.txn.commit(tx).unwrap();
+
+    let splitter = second_handle(&fx);
+    let fired = Arc::new(AtomicBool::new(false));
+    let hook_fired = Arc::clone(&fired);
+    tree.set_reacquire_hook(Some(Arc::new(move |leaf: PageId| {
+        if !hook_fired.swap(true, Ordering::SeqCst) {
+            // Each split halves the leaf and pushes the upper range one
+            // node deeper into the foster chain: leaf → f4 → f3 → f2 → f1.
+            for _ in 0..4 {
+                splitter.force_split(leaf).unwrap();
+            }
+        }
+    })));
+
+    // key 39 now lives at the chain's tail: four hops to reach it.
+    assert_eq!(tree.get(&key(39)).unwrap(), Some(val(0, 39)));
+    assert!(fired.load(Ordering::SeqCst), "hook never fired");
+    assert_eq!(
+        tree.stats().descent_retries,
+        4,
+        "expected exactly one hop per injected split"
+    );
+    tree.set_reacquire_hook(None);
+    assert_structurally_clean(&tree);
+}
+
+/// Same injection with the retry limit lowered to 2: the third hop must
+/// fail with `TooManyRetries` carrying the exact retry count, and the
+/// tree must remain fully usable afterwards.
+#[test]
+fn too_many_retries_reports_count_and_tree_survives() {
+    let fx = fixture(64, 256);
+    let tree = foster_tree(&fx, VerifyMode::Continuous);
+    let tx = fx.txn.begin(TxKind::User);
+    for i in 0..40 {
+        tree.insert(tx, &key(i), &val(0, i)).unwrap();
+    }
+    fx.txn.commit(tx).unwrap();
+
+    let splitter = second_handle(&fx);
+    let fired = Arc::new(AtomicBool::new(false));
+    let hook_fired = Arc::clone(&fired);
+    tree.set_reacquire_hook(Some(Arc::new(move |leaf: PageId| {
+        if !hook_fired.swap(true, Ordering::SeqCst) {
+            for _ in 0..4 {
+                splitter.force_split(leaf).unwrap();
+            }
+        }
+    })));
+    tree.set_retry_limit(2);
+
+    let err = tree.get(&key(39)).unwrap_err();
+    match &err {
+        BTreeError::TooManyRetries { retries } => {
+            assert_eq!(*retries, 3, "limit 2 must trip on the third hop");
+            assert!(
+                err.to_string().contains('3'),
+                "display must carry the count: {err}"
+            );
+        }
+        other => panic!("expected TooManyRetries, got {other}"),
+    }
+
+    // Recovery: with the hook disarmed the descent follows the chain
+    // inside the latched walk, so even the low limit suffices.
+    tree.set_reacquire_hook(None);
+    assert_eq!(tree.get(&key(39)).unwrap(), Some(val(0, 39)));
+    assert_eq!(tree.get(&key(0)).unwrap(), Some(val(0, 0)));
+    assert_structurally_clean(&tree);
+}

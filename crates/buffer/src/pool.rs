@@ -482,6 +482,31 @@ impl BufferPool {
         })
     }
 
+    /// Fetches `id` for writing without blocking on the page latch. The
+    /// page is made resident exactly as in [`BufferPool::fetch_mut`] (a
+    /// buffer fault still performs the verified read), but if another
+    /// thread holds the page latch this returns `Ok(None)` instead of
+    /// waiting — the back-off primitive that lets concurrent B-tree
+    /// restructures yield to foreground traffic instead of deadlocking
+    /// against it.
+    pub fn try_fetch_mut(&self, id: PageId) -> Result<Option<PageWriteGuard>, FetchError> {
+        let (frame_idx, page_arc) = self.fetch_frame(id)?;
+        let pin = Pin {
+            pool: Arc::clone(&self.inner),
+            frame_idx,
+        };
+        match RwLock::try_write_arc(&page_arc) {
+            Some(guard) => Ok(Some(PageWriteGuard {
+                guard,
+                pool: Arc::clone(&self.inner),
+                frame_idx,
+                _pin: pin,
+            })),
+            // `pin` drops here, unpinning the frame.
+            None => Ok(None),
+        }
+    }
+
     /// Installs a brand-new page image (allocation/format path or a page
     /// rebuilt by recovery) without reading the device. The frame is
     /// marked dirty with `rec_lsn`.

@@ -243,6 +243,12 @@ impl Database {
     }
 
     /// Convenience: single-op transaction around `put`.
+    ///
+    /// Safe to call from many threads over one shared `&Database`: the
+    /// key lock serializes writers per key, the tree's latch-crabbed
+    /// descent handles concurrent restructures, and the WAL's
+    /// reservation append keeps LSNs dense under concurrent commits
+    /// (experiment e18 drives exactly this path from N threads).
     pub fn put_auto(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, DbError> {
         let tx = self.begin();
         match self.put(tx, key, value) {

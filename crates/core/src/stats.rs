@@ -61,4 +61,19 @@ impl DbStats {
             self.log.forces as f64 / self.txn.user_commits as f64
         }
     }
+
+    /// Concurrency pressure on the tree: descent retries plus structural
+    /// back-offs per committed user transaction. Exactly zero on a
+    /// single-threaded workload (every retry path needs a concurrent
+    /// restructure to fire); small but non-zero under concurrent
+    /// writers — experiment e18 reports it alongside throughput.
+    #[must_use]
+    pub fn tree_conflicts_per_commit(&self) -> f64 {
+        if self.txn.user_commits == 0 {
+            0.0
+        } else {
+            (self.tree.descent_retries + self.tree.restructure_conflicts) as f64
+                / self.txn.user_commits as f64
+        }
+    }
 }

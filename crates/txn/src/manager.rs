@@ -75,6 +75,24 @@ pub struct TxnStats {
     pub aborts: u64,
     /// Compensation log records written during rollbacks.
     pub clrs_written: u64,
+    /// System transactions that rolled back after re-validation found a
+    /// concurrent conflict and were retried (see
+    /// [`TxnManager::run_system`]).
+    pub system_conflicts: u64,
+}
+
+/// The outcome of one attempt of a [`TxnManager::run_system`] body:
+/// either the structural change re-validated and applied (`Done`), or
+/// re-validation after re-latching found a concurrent conflict
+/// (`Conflict`) and the attempt should be rolled back and retried after
+/// a short back-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SysAttempt<T> {
+    /// The change applied; commit and return the payload.
+    Done(T),
+    /// A concurrent restructure invalidated the plan; roll back, back
+    /// off, retry.
+    Conflict,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -300,6 +318,52 @@ impl TxnManager {
         Ok(abort_lsn)
     }
 
+    /// Runs a structural change as a system transaction with bounded
+    /// retry: begins a [`TxKind::System`] transaction, runs `body`, and
+    /// commits when it reports [`SysAttempt::Done`]. On
+    /// [`SysAttempt::Conflict`] — the body re-latched its pages and found
+    /// a concurrent restructure got there first — the attempt is rolled
+    /// back through `undo`, counted in [`TxnStats::system_conflicts`],
+    /// and retried after a short back-off, up to `max_attempts` times.
+    /// Errors roll back and propagate. Returns `Ok(None)` when every
+    /// attempt conflicted; callers treat that as "someone else is
+    /// maintaining this part of the tree" and move on.
+    pub fn run_system<T, E>(
+        &self,
+        undo: &dyn UndoTarget,
+        max_attempts: usize,
+        mut body: impl FnMut(TxId) -> Result<SysAttempt<T>, E>,
+    ) -> Result<Option<T>, E>
+    where
+        E: From<TxError>,
+    {
+        for attempt in 0..max_attempts.max(1) {
+            let sys = self.begin(TxKind::System);
+            match body(sys) {
+                Ok(SysAttempt::Done(value)) => {
+                    self.commit(sys)?;
+                    return Ok(Some(value));
+                }
+                Ok(SysAttempt::Conflict) => {
+                    // A conflicting body made no (or only partial) logged
+                    // changes; roll whatever it did back and yield so the
+                    // winning restructure can finish.
+                    self.abort(sys, undo)?;
+                    self.inner.stats.lock().system_conflicts += 1;
+                    for _ in 0..(1u32 << attempt.min(6)) {
+                        std::hint::spin_loop();
+                    }
+                    std::thread::yield_now();
+                }
+                Err(e) => {
+                    let _ = self.abort(sys, undo);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(None)
+    }
+
     /// Active transactions and their most recent LSN, for checkpoints.
     #[must_use]
     pub fn active_txns(&self) -> Vec<(TxId, Lsn)> {
@@ -414,6 +478,62 @@ mod tests {
         // A later force (e.g. a dependent user commit) carries it out.
         log.force();
         assert!(log.durable_lsn() > commit_lsn);
+    }
+
+    #[test]
+    fn run_system_commits_on_done() {
+        let log = LogManager::for_testing();
+        let mgr = TxnManager::new(log.clone());
+        let target = RecordingTarget::default();
+        let out: Result<Option<u32>, TxError> = mgr.run_system(&target, 4, |sys| {
+            mgr.log_update(sys, PageId(1), Lsn::NULL, ins(0, 1))?;
+            Ok(SysAttempt::Done(7))
+        });
+        assert_eq!(out.unwrap(), Some(7));
+        let stats = mgr.stats();
+        assert_eq!(stats.system_commits, 1);
+        assert_eq!(stats.system_conflicts, 0);
+        assert_eq!(mgr.active_count(), 0);
+    }
+
+    #[test]
+    fn run_system_retries_conflicts_then_succeeds() {
+        let log = LogManager::for_testing();
+        let mgr = TxnManager::new(log.clone());
+        let target = RecordingTarget::default();
+        let mut attempts = 0;
+        let out: Result<Option<&str>, TxError> = mgr.run_system(&target, 4, |sys| {
+            attempts += 1;
+            if attempts < 3 {
+                // Simulate partial work invalidated by a concurrent
+                // restructure: the CLR must undo it on retry.
+                mgr.log_update(sys, PageId(2), Lsn::NULL, ins(0, 9))?;
+                Ok(SysAttempt::Conflict)
+            } else {
+                Ok(SysAttempt::Done("adopted"))
+            }
+        });
+        assert_eq!(out.unwrap(), Some("adopted"));
+        let stats = mgr.stats();
+        assert_eq!(stats.system_conflicts, 2);
+        assert_eq!(stats.aborts, 2);
+        assert_eq!(stats.clrs_written, 2, "conflicted work is undone");
+        assert_eq!(stats.system_commits, 1);
+        assert_eq!(mgr.active_count(), 0);
+    }
+
+    #[test]
+    fn run_system_gives_up_after_max_attempts() {
+        let log = LogManager::for_testing();
+        let mgr = TxnManager::new(log);
+        let target = RecordingTarget::default();
+        let out: Result<Option<()>, TxError> =
+            mgr.run_system(&target, 3, |_| Ok(SysAttempt::Conflict));
+        assert_eq!(out.unwrap(), None);
+        let stats = mgr.stats();
+        assert_eq!(stats.system_conflicts, 3);
+        assert_eq!(stats.system_commits, 0);
+        assert_eq!(mgr.active_count(), 0, "no transaction leaks");
     }
 
     #[test]

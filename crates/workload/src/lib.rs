@@ -176,6 +176,107 @@ impl Workload {
 }
 
 // ----------------------------------------------------------------------
+// Multi-threaded driver
+// ----------------------------------------------------------------------
+
+/// How a [`ConcurrentWorkload`] carves the key space across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyPartition {
+    /// Each thread owns a disjoint contiguous slice of the key space, so
+    /// per-thread expectations compose into an exact final state (the
+    /// lost-update check in experiment e18).
+    Disjoint,
+    /// All threads draw from the whole key space — maximum contention,
+    /// used by the linearizability harness.
+    Shared,
+}
+
+/// Deterministic multi-threaded driver: per-thread seeded put streams
+/// whose values are globally unique (they encode thread and sequence
+/// number), so concurrent histories can be checked for lost updates and
+/// linearized after the fact.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcurrentWorkload {
+    seed: u64,
+    threads: usize,
+    keys_per_thread: u64,
+    partition: KeyPartition,
+}
+
+impl ConcurrentWorkload {
+    /// A driver for `threads` threads over `threads * keys_per_thread`
+    /// total keys.
+    #[must_use]
+    pub fn new(seed: u64, threads: usize, keys_per_thread: u64, partition: KeyPartition) -> Self {
+        assert!(threads > 0 && keys_per_thread > 0);
+        Self {
+            seed,
+            threads,
+            keys_per_thread,
+            partition,
+        }
+    }
+
+    /// Thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The key-index range thread `t` draws from.
+    #[must_use]
+    pub fn key_range(&self, thread: usize) -> std::ops::Range<u64> {
+        assert!(thread < self.threads);
+        match self.partition {
+            KeyPartition::Disjoint => {
+                let base = thread as u64 * self.keys_per_thread;
+                base..base + self.keys_per_thread
+            }
+            KeyPartition::Shared => 0..self.threads as u64 * self.keys_per_thread,
+        }
+    }
+
+    /// The value a put stream writes: unique across the whole run
+    /// (thread id + per-thread sequence number), so any two writes are
+    /// distinguishable in the final state.
+    #[must_use]
+    pub fn value_for(thread: usize, seq: u64) -> Vec<u8> {
+        format!("t{thread:02}-{seq:012}").into_bytes()
+    }
+
+    /// Thread `t`'s deterministic stream of `n` puts.
+    #[must_use]
+    pub fn thread_ops(&self, thread: usize, n: usize) -> Vec<Op> {
+        let range = self.key_range(thread);
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (thread as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        (0..n as u64)
+            .map(|seq| Op::Put {
+                key: Workload::encode_key(rng.gen_range(range.clone())),
+                value: Self::value_for(thread, seq),
+            })
+            .collect()
+    }
+
+    /// The exact final `key → value` state the streams produce, valid
+    /// when each key is written by at most one thread (always true for
+    /// [`KeyPartition::Disjoint`]): per thread, the last put wins; the
+    /// disjoint per-thread maps then merge without overlap.
+    #[must_use]
+    pub fn expected_final(streams: &[Vec<Op>]) -> std::collections::BTreeMap<Vec<u8>, Vec<u8>> {
+        let mut expect = std::collections::BTreeMap::new();
+        for ops in streams {
+            for op in ops {
+                if let Op::Put { key, value } = op {
+                    expect.insert(key.clone(), value.clone());
+                }
+            }
+        }
+        expect
+    }
+}
+
+// ----------------------------------------------------------------------
 // Fault storm: traffic + seeded fault injection in one stream
 // ----------------------------------------------------------------------
 
@@ -591,5 +692,62 @@ mod tests {
         let load = w.load_phase(10);
         assert_eq!(load.len(), 10);
         assert!(load.windows(2).all(|p| p[0].0 < p[1].0));
+    }
+
+    #[test]
+    fn concurrent_streams_are_deterministic_and_disjoint() {
+        let cw = ConcurrentWorkload::new(7, 4, 100, KeyPartition::Disjoint);
+        let a = cw.thread_ops(2, 50);
+        let b = cw.thread_ops(2, 50);
+        assert_eq!(a, b, "same seed, same stream");
+        // Disjoint threads never touch each other's keys.
+        for t in 0..4 {
+            let range = cw.key_range(t);
+            for op in cw.thread_ops(t, 200) {
+                let Op::Put { key, .. } = op else { panic!() };
+                let idx: u64 = std::str::from_utf8(&key[4..]).unwrap().parse().unwrap();
+                assert!(range.contains(&idx));
+            }
+        }
+        assert_ne!(cw.key_range(0), cw.key_range(1));
+    }
+
+    #[test]
+    fn concurrent_values_are_globally_unique() {
+        let cw = ConcurrentWorkload::new(3, 3, 10, KeyPartition::Shared);
+        let mut seen = std::collections::BTreeSet::new();
+        for t in 0..3 {
+            for op in cw.thread_ops(t, 100) {
+                let Op::Put { value, .. } = op else { panic!() };
+                assert!(seen.insert(value));
+            }
+        }
+        assert_eq!(seen.len(), 300);
+    }
+
+    #[test]
+    fn expected_final_takes_last_put_per_key() {
+        let cw = ConcurrentWorkload::new(11, 2, 20, KeyPartition::Disjoint);
+        let streams: Vec<Vec<Op>> = (0..2).map(|t| cw.thread_ops(t, 60)).collect();
+        let expect = ConcurrentWorkload::expected_final(&streams);
+        // Every expected entry is the LAST write of that key in its stream.
+        for (key, value) in &expect {
+            let stream = streams
+                .iter()
+                .find(|ops| {
+                    ops.iter()
+                        .any(|op| matches!(op, Op::Put { key: k, .. } if k == key))
+                })
+                .unwrap();
+            let last = stream
+                .iter()
+                .rev()
+                .find_map(|op| match op {
+                    Op::Put { key: k, value: v } if k == key => Some(v.clone()),
+                    _ => None,
+                })
+                .unwrap();
+            assert_eq!(*value, last);
+        }
     }
 }

@@ -260,6 +260,19 @@ impl<T: ?Sized> RwLock<T> {
             _raw: PhantomData,
         }
     }
+
+    /// Attempts exclusive access without blocking, returning an owned
+    /// guard on success; the `arc_lock` variant of [`RwLock::try_write`].
+    pub fn try_write_arc(this: &Arc<Self>) -> Option<lock_api::ArcRwLockWriteGuard<RawRwLock, T>> {
+        if this.raw_try_lock_exclusive() {
+            Some(lock_api::ArcRwLockWriteGuard {
+                lock: Arc::clone(this),
+                _raw: PhantomData,
+            })
+        } else {
+            None
+        }
+    }
 }
 
 impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
@@ -406,6 +419,19 @@ mod tests {
         drop(l); // the guard keeps the lock alive
         assert_eq!(*g, 7);
         drop(g);
+    }
+
+    #[test]
+    fn try_write_arc_backs_off_and_succeeds() {
+        let l = Arc::new(RwLock::new(1u32));
+        let r = RwLock::read_arc(&l);
+        assert!(RwLock::try_write_arc(&l).is_none());
+        drop(r);
+        let mut w = RwLock::try_write_arc(&l).expect("uncontended try_write_arc");
+        *w = 2;
+        assert!(RwLock::try_write_arc(&l).is_none());
+        drop(w);
+        assert_eq!(*l.read(), 2);
     }
 
     #[test]
