@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod archiver;
+mod files;
 pub mod merge;
 pub mod run;
 pub mod stats;
@@ -93,6 +94,12 @@ pub enum ArchiveError {
         /// LSN of the wanted record.
         lsn: spf_wal::Lsn,
     },
+    /// The archive's persistence directory could not be read or
+    /// written.
+    Io {
+        /// Diagnostics from the filesystem.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ArchiveError {
@@ -108,6 +115,7 @@ impl fmt::Display for ArchiveError {
                     "truncated record at {lsn} for page {page} missing from the archive"
                 )
             }
+            ArchiveError::Io { detail } => write!(f, "archive I/O failed: {detail}"),
         }
     }
 }

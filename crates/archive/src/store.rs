@@ -16,6 +16,7 @@
 //!   global LSN order (run windows are pairwise disjoint, so ordering
 //!   runs by window and each run's records by LSN is a total order).
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -24,6 +25,7 @@ use spf_storage::PageId;
 use spf_util::{IoCostModel, IoKind, SimClock};
 use spf_wal::{LogRecord, Lsn};
 
+use crate::files;
 use crate::merge::{merge_runs, MergePolicy};
 use crate::run::ArchiveRun;
 use crate::stats::ArchiveStats;
@@ -52,6 +54,9 @@ pub struct ArchiveStore {
     clock: Arc<SimClock>,
     cost: IoCostModel,
     policy: MergePolicy,
+    /// When set, every installed run is durably written to this
+    /// directory before it becomes visible (see [`crate::files`]).
+    dir: Mutex<Option<PathBuf>>,
 }
 
 impl std::fmt::Debug for ArchiveStore {
@@ -82,7 +87,63 @@ impl ArchiveStore {
             clock,
             cost,
             policy,
+            dir: Mutex::new(None),
         }
+    }
+
+    /// Opens a store from the run files persisted in `dir` (and keeps
+    /// persisting there). Crash leftovers — stray `.tmp` files, merge
+    /// inputs whose merged output is already durable — are cleaned up
+    /// during the load; the watermark resumes at the highest window end
+    /// of any loaded run (the caller may advance it further from its
+    /// own metadata via
+    /// [`note_archived_through`](ArchiveStore::note_archived_through),
+    /// covering drains that produced no page-relevant records).
+    pub fn load(
+        clock: Arc<SimClock>,
+        cost: IoCostModel,
+        policy: MergePolicy,
+        dir: &Path,
+    ) -> Result<Self, ArchiveError> {
+        let store = Self::new(clock, cost, policy);
+        let loaded = files::load_dir(dir)?;
+        {
+            let mut inner = store.inner.lock();
+            for (level, run) in loaded {
+                if inner.levels.len() <= level {
+                    inner.levels.resize_with(level + 1, Vec::new);
+                }
+                inner.next_run_id = inner.next_run_id.max(run.id() + 1);
+                let (_, end) = run.window();
+                inner.archived_through = inner.archived_through.max(end);
+                inner.levels[level].push(Arc::new(run));
+            }
+        }
+        *store.dir.lock() = Some(dir.to_path_buf());
+        Ok(store)
+    }
+
+    /// Attaches a persistence directory to a fresh store: runs
+    /// installed from now on are durably written there first. Creates
+    /// the directory if needed.
+    pub fn set_dir(&self, dir: &Path) -> Result<(), ArchiveError> {
+        std::fs::create_dir_all(dir).map_err(|e| ArchiveError::Io {
+            detail: format!("creating archive directory: {e}"),
+        })?;
+        *self.dir.lock() = Some(dir.to_path_buf());
+        Ok(())
+    }
+
+    fn persist_dir(&self) -> Option<PathBuf> {
+        self.dir.lock().clone()
+    }
+
+    /// Advances the watermark to at least `lsn` without installing a
+    /// run — restart's correction when durable metadata (the manifest)
+    /// recorded a drain whose run held no page-relevant records.
+    pub fn note_archived_through(&self, lsn: Lsn) {
+        let mut inner = self.inner.lock();
+        inner.archived_through = inner.archived_through.max(lsn);
     }
 
     /// A store with free I/O for unit tests.
@@ -119,6 +180,11 @@ impl ArchiveStore {
     /// applies the merge policy level by level.
     pub fn append_run(&self, run: ArchiveRun) -> Result<(), ArchiveError> {
         let bytes = run.encoded_len();
+        // Durable before visible: a run readers can see must survive a
+        // crash, or recovery could be promised history that is gone.
+        if let Some(dir) = self.persist_dir() {
+            files::write_run_file(&dir, 0, &run)?;
+        }
         {
             let mut inner = self.inner.lock();
             Self::install_level0_locked(&mut inner, run);
@@ -151,9 +217,23 @@ impl ArchiveStore {
         to: Lsn,
         run: Option<ArchiveRun>,
     ) -> Result<bool, ArchiveError> {
+        // Persist before the commit check: the file write is too slow
+        // to do under the table lock. Losing the race just means
+        // deleting an orphan file no reader ever saw.
+        let persisted = match (&run, self.persist_dir()) {
+            (Some(run), Some(dir)) => {
+                files::write_run_file(&dir, 0, run)?;
+                Some((dir, run.id()))
+            }
+            _ => None,
+        };
         {
             let mut inner = self.inner.lock();
             if inner.archived_through.max(Lsn::FIRST) != from.max(Lsn::FIRST) {
+                drop(inner);
+                if let Some((dir, id)) = persisted {
+                    files::remove_run_files(&dir, [(0, id)]);
+                }
                 return Ok(false);
             }
             let bytes = run.as_ref().map_or(0, ArchiveRun::encoded_len);
@@ -204,19 +284,33 @@ impl ArchiveStore {
                 .advance(self.cost.cost(IoKind::SequentialRead, in_bytes));
             let merged = merge_runs(&inputs, id)?;
             let out_bytes = merged.encoded_len();
+            // Crash ordering: merged file durable first, then the
+            // in-memory swap, then the input files unlinked. A crash in
+            // between leaves the merged run *and* its inputs on disk —
+            // overlapping but complete — which `load` dedupes by window
+            // containment.
+            let dir = self.persist_dir();
+            if let Some(dir) = &dir {
+                files::write_run_file(dir, level + 1, &merged)?;
+            }
             self.clock
                 .advance(self.cost.cost(IoKind::SequentialWrite, out_bytes));
 
-            let mut inner = self.inner.lock();
             let input_ids: std::collections::HashSet<u64> = inputs.iter().map(|r| r.id()).collect();
-            inner.levels[level].retain(|r| !input_ids.contains(&r.id()));
-            if inner.levels.len() == level + 1 {
-                inner.levels.push(Vec::new());
+            {
+                let mut inner = self.inner.lock();
+                inner.levels[level].retain(|r| !input_ids.contains(&r.id()));
+                if inner.levels.len() == level + 1 {
+                    inner.levels.push(Vec::new());
+                }
+                inner.levels[level + 1].push(Arc::new(merged));
+                inner.stats.merges += 1;
+                inner.stats.runs_merged += inputs.len() as u64;
+                inner.stats.bytes_written += out_bytes as u64;
             }
-            inner.levels[level + 1].push(Arc::new(merged));
-            inner.stats.merges += 1;
-            inner.stats.runs_merged += inputs.len() as u64;
-            inner.stats.bytes_written += out_bytes as u64;
+            if let Some(dir) = &dir {
+                files::remove_run_files(dir, input_ids.iter().map(|&id| (level, id)));
+            }
         }
     }
 

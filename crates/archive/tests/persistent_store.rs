@@ -1,0 +1,195 @@
+//! Persistence round-trips for the archive store: runs survive a
+//! reload, the watermark resumes, merges persist at the right level,
+//! and the crash leftovers the durable-merge protocol can leave behind
+//! (merged output *and* its inputs both on disk) dedupe on load.
+
+use std::fs;
+
+use spf_archive::{ArchiveStore, MergePolicy, RunBuilder};
+use spf_storage::PageId;
+use spf_util::{IoCostModel, SimClock};
+use spf_wal::manager::make_record;
+use spf_wal::record::PageOp;
+use spf_wal::{LogRecord, Lsn, TxId};
+use std::sync::Arc;
+use tempdir::TempDir;
+
+fn update(page: u64, lsn: u64) -> (Lsn, LogRecord) {
+    let payload = spf_wal::LogPayload::Update {
+        op: PageOp::InsertRecord {
+            pos: 0,
+            bytes: vec![lsn as u8; 8],
+            ghost: false,
+        },
+    };
+    (
+        Lsn(lsn),
+        make_record(TxId(1), Lsn::NULL, PageId(page), Lsn::NULL, payload),
+    )
+}
+
+fn build_run(id: u64, pages: &[(u64, u64)], window: (u64, u64)) -> spf_archive::ArchiveRun {
+    let mut b = RunBuilder::new();
+    for &(page, lsn) in pages {
+        let (lsn, rec) = update(page, lsn);
+        b.push(lsn, rec);
+    }
+    b.finish(id, Lsn(window.0), Lsn(window.1))
+}
+
+fn fresh_store(dir: &std::path::Path, fanout: usize) -> ArchiveStore {
+    let store = ArchiveStore::new(
+        Arc::new(SimClock::new()),
+        IoCostModel::free(),
+        MergePolicy { fanout },
+    );
+    store.set_dir(dir).unwrap();
+    store
+}
+
+fn load_store(dir: &std::path::Path, fanout: usize) -> ArchiveStore {
+    ArchiveStore::load(
+        Arc::new(SimClock::new()),
+        IoCostModel::free(),
+        MergePolicy { fanout },
+        dir,
+    )
+    .unwrap()
+}
+
+#[test]
+fn runs_survive_reload_with_watermark_and_next_id() {
+    let tmp = TempDir::new("archive").unwrap();
+    let dir = tmp.path().join("archive");
+    let store = fresh_store(&dir, 100);
+    let id = store.allocate_run_id();
+    assert!(store
+        .commit_drain(
+            Lsn::NULL,
+            Lsn(300),
+            Some(build_run(id, &[(5, 120), (9, 250)], (16, 300))),
+        )
+        .unwrap());
+    drop(store);
+
+    let store = load_store(&dir, 100);
+    assert_eq!(store.archived_through(), Lsn(300));
+    assert_eq!(store.level_run_counts(), vec![1]);
+    let history = store.page_history(PageId(5), Lsn::NULL, Lsn(300)).unwrap();
+    assert_eq!(history.len(), 1);
+    assert_eq!(history[0].0, Lsn(120));
+    // Fresh ids continue above the loaded ones.
+    assert!(store.allocate_run_id() > id);
+}
+
+#[test]
+fn merge_persists_at_next_level_and_inputs_are_unlinked() {
+    let tmp = TempDir::new("archive").unwrap();
+    let dir = tmp.path().join("archive");
+    let store = fresh_store(&dir, 2);
+    for i in 0..2u64 {
+        let id = store.allocate_run_id();
+        let from = Lsn(16 + i * 100);
+        let to = Lsn(16 + (i + 1) * 100);
+        assert!(store
+            .commit_drain(
+                if i == 0 { Lsn::NULL } else { from },
+                to,
+                Some(build_run(id, &[(i, from.0 + 1)], (from.0, to.0))),
+            )
+            .unwrap());
+    }
+    // Fanout 2 reached: the two level-0 runs merged into one level-1 run.
+    assert_eq!(store.level_run_counts(), vec![0, 1]);
+    let files: Vec<String> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(files.len(), 1, "inputs unlinked, got {files:?}");
+    assert!(
+        files[0].starts_with("l01-"),
+        "merged run at level 1: {files:?}"
+    );
+    drop(store);
+
+    let store = load_store(&dir, 2);
+    assert_eq!(store.level_run_counts(), vec![0, 1]);
+    assert_eq!(store.archived_through(), Lsn(216));
+}
+
+#[test]
+fn crash_between_merge_write_and_input_unlink_dedupes_on_load() {
+    let tmp = TempDir::new("archive").unwrap();
+    let dir = tmp.path().join("archive");
+    // Simulate the torn state by hand: two input runs at level 0 plus
+    // the merged run (covering both windows) at level 1.
+    let store = fresh_store(&dir, 100);
+    store
+        .append_run(build_run(0, &[(1, 20)], (16, 100)))
+        .unwrap();
+    store
+        .append_run(build_run(1, &[(2, 150)], (100, 200)))
+        .unwrap();
+    drop(store);
+    // The "merged" run, already durable before the crash.
+    let merged = build_run(2, &[(1, 20), (2, 150)], (16, 200));
+    let store = fresh_store(&dir, 100);
+    let _ = store; // dir exists; write the level-1 file directly
+    fs::write(dir.join("l01-r00000002.spfa"), merged.encode()).unwrap();
+    // And a stray tmp file from an interrupted write.
+    fs::write(dir.join("l00-r00000009.spfa.tmp"), b"junk").unwrap();
+
+    let store = load_store(&dir, 100);
+    assert_eq!(
+        store.level_run_counts(),
+        vec![0, 1],
+        "contained inputs dropped in favour of the merged run"
+    );
+    let names: Vec<String> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(names, vec!["l01-r00000002.spfa".to_string()]);
+    // Both pages' history still served, now from the merged run.
+    assert_eq!(
+        store
+            .page_history(PageId(1), Lsn::NULL, Lsn(300))
+            .unwrap()
+            .len(),
+        1
+    );
+    assert_eq!(
+        store
+            .page_history(PageId(2), Lsn::NULL, Lsn(300))
+            .unwrap()
+            .len(),
+        1
+    );
+}
+
+#[test]
+fn losing_commit_race_removes_orphan_file() {
+    let tmp = TempDir::new("archive").unwrap();
+    let dir = tmp.path().join("archive");
+    let store = fresh_store(&dir, 100);
+    assert!(store
+        .commit_drain(
+            Lsn::NULL,
+            Lsn(100),
+            Some(build_run(0, &[(1, 20)], (16, 100)))
+        )
+        .unwrap());
+    // Stale drain: `from` no longer matches the watermark.
+    assert!(!store
+        .commit_drain(
+            Lsn::NULL,
+            Lsn(100),
+            Some(build_run(1, &[(1, 21)], (16, 100)))
+        )
+        .unwrap());
+    let names: Vec<String> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(names, vec!["l00-r00000000.spfa".to_string()]);
+}

@@ -1158,6 +1158,22 @@ impl BufferPool {
             }
             Err(e) => return Err(FetchError::Storage(e)),
         }
+        // The frame goes clean below, which lets the next checkpoint
+        // drop the page from its dirty-page table — after which restart
+        // redo will never revisit it. That is only sound if the write
+        // is *durable*, not merely acknowledged into the device's write
+        // cache: sync before clean, or a kill after the checkpoint
+        // would silently lose the page's updates.
+        match self.inner.device.sync() {
+            Ok(()) => {}
+            Err(StorageError::DeviceFailed) => {
+                return Err(FetchError::MediaFailure {
+                    id,
+                    reason: "device failed".into(),
+                })
+            }
+            Err(e) => return Err(FetchError::Storage(e)),
+        }
         bump(&self.inner.stats.write_backs);
 
         // (4) PRI maintenance: "After each completed page write follows a

@@ -81,6 +81,18 @@ pub struct DatabaseConfig {
     /// `Database::scrub_now` runs one sweep; `Database::start_scrubber`
     /// runs sweeps continuously on a background thread.
     pub scrub: ScrubConfig,
+    /// Keep a synchronous mirror of the data device (Section 5.2.2:
+    /// "other copies in a mirror or a RAID array" as a backup-page
+    /// source). Every write and sync goes to both devices; single-page
+    /// recovery prefers the mirror copy, and
+    /// `Database::media_recover_from_mirror` rebuilds a failed primary
+    /// from it.
+    pub mirror: bool,
+    /// For file-backed databases: skip simulated-clock charges on data
+    /// I/O and let the real device's latency show through — the mode
+    /// real-device benchmark rows use. Simulated-time experiments keep
+    /// this off so Section 6 arithmetic stays deterministic.
+    pub wall_clock_io: bool,
 }
 
 impl Default for DatabaseConfig {
@@ -97,6 +109,8 @@ impl Default for DatabaseConfig {
             single_device_node: false,
             archive: ArchiveConfig::default_on(),
             scrub: ScrubConfig::default_on(),
+            mirror: false,
+            wall_clock_io: false,
         }
     }
 }

@@ -1,6 +1,7 @@
 //! The [`Database`] façade: substrate wiring, transactional KV API,
 //! failure injection, and the four recovery paths.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -13,21 +14,39 @@ use spf_recovery::{
     RestartReport, SinglePageRecovery, SystemRecovery,
 };
 use spf_scrub::{ScanExtent, ScrubCycleReport, Scrubber};
-use spf_storage::{FaultSpec, MemDevice, Page, PageId, PageType, StorageDevice};
+use spf_storage::{
+    Device, FaultSpec, FileDevice, MemDevice, MirrorPair, Page, PageId, PageType, StorageDevice,
+};
 use spf_txn::{LockTable, TxKind, TxnManager};
 use spf_util::SimClock;
-use spf_wal::{BackupRef, LogManager, LogPayload, LogRecord, Lsn, TxId};
+use spf_wal::{BackupRef, LogManager, LogPayload, LogRecord, Lsn, TxId, WalFiles};
 
 use crate::config::DatabaseConfig;
 use crate::error::DbError;
+use crate::manifest::Manifest;
 use crate::stats::DbStats;
+
+/// File name of the primary data device inside a database directory.
+const DATA_FILE: &str = "data.dat";
+/// File name of the synchronous mirror device.
+const MIRROR_FILE: &str = "mirror.dat";
+/// File name of the backup-page device.
+const BACKUP_FILE: &str = "backup.dat";
+/// Subdirectory holding the numbered WAL segments.
+const WAL_DIR: &str = "wal";
+/// Subdirectory holding the archive's run files.
+const ARCHIVE_DIR: &str = "archive";
+/// Initial capacity (pages) of the backup device.
+const BACKUP_PAGES: u64 = 256;
 
 /// The database engine. All substrate handles are shared; `Database`
 /// itself is not `Clone` (one façade per engine).
 pub struct Database {
     config: DatabaseConfig,
     clock: Arc<SimClock>,
-    device: MemDevice,
+    device: Device,
+    mirror: Option<Device>,
+    path: Option<PathBuf>,
     log: LogManager,
     pool: BufferPool,
     txn: TxnManager,
@@ -67,36 +86,343 @@ impl std::fmt::Debug for Database {
 
 const ROOT: PageId = PageId(0);
 
+/// Everything [`Database::assemble`] needs that differs between the
+/// in-memory, fresh-directory, and reopened-directory constructors.
+struct Parts {
+    config: DatabaseConfig,
+    clock: Arc<SimClock>,
+    device: Device,
+    mirror: Option<Device>,
+    backups: Arc<BackupStore>,
+    log: LogManager,
+    archive: Option<Arc<ArchiveStore>>,
+    path: Option<PathBuf>,
+}
+
 impl Database {
-    /// Creates a fresh database per `config`.
+    /// Creates a fresh in-memory database per `config` (the simulated
+    /// substrate every experiment uses).
     pub fn create(config: DatabaseConfig) -> Result<Self, DbError> {
         let clock = Arc::new(SimClock::new());
-        let device = MemDevice::new(
+        let device = Device::Mem(MemDevice::new(
             config.page_size,
             config.data_pages,
             Arc::clone(&clock),
             config.io_cost,
             config.seed,
-        );
-        let backup_device = MemDevice::new(
+        ));
+        let mirror = config.mirror.then(|| {
+            Device::Mem(MemDevice::new(
+                config.page_size,
+                config.data_pages,
+                Arc::clone(&clock),
+                config.io_cost,
+                config.seed.wrapping_add(2),
+            ))
+        });
+        let backup_device = Device::Mem(MemDevice::new(
             config.page_size,
-            256,
+            BACKUP_PAGES,
             Arc::clone(&clock),
             config.io_cost,
             config.seed.wrapping_add(1),
-        );
+        ));
         let log = LogManager::new(Arc::clone(&clock), config.io_cost);
+        let archive = config
+            .archive
+            .enabled
+            .then(|| Arc::new(Self::new_archive(&config, &clock)));
+        Self::assemble(
+            Parts {
+                config,
+                clock,
+                device,
+                mirror,
+                backups: Arc::new(BackupStore::new(backup_device)),
+                log,
+                archive,
+                path: None,
+            },
+            true,
+        )
+    }
+
+    /// Creates a fresh **file-backed** database in directory `path`:
+    /// page-aligned data (and optional mirror) files, numbered WAL
+    /// segments, archive run files, and a CRC-guarded manifest. Reopen
+    /// it later — after a clean close *or* an abrupt kill — with
+    /// [`Database::open`].
+    pub fn create_at(config: DatabaseConfig, path: &Path) -> Result<Self, DbError> {
+        std::fs::create_dir_all(path).map_err(|e| Self::dir_err(path, &e))?;
+        let clock = Arc::new(SimClock::new());
+        let device = Self::create_file_device(
+            &config,
+            &clock,
+            &path.join(DATA_FILE),
+            config.data_pages,
+            config.seed,
+        )?;
+        let mirror = match config.mirror {
+            true => Some(Self::create_file_device(
+                &config,
+                &clock,
+                &path.join(MIRROR_FILE),
+                config.data_pages,
+                config.seed.wrapping_add(2),
+            )?),
+            false => None,
+        };
+        let backup_device = Self::create_file_device(
+            &config,
+            &clock,
+            &path.join(BACKUP_FILE),
+            BACKUP_PAGES,
+            config.seed.wrapping_add(1),
+        )?;
+        let log = LogManager::new(Arc::clone(&clock), config.io_cost);
+        let files = WalFiles::create(&path.join(WAL_DIR), Lsn::FIRST.0)
+            .map_err(|e| Self::dir_err(path, &e))?;
+        // The sink is armed before the first tree-format records are
+        // appended, so even the creation transaction is durable.
+        log.set_sink(Arc::new(files));
+        let archive = match config.archive.enabled {
+            true => {
+                let store = Self::new_archive(&config, &clock);
+                store
+                    .set_dir(&path.join(ARCHIVE_DIR))
+                    .map_err(|e| DbError::RecoveryFailed(e.to_string()))?;
+                Some(Arc::new(store))
+            }
+            false => None,
+        };
+        let db = Self::assemble(
+            Parts {
+                config,
+                clock,
+                device,
+                mirror,
+                backups: Arc::new(BackupStore::new(backup_device)),
+                log,
+                archive,
+                path: Some(path.to_path_buf()),
+            },
+            true,
+        )?;
+        db.persist_manifest()?;
+        Ok(db)
+    }
+
+    /// Opens an existing file-backed database directory and runs restart
+    /// (system) recovery: the manifest supplies the geometry, the WAL
+    /// segments are walked forward to find the durable prefix (a torn
+    /// tail from a mid-write kill is detected by checksum and
+    /// discarded), and ARIES-style analysis/redo/undo rebuilds the
+    /// caches. Committed transactions survive; incomplete ones are
+    /// rolled back.
+    ///
+    /// `config` supplies the *policy* knobs (pool size, verification,
+    /// scrubbing, archive fanout…); the manifest overrides the
+    /// *identity* fields: page size, device capacity, injector seed, and
+    /// mirroring.
+    pub fn open(path: &Path, mut config: DatabaseConfig) -> Result<Self, DbError> {
+        let manifest =
+            Manifest::load(path).map_err(|e| DbError::RecoveryFailed(format!("open: {e}")))?;
+        config.page_size = manifest.page_size;
+        config.data_pages = manifest.data_pages;
+        config.seed = manifest.seed;
+        config.mirror = manifest.mirror;
+
+        let clock = Arc::new(SimClock::new());
+        let device = Self::open_file_device(&config, &clock, &path.join(DATA_FILE), config.seed)?;
+        let mirror = match config.mirror {
+            true => Some(Self::open_file_device(
+                &config,
+                &clock,
+                &path.join(MIRROR_FILE),
+                config.seed.wrapping_add(2),
+            )?),
+            false => None,
+        };
+        let backup_device = Self::open_file_device(
+            &config,
+            &clock,
+            &path.join(BACKUP_FILE),
+            config.seed.wrapping_add(1),
+        )?;
+
+        let (files, base, bytes) =
+            WalFiles::open(&path.join(WAL_DIR)).map_err(|e| Self::dir_err(path, &e))?;
+        let (log, valid_end) =
+            LogManager::restore(Arc::clone(&clock), config.io_cost, base, &bytes);
+        // Physically drop the torn tail so a future crash + reopen never
+        // sees stale pre-crash bytes where fresh records should be.
+        files
+            .trim_to(valid_end.0)
+            .map_err(|e| Self::dir_err(path, &e))?;
+        log.set_archive_watermark(manifest.archived_through);
+        // Arm the sink before restart: recovery itself appends (undo
+        // compensation, PRI maintenance) and forces — those must be as
+        // durable as any foreground update.
+        log.set_sink(Arc::new(files));
+
+        let archive = match config.archive.enabled {
+            true => Some(Arc::new(
+                ArchiveStore::load(
+                    Arc::clone(&clock),
+                    config.io_cost,
+                    MergePolicy {
+                        fanout: config.archive.merge_fanout,
+                    },
+                    &path.join(ARCHIVE_DIR),
+                )
+                .map_err(|e| DbError::RecoveryFailed(e.to_string()))?,
+            )),
+            false => None,
+        };
+        if let Some(store) = &archive {
+            store.note_archived_through(manifest.archived_through);
+        }
+
+        // The backup free list is volatile; resume slot allocation past
+        // everything the previous incarnation could have handed out.
+        let backup_start = backup_device.capacity();
+        let backups = Arc::new(BackupStore::with_start_slot(backup_device, backup_start));
+
+        let db = Self::assemble(
+            Parts {
+                config,
+                clock,
+                device,
+                mirror,
+                backups,
+                log,
+                archive,
+                path: Some(path.to_path_buf()),
+            },
+            false,
+        )?;
+        // Restart's log analysis re-discovers allocated pages, but the
+        // manifest's high-water mark is the durable backstop (pages
+        // formatted before the last truncation have no log records
+        // left).
+        if manifest.alloc_high_water > 0 {
+            db.alloc
+                .note_allocated(PageId(manifest.alloc_high_water - 1));
+        }
+        *db.last_full_backup.lock() = manifest
+            .last_full_backup
+            .map(|(slot, lsn)| (PageId(slot), lsn));
+        db.restart()?;
+        Ok(db)
+    }
+
+    /// Cleanly shuts a file-backed database down: checkpoint, flush,
+    /// sync every device, persist the manifest. Reopening after `close`
+    /// finds an empty redo/undo workload. (Dropping without `close` is
+    /// crash-equivalent — still recoverable, just through restart
+    /// recovery.)
+    pub fn close(self) -> Result<(), DbError> {
+        self.stop_scrubber();
+        self.checkpoint()?;
+        self.pool
+            .flush_all()
+            .map_err(|e| self.escalate(e.to_string()))?;
+        self.device
+            .sync()
+            .map_err(|e| self.escalate(e.to_string()))?;
+        if let Some(m) = &self.mirror {
+            m.sync().map_err(|e| self.escalate(e.to_string()))?;
+        }
+        self.backups
+            .device()
+            .sync()
+            .map_err(|e| self.escalate(e.to_string()))?;
+        self.persist_manifest()
+    }
+
+    fn new_archive(config: &DatabaseConfig, clock: &Arc<SimClock>) -> ArchiveStore {
+        ArchiveStore::new(
+            Arc::clone(clock),
+            config.io_cost,
+            MergePolicy {
+                fanout: config.archive.merge_fanout,
+            },
+        )
+    }
+
+    fn create_file_device(
+        config: &DatabaseConfig,
+        clock: &Arc<SimClock>,
+        path: &Path,
+        pages: u64,
+        seed: u64,
+    ) -> Result<Device, DbError> {
+        let dev = FileDevice::create(
+            path,
+            config.page_size,
+            pages,
+            Arc::clone(clock),
+            config.io_cost,
+            seed,
+        )
+        .map_err(|e| DbError::RecoveryFailed(format!("create {}: {e}", path.display())))?;
+        dev.set_wall_clock(config.wall_clock_io);
+        Ok(Device::File(dev))
+    }
+
+    fn open_file_device(
+        config: &DatabaseConfig,
+        clock: &Arc<SimClock>,
+        path: &Path,
+        seed: u64,
+    ) -> Result<Device, DbError> {
+        let dev = FileDevice::open(
+            path,
+            config.page_size,
+            Arc::clone(clock),
+            config.io_cost,
+            seed,
+        )
+        .map_err(|e| DbError::RecoveryFailed(format!("open {}: {e}", path.display())))?;
+        dev.set_wall_clock(config.wall_clock_io);
+        Ok(Device::File(dev))
+    }
+
+    fn dir_err(path: &Path, e: &dyn std::fmt::Display) -> DbError {
+        DbError::RecoveryFailed(format!("database directory {}: {e}", path.display()))
+    }
+
+    /// Shared constructor: wires the substrate together. With `fresh`
+    /// the B-tree root is formatted (and logged); otherwise the tree is
+    /// merely re-attached and the caller runs restart recovery.
+    fn assemble(parts: Parts, fresh: bool) -> Result<Self, DbError> {
+        let Parts {
+            config,
+            clock,
+            device,
+            mirror,
+            backups,
+            log,
+            archive,
+            path,
+        } = parts;
+        // Mirrored writes are synchronous (Section 5.2.2): the pool
+        // writes through a pair that duplicates every write and sync
+        // onto the mirror device, while reads stay on the primary.
+        let pool_device: Arc<dyn StorageDevice> = match &mirror {
+            Some(m) => Arc::new(MirrorPair::new(device.clone(), m.clone())),
+            None => Arc::new(device.clone()),
+        };
         let pool = BufferPool::new(
             BufferPoolConfig {
                 frames: config.pool_frames,
             },
-            Arc::new(device.clone()),
+            pool_device,
             log.clone(),
         );
         let txn = TxnManager::new(log.clone());
         let alloc = Arc::new(BumpAllocator::new(0, config.data_pages));
         let pri = Arc::new(PageRecoveryIndex::new());
-        let backups = Arc::new(BackupStore::new(backup_device));
         let maintainer = Arc::new(PriMaintainer::new(
             Arc::clone(&pri),
             log.clone(),
@@ -104,15 +430,6 @@ impl Database {
             config.backup_policy,
         ));
 
-        let archive = config.archive.enabled.then(|| {
-            Arc::new(ArchiveStore::new(
-                Arc::clone(&clock),
-                config.io_cost,
-                MergePolicy {
-                    fanout: config.archive.merge_fanout,
-                },
-            ))
-        });
         let archiver = archive
             .as_ref()
             .map(|store| LogArchiver::new(log.clone(), Arc::clone(store)));
@@ -128,6 +445,9 @@ impl Database {
             );
             if let Some(store) = &archive {
                 spr = spr.with_archive(Arc::clone(store));
+            }
+            if let Some(m) = &mirror {
+                spr = spr.with_mirror(m.clone());
             }
             let spr = Arc::new(spr);
             pool.set_recoverer(Arc::clone(&spr) as _);
@@ -148,23 +468,37 @@ impl Database {
             ))
         });
 
-        let root = alloc.allocate().expect("device has capacity");
-        debug_assert_eq!(root, ROOT);
-        let tree = FosterBTree::create(
-            pool.clone(),
-            txn.clone(),
-            Arc::clone(&alloc) as Arc<dyn PageAllocator>,
-            root,
-            config.page_size,
-            config.verify_mode,
-        )
-        .map_err(DbError::Tree)?;
-        log.force();
+        let tree = if fresh {
+            let root = alloc.allocate().expect("device has capacity");
+            debug_assert_eq!(root, ROOT);
+            let tree = FosterBTree::create(
+                pool.clone(),
+                txn.clone(),
+                Arc::clone(&alloc) as Arc<dyn PageAllocator>,
+                root,
+                config.page_size,
+                config.verify_mode,
+            )
+            .map_err(DbError::Tree)?;
+            log.force();
+            tree
+        } else {
+            FosterBTree::open(
+                pool.clone(),
+                txn.clone(),
+                Arc::clone(&alloc) as Arc<dyn PageAllocator>,
+                ROOT,
+                config.page_size,
+                config.verify_mode,
+            )
+        };
 
         Ok(Self {
             config,
             clock,
             device,
+            mirror,
+            path,
             log,
             pool,
             txn,
@@ -181,6 +515,29 @@ impl Database {
             scrubber,
             scrub_thread: Mutex::new(None),
         })
+    }
+
+    /// Writes the manifest durably (create–rename–fsync). A no-op for
+    /// in-memory databases.
+    fn persist_manifest(&self) -> Result<(), DbError> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let manifest = Manifest {
+            page_size: self.config.page_size,
+            data_pages: self.config.data_pages,
+            seed: self.config.seed,
+            mirror: self.mirror.is_some(),
+            archived_through: self.log.archive_watermark(),
+            alloc_high_water: self.alloc.high_water(),
+            last_full_backup: self
+                .last_full_backup
+                .lock()
+                .map(|(slot, lsn)| (slot.0, lsn)),
+        };
+        manifest
+            .save(path)
+            .map_err(|e| DbError::RecoveryFailed(format!("manifest save failed: {e}")))
     }
 
     // ------------------------------------------------------------------
@@ -437,6 +794,9 @@ impl Database {
                 .set_backup_range(PageId(0), PageId(self.config.data_pages), backup, horizon);
         }
         *self.last_full_backup.lock() = Some((first, horizon));
+        // A file-backed database records the backup in its manifest so a
+        // reopened process can still media-recover from it.
+        self.persist_manifest()?;
         Ok(horizon)
     }
 
@@ -466,6 +826,32 @@ impl Database {
                 self.config.data_pages,
                 horizon,
             )
+            .map_err(DbError::RecoveryFailed)?;
+        let restart = self.restart()?;
+        Ok((report, restart))
+    }
+
+    /// Media recovery from the synchronous mirror (Section 5.2.2's
+    /// backup-page source scaled up to the whole device): every
+    /// verifiable mirror page is copied onto the primary, unverifiable
+    /// ones are rebuilt from archive + WAL history, and restart recovery
+    /// then replays the tail. Unlike [`media_recover`]
+    /// (`Database::media_recover`) this needs no full backup — the
+    /// mirror *is* the backup.
+    pub fn media_recover_from_mirror(&self) -> Result<(MediaReport, RestartReport), DbError> {
+        let mirror = self
+            .mirror
+            .as_ref()
+            .ok_or_else(|| DbError::RecoveryFailed("no mirror is configured".to_string()))?;
+        self.stop_scrubber();
+        self.pool.discard_all();
+        self.locks.clear();
+        let mut media = MediaRecovery::new(self.log.clone());
+        if let Some(store) = &self.archive {
+            media = media.with_archive(Arc::clone(store));
+        }
+        let report = media
+            .restore_from_mirror(&self.device, mirror, self.config.data_pages)
             .map_err(DbError::RecoveryFailed)?;
         let restart = self.restart()?;
         Ok((report, restart))
@@ -543,6 +929,10 @@ impl Database {
         if !safe.is_valid() {
             return Ok(0);
         }
+        // Persist the manifest (with the current archive watermark)
+        // *before* dropping WAL segments: a crash in between must find
+        // a manifest that still knows the dropped prefix is archived.
+        self.persist_manifest()?;
         self.log
             .truncate_until(safe)
             .map_err(|e| DbError::RecoveryFailed(e.to_string()))
@@ -709,8 +1099,20 @@ impl Database {
 
     /// The data device.
     #[must_use]
-    pub fn device(&self) -> &MemDevice {
+    pub fn device(&self) -> &Device {
         &self.device
+    }
+
+    /// The synchronous mirror device, when configured.
+    #[must_use]
+    pub fn mirror(&self) -> Option<&Device> {
+        self.mirror.as_ref()
+    }
+
+    /// The database directory, for file-backed databases.
+    #[must_use]
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
     }
 
     /// The write-ahead log.

@@ -45,11 +45,13 @@
 pub mod config;
 pub mod db;
 pub mod error;
+pub mod manifest;
 pub mod stats;
 
 pub use config::{ArchiveConfig, DatabaseConfig};
 pub use db::Database;
 pub use error::DbError;
+pub use manifest::Manifest;
 pub use stats::DbStats;
 
 // Re-export the pieces users touch through the façade.

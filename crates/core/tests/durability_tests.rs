@@ -1,0 +1,308 @@
+//! Durability and mirrored-media integration tests: file-backed
+//! databases surviving clean closes, abrupt in-process drops, and real
+//! process kills; mirror-sourced single-page repair and media recovery;
+//! and sync-fault (lost-write) detection through the scrubber.
+
+use std::path::Path;
+use std::process::Command;
+
+use spf::{
+    ArchiveConfig, CorruptionMode, Database, DatabaseConfig, DetectorClass, FaultSpec, ScrubConfig,
+};
+use tempdir::TempDir;
+
+fn key(i: u64) -> Vec<u8> {
+    format!("key-{i:08}").into_bytes()
+}
+
+fn val(i: u64, generation: u64) -> Vec<u8> {
+    format!("value-{i:08}-gen{generation:04}").into_bytes()
+}
+
+fn file_config() -> DatabaseConfig {
+    DatabaseConfig {
+        data_pages: 256,
+        pool_frames: 512,
+        scrub: ScrubConfig::disabled(),
+        ..DatabaseConfig::default()
+    }
+}
+
+fn load(db: &Database, n: u64, generation: u64) {
+    for i in 0..n {
+        db.put_auto(&key(i), &val(i, generation)).unwrap();
+    }
+}
+
+fn assert_all(db: &Database, n: u64, generation: u64) {
+    for i in 0..n {
+        assert_eq!(
+            db.get(&key(i)).unwrap().as_deref(),
+            Some(val(i, generation).as_slice()),
+            "key {i} wrong or missing"
+        );
+    }
+}
+
+// ----------------------------------------------------------------------
+// File-backed lifecycle
+// ----------------------------------------------------------------------
+
+#[test]
+fn clean_close_then_reopen_preserves_everything() {
+    let tmp = TempDir::new("spf-close").unwrap();
+    let dir = tmp.path().join("db");
+
+    let db = Database::create_at(file_config(), &dir).unwrap();
+    load(&db, 300, 0);
+    load(&db, 150, 1); // overwrite half, so both generations matter
+    let want = db.dump_all().unwrap();
+    db.close().unwrap();
+
+    let db = Database::open(&dir, file_config()).unwrap();
+    assert_eq!(db.dump_all().unwrap(), want);
+    assert_all(&db, 150, 1);
+    assert!(db.verify_tree().unwrap().is_empty());
+    // The reopened engine keeps working: fresh updates commit and read.
+    load(&db, 50, 2);
+    assert_all(&db, 50, 2);
+}
+
+#[test]
+fn drop_without_close_is_crash_equivalent() {
+    let tmp = TempDir::new("spf-drop").unwrap();
+    let dir = tmp.path().join("db");
+
+    let db = Database::create_at(file_config(), &dir).unwrap();
+    load(&db, 200, 0);
+    db.checkpoint().unwrap();
+    load(&db, 200, 1); // a tail of committed work after the checkpoint
+    drop(db); // no close(): dirty pages and the manifest go stale
+
+    let db = Database::open(&dir, file_config()).unwrap();
+    assert_all(&db, 200, 1);
+    assert!(db.verify_tree().unwrap().is_empty());
+}
+
+#[test]
+fn manifest_survives_wal_truncation_cycle() {
+    let tmp = TempDir::new("spf-trunc").unwrap();
+    let dir = tmp.path().join("db");
+    let config = DatabaseConfig {
+        archive: ArchiveConfig::default_on(),
+        ..file_config()
+    };
+
+    let db = Database::create_at(config, &dir).unwrap();
+    load(&db, 300, 0);
+    db.archive_now().unwrap();
+    db.checkpoint().unwrap();
+    let dropped = db.truncate_wal().unwrap();
+    assert!(dropped > 0, "a checkpointed, archived WAL prefix must go");
+    load(&db, 100, 1);
+    drop(db);
+
+    // Reopen starts from the truncated log: the archive (reloaded from
+    // its run files) plus the retained WAL cover all history.
+    let db = Database::open(&dir, config).unwrap();
+    assert_all(&db, 100, 1);
+    for i in 100..300 {
+        assert_eq!(
+            db.get(&key(i)).unwrap().as_deref(),
+            Some(val(i, 0).as_slice())
+        );
+    }
+}
+
+// ----------------------------------------------------------------------
+// Kill -9 oracle (same binary re-executed as the victim)
+// ----------------------------------------------------------------------
+
+fn kill_child_dir() -> Option<String> {
+    std::env::var("SPF_KILL_CHILD_DIR").ok()
+}
+
+/// Not a real test: this is the sacrificial child process. When the
+/// env var is absent (every normal test run) it does nothing.
+#[test]
+fn kill_child_entry() {
+    let Some(dir) = kill_child_dir() else {
+        return;
+    };
+    let kill_at: u64 = std::env::var("SPF_KILL_AT").unwrap().parse().unwrap();
+    let db = Database::create_at(file_config(), Path::new(&dir)).unwrap();
+    for i in 0..=kill_at {
+        db.put_auto(&key(i), &val(i, 7)).unwrap();
+        if i % 10 == 9 {
+            db.checkpoint().unwrap();
+        }
+    }
+    // Every put above committed (its log force returned). Die without
+    // any shutdown path — simulating a power cut.
+    std::process::abort();
+}
+
+#[test]
+fn killed_process_loses_no_committed_transaction() {
+    if kill_child_dir().is_some() {
+        return; // we *are* the child; only kill_child_entry runs
+    }
+    for kill_at in [0u64, 7, 23, 41] {
+        let tmp = TempDir::new("spf-kill").unwrap();
+        let dir = tmp.path().join("db");
+        let exe = std::env::current_exe().unwrap();
+        let status = Command::new(&exe)
+            .args(["kill_child_entry", "--exact", "--nocapture"])
+            .env("SPF_KILL_CHILD_DIR", &dir)
+            .env("SPF_KILL_AT", kill_at.to_string())
+            .status()
+            .expect("spawn victim");
+        assert!(!status.success(), "the victim must abort, not exit 0");
+
+        let db = Database::open(&dir, file_config()).expect("restart recovery");
+        assert_all(&db, kill_at + 1, 7);
+        assert!(db.verify_tree().unwrap().is_empty());
+    }
+}
+
+// ----------------------------------------------------------------------
+// Mirror as a backup-page source (Section 5.2.2)
+// ----------------------------------------------------------------------
+
+fn mirrored_config() -> DatabaseConfig {
+    DatabaseConfig {
+        data_pages: 512,
+        pool_frames: 1024,
+        mirror: true,
+        scrub: ScrubConfig::disabled(),
+        ..DatabaseConfig::default()
+    }
+}
+
+#[test]
+fn corrupt_primary_page_repairs_from_mirror() {
+    let db = Database::create(mirrored_config()).unwrap();
+    load(&db, 400, 0);
+    db.checkpoint().unwrap();
+    db.pool().flush_all().unwrap();
+
+    let victim = db.any_leaf_page().unwrap();
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 16 }),
+    );
+    db.drop_cache();
+
+    assert_all(&db, 400, 0);
+    let stats = db.stats();
+    assert!(
+        stats.spf.from_mirror >= 1,
+        "repair must have used the mirror copy, got {:?}",
+        stats.spf
+    );
+    assert_eq!(stats.spf.escalations, 0);
+}
+
+#[test]
+fn failed_primary_recovers_from_mirror_without_a_backup() {
+    let db = Database::create(mirrored_config()).unwrap();
+    load(&db, 400, 0);
+    db.checkpoint().unwrap();
+    load(&db, 120, 1); // committed tail not yet on either device
+
+    // No full backup was ever taken: traditional media recovery is
+    // impossible...
+    db.fail_device();
+    assert!(db.media_recover().is_err());
+
+    // ...but the mirror holds a verified copy of every page.
+    let (media, _restart) = db.media_recover_from_mirror().unwrap();
+    assert!(media.pages_restored > 0);
+    assert_all(&db, 120, 1);
+    for i in 120..400 {
+        assert_eq!(
+            db.get(&key(i)).unwrap().as_deref(),
+            Some(val(i, 0).as_slice())
+        );
+    }
+    assert!(db.verify_tree().unwrap().is_empty());
+}
+
+#[test]
+fn mirrored_file_database_reopens_with_mirror() {
+    let tmp = TempDir::new("spf-mirror-file").unwrap();
+    let dir = tmp.path().join("db");
+    let config = DatabaseConfig {
+        mirror: true,
+        ..file_config()
+    };
+
+    let db = Database::create_at(config, &dir).unwrap();
+    load(&db, 200, 0);
+    db.close().unwrap();
+    assert!(dir.join("mirror.dat").exists());
+
+    // The manifest remembers mirroring even if the caller forgets it.
+    let mut reopen = file_config();
+    reopen.mirror = false;
+    let db = Database::open(&dir, reopen).unwrap();
+    assert!(db.mirror().is_some(), "manifest must re-arm the mirror");
+    assert_all(&db, 200, 0);
+
+    // And the mirror actually serves repairs after reopening.
+    db.pool().flush_all().unwrap();
+    let victim = db.any_leaf_page().unwrap();
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::ZeroPage),
+    );
+    db.drop_cache();
+    assert_all(&db, 200, 0);
+    assert!(db.stats().spf.from_mirror >= 1);
+}
+
+// ----------------------------------------------------------------------
+// Sync faults on the file device
+// ----------------------------------------------------------------------
+
+#[test]
+fn lost_write_at_sync_is_detected_and_repaired() {
+    let tmp = TempDir::new("spf-lostwrite").unwrap();
+    let dir = tmp.path().join("db");
+    let config = DatabaseConfig {
+        scrub: ScrubConfig::default_on(),
+        ..file_config()
+    };
+
+    let db = Database::create_at(config, &dir).unwrap();
+    load(&db, 300, 0);
+    db.checkpoint().unwrap();
+
+    // Arm a lost write on a leaf, update every key so the victim page is
+    // re-dirtied, and flush: the victim's write is acknowledged but
+    // silently dropped at sync — the device keeps the stale version.
+    let victim = db.any_leaf_page().unwrap();
+    db.inject_fault(victim, FaultSpec::LostWriteAtSync);
+    load(&db, 300, 1);
+    db.checkpoint().unwrap();
+    db.pool().flush_all().unwrap();
+    db.drop_cache();
+
+    // The scrubber's PageLSN cross-check catches the stale page and its
+    // repair queue heals it from the per-page log chain.
+    let report = db.scrub_now().unwrap();
+    let stale: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.detector == DetectorClass::StaleLsn)
+        .collect();
+    assert!(
+        !stale.is_empty(),
+        "lost write must surface as StaleLsn, findings: {:?}",
+        report.findings
+    );
+    assert!(report.escalations.is_empty());
+
+    assert_all(&db, 300, 1);
+    assert!(db.verify_tree().unwrap().is_empty());
+}

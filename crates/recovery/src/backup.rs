@@ -20,7 +20,7 @@
 
 use parking_lot::Mutex;
 
-use spf_storage::{MemDevice, Page, PageId, StorageDevice, StorageError};
+use spf_storage::{Device, Page, PageId, StorageDevice, StorageError};
 
 /// Backup-store statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,7 +38,7 @@ pub struct BackupStats {
 /// The backup store: explicit page copies plus full-database backups, on
 /// a dedicated simulated device.
 pub struct BackupStore {
-    device: MemDevice,
+    device: Device,
     state: Mutex<State>,
 }
 
@@ -58,19 +58,31 @@ impl std::fmt::Debug for BackupStore {
 }
 
 impl BackupStore {
-    /// Creates a store on `device` (typically a dedicated [`MemDevice`]
+    /// Creates a store on `device` (typically a dedicated [`Device`]
     /// sharing the system's simulated clock).
     #[must_use]
-    pub fn new(device: MemDevice) -> Self {
+    pub fn new(device: Device) -> Self {
         Self {
             device,
             state: Mutex::new(State::default()),
         }
     }
 
+    /// Creates a store whose slot allocation starts at `start` —
+    /// restart's constructor. The free list does not survive a restart,
+    /// so allocation must resume past every slot the previous
+    /// incarnation may have handed out (its durable PRI entries still
+    /// point there); the device's current capacity is a safe bound.
+    #[must_use]
+    pub fn with_start_slot(device: Device, start: u64) -> Self {
+        let store = Self::new(device);
+        store.state.lock().next_slot = start;
+        store
+    }
+
     /// The underlying device (for statistics).
     #[must_use]
-    pub fn device(&self) -> &MemDevice {
+    pub fn device(&self) -> &Device {
         &self.device
     }
 
@@ -130,7 +142,7 @@ impl BackupStore {
     /// a real backup would read through the same verification as any
     /// other consumer, but backup scheduling/verification interplay is
     /// not what the paper evaluates.
-    pub fn take_full_backup(&self, data: &MemDevice, n: u64) -> Result<PageId, StorageError> {
+    pub fn take_full_backup(&self, data: &Device, n: u64) -> Result<PageId, StorageError> {
         let first = {
             let mut state = self.state.lock();
             let first = state.next_slot;
@@ -163,7 +175,7 @@ mod tests {
     use spf_storage::{PageType, DEFAULT_PAGE_SIZE};
 
     fn store() -> BackupStore {
-        BackupStore::new(MemDevice::for_testing(DEFAULT_PAGE_SIZE, 8))
+        BackupStore::new(Device::for_testing(DEFAULT_PAGE_SIZE, 8))
     }
 
     fn sample_page(id: u64, lsn: u64) -> Page {
@@ -215,7 +227,7 @@ mod tests {
 
     #[test]
     fn full_backup_copies_everything() {
-        let data = MemDevice::for_testing(DEFAULT_PAGE_SIZE, 16);
+        let data = Device::for_testing(DEFAULT_PAGE_SIZE, 16);
         for i in 0..16 {
             let p = sample_page(i, 100 + i);
             data.raw_overwrite(PageId(i), p.as_bytes());

@@ -234,7 +234,7 @@ impl ReadValidator for PriMaintainer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spf_storage::{MemDevice, PageType, DEFAULT_PAGE_SIZE};
+    use spf_storage::{Device, PageType, DEFAULT_PAGE_SIZE};
 
     fn setup(
         policy: BackupPolicy,
@@ -246,10 +246,7 @@ mod tests {
     ) {
         let pri = Arc::new(PageRecoveryIndex::new());
         let log = LogManager::for_testing();
-        let backups = Arc::new(BackupStore::new(MemDevice::for_testing(
-            DEFAULT_PAGE_SIZE,
-            8,
-        )));
+        let backups = Arc::new(BackupStore::new(Device::for_testing(DEFAULT_PAGE_SIZE, 8)));
         let maintainer =
             PriMaintainer::new(Arc::clone(&pri), log.clone(), Arc::clone(&backups), policy);
         (pri, log, backups, maintainer)

@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use spf_archive::ArchiveStore;
-use spf_storage::{MemDevice, Page, PageId, StorageDevice};
+use spf_storage::{Device, Page, PageId, StorageDevice};
 use spf_util::SimDuration;
 use spf_wal::{LogManager, LogPayload, LogRecord, Lsn};
 
@@ -89,7 +89,7 @@ impl MediaRecovery {
     /// Applies one replay record directly against the device (the shared
     /// redo arm of the WAL and archive replay paths).
     fn apply_replay_record(
-        device: &MemDevice,
+        device: &Device,
         page_size: usize,
         n: u64,
         lsn: Lsn,
@@ -136,7 +136,7 @@ impl MediaRecovery {
     /// replacement device at the same address).
     pub fn restore_device(
         &self,
-        device: &MemDevice,
+        device: &Device,
         backups: &BackupStore,
         backup_first: PageId,
         n: u64,
@@ -215,6 +215,106 @@ impl MediaRecovery {
                 &mut report.redo_applied,
             )?;
         }
+
+        report.sim_time = clock.now() - start_time;
+        Ok(report)
+    }
+
+    /// Media recovery with the mirror as the restore source (the
+    /// paper's classic alternative to backup-plus-log-replay): copies
+    /// every *verified* mirror page onto the replacement device, then
+    /// replays forward from the oldest restored PageLSN so the pages
+    /// the mirror held slightly stale catch up. An unverifiable mirror
+    /// page (the mirror can fail pages too) restores as zeroes and
+    /// forces the replay back to the beginning of history, where the
+    /// page's format record rebuilds it.
+    ///
+    /// The PageLSN guard in the replay arm makes the whole pass
+    /// idempotent: records a mirror page already reflects are skipped.
+    pub fn restore_from_mirror(
+        &self,
+        device: &Device,
+        mirror: &Device,
+        n: u64,
+    ) -> Result<MediaReport, String> {
+        let clock = std::sync::Arc::clone(self.log.clock());
+        let start_time = clock.now();
+        let mut report = MediaReport::default();
+
+        // Replacement medium: clear all faults including device failure.
+        device.injector().clear_all();
+
+        let page_size = device.page_size();
+        let mut buf = vec![0u8; page_size];
+        let mut replay_from: Option<Lsn> = None;
+        for i in 0..n {
+            let verified = mirror
+                .read_page_seq(PageId(i), &mut buf)
+                .is_ok_and(|()| Page::from_bytes(buf.clone()).verify(PageId(i)).is_ok());
+            if verified {
+                let lsn = Lsn(Page::from_bytes(buf.clone()).page_lsn());
+                replay_from = Some(replay_from.map_or(lsn, |r| r.min(lsn)));
+                report.pages_restored += 1;
+            } else {
+                buf.fill(0);
+                replay_from = Some(Lsn::NULL);
+            }
+            device
+                .write_page_seq(PageId(i), &buf)
+                .map_err(|e| format!("mirror restore write {i}: {e}"))?;
+        }
+
+        // Replay [replay_from, end): archived history first, then the
+        // live WAL tail, both in LSN order.
+        let from = replay_from.unwrap_or(Lsn::NULL).max(Lsn::FIRST);
+        let floor = self.log.truncate_point();
+        let mut wal_start = from;
+        if floor > from {
+            let archive = self.archive.as_ref().ok_or_else(|| {
+                format!(
+                    "log truncated at {floor} (mirror replay horizon {from}) \
+                     and no log archive is attached"
+                )
+            })?;
+            let mut apply_err: Option<String> = None;
+            let mut redo = 0u64;
+            report.archive_records_replayed += archive
+                .replay_lsn_order(from, floor, |lsn, record| {
+                    if apply_err.is_some() {
+                        return;
+                    }
+                    if let Err(e) =
+                        Self::apply_replay_record(device, page_size, n, lsn, record, &mut redo)
+                    {
+                        apply_err = Some(e);
+                    }
+                })
+                .map_err(|e| format!("archive replay: {e}"))?;
+            if let Some(e) = apply_err {
+                return Err(e);
+            }
+            report.redo_applied += redo;
+            wal_start = floor;
+        }
+        let scanner = self
+            .log
+            .scan_records(wal_start)
+            .map_err(|e| format!("log replay scan: {e}"))?;
+        for item in scanner {
+            let (lsn, record) = item.map_err(|e| format!("log replay scan: {e}"))?;
+            report.log_records_scanned += 1;
+            Self::apply_replay_record(
+                device,
+                page_size,
+                n,
+                lsn,
+                &record,
+                &mut report.redo_applied,
+            )?;
+        }
+        device
+            .sync()
+            .map_err(|e| format!("post-restore sync: {e}"))?;
 
         report.sim_time = clock.now() - start_time;
         Ok(report)

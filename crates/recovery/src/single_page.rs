@@ -30,7 +30,7 @@ use parking_lot::Mutex;
 
 use spf_archive::ArchiveStore;
 use spf_buffer::{PageRecoverer, RecoverOutcome};
-use spf_storage::{MemDevice, Page, PageId};
+use spf_storage::{Device, Page, PageId, StorageDevice};
 use spf_util::{SimClock, SimDuration};
 use spf_wal::{BackupRef, LogError, LogManager, LogPayload, LogRecord, Lsn};
 
@@ -59,6 +59,10 @@ pub struct SpfStats {
     pub from_log_image: u64,
     /// Recoveries that started from a format record.
     pub from_format_record: u64,
+    /// Recoveries that started from the mirror copy (Section 5.2.2:
+    /// "other copies in a mirror or a RAID array") — usually the
+    /// freshest source, so these replay the fewest chain records.
+    pub from_mirror: u64,
     /// Total simulated time spent inside recovery.
     pub sim_time: SimDuration,
     /// Per-page chain cross-check failures observed (defensive check of
@@ -75,7 +79,10 @@ pub struct SinglePageRecovery {
     /// The log archive: history older than the WAL truncation point.
     archive: Option<Arc<ArchiveStore>>,
     /// The data device, for clearing the fault (firmware remap model).
-    device: MemDevice,
+    device: Device,
+    /// Optional synchronous mirror of the data device: tried first as
+    /// the backup source, before the PRI's recorded one.
+    mirror: Option<Device>,
     clock: Arc<SimClock>,
     stats: Mutex<SpfStats>,
     bad_blocks: Mutex<Vec<PageId>>,
@@ -88,7 +95,7 @@ impl SinglePageRecovery {
         pri: Arc<PageRecoveryIndex>,
         log: LogManager,
         backups: Arc<BackupStore>,
-        device: MemDevice,
+        device: Device,
     ) -> Self {
         let clock = Arc::clone(device.clock());
         Self {
@@ -97,10 +104,22 @@ impl SinglePageRecovery {
             backups,
             archive: None,
             device,
+            mirror: None,
             clock,
             stats: Mutex::new(SpfStats::default()),
             bad_blocks: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Attaches a synchronous mirror of the data device. A verified
+    /// mirror image becomes the preferred backup source: it is at most
+    /// one sync behind the primary, so recovery replays only the chain
+    /// suffix after the mirror's PageLSN — often nothing at all —
+    /// instead of the whole history since the last explicit backup.
+    #[must_use]
+    pub fn with_mirror(mut self, mirror: Device) -> Self {
+        self.mirror = Some(mirror);
+        self
     }
 
     /// Attaches the log archive: recovery then replays history older
@@ -140,8 +159,15 @@ impl SinglePageRecovery {
             .lookup(id)
             .ok_or_else(|| format!("no page recovery index entry for {id}"))?;
 
-        // (2) Restore the backup copy.
-        let mut page = self.load_backup(id, entry.backup)?;
+        // (2) Restore the backup copy — preferring the mirror, whose
+        // copy is newest; the PRI's recorded source is the fallback
+        // when the mirror's copy is itself damaged (or there is none).
+        let mirror_page = self.load_mirror(id);
+        let used_mirror = mirror_page.is_some();
+        let mut page = match mirror_page {
+            Some(page) => page,
+            None => self.load_backup(id, entry.backup)?,
+        };
 
         // (3) Gather the page's history above the backup point. The live
         // WAL serves the unarchived suffix through the backward per-page
@@ -278,13 +304,35 @@ impl SinglePageRecovery {
         let mut stats = self.stats.lock();
         stats.recoveries += 1;
         stats.sim_time = stats.sim_time.saturating_add(self.clock.now() - start_time);
-        match entry.backup {
-            BackupRef::BackupPage(_) | BackupRef::FullBackup { .. } => stats.from_backup_page += 1,
-            BackupRef::LogImage(_) => stats.from_log_image += 1,
-            BackupRef::FormatRecord(_) => stats.from_format_record += 1,
-            BackupRef::None => {}
+        if used_mirror {
+            stats.from_mirror += 1;
+        } else {
+            match entry.backup {
+                BackupRef::BackupPage(_) | BackupRef::FullBackup { .. } => {
+                    stats.from_backup_page += 1;
+                }
+                BackupRef::LogImage(_) => stats.from_log_image += 1,
+                BackupRef::FormatRecord(_) => stats.from_format_record += 1,
+                BackupRef::None => {}
+            }
         }
         Ok(page)
+    }
+
+    /// Tries the mirror as the backup source: a verified image is a
+    /// valid historical version of the page by construction (every
+    /// acknowledged primary write also went to the mirror), so its
+    /// PageLSN anchors the chain replay like any other backup would.
+    fn load_mirror(&self, id: PageId) -> Option<Page> {
+        let mirror = self.mirror.as_ref()?;
+        if id.0 >= mirror.capacity() {
+            return None;
+        }
+        let mut buf = vec![0u8; mirror.page_size()];
+        mirror.read_page(id, &mut buf).ok()?;
+        let page = Page::from_bytes(buf);
+        page.verify(id).ok()?;
+        Some(page)
     }
 
     /// Reads the record at `lsn`, falling back to the log archive when
@@ -372,18 +420,15 @@ mod tests {
         backups: Arc<BackupStore>,
         archive: Arc<ArchiveStore>,
         #[allow(dead_code)]
-        device: MemDevice,
+        device: Device,
         spr: SinglePageRecovery,
     }
 
     fn fixture() -> Fixture {
         let pri = Arc::new(PageRecoveryIndex::new());
         let log = LogManager::for_testing();
-        let device = MemDevice::for_testing(DEFAULT_PAGE_SIZE, 16);
-        let backups = Arc::new(BackupStore::new(MemDevice::for_testing(
-            DEFAULT_PAGE_SIZE,
-            16,
-        )));
+        let device = Device::for_testing(DEFAULT_PAGE_SIZE, 16);
+        let backups = Arc::new(BackupStore::new(Device::for_testing(DEFAULT_PAGE_SIZE, 16)));
         let archive = Arc::new(ArchiveStore::for_testing());
         let spr = SinglePageRecovery::new(
             Arc::clone(&pri),
@@ -709,14 +754,20 @@ mod tests {
         let cost = spf_util::IoCostModel::disk_2012();
         let pri = Arc::new(PageRecoveryIndex::new());
         let log = LogManager::new(Arc::clone(&clock), cost);
-        let device = MemDevice::new(DEFAULT_PAGE_SIZE, 16, Arc::clone(&clock), cost, 0);
-        let backups = Arc::new(BackupStore::new(MemDevice::new(
+        let device = Device::Mem(spf_storage::MemDevice::new(
             DEFAULT_PAGE_SIZE,
             16,
             Arc::clone(&clock),
             cost,
             0,
-        )));
+        ));
+        let backups = Arc::new(BackupStore::new(Device::Mem(spf_storage::MemDevice::new(
+            DEFAULT_PAGE_SIZE,
+            16,
+            Arc::clone(&clock),
+            cost,
+            0,
+        ))));
         let spr = SinglePageRecovery::new(
             Arc::clone(&pri),
             log.clone(),

@@ -47,6 +47,13 @@ impl DetectorClass {
             },
             FaultSpec::TornWrite { .. } => &[DetectorClass::Checksum],
             FaultSpec::HardReadError | FaultSpec::WearOut { .. } => &[DetectorClass::HardError],
+            // A dropped sync leaves an older-but-valid image — the
+            // lost-write signature only the PageLSN cross-check sees. A
+            // fail-stop mid-sync leaves a torn page on the next start.
+            FaultSpec::LostWriteAtSync => &[DetectorClass::StaleLsn],
+            FaultSpec::FailStopDuringSync { .. } => {
+                &[DetectorClass::Checksum, DetectorClass::StaleLsn]
+            }
         }
     }
 

@@ -39,7 +39,7 @@ use parking_lot::Mutex;
 
 use spf_buffer::{BufferPool, PageRecoverer, RecoverOutcome, RepairOutcome, Residency};
 use spf_recovery::{FailureClass, PageRecoveryIndex};
-use spf_storage::{MemDevice, Page, PageId, StorageDevice, StorageError};
+use spf_storage::{Device, Page, PageId, StorageDevice, StorageError};
 use spf_util::{SimClock, SimDuration};
 
 use crate::config::ScrubConfig;
@@ -208,7 +208,7 @@ struct ScrubState {
 pub struct Scrubber {
     config: ScrubConfig,
     single_device_node: bool,
-    device: MemDevice,
+    device: Device,
     pool: BufferPool,
     pri: Arc<PageRecoveryIndex>,
     repairer: Option<Arc<dyn PageRecoverer>>,
@@ -236,7 +236,7 @@ impl Scrubber {
     pub fn new(
         config: ScrubConfig,
         single_device_node: bool,
-        device: MemDevice,
+        device: Device,
         pool: BufferPool,
         pri: Arc<PageRecoveryIndex>,
         repairer: Option<Arc<dyn PageRecoverer>>,
@@ -569,14 +569,20 @@ mod tests {
     const PAGES: u64 = 16;
 
     struct Fixture {
-        device: MemDevice,
+        device: Device,
         pool: BufferPool,
         pri: Arc<PageRecoveryIndex>,
     }
 
     fn fixture(cost: IoCostModel) -> Fixture {
         let clock = Arc::new(SimClock::new());
-        let device = MemDevice::new(DEFAULT_PAGE_SIZE, PAGES, clock, cost, 7);
+        let device = Device::Mem(spf_storage::MemDevice::new(
+            DEFAULT_PAGE_SIZE,
+            PAGES,
+            clock,
+            cost,
+            7,
+        ));
         for i in 0..PAGES {
             let mut p = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(i), PageType::Meta);
             p.set_page_lsn(10);
@@ -599,7 +605,7 @@ mod tests {
     /// armed fault (the firmware-remap step) and returns a known-good
     /// image, like the real recoverer, without needing a log.
     struct RemapRecoverer {
-        device: MemDevice,
+        device: Device,
         refuse: bool,
     }
 

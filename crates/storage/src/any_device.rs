@@ -1,0 +1,199 @@
+//! [`Device`]: the concrete device handle the engine wires everywhere.
+//!
+//! The buffer pool speaks `Arc<dyn StorageDevice>`, but the scrubber and
+//! the recovery crates need the rich non-trait surface too — the fault
+//! injector, scrub scan reads, raw test access, growth — so they hold
+//! this enum instead of a trait object. One engine is either RAM-backed
+//! (simulation, the seed behaviour) or file-backed (durable, PR 7);
+//! every method dispatches to the matching implementation.
+
+use std::sync::Arc;
+
+use spf_util::{IoCostModel, SimClock};
+
+use crate::device::{DeviceStats, StorageDevice, StorageError};
+use crate::fault::{FaultInjector, FaultSpec};
+use crate::file_device::FileDevice;
+use crate::mem_device::MemDevice;
+use crate::page::PageId;
+
+/// A storage device of either kind. Cloning is cheap and shares the
+/// underlying device.
+#[derive(Clone, Debug)]
+pub enum Device {
+    /// RAM-backed simulated device.
+    Mem(MemDevice),
+    /// File-backed durable device.
+    File(FileDevice),
+}
+
+impl From<MemDevice> for Device {
+    fn from(d: MemDevice) -> Self {
+        Device::Mem(d)
+    }
+}
+
+impl From<FileDevice> for Device {
+    fn from(d: FileDevice) -> Self {
+        Device::File(d)
+    }
+}
+
+impl Device {
+    /// Convenience constructor: RAM-backed, free I/O, fresh clock. For
+    /// unit tests.
+    #[must_use]
+    pub fn for_testing(page_size: usize, capacity: u64) -> Self {
+        Device::Mem(MemDevice::for_testing(page_size, capacity))
+    }
+
+    /// The device's fault injector.
+    #[must_use]
+    pub fn injector(&self) -> &FaultInjector {
+        match self {
+            Device::Mem(d) => d.injector(),
+            Device::File(d) => d.injector(),
+        }
+    }
+
+    /// The simulated clock this device charges.
+    #[must_use]
+    pub fn clock(&self) -> &Arc<SimClock> {
+        match self {
+            Device::Mem(d) => d.clock(),
+            Device::File(d) => d.clock(),
+        }
+    }
+
+    /// The device's I/O cost model.
+    #[must_use]
+    pub fn cost_model(&self) -> IoCostModel {
+        match self {
+            Device::Mem(d) => d.cost_model(),
+            Device::File(d) => d.cost_model(),
+        }
+    }
+
+    /// Arms `fault` on `page` (see the concrete devices' docs).
+    pub fn inject_fault(&self, page: PageId, fault: FaultSpec) {
+        match self {
+            Device::Mem(d) => d.inject_fault(page, fault),
+            Device::File(d) => d.inject_fault(page, fault),
+        }
+    }
+
+    /// Grows the device by `additional` zeroed pages, returning the id
+    /// of the first new page.
+    pub fn grow(&self, additional: u64) -> PageId {
+        match self {
+            Device::Mem(d) => d.grow(additional),
+            Device::File(d) => d.grow(additional),
+        }
+    }
+
+    /// The scrubber's sequential, separately counted, fault-visible read
+    /// path.
+    pub fn scan_read(&self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError> {
+        match self {
+            Device::Mem(d) => d.scan_read(id, buf),
+            Device::File(d) => d.scan_read(id, buf),
+        }
+    }
+
+    /// Direct, uncounted, fault-bypassing view of the acknowledged
+    /// image. Test/diagnostic use only.
+    #[must_use]
+    pub fn raw_image(&self, page: PageId) -> Vec<u8> {
+        match self {
+            Device::Mem(d) => d.raw_image(page),
+            Device::File(d) => d.raw_image(page),
+        }
+    }
+
+    /// Direct, uncounted, fault-bypassing overwrite of the stored image.
+    /// Test/diagnostic use only.
+    pub fn raw_overwrite(&self, page: PageId, image: &[u8]) {
+        match self {
+            Device::Mem(d) => d.raw_overwrite(page, image),
+            Device::File(d) => d.raw_overwrite(page, image),
+        }
+    }
+}
+
+impl StorageDevice for Device {
+    fn page_size(&self) -> usize {
+        match self {
+            Device::Mem(d) => d.page_size(),
+            Device::File(d) => d.page_size(),
+        }
+    }
+
+    fn capacity(&self) -> u64 {
+        match self {
+            Device::Mem(d) => d.capacity(),
+            Device::File(d) => d.capacity(),
+        }
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError> {
+        match self {
+            Device::Mem(d) => d.read_page(id, buf),
+            Device::File(d) => d.read_page(id, buf),
+        }
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<(), StorageError> {
+        match self {
+            Device::Mem(d) => d.write_page(id, buf),
+            Device::File(d) => d.write_page(id, buf),
+        }
+    }
+
+    fn read_page_seq(&self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError> {
+        match self {
+            Device::Mem(d) => d.read_page_seq(id, buf),
+            Device::File(d) => d.read_page_seq(id, buf),
+        }
+    }
+
+    fn write_page_seq(&self, id: PageId, buf: &[u8]) -> Result<(), StorageError> {
+        match self {
+            Device::Mem(d) => d.write_page_seq(id, buf),
+            Device::File(d) => d.write_page_seq(id, buf),
+        }
+    }
+
+    fn sync(&self) -> Result<(), StorageError> {
+        match self {
+            Device::Mem(d) => d.sync(),
+            Device::File(d) => d.sync(),
+        }
+    }
+
+    fn stats(&self) -> DeviceStats {
+        match self {
+            Device::Mem(d) => d.stats(),
+            Device::File(d) => d.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::DEFAULT_PAGE_SIZE;
+
+    #[test]
+    fn dispatches_to_mem_device() {
+        let dev = Device::for_testing(DEFAULT_PAGE_SIZE, 4);
+        let buf = vec![3u8; DEFAULT_PAGE_SIZE];
+        dev.write_page(PageId(1), &buf).unwrap();
+        dev.sync().unwrap();
+        let mut out = vec![0u8; DEFAULT_PAGE_SIZE];
+        dev.read_page(PageId(1), &mut out).unwrap();
+        assert_eq!(out, buf);
+        assert_eq!(dev.raw_image(PageId(1)), buf);
+        assert_eq!(dev.stats().random_writes, 1);
+        assert_eq!(dev.stats().syncs, 1);
+    }
+}

@@ -47,6 +47,13 @@ pub enum StorageError {
         /// Device page size.
         expected: usize,
     },
+    /// An operating-system I/O error from a file-backed device (open,
+    /// read, write, or fsync failed at the OS level). Carries the
+    /// formatted error; `std::io::Error` is neither `Clone` nor `Eq`.
+    Io {
+        /// Human-readable context plus the OS error.
+        context: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -61,6 +68,7 @@ impl fmt::Display for StorageError {
             StorageError::BadBufferSize { got, expected } => {
                 write!(f, "buffer size {got} does not match page size {expected}")
             }
+            StorageError::Io { context } => write!(f, "I/O error: {context}"),
         }
     }
 }
@@ -91,6 +99,9 @@ pub struct DeviceCounters {
     /// `sequential_reads`), so experiments can separate scrub I/O from
     /// foreground I/O.
     pub scrub_reads: AtomicU64,
+    /// Explicit durability barriers ([`StorageDevice::sync`]) served —
+    /// the fsync count on a file-backed device.
+    pub syncs: AtomicU64,
 }
 
 /// A point-in-time copy of [`DeviceCounters`].
@@ -113,6 +124,8 @@ pub struct DeviceStats {
     /// Sequential reads issued by the background scrubber (a subset of
     /// `sequential_reads`).
     pub scrub_reads: u64,
+    /// Explicit durability barriers ([`StorageDevice::sync`]) served.
+    pub syncs: u64,
 }
 
 impl DeviceStats {
@@ -142,6 +155,7 @@ impl DeviceCounters {
             failed_writes: self.failed_writes.load(Ordering::Relaxed),
             silent_corrupt_reads: self.silent_corrupt_reads.load(Ordering::Relaxed),
             scrub_reads: self.scrub_reads.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
         }
     }
 
@@ -173,6 +187,16 @@ pub trait StorageDevice: Send + Sync {
 
     /// Writes `buf` to page `id`, charged as sequential transfer.
     fn write_page_seq(&self, id: PageId, buf: &[u8]) -> Result<(), StorageError>;
+
+    /// Durability barrier: all previously acknowledged writes are on
+    /// stable storage when this returns `Ok`. A write is **not** durable
+    /// until a sync covers it — the fsync discipline every write-back
+    /// and log-force path must follow. Devices without a volatile write
+    /// cache (the RAM-backed [`crate::MemDevice`]) satisfy the contract
+    /// trivially.
+    fn sync(&self) -> Result<(), StorageError> {
+        Ok(())
+    }
 
     /// Snapshot of the device's operation counters.
     fn stats(&self) -> DeviceStats;

@@ -17,6 +17,13 @@
 //! | [`FaultSpec::HardReadError`] | read returns an explicit error | device error path |
 //! | [`FaultSpec::TornWrite`] | next write applies only a prefix, then checksum fails on read | page checksum |
 //! | [`FaultSpec::WearOut`] | after N more writes the page hard-fails (flash endurance) | device error path |
+//! | [`FaultSpec::LostWriteAtSync`] | the next sync acknowledges success but silently drops this page's cached write | PageLSN cross-check vs. page recovery index |
+//! | [`FaultSpec::FailStopDuringSync`] | the next sync persists only a prefix of this page, then the process aborts | restart recovery + page checksum |
+//!
+//! The last two fire at *sync* time and therefore only apply to devices
+//! with an explicit durability boundary ([`crate::FileDevice`]'s write
+//! cache); a [`crate::MemDevice`] persists writes immediately and never
+//! consults [`FaultInjector::on_sync`].
 //!
 //! All randomness is drawn from a seeded RNG owned by the injector, so
 //! every experiment is reproducible.
@@ -73,6 +80,21 @@ pub enum FaultSpec {
         /// Writes left before the page fails.
         writes_remaining: u64,
     },
+    /// At the next sync the device acknowledges durability but silently
+    /// drops this page's cached write — the classic "lost write" the
+    /// paper's introduction anecdote describes: fsync returned success,
+    /// the bytes never reached the platter. Reads afterwards serve the
+    /// previous on-disk version, internally consistent, so only the
+    /// PageLSN cross-check can tell. One-shot.
+    LostWriteAtSync,
+    /// During the next sync the process persists only the first
+    /// `persisted_prefix` bytes of this page's cached write and then
+    /// fail-stops (aborts) — a power failure mid-fsync. Only meaningful
+    /// inside a sacrificial child process (kill-and-reopen tests).
+    FailStopDuringSync {
+        /// Bytes of the cached image that reach the file before the stop.
+        persisted_prefix: usize,
+    },
 }
 
 #[derive(Debug)]
@@ -87,6 +109,10 @@ enum ArmedFault {
     },
     WearOut {
         writes_remaining: u64,
+    },
+    LostWriteAtSync,
+    FailStopDuringSync {
+        persisted_prefix: usize,
     },
 }
 
@@ -131,6 +157,16 @@ pub(crate) enum WriteOutcome {
     DeviceFailed,
 }
 
+/// What the injector decided about syncing one cached page write.
+pub(crate) enum SyncOutcome {
+    /// Persist the cached image, then count it durable.
+    Persist,
+    /// Acknowledge durability but drop the cached image (lost write).
+    Drop,
+    /// Persist only this many leading bytes, then fail-stop the process.
+    FailStop(usize),
+}
+
 impl FaultInjector {
     /// Creates an injector with a deterministic RNG seed.
     #[must_use]
@@ -152,6 +188,10 @@ impl FaultInjector {
             FaultSpec::HardReadError => ArmedFault::HardReadError,
             FaultSpec::TornWrite { persisted_prefix } => ArmedFault::TornWrite { persisted_prefix },
             FaultSpec::WearOut { writes_remaining } => ArmedFault::WearOut { writes_remaining },
+            FaultSpec::LostWriteAtSync => ArmedFault::LostWriteAtSync,
+            FaultSpec::FailStopDuringSync { persisted_prefix } => {
+                ArmedFault::FailStopDuringSync { persisted_prefix }
+            }
         };
         self.inner.lock().faults.insert(page, armed);
     }
@@ -207,7 +247,9 @@ impl FaultInjector {
                     ReadOutcome::Clean
                 }
             }
-            ArmedFault::TornWrite { .. } => ReadOutcome::Clean,
+            ArmedFault::TornWrite { .. }
+            | ArmedFault::LostWriteAtSync
+            | ArmedFault::FailStopDuringSync { .. } => ReadOutcome::Clean,
             ArmedFault::Silent { mode, snapshot } => match mode {
                 CorruptionMode::BitRot { bits } => {
                     let bits = *bits;
@@ -272,6 +314,24 @@ impl FaultInjector {
                 WriteOutcome::Dropped
             }
             _ => WriteOutcome::Clean,
+        }
+    }
+
+    /// Consulted by devices with an explicit durability boundary
+    /// ([`crate::FileDevice`]) once per cached page at sync time.
+    /// [`SyncOutcome::Drop`] fires once and disarms; a fail-stop never
+    /// returns control anyway.
+    pub(crate) fn on_sync(&self, page: PageId) -> SyncOutcome {
+        let mut inner = self.inner.lock();
+        match inner.faults.get(&page) {
+            Some(ArmedFault::LostWriteAtSync) => {
+                inner.faults.remove(&page);
+                SyncOutcome::Drop
+            }
+            Some(ArmedFault::FailStopDuringSync { persisted_prefix }) => {
+                SyncOutcome::FailStop(*persisted_prefix)
+            }
+            _ => SyncOutcome::Persist,
         }
     }
 }
@@ -409,6 +469,39 @@ mod tests {
             inj.on_read(PageId(0), &[0; 8]),
             ReadOutcome::Clean
         ));
+    }
+
+    #[test]
+    fn lost_write_at_sync_drops_once() {
+        let inj = FaultInjector::new(7);
+        inj.arm_internal(PageId(6), FaultSpec::LostWriteAtSync, None);
+        // Reads and writes pass through untouched; the fault fires at sync.
+        assert!(matches!(
+            inj.on_read(PageId(6), &[0; 8]),
+            ReadOutcome::Clean
+        ));
+        assert!(matches!(inj.on_write(PageId(6)), WriteOutcome::Clean));
+        assert!(matches!(inj.on_sync(PageId(6)), SyncOutcome::Drop));
+        assert!(matches!(inj.on_sync(PageId(6)), SyncOutcome::Persist));
+    }
+
+    #[test]
+    fn fail_stop_during_sync_reports_prefix() {
+        let inj = FaultInjector::new(7);
+        inj.arm_internal(
+            PageId(2),
+            FaultSpec::FailStopDuringSync {
+                persisted_prefix: 100,
+            },
+            None,
+        );
+        assert!(matches!(inj.on_sync(PageId(2)), SyncOutcome::FailStop(100)));
+        // Un-fired sync faults never perturb the read/write paths.
+        assert!(matches!(
+            inj.on_read(PageId(2), &[0; 8]),
+            ReadOutcome::Clean
+        ));
+        assert!(matches!(inj.on_write(PageId(2)), WriteOutcome::Clean));
     }
 
     #[test]

@@ -28,14 +28,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod any_device;
 pub mod device;
 pub mod fault;
+pub mod file_device;
 pub mod mem_device;
+pub mod mirror;
 pub mod page;
 pub mod slotted;
 
+pub use any_device::Device;
 pub use device::{DeviceStats, StorageDevice, StorageError};
 pub use fault::{CorruptionMode, FaultInjector, FaultSpec};
+pub use file_device::FileDevice;
 pub use mem_device::MemDevice;
+pub use mirror::MirrorPair;
 pub use page::{Page, PageDefect, PageId, PageType, DEFAULT_PAGE_SIZE, PAGE_HEADER_SIZE};
 pub use slotted::{SlotId, SlottedPage};

@@ -270,6 +270,16 @@ impl StorageDevice for MemDevice {
         self.do_write(id, buf, IoKind::SequentialWrite)
     }
 
+    /// RAM persists writes immediately; only the barrier is counted, so
+    /// tests can assert the fsync discipline against any device kind.
+    fn sync(&self) -> Result<(), StorageError> {
+        if self.inner.injector.device_failed() {
+            return Err(StorageError::DeviceFailed);
+        }
+        DeviceCounters::bump(&self.inner.counters.syncs);
+        Ok(())
+    }
+
     fn stats(&self) -> DeviceStats {
         self.inner.counters.snapshot()
     }

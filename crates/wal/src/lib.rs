@@ -43,6 +43,8 @@ mod segment;
 
 pub mod manager;
 pub mod record;
+pub mod sink;
 
 pub use manager::{LogError, LogManager, LogScanner, LogStats};
 pub use record::{BackupRef, CompressedPageImage, LogPayload, LogRecord, Lsn, PageOp, TxId};
+pub use sink::{LogSink, WalFiles};

@@ -52,6 +52,7 @@ use spf_util::{IoCostModel, IoKind, SimClock};
 use crate::group_force::{Forced, GroupForce};
 use crate::record::{LogPayload, LogRecord, Lsn, TxId};
 use crate::segment::SegmentedBuffer;
+use crate::sink::LogSink;
 
 /// Errors from log reads.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -280,6 +281,11 @@ struct Inner {
     force: GroupForce,
     stats: Counters,
     control: Mutex<Control>,
+    /// Durable backing for forced bytes. `None` (the simulated default)
+    /// means "durable" is an accounting fiction that survives
+    /// [`LogManager::crash`] but not a real process kill; with a sink,
+    /// the force leader writes and syncs it before publishing `durable`.
+    sink: Mutex<Option<Arc<dyn LogSink>>>,
 }
 
 /// The write-ahead log.
@@ -330,10 +336,90 @@ impl LogManager {
                     durable_ckpts: 0,
                     archive_watermark: Lsn::NULL,
                 }),
+                sink: Mutex::new(None),
             }),
             clock,
             cost,
         }
+    }
+
+    /// Rebuilds a log from the bytes a [`LogSink`] persisted: `base` is
+    /// the virtual offset of `bytes[0]` (the first segment file's
+    /// name), as returned by [`crate::WalFiles::open`].
+    ///
+    /// The stored tail may be torn — a kill can land between the sink's
+    /// `append` and its `sync` — so the constructor walks the records
+    /// forward and accepts the longest prefix that parses (checksummed
+    /// frames make a torn record detectable). Everything behind the
+    /// tear becomes the durable log, its checkpoint-begin records
+    /// re-indexed; the tear itself and anything after are discarded,
+    /// exactly like [`LogManager::crash`] discards the unforced tail.
+    /// Returns the manager and the valid end — the caller should
+    /// physically trim the sink to it before re-attaching it with
+    /// [`set_sink`](LogManager::set_sink).
+    ///
+    /// The archive watermark restarts at `NULL`; the caller restores it
+    /// from its own metadata ([`set_archive_watermark`]
+    /// (LogManager::set_archive_watermark)).
+    #[must_use]
+    pub fn restore(
+        clock: Arc<SimClock>,
+        cost: IoCostModel,
+        base: u64,
+        bytes: &[u8],
+    ) -> (Self, Lsn) {
+        let buf = SegmentedBuffer::new(base);
+        if !bytes.is_empty() {
+            let at = buf.reserve(bytes.len() as u64);
+            debug_assert_eq!(at, base);
+            buf.write(at, bytes);
+        }
+        // Forward walk: collect checkpoints, stop at the first byte
+        // range that does not parse as a record.
+        let mut checkpoints = Vec::new();
+        let mut off = 0usize;
+        while off < bytes.len() {
+            match LogRecord::decode(&bytes[off..]) {
+                Ok((record, len)) => {
+                    if matches!(record.payload, LogPayload::CheckpointBegin { .. }) {
+                        checkpoints.push(Lsn(base + off as u64));
+                    }
+                    off += len;
+                }
+                Err(_) => break,
+            }
+        }
+        let valid_end = base + off as u64;
+        if valid_end < base + bytes.len() as u64 {
+            buf.crash_to(valid_end);
+        }
+        let durable_ckpts = checkpoints.len();
+        let mgr = Self {
+            inner: Arc::new(Inner {
+                buf,
+                durable: AtomicU64::new(valid_end),
+                force: GroupForce::new(valid_end),
+                stats: Counters::default(),
+                control: Mutex::new(Control {
+                    checkpoints,
+                    durable_ckpts,
+                    archive_watermark: Lsn::NULL,
+                }),
+                sink: Mutex::new(None),
+            }),
+            clock,
+            cost,
+        };
+        (mgr, Lsn(valid_end))
+    }
+
+    /// Attaches the durable sink. From now on every force writes and
+    /// syncs the flushed range through it before the force returns.
+    /// Intended to be called once, right after construction or
+    /// [`restore`](LogManager::restore) — bytes forced earlier are not
+    /// retroactively written.
+    pub fn set_sink(&self, sink: Arc<dyn LogSink>) {
+        *self.inner.sink.lock() = Some(sink);
     }
 
     /// Creates a log with free I/O for unit tests.
@@ -396,6 +482,21 @@ impl LogManager {
         let outcome = inner.force.force_to(target, |from, to, batched| {
             while inner.buf.complete_end(from) < to {
                 std::thread::yield_now();
+            }
+            // Write-ahead for real: the sink must acknowledge the bytes
+            // before `durable` moves, or a commit could be acknowledged
+            // on the strength of bytes a kill would erase. A sink error
+            // is fatal for the same reason — there is no honest way to
+            // return from a force that did not persist.
+            let sink = inner.sink.lock().clone();
+            if let Some(sink) = sink {
+                let bytes = inner
+                    .buf
+                    .copy(from, to)
+                    .expect("forced range is retained in the buffer");
+                sink.append(from, &bytes)
+                    .and_then(|()| sink.sync())
+                    .expect("WAL sink failed; cannot acknowledge durability");
             }
             self.clock.advance(
                 self.cost
@@ -575,6 +676,11 @@ impl LogManager {
         }
         let dropped = cut - base;
         self.inner.buf.truncate_to(cut);
+        // Release sink storage below the cut. Best effort: failing to
+        // unlink an old segment wastes disk but loses nothing.
+        if let Some(sink) = self.inner.sink.lock().clone() {
+            let _ = sink.truncate_to(cut);
+        }
         // Checkpoints below the cut are unreadable now; all of them were
         // durable (cut <= durable), so the cursor shifts with them.
         control.advance_ckpt_cursor(durable);

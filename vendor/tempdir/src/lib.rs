@@ -1,0 +1,132 @@
+//! Offline stand-in for the `tempdir` crate (the 0.3 API subset this
+//! workspace uses — see `vendor/README.md` for the ground rules).
+//!
+//! A [`TempDir`] is a freshly created directory under the system temp
+//! directory, removed recursively when the handle is dropped (or kept
+//! with [`TempDir::into_path`]). Uniqueness comes from the process id,
+//! a nanosecond timestamp, and a process-global counter, with a
+//! create-retry loop as the authoritative collision check — no RNG
+//! dependency, so this crate stays leaf-level.
+
+#![forbid(unsafe_code)]
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static NEXT_SUFFIX: AtomicU64 = AtomicU64::new(0);
+
+/// A directory in the system temp location, deleted (recursively) on
+/// drop.
+#[derive(Debug)]
+pub struct TempDir {
+    /// `None` once the directory has been released by `close`/`into_path`.
+    path: Option<PathBuf>,
+}
+
+impl TempDir {
+    /// Creates a new temporary directory whose name starts with `prefix`.
+    pub fn new(prefix: &str) -> io::Result<TempDir> {
+        Self::new_in(&std::env::temp_dir(), prefix)
+    }
+
+    /// Creates a new temporary directory under `base`.
+    pub fn new_in(base: &Path, prefix: &str) -> io::Result<TempDir> {
+        let pid = std::process::id();
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        // The counter breaks ties within a process; the retry loop below
+        // is what actually guarantees freshness (`create_dir` fails with
+        // `AlreadyExists` rather than adopting someone else's directory).
+        for _ in 0..1024 {
+            let n = NEXT_SUFFIX.fetch_add(1, Ordering::Relaxed);
+            let candidate = base.join(format!("{prefix}.{pid}.{nanos}.{n}"));
+            match std::fs::create_dir(&candidate) {
+                Ok(()) => {
+                    return Ok(TempDir {
+                        path: Some(candidate),
+                    })
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::AlreadyExists,
+            "could not find a fresh temporary directory name",
+        ))
+    }
+
+    /// The directory's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        self.path
+            .as_deref()
+            .expect("TempDir path accessed after release")
+    }
+
+    /// Releases ownership without deleting: the caller keeps the
+    /// directory and its contents.
+    #[must_use]
+    pub fn into_path(mut self) -> PathBuf {
+        self.path.take().expect("TempDir already released")
+    }
+
+    /// Deletes the directory now, surfacing any error (drop ignores
+    /// deletion errors).
+    pub fn close(mut self) -> io::Result<()> {
+        match self.path.take() {
+            Some(p) => std::fs::remove_dir_all(p),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if let Some(p) = self.path.take() {
+            let _ = std::fs::remove_dir_all(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes_on_drop() {
+        let dir = TempDir::new("spf-vendor-test").unwrap();
+        let path = dir.path().to_path_buf();
+        assert!(path.is_dir());
+        std::fs::write(path.join("f.txt"), b"x").unwrap();
+        drop(dir);
+        assert!(!path.exists(), "drop must remove the tree recursively");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let a = TempDir::new("spf-vendor-test").unwrap();
+        let b = TempDir::new("spf-vendor-test").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn into_path_keeps_the_directory() {
+        let dir = TempDir::new("spf-vendor-test").unwrap();
+        let kept = dir.into_path();
+        assert!(kept.is_dir());
+        std::fs::remove_dir_all(&kept).unwrap();
+    }
+
+    #[test]
+    fn close_reports_success() {
+        let dir = TempDir::new("spf-vendor-test").unwrap();
+        let path = dir.path().to_path_buf();
+        dir.close().unwrap();
+        assert!(!path.exists());
+    }
+}
