@@ -32,3 +32,21 @@ pub struct ArchiveStats {
     /// Exclusive upper bound of the archived WAL prefix (snapshot).
     pub archived_through: Lsn,
 }
+
+impl spf_obs::Observable for ArchiveStats {
+    fn observe(&self, g: &mut spf_obs::GroupBuilder) {
+        g.counter("runs_written", self.runs_written)
+            .counter("records_archived", self.records_archived)
+            .counter("bytes_written", self.bytes_written)
+            .counter("merges", self.merges)
+            .counter("runs_merged", self.runs_merged)
+            .counter("page_queries", self.page_queries)
+            .counter("records_served", self.records_served)
+            .counter("find_queries", self.find_queries)
+            .counter("replays", self.replays)
+            .counter("bytes_replayed", self.bytes_replayed)
+            .gauge("live_runs", self.live_runs)
+            .gauge("live_bytes", self.live_bytes)
+            .gauge("archived_through", self.archived_through.0);
+    }
+}

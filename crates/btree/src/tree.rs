@@ -33,11 +33,12 @@
 //!   node only through that pointer's owner.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
 use spf_buffer::{BufferPool, PageReadGuard, PageWriteGuard};
+use spf_obs::{EventKind, Obs};
 use spf_storage::{Page, PageId, SlottedPage};
 use spf_txn::{SysAttempt, TxKind, TxnManager};
 use spf_wal::{CompressedPageImage, LogPayload, Lsn, PageOp, TxId};
@@ -83,6 +84,21 @@ pub struct TreeStats {
     /// Structural system transactions that backed off because a
     /// concurrent restructure won the race after re-latching.
     pub restructure_conflicts: u64,
+}
+
+impl spf_obs::Observable for TreeStats {
+    fn observe(&self, g: &mut spf_obs::GroupBuilder) {
+        g.counter("node_visits", self.node_visits)
+            .counter("fence_checks", self.fence_checks)
+            .counter("fence_failures", self.fence_failures)
+            .counter("leaf_splits", self.leaf_splits)
+            .counter("branch_splits", self.branch_splits)
+            .counter("adoptions", self.adoptions)
+            .counter("root_growths", self.root_growths)
+            .counter("ghost_reclaims", self.ghost_reclaims)
+            .counter("descent_retries", self.descent_retries)
+            .counter("restructure_conflicts", self.restructure_conflicts);
+    }
 }
 
 /// The atomic counters behind [`TreeStats`]: hot-path tree operations
@@ -191,6 +207,8 @@ pub struct FosterBTree {
     /// Fast guard so the hook costs one relaxed load when disarmed.
     hook_armed: AtomicBool,
     reacquire_hook: Mutex<Option<ReacquireHook>>,
+    /// Observability attach point ([`FosterBTree::attach_obs`]).
+    obs: OnceLock<Arc<Obs>>,
 }
 
 enum LeafOp {
@@ -253,6 +271,21 @@ impl FosterBTree {
             retry_limit: AtomicUsize::new(MAX_RETRIES),
             hook_armed: AtomicBool::new(false),
             reacquire_hook: Mutex::new(None),
+            obs: OnceLock::new(),
+        }
+    }
+
+    /// Attaches the observability handle: descent retries and
+    /// restructure conflicts then emit flight-recorder events. At most
+    /// one handle per tree; later calls are ignored.
+    pub fn attach_obs(&self, obs: Arc<Obs>) {
+        let _ = self.obs.set(obs);
+    }
+
+    /// Emits a flight-recorder event when a handle is attached.
+    fn obs_emit(&self, kind: EventKind, a: u64, b: u64) {
+        if let Some(o) = self.obs.get() {
+            o.emit(kind, a, b);
         }
     }
 
@@ -362,6 +395,7 @@ impl FosterBTree {
                         // before this one drops), bounded-many times.
                         retries += 1;
                         TreeStatCounters::bump(&self.stats.descent_retries);
+                        self.obs_emit(EventKind::DescentRetry, child.0, 0);
                         if retries > limit {
                             return Err(BTreeError::TooManyRetries { retries });
                         }
@@ -372,6 +406,7 @@ impl FosterBTree {
                     Hop::Restart => {
                         retries += 1;
                         TreeStatCounters::bump(&self.stats.descent_retries);
+                        self.obs_emit(EventKind::DescentRetry, self.root.0, 0);
                         if retries > limit {
                             return Err(BTreeError::TooManyRetries { retries });
                         }
@@ -653,6 +688,7 @@ impl FosterBTree {
                     Step::Chain(child, separator, high) => {
                         conflicts += 1;
                         TreeStatCounters::bump(&self.stats.descent_retries);
+                        self.obs_emit(EventKind::DescentRetry, child.0, 0);
                         if conflicts > limit {
                             return Err(BTreeError::TooManyRetries { retries: conflicts });
                         }
@@ -665,6 +701,7 @@ impl FosterBTree {
                     Step::Restart => {
                         conflicts += 1;
                         TreeStatCounters::bump(&self.stats.descent_retries);
+                        self.obs_emit(EventKind::DescentRetry, self.root.0, 0);
                         if conflicts > limit {
                             return Err(BTreeError::TooManyRetries { retries: conflicts });
                         }
@@ -900,7 +937,10 @@ impl FosterBTree {
         match outcome {
             Some(NodeKind::Leaf) => TreeStatCounters::bump(&self.stats.leaf_splits),
             Some(NodeKind::Branch) => TreeStatCounters::bump(&self.stats.branch_splits),
-            None => TreeStatCounters::bump(&self.stats.restructure_conflicts),
+            None => {
+                TreeStatCounters::bump(&self.stats.restructure_conflicts);
+                self.obs_emit(EventKind::Restructure, pid.0, 0);
+            }
         }
         Ok(())
     }
@@ -1066,6 +1106,7 @@ impl FosterBTree {
             Some(AdoptStep::Nothing) | Some(AdoptStep::Busy) => Ok(()),
             None => {
                 TreeStatCounters::bump(&self.stats.restructure_conflicts);
+                self.obs_emit(EventKind::Restructure, parent.0, 0);
                 Ok(())
             }
         }

@@ -27,11 +27,12 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::sync::{Condvar, Mutex as StdMutex};
+use std::sync::{Condvar, Mutex as StdMutex, OnceLock};
 
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
 use parking_lot::{Mutex, RawRwLock, RwLock};
 
+use spf_obs::{EventKind, Obs, Span};
 use spf_storage::{Page, PageId, StorageDevice, StorageError};
 use spf_wal::{LogManager, Lsn};
 
@@ -96,6 +97,23 @@ impl PoolStats {
             + self.detected_plausibility
             + self.detected_stale_lsn
             + self.detected_hard_error
+    }
+}
+
+impl spf_obs::Observable for PoolStats {
+    fn observe(&self, g: &mut spf_obs::GroupBuilder) {
+        g.counter("hits", self.hits)
+            .counter("misses", self.misses)
+            .counter("coalesced_misses", self.coalesced_misses)
+            .counter("evictions", self.evictions)
+            .counter("write_backs", self.write_backs)
+            .counter("detected_checksum", self.detected_checksum)
+            .counter("detected_wrong_id", self.detected_wrong_id)
+            .counter("detected_plausibility", self.detected_plausibility)
+            .counter("detected_stale_lsn", self.detected_stale_lsn)
+            .counter("detected_hard_error", self.detected_hard_error)
+            .counter("pages_recovered", self.pages_recovered)
+            .counter("escalations", self.escalations);
     }
 }
 
@@ -291,6 +309,8 @@ struct PoolInner {
     validator: Mutex<Option<Arc<dyn ReadValidator>>>,
     recoverer: Mutex<Option<Arc<dyn PageRecoverer>>>,
     observer: Mutex<Option<Arc<dyn WriteObserver>>>,
+    /// Observability attach point ([`BufferPool::attach_obs`]).
+    obs: OnceLock<Arc<Obs>>,
 }
 
 impl PoolInner {
@@ -399,6 +419,7 @@ impl BufferPool {
                 validator: Mutex::new(None),
                 recoverer: Mutex::new(None),
                 observer: Mutex::new(None),
+                obs: OnceLock::new(),
             }),
         }
     }
@@ -416,6 +437,13 @@ impl BufferPool {
     /// Installs the write observer (backup policy + PRI maintenance).
     pub fn set_observer(&self, observer: Arc<dyn WriteObserver>) {
         *self.inner.observer.lock() = Some(observer);
+    }
+
+    /// Attaches the observability handle: the miss path gains span
+    /// timing plus miss/evict/fault flight-recorder events. At most one
+    /// handle per pool; later calls are ignored.
+    pub fn attach_obs(&self, obs: Arc<Obs>) {
+        let _ = self.inner.obs.set(obs);
     }
 
     /// Number of frames.
@@ -862,6 +890,14 @@ impl BufferPool {
     /// write-back — happens with no shard lock held.
     fn load_miss(&self, id: PageId) -> Result<(usize, Arc<RwLock<Page>>), FetchError> {
         bump(&self.inner.stats.misses);
+        let _span = self
+            .inner
+            .obs
+            .get()
+            .map_or_else(spf_obs::SpanGuard::inert, |o| {
+                o.emit(EventKind::PageMiss, id.0, 0);
+                o.span(Span::PageMiss)
+            });
         let staged = self.read_verified(id).and_then(|(page, recovered)| {
             let idx = self.claim_victim()?;
             let rec_lsn = Lsn(page.page_lsn());
@@ -922,6 +958,12 @@ impl BufferPool {
     /// inline or escalate. Runs with **no lock held**.
     fn read_verified(&self, id: PageId) -> Result<(Page, bool), FetchError> {
         let stats = &self.inner.stats;
+        let obs = self.inner.obs.get();
+        let detected = |code: u64| {
+            if let Some(o) = obs {
+                o.emit(EventKind::FaultDetected, id.0, code);
+            }
+        };
         let mut buf = vec![0u8; self.inner.device.page_size()];
         let read_result = self.inner.device.read_page(id, &mut buf);
 
@@ -934,6 +976,7 @@ impl BufferPool {
             }
             Err(StorageError::ReadFailed { .. }) => {
                 bump(&stats.detected_hard_error);
+                detected(spf_obs::detector::HARD_ERROR);
                 None // fall through to recovery with no candidate image
             }
             Err(e) => return Err(FetchError::Storage(e)),
@@ -946,10 +989,12 @@ impl BufferPool {
                             Ok(()) => return Ok((page, false)),
                             Err(e @ ValidationError::StaleLsn { .. }) => {
                                 bump(&stats.detected_stale_lsn);
+                                detected(spf_obs::detector::STALE_LSN);
                                 Some(e)
                             }
                             Err(e @ ValidationError::Defect(_)) => {
                                 bump(&stats.detected_plausibility);
+                                detected(spf_obs::detector::PLAUSIBILITY);
                                 Some(e)
                             }
                         }
@@ -957,10 +1002,17 @@ impl BufferPool {
                     Err(defect) => {
                         use spf_storage::PageDefect::*;
                         match &defect {
-                            ChecksumMismatch { .. } => bump(&stats.detected_checksum),
-                            WrongPageId { .. } => bump(&stats.detected_wrong_id),
+                            ChecksumMismatch { .. } => {
+                                bump(&stats.detected_checksum);
+                                detected(spf_obs::detector::CHECKSUM);
+                            }
+                            WrongPageId { .. } => {
+                                bump(&stats.detected_wrong_id);
+                                detected(spf_obs::detector::WRONG_ID);
+                            }
                             UnknownPageType(_) | ImplausibleHeader(_) | ImplausibleSlot { .. } => {
-                                bump(&stats.detected_plausibility)
+                                bump(&stats.detected_plausibility);
+                                detected(spf_obs::detector::PLAUSIBILITY);
                             }
                         }
                         Some(ValidationError::Defect(defect))
@@ -970,20 +1022,34 @@ impl BufferPool {
         };
 
         // Single-page failure detected. Recover inline if we can.
+        if let Some(o) = obs {
+            o.emit(EventKind::RepairAttempt, id.0, 0);
+        }
         let recoverer = self.inner.recoverer.lock().clone();
         match recoverer {
             Some(r) => match r.recover(id) {
                 RecoverOutcome::Recovered(page) => {
                     bump(&stats.pages_recovered);
+                    if let Some(o) = obs {
+                        o.emit(EventKind::RepairOk, id.0, 0);
+                    }
                     Ok((page, true))
                 }
                 RecoverOutcome::Escalate(reason) => {
                     bump(&stats.escalations);
+                    if let Some(o) = obs {
+                        o.emit(EventKind::RepairFailed, id.0, 0);
+                        o.emit(EventKind::Escalation, id.0, spf_obs::failure_class::MEDIA);
+                    }
                     Err(FetchError::MediaFailure { id, reason })
                 }
             },
             None => {
                 bump(&stats.escalations);
+                if let Some(o) = obs {
+                    o.emit(EventKind::RepairFailed, id.0, 0);
+                    o.emit(EventKind::Escalation, id.0, spf_obs::failure_class::MEDIA);
+                }
                 match error {
                     Some(e) => Err(FetchError::UnrecoveredPageFailure { id, error: e }),
                     None => Err(FetchError::MediaFailure {
@@ -1095,6 +1161,9 @@ impl BufferPool {
         }
         *meta = FrameMeta::EMPTY;
         bump(&self.inner.stats.evictions);
+        if let Some(o) = self.inner.obs.get() {
+            o.emit(EventKind::PageEvict, old_id.0, u64::from(was_dirty));
+        }
         Ok(EvictOutcome::Claimed)
     }
 

@@ -93,6 +93,12 @@ pub struct DatabaseConfig {
     /// real-device benchmark rows use. Simulated-time experiments keep
     /// this off so Section 6 arithmetic stays deterministic.
     pub wall_clock_io: bool,
+    /// Observability: flight-recorder events, hot-path span timing, and
+    /// the repair audit ledger (see `spf-obs`). `Database::metrics_snapshot`
+    /// works either way (the stats registry is always live); this gates
+    /// only per-event tracing. Can also be toggled at runtime via
+    /// `Database::obs`. Experiment e20 measures the overhead (< 5%).
+    pub obs: bool,
 }
 
 impl Default for DatabaseConfig {
@@ -111,6 +117,7 @@ impl Default for DatabaseConfig {
             scrub: ScrubConfig::default_on(),
             mirror: false,
             wall_clock_io: false,
+            obs: true,
         }
     }
 }

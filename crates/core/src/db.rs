@@ -9,6 +9,7 @@ use parking_lot::Mutex;
 use spf_archive::{ArchiveReport, ArchiveStore, LogArchiver, MergePolicy};
 use spf_btree::{BTreeError, BumpAllocator, FosterBTree, KvPairs, PageAllocator};
 use spf_buffer::{BufferPool, BufferPoolConfig, FetchError};
+use spf_obs::{EventKind, MetricsSnapshot, Obs, Span};
 use spf_recovery::{
     BackupStore, FailureClass, MediaRecovery, MediaReport, PageRecoveryIndex, PriMaintainer,
     RestartReport, SinglePageRecovery, SystemRecovery,
@@ -62,6 +63,7 @@ pub struct Database {
     last_full_backup: Mutex<Option<(PageId, Lsn)>>,
     scrubber: Option<Arc<Scrubber>>,
     scrub_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    obs: Arc<Obs>,
 }
 
 /// Adapts the B-tree allocator's high-water mark as the scrubber's scan
@@ -420,7 +422,15 @@ impl Database {
             pool_device,
             log.clone(),
         );
+        // One observability handle per engine, attached to every
+        // subsystem before the first operation (tree formatting below is
+        // already traced). Attaching is unconditional; `config.obs`
+        // gates the per-event hot path.
+        let obs = Arc::new(Obs::new(Arc::clone(&clock), config.obs));
+        log.attach_obs(Arc::clone(&obs));
+        pool.attach_obs(Arc::clone(&obs));
         let txn = TxnManager::new(log.clone());
+        txn.attach_obs(Arc::clone(&obs));
         let alloc = Arc::new(BumpAllocator::new(0, config.data_pages));
         let pri = Arc::new(PageRecoveryIndex::new());
         let maintainer = Arc::new(PriMaintainer::new(
@@ -450,6 +460,7 @@ impl Database {
                 spr = spr.with_mirror(m.clone());
             }
             let spr = Arc::new(spr);
+            spr.attach_obs(Arc::clone(&obs));
             pool.set_recoverer(Arc::clone(&spr) as _);
             Some(spr)
         } else {
@@ -457,7 +468,7 @@ impl Database {
         };
 
         let scrubber = config.scrub.enabled.then(|| {
-            Arc::new(Scrubber::new(
+            let s = Arc::new(Scrubber::new(
                 config.scrub,
                 config.single_device_node,
                 device.clone(),
@@ -465,7 +476,9 @@ impl Database {
                 Arc::clone(&pri),
                 spr.clone().map(|s| s as _),
                 Arc::new(AllocExtent(Arc::clone(&alloc))),
-            ))
+            ));
+            s.attach_obs(Arc::clone(&obs));
+            s
         });
 
         let tree = if fresh {
@@ -492,6 +505,7 @@ impl Database {
                 config.verify_mode,
             )
         };
+        tree.attach_obs(Arc::clone(&obs));
 
         Ok(Self {
             config,
@@ -514,6 +528,7 @@ impl Database {
             last_full_backup: Mutex::new(None),
             scrubber,
             scrub_thread: Mutex::new(None),
+            obs,
         })
     }
 
@@ -607,6 +622,7 @@ impl Database {
     /// reservation append keeps LSNs dense under concurrent commits
     /// (experiment e18 drives exactly this path from N threads).
     pub fn put_auto(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, DbError> {
+        let _span = self.obs.span(Span::PutAuto);
         let tx = self.begin();
         match self.put(tx, key, value) {
             Ok(old) => {
@@ -642,25 +658,32 @@ impl Database {
                     let Some(spr) = &self.spr else {
                         // Figure 8: "a traditional system offers no choice
                         // but declare a media failure."
-                        return Err(
-                            self.escalate(format!("unrepaired single-page failure at {page}: {e}"))
-                        );
+                        return Err(self.escalate_page(
+                            Some(page),
+                            format!("unrepaired single-page failure at {page}: {e}"),
+                        ));
                     };
                     if last_page == Some(page) {
                         // Recovery did not clear the symptom; escalate
                         // rather than loop.
-                        return Err(self.escalate(format!(
-                            "single-page recovery of {page} did not resolve: {e}"
-                        )));
+                        return Err(self.escalate_page(
+                            Some(page),
+                            format!("single-page recovery of {page} did not resolve: {e}"),
+                        ));
                     }
                     last_page = Some(page);
                     self.pool.discard_page(page);
+                    self.obs.emit(EventKind::RepairAttempt, page.0, 0);
                     match spr.recover_page(page) {
                         Ok(image) => {
+                            self.obs.emit(EventKind::RepairOk, page.0, 0);
                             let lsn = Lsn(image.page_lsn());
                             let _ = self.pool.put_new(image, lsn);
                         }
-                        Err(reason) => return Err(self.escalate(reason)),
+                        Err(reason) => {
+                            self.obs.emit(EventKind::RepairFailed, page.0, 0);
+                            return Err(self.escalate_page(Some(page), reason));
+                        }
                     }
                 }
             }
@@ -678,11 +701,34 @@ impl Database {
     /// Applies Figure 1: a failure the engine cannot contain becomes a
     /// media failure, and on a single-device node a system failure.
     fn escalate(&self, reason: String) -> DbError {
+        self.escalate_page(None, reason)
+    }
+
+    /// [`escalate`](Database::escalate) with the failed page identified
+    /// (when known), so the repair audit ledger attributes the record.
+    /// Every escalation captures the flight-recorder window that led up
+    /// to it — the forensic dump the paper's Figure-1 hop deserves.
+    fn escalate_page(&self, page: Option<PageId>, reason: String) -> DbError {
         let class = if self.config.single_device_node {
             FailureClass::System
         } else {
             FailureClass::Media
         };
+        let code = match class {
+            FailureClass::System => spf_obs::failure_class::SYSTEM,
+            _ => spf_obs::failure_class::MEDIA,
+        };
+        let page_id = page.map_or(u64::MAX, |p| p.0);
+        self.obs.emit(EventKind::Escalation, page_id, code);
+        self.obs
+            .ledger()
+            .record_escalation(spf_obs::EscalationRecord {
+                page_id,
+                detector: "engine",
+                escalated_to: spf_obs::failure_class::name(code),
+                at: self.clock.now(),
+                trace: self.obs.drain_trace(),
+            });
         DbError::Failure { class, reason }
     }
 
@@ -1157,10 +1203,11 @@ impl Database {
         &self.tree
     }
 
-    /// Aggregated statistics snapshot.
+    /// Aggregated statistics snapshot. Every sub-struct is carried
+    /// whole (no hand-copied fields), so a counter added to any
+    /// subsystem's stats can never silently drop out of `DbStats`.
     #[must_use]
     pub fn stats(&self) -> DbStats {
-        let m = self.maintainer.stats();
         DbStats {
             pool: self.pool.stats(),
             log: self.log.stats(),
@@ -1177,11 +1224,56 @@ impl Database {
                 .as_ref()
                 .map(|s| s.stats())
                 .unwrap_or_default(),
-            pri_updates_logged: m.pri_updates_logged,
-            policy_backups: m.policy_backups,
-            stale_detections: m.stale_detections,
+            maintainer: self.maintainer.stats(),
             now: self.clock.now(),
         }
+    }
+
+    /// Flattens every subsystem's statistics into one hierarchical
+    /// metrics snapshot with JSON ([`MetricsSnapshot::to_json`]) and
+    /// Prometheus-text ([`MetricsSnapshot::to_prometheus`]) exposition.
+    /// Includes the hot-path span histograms (`latency` group); works
+    /// whether or not event tracing is enabled.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.add("pool", &self.pool.stats());
+        snap.add("wal", &self.log.stats());
+        snap.add("txn", &self.txn.stats());
+        snap.add("tree", &self.tree.stats());
+        snap.add(
+            "spf",
+            &self.spr.as_ref().map(|s| s.stats()).unwrap_or_default(),
+        );
+        snap.add("pri", &self.pri.stats());
+        snap.add("backups", &self.backups.stats());
+        snap.add("maintainer", &self.maintainer.stats());
+        snap.add("device", &self.device.stats());
+        if let Some(m) = &self.mirror {
+            snap.add("mirror_device", &m.stats());
+        }
+        snap.add("backup_device", &self.backups.device().stats());
+        snap.add(
+            "archive",
+            &self.archive.as_ref().map(|a| a.stats()).unwrap_or_default(),
+        );
+        snap.add(
+            "scrub",
+            &self
+                .scrubber
+                .as_ref()
+                .map(|s| s.stats())
+                .unwrap_or_default(),
+        );
+        snap.add("latency", self.obs.spans());
+        snap
+    }
+
+    /// The engine's observability handle: flight-recorder drain, runtime
+    /// tracing toggle, span histograms, and the repair audit ledger.
+    #[must_use]
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 }
 

@@ -57,6 +57,9 @@ pub use stats::DbStats;
 // Re-export the pieces users touch through the façade.
 pub use spf_archive::{ArchiveReport, ArchiveStats, MergePolicy};
 pub use spf_btree::{KvPairs, VerifyMode};
+pub use spf_obs::{
+    Event, EventKind, HistogramSnapshot, MetricsSnapshot, Obs, Observable, RepairLedger, Trace,
+};
 pub use spf_recovery::{BackupPolicy, FailureClass};
 pub use spf_scrub::{
     DetectorClass, ScrubConfig, ScrubCycleReport, ScrubEscalation, ScrubFinding, ScrubStats,

@@ -3,7 +3,7 @@
 use spf_archive::ArchiveStats;
 use spf_btree::TreeStats;
 use spf_buffer::PoolStats;
-use spf_recovery::{BackupStats, PriStats, SpfStats};
+use spf_recovery::{BackupStats, MaintainerStats, PriStats, SpfStats};
 use spf_scrub::ScrubStats;
 use spf_storage::DeviceStats;
 use spf_txn::TxnStats;
@@ -36,12 +36,10 @@ pub struct DbStats {
     /// Online-scrubber activity: sweeps, findings per detector class,
     /// repairs, and recorded Figure 1 escalations of failed repairs.
     pub scrub: ScrubStats,
-    /// PriUpdate records logged / policy backups / stale detections.
-    pub pri_updates_logged: u64,
-    /// Policy-triggered page backups.
-    pub policy_backups: u64,
-    /// Stale-PageLSN detections by the PRI cross-check.
-    pub stale_detections: u64,
+    /// PRI-maintenance activity: PriUpdate records logged, policy
+    /// backups, and stale-PageLSN detections. Carried as the whole
+    /// struct so a counter added there can never silently drop out.
+    pub maintainer: MaintainerStats,
     /// Current simulated time.
     pub now: SimDuration,
 }

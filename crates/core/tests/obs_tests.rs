@@ -1,0 +1,307 @@
+//! Observability end to end: stats reconciliation on a quiesced engine,
+//! full-snapshot JSON/Prometheus exposition, the Debug-field drift
+//! guard, and the flight recorder's detect→repair/escalate chains.
+
+use spf::{
+    CorruptionMode, Database, DatabaseConfig, EventKind, FaultSpec, MetricsSnapshot, ScrubConfig,
+    SimDuration,
+};
+
+fn key(i: u64) -> Vec<u8> {
+    format!("key-{i:08}").into_bytes()
+}
+
+fn val(i: u64) -> Vec<u8> {
+    format!("value-{i:08}").into_bytes()
+}
+
+fn obs_config() -> DatabaseConfig {
+    DatabaseConfig {
+        data_pages: 1024,
+        pool_frames: 64,
+        scrub: ScrubConfig {
+            enabled: true,
+            pages_per_tick: 64,
+            tick_idle: SimDuration::from_micros(100),
+        },
+        ..DatabaseConfig::default()
+    }
+}
+
+/// Drives a mixed workload and quiesces: puts, rereads through a cold
+/// cache, one scrub sweep over an injected fault.
+fn exercised_db() -> Database {
+    let db = Database::create(obs_config()).unwrap();
+    for i in 0..300 {
+        db.put_auto(&key(i), &val(i)).unwrap();
+    }
+    db.checkpoint().unwrap();
+    let victim = db.any_leaf_page().unwrap();
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 5 }),
+    );
+    db.drop_cache();
+    db.scrub_now().unwrap();
+    for i in 0..300 {
+        assert_eq!(db.get(&key(i)).unwrap(), Some(val(i)));
+    }
+    db
+}
+
+/// Cross-subsystem invariants that must hold on any quiesced snapshot:
+/// counters maintained by different crates have to reconcile, or one of
+/// them is lying.
+#[test]
+fn quiesced_snapshot_reconciles_across_subsystems() {
+    let db = exercised_db();
+    let snap = db.metrics_snapshot();
+    let g = |grp: &str, m: &str| {
+        snap.get(grp, m)
+            .unwrap_or_else(|| panic!("{grp}.{m} missing"))
+    };
+
+    // The WAL can only force what was appended, and every user commit
+    // forces the log (group commit merges flushes, not force calls).
+    assert!(g("wal", "bytes_forced") <= g("wal", "bytes_appended"));
+    assert!(g("wal", "forces") >= g("txn", "user_commits"));
+    assert!(g("txn", "user_commits") >= 300, "one per put_auto");
+
+    // Every tree node visit goes through the pool, and every miss is
+    // satisfied by a device read.
+    assert!(
+        g("pool", "hits") + g("pool", "misses") + g("pool", "coalesced_misses")
+            >= g("tree", "node_visits")
+    );
+    assert!(g("device", "random_reads") + g("device", "sequential_reads") >= g("pool", "misses"));
+
+    // Scrub accounting: every finding was repaired, deferred to the
+    // foreground, or failed (and then escalated).
+    let findings = g("scrub", "found_checksum")
+        + g("scrub", "found_self_id")
+        + g("scrub", "found_plausibility")
+        + g("scrub", "found_fence_keys")
+        + g("scrub", "found_stale_lsn")
+        + g("scrub", "found_hard_error");
+    assert!(findings >= 1, "the injected bit rot must be found");
+    assert_eq!(
+        findings,
+        g("scrub", "repairs") + g("scrub", "repairs_deferred") + g("scrub", "repair_failures")
+    );
+
+    // The repair was timed: the hot-path span histograms saw traffic.
+    let put = snap.get_histogram("latency", "put_auto_ns").unwrap();
+    assert_eq!(put.count, 300);
+    assert!(put.p50 <= put.p95 && put.p95 <= put.p99 && put.p99 <= put.max);
+    assert!(snap.get("latency", "log_force_ns").unwrap() >= 1);
+}
+
+/// Every group must serialize into both expositions, metric for metric.
+#[test]
+fn snapshot_serializes_every_group_in_json_and_prometheus() {
+    let db = Database::create(DatabaseConfig {
+        mirror: true,
+        ..obs_config()
+    })
+    .unwrap();
+    for i in 0..50 {
+        db.put_auto(&key(i), &val(i)).unwrap();
+    }
+    let snap = db.metrics_snapshot();
+
+    for expected in [
+        "pool",
+        "wal",
+        "txn",
+        "tree",
+        "spf",
+        "pri",
+        "backups",
+        "maintainer",
+        "device",
+        "mirror_device",
+        "backup_device",
+        "archive",
+        "scrub",
+        "latency",
+    ] {
+        assert!(
+            snap.groups.iter().any(|g| g.name == expected),
+            "group {expected} missing from snapshot"
+        );
+    }
+
+    let json = snap.to_json();
+    let prom = snap.to_prometheus();
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "JSON braces balance"
+    );
+    for group in &snap.groups {
+        assert!(json.contains(&format!("\"{}\":{{", group.name)));
+        for m in &group.metrics {
+            assert!(
+                json.contains(&format!("\"{}\":", m.name)),
+                "{}.{} missing from JSON",
+                group.name,
+                m.name
+            );
+            assert!(
+                prom.contains(&format!("spf_{}_{}", group.name, m.name)),
+                "{}.{} missing from Prometheus exposition",
+                group.name,
+                m.name
+            );
+        }
+    }
+}
+
+/// The anti-drift guard this PR exists for: every depth-1 field of every
+/// stats struct reachable from `DbStats` must surface in the metrics
+/// snapshot under its group — a counter added to any subsystem without a
+/// matching `observe()` line fails here, not silently.
+#[test]
+fn stats_fields_cannot_drift_from_metrics() {
+    let db = exercised_db();
+    let stats = db.stats();
+    let snap = db.metrics_snapshot();
+
+    let cases: Vec<(&str, String)> = vec![
+        ("pool", format!("{:#?}", stats.pool)),
+        ("wal", format!("{:#?}", stats.log)),
+        ("txn", format!("{:#?}", stats.txn)),
+        ("tree", format!("{:#?}", stats.tree)),
+        ("spf", format!("{:#?}", stats.spf)),
+        ("pri", format!("{:#?}", stats.pri)),
+        ("backups", format!("{:#?}", stats.backups)),
+        ("maintainer", format!("{:#?}", stats.maintainer)),
+        ("device", format!("{:#?}", stats.device)),
+        ("backup_device", format!("{:#?}", stats.backup_device)),
+        ("archive", format!("{:#?}", stats.archive)),
+        ("scrub", format!("{:#?}", stats.scrub)),
+    ];
+    for (group, debug) in cases {
+        let fields = spf_obs::debug_field_names(&debug);
+        assert!(!fields.is_empty(), "no fields parsed for {group}");
+        let metrics = &snap
+            .groups
+            .iter()
+            .find(|g| g.name == group)
+            .unwrap_or_else(|| panic!("group {group} missing"))
+            .metrics;
+        for field in fields {
+            assert!(
+                metrics
+                    .iter()
+                    .any(|m| m.name == field || m.name.starts_with(&field)),
+                "stats field {group}.{field} has no matching metric — \
+                 add it to the Observable impl"
+            );
+        }
+    }
+}
+
+/// An injected fault repaired on the foreground read path leaves a
+/// complete detect→repair chain in the flight recorder, and an MTTR
+/// sample in the audit ledger.
+#[test]
+fn injected_fault_leaves_detect_repair_chain_in_trace() {
+    let db = Database::create(obs_config()).unwrap();
+    for i in 0..200 {
+        db.put_auto(&key(i), &val(i)).unwrap();
+    }
+    db.checkpoint().unwrap();
+    let victim = db.any_leaf_page().unwrap();
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }),
+    );
+    db.drop_cache();
+    // Clear history so the drained window is about this incident.
+    let _ = db.obs().drain_trace();
+    for i in 0..200 {
+        assert_eq!(db.get(&key(i)).unwrap(), Some(val(i)));
+    }
+    assert_eq!(db.stats().spf.recoveries, 1);
+
+    let trace = db.obs().drain_trace();
+    assert!(!trace.is_empty());
+    let detected: Vec<_> = trace
+        .of_kind(EventKind::FaultDetected)
+        .filter(|e| e.a == victim.0)
+        .collect();
+    assert!(
+        !detected.is_empty(),
+        "no FaultDetected for the victim:\n{trace}"
+    );
+    let repaired: Vec<_> = trace
+        .of_kind(EventKind::RepairOk)
+        .filter(|e| e.a == victim.0)
+        .collect();
+    assert!(!repaired.is_empty(), "no RepairOk for the victim:\n{trace}");
+    assert!(
+        detected[0].sim <= repaired[0].sim,
+        "detection precedes repair"
+    );
+
+    let mttr = db.obs().ledger().mttr_snapshot();
+    assert!(
+        mttr.get("single_page").is_some_and(|h| h.count >= 1),
+        "repair was not recorded as an MTTR sample: {mttr:?}"
+    );
+}
+
+/// When repair is impossible the Figure-1 escalation lands in the audit
+/// ledger together with the event window that led up to it.
+#[test]
+fn escalation_is_recorded_with_its_event_window() {
+    let db = Database::create(DatabaseConfig::traditional()).unwrap();
+    for i in 0..50 {
+        db.put_auto(&key(i), &val(i)).unwrap();
+    }
+    let victim = db.any_leaf_page().unwrap();
+    db.inject_fault(victim, FaultSpec::HardReadError);
+    db.drop_cache();
+    assert!(db.get(&key(0)).is_err(), "traditional engine cannot repair");
+
+    let escs = db.obs().ledger().escalations();
+    assert!(!escs.is_empty());
+    let last = escs.last().unwrap();
+    assert_eq!(last.escalated_to, "media");
+    assert!(
+        !last.trace.is_empty(),
+        "the escalation must capture its triggering event window"
+    );
+}
+
+/// With `obs: false` the hot paths stay silent (no events, no span
+/// samples) while the metrics registry keeps working.
+#[test]
+fn disabled_tracing_is_silent_but_metrics_still_work() {
+    let db = Database::create(DatabaseConfig {
+        obs: false,
+        ..obs_config()
+    })
+    .unwrap();
+    for i in 0..100 {
+        db.put_auto(&key(i), &val(i)).unwrap();
+    }
+    assert!(db.obs().drain_trace().is_empty());
+    let snap: MetricsSnapshot = db.metrics_snapshot();
+    assert_eq!(
+        snap.get_histogram("latency", "put_auto_ns").unwrap().count,
+        0
+    );
+    assert!(snap.get("txn", "user_commits").unwrap() >= 100);
+
+    // Flipping tracing on at runtime starts recording immediately.
+    db.obs().set_enabled(true);
+    db.put_auto(&key(0), &val(1)).unwrap();
+    assert!(db
+        .obs()
+        .drain_trace()
+        .of_kind(EventKind::TxCommit)
+        .next()
+        .is_some());
+}

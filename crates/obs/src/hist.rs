@@ -1,0 +1,280 @@
+//! Log-linear latency histograms with near-zero hot-path cost.
+//!
+//! A [`Histogram`] buckets `u64` nanosecond samples into 16 linear
+//! sub-buckets per power of two (HdrHistogram's layout at 4 significant
+//! bits), so any quantile is reported with ≤ 1/16 ≈ 6% relative error.
+//! Storage is striped: each recording thread lands on its own stripe of
+//! buckets, so `record` is one `leading_zeros` plus two relaxed atomic
+//! adds to cache lines no other thread is writing — cheap enough to sit
+//! on the commit and buffer-miss paths under full concurrency. Snapshots
+//! merge the stripes.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Sub-buckets per octave (2^4 — four significant bits of precision).
+const SUB: usize = 16;
+/// log2 of [`SUB`].
+const SUB_BITS: u32 = 4;
+/// Values at or above `2^MAX_EXP` ns (~18 minutes) clamp into the last
+/// bucket; latencies that large are a bug, not a distribution.
+const MAX_EXP: u32 = 40;
+/// Bucket count: `SUB` linear buckets below `SUB`, then `SUB` per octave.
+const BUCKETS: usize = SUB + (MAX_EXP as usize - SUB_BITS as usize) * SUB;
+/// Contention-avoidance stripes (power of two). Threads are spread
+/// round-robin, so with typical thread counts each writer owns a stripe.
+const STRIPES: usize = 16;
+
+/// Maps a sample to its bucket index.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let exp = (63 - v.leading_zeros()).min(MAX_EXP - 1);
+    let sub = ((v >> (exp - SUB_BITS)) as usize) & (SUB - 1);
+    SUB + (exp - SUB_BITS) as usize * SUB + sub
+}
+
+/// The lower edge of bucket `idx` (its representative value when
+/// reporting quantiles — conservative, never over-reports).
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let exp = SUB_BITS + ((idx - SUB) / SUB) as u32;
+    let sub = ((idx - SUB) % SUB) as u64;
+    (1u64 << exp) + (sub << (exp - SUB_BITS))
+}
+
+/// One thread-affine shard of the histogram. Cache-line aligned so
+/// adjacent stripes' hot words never share a line.
+#[derive(Debug)]
+#[repr(align(64))]
+struct Stripe {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Stripe {
+    fn new() -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Round-robin stripe assignment; shared by all histograms so a thread
+/// resolves its stripe once, not once per histogram.
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
+}
+
+/// A concurrent log-linear histogram of nanosecond samples.
+#[derive(Debug)]
+pub struct Histogram {
+    stripes: Vec<Stripe>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            stripes: (0..STRIPES).map(|_| Stripe::new()).collect(),
+        }
+    }
+
+    /// Records one sample (nanoseconds). Lock-free and cheap enough for
+    /// the commit path: two relaxed adds to this thread's stripe (the
+    /// sample count is derived from the buckets at snapshot time) and a
+    /// max RMW only when the sample is a new stripe maximum.
+    pub fn record(&self, nanos: u64) {
+        let s = &self.stripes[MY_STRIPE.with(|s| *s)];
+        s.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        s.sum.fetch_add(nanos, Ordering::Relaxed);
+        if nanos > s.max.load(Ordering::Relaxed) {
+            s.max.fetch_max(nanos, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.stripes
+            .iter()
+            .flat_map(|s| s.buckets.iter())
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Snapshots the distribution (p50/p95/p99/max and totals).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        // Merge the stripes into one local view and derive both the
+        // count and the quantiles from it, so the ranks are always
+        // consistent with the walk even while writers keep recording.
+        let mut counts = vec![0u64; BUCKETS];
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        for stripe in &self.stripes {
+            for (c, b) in counts.iter_mut().zip(stripe.buckets.iter()) {
+                *c += b.load(Ordering::Relaxed);
+            }
+            sum = sum.wrapping_add(stripe.sum.load(Ordering::Relaxed));
+            max = max.max(stripe.max.load(Ordering::Relaxed));
+        }
+        let count: u64 = counts.iter().sum();
+        let mut snap = HistogramSnapshot {
+            count,
+            sum,
+            max,
+            p50: 0,
+            p95: 0,
+            p99: 0,
+        };
+        if count == 0 {
+            return snap;
+        }
+        // One walk resolves all three quantiles: a quantile's value is
+        // the floor of the bucket where the running count first reaches
+        // q * count (ranks are 1-based so p100 would be the last sample).
+        let rank = |q: f64| ((q * count as f64).ceil() as u64).clamp(1, count);
+        let (r50, r95, r99) = (rank(0.50), rank(0.95), rank(0.99));
+        let mut seen = 0u64;
+        for (idx, &n) in counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let floor = bucket_floor(idx);
+            if seen < r50 && seen + n >= r50 {
+                snap.p50 = floor;
+            }
+            if seen < r95 && seen + n >= r95 {
+                snap.p95 = floor;
+            }
+            if seen < r99 && seen + n >= r99 {
+                snap.p99 = floor;
+            }
+            seen += n;
+        }
+        snap
+    }
+}
+
+/// A point-in-time summary of a [`Histogram`], in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample (exact, not bucketed).
+    pub max: u64,
+    /// Median (bucket floor, ≤ 6% relative error).
+    pub p50: u64,
+    /// 95th percentile (bucket floor).
+    pub p95: u64,
+    /// 99th percentile (bucket floor).
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample in nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_value_space() {
+        // Every bucket's floor maps back into that bucket, and floors
+        // are strictly increasing — the mapping is a partition.
+        let mut prev = None;
+        for idx in 0..BUCKETS {
+            let floor = bucket_floor(idx);
+            assert_eq!(bucket_index(floor), idx, "floor of bucket {idx}");
+            if let Some(p) = prev {
+                assert!(floor > p, "floors must increase at {idx}");
+            }
+            prev = Some(floor);
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB as u64 {
+            assert_eq!(bucket_floor(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn huge_values_clamp() {
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn known_quantiles_within_bucket_error() {
+        // 1..=10_000 recorded once each: p50 = 5000, p95 = 9500,
+        // p99 = 9900, within the 1/16 relative bucket error.
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10_000);
+        assert_eq!(s.max, 10_000);
+        let close = |got: u64, want: f64| {
+            let rel = (got as f64 - want).abs() / want;
+            assert!(rel < 1.0 / 16.0, "got {got}, want ~{want}");
+        };
+        close(s.p50, 5_000.0);
+        close(s.p95, 9_500.0);
+        close(s.p99, 9_900.0);
+        assert!((s.mean() - 5_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        assert_eq!(Histogram::new().snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        // Four threads land on distinct stripes (or share benignly); the
+        // merged snapshot must see every sample and the global max.
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000 + (i % 997));
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 40_000);
+        assert_eq!(snap.max, 3_996);
+        assert_eq!(h.count(), 40_000);
+    }
+}

@@ -1,0 +1,375 @@
+//! Unified observability for the single-page-failure engine.
+//!
+//! One [`Obs`] handle per database instance bundles:
+//!
+//! - a [`FlightRecorder`] — lock-free per-thread rings of typed events,
+//!   drainable into a causal [`Trace`] at any time;
+//! - hot-path span timing ([`Obs::span`]) feeding log-linear
+//!   [`Histogram`]s (p50/p95/p99/max);
+//! - a [`RepairLedger`] — per-detector-class MTTD, per-failure-class
+//!   MTTR, and every Figure-1 escalation with its event window;
+//! - the [`MetricsSnapshot`]/[`Observable`] registry that flattens every
+//!   subsystem's stats into one hierarchy with JSON and Prometheus
+//!   exposition.
+//!
+//! Subsystems hold `OnceLock<Arc<Obs>>` attach points so constructor
+//! signatures never change; an unattached or disabled handle costs one
+//! relaxed atomic load on the hot path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod ledger;
+mod recorder;
+mod registry;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use ledger::{EscalationRecord, RepairLedger};
+pub use recorder::{Event, EventKind, FlightRecorder, Trace, RING_SLOTS};
+pub use registry::{GroupBuilder, Metric, MetricGroup, MetricValue, MetricsSnapshot, Observable};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use spf_util::SimClock;
+
+/// Detector-class codes carried in [`EventKind::FaultDetected`]'s `b`
+/// payload word, shared by the buffer pool's read-verify path and the
+/// scrubber so traces decode uniformly.
+pub mod detector {
+    /// Page checksum mismatch.
+    pub const CHECKSUM: u64 = 1;
+    /// Self-identifying page id did not match.
+    pub const WRONG_ID: u64 = 2;
+    /// Header/slot plausibility check failed.
+    pub const PLAUSIBILITY: u64 = 3;
+    /// PageLSN cross-check against the recovery index (stale write).
+    pub const STALE_LSN: u64 = 4;
+    /// The device failed the read loudly.
+    pub const HARD_ERROR: u64 = 5;
+    /// Foster B-tree fence-key invariant violated.
+    pub const FENCE_KEYS: u64 = 6;
+
+    /// Stable name for a detector code (for trace rendering).
+    #[must_use]
+    pub fn name(code: u64) -> &'static str {
+        match code {
+            CHECKSUM => "checksum",
+            WRONG_ID => "wrong_id",
+            PLAUSIBILITY => "plausibility",
+            STALE_LSN => "stale_lsn",
+            HARD_ERROR => "hard_error",
+            FENCE_KEYS => "fence_keys",
+            _ => "unknown",
+        }
+    }
+}
+
+/// Failure-class codes carried in [`EventKind::Escalation`]'s `b`
+/// payload word (the paper's Figure-1 taxonomy).
+pub mod failure_class {
+    /// Single-page failure (repairable in place).
+    pub const SINGLE_PAGE: u64 = 1;
+    /// Transaction failure (rollback).
+    pub const TRANSACTION: u64 = 2;
+    /// System failure (restart recovery).
+    pub const SYSTEM: u64 = 3;
+    /// Media failure (restore + log replay).
+    pub const MEDIA: u64 = 4;
+
+    /// Stable name for a failure-class code.
+    #[must_use]
+    pub fn name(code: u64) -> &'static str {
+        match code {
+            SINGLE_PAGE => "single_page",
+            TRANSACTION => "transaction",
+            SYSTEM => "system",
+            MEDIA => "media",
+            _ => "unknown",
+        }
+    }
+}
+
+/// Hot paths that carry span timing, each feeding its own histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Span {
+    /// `Database::put_auto` end to end.
+    PutAuto,
+    /// Transaction commit including the log force wait.
+    Commit,
+    /// WAL group-leader force (write + sync).
+    LogForce,
+    /// Buffer-pool miss path (read + verify + install).
+    PageMiss,
+    /// Single-page repair (backup fetch + log replay).
+    PageRepair,
+    /// One full scrubber sweep.
+    ScrubSweep,
+}
+
+/// The per-path span histograms.
+#[derive(Debug)]
+pub struct Spans {
+    /// `put_auto` latency.
+    pub put_auto: Arc<Histogram>,
+    /// Commit latency.
+    pub commit: Arc<Histogram>,
+    /// Log-force latency.
+    pub log_force: Arc<Histogram>,
+    /// Miss-path latency.
+    pub page_miss: Arc<Histogram>,
+    /// Single-page repair latency.
+    pub page_repair: Arc<Histogram>,
+    /// Scrub sweep latency.
+    pub scrub_sweep: Arc<Histogram>,
+}
+
+impl Default for Spans {
+    fn default() -> Self {
+        Self {
+            put_auto: Arc::new(Histogram::new()),
+            commit: Arc::new(Histogram::new()),
+            log_force: Arc::new(Histogram::new()),
+            page_miss: Arc::new(Histogram::new()),
+            page_repair: Arc::new(Histogram::new()),
+            scrub_sweep: Arc::new(Histogram::new()),
+        }
+    }
+}
+
+impl Spans {
+    fn hist(&self, span: Span) -> &Arc<Histogram> {
+        match span {
+            Span::PutAuto => &self.put_auto,
+            Span::Commit => &self.commit,
+            Span::LogForce => &self.log_force,
+            Span::PageMiss => &self.page_miss,
+            Span::PageRepair => &self.page_repair,
+            Span::ScrubSweep => &self.scrub_sweep,
+        }
+    }
+}
+
+impl Observable for Spans {
+    fn observe(&self, g: &mut GroupBuilder) {
+        g.histogram("put_auto_ns", self.put_auto.snapshot())
+            .histogram("commit_ns", self.commit.snapshot())
+            .histogram("log_force_ns", self.log_force.snapshot())
+            .histogram("page_miss_ns", self.page_miss.snapshot())
+            .histogram("page_repair_ns", self.page_repair.snapshot())
+            .histogram("scrub_sweep_ns", self.scrub_sweep.snapshot());
+    }
+}
+
+/// Times a region of code into a span histogram on drop. Obtained from
+/// [`Obs::span`]; inert (no clock read at all) when tracing is disabled.
+/// Borrows its histogram (no refcount traffic on the hot path).
+#[must_use = "a span guard measures until it is dropped"]
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    armed: Option<(Instant, &'a Histogram)>,
+}
+
+impl SpanGuard<'_> {
+    /// A guard that records nothing.
+    pub fn inert() -> Self {
+        Self { armed: None }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((start, hist)) = self.armed.take() {
+            hist.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Per-database observability handle.
+#[derive(Debug)]
+pub struct Obs {
+    enabled: AtomicBool,
+    recorder: FlightRecorder,
+    ledger: RepairLedger,
+    spans: Spans,
+}
+
+impl Obs {
+    /// Creates a handle stamping events with `clock`; `enabled` gates
+    /// every hot-path emission and span.
+    #[must_use]
+    pub fn new(clock: Arc<SimClock>, enabled: bool) -> Self {
+        Self {
+            enabled: AtomicBool::new(enabled),
+            recorder: FlightRecorder::new(clock),
+            ledger: RepairLedger::new(),
+            spans: Spans::default(),
+        }
+    }
+
+    /// Whether tracing is currently on (one relaxed load).
+    #[inline]
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns tracing on or off at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Emits a flight-recorder event (no-op when disabled).
+    #[inline]
+    pub fn emit(&self, kind: EventKind, a: u64, b: u64) {
+        if self.enabled() {
+            self.recorder.emit(kind, a, b);
+        }
+    }
+
+    /// Starts timing `span`; the returned guard records on drop. When
+    /// disabled the guard is inert and no clock is read.
+    #[inline]
+    pub fn span(&self, span: Span) -> SpanGuard<'_> {
+        if self.enabled() {
+            SpanGuard {
+                armed: Some((Instant::now(), &**self.spans.hist(span))),
+            }
+        } else {
+            SpanGuard::inert()
+        }
+    }
+
+    /// Drains the flight recorder into a time-ordered trace.
+    #[must_use]
+    pub fn drain_trace(&self) -> Trace {
+        self.recorder.drain()
+    }
+
+    /// The repair audit ledger.
+    #[must_use]
+    pub fn ledger(&self) -> &RepairLedger {
+        &self.ledger
+    }
+
+    /// The span histograms (for snapshot registration).
+    #[must_use]
+    pub fn spans(&self) -> &Spans {
+        &self.spans
+    }
+}
+
+/// Installs a panic hook that dumps `obs`'s flight recorder to stderr
+/// before the default hook runs. Meant for experiment binaries, where a
+/// panic should leave a forensic trace; libraries should not call this.
+pub fn install_panic_hook(obs: Arc<Obs>) {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let trace = obs.drain_trace();
+        eprintln!(
+            "=== flight recorder dump on panic ({} events) ===\n{}",
+            trace.len(),
+            trace.render()
+        );
+        prev(info);
+    }));
+}
+
+/// Extracts the depth-1 field names from a struct's `{:#?}` debug
+/// output (lines of the form `    name: value,`). Used by the drift
+/// test to prove every public stats field surfaces as a metric without
+/// needing proc macros.
+#[must_use]
+pub fn debug_field_names(debug_pretty: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut depth = 0usize;
+    for line in debug_pretty.lines() {
+        let trimmed = line.trim();
+        if depth == 1 {
+            if let Some((name, _)) = trimmed.split_once(':') {
+                let name = name.trim();
+                if !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        depth += trimmed.matches(['{', '[', '(']).count();
+        depth = depth.saturating_sub(trimmed.matches(['}', ']', ')']).count());
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_obs_emits_nothing() {
+        let obs = Obs::new(Arc::new(SimClock::new()), false);
+        obs.emit(EventKind::TxCommit, 1, 2);
+        {
+            let _g = obs.span(Span::PutAuto);
+        }
+        assert!(obs.drain_trace().is_empty());
+        assert_eq!(obs.spans().put_auto.count(), 0);
+    }
+
+    #[test]
+    fn enabled_obs_records_spans_and_events() {
+        let obs = Obs::new(Arc::new(SimClock::new()), true);
+        obs.emit(EventKind::FaultDetected, 5, 1);
+        {
+            let _g = obs.span(Span::Commit);
+        }
+        assert_eq!(obs.drain_trace().len(), 1);
+        assert_eq!(obs.spans().commit.count(), 1);
+    }
+
+    #[test]
+    fn toggling_at_runtime_takes_effect() {
+        let obs = Obs::new(Arc::new(SimClock::new()), false);
+        obs.emit(EventKind::TxCommit, 0, 0);
+        obs.set_enabled(true);
+        obs.emit(EventKind::TxCommit, 1, 0);
+        assert_eq!(obs.drain_trace().len(), 1);
+    }
+
+    #[test]
+    fn spans_observe_as_histograms() {
+        let obs = Obs::new(Arc::new(SimClock::new()), true);
+        {
+            let _g = obs.span(Span::LogForce);
+        }
+        let mut snap = MetricsSnapshot::new();
+        snap.add("latency", obs.spans());
+        assert_eq!(snap.get("latency", "log_force_ns"), Some(1));
+        assert!(snap.to_json().contains("\"log_force_ns\""));
+    }
+
+    #[test]
+    fn debug_field_names_parses_depth_one() {
+        #[derive(Debug)]
+        #[allow(dead_code)]
+        struct Inner {
+            deep: u64,
+        }
+        #[derive(Debug)]
+        #[allow(dead_code)]
+        struct Outer {
+            hits: u64,
+            misses: u64,
+            inner: Inner,
+        }
+        let names = debug_field_names(&format!(
+            "{:#?}",
+            Outer {
+                hits: 1,
+                misses: 2,
+                inner: Inner { deep: 3 }
+            }
+        ));
+        assert_eq!(names, vec!["hits", "misses", "inner"]);
+    }
+}

@@ -1,0 +1,507 @@
+//! Lock-free per-thread flight recorder.
+//!
+//! Each thread that emits events owns a bounded [`ThreadRing`]: a
+//! seqlock-versioned ring of fixed-width slots written only by that
+//! thread, so `emit` is wait-free (no CAS loops, no locks). A drainer
+//! walks every registered ring and keeps only slots whose version word
+//! is stable across the read — torn writes are detected and skipped,
+//! never returned. The newest `RING_SLOTS` events per thread survive;
+//! older ones are overwritten, which bounds memory no matter how long
+//! the engine runs.
+
+use std::fmt;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use spf_util::SimDuration;
+
+/// Events retained per emitting thread (power of two).
+pub const RING_SLOTS: usize = 256;
+
+/// Typed flight-recorder events. The discriminant is packed into the
+/// event word, so variants must stay `u8`-sized and stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A user transaction committed (`a` = commit LSN).
+    TxCommit = 1,
+    /// The WAL group leader forced the log (`a` = durable LSN, `b` = bytes).
+    LogForce = 2,
+    /// Buffer pool miss — page read from the database device (`a` = page id).
+    PageMiss = 3,
+    /// Buffer pool evicted a frame (`a` = page id, `b` = 1 if dirty write-back).
+    PageEvict = 4,
+    /// B-tree descent restarted after losing a latch race (`a` = page id).
+    DescentRetry = 5,
+    /// Structural modification hit a conflict and will retry (`a` = page id).
+    Restructure = 6,
+    /// A detector flagged a damaged page (`a` = page id, `b` = detector class).
+    FaultDetected = 7,
+    /// Single-page repair started (`a` = page id).
+    RepairAttempt = 8,
+    /// Single-page repair succeeded (`a` = page id, `b` = nanos to repair).
+    RepairOk = 9,
+    /// Single-page repair failed; escalation will follow (`a` = page id).
+    RepairFailed = 10,
+    /// Figure-1 escalation to a heavier recovery class (`a` = page id,
+    /// `b` = failure class escalated to).
+    Escalation = 11,
+    /// Scrub sweep finished (`a` = pages scanned, `b` = findings).
+    ScrubSweep = 12,
+}
+
+impl EventKind {
+    /// All variants, for exposition and tests.
+    pub const ALL: [EventKind; 12] = [
+        EventKind::TxCommit,
+        EventKind::LogForce,
+        EventKind::PageMiss,
+        EventKind::PageEvict,
+        EventKind::DescentRetry,
+        EventKind::Restructure,
+        EventKind::FaultDetected,
+        EventKind::RepairAttempt,
+        EventKind::RepairOk,
+        EventKind::RepairFailed,
+        EventKind::Escalation,
+        EventKind::ScrubSweep,
+    ];
+
+    /// Short stable name used in trace dumps and JSON.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::TxCommit => "tx_commit",
+            EventKind::LogForce => "log_force",
+            EventKind::PageMiss => "page_miss",
+            EventKind::PageEvict => "page_evict",
+            EventKind::DescentRetry => "descent_retry",
+            EventKind::Restructure => "restructure",
+            EventKind::FaultDetected => "fault_detected",
+            EventKind::RepairAttempt => "repair_attempt",
+            EventKind::RepairOk => "repair_ok",
+            EventKind::RepairFailed => "repair_failed",
+            EventKind::Escalation => "escalation",
+            EventKind::ScrubSweep => "scrub_sweep",
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        EventKind::ALL.get(code.wrapping_sub(1) as usize).copied()
+    }
+}
+
+/// A decoded flight-recorder event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Emitting thread's ring id (stable for the thread's lifetime).
+    pub thread: u64,
+    /// Per-thread sequence number (strictly increasing within a thread).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Simulated clock at emission.
+    pub sim: SimDuration,
+    /// Wall-clock nanoseconds since the recorder was created.
+    pub wall_nanos: u64,
+    /// First payload word (usually a page id or LSN).
+    pub a: u64,
+    /// Second payload word (kind-specific).
+    pub b: u64,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[t{} #{:<5} sim={:>12?} wall={:>9}ns] {:<14} a={} b={}",
+            self.thread,
+            self.seq,
+            self.sim,
+            self.wall_nanos,
+            self.kind.name(),
+            self.a,
+            self.b
+        )
+    }
+}
+
+/// Event word layout: kind in the top byte, 56-bit sequence below it.
+const SEQ_MASK: u64 = (1 << 56) - 1;
+
+/// One seqlock-protected slot: `ver` is odd while a write is in flight.
+#[derive(Debug)]
+struct Slot {
+    ver: AtomicU64,
+    words: [AtomicU64; 4],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            ver: AtomicU64::new(0),
+            words: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        }
+    }
+}
+
+/// A single-writer event ring. Only the owning thread calls `push`;
+/// any thread may `collect`.
+#[derive(Debug)]
+pub(crate) struct ThreadRing {
+    id: u64,
+    /// Next sequence number; doubles as the ring head.
+    head: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+impl ThreadRing {
+    fn new(id: u64) -> Self {
+        Self {
+            id,
+            head: AtomicU64::new(0),
+            slots: (0..RING_SLOTS).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// Reads every stable slot into `out` as decoded events. Seqlock
+    /// read side: a slot whose version word is even and unchanged across
+    /// the payload reads is consistent; anything else is skipped.
+    fn collect(&self, out: &mut Vec<Event>, b_side: &BSide) {
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let v1 = slot.ver.load(Ordering::Acquire);
+            if v1 == 0 || v1 & 1 == 1 {
+                continue;
+            }
+            let w0 = slot.words[0].load(Ordering::Relaxed);
+            let w1 = slot.words[1].load(Ordering::Relaxed);
+            let w2 = slot.words[2].load(Ordering::Relaxed);
+            let w3 = slot.words[3].load(Ordering::Relaxed);
+            let b = b_side.load(idx);
+            fence(Ordering::Acquire);
+            if slot.ver.load(Ordering::Relaxed) != v1 {
+                continue; // torn: writer landed mid-read
+            }
+            let seq = w0 & SEQ_MASK;
+            if (seq as usize) & (RING_SLOTS - 1) != idx {
+                continue; // stale slot from before a wrap reset
+            }
+            let Some(kind) = EventKind::from_code((w0 >> 56) as u8) else {
+                continue;
+            };
+            out.push(Event {
+                thread: self.id,
+                seq,
+                kind,
+                sim: SimDuration::from_nanos(w1),
+                wall_nanos: w2,
+                a: w3,
+                b,
+            });
+        }
+    }
+}
+
+/// Side array for the second payload word, versioned with the same
+/// seqlock discipline via re-check in `collect`.
+#[derive(Debug)]
+struct BSide {
+    words: Vec<AtomicU64>,
+}
+
+impl BSide {
+    fn new() -> Self {
+        Self {
+            words: (0..RING_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+    fn store(&self, idx: usize, b: u64) {
+        self.words[idx].store(b, Ordering::Relaxed);
+    }
+    fn load(&self, idx: usize) -> u64 {
+        self.words[idx].load(Ordering::Relaxed)
+    }
+}
+
+/// Handle a thread uses to emit into its own ring.
+#[derive(Clone)]
+pub(crate) struct RingHandle {
+    ring: Arc<ThreadRing>,
+    b_side: Arc<BSide>,
+}
+
+/// A drained, time-ordered set of events.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Events sorted by (sim time, thread, seq).
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// True when no events were captured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of captured events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Events of one kind, in order.
+    pub fn of_kind(&self, kind: EventKind) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Renders the trace as one line per event.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::with_capacity(self.events.len() * 64);
+        for e in &self.events {
+            s.push_str(&e.to_string());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+struct Registered {
+    ring: Arc<ThreadRing>,
+    b_side: Arc<BSide>,
+}
+
+/// The recorder: registry of per-thread rings plus the clocks used to
+/// stamp events.
+pub struct FlightRecorder {
+    /// Globally unique id; TLS caches are keyed by it so two recorders
+    /// (e.g. twin oracle engines) never share a ring.
+    uid: u64,
+    rings: Mutex<Vec<Registered>>,
+    next_ring: AtomicU64,
+    clock: Arc<spf_util::SimClock>,
+    origin: std::time::Instant,
+}
+
+impl fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("uid", &self.uid)
+            .field("rings", &self.rings.lock().len())
+            .finish()
+    }
+}
+
+static RECORDER_UID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// (recorder uid → this thread's ring) cache. A Vec beats a map at
+    /// the expected size of one or two engines per process.
+    static TLS_RINGS: std::cell::RefCell<Vec<(u64, RingHandle)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl FlightRecorder {
+    /// Creates a recorder stamping events with `clock`.
+    #[must_use]
+    pub fn new(clock: Arc<spf_util::SimClock>) -> Self {
+        Self {
+            uid: RECORDER_UID.fetch_add(1, Ordering::Relaxed),
+            rings: Mutex::new(Vec::new()),
+            next_ring: AtomicU64::new(0),
+            clock,
+            origin: std::time::Instant::now(),
+        }
+    }
+
+    /// Emits one event into the calling thread's ring. The ring handle
+    /// is borrowed straight out of the TLS cache — no `Arc` refcount
+    /// traffic on the hot path.
+    pub fn emit(&self, kind: EventKind, a: u64, b: u64) {
+        let sim = self.clock.now().as_nanos();
+        let wall = self.origin.elapsed().as_nanos() as u64;
+        TLS_RINGS.with(|cell| {
+            let mut cache = cell.borrow_mut();
+            let pos = match cache.iter().position(|(uid, _)| *uid == self.uid) {
+                Some(pos) => pos,
+                None => {
+                    let ring = Arc::new(ThreadRing::new(
+                        self.next_ring.fetch_add(1, Ordering::Relaxed),
+                    ));
+                    let b_side = Arc::new(BSide::new());
+                    self.rings.lock().push(Registered {
+                        ring: Arc::clone(&ring),
+                        b_side: Arc::clone(&b_side),
+                    });
+                    cache.push((self.uid, RingHandle { ring, b_side }));
+                    cache.len() - 1
+                }
+            };
+            let h = &cache[pos].1;
+            let seq = h.ring.head.load(Ordering::Relaxed) & SEQ_MASK;
+            let kind_seq = ((kind as u64) << 56) | seq;
+            // The b word lives in a side array indexed like the ring;
+            // store it inside the slot's odd-version window so
+            // collect()'s version re-check also covers it.
+            let idx = (seq as usize) & (RING_SLOTS - 1);
+            let slot = &h.ring.slots[idx];
+            let v = slot.ver.load(Ordering::Relaxed);
+            slot.ver.store(v | 1, Ordering::Relaxed);
+            fence(Ordering::Release);
+            slot.words[0].store(kind_seq, Ordering::Relaxed);
+            slot.words[1].store(sim, Ordering::Relaxed);
+            slot.words[2].store(wall, Ordering::Relaxed);
+            slot.words[3].store(a, Ordering::Relaxed);
+            h.b_side.store(idx, b);
+            slot.ver.store((v | 1).wrapping_add(1), Ordering::Release);
+            h.ring.head.store(seq.wrapping_add(1), Ordering::Release);
+        });
+    }
+
+    /// Snapshots every ring into a time-ordered [`Trace`]. Rings keep
+    /// recording while the drain runs; torn slots are skipped.
+    #[must_use]
+    pub fn drain(&self) -> Trace {
+        let rings = self.rings.lock();
+        let mut events = Vec::new();
+        for reg in rings.iter() {
+            reg.ring.collect(&mut events, &reg.b_side);
+        }
+        drop(rings);
+        events.sort_by_key(|e| (e.sim, e.thread, e.seq));
+        Trace { events }
+    }
+
+    /// Number of registered per-thread rings (bounded-memory check).
+    #[must_use]
+    pub fn ring_count(&self) -> usize {
+        self.rings.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spf_util::SimClock;
+
+    fn recorder() -> FlightRecorder {
+        FlightRecorder::new(Arc::new(SimClock::new()))
+    }
+
+    #[test]
+    fn emit_and_drain_round_trips() {
+        let r = recorder();
+        r.emit(EventKind::TxCommit, 7, 9);
+        r.emit(EventKind::PageMiss, 42, 0);
+        let t = r.drain();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events[0].kind, EventKind::TxCommit);
+        assert_eq!(t.events[0].a, 7);
+        assert_eq!(t.events[0].b, 9);
+        assert_eq!(t.of_kind(EventKind::PageMiss).count(), 1);
+    }
+
+    #[test]
+    fn ring_keeps_newest_events() {
+        let r = recorder();
+        for i in 0..(RING_SLOTS as u64 * 3) {
+            r.emit(EventKind::PageEvict, i, 0);
+        }
+        let t = r.drain();
+        assert_eq!(t.len(), RING_SLOTS);
+        let min_a = t.events.iter().map(|e| e.a).min().unwrap();
+        assert_eq!(min_a, RING_SLOTS as u64 * 2, "only the newest survive");
+    }
+
+    #[test]
+    fn per_thread_sequences_are_monotone() {
+        let r = Arc::new(recorder());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        r.emit(EventKind::TxCommit, i, 0);
+                    }
+                });
+            }
+        });
+        let t = r.drain();
+        assert_eq!(r.ring_count(), 4);
+        for tid in 0..4 {
+            let seqs: Vec<u64> = t
+                .events
+                .iter()
+                .filter(|e| e.thread == tid)
+                .map(|e| e.seq)
+                .collect();
+            assert!(seqs.windows(2).all(|w| w[0] < w[1]), "thread {tid} order");
+        }
+    }
+
+    #[test]
+    fn concurrent_drain_sees_no_torn_events() {
+        // Writers spin while drainers snapshot; every decoded event must
+        // be internally consistent (payload equals its seq, as written).
+        let r = Arc::new(recorder());
+        let stop = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let r = Arc::clone(&r);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut i = 0u64;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        r.emit(EventKind::LogForce, i, i.wrapping_mul(3));
+                        i += 1;
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let r = Arc::clone(&r);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        for e in &r.drain().events {
+                            assert_eq!(e.b, e.a.wrapping_mul(3), "torn event: {e:?}");
+                        }
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            stop.store(1, Ordering::Relaxed);
+        });
+    }
+
+    #[test]
+    fn two_recorders_do_not_share_rings() {
+        let r1 = recorder();
+        let r2 = recorder();
+        r1.emit(EventKind::TxCommit, 1, 0);
+        r2.emit(EventKind::Escalation, 2, 0);
+        assert_eq!(r1.drain().len(), 1);
+        assert_eq!(r2.drain().len(), 1);
+        assert_eq!(r2.drain().events[0].kind, EventKind::Escalation);
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for k in EventKind::ALL {
+            assert_eq!(EventKind::from_code(k as u8), Some(k));
+        }
+        assert_eq!(EventKind::from_code(0), None);
+        assert_eq!(EventKind::from_code(200), None);
+    }
+}

@@ -1,0 +1,268 @@
+//! Hierarchical metrics snapshot with JSON and Prometheus exposition.
+//!
+//! Subsystems keep their existing atomic stats structs; at snapshot
+//! time each one flattens itself into named [`Metric`]s via the
+//! [`Observable`] trait. The group name is supplied at `add()` time by
+//! the caller, because one stats type can back several instances (the
+//! primary and backup devices both expose `DeviceStats`).
+
+use std::fmt::Write as _;
+
+use crate::hist::HistogramSnapshot;
+
+/// A single metric value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter.
+    Counter(u64),
+    /// Instantaneous level.
+    Gauge(u64),
+    /// Latency distribution summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// A named metric inside a group.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Metric name (snake_case, unique within its group).
+    pub name: String,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A named group of metrics (one per subsystem instance).
+#[derive(Debug, Clone)]
+pub struct MetricGroup {
+    /// Group name (e.g. `pool`, `wal`, `device`, `backup_device`).
+    pub name: String,
+    /// Metrics in registration order.
+    pub metrics: Vec<Metric>,
+}
+
+/// Collects metrics from one subsystem during a snapshot.
+#[derive(Debug, Default)]
+pub struct GroupBuilder {
+    metrics: Vec<Metric>,
+}
+
+impl GroupBuilder {
+    /// Adds a monotone counter.
+    pub fn counter(&mut self, name: &str, v: u64) -> &mut Self {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            value: MetricValue::Counter(v),
+        });
+        self
+    }
+
+    /// Adds an instantaneous gauge.
+    pub fn gauge(&mut self, name: &str, v: u64) -> &mut Self {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            value: MetricValue::Gauge(v),
+        });
+        self
+    }
+
+    /// Adds a histogram summary.
+    pub fn histogram(&mut self, name: &str, s: HistogramSnapshot) -> &mut Self {
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            value: MetricValue::Histogram(s),
+        });
+        self
+    }
+}
+
+/// Anything that can flatten itself into a metric group. Implemented by
+/// every subsystem's stats snapshot struct.
+pub trait Observable {
+    /// Writes this subsystem's metrics into `g`.
+    fn observe(&self, g: &mut GroupBuilder);
+}
+
+/// A hierarchical point-in-time view of every registered stats source.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Groups in registration order.
+    pub groups: Vec<MetricGroup>,
+}
+
+impl MetricsSnapshot {
+    /// Creates an empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flattens `source` into a group named `name`.
+    pub fn add(&mut self, name: &str, source: &dyn Observable) {
+        let mut g = GroupBuilder::default();
+        source.observe(&mut g);
+        self.groups.push(MetricGroup {
+            name: name.to_string(),
+            metrics: g.metrics,
+        });
+    }
+
+    /// Looks up `group.metric`, returning the scalar value (histograms
+    /// return their count). `None` when absent.
+    #[must_use]
+    pub fn get(&self, group: &str, metric: &str) -> Option<u64> {
+        let g = self.groups.iter().find(|g| g.name == group)?;
+        let m = g.metrics.iter().find(|m| m.name == metric)?;
+        Some(match m.value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => v,
+            MetricValue::Histogram(h) => h.count,
+        })
+    }
+
+    /// Looks up a histogram metric's full summary.
+    #[must_use]
+    pub fn get_histogram(&self, group: &str, metric: &str) -> Option<HistogramSnapshot> {
+        let g = self.groups.iter().find(|g| g.name == group)?;
+        g.metrics.iter().find_map(|m| match (&m.name, m.value) {
+            (n, MetricValue::Histogram(h)) if n == metric => Some(h),
+            _ => None,
+        })
+    }
+
+    /// Total metric count across all groups.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.groups.iter().map(|g| g.metrics.len()).sum()
+    }
+
+    /// True when no group holds any metric.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the snapshot as a JSON object: one key per group, each a
+    /// nested object; histograms become `{count,sum,max,p50,p95,p99}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        for (gi, g) in self.groups.iter().enumerate() {
+            if gi > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{{", g.name);
+            for (mi, m) in g.metrics.iter().enumerate() {
+                if mi > 0 {
+                    s.push(',');
+                }
+                match m.value {
+                    MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                        let _ = write!(s, "\"{}\":{}", m.name, v);
+                    }
+                    MetricValue::Histogram(h) => {
+                        let _ = write!(
+                            s,
+                            "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                            m.name, h.count, h.sum, h.max, h.p50, h.p95, h.p99
+                        );
+                    }
+                }
+            }
+            s.push('}');
+        }
+        s.push('}');
+        s
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Metric names are `spf_<group>_<name>`; histogram summaries expose
+    /// `_count`, `_sum`, and quantile series tagged with a label.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::new();
+        for g in &self.groups {
+            for m in &g.metrics {
+                let base = format!("spf_{}_{}", g.name, m.name);
+                match m.value {
+                    MetricValue::Counter(v) => {
+                        let _ = writeln!(s, "# TYPE {base} counter");
+                        let _ = writeln!(s, "{base} {v}");
+                    }
+                    MetricValue::Gauge(v) => {
+                        let _ = writeln!(s, "# TYPE {base} gauge");
+                        let _ = writeln!(s, "{base} {v}");
+                    }
+                    MetricValue::Histogram(h) => {
+                        let _ = writeln!(s, "# TYPE {base} summary");
+                        let _ = writeln!(s, "{base}_count {}", h.count);
+                        let _ = writeln!(s, "{base}_sum {}", h.sum);
+                        let _ = writeln!(s, "{base}{{quantile=\"0.5\"}} {}", h.p50);
+                        let _ = writeln!(s, "{base}{{quantile=\"0.95\"}} {}", h.p95);
+                        let _ = writeln!(s, "{base}{{quantile=\"0.99\"}} {}", h.p99);
+                        let _ = writeln!(s, "{base}{{quantile=\"1\"}} {}", h.max);
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake;
+    impl Observable for Fake {
+        fn observe(&self, g: &mut GroupBuilder) {
+            g.counter("hits", 10).gauge("resident", 3).histogram(
+                "latency",
+                HistogramSnapshot {
+                    count: 2,
+                    sum: 30,
+                    max: 20,
+                    p50: 10,
+                    p95: 20,
+                    p99: 20,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn add_and_get() {
+        let mut snap = MetricsSnapshot::new();
+        snap.add("pool", &Fake);
+        snap.add("pool2", &Fake);
+        assert_eq!(snap.get("pool", "hits"), Some(10));
+        assert_eq!(snap.get("pool2", "resident"), Some(3));
+        assert_eq!(snap.get("pool", "latency"), Some(2));
+        assert_eq!(snap.get("pool", "nope"), None);
+        assert_eq!(snap.get_histogram("pool", "latency").unwrap().p95, 20);
+        assert_eq!(snap.len(), 6);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let mut snap = MetricsSnapshot::new();
+        snap.add("pool", &Fake);
+        let j = snap.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"pool\":{"));
+        assert!(j.contains("\"hits\":10"));
+        assert!(j.contains("\"latency\":{\"count\":2"));
+        // Balanced braces and no trailing commas.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(!j.contains(",}"));
+    }
+
+    #[test]
+    fn prometheus_exposition() {
+        let mut snap = MetricsSnapshot::new();
+        snap.add("pool", &Fake);
+        let p = snap.to_prometheus();
+        assert!(p.contains("# TYPE spf_pool_hits counter"));
+        assert!(p.contains("spf_pool_hits 10"));
+        assert!(p.contains("# TYPE spf_pool_resident gauge"));
+        assert!(p.contains("spf_pool_latency{quantile=\"0.99\"} 20"));
+        assert!(p.contains("spf_pool_latency_count 2"));
+    }
+}

@@ -35,6 +35,15 @@ pub struct BackupStats {
     pub backup_reads: u64,
 }
 
+impl spf_obs::Observable for BackupStats {
+    fn observe(&self, g: &mut spf_obs::GroupBuilder) {
+        g.counter("page_backups_taken", self.page_backups_taken)
+            .counter("backups_freed", self.backups_freed)
+            .counter("full_backup_pages", self.full_backup_pages)
+            .counter("backup_reads", self.backup_reads);
+    }
+}
+
 /// The backup store: explicit page copies plus full-database backups, on
 /// a dedicated simulated device.
 pub struct BackupStore {

@@ -48,7 +48,7 @@ pub mod versioning;
 
 pub use backup::{BackupStats, BackupStore};
 pub use failure::FailureClass;
-pub use maintainer::{BackupPolicy, PriMaintainer};
+pub use maintainer::{BackupPolicy, MaintainerStats, PriMaintainer};
 pub use media::{MediaRecovery, MediaReport, MirrorRepairReport};
 pub use pri::{PageRecoveryIndex, PriEntry, PriStats};
 pub use single_page::{SinglePageRecovery, SpfStats};

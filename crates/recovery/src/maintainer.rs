@@ -70,6 +70,14 @@ pub struct MaintainerStats {
     pub stale_detections: u64,
 }
 
+impl spf_obs::Observable for MaintainerStats {
+    fn observe(&self, g: &mut spf_obs::GroupBuilder) {
+        g.counter("pri_updates_logged", self.pri_updates_logged)
+            .counter("policy_backups", self.policy_backups)
+            .counter("stale_detections", self.stale_detections);
+    }
+}
+
 /// Implements the pool's [`WriteObserver`] and [`ReadValidator`] on top of
 /// the PRI, the log, and the backup store.
 pub struct PriMaintainer {

@@ -50,6 +50,15 @@ pub struct PriStats {
     pub dense_bytes: u64,
 }
 
+impl spf_obs::Observable for PriStats {
+    fn observe(&self, g: &mut spf_obs::GroupBuilder) {
+        g.gauge("entries", self.entries)
+            .gauge("pages_covered", self.pages_covered)
+            .gauge("approx_bytes", self.approx_bytes)
+            .gauge("dense_bytes", self.dense_bytes);
+    }
+}
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct RangeEntry {
     /// One past the last page id covered.

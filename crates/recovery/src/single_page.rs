@@ -24,12 +24,13 @@
 //! recovered image is installed *dirty* in the buffer pool, so its next
 //! write-back persists it.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
 use spf_archive::ArchiveStore;
 use spf_buffer::{PageRecoverer, RecoverOutcome};
+use spf_obs::{Obs, Span};
 use spf_storage::{Device, Page, PageId, StorageDevice};
 use spf_util::{SimClock, SimDuration};
 use spf_wal::{BackupRef, LogError, LogManager, LogPayload, LogRecord, Lsn};
@@ -70,6 +71,23 @@ pub struct SpfStats {
     pub chain_check_failures: u64,
 }
 
+impl spf_obs::Observable for SpfStats {
+    fn observe(&self, g: &mut spf_obs::GroupBuilder) {
+        g.counter("recoveries", self.recoveries)
+            .counter("escalations", self.escalations)
+            .counter("chain_records_fetched", self.chain_records_fetched)
+            .counter("archive_records_fetched", self.archive_records_fetched)
+            .counter("archive_backed_recoveries", self.archive_backed_recoveries)
+            .counter("redo_applied", self.redo_applied)
+            .counter("from_backup_page", self.from_backup_page)
+            .counter("from_log_image", self.from_log_image)
+            .counter("from_format_record", self.from_format_record)
+            .counter("from_mirror", self.from_mirror)
+            .counter("sim_time_nanos", self.sim_time.as_nanos())
+            .counter("chain_check_failures", self.chain_check_failures);
+    }
+}
+
 /// The single-page recoverer; plugged into the buffer pool as its
 /// [`PageRecoverer`].
 pub struct SinglePageRecovery {
@@ -86,6 +104,8 @@ pub struct SinglePageRecovery {
     clock: Arc<SimClock>,
     stats: Mutex<SpfStats>,
     bad_blocks: Mutex<Vec<PageId>>,
+    /// Observability attach point ([`SinglePageRecovery::attach_obs`]).
+    obs: OnceLock<Arc<Obs>>,
 }
 
 impl SinglePageRecovery {
@@ -108,7 +128,16 @@ impl SinglePageRecovery {
             clock,
             stats: Mutex::new(SpfStats::default()),
             bad_blocks: Mutex::new(Vec::new()),
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Attaches the observability handle: each repair is then timed into
+    /// the `page_repair` span histogram and its simulated duration is
+    /// recorded as an MTTR sample in the repair audit ledger. At most
+    /// one handle per recoverer; later calls are ignored.
+    pub fn attach_obs(&self, obs: Arc<Obs>) {
+        let _ = self.obs.set(obs);
     }
 
     /// Attaches a synchronous mirror of the data device. A verified
@@ -152,6 +181,10 @@ impl SinglePageRecovery {
     /// directly; the buffer pool calls it through [`PageRecoverer`].
     pub fn recover_page(&self, id: PageId) -> Result<Page, String> {
         let start_time = self.clock.now();
+        let _span = self
+            .obs
+            .get()
+            .map_or_else(spf_obs::SpanGuard::inert, |o| o.span(Span::PageRepair));
 
         // (1) PRI lookup.
         let entry = self
@@ -301,9 +334,13 @@ impl SinglePageRecovery {
         self.device.injector().clear(id);
         self.bad_blocks.lock().push(id);
 
+        let elapsed = self.clock.now() - start_time;
+        if let Some(o) = self.obs.get() {
+            o.ledger().record_repair("single_page", elapsed);
+        }
         let mut stats = self.stats.lock();
         stats.recoveries += 1;
-        stats.sim_time = stats.sim_time.saturating_add(self.clock.now() - start_time);
+        stats.sim_time = stats.sim_time.saturating_add(elapsed);
         if used_mirror {
             stats.from_mirror += 1;
         } else {

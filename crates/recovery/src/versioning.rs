@@ -30,6 +30,14 @@ pub struct VersioningStats {
     pub sim_time: SimDuration,
 }
 
+impl spf_obs::Observable for VersioningStats {
+    fn observe(&self, g: &mut spf_obs::GroupBuilder) {
+        g.counter("versions_built", self.versions_built)
+            .counter("undos_applied", self.undos_applied)
+            .counter("sim_time_nanos", self.sim_time.as_nanos());
+    }
+}
+
 /// Errors from single-page rollback.
 #[derive(Debug)]
 pub enum VersionError {

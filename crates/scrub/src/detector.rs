@@ -31,6 +31,26 @@ pub enum DetectorClass {
 }
 
 impl DetectorClass {
+    /// The class's code in flight-recorder event payloads
+    /// ([`spf_obs::detector`]).
+    #[must_use]
+    pub fn obs_code(self) -> u64 {
+        match self {
+            DetectorClass::Checksum => spf_obs::detector::CHECKSUM,
+            DetectorClass::SelfId => spf_obs::detector::WRONG_ID,
+            DetectorClass::Plausibility => spf_obs::detector::PLAUSIBILITY,
+            DetectorClass::FenceKeys => spf_obs::detector::FENCE_KEYS,
+            DetectorClass::StaleLsn => spf_obs::detector::STALE_LSN,
+            DetectorClass::HardError => spf_obs::detector::HARD_ERROR,
+        }
+    }
+
+    /// The class's stable name in the repair audit ledger.
+    #[must_use]
+    pub fn obs_name(self) -> &'static str {
+        spf_obs::detector::name(self.obs_code())
+    }
+
     /// The detector classes the fault table documents as able to catch
     /// `fault`, primary first.
     #[must_use]

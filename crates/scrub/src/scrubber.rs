@@ -33,11 +33,12 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
 use spf_buffer::{BufferPool, PageRecoverer, RecoverOutcome, RepairOutcome, Residency};
+use spf_obs::{EventKind, Obs, Span};
 use spf_recovery::{FailureClass, PageRecoveryIndex};
 use spf_storage::{Device, Page, PageId, StorageDevice, StorageError};
 use spf_util::{SimClock, SimDuration};
@@ -192,6 +193,32 @@ impl ScrubStats {
     }
 }
 
+impl spf_obs::Observable for ScrubStats {
+    fn observe(&self, g: &mut spf_obs::GroupBuilder) {
+        g.counter("cycles_completed", self.cycles_completed)
+            .counter("pages_scanned", self.pages_scanned)
+            .counter("verified_in_pool", self.verified_in_pool)
+            .counter("in_pool_violations", self.in_pool_violations)
+            .counter("skipped_busy", self.skipped_busy)
+            .counter("found_checksum", self.found_checksum)
+            .counter("found_self_id", self.found_self_id)
+            .counter("found_plausibility", self.found_plausibility)
+            .counter("found_fence_keys", self.found_fence_keys)
+            .counter("found_stale_lsn", self.found_stale_lsn)
+            .counter("found_hard_error", self.found_hard_error)
+            .counter("repairs", self.repairs)
+            .counter("repairs_deferred", self.repairs_deferred)
+            .counter("repair_failures", self.repair_failures)
+            .counter("escalations_media", self.escalations_media)
+            .counter("escalations_system", self.escalations_system)
+            .counter(
+                "detect_latency_total_nanos",
+                self.detect_latency_total.as_nanos(),
+            )
+            .counter("detect_latency_samples", self.detect_latency_samples);
+    }
+}
+
 struct ScrubState {
     stats: ScrubStats,
     /// Simulated time each page was last swept, for time-to-detect.
@@ -216,6 +243,8 @@ pub struct Scrubber {
     clock: Arc<SimClock>,
     state: Mutex<ScrubState>,
     stop: AtomicBool,
+    /// Observability attach point ([`Scrubber::attach_obs`]).
+    obs: OnceLock<Arc<Obs>>,
 }
 
 impl std::fmt::Debug for Scrubber {
@@ -259,7 +288,17 @@ impl Scrubber {
                 escalated: Vec::new(),
             }),
             stop: AtomicBool::new(false),
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Attaches the observability handle: sweeps gain span timing and a
+    /// per-cycle event, findings feed per-detector-class MTTD into the
+    /// repair audit ledger, and escalations are recorded there with the
+    /// drained flight-recorder window that led up to them. At most one
+    /// handle per scrubber; later calls are ignored.
+    pub fn attach_obs(&self, obs: Arc<Obs>) {
+        let _ = self.obs.set(obs);
     }
 
     /// The configuration in force.
@@ -326,6 +365,10 @@ impl Scrubber {
     }
 
     fn run_cycle_inner(&self, interruptible: bool) -> ScrubCycleReport {
+        let _span = self
+            .obs
+            .get()
+            .map_or_else(spf_obs::SpanGuard::inert, |o| o.span(Span::ScrubSweep));
         let mut report = ScrubCycleReport::default();
         {
             let mut state = self.state.lock();
@@ -362,6 +405,13 @@ impl Scrubber {
             state.stats.cycles_completed += 1;
         }
         drop(state);
+        if let Some(o) = self.obs.get() {
+            o.emit(
+                EventKind::ScrubSweep,
+                report.pages_scanned,
+                report.findings.len() as u64,
+            );
+        }
         report
     }
 
@@ -419,6 +469,11 @@ impl Scrubber {
                 .detect_latency_total
                 .saturating_add(now - baseline);
             state.stats.detect_latency_samples += 1;
+            if let Some(o) = self.obs.get() {
+                o.emit(EventKind::FaultDetected, id.0, detector.obs_code());
+                o.ledger()
+                    .record_detection(detector.obs_name(), now - baseline);
+            }
             report.findings.push(ScrubFinding {
                 page: id,
                 detector,
@@ -484,6 +539,10 @@ impl Scrubber {
             .map(|f| f.page)
             .collect();
         for id in queue {
+            let repair_started = self.clock.now();
+            if let Some(o) = self.obs.get() {
+                o.emit(EventKind::RepairAttempt, id.0, 0);
+            }
             let Some(repairer) = &self.repairer else {
                 self.record_escalation(
                     report,
@@ -522,6 +581,10 @@ impl Scrubber {
                     let _ = self.pool.flush_page(id);
                     self.state.lock().stats.repairs += 1;
                     report.repairs += 1;
+                    if let Some(o) = self.obs.get() {
+                        let took = self.clock.now() - repair_started;
+                        o.emit(EventKind::RepairOk, id.0, took.as_nanos());
+                    }
                 }
                 RepairOutcome::Resident { .. } | RepairOutcome::Busy => {
                     // The foreground fetched the page meanwhile — and
@@ -554,6 +617,25 @@ impl Scrubber {
         };
         state.escalated.push(escalation.clone());
         drop(state);
+        if let Some(o) = self.obs.get() {
+            let code = match class {
+                FailureClass::System => spf_obs::failure_class::SYSTEM,
+                _ => spf_obs::failure_class::MEDIA,
+            };
+            o.emit(EventKind::Escalation, id.0, code);
+            let detector = report
+                .findings
+                .iter()
+                .find(|f| f.page == id)
+                .map_or("unknown", |f| f.detector.obs_name());
+            o.ledger().record_escalation(spf_obs::EscalationRecord {
+                page_id: id.0,
+                detector,
+                escalated_to: spf_obs::failure_class::name(code),
+                at: self.clock.now(),
+                trace: o.drain_trace(),
+            });
+        }
         report.escalations.push(escalation);
     }
 }

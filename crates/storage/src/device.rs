@@ -142,6 +142,20 @@ impl DeviceStats {
     }
 }
 
+impl spf_obs::Observable for DeviceStats {
+    fn observe(&self, g: &mut spf_obs::GroupBuilder) {
+        g.counter("random_reads", self.random_reads)
+            .counter("sequential_reads", self.sequential_reads)
+            .counter("random_writes", self.random_writes)
+            .counter("sequential_writes", self.sequential_writes)
+            .counter("failed_reads", self.failed_reads)
+            .counter("failed_writes", self.failed_writes)
+            .counter("silent_corrupt_reads", self.silent_corrupt_reads)
+            .counter("scrub_reads", self.scrub_reads)
+            .counter("syncs", self.syncs);
+    }
+}
+
 impl DeviceCounters {
     /// Snapshots the counters.
     #[must_use]

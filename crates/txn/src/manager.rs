@@ -3,9 +3,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use parking_lot::Mutex;
 
+use spf_obs::{EventKind, Obs, Span};
 use spf_storage::PageId;
 use spf_wal::{LogManager, LogPayload, LogRecord, Lsn, PageOp, TxId};
 
@@ -81,6 +83,16 @@ pub struct TxnStats {
     pub system_conflicts: u64,
 }
 
+impl spf_obs::Observable for TxnStats {
+    fn observe(&self, g: &mut spf_obs::GroupBuilder) {
+        g.counter("user_commits", self.user_commits)
+            .counter("system_commits", self.system_commits)
+            .counter("aborts", self.aborts)
+            .counter("clrs_written", self.clrs_written)
+            .counter("system_conflicts", self.system_conflicts);
+    }
+}
+
 /// The outcome of one attempt of a [`TxnManager::run_system`] body:
 /// either the structural change re-validated and applied (`Done`), or
 /// re-validation after re-latching found a concurrent conflict
@@ -115,6 +127,8 @@ struct Inner {
     next_tx: AtomicU64,
     active: Mutex<HashMap<TxId, ActiveTx>>,
     stats: Mutex<TxnStats>,
+    /// Observability attach point ([`TxnManager::attach_obs`]).
+    obs: OnceLock<std::sync::Arc<Obs>>,
 }
 
 impl std::fmt::Debug for TxnManager {
@@ -135,8 +149,17 @@ impl TxnManager {
                 next_tx: AtomicU64::new(1),
                 active: Mutex::new(HashMap::new()),
                 stats: Mutex::new(TxnStats::default()),
+                obs: OnceLock::new(),
             }),
         }
+    }
+
+    /// Attaches the observability handle: user commits then carry span
+    /// timing (including the group-commit force wait) and emit a
+    /// [`EventKind::TxCommit`] event. At most one handle per manager;
+    /// later calls are ignored.
+    pub fn attach_obs(&self, obs: std::sync::Arc<Obs>) {
+        let _ = self.inner.obs.set(obs);
     }
 
     /// Begins a transaction of `kind`, logging its begin record.
@@ -239,7 +262,15 @@ impl TxnManager {
                 // before the stats lock is taken — a committer absorbed as
                 // a group-commit waiter must not block the leader (or any
                 // peer) on it.
-                self.inner.log.force_through(lsn);
+                let obs = self.inner.obs.get();
+                {
+                    let _span =
+                        obs.map_or_else(spf_obs::SpanGuard::inert, |o| o.span(Span::Commit));
+                    self.inner.log.force_through(lsn);
+                }
+                if let Some(o) = obs {
+                    o.emit(EventKind::TxCommit, lsn.0, 0);
+                }
                 self.inner.stats.lock().user_commits += 1;
             }
             TxKind::System => {

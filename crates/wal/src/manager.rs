@@ -42,9 +42,10 @@
 //!   Figure 10).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
+use spf_obs::{EventKind, Obs, Span};
 
 use spf_storage::PageId;
 use spf_util::{IoCostModel, IoKind, SimClock};
@@ -178,6 +179,24 @@ impl LogStats {
     }
 }
 
+impl spf_obs::Observable for LogStats {
+    fn observe(&self, g: &mut spf_obs::GroupBuilder) {
+        g.counter("records_appended", self.records_appended)
+            .counter("bytes_appended", self.bytes_appended)
+            .counter("forces", self.forces)
+            .counter("force_batches", self.force_batches)
+            .counter("force_waiters_absorbed", self.force_waiters_absorbed)
+            .counter("bytes_forced", self.bytes_forced)
+            .counter("random_record_reads", self.random_record_reads)
+            .counter("bytes_scanned", self.bytes_scanned)
+            .counter("truncations", self.truncations)
+            .counter("bytes_truncated", self.bytes_truncated);
+        for (name, n) in Self::KIND_NAMES.iter().zip(self.appends_by_kind) {
+            g.counter(&format!("appends_by_kind_{}", name.replace('-', "_")), n);
+        }
+    }
+}
+
 /// Slot of `payload` in [`LogStats::KIND_NAMES`] order. A direct match
 /// (not a name scan): this runs on every append.
 fn kind_index(payload: &LogPayload) -> usize {
@@ -286,6 +305,9 @@ struct Inner {
     /// [`LogManager::crash`] but not a real process kill; with a sink,
     /// the force leader writes and syncs it before publishing `durable`.
     sink: Mutex<Option<Arc<dyn LogSink>>>,
+    /// Observability attach point ([`LogManager::attach_obs`]); unset
+    /// costs the force leader one load and nothing else.
+    obs: OnceLock<Arc<Obs>>,
 }
 
 /// The write-ahead log.
@@ -337,6 +359,7 @@ impl LogManager {
                     archive_watermark: Lsn::NULL,
                 }),
                 sink: Mutex::new(None),
+                obs: OnceLock::new(),
             }),
             clock,
             cost,
@@ -406,11 +429,20 @@ impl LogManager {
                     archive_watermark: Lsn::NULL,
                 }),
                 sink: Mutex::new(None),
+                obs: OnceLock::new(),
             }),
             clock,
             cost,
         };
         (mgr, Lsn(valid_end))
+    }
+
+    /// Attaches the observability handle. The force leader then times
+    /// each flush into the `log_force` span histogram and emits a
+    /// [`EventKind::LogForce`] flight-recorder event per flush. At most
+    /// one handle per log; later calls are ignored.
+    pub fn attach_obs(&self, obs: Arc<Obs>) {
+        let _ = self.inner.obs.set(obs);
     }
 
     /// Attaches the durable sink. From now on every force writes and
@@ -480,6 +512,8 @@ impl LogManager {
     fn combined_force(&self, target: u64) -> Lsn {
         let inner = &self.inner;
         let outcome = inner.force.force_to(target, |from, to, batched| {
+            let obs = inner.obs.get();
+            let _span = obs.map_or_else(spf_obs::SpanGuard::inert, |o| o.span(Span::LogForce));
             while inner.buf.complete_end(from) < to {
                 std::thread::yield_now();
             }
@@ -511,6 +545,9 @@ impl LogManager {
                 .fetch_add(to - from, Ordering::Relaxed);
             if batched {
                 inner.stats.force_batches.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(o) = obs {
+                o.emit(EventKind::LogForce, to, to - from);
             }
         });
         if matches!(outcome, Forced::Absorbed(_)) {

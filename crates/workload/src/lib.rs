@@ -277,6 +277,43 @@ impl ConcurrentWorkload {
 }
 
 // ----------------------------------------------------------------------
+// Driver-side latency probe
+// ----------------------------------------------------------------------
+
+/// Records per-operation wall-clock latencies into a shared
+/// [`spf_obs::Histogram`], so multi-threaded experiment drivers can
+/// report client-observed p50/p95/p99 alongside the engine's own span
+/// histograms. Cloning shares the underlying histogram, so one probe
+/// can be handed to every worker thread.
+#[derive(Debug, Clone, Default)]
+pub struct OpLatencyProbe {
+    hist: std::sync::Arc<spf_obs::Histogram>,
+}
+
+impl OpLatencyProbe {
+    /// A fresh probe with an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f`, recording its wall-clock duration in nanoseconds.
+    pub fn timed<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
+        let out = f();
+        self.hist
+            .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        out
+    }
+
+    /// Summary quantiles of everything recorded so far.
+    #[must_use]
+    pub fn snapshot(&self) -> spf_obs::HistogramSnapshot {
+        self.hist.snapshot()
+    }
+}
+
+// ----------------------------------------------------------------------
 // Fault storm: traffic + seeded fault injection in one stream
 // ----------------------------------------------------------------------
 
@@ -507,6 +544,19 @@ impl Distribution<u64> for ZipfSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn latency_probe_counts_and_shares() {
+        let probe = OpLatencyProbe::new();
+        let clone = probe.clone();
+        let mut acc = 0u64;
+        for i in 0..100 {
+            acc = clone.timed(|| acc.wrapping_add(i));
+        }
+        let snap = probe.snapshot();
+        assert_eq!(snap.count, 100, "clone feeds the same histogram");
+        assert!(snap.max >= snap.p50);
+    }
 
     #[test]
     fn deterministic_given_seed() {
