@@ -49,6 +49,7 @@ fn main() {
         ("e18", e18_concurrent_tree),
         ("e19", e19_crash_restart_oracle),
         ("e20", e20_observability),
+        ("e21", e21_prefetch_and_scan_resistance),
     ];
     for (id, f) in experiments {
         if run(id) {
@@ -2399,5 +2400,318 @@ fn e20_observability() {
         "shape check: tracing costs < 5% on the saturated put_auto path; \
          the drained recorder holds the fault's full detect -> repair \
          chain; the metrics snapshot exposes the repair in spf.recoveries."
+    );
+}
+
+// ======================================================================
+// E21 — predictive prefetching, scan-resistant eviction, governed I/O
+// ======================================================================
+fn e21_prefetch_and_scan_resistance() {
+    use spf_workload::{
+        KeyDistribution, Op, OpMix, ScanHeavy, ScanHeavyConfig, ShiftingHotspot,
+        ShiftingHotspotConfig, Workload,
+    };
+
+    banner(
+        "E21",
+        "spf-prefetch (delta predictor, GCLOCK scan resistance, I/O governor)",
+        "single-page recovery keeps a failed page's repair off the \
+         critical path only if background I/O — scrub reads, and here \
+         predictive prefetch reads — stays off the foreground's critical \
+         path too: one shared budget, scan traffic that cannot evict the \
+         working set, and prefetch that turns predictable misses into hits.",
+    );
+
+    let apply = |db: &spf::Database, op: &Op| match op {
+        Op::Get { key } => {
+            let _ = db.get(key).unwrap();
+        }
+        Op::Put { key, value } => {
+            let _ = db.put_auto(key, value).unwrap();
+        }
+        Op::Delete { key } => {
+            let tx = db.begin();
+            let _ = db.delete(tx, key);
+            db.commit(tx).unwrap();
+        }
+        Op::Scan { start, limit } => {
+            let _ = db.scan(start, *limit).unwrap();
+        }
+    };
+
+    // -- A: shifting hotspot, prefetch on vs off ------------------------
+    //
+    // 1 000-byte values pack ~7 entries per leaf, and the sweep strides
+    // 7 keys per op — every operation lands on a fresh leaf. The 560-key
+    // hot window spans ~80 leaves against a 64-frame pool: recency-only
+    // caching thrashes on the wrap, while the delta predictor sees a
+    // near-constant +1 leaf stride it can run ahead of.
+    const A_KEYS: u64 = 6_000;
+    const A_VLEN: usize = 1_000;
+    const A_OPS: usize = 12_000;
+    let hotspot = ShiftingHotspotConfig {
+        window: 560,
+        shift_every: 1_200,
+        shift_by: 280,
+        jitter: 2,
+        stride: 7,
+        mix: OpMix::read_mostly(),
+    };
+    let ops = ShiftingHotspot::new(0xE21, A_KEYS, A_VLEN, hotspot).take_ops(A_OPS);
+
+    let hotspot_run = |prefetch_on: bool| -> f64 {
+        let db = engine(|c| {
+            c.data_pages = 4096;
+            c.pool_frames = 64;
+            c.io_cost = IoCostModel::disk_2012();
+            if !prefetch_on {
+                c.prefetch = spf::PrefetchConfig::disabled();
+            }
+        });
+        let mut wl = Workload::new(0, A_KEYS, KeyDistribution::Uniform, hotspot.mix, A_VLEN);
+        // Small commit batches: a batch dirties ~batch/7 leaves, which
+        // must stay evictable within the 64-frame pool.
+        for chunk in (0..A_KEYS).collect::<Vec<_>>().chunks(200) {
+            let tx = db.begin();
+            for &i in chunk {
+                db.insert(tx, &Workload::encode_key(i), &wl.next_value())
+                    .unwrap();
+            }
+            db.commit(tx).unwrap();
+        }
+        db.checkpoint().unwrap();
+        db.drop_cache();
+
+        let prefetcher = db.prefetcher().cloned();
+        let before = db.stats().pool;
+        for op in &ops {
+            apply(&db, op);
+            if let Some(p) = &prefetcher {
+                p.poll();
+            }
+        }
+        let after = db.stats().pool;
+        let hits = after.hits - before.hits;
+        let faults =
+            (after.misses - before.misses) + (after.coalesced_misses - before.coalesced_misses);
+        if prefetch_on {
+            let s = db.stats();
+            assert!(s.prefetch.installed > 0, "prefetch did no work: {s:?}");
+            assert_eq!(
+                s.device.prefetch_reads,
+                s.prefetch.installed + s.prefetch.no_frame + s.prefetch.failed,
+                "device-level prefetch reads must reconcile with outcomes"
+            );
+        }
+        hits as f64 / (hits + faults) as f64
+    };
+    let hit_off = hotspot_run(false);
+    let hit_on = hotspot_run(true);
+    let delta_points = 100.0 * (hit_on - hit_off);
+
+    let mut table = Table::new(&["prefetch", "pool hit rate over the sweep"]);
+    table.row(&["off".into(), format!("{:.1}%", 100.0 * hit_off)]);
+    table.row(&["on".into(), format!("{:.1}%", 100.0 * hit_on)]);
+    table.print();
+    println!("prefetch lift: +{delta_points:.1} hit-rate points on the shifting hotspot");
+    assert!(
+        delta_points >= 10.0,
+        "prefetch must lift the shifting-hotspot hit rate by >= 10 points: \
+         off {hit_off:.3} -> on {hit_on:.3}"
+    );
+
+    // -- B: scan-resistant eviction ------------------------------------
+    //
+    // Skewed point traffic interleaved with 12 000-entry scans (~220
+    // leaves, larger than the whole 128-frame pool). Scan leaf fetches
+    // carry FetchHint::Scan and enter the clock at priority 0, so a scan
+    // streams through frames it recycles itself instead of displacing
+    // the re-referenced hot set. Measured in *simulated* I/O time under
+    // the 2012 disk model — a hit charges nothing, a miss charges a
+    // device read — so the p99 of hot-key ops isolates exactly the
+    // eviction-pollution effect, deterministically (wall-clock would
+    // instead measure the scans' CPU-cache fallout, which no eviction
+    // policy can prevent). ScanHeavy's point ops are a plain Workload
+    // twin, so the no-scan baseline replays the identical point stream.
+    const B_KEYS: u64 = 30_000;
+    const B_VLEN: usize = 120;
+    const B_OPS: usize = 8_200;
+    const B_WARMUP: usize = 1_000; // cold-start faults are not pollution
+    const B_HOT: u64 = 1_000; // zipf: lowest indices are the hottest
+    let scan_cfg = ScanHeavyConfig {
+        scan_every: 40,
+        scan_limit: 12_000,
+        mix: OpMix::read_mostly(),
+    };
+    let scan_ops = ScanHeavy::new(
+        0xE21B,
+        B_KEYS,
+        KeyDistribution::Zipfian { theta: 0.99 },
+        B_VLEN,
+        scan_cfg,
+    )
+    .take_ops(B_OPS);
+    let point_ops: Vec<Op> = scan_ops
+        .iter()
+        .filter(|op| !matches!(op, Op::Scan { .. }))
+        .cloned()
+        .collect();
+    let hot_key = |op: &Op| {
+        let key = match op {
+            Op::Get { key } | Op::Put { key, .. } | Op::Delete { key } => key,
+            Op::Scan { .. } => return false,
+        };
+        std::str::from_utf8(key)
+            .ok()
+            .and_then(|s| s.strip_prefix("user"))
+            .and_then(|s| s.parse::<u64>().ok())
+            .is_some_and(|i| i < B_HOT)
+    };
+
+    // Returns (hot-op p99 in simulated ns, hot-op misses) for a stream.
+    let scan_run = |ops: &[Op]| -> (u64, usize) {
+        let db = engine(|c| {
+            c.data_pages = 2048;
+            c.pool_frames = 128;
+            c.io_cost = IoCostModel::disk_2012();
+        });
+        let mut wl = Workload::new(0, B_KEYS, KeyDistribution::Uniform, scan_cfg.mix, B_VLEN);
+        for chunk in (0..B_KEYS).collect::<Vec<_>>().chunks(2_000) {
+            let tx = db.begin();
+            for &i in chunk {
+                db.insert(tx, &Workload::encode_key(i), &wl.next_value())
+                    .unwrap();
+            }
+            db.commit(tx).unwrap();
+        }
+        db.checkpoint().unwrap();
+        db.drop_cache();
+
+        let mut samples: Vec<u64> = Vec::new();
+        let mut misses = 0usize;
+        for (n, op) in ops.iter().enumerate() {
+            let t0 = db.clock().now();
+            apply(&db, op);
+            if n >= B_WARMUP && hot_key(op) {
+                let cost = db.clock().now().as_nanos() - t0.as_nanos();
+                // Anything at device-read scale means the hot page had
+                // been evicted (puts charge only their WAL force).
+                if matches!(op, Op::Get { .. }) && cost > 0 {
+                    misses += 1;
+                }
+                samples.push(cost);
+            }
+        }
+        samples.sort_unstable();
+        (samples[(samples.len() * 99).div_ceil(100) - 1], misses)
+    };
+    let (scan_p99, scan_misses) = scan_run(&scan_ops);
+    let (noscan_p99, noscan_misses) = scan_run(&point_ops);
+    let p99_ratio = scan_p99 as f64 / noscan_p99.max(1) as f64;
+
+    let mut table = Table::new(&["point stream", "hot-key p99 (sim ns)", "hot-key get misses"]);
+    table.row(&[
+        "no scans (baseline)".into(),
+        format!("{noscan_p99}"),
+        format!("{noscan_misses}"),
+    ]);
+    table.row(&[
+        "with 220-leaf scans".into(),
+        format!("{scan_p99}"),
+        format!("{scan_misses}"),
+    ]);
+    table.print();
+    println!("scan-heavy hot-key p99: {p99_ratio:.2}x the no-scan baseline");
+    // 1 µs of simulated slack: both p99s may legitimately be identical
+    // put-force costs (or zero), where a ratio alone is degenerate.
+    assert!(
+        scan_p99 as f64 <= noscan_p99 as f64 * 1.2 + 1_000.0,
+        "scan traffic must not degrade hot-key tail latency: \
+         {noscan_p99} sim ns -> {scan_p99} sim ns"
+    );
+
+    // -- C: one governed budget for prefetch + scrub -------------------
+    //
+    // A deliberately tight budget (4 pages per 5 simulated ms = 800
+    // pages/s) shared by the scrubber and the prefetcher; after draining
+    // the initial burst, the combined background read count on the
+    // device must stay within rate x elapsed + burst.
+    const C_KEYS: u64 = 2_000;
+    let db = engine(|c| {
+        c.data_pages = 1024;
+        c.pool_frames = 64;
+        c.io_cost = IoCostModel::disk_2012();
+        c.scrub = spf::ScrubConfig {
+            enabled: true,
+            pages_per_tick: 4,
+            tick_idle: SimDuration::from_millis(5),
+        };
+    });
+    let mut wl = Workload::new(
+        0,
+        C_KEYS,
+        KeyDistribution::Uniform,
+        OpMix::read_mostly(),
+        B_VLEN,
+    );
+    let tx = db.begin();
+    for i in 0..C_KEYS {
+        db.insert(tx, &Workload::encode_key(i), &wl.next_value())
+            .unwrap();
+    }
+    db.commit(tx).unwrap();
+    db.checkpoint().unwrap();
+    db.drop_cache();
+
+    db.governor().drain();
+    let t0 = db.stats().now;
+    let prefetcher = db.prefetcher().unwrap().clone();
+    for i in 0..C_KEYS {
+        let _ = db.get(&Workload::encode_key(i)).unwrap();
+        prefetcher.poll();
+    }
+    db.scrub_now().unwrap();
+
+    let stats = db.stats();
+    let elapsed = stats.now.as_nanos() - t0.as_nanos();
+    let bg_reads = stats.device.prefetch_reads + stats.device.scrub_reads;
+    let budget_pages = (800.0 * elapsed as f64 / 1e9).floor() as u64 + 4;
+    let mut table = Table::new(&["background reads", "count"]);
+    table.row(&[
+        "prefetch".into(),
+        format!("{}", stats.device.prefetch_reads),
+    ]);
+    table.row(&["scrub".into(), format!("{}", stats.device.scrub_reads)]);
+    table.row(&[
+        format!("budget (800/s x {:.1} ms + burst)", elapsed as f64 / 1e6),
+        format!("{budget_pages}"),
+    ]);
+    table.print();
+    assert!(stats.device.prefetch_reads > 0, "prefetcher must have run");
+    assert!(stats.device.scrub_reads > 0, "scrubber must have run");
+    assert!(
+        stats.governor.throttle_waits > 0,
+        "a tight budget must have made the scrubber wait: {:?}",
+        stats.governor
+    );
+    assert!(
+        bg_reads <= budget_pages,
+        "combined background reads {bg_reads} exceed the governed budget {budget_pages}"
+    );
+
+    println!(
+        "PERF_JSON {{\"experiment\":\"e21\",\"hit_rate_prefetch_off\":{hit_off:.4},\
+         \"hit_rate_prefetch_on\":{hit_on:.4},\"hit_delta_points\":{delta_points:.1},\
+         \"scan_p99_ns\":{scan_p99},\"noscan_p99_ns\":{noscan_p99},\
+         \"p99_ratio\":{p99_ratio:.3},\"bg_reads\":{bg_reads},\
+         \"bg_budget_pages\":{budget_pages},\"governor_throttle_waits\":{}}}",
+        stats.governor.throttle_waits,
+    );
+    println!(
+        "shape check: the delta predictor turns the shifting hotspot's \
+         compulsory misses into hits (>= +10 points); scan leaves enter \
+         the clock at priority 0 and leave the hot set's tail latency \
+         untouched; prefetch and scrub together never overdraw the one \
+         background-I/O budget."
     );
 }

@@ -37,7 +37,7 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
-use spf_buffer::{BufferPool, PageReadGuard, PageWriteGuard};
+use spf_buffer::{BufferPool, FetchHint, PageReadGuard, PageWriteGuard};
 use spf_obs::{EventKind, Obs};
 use spf_storage::{Page, PageId, SlottedPage};
 use spf_txn::{SysAttempt, TxKind, TxnManager};
@@ -449,7 +449,11 @@ impl FosterBTree {
         let mut cursor: Vec<u8> = start.to_vec();
         let mut first = true;
         'chains: loop {
-            let (mut guard, _, _) = self.descend(&cursor)?;
+            // Leaves touched by the scan carry the scan hint (they are
+            // streamed once and must not flush the hot set); the inner
+            // nodes the descent crosses stay hot — every descent needs
+            // them.
+            let (mut guard, _, _) = self.descend_with(&cursor, FetchHint::Scan)?;
             // Walk the leaf and its foster chain, crabbing: the next
             // chain node is latched before the current one drops, so a
             // concurrent split cannot tear the chain under the scan.
@@ -497,7 +501,7 @@ impl FosterBTree {
                 };
                 match next {
                     Next::Chain(pid, sep, high) => {
-                        let g = self.pool.fetch(pid)?;
+                        let g = self.pool.fetch_with_hint(pid, FetchHint::Scan)?;
                         self.check_fences(&g, &sep, &high)?;
                         guard = g;
                     }
@@ -533,6 +537,24 @@ impl FosterBTree {
     /// across the hop, a fence mismatch here is real corruption, not a
     /// benign race.
     fn descend(&self, key: &[u8]) -> Result<(PageReadGuard, Bound, Bound), BTreeError> {
+        self.descend_with(key, FetchHint::Normal)
+    }
+
+    /// [`descend`](Self::descend) with an explicit buffer-pool hint for
+    /// **leaf-level** fetches. Inner nodes always fetch `Normal`: every
+    /// descent re-crosses them, so even a scan must keep them hot.
+    fn descend_with(
+        &self,
+        key: &[u8],
+        leaf_hint: FetchHint,
+    ) -> Result<(PageReadGuard, Bound, Bound), BTreeError> {
+        let hint_for = |level: u8| {
+            if level == 0 {
+                leaf_hint
+            } else {
+                FetchHint::Normal
+            }
+        };
         let mut guard = self.pool.fetch(self.root)?;
         TreeStatCounters::bump(&self.stats.node_visits);
         let mut expected: Option<(Bound, Bound)> = None;
@@ -547,7 +569,7 @@ impl FosterBTree {
                     separator,
                     high,
                 } => {
-                    let next = self.pool.fetch(child)?;
+                    let next = self.pool.fetch_with_hint(child, hint_for(level))?;
                     TreeStatCounters::bump(&self.stats.node_visits);
                     self.check_fences(&next, &separator, &high)?;
                     self.check_level(&next, level)?;
@@ -557,7 +579,7 @@ impl FosterBTree {
                 Descent::Child {
                     child, low, high, ..
                 } => {
-                    let next = self.pool.fetch(child)?;
+                    let next = self.pool.fetch_with_hint(child, hint_for(level - 1))?;
                     TreeStatCounters::bump(&self.stats.node_visits);
                     self.check_fences(&next, &low, &high)?;
                     self.check_level(&next, level - 1)?;
@@ -1097,11 +1119,11 @@ impl FosterBTree {
             }
             Some(AdoptStep::ParentFull) => {
                 // Make room one level up, then let a later pass adopt.
-                if parent == self.root {
-                    self.grow_root()
-                } else {
-                    self.split(parent)
-                }
+                // This holds for the root too: a full root without a
+                // foster cannot grow (growth absorbs a foster chain), so
+                // foster-split it first — the next maintenance pass sees
+                // the root's foster and grows the tree by one level.
+                self.split(parent)
             }
             Some(AdoptStep::Nothing) | Some(AdoptStep::Busy) => Ok(()),
             None => {

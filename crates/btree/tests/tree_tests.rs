@@ -157,6 +157,44 @@ fn growth_through_many_splits() {
     assert!(tree.stats().fence_checks > 0);
 }
 
+/// Regression test: a root (or any branch) that fills up must
+/// foster-split so the tree can grow another level. Near-max-size
+/// records pack only a handful of entries per leaf, so the branch above
+/// them fills while the tree is still small; the broken behaviour was an
+/// adoption livelock (`TooManyRetries`) because growing a full root was
+/// only possible once it already had a foster chain — which a merely
+/// full root never gets without being split first.
+#[test]
+fn full_branches_split_so_the_tree_keeps_growing() {
+    let fx = fixture(256, 8192);
+    let tree = foster_tree(&fx, VerifyMode::Continuous);
+    let big = vec![b'v'; 1_000];
+    let n = 3_000u64;
+    for chunk in 0..(n / 100) {
+        let tx = fx.txn.begin(TxKind::User);
+        for i in (chunk * 100)..((chunk + 1) * 100) {
+            tree.insert(tx, &key(i), &big).unwrap();
+        }
+        fx.txn.commit(tx).unwrap();
+    }
+
+    let stats = tree.stats();
+    assert!(
+        stats.branch_splits >= 1,
+        "a full branch must foster-split: {stats:?}"
+    );
+    assert!(
+        stats.root_growths >= 2,
+        "the tree must grow past two levels: {stats:?}"
+    );
+    assert!(tree.height().unwrap() >= 3);
+    for i in (0..n).step_by(61) {
+        assert_eq!(tree.get(&key(i)).unwrap(), Some(big.clone()), "key {i}");
+    }
+    let violations = tree.verify_full().unwrap();
+    assert!(violations.is_empty(), "tree must verify: {violations:?}");
+}
+
 #[test]
 fn reverse_and_random_insert_orders() {
     for seed in [1u64, 2, 3] {

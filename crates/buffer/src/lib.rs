@@ -23,8 +23,12 @@
 //!   record is appended but not forced — it rides a system transaction
 //!   (Section 5.2.4).
 //!
-//! The pool uses clock (second-chance) eviction over a fixed frame count,
-//! pin counts via owned guards, and per-frame reader/writer latches.
+//! The pool uses scan-resistant GCLOCK eviction (priority credit plus
+//! [`FetchHint`] re-reference-interval hints) over a fixed frame count,
+//! pin counts via owned guards, per-frame reader/writer latches, and a
+//! background prefetch entry point ([`BufferPool::prefetch_page`]) that
+//! shares the miss path's in-flight markers so foreground faults
+//! coalesce behind prefetches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,10 +37,10 @@ pub mod pool;
 pub mod traits;
 
 pub use pool::{
-    BufferPool, BufferPoolConfig, PageReadGuard, PageWriteGuard, PoolStats, RepairOutcome,
-    Residency,
+    BufferPool, BufferPoolConfig, FetchHint, PageReadGuard, PageWriteGuard, PoolStats,
+    PrefetchOutcome, RepairOutcome, Residency, MAX_PRIORITY,
 };
 pub use traits::{
-    FetchError, NoopObserver, PageRecoverer, ReadValidator, RecoverOutcome, ValidationError,
-    WriteObserver,
+    AccessContext, AccessObserver, FetchError, NoopObserver, PageRecoverer, ReadValidator,
+    RecoverOutcome, ValidationError, WriteObserver,
 };

@@ -23,9 +23,27 @@
 //! flag, performs all I/O unlocked, and only then takes the shard lock to
 //! unlink the page — re-checking that no one pinned or re-dirtied the
 //! frame while the write-back ran.
+//!
+//! # Scan resistance and prefetch
+//!
+//! Eviction is a generalized clock (GCLOCK) with re-reference credit:
+//! each frame carries a small priority counter instead of one reference
+//! bit. A normal fetch installs at one unit of credit and each
+//! re-reference earns another (up to [`MAX_PRIORITY`]); the sweeping
+//! hand spends a unit per pass and only claims frames at zero. Fetches
+//! hinted [`FetchHint::Scan`] install at **zero** credit and never
+//! promote on re-reference, so a long scan streams through the frames
+//! it just vacated instead of flushing the hot working set.
+//!
+//! [`BufferPool::prefetch_page`] is the background half of the miss
+//! path: it installs the *same* in-flight marker a miss leader would,
+//! reads through the device's separately counted prefetch path, and
+//! publishes the verified image clean. A foreground fault racing the
+//! prefetch finds the marker and coalesces behind it exactly like a
+//! second miss — one device read, no special cases.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::sync::{Condvar, Mutex as StdMutex, OnceLock};
 
@@ -37,11 +55,52 @@ use spf_storage::{Page, PageId, StorageDevice, StorageError};
 use spf_wal::{LogManager, Lsn};
 
 use crate::traits::{
-    FetchError, PageRecoverer, ReadValidator, RecoverOutcome, ValidationError, WriteObserver,
+    AccessContext, AccessObserver, FetchError, PageRecoverer, ReadValidator, RecoverOutcome,
+    ValidationError, WriteObserver,
 };
 
 /// Number of page-table shards. A power of two so the hash can mask.
 const SHARDS: usize = 16;
+
+/// Ceiling of a frame's clock credit: a page can bank at most this many
+/// sweep passes of protection, so even an abandoned hot set drains in a
+/// bounded number of revolutions.
+pub const MAX_PRIORITY: u8 = 3;
+
+/// Clock credit a normal fetch installs (and earns per re-reference).
+const NORMAL_PRIORITY: u8 = 1;
+
+/// Re-reference-interval hint supplied with a fetch, driving the
+/// scan-resistant eviction priority (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FetchHint {
+    /// Point access (tree descent). Installs with one unit of clock
+    /// credit; each re-reference earns another, up to [`MAX_PRIORITY`].
+    #[default]
+    Normal,
+    /// Streaming access (long scans). Installs at clock priority 0 so
+    /// the scan recycles its own frames, and never promotes on a hit —
+    /// only non-scan accesses can make a page hot.
+    Scan,
+}
+
+impl FetchHint {
+    /// The access context this hint maps to for the prefetcher's feed.
+    fn context(self) -> AccessContext {
+        match self {
+            FetchHint::Normal => AccessContext::TreeDescent,
+            FetchHint::Scan => AccessContext::Scan,
+        }
+    }
+
+    /// Clock credit a miss installs with.
+    fn install_priority(self) -> u8 {
+        match self {
+            FetchHint::Normal => NORMAL_PRIORITY,
+            FetchHint::Scan => 0,
+        }
+    }
+}
 
 /// Buffer pool configuration.
 #[derive(Debug, Clone, Copy)]
@@ -86,6 +145,17 @@ pub struct PoolStats {
     pub pages_recovered: u64,
     /// Failures that escalated (no recoverer, or recovery declined).
     pub escalations: u64,
+    /// Background prefetches issued (in-flight marker installed and a
+    /// device read attempted).
+    pub prefetch_issued: u64,
+    /// Prefetched images successfully verified and installed.
+    pub prefetch_installed: u64,
+    /// Fetches whose first touch of a page found it already installed by
+    /// (or coalesced behind) a prefetch — would-have-been misses.
+    pub prefetch_hits: u64,
+    /// Prefetched pages evicted without ever being referenced — the
+    /// predictor's false positives.
+    pub prefetch_wasted: u64,
 }
 
 impl PoolStats {
@@ -98,6 +168,42 @@ impl PoolStats {
             + self.detected_stale_lsn
             + self.detected_hard_error
     }
+
+    /// Fraction of fetches served without a device read, in `[0, 1]`.
+    /// Coalesced misses count as misses: the caller did wait on a read,
+    /// even if it was someone else's.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.coalesced_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+
+    /// Fraction of installed prefetches the foreground actually touched.
+    #[must_use]
+    pub fn prefetch_hit_ratio(&self) -> f64 {
+        if self.prefetch_installed == 0 {
+            return 0.0;
+        }
+        self.prefetch_hits as f64 / self.prefetch_installed as f64
+    }
+
+    /// Fraction of installed prefetches evicted untouched.
+    #[must_use]
+    pub fn prefetch_waste_ratio(&self) -> f64 {
+        if self.prefetch_installed == 0 {
+            return 0.0;
+        }
+        self.prefetch_wasted as f64 / self.prefetch_installed as f64
+    }
+}
+
+/// Scales a ratio in `[0, 1]` to basis points for the u64-valued
+/// metrics registry.
+fn basis_points(ratio: f64) -> u64 {
+    (ratio * 10_000.0).round() as u64
 }
 
 impl spf_obs::Observable for PoolStats {
@@ -113,7 +219,22 @@ impl spf_obs::Observable for PoolStats {
             .counter("detected_stale_lsn", self.detected_stale_lsn)
             .counter("detected_hard_error", self.detected_hard_error)
             .counter("pages_recovered", self.pages_recovered)
-            .counter("escalations", self.escalations);
+            .counter("escalations", self.escalations)
+            .counter("prefetch_issued", self.prefetch_issued)
+            .counter("prefetch_installed", self.prefetch_installed)
+            .counter("prefetch_hits", self.prefetch_hits)
+            .counter("prefetch_wasted", self.prefetch_wasted)
+            // Derived ratios, in basis points (the registry is u64-only),
+            // so experiments and dashboards can assert on one number.
+            .gauge("hit_rate_bp", basis_points(self.hit_rate()))
+            .gauge(
+                "prefetch_hit_ratio_bp",
+                basis_points(self.prefetch_hit_ratio()),
+            )
+            .gauge(
+                "prefetch_waste_ratio_bp",
+                basis_points(self.prefetch_waste_ratio()),
+            );
     }
 }
 
@@ -132,6 +253,10 @@ struct StatCounters {
     detected_hard_error: AtomicU64,
     pages_recovered: AtomicU64,
     escalations: AtomicU64,
+    prefetch_issued: AtomicU64,
+    prefetch_installed: AtomicU64,
+    prefetch_hits: AtomicU64,
+    prefetch_wasted: AtomicU64,
 }
 
 impl StatCounters {
@@ -150,6 +275,10 @@ impl StatCounters {
             detected_hard_error: ld(&self.detected_hard_error),
             pages_recovered: ld(&self.pages_recovered),
             escalations: ld(&self.escalations),
+            prefetch_issued: ld(&self.prefetch_issued),
+            prefetch_installed: ld(&self.prefetch_installed),
+            prefetch_hits: ld(&self.prefetch_hits),
+            prefetch_wasted: ld(&self.prefetch_wasted),
         }
     }
 }
@@ -182,7 +311,13 @@ impl FrameMeta {
 struct Frame {
     page: Arc<RwLock<Page>>,
     pins: AtomicU32,
-    ref_bit: AtomicBool,
+    /// GCLOCK credit: how many sweep passes this frame survives before
+    /// becoming a victim candidate. See the module docs.
+    priority: AtomicU8,
+    /// Set when the resident image was installed by a prefetch and has
+    /// not yet been referenced by the foreground; cleared (counting a
+    /// prefetch hit) on first touch, or (counting waste) on eviction.
+    prefetched: AtomicBool,
     /// Eviction/installation claim. Set by exactly one thread at a time:
     /// either an evictor running the unlocked write-back, or a miss
     /// leader filling the frame before publishing it. A claimed frame is
@@ -196,10 +331,28 @@ impl Frame {
         Self {
             page: Arc::new(RwLock::new(Page::from_bytes(vec![0u8; page_size]))),
             pins: AtomicU32::new(0),
-            ref_bit: AtomicBool::new(false),
+            priority: AtomicU8::new(0),
+            prefetched: AtomicBool::new(false),
             claimed: AtomicBool::new(false),
             meta: Mutex::new(FrameMeta::EMPTY),
         }
+    }
+
+    /// Applies `hint`'s re-reference credit on a hit.
+    fn promote(&self, hint: FetchHint) {
+        if matches!(hint, FetchHint::Normal) {
+            let p = self.priority.load(Ordering::Relaxed);
+            if p < MAX_PRIORITY {
+                // A lost race under-promotes by at most one pass; fine.
+                self.priority.store(p + 1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Clears the eviction-relevant flags when the frame is emptied.
+    fn reset_replacement_state(&self) {
+        self.priority.store(0, Ordering::Relaxed);
+        self.prefetched.store(false, Ordering::Relaxed);
     }
 }
 
@@ -246,6 +399,35 @@ pub enum RepairOutcome {
     /// The supplied recovery closure failed; the in-flight marker was
     /// removed and waiters were released.
     Failed(String),
+}
+
+/// Outcome of a background prefetch ([`BufferPool::prefetch_page`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchOutcome {
+    /// The page was read, verified, and installed clean.
+    Installed,
+    /// The page was already resident; nothing to do.
+    Resident,
+    /// Another thread's read or repair of the page was in flight.
+    Busy,
+    /// No frame could be claimed (pool under pressure); the prefetch was
+    /// abandoned rather than competing with foreground faults.
+    NoFrame,
+    /// The device read or verification failed. The failure is **not**
+    /// counted as detected and no recovery was attempted: the next
+    /// foreground fault runs the full Figure 8 ladder and accounts for
+    /// it exactly once.
+    Failed,
+}
+
+/// A claimed, filled frame waiting to be published under the shard lock.
+struct Staged {
+    idx: usize,
+    page: Page,
+    dirty: bool,
+    rec_lsn: Lsn,
+    priority: u8,
+    prefetched: bool,
 }
 
 /// What [`BufferPool::try_evict`] did with a claimed candidate frame.
@@ -309,6 +491,8 @@ struct PoolInner {
     validator: Mutex<Option<Arc<dyn ReadValidator>>>,
     recoverer: Mutex<Option<Arc<dyn PageRecoverer>>>,
     observer: Mutex<Option<Arc<dyn WriteObserver>>>,
+    /// Fault feed for the prefetcher ([`BufferPool::set_access_observer`]).
+    access_observer: OnceLock<Arc<dyn AccessObserver>>,
     /// Observability attach point ([`BufferPool::attach_obs`]).
     obs: OnceLock<Arc<Obs>>,
 }
@@ -319,6 +503,16 @@ impl PoolInner {
         // hands out across all shards.
         let h = (id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 57) as usize;
         &self.shards[h & (SHARDS - 1)]
+    }
+
+    /// Test hook: the clock priority of `id`'s frame, if resident.
+    #[cfg(test)]
+    fn frames_priority_of(&self, id: PageId) -> Option<u8> {
+        let shard = self.shard(id).lock();
+        match shard.table.get(&id) {
+            Some(Slot::Resident(idx)) => Some(self.frames[*idx].priority.load(Ordering::Relaxed)),
+            _ => None,
+        }
     }
 }
 
@@ -419,6 +613,7 @@ impl BufferPool {
                 validator: Mutex::new(None),
                 recoverer: Mutex::new(None),
                 observer: Mutex::new(None),
+                access_observer: OnceLock::new(),
                 obs: OnceLock::new(),
             }),
         }
@@ -444,6 +639,14 @@ impl BufferPool {
     /// handle per pool; later calls are ignored.
     pub fn attach_obs(&self, obs: Arc<Obs>) {
         let _ = self.inner.obs.set(obs);
+    }
+
+    /// Installs the access observer — the prefetcher's learning feed,
+    /// called on every true miss and on the first foreground touch of a
+    /// prefetched page, never with a shard lock held. At most one per
+    /// pool; later calls are ignored.
+    pub fn set_access_observer(&self, observer: Arc<dyn AccessObserver>) {
+        let _ = self.inner.access_observer.set(observer);
     }
 
     /// Number of frames.
@@ -484,9 +687,21 @@ impl BufferPool {
     }
 
     /// Fetches `id` for reading, verifying (and if needed recovering) the
-    /// page on a buffer fault.
+    /// page on a buffer fault. Equivalent to
+    /// [`fetch_with_hint`](BufferPool::fetch_with_hint) with
+    /// [`FetchHint::Normal`].
     pub fn fetch(&self, id: PageId) -> Result<PageReadGuard, FetchError> {
-        let (frame_idx, page_arc) = self.fetch_frame(id)?;
+        self.fetch_with_hint(id, FetchHint::Normal)
+    }
+
+    /// Fetches `id` for reading with an explicit re-reference-interval
+    /// hint (see [`FetchHint`]).
+    pub fn fetch_with_hint(
+        &self,
+        id: PageId,
+        hint: FetchHint,
+    ) -> Result<PageReadGuard, FetchError> {
+        let (frame_idx, page_arc) = self.fetch_frame(id, hint)?;
         Ok(PageReadGuard {
             guard: RwLock::read_arc(&page_arc),
             _pin: Pin {
@@ -498,7 +713,7 @@ impl BufferPool {
 
     /// Fetches `id` for writing.
     pub fn fetch_mut(&self, id: PageId) -> Result<PageWriteGuard, FetchError> {
-        let (frame_idx, page_arc) = self.fetch_frame(id)?;
+        let (frame_idx, page_arc) = self.fetch_frame(id, FetchHint::Normal)?;
         Ok(PageWriteGuard {
             guard: RwLock::write_arc(&page_arc),
             pool: Arc::clone(&self.inner),
@@ -518,7 +733,7 @@ impl BufferPool {
     /// restructures yield to foreground traffic instead of deadlocking
     /// against it.
     pub fn try_fetch_mut(&self, id: PageId) -> Result<Option<PageWriteGuard>, FetchError> {
-        let (frame_idx, page_arc) = self.fetch_frame(id)?;
+        let (frame_idx, page_arc) = self.fetch_frame(id, FetchHint::Normal)?;
         let pin = Pin {
             pool: Arc::clone(&self.inner),
             frame_idx,
@@ -553,7 +768,7 @@ impl BufferPool {
                         let idx = *idx;
                         let frame = &self.inner.frames[idx];
                         frame.pins.fetch_add(1, Ordering::Acquire);
-                        frame.ref_bit.store(true, Ordering::Relaxed);
+                        frame.promote(FetchHint::Normal);
                         Probe::Resident(idx)
                     }
                     Some(Slot::InFlight(fl)) => Probe::Wait(Arc::clone(fl)),
@@ -601,7 +816,14 @@ impl BufferPool {
                 Probe::Lead => {
                     // Victim selection and its write-back run with no
                     // shard lock held.
-                    let staged = self.claim_victim().map(|idx| (idx, page, true, rec_lsn));
+                    let staged = self.claim_victim(FetchHint::Normal).map(|idx| Staged {
+                        idx,
+                        page,
+                        dirty: true,
+                        rec_lsn,
+                        priority: NORMAL_PRIORITY,
+                        prefetched: false,
+                    });
                     let (idx, arc) = self.publish_frame(id, staged)?;
                     return Ok(PageWriteGuard {
                         guard: RwLock::write_arc(&arc),
@@ -696,7 +918,7 @@ impl BufferPool {
         }
         for frame in &self.inner.frames {
             *frame.meta.lock() = FrameMeta::EMPTY;
-            frame.ref_bit.store(false, Ordering::Relaxed);
+            frame.reset_replacement_state();
         }
     }
 
@@ -715,7 +937,7 @@ impl BufferPool {
                 return false;
             }
             *frame.meta.lock() = FrameMeta::EMPTY;
-            frame.ref_bit.store(false, Ordering::Relaxed);
+            frame.reset_replacement_state();
             shard.table.remove(&id);
         }
         true
@@ -790,7 +1012,7 @@ impl BufferPool {
             return false;
         }
         *meta = FrameMeta::EMPTY;
-        frame.ref_bit.store(false, Ordering::Relaxed);
+        frame.reset_replacement_state();
         drop(meta);
         shard.table.remove(&id);
         true
@@ -832,7 +1054,14 @@ impl BufferPool {
         let staged = match recover() {
             Ok(page) => {
                 let rec_lsn = Lsn(page.page_lsn());
-                self.claim_victim().map(|idx| (idx, page, true, rec_lsn))
+                self.claim_victim(FetchHint::Normal).map(|idx| Staged {
+                    idx,
+                    page,
+                    dirty: true,
+                    rec_lsn,
+                    priority: NORMAL_PRIORITY,
+                    prefetched: false,
+                })
             }
             Err(reason) => Err(FetchError::MediaFailure { id, reason }),
         };
@@ -851,45 +1080,191 @@ impl BufferPool {
     }
 
     // ------------------------------------------------------------------
+    // Prefetch
+    // ------------------------------------------------------------------
+
+    /// Background prefetch of `id`: installs the same in-flight marker a
+    /// miss leader would, reads through the device's separately counted
+    /// prefetch path, and publishes the verified image **clean** at
+    /// normal clock priority with the frame's prefetched flag set. A
+    /// foreground fault racing the prefetch finds the marker and
+    /// coalesces behind it — one device read either way.
+    ///
+    /// Not counted as a miss. Failures are not counted as detected and
+    /// no recovery is attempted ([`PrefetchOutcome::Failed`]): the next
+    /// foreground fault runs the full Figure 8 ladder and accounts for
+    /// the failure exactly once.
+    pub fn prefetch_page(&self, id: PageId) -> PrefetchOutcome {
+        {
+            let mut shard = self.inner.shard(id).lock();
+            match shard.table.get(&id) {
+                Some(Slot::Resident(_)) => return PrefetchOutcome::Resident,
+                Some(Slot::InFlight(_)) => return PrefetchOutcome::Busy,
+                None => {
+                    shard
+                        .table
+                        .insert(id, Slot::InFlight(Arc::new(InFlight::new())));
+                }
+            }
+        }
+        // We own the marker; all I/O below runs with no shard lock held.
+        bump(&self.inner.stats.prefetch_issued);
+        let _span = self
+            .inner
+            .obs
+            .get()
+            .map_or_else(spf_obs::SpanGuard::inert, |o| {
+                o.emit(EventKind::PrefetchIssued, id.0, 0);
+                o.span(Span::Prefetch)
+            });
+        let staged = self.prefetch_read_verified(id).and_then(|page| {
+            let idx = self.claim_victim(FetchHint::Normal)?;
+            Ok(Staged {
+                idx,
+                page,
+                dirty: false,
+                rec_lsn: Lsn::NULL,
+                priority: NORMAL_PRIORITY,
+                prefetched: true,
+            })
+        });
+        match self.publish_frame(id, staged) {
+            Ok((frame_idx, _)) => {
+                // publish_frame pinned the frame on our behalf; release it.
+                self.inner.frames[frame_idx]
+                    .pins
+                    .fetch_sub(1, Ordering::Release);
+                bump(&self.inner.stats.prefetch_installed);
+                PrefetchOutcome::Installed
+            }
+            Err(FetchError::NoFreeFrames) => PrefetchOutcome::NoFrame,
+            Err(_) => PrefetchOutcome::Failed,
+        }
+    }
+
+    /// The prefetch read: device prefetch path plus in-page and validator
+    /// checks, but — unlike [`read_verified`](Self::read_verified) — no
+    /// inline recovery and no detection accounting. A bad page simply
+    /// stays absent.
+    fn prefetch_read_verified(&self, id: PageId) -> Result<Page, FetchError> {
+        let mut buf = vec![0u8; self.inner.device.page_size()];
+        match self.inner.device.prefetch_read(id, &mut buf) {
+            Ok(()) => {}
+            Err(StorageError::DeviceFailed) => {
+                return Err(FetchError::MediaFailure {
+                    id,
+                    reason: "device failed".to_string(),
+                });
+            }
+            Err(e) => return Err(FetchError::Storage(e)),
+        }
+        let page = Page::from_bytes(buf);
+        if let Err(defect) = page.verify(id) {
+            return Err(FetchError::UnrecoveredPageFailure {
+                id,
+                error: ValidationError::Defect(defect),
+            });
+        }
+        let validator = self.inner.validator.lock().clone();
+        if let Some(v) = validator {
+            if let Err(error) = v.validate(id, &page) {
+                return Err(FetchError::UnrecoveredPageFailure { id, error });
+            }
+        }
+        Ok(page)
+    }
+
+    // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
 
-    fn fetch_frame(&self, id: PageId) -> Result<(usize, Arc<RwLock<Page>>), FetchError> {
+    fn fetch_frame(
+        &self,
+        id: PageId,
+        hint: FetchHint,
+    ) -> Result<(usize, Arc<RwLock<Page>>), FetchError> {
         loop {
-            let waiter = {
+            enum Probe {
+                Hit {
+                    idx: usize,
+                    page: Arc<RwLock<Page>>,
+                    first_touch: bool,
+                },
+                Wait(Arc<InFlight>),
+                Lead,
+            }
+            let probe = {
                 let mut shard = self.inner.shard(id).lock();
                 match shard.table.get(&id) {
                     Some(Slot::Resident(idx)) => {
                         let idx = *idx;
                         let frame = &self.inner.frames[idx];
                         frame.pins.fetch_add(1, Ordering::Acquire);
-                        frame.ref_bit.store(true, Ordering::Relaxed);
+                        frame.promote(hint);
+                        let first_touch = frame.prefetched.swap(false, Ordering::Relaxed);
                         bump(&self.inner.stats.hits);
-                        return Ok((idx, Arc::clone(&frame.page)));
+                        Probe::Hit {
+                            idx,
+                            page: Arc::clone(&frame.page),
+                            first_touch,
+                        }
                     }
-                    Some(Slot::InFlight(fl)) => Arc::clone(fl),
+                    Some(Slot::InFlight(fl)) => Probe::Wait(Arc::clone(fl)),
                     None => {
                         shard
                             .table
                             .insert(id, Slot::InFlight(Arc::new(InFlight::new())));
-                        drop(shard);
-                        return self.load_miss(id);
+                        Probe::Lead
                     }
                 }
             };
-            // Coalesced miss: another thread is already reading this
-            // page. Wait for it to publish, then re-probe (normally a
-            // hit; on leader failure each waiter retries as leader).
-            bump(&self.inner.stats.coalesced_misses);
-            waiter.wait();
+            match probe {
+                Probe::Hit {
+                    idx,
+                    page,
+                    first_touch,
+                } => {
+                    if first_touch {
+                        // First foreground touch of a prefetched page: a
+                        // would-have-been miss. Feed the predictor too, so
+                        // it keeps learning even when every prediction
+                        // lands (otherwise a perfect prefetcher starves
+                        // its own input and oscillates).
+                        bump(&self.inner.stats.prefetch_hits);
+                        if let Some(o) = self.inner.obs.get() {
+                            o.emit(EventKind::PrefetchHit, id.0, hint.context() as u64);
+                        }
+                        if let Some(ao) = self.inner.access_observer.get() {
+                            ao.page_faulted(id, hint.context());
+                        }
+                    }
+                    return Ok((idx, page));
+                }
+                Probe::Wait(fl) => {
+                    // Coalesced miss: another thread is already reading
+                    // this page. Wait for it to publish, then re-probe
+                    // (normally a hit; on leader failure each waiter
+                    // retries as leader).
+                    bump(&self.inner.stats.coalesced_misses);
+                    fl.wait();
+                }
+                Probe::Lead => return self.load_miss(id, hint),
+            }
         }
     }
 
     /// The miss path, entered owning the in-flight marker for `id`. All
     /// I/O — the verified read (with inline recovery) and any eviction
     /// write-back — happens with no shard lock held.
-    fn load_miss(&self, id: PageId) -> Result<(usize, Arc<RwLock<Page>>), FetchError> {
+    fn load_miss(
+        &self,
+        id: PageId,
+        hint: FetchHint,
+    ) -> Result<(usize, Arc<RwLock<Page>>), FetchError> {
         bump(&self.inner.stats.misses);
+        if let Some(ao) = self.inner.access_observer.get() {
+            ao.page_faulted(id, hint.context());
+        }
         let _span = self
             .inner
             .obs
@@ -899,30 +1274,36 @@ impl BufferPool {
                 o.span(Span::PageMiss)
             });
         let staged = self.read_verified(id).and_then(|(page, recovered)| {
-            let idx = self.claim_victim()?;
+            let idx = self.claim_victim(hint)?;
             let rec_lsn = Lsn(page.page_lsn());
-            Ok((idx, page, recovered, rec_lsn))
+            Ok(Staged {
+                idx,
+                page,
+                dirty: recovered,
+                rec_lsn,
+                priority: hint.install_priority(),
+                prefetched: false,
+            })
         });
         self.publish_frame(id, staged)
     }
 
-    /// Completes a miss (or `put_new`) by publishing the staged frame
-    /// under the shard lock — or, on error, removing the in-flight marker
-    /// — and waking every coalesced waiter.
+    /// Completes a miss (or `put_new`, or a prefetch) by publishing the
+    /// staged frame under the shard lock — or, on error, removing the
+    /// in-flight marker — and waking every coalesced waiter.
     ///
-    /// `staged` carries `(claimed frame, image, install dirty, rec_lsn)`.
     /// On success the frame is pinned on the caller's behalf.
     fn publish_frame(
         &self,
         id: PageId,
-        staged: Result<(usize, Page, bool, Lsn), FetchError>,
+        staged: Result<Staged, FetchError>,
     ) -> Result<(usize, Arc<RwLock<Page>>), FetchError> {
         // Install the image in the still-unpublished frame first: the
         // moment the shard entry flips to Resident, hits pin and read the
         // frame with no further synchronization.
-        let staged = staged.map(|(idx, page, dirty, rec_lsn)| {
-            *self.inner.frames[idx].page.write() = page;
-            (idx, dirty, rec_lsn)
+        let staged = staged.map(|s| {
+            *self.inner.frames[s.idx].page.write() = s.page;
+            (s.idx, s.dirty, s.rec_lsn, s.priority, s.prefetched)
         });
         let mut shard = self.inner.shard(id).lock();
         let fl = match shard.table.get(&id) {
@@ -930,7 +1311,7 @@ impl BufferPool {
             _ => unreachable!("in-flight marker owned by this thread"),
         };
         let result = match staged {
-            Ok((idx, dirty, rec_lsn)) => {
+            Ok((idx, dirty, rec_lsn, priority, prefetched)) => {
                 let frame = &self.inner.frames[idx];
                 {
                     let mut meta = frame.meta.lock();
@@ -939,7 +1320,8 @@ impl BufferPool {
                     meta.rec_lsn = if dirty { rec_lsn } else { Lsn::NULL };
                 }
                 frame.pins.fetch_add(1, Ordering::Acquire);
-                frame.ref_bit.store(true, Ordering::Relaxed);
+                frame.priority.store(priority, Ordering::Relaxed);
+                frame.prefetched.store(prefetched, Ordering::Relaxed);
                 shard.table.insert(id, Slot::Resident(idx));
                 frame.claimed.store(false, Ordering::Release);
                 Ok((idx, Arc::clone(&frame.page)))
@@ -1061,11 +1443,32 @@ impl BufferPool {
         }
     }
 
-    /// Clock (second chance) victim selection. Returns a **claimed**,
-    /// unlinked, empty frame; the caller publishes it and clears the
-    /// claim. A dirty victim is written back with no shard lock held.
+    /// Advances the clock hand one step and returns the frame index it
+    /// pointed at. The hand is kept strictly inside `[0, n)`: a bare
+    /// `fetch_add % n` would distribute unevenly when the counter wraps
+    /// (2^64 is generally not a multiple of `n`, so the frames just
+    /// after the wrap point get visited twice — double-decrementing
+    /// their credit every 2^64 steps of accumulated sweeping).
+    fn advance_clock(&self, n: usize) -> usize {
+        self.inner
+            .clock_hand
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |h| {
+                Some(if h >= n - 1 { 0 } else { h + 1 })
+            })
+            .unwrap_or(0)
+            // The update keeps the hand in range; the modulo only matters
+            // for a pre-existing out-of-range value (it is observed once,
+            // then the hand is back in [0, n)).
+            % n
+    }
+
+    /// GCLOCK victim selection. Returns a **claimed**, unlinked, empty
+    /// frame; the caller publishes it and clears the claim. A dirty
+    /// victim is written back with no shard lock held. Each sweep step
+    /// spends one unit of a frame's priority credit; only frames already
+    /// at zero are claim candidates.
     ///
-    /// A sweep blocked by pins and reference bits alone is the genuine
+    /// A sweep blocked by pins and priority credit alone is the genuine
     /// everything-in-use condition and fails fast (`NoFreeFrames`).
     /// Sweeps that lost races against *transient* owners (frames claimed
     /// by concurrent misses/evictors, or latched mid-write-back) retry
@@ -1073,19 +1476,62 @@ impl BufferPool {
     /// unlikely — though not impossible under sustained contention, so
     /// concurrent callers should treat `NoFreeFrames` as retryable (as
     /// the stress tests do).
-    fn claim_victim(&self) -> Result<usize, FetchError> {
+    ///
+    /// A [`FetchHint::Scan`] claim is *gentle*: it first makes one lap
+    /// looking for a frame already at zero credit — typically the scan's
+    /// own already-consumed pages — without decrementing anything, so a
+    /// scan longer than the pool streams through frames it recycles
+    /// itself instead of draining the working set's second chances one
+    /// sweep step at a time. Only a pool with no zero-credit frame at
+    /// all (e.g. cold, or all-hot) falls back to the spending sweep.
+    fn claim_victim(&self, hint: FetchHint) -> Result<usize, FetchError> {
         let n = self.inner.frames.len();
+        if matches!(hint, FetchHint::Scan) {
+            for _ in 0..n {
+                let idx = self.advance_clock(n);
+                let frame = &self.inner.frames[idx];
+                if frame.pins.load(Ordering::Acquire) != 0
+                    || frame.priority.load(Ordering::Relaxed) != 0
+                {
+                    continue;
+                }
+                if frame
+                    .claimed
+                    .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_err()
+                {
+                    continue;
+                }
+                match self.try_evict(idx) {
+                    Ok(EvictOutcome::Claimed) => return Ok(idx),
+                    Ok(EvictOutcome::Skip) | Ok(EvictOutcome::SkipTransient) => {
+                        frame.claimed.store(false, Ordering::Release);
+                        continue;
+                    }
+                    Err(e) => {
+                        frame.claimed.store(false, Ordering::Release);
+                        return Err(e);
+                    }
+                }
+            }
+        }
         for _round in 0..16 {
             let mut lost_race = false;
-            // Two clock revolutions clear every ref bit; the extra
-            // slack absorbs interleaving with concurrent sweeps.
-            for _ in 0..4 * n {
-                let idx = self.inner.clock_hand.fetch_add(1, Ordering::Relaxed) % n;
+            // MAX_PRIORITY + 1 revolutions drain every frame's credit;
+            // the extra slack absorbs interleaving with concurrent
+            // sweeps.
+            for _ in 0..(usize::from(MAX_PRIORITY) + 2) * n {
+                let idx = self.advance_clock(n);
                 let frame = &self.inner.frames[idx];
                 if frame.pins.load(Ordering::Acquire) != 0 {
                     continue;
                 }
-                if frame.ref_bit.swap(false, Ordering::Relaxed) {
+                if frame
+                    .priority
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |p| p.checked_sub(1))
+                    .is_ok()
+                {
+                    // Had credit; spent one unit and moved on.
                     continue;
                 }
                 if frame
@@ -1161,6 +1607,11 @@ impl BufferPool {
         }
         *meta = FrameMeta::EMPTY;
         bump(&self.inner.stats.evictions);
+        if frame.prefetched.swap(false, Ordering::Relaxed) {
+            // Evicted without ever being referenced: the prefetch was a
+            // false positive.
+            bump(&self.inner.stats.prefetch_wasted);
+        }
         if let Some(o) = self.inner.obs.get() {
             o.emit(EventKind::PageEvict, old_id.0, u64::from(was_dirty));
         }
@@ -1701,5 +2152,254 @@ mod tests {
         page.set_page_lsn(100);
         drop(pool.put_new(page, Lsn(40)).unwrap());
         assert_eq!(pool.dirty_pages(), vec![(PageId(3), Lsn(40))]);
+    }
+
+    /// Regression test for the clock hand's wrap behaviour. The old
+    /// `fetch_add % n` advance visits the frames just past the wrap point
+    /// twice when the `AtomicUsize` overflows (2^64 is not a multiple of
+    /// 3), double-spending their credit; the bounded advance must sweep
+    /// every frame exactly once per revolution regardless of the hand's
+    /// starting value.
+    #[test]
+    fn clock_hand_wrap_is_fair() {
+        let (pool, _dev, _log) = setup(3, 8);
+        for i in 0..3 {
+            drop(pool.fetch(PageId(i)).unwrap()); // each installs at credit 1
+        }
+        // Park the hand one step before the overflow. usize::MAX - 1 is
+        // ≡ 2 (mod 3), so a fair sweep visits 2, 0, 1, 2 and claims
+        // frame 2; the old advance visited 2, 0, 0 — double-decrementing
+        // frame 0 and evicting the wrong page.
+        pool.inner
+            .clock_hand
+            .store(usize::MAX - 1, Ordering::Relaxed);
+        drop(pool.fetch(PageId(3)).unwrap());
+        assert!(
+            pool.contains(PageId(0)) && pool.contains(PageId(1)),
+            "frames after the wrap point lost credit twice in one sweep"
+        );
+        assert!(!pool.contains(PageId(2)));
+        assert!(
+            pool.inner.clock_hand.load(Ordering::Relaxed) < 3,
+            "hand must stay within [0, frames)"
+        );
+    }
+
+    #[test]
+    fn scan_hinted_fetches_do_not_flush_hot_pages() {
+        let (pool, _dev, _log) = setup(4, 40);
+        // Establish a two-page hot set with banked re-reference credit.
+        for _ in 0..3 {
+            drop(pool.fetch(PageId(0)).unwrap());
+            drop(pool.fetch(PageId(1)).unwrap());
+        }
+        // Stream a scan 8× the pool size through the remaining frames,
+        // re-touching the hot set as a point access now and then (as a
+        // B-tree descent to the scan's next leaf would).
+        for i in 2..34 {
+            drop(pool.fetch_with_hint(PageId(i), FetchHint::Scan).unwrap());
+            if i % 4 == 0 {
+                drop(pool.fetch(PageId(0)).unwrap());
+                drop(pool.fetch(PageId(1)).unwrap());
+            }
+        }
+        assert!(
+            pool.contains(PageId(0)) && pool.contains(PageId(1)),
+            "a streaming scan must recycle its own frames, not the hot set"
+        );
+    }
+
+    /// Stronger than mere survival: a scan's claims must not spend the
+    /// hot set's credit *at all*, even with no interleaved point access
+    /// to earn it back — the gentle claim recycles zero-credit frames
+    /// (its own consumed pages) without a decrementing sweep.
+    #[test]
+    fn scan_claims_spend_no_hot_credit() {
+        let (pool, _dev, _log) = setup(4, 40);
+        for _ in 0..3 {
+            drop(pool.fetch(PageId(0)).unwrap());
+            drop(pool.fetch(PageId(1)).unwrap());
+        }
+        let hot0 = pool.inner.frames_priority_of(PageId(0)).unwrap();
+        let hot1 = pool.inner.frames_priority_of(PageId(1)).unwrap();
+        for i in 2..34 {
+            drop(pool.fetch_with_hint(PageId(i), FetchHint::Scan).unwrap());
+        }
+        assert!(pool.contains(PageId(0)) && pool.contains(PageId(1)));
+        assert_eq!(pool.inner.frames_priority_of(PageId(0)), Some(hot0));
+        assert_eq!(pool.inner.frames_priority_of(PageId(1)), Some(hot1));
+    }
+
+    #[test]
+    fn scan_hint_never_promotes_on_hit() {
+        let (pool, _dev, _log) = setup(4, 8);
+        drop(pool.fetch_with_hint(PageId(1), FetchHint::Scan).unwrap());
+        assert_eq!(pool.inner.frames_priority_of(PageId(1)), Some(0));
+        // Re-referencing under the scan hint earns nothing…
+        drop(pool.fetch_with_hint(PageId(1), FetchHint::Scan).unwrap());
+        assert_eq!(pool.inner.frames_priority_of(PageId(1)), Some(0));
+        // …while one point access makes the page hot.
+        drop(pool.fetch(PageId(1)).unwrap());
+        assert_eq!(pool.inner.frames_priority_of(PageId(1)), Some(1));
+    }
+
+    #[test]
+    fn prefetch_installs_clean_and_first_touch_counts_hit() {
+        let (pool, dev, _log) = setup(4, 8);
+        assert_eq!(pool.prefetch_page(PageId(2)), PrefetchOutcome::Installed);
+        assert!(pool.contains(PageId(2)));
+        assert_eq!(pool.probe(PageId(2)), Residency::Clean);
+        assert_eq!(dev.stats().prefetch_reads, 1);
+        assert_eq!(dev.stats().random_reads, 0);
+
+        // First foreground touch: a hit, and the prefetch pays off once.
+        drop(pool.fetch(PageId(2)).unwrap());
+        drop(pool.fetch(PageId(2)).unwrap());
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.prefetch_issued, 1);
+        assert_eq!(stats.prefetch_installed, 1);
+        assert_eq!(stats.prefetch_hits, 1, "only the first touch counts");
+        assert_eq!(stats.prefetch_wasted, 0);
+        assert!((stats.hit_rate() - 1.0).abs() < f64::EPSILON);
+        assert!((stats.prefetch_hit_ratio() - 1.0).abs() < f64::EPSILON);
+        assert_eq!(stats.prefetch_waste_ratio(), 0.0);
+
+        // Already resident / no double work.
+        assert_eq!(pool.prefetch_page(PageId(2)), PrefetchOutcome::Resident);
+        assert_eq!(pool.stats().prefetch_issued, 1);
+    }
+
+    /// Satellite: a foreground fault on a page with an in-flight prefetch
+    /// must block on the shared marker and the pair must cost exactly one
+    /// device read.
+    #[test]
+    fn fetch_coalesces_behind_prefetch() {
+        struct BlockOnce {
+            gate: Arc<std::sync::Barrier>,
+            fired: AtomicBool,
+        }
+        impl ReadValidator for BlockOnce {
+            fn validate(&self, _id: PageId, _page: &Page) -> Result<(), ValidationError> {
+                if !self.fired.swap(true, Ordering::SeqCst) {
+                    self.gate.wait();
+                    // Hold the in-flight marker long enough for the
+                    // foreground fetch to reach it.
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                }
+                Ok(())
+            }
+        }
+        let (pool, dev, _log) = setup(4, 8);
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        pool.set_validator(Arc::new(BlockOnce {
+            gate: Arc::clone(&gate),
+            fired: AtomicBool::new(false),
+        }));
+        let pool2 = pool.clone();
+        let prefetcher = std::thread::spawn(move || pool2.prefetch_page(PageId(5)));
+        gate.wait(); // prefetch owns the marker and is mid-validate
+        let g = pool.fetch(PageId(5)).unwrap();
+        assert_eq!(g.page_id(), PageId(5));
+        drop(g);
+        assert_eq!(prefetcher.join().unwrap(), PrefetchOutcome::Installed);
+
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 0, "the foreground must not re-read");
+        assert_eq!(stats.coalesced_misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(
+            stats.prefetch_hits, 1,
+            "coalescing behind a prefetch is a prefetch hit"
+        );
+        assert_eq!(dev.stats().prefetch_reads, 1);
+        assert_eq!(
+            dev.stats().random_reads,
+            0,
+            "exactly one device read for the pair"
+        );
+    }
+
+    #[test]
+    fn prefetch_failure_leaves_detection_to_the_foreground() {
+        let (pool, dev, _log) = setup(4, 8);
+        dev.inject_fault(
+            PageId(3),
+            FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 5 }),
+        );
+        assert_eq!(pool.prefetch_page(PageId(3)), PrefetchOutcome::Failed);
+        assert!(!pool.contains(PageId(3)));
+        let stats = pool.stats();
+        assert_eq!(stats.prefetch_issued, 1);
+        assert_eq!(stats.prefetch_installed, 0);
+        assert_eq!(
+            stats.total_detected(),
+            0,
+            "a failed prefetch must not pre-empt the foreground's accounting"
+        );
+        // The next foreground fault runs the full ladder and accounts for
+        // the failure exactly once.
+        assert!(pool.fetch(PageId(3)).is_err());
+        assert_eq!(pool.stats().total_detected(), 1);
+    }
+
+    #[test]
+    fn prefetched_page_evicted_untouched_counts_waste() {
+        let (pool, _dev, _log) = setup(2, 8);
+        assert_eq!(pool.prefetch_page(PageId(1)), PrefetchOutcome::Installed);
+        // Pressure the two-frame pool until the untouched prefetch is
+        // evicted.
+        for i in 2..7 {
+            drop(pool.fetch(PageId(i)).unwrap());
+        }
+        assert!(!pool.contains(PageId(1)));
+        let stats = pool.stats();
+        assert_eq!(stats.prefetch_wasted, 1);
+        assert_eq!(stats.prefetch_hits, 0);
+        assert!((stats.prefetch_waste_ratio() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn access_observer_sees_misses_and_prefetch_first_touches() {
+        #[derive(Default)]
+        struct Recorder {
+            seen: Mutex<Vec<(PageId, AccessContext)>>,
+        }
+        impl AccessObserver for Recorder {
+            fn page_faulted(&self, id: PageId, ctx: AccessContext) {
+                self.seen.lock().push((id, ctx));
+            }
+        }
+        let (pool, _dev, _log) = setup(4, 8);
+        let rec = Arc::new(Recorder::default());
+        pool.set_access_observer(Arc::clone(&rec) as Arc<dyn AccessObserver>);
+
+        drop(pool.fetch(PageId(1)).unwrap()); // true miss, point access
+        drop(pool.fetch_with_hint(PageId(2), FetchHint::Scan).unwrap()); // true miss, scan
+        pool.prefetch_page(PageId(3));
+        drop(pool.fetch(PageId(3)).unwrap()); // prefetch first touch
+        drop(pool.fetch(PageId(1)).unwrap()); // plain hit: not reported
+
+        assert_eq!(
+            *rec.seen.lock(),
+            vec![
+                (PageId(1), AccessContext::TreeDescent),
+                (PageId(2), AccessContext::Scan),
+                (PageId(3), AccessContext::TreeDescent),
+            ]
+        );
+    }
+
+    #[test]
+    fn hit_rate_counts_coalesced_waits_as_misses() {
+        let stats = PoolStats {
+            hits: 6,
+            misses: 2,
+            coalesced_misses: 2,
+            ..PoolStats::default()
+        };
+        assert!((stats.hit_rate() - 0.6).abs() < f64::EPSILON);
+        assert_eq!(PoolStats::default().hit_rate(), 0.0);
     }
 }

@@ -98,6 +98,63 @@ pub trait WriteObserver: Send + Sync {
     }
 }
 
+/// The access context a buffer fault occurred in. The predictive
+/// prefetcher keeps one delta table per context: tree descents, scans,
+/// scrub sweeps, and recovery reads each have their own page-id stride
+/// patterns, and mixing them would teach the predictor noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AccessContext {
+    /// Root-to-leaf point access (get/put descents).
+    TreeDescent = 0,
+    /// Streaming range scan.
+    Scan = 1,
+    /// Background scrub sweep.
+    Scrub = 2,
+    /// Recovery read (single-page repair, restart, media).
+    Recovery = 3,
+}
+
+impl AccessContext {
+    /// Number of contexts (for per-context tables).
+    pub const COUNT: usize = 4;
+
+    /// All contexts, index-ordered.
+    pub const ALL: [AccessContext; AccessContext::COUNT] = [
+        AccessContext::TreeDescent,
+        AccessContext::Scan,
+        AccessContext::Scrub,
+        AccessContext::Recovery,
+    ];
+
+    /// Stable name for traces and metrics.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessContext::TreeDescent => "tree_descent",
+            AccessContext::Scan => "scan",
+            AccessContext::Scrub => "scrub",
+            AccessContext::Recovery => "recovery",
+        }
+    }
+
+    /// Dense index into per-context tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Observer of buffer faults — the prefetcher's learning feed. Notified
+/// on every true miss and on the first foreground touch of a prefetched
+/// page (a would-have-been miss), always with **no shard lock held**.
+/// Implementations must be cheap and non-blocking: this runs on the
+/// fetch path.
+pub trait AccessObserver: Send + Sync {
+    /// `id` faulted (or would have, absent prefetch) in context `ctx`.
+    fn page_faulted(&self, id: PageId, ctx: AccessContext);
+}
+
 /// A no-op observer/validator for baselines and tests.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NoopObserver;

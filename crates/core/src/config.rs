@@ -1,6 +1,7 @@
 //! Database configuration.
 
 use spf_btree::VerifyMode;
+use spf_prefetch::PrefetchConfig;
 use spf_recovery::BackupPolicy;
 use spf_scrub::ScrubConfig;
 use spf_util::IoCostModel;
@@ -81,6 +82,15 @@ pub struct DatabaseConfig {
     /// `Database::scrub_now` runs one sweep; `Database::start_scrubber`
     /// runs sweeps continuously on a background thread.
     pub scrub: ScrubConfig,
+    /// The predictive prefetcher: per-access-context delta prediction
+    /// over observed page faults, issuing background reads through the
+    /// same in-flight markers as foreground misses (see `spf-prefetch`).
+    /// Enabled by default, but *passive* until
+    /// `Database::start_prefetcher` spins up the polling thread (or an
+    /// experiment drives `Prefetcher::poll` directly) — the observer
+    /// only learns and queues, so the seed's I/O patterns are unchanged
+    /// until polling starts.
+    pub prefetch: PrefetchConfig,
     /// Keep a synchronous mirror of the data device (Section 5.2.2:
     /// "other copies in a mirror or a RAID array" as a backup-page
     /// source). Every write and sync goes to both devices; single-page
@@ -115,6 +125,7 @@ impl Default for DatabaseConfig {
             single_device_node: false,
             archive: ArchiveConfig::default_on(),
             scrub: ScrubConfig::default_on(),
+            prefetch: PrefetchConfig::default_on(),
             mirror: false,
             wall_clock_io: false,
             obs: true,
@@ -133,6 +144,7 @@ impl DatabaseConfig {
             verify_mode: VerifyMode::Off,
             archive: ArchiveConfig::disabled(),
             scrub: ScrubConfig::disabled(),
+            prefetch: PrefetchConfig::disabled(),
             ..Self::default()
         }
     }

@@ -10,6 +10,7 @@ use spf_archive::{ArchiveReport, ArchiveStore, LogArchiver, MergePolicy};
 use spf_btree::{BTreeError, BumpAllocator, FosterBTree, KvPairs, PageAllocator};
 use spf_buffer::{BufferPool, BufferPoolConfig, FetchError};
 use spf_obs::{EventKind, MetricsSnapshot, Obs, Span};
+use spf_prefetch::{AccessObserver, GovernorConfig, IoGovernor, Prefetcher};
 use spf_recovery::{
     BackupStore, FailureClass, MediaRecovery, MediaReport, PageRecoveryIndex, PriMaintainer,
     RestartReport, SinglePageRecovery, SystemRecovery,
@@ -63,7 +64,17 @@ pub struct Database {
     last_full_backup: Mutex<Option<(PageId, Lsn)>>,
     scrubber: Option<Arc<Scrubber>>,
     scrub_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    governor: Arc<IoGovernor>,
+    prefetcher: Option<Arc<Prefetcher>>,
+    prefetch_thread: Mutex<Option<PrefetchThread>>,
     obs: Arc<Obs>,
+}
+
+/// Handle of the running prefetch-poll thread plus its private stop
+/// flag (the prefetcher itself is stateless about threading).
+struct PrefetchThread {
+    handle: std::thread::JoinHandle<()>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
 }
 
 /// Adapts the B-tree allocator's high-water mark as the scrubber's scan
@@ -325,6 +336,7 @@ impl Database {
     /// recovery.)
     pub fn close(self) -> Result<(), DbError> {
         self.stop_scrubber();
+        self.stop_prefetcher();
         self.checkpoint()?;
         self.pool
             .flush_all()
@@ -467,6 +479,17 @@ impl Database {
             None
         };
 
+        // One background-I/O budget for scrubber and prefetcher alike,
+        // derived from the scrub pacing knobs (the pre-governor rate).
+        // The bucket starts with one burst: that is what lets the
+        // prefetcher do bounded work even in configurations whose
+        // devices charge no simulated time (the free cost model), where
+        // rate-based refill alone would never accrue budget.
+        let governor = Arc::new(IoGovernor::new(
+            GovernorConfig::from_scrub(config.scrub.pages_per_tick, config.scrub.tick_idle),
+            Arc::clone(&clock),
+        ));
+
         let scrubber = config.scrub.enabled.then(|| {
             let s = Arc::new(Scrubber::new(
                 config.scrub,
@@ -477,8 +500,20 @@ impl Database {
                 spr.clone().map(|s| s as _),
                 Arc::new(AllocExtent(Arc::clone(&alloc))),
             ));
+            s.set_governor(Arc::clone(&governor));
             s.attach_obs(Arc::clone(&obs));
             s
+        });
+
+        let prefetcher = config.prefetch.enabled.then(|| {
+            let p = Arc::new(Prefetcher::new(
+                config.prefetch,
+                pool.clone(),
+                Arc::clone(&governor),
+                config.data_pages,
+            ));
+            pool.set_access_observer(Arc::clone(&p) as Arc<dyn AccessObserver>);
+            p
         });
 
         let tree = if fresh {
@@ -528,6 +563,9 @@ impl Database {
             last_full_backup: Mutex::new(None),
             scrubber,
             scrub_thread: Mutex::new(None),
+            governor,
+            prefetcher,
+            prefetch_thread: Mutex::new(None),
             obs,
         })
     }
@@ -778,6 +816,9 @@ impl Database {
     /// pool's discard assertions.
     pub fn crash(&self) -> Lsn {
         self.stop_scrubber();
+        // The prefetch-poll thread dies in the crash too; its in-flight
+        // installs would otherwise trip the discard's marker assertion.
+        self.stop_prefetcher();
         self.pool.discard_all();
         self.locks.clear();
         self.maintainer.on_crash();
@@ -855,9 +896,11 @@ impl Database {
             .last_full_backup
             .lock()
             .ok_or_else(|| DbError::RecoveryFailed("no full backup exists".to_string()))?;
-        // A media failure takes the background scrubber down with it
-        // (and its transient pins would trip the discard below).
+        // A media failure takes the background scrubber and prefetcher
+        // down with it (their transient pins and in-flight markers would
+        // trip the discard below).
         self.stop_scrubber();
+        self.stop_prefetcher();
         self.pool.discard_all();
         self.locks.clear();
         let mut media = MediaRecovery::new(self.log.clone());
@@ -890,6 +933,7 @@ impl Database {
             .as_ref()
             .ok_or_else(|| DbError::RecoveryFailed("no mirror is configured".to_string()))?;
         self.stop_scrubber();
+        self.stop_prefetcher();
         self.pool.discard_all();
         self.locks.clear();
         let mut media = MediaRecovery::new(self.log.clone());
@@ -1060,6 +1104,71 @@ impl Database {
     }
 
     // ------------------------------------------------------------------
+    // Predictive prefetching (spf-prefetch)
+    // ------------------------------------------------------------------
+
+    /// Starts the background prefetch-poll thread: drains the
+    /// prediction queue continuously, drawing I/O budget from the
+    /// shared governor. Returns `false` if prefetching is disabled or
+    /// the thread is already running.
+    pub fn start_prefetcher(&self) -> bool {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let Some(prefetcher) = &self.prefetcher else {
+            return false;
+        };
+        let mut slot = self.prefetch_thread.lock();
+        if slot.is_some() {
+            return false;
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let prefetcher = Arc::clone(prefetcher);
+        let handle = std::thread::spawn(move || {
+            while !thread_stop.load(Ordering::Acquire) {
+                if prefetcher.poll() == 0 {
+                    // Nothing queued (or no budget): wall-clock pause so
+                    // an idle prefetcher is not a hot spin.
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            }
+        });
+        *slot = Some(PrefetchThread { handle, stop });
+        true
+    }
+
+    /// Stops the background prefetch-poll thread and waits for its
+    /// current issue to finish (so no in-flight prefetch marker
+    /// outlives this call). Idempotent; returns whether a thread was
+    /// actually stopped. As with the scrubber, the slot lock is held
+    /// across signal and join so a concurrent
+    /// [`start_prefetcher`](Database::start_prefetcher) cannot race.
+    pub fn stop_prefetcher(&self) -> bool {
+        let mut slot = self.prefetch_thread.lock();
+        let Some(thread) = slot.take() else {
+            return false;
+        };
+        thread
+            .stop
+            .store(true, std::sync::atomic::Ordering::Release);
+        let _ = thread.handle.join();
+        true
+    }
+
+    /// The prefetcher, when configured (experiments drive
+    /// [`Prefetcher::poll`] directly for deterministic single-step
+    /// control).
+    #[must_use]
+    pub fn prefetcher(&self) -> Option<&Arc<Prefetcher>> {
+        self.prefetcher.as_ref()
+    }
+
+    /// The background-I/O governor shared by scrubber and prefetcher.
+    #[must_use]
+    pub fn governor(&self) -> &Arc<IoGovernor> {
+        &self.governor
+    }
+
+    // ------------------------------------------------------------------
     // Failure injection and inspection (experiment surface)
     // ------------------------------------------------------------------
 
@@ -1079,10 +1188,14 @@ impl Database {
     /// pins would trip the pool's assertions) and resumed after.
     pub fn drop_cache(&self) {
         let was_running = self.stop_scrubber();
+        let prefetch_was_running = self.stop_prefetcher();
         let _ = self.pool.flush_all();
         self.pool.discard_all();
         if was_running {
             self.start_scrubber();
+        }
+        if prefetch_was_running {
+            self.start_prefetcher();
         }
     }
 
@@ -1225,6 +1338,12 @@ impl Database {
                 .map(|s| s.stats())
                 .unwrap_or_default(),
             maintainer: self.maintainer.stats(),
+            prefetch: self
+                .prefetcher
+                .as_ref()
+                .map(|p| p.stats())
+                .unwrap_or_default(),
+            governor: self.governor.stats(),
             now: self.clock.now(),
         }
     }
@@ -1265,6 +1384,15 @@ impl Database {
                 .map(|s| s.stats())
                 .unwrap_or_default(),
         );
+        snap.add(
+            "prefetch",
+            &self
+                .prefetcher
+                .as_ref()
+                .map(|p| p.stats())
+                .unwrap_or_default(),
+        );
+        snap.add("governor", &self.governor.stats());
         snap.add("latency", self.obs.spans());
         snap
     }
@@ -1278,9 +1406,10 @@ impl Database {
 }
 
 impl Drop for Database {
-    /// The background scrubber thread borrows the engine's shared
-    /// substrate; stop it before the façade goes away.
+    /// The background scrubber and prefetcher threads borrow the
+    /// engine's shared substrate; stop them before the façade goes away.
     fn drop(&mut self) {
         self.stop_scrubber();
+        self.stop_prefetcher();
     }
 }

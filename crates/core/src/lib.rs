@@ -57,8 +57,13 @@ pub use stats::DbStats;
 // Re-export the pieces users touch through the façade.
 pub use spf_archive::{ArchiveReport, ArchiveStats, MergePolicy};
 pub use spf_btree::{KvPairs, VerifyMode};
+pub use spf_buffer::{FetchHint, PoolStats, MAX_PRIORITY};
 pub use spf_obs::{
     Event, EventKind, HistogramSnapshot, MetricsSnapshot, Obs, Observable, RepairLedger, Trace,
+};
+pub use spf_prefetch::{
+    AccessContext, BackgroundIo, GovernorConfig, GovernorStats, IoGovernor, PrefetchConfig,
+    PrefetchStats, Prefetcher,
 };
 pub use spf_recovery::{BackupPolicy, FailureClass};
 pub use spf_scrub::{

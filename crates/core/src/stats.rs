@@ -3,6 +3,7 @@
 use spf_archive::ArchiveStats;
 use spf_btree::TreeStats;
 use spf_buffer::PoolStats;
+use spf_prefetch::{GovernorStats, PrefetchStats};
 use spf_recovery::{BackupStats, MaintainerStats, PriStats, SpfStats};
 use spf_scrub::ScrubStats;
 use spf_storage::DeviceStats;
@@ -40,6 +41,13 @@ pub struct DbStats {
     /// backups, and stale-PageLSN detections. Carried as the whole
     /// struct so a counter added there can never silently drop out.
     pub maintainer: MaintainerStats,
+    /// Predictive-prefetcher pipeline counters (observed faults,
+    /// predictions, issue outcomes). Install/hit/waste accounting is
+    /// pool-side, in [`pool`](DbStats::pool).
+    pub prefetch: PrefetchStats,
+    /// Background-I/O governor counters: pages granted per consumer,
+    /// prefetch deferrals, and scrub throttle waits.
+    pub governor: GovernorStats,
     /// Current simulated time.
     pub now: SimDuration,
 }

@@ -123,6 +123,8 @@ fn snapshot_serializes_every_group_in_json_and_prometheus() {
         "backup_device",
         "archive",
         "scrub",
+        "prefetch",
+        "governor",
         "latency",
     ] {
         assert!(
@@ -180,6 +182,8 @@ fn stats_fields_cannot_drift_from_metrics() {
         ("backup_device", format!("{:#?}", stats.backup_device)),
         ("archive", format!("{:#?}", stats.archive)),
         ("scrub", format!("{:#?}", stats.scrub)),
+        ("prefetch", format!("{:#?}", stats.prefetch)),
+        ("governor", format!("{:#?}", stats.governor)),
     ];
     for (group, debug) in cases {
         let fields = spf_obs::debug_field_names(&debug);

@@ -290,6 +290,11 @@ fn apply_to_both(db: &Database, twin: &Database, op: &Op) {
             let b = delete_auto(twin, key);
             assert_eq!(a, b, "delete diverged on {key:?}");
         }
+        Op::Scan { start, limit } => {
+            let a = db.scan(start, *limit).unwrap();
+            let b = twin.scan(start, *limit).unwrap();
+            assert_eq!(a, b, "scan diverged at {start:?}");
+        }
     }
 }
 

@@ -107,6 +107,8 @@ pub enum Span {
     PageRepair,
     /// One full scrubber sweep.
     ScrubSweep,
+    /// Background prefetch fetch path (read + verify + install).
+    Prefetch,
 }
 
 /// The per-path span histograms.
@@ -124,6 +126,8 @@ pub struct Spans {
     pub page_repair: Arc<Histogram>,
     /// Scrub sweep latency.
     pub scrub_sweep: Arc<Histogram>,
+    /// Background prefetch fetch latency.
+    pub prefetch: Arc<Histogram>,
 }
 
 impl Default for Spans {
@@ -135,6 +139,7 @@ impl Default for Spans {
             page_miss: Arc::new(Histogram::new()),
             page_repair: Arc::new(Histogram::new()),
             scrub_sweep: Arc::new(Histogram::new()),
+            prefetch: Arc::new(Histogram::new()),
         }
     }
 }
@@ -148,6 +153,7 @@ impl Spans {
             Span::PageMiss => &self.page_miss,
             Span::PageRepair => &self.page_repair,
             Span::ScrubSweep => &self.scrub_sweep,
+            Span::Prefetch => &self.prefetch,
         }
     }
 }
@@ -159,7 +165,8 @@ impl Observable for Spans {
             .histogram("log_force_ns", self.log_force.snapshot())
             .histogram("page_miss_ns", self.page_miss.snapshot())
             .histogram("page_repair_ns", self.page_repair.snapshot())
-            .histogram("scrub_sweep_ns", self.scrub_sweep.snapshot());
+            .histogram("scrub_sweep_ns", self.scrub_sweep.snapshot())
+            .histogram("prefetch_ns", self.prefetch.snapshot());
     }
 }
 

@@ -49,11 +49,17 @@ pub enum EventKind {
     Escalation = 11,
     /// Scrub sweep finished (`a` = pages scanned, `b` = findings).
     ScrubSweep = 12,
+    /// Predictive prefetch issued a background read (`a` = page id,
+    /// `b` = access-context code).
+    PrefetchIssued = 13,
+    /// A foreground fetch hit (or coalesced behind) a prefetched page
+    /// before it was referenced (`a` = page id).
+    PrefetchHit = 14,
 }
 
 impl EventKind {
     /// All variants, for exposition and tests.
-    pub const ALL: [EventKind; 12] = [
+    pub const ALL: [EventKind; 14] = [
         EventKind::TxCommit,
         EventKind::LogForce,
         EventKind::PageMiss,
@@ -66,6 +72,8 @@ impl EventKind {
         EventKind::RepairFailed,
         EventKind::Escalation,
         EventKind::ScrubSweep,
+        EventKind::PrefetchIssued,
+        EventKind::PrefetchHit,
     ];
 
     /// Short stable name used in trace dumps and JSON.
@@ -84,6 +92,8 @@ impl EventKind {
             EventKind::RepairFailed => "repair_failed",
             EventKind::Escalation => "escalation",
             EventKind::ScrubSweep => "scrub_sweep",
+            EventKind::PrefetchIssued => "prefetch_issued",
+            EventKind::PrefetchHit => "prefetch_hit",
         }
     }
 

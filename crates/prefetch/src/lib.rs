@@ -1,0 +1,37 @@
+//! # spf-prefetch
+//!
+//! Predictive prefetching and the unified background-I/O governor.
+//!
+//! The paper's self-healing machinery adds *background readers* to the
+//! engine: the scrubber sweeps the device, and single-page repairs read
+//! backup pages and log chains. This crate adds a third — a predictive
+//! prefetcher — and, because three uncoordinated background readers can
+//! starve the foreground the paper is trying to protect, one arbiter
+//! for all of them:
+//!
+//! * [`DeltaPredictor`] — learns page-id deltas per *access context*
+//!   (tree descent, scan, scrub, recovery each stride differently) from
+//!   the buffer pool's fault feed and predicts the next few pages;
+//! * [`Prefetcher`] — turns predictions into
+//!   [`BufferPool::prefetch_page`] calls from a background thread. The
+//!   pool installs the same in-flight markers a miss leader would, so
+//!   foreground faults coalesce behind prefetches for free;
+//! * [`IoGovernor`] — a token bucket over the shared simulated clock
+//!   that both the prefetcher and the scrubber draw from. Background
+//!   work is *paced*; the foreground never asks the governor for
+//!   anything, so it always preempts by construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod governor;
+pub mod predictor;
+pub mod prefetcher;
+
+pub use governor::{BackgroundIo, GovernorConfig, GovernorStats, IoGovernor};
+pub use predictor::DeltaPredictor;
+pub use prefetcher::{PrefetchConfig, PrefetchStats, Prefetcher};
+
+// Re-exported so callers can name the feed types without a direct
+// spf-buffer dependency.
+pub use spf_buffer::{AccessContext, AccessObserver, BufferPool};

@@ -1,0 +1,245 @@
+//! [`DeltaPredictor`]: per-access-context page-id delta learning.
+//!
+//! The feed is the buffer pool's fault stream, already split by
+//! [`AccessContext`]: a B-tree descent faults with different strides
+//! than a range scan, which strides differently again from a scrub
+//! sweep or a recovery pass. The predictor keeps one tiny
+//! delta-frequency table per context — mixing them would teach each
+//! workload the others' noise — and predicts by extrapolating the
+//! context's dominant delta from the most recent fault.
+//!
+//! The table is deliberately small and the update deliberately cheap:
+//! `observe` runs on the foreground fetch path (via the pool's
+//! [`AccessObserver`](spf_buffer::AccessObserver) hook), so it uses
+//! `try_lock` and drops the sample on contention rather than ever
+//! blocking a fault.
+
+use parking_lot::Mutex;
+use spf_buffer::AccessContext;
+use spf_storage::PageId;
+
+/// Distinct deltas tracked per context.
+const TABLE_SLOTS: usize = 8;
+
+/// A delta's vote cap; hitting it halves every count (aging), so an old
+/// regime cannot outvote a new one forever.
+const COUNT_CAP: u32 = 64;
+
+/// Minimum votes before a delta is trusted for prediction.
+const MIN_CONFIDENCE: u32 = 2;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DeltaSlot {
+    delta: i64,
+    count: u32,
+}
+
+#[derive(Debug, Default)]
+struct ContextState {
+    last: Option<u64>,
+    slots: [DeltaSlot; TABLE_SLOTS],
+}
+
+impl ContextState {
+    fn observe(&mut self, id: u64) {
+        let Some(last) = self.last.replace(id) else {
+            return;
+        };
+        let delta = i64::wrapping_sub(id as i64, last as i64);
+        if delta == 0 {
+            return;
+        }
+        // Reinforce a known delta…
+        if let Some(slot) = self
+            .slots
+            .iter_mut()
+            .find(|s| s.count > 0 && s.delta == delta)
+        {
+            slot.count += 1;
+            if slot.count >= COUNT_CAP {
+                for s in &mut self.slots {
+                    s.count /= 2;
+                }
+            }
+            return;
+        }
+        // …or decay the weakest slot toward replacement (the classic
+        // frequency-table admission: a delta must outlast the incumbent
+        // it wants to evict).
+        let weakest = self
+            .slots
+            .iter_mut()
+            .min_by_key(|s| s.count)
+            .expect("TABLE_SLOTS > 0");
+        if weakest.count == 0 {
+            *weakest = DeltaSlot { delta, count: 1 };
+        } else {
+            weakest.count -= 1;
+        }
+    }
+
+    fn best(&self) -> Option<i64> {
+        self.slots
+            .iter()
+            .filter(|s| s.count >= MIN_CONFIDENCE)
+            .max_by_key(|s| s.count)
+            .map(|s| s.delta)
+    }
+}
+
+/// The per-context delta predictor. Thread-safe; `observe` never blocks.
+pub struct DeltaPredictor {
+    contexts: [Mutex<ContextState>; AccessContext::COUNT],
+}
+
+impl std::fmt::Debug for DeltaPredictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeltaPredictor").finish()
+    }
+}
+
+impl Default for DeltaPredictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeltaPredictor {
+    /// Creates an empty predictor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            contexts: std::array::from_fn(|_| Mutex::new(ContextState::default())),
+        }
+    }
+
+    /// Feeds one fault. Called on the fetch path: on lock contention the
+    /// sample is dropped, never waited for.
+    pub fn observe(&self, id: PageId, ctx: AccessContext) {
+        if let Some(mut state) = self.contexts[ctx.index()].try_lock() {
+            state.observe(id.0);
+        }
+    }
+
+    /// Predicts up to `lookahead` upcoming pages for `ctx`, extrapolating
+    /// the context's dominant delta from `id`. Returns an empty vec until
+    /// the context has a confident delta. Predictions outside
+    /// `[0, page_bound)` are discarded.
+    #[must_use]
+    pub fn predict(
+        &self,
+        id: PageId,
+        ctx: AccessContext,
+        lookahead: usize,
+        page_bound: u64,
+    ) -> Vec<PageId> {
+        let Some(state) = self.contexts[ctx.index()].try_lock() else {
+            return Vec::new();
+        };
+        let Some(delta) = state.best() else {
+            return Vec::new();
+        };
+        drop(state);
+        let mut out = Vec::with_capacity(lookahead);
+        let mut next = id.0 as i64;
+        for _ in 0..lookahead {
+            next = next.wrapping_add(delta);
+            if next < 0 || next as u64 >= page_bound {
+                break;
+            }
+            out.push(PageId(next as u64));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_forward_stride_and_extrapolates() {
+        let p = DeltaPredictor::new();
+        for i in 0..8 {
+            p.observe(PageId(i * 2), AccessContext::Scan);
+        }
+        assert_eq!(
+            p.predict(PageId(14), AccessContext::Scan, 3, 1_000),
+            vec![PageId(16), PageId(18), PageId(20)]
+        );
+    }
+
+    #[test]
+    fn contexts_learn_independently() {
+        let p = DeltaPredictor::new();
+        for i in 0..8 {
+            p.observe(PageId(i), AccessContext::Scan); // stride +1
+            p.observe(PageId(i * 10), AccessContext::TreeDescent); // stride +10
+        }
+        assert_eq!(
+            p.predict(PageId(7), AccessContext::Scan, 2, 1_000),
+            vec![PageId(8), PageId(9)]
+        );
+        assert_eq!(
+            p.predict(PageId(70), AccessContext::TreeDescent, 2, 1_000),
+            vec![PageId(80), PageId(90)]
+        );
+        // A context with no feed predicts nothing.
+        assert_eq!(
+            p.predict(PageId(0), AccessContext::Recovery, 2, 1_000),
+            Vec::<PageId>::new()
+        );
+    }
+
+    #[test]
+    fn backward_strides_and_bounds() {
+        let p = DeltaPredictor::new();
+        for i in (0..8).rev() {
+            p.observe(PageId(i * 3), AccessContext::Scrub);
+        }
+        // Dominant delta is -3; predictions stop at page 0.
+        assert_eq!(
+            p.predict(PageId(4), AccessContext::Scrub, 4, 1_000),
+            vec![PageId(1)]
+        );
+        // Forward predictions stop at the page bound.
+        let q = DeltaPredictor::new();
+        for i in 0..8 {
+            q.observe(PageId(i), AccessContext::Scan);
+        }
+        assert_eq!(
+            q.predict(PageId(8), AccessContext::Scan, 5, 10),
+            vec![PageId(9)]
+        );
+    }
+
+    #[test]
+    fn one_off_deltas_do_not_oust_the_dominant_stride() {
+        let p = DeltaPredictor::new();
+        for i in 0..20 {
+            p.observe(PageId(i * 2), AccessContext::Scan);
+        }
+        // A burst of random jumps: each is new, each only decays the
+        // weakest slot — the established +2 keeps winning.
+        for &j in &[997, 3, 451, 88, 712, 131] {
+            p.observe(PageId(j), AccessContext::Scan);
+        }
+        let preds = p.predict(PageId(100), AccessContext::Scan, 1, 10_000);
+        assert_eq!(preds, vec![PageId(102)]);
+    }
+
+    #[test]
+    fn regime_change_is_learned_after_aging() {
+        let p = DeltaPredictor::new();
+        for i in 0..100 {
+            p.observe(PageId(i), AccessContext::Scan); // long +1 regime
+        }
+        for i in 0..200 {
+            p.observe(PageId(i * 5), AccessContext::Scan); // new +5 regime
+        }
+        assert_eq!(
+            p.predict(PageId(1000), AccessContext::Scan, 1, 100_000),
+            vec![PageId(1005)]
+        );
+    }
+}

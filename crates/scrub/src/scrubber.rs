@@ -39,6 +39,7 @@ use parking_lot::Mutex;
 
 use spf_buffer::{BufferPool, PageRecoverer, RecoverOutcome, RepairOutcome, Residency};
 use spf_obs::{EventKind, Obs, Span};
+use spf_prefetch::{BackgroundIo, IoGovernor};
 use spf_recovery::{FailureClass, PageRecoveryIndex};
 use spf_storage::{Device, Page, PageId, StorageDevice, StorageError};
 use spf_util::{SimClock, SimDuration};
@@ -245,6 +246,10 @@ pub struct Scrubber {
     stop: AtomicBool,
     /// Observability attach point ([`Scrubber::attach_obs`]).
     obs: OnceLock<Arc<Obs>>,
+    /// Unified background-I/O budget ([`Scrubber::set_governor`]). When
+    /// attached, per-page pacing draws from the shared bucket instead of
+    /// the private `pages_per_tick`/`tick_idle` tick loop.
+    governor: OnceLock<Arc<IoGovernor>>,
 }
 
 impl std::fmt::Debug for Scrubber {
@@ -289,6 +294,7 @@ impl Scrubber {
             }),
             stop: AtomicBool::new(false),
             obs: OnceLock::new(),
+            governor: OnceLock::new(),
         }
     }
 
@@ -299,6 +305,15 @@ impl Scrubber {
     /// handle per scrubber; later calls are ignored.
     pub fn attach_obs(&self, obs: Arc<Obs>) {
         let _ = self.obs.set(obs);
+    }
+
+    /// Attaches the unified background-I/O governor: sweep pacing then
+    /// draws one page of budget from the shared bucket per scanned page
+    /// (blocking in simulated time), instead of running the private
+    /// tick loop. At most one governor per scrubber; later calls are
+    /// ignored.
+    pub fn set_governor(&self, governor: Arc<IoGovernor>) {
+        let _ = self.governor.set(governor);
     }
 
     /// The configuration in force.
@@ -387,16 +402,24 @@ impl Scrubber {
                 completed = false;
                 break;
             }
+            if let Some(gov) = self.governor.get() {
+                // Unified budget: pay for the page before reading it,
+                // idling the simulated clock if the bucket is short.
+                gov.acquire(BackgroundIo::Scrub, 1);
+            }
             if !self.scrub_page(PageId(pid), &mut image, &mut report) {
                 completed = false;
                 break; // media failure: nothing left to scrub
             }
-            in_tick += 1;
-            if in_tick >= self.config.pages_per_tick {
-                in_tick = 0;
-                self.clock.advance(self.config.tick_idle);
-                // Let foreground threads through on real hardware too.
-                std::thread::yield_now();
+            if self.governor.get().is_none() {
+                // Legacy private pacing (no governor attached).
+                in_tick += 1;
+                if in_tick >= self.config.pages_per_tick {
+                    in_tick = 0;
+                    self.clock.advance(self.config.tick_idle);
+                    // Let foreground threads through on real hardware too.
+                    std::thread::yield_now();
+                }
             }
         }
         self.drain_repairs(&mut report);
@@ -746,6 +769,31 @@ mod tests {
         let elapsed = fx.device.clock().now() - t0;
         // 16 pages at 4/tick = 4 ticks × 10 ms.
         assert_eq!(elapsed, SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn governed_pacing_replaces_the_tick_loop_at_the_same_rate() {
+        let fx = fixture(IoCostModel::free());
+        let config = ScrubConfig {
+            enabled: true,
+            pages_per_tick: 4,
+            tick_idle: SimDuration::from_millis(10),
+        };
+        let scrub = scrubber(&fx, config, false);
+        let gov = Arc::new(IoGovernor::new(
+            spf_prefetch::GovernorConfig::from_scrub(config.pages_per_tick, config.tick_idle),
+            Arc::clone(fx.device.clock()),
+        ));
+        scrub.set_governor(Arc::clone(&gov));
+        let t0 = fx.device.clock().now();
+        scrub.run_cycle();
+        let elapsed = fx.device.clock().now() - t0;
+        // Same budget (400 pages/s), smoother shape: the first tick's
+        // worth rides the burst, the remaining 12 pages wait 2.5 ms
+        // each = 30 ms — never more than the legacy loop's 40 ms.
+        assert_eq!(elapsed, SimDuration::from_micros(30_000));
+        assert_eq!(gov.stats().granted_scrub, PAGES);
+        assert!(gov.stats().throttle_waits > 0);
     }
 
     #[test]

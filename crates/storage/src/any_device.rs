@@ -156,6 +156,13 @@ impl StorageDevice for Device {
         }
     }
 
+    fn prefetch_read(&self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError> {
+        match self {
+            Device::Mem(d) => d.prefetch_read_impl(id, buf),
+            Device::File(d) => d.prefetch_read_impl(id, buf),
+        }
+    }
+
     fn write_page_seq(&self, id: PageId, buf: &[u8]) -> Result<(), StorageError> {
         match self {
             Device::Mem(d) => d.write_page_seq(id, buf),

@@ -99,6 +99,10 @@ pub struct DeviceCounters {
     /// `sequential_reads`), so experiments can separate scrub I/O from
     /// foreground I/O.
     pub scrub_reads: AtomicU64,
+    /// Sequential reads issued by the background prefetcher (a subset of
+    /// `sequential_reads`), so experiments can audit the background-I/O
+    /// governor's combined budget (scrub + prefetch).
+    pub prefetch_reads: AtomicU64,
     /// Explicit durability barriers ([`StorageDevice::sync`]) served —
     /// the fsync count on a file-backed device.
     pub syncs: AtomicU64,
@@ -124,6 +128,9 @@ pub struct DeviceStats {
     /// Sequential reads issued by the background scrubber (a subset of
     /// `sequential_reads`).
     pub scrub_reads: u64,
+    /// Sequential reads issued by the background prefetcher (a subset of
+    /// `sequential_reads`).
+    pub prefetch_reads: u64,
     /// Explicit durability barriers ([`StorageDevice::sync`]) served.
     pub syncs: u64,
 }
@@ -152,6 +159,7 @@ impl spf_obs::Observable for DeviceStats {
             .counter("failed_writes", self.failed_writes)
             .counter("silent_corrupt_reads", self.silent_corrupt_reads)
             .counter("scrub_reads", self.scrub_reads)
+            .counter("prefetch_reads", self.prefetch_reads)
             .counter("syncs", self.syncs);
     }
 }
@@ -169,6 +177,7 @@ impl DeviceCounters {
             failed_writes: self.failed_writes.load(Ordering::Relaxed),
             silent_corrupt_reads: self.silent_corrupt_reads.load(Ordering::Relaxed),
             scrub_reads: self.scrub_reads.load(Ordering::Relaxed),
+            prefetch_reads: self.prefetch_reads.load(Ordering::Relaxed),
             syncs: self.syncs.load(Ordering::Relaxed),
         }
     }
@@ -198,6 +207,17 @@ pub trait StorageDevice: Send + Sync {
 
     /// Reads page `id` into `buf`, charged as sequential transfer.
     fn read_page_seq(&self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError>;
+
+    /// The background prefetcher's read path: charged as sequential
+    /// transfer (the prefetcher drains its prediction queue in batches,
+    /// so the transfer is priced as streaming bandwidth, not seeks) and
+    /// counted separately ([`DeviceStats::prefetch_reads`]) so the
+    /// background-I/O governor's budget can be audited against the
+    /// device. Like every read it is fault-visible: a prefetched page
+    /// goes through the same verification as a foreground miss.
+    fn prefetch_read(&self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError> {
+        self.read_page_seq(id, buf)
+    }
 
     /// Writes `buf` to page `id`, charged as sequential transfer.
     fn write_page_seq(&self, id: PageId, buf: &[u8]) -> Result<(), StorageError>;

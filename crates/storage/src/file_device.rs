@@ -230,6 +230,14 @@ impl FileDevice {
         self.do_read(id, buf, IoKind::SequentialRead)
     }
 
+    /// The background prefetcher's read path: sequential, counted
+    /// separately, fault-visible (see
+    /// [`crate::MemDevice::prefetch_read_impl`]).
+    pub fn prefetch_read_impl(&self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError> {
+        DeviceCounters::bump(&self.inner.counters.prefetch_reads);
+        self.do_read(id, buf, IoKind::SequentialRead)
+    }
+
     /// Direct, uncounted, fault-bypassing view of the *acknowledged*
     /// image (write cache overlaid on the file). Test/diagnostic only.
     #[must_use]
@@ -404,6 +412,10 @@ impl StorageDevice for FileDevice {
 
     fn write_page_seq(&self, id: PageId, buf: &[u8]) -> Result<(), StorageError> {
         self.do_write(id, buf, IoKind::SequentialWrite)
+    }
+
+    fn prefetch_read(&self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError> {
+        self.prefetch_read_impl(id, buf)
     }
 
     /// Flushes the write cache to the file (ascending page order) and

@@ -139,6 +139,17 @@ impl MemDevice {
         self.do_read(id, buf, IoKind::SequentialRead)
     }
 
+    /// The background prefetcher's read path: sequential (predictions are
+    /// drained in page-order batches), counted separately
+    /// ([`DeviceStats::prefetch_reads`]), and fault-visible like any
+    /// other read.
+    ///
+    /// [`DeviceStats::prefetch_reads`]: crate::DeviceStats
+    pub fn prefetch_read_impl(&self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError> {
+        DeviceCounters::bump(&self.inner.counters.prefetch_reads);
+        self.do_read(id, buf, IoKind::SequentialRead)
+    }
+
     /// Direct, uncounted, fault-bypassing access to the stored image.
     /// Test/diagnostic use only — this is "opening the drive in a clean
     /// room", not an I/O path.
@@ -268,6 +279,10 @@ impl StorageDevice for MemDevice {
 
     fn write_page_seq(&self, id: PageId, buf: &[u8]) -> Result<(), StorageError> {
         self.do_write(id, buf, IoKind::SequentialWrite)
+    }
+
+    fn prefetch_read(&self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError> {
+        self.prefetch_read_impl(id, buf)
     }
 
     /// RAM persists writes immediately; only the barrier is counted, so
@@ -542,6 +557,32 @@ mod tests {
             Err(StorageError::ReadFailed { id: PageId(3) })
         );
         assert_eq!(dev.stats().scrub_reads, 2);
+    }
+
+    #[test]
+    fn prefetch_read_sees_faults_and_is_counted_separately() {
+        let dev = dev();
+        let mut page = Page::new_formatted(DEFAULT_PAGE_SIZE, PageId(2), PageType::BTreeLeaf);
+        page.finalize_checksum();
+        dev.write_page(PageId(2), page.as_bytes()).unwrap();
+        dev.inject_fault(
+            PageId(2),
+            FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 4 }),
+        );
+        let mut buf = vec![0u8; DEFAULT_PAGE_SIZE];
+        StorageDevice::prefetch_read(&dev, PageId(2), &mut buf).unwrap();
+        assert!(
+            Page::from_bytes(buf).verify(PageId(2)).is_err(),
+            "a prefetch read must present the fault, not mask it"
+        );
+        let stats = dev.stats();
+        assert_eq!(stats.prefetch_reads, 1);
+        assert_eq!(
+            stats.sequential_reads, 1,
+            "prefetch reads are sequential reads too"
+        );
+        assert_eq!(stats.scrub_reads, 0);
+        assert_eq!(stats.random_reads, 0);
     }
 
     #[test]

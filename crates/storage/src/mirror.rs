@@ -77,6 +77,11 @@ impl StorageDevice for MirrorPair {
         self.primary.read_page_seq(id, buf)
     }
 
+    /// Prefetch reads, like foreground reads, are served by the primary.
+    fn prefetch_read(&self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError> {
+        self.primary.prefetch_read(id, buf)
+    }
+
     fn write_page_seq(&self, id: PageId, buf: &[u8]) -> Result<(), StorageError> {
         self.primary.write_page_seq(id, buf)?;
         self.mirror.write_page_seq(id, buf)

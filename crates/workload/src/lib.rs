@@ -49,6 +49,13 @@ pub enum Op {
         /// Encoded key.
         key: Vec<u8>,
     },
+    /// Range scan: read up to `limit` entries starting at `start`.
+    Scan {
+        /// Encoded start key (inclusive).
+        start: Vec<u8>,
+        /// Maximum number of entries to return.
+        limit: usize,
+    },
 }
 
 /// Fractions of each operation kind; must sum to ≤ 1.0 (the remainder
@@ -477,6 +484,210 @@ impl FaultStorm {
     }
 }
 
+// ----------------------------------------------------------------------
+// Scan-heavy and shifting-hotspot mixes (prefetch / scan-resistance)
+// ----------------------------------------------------------------------
+
+/// Configuration of a [`ScanHeavy`] stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanHeavyConfig {
+    /// One range scan is emitted per `scan_every` point operations.
+    pub scan_every: u64,
+    /// Entries each scan reads.
+    pub scan_limit: usize,
+    /// Operation mix of the point-op portion.
+    pub mix: OpMix,
+}
+
+impl ScanHeavyConfig {
+    /// Read-mostly point traffic with a 200-entry scan every 50 ops —
+    /// the eviction-poisoning stressor for the scan-resistance
+    /// experiments.
+    #[must_use]
+    pub const fn default_scan_heavy() -> Self {
+        Self {
+            scan_every: 50,
+            scan_limit: 200,
+            mix: OpMix::read_mostly(),
+        }
+    }
+}
+
+/// A deterministic stream interleaving skewed point traffic with large
+/// range scans. Like [`FaultStorm`], the point-op stream and the scan
+/// stream use independent RNGs derived from `seed`, so the point ops are
+/// identical to a plain [`Workload`] with the same parameters — a
+/// scan-free twin can replay them for an apples-to-apples latency
+/// baseline.
+#[derive(Debug)]
+pub struct ScanHeavy {
+    point: Workload,
+    rng: StdRng,
+    config: ScanHeavyConfig,
+    since_scan: u64,
+}
+
+impl ScanHeavy {
+    /// Creates a scan-heavy stream over `key_space` keys; `distribution`
+    /// shapes the point ops, scan start keys are uniform.
+    #[must_use]
+    pub fn new(
+        seed: u64,
+        key_space: u64,
+        distribution: KeyDistribution,
+        value_len: usize,
+        config: ScanHeavyConfig,
+    ) -> Self {
+        assert!(config.scan_every > 0);
+        Self {
+            point: Workload::new(seed, key_space, distribution, config.mix, value_len),
+            rng: StdRng::seed_from_u64(seed ^ 0x5CA4_0DD5_EEDC_AFE5),
+            config,
+            since_scan: 0,
+        }
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> Op {
+        if self.since_scan >= self.config.scan_every {
+            self.since_scan = 0;
+            // Fixed-width draw, as in FaultStorm: identical stream on
+            // 32- and 64-bit targets.
+            let start = u64::from(self.rng.gen::<u32>()) % self.point.key_space;
+            Op::Scan {
+                start: Workload::encode_key(start),
+                limit: self.config.scan_limit,
+            }
+        } else {
+            self.since_scan += 1;
+            self.point.next_op()
+        }
+    }
+
+    /// Draws `n` operations.
+    pub fn take_ops(&mut self, n: usize) -> Vec<Op> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+/// Configuration of a [`ShiftingHotspot`] stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShiftingHotspotConfig {
+    /// Size of the hot window, in keys.
+    pub window: u64,
+    /// Operations between base shifts.
+    pub shift_every: u64,
+    /// Keys the window base advances per shift.
+    pub shift_by: u64,
+    /// Random forward offset added to the sweep position, in keys
+    /// (`0` = a perfectly sequential sweep).
+    pub jitter: u64,
+    /// Keys the sweep position advances per operation. `1` touches
+    /// every key in order; a stride near the tree's entries-per-leaf
+    /// makes every operation land on a fresh leaf — the worst case for
+    /// recency-only eviction and the best case for a delta predictor.
+    pub stride: u64,
+    /// Operation mix.
+    pub mix: OpMix,
+}
+
+impl ShiftingHotspotConfig {
+    /// A 2 000-key window sweeping forward by half a window every
+    /// 4 000 ops with light jitter — sequential enough for a delta
+    /// predictor to learn, shifty enough that a plain LRU/CLOCK keeps
+    /// faulting at every shift.
+    #[must_use]
+    pub const fn default_hotspot() -> Self {
+        Self {
+            window: 2_000,
+            shift_every: 4_000,
+            shift_by: 1_000,
+            jitter: 8,
+            stride: 1,
+            mix: OpMix::read_mostly(),
+        }
+    }
+}
+
+/// A deterministic stream whose accesses sweep sequentially through a
+/// hot window that itself drifts forward through the key space — the
+/// classic "shifting working set" that defeats recency-only eviction
+/// but is highly predictable for a per-context delta predictor (the
+/// sweep crosses leaf pages at a near-constant stride).
+#[derive(Debug)]
+pub struct ShiftingHotspot {
+    rng: StdRng,
+    key_space: u64,
+    config: ShiftingHotspotConfig,
+    value_len: usize,
+    ops_emitted: u64,
+    value_counter: u64,
+}
+
+impl ShiftingHotspot {
+    /// Creates a shifting-hotspot stream over `key_space` keys.
+    #[must_use]
+    pub fn new(seed: u64, key_space: u64, value_len: usize, config: ShiftingHotspotConfig) -> Self {
+        assert!(key_space > 0 && config.window > 0 && config.shift_every > 0);
+        assert!(config.stride > 0, "a zero stride would never sweep");
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            key_space,
+            config,
+            value_len,
+            ops_emitted: 0,
+            value_counter: 0,
+        }
+    }
+
+    /// The window base in effect for the next operation.
+    #[must_use]
+    pub fn current_base(&self) -> u64 {
+        (self.ops_emitted / self.config.shift_every).wrapping_mul(self.config.shift_by)
+            % self.key_space
+    }
+
+    /// Draws the next key index: base + sequential sweep position +
+    /// bounded random jitter, wrapped into the key space.
+    pub fn next_key_index(&mut self) -> u64 {
+        let base = self.current_base();
+        let sweep = (self.ops_emitted * self.config.stride) % self.config.window;
+        let jitter = if self.config.jitter == 0 {
+            0
+        } else {
+            // Fixed-width draw (see FaultStorm) for cross-platform
+            // stream stability.
+            u64::from(self.rng.gen::<u32>()) % self.config.jitter
+        };
+        self.ops_emitted += 1;
+        (base + sweep + jitter) % self.key_space
+    }
+
+    /// Generates the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let key = Workload::encode_key(self.next_key_index());
+        let roll: f64 = self.rng.gen();
+        if roll < self.config.mix.put {
+            self.value_counter += 1;
+            let mut v = format!("h{:08x}-", self.value_counter).into_bytes();
+            while v.len() < self.value_len {
+                v.push(b'a' + (v.len() % 26) as u8);
+            }
+            v.truncate(self.value_len);
+            Op::Put { key, value: v }
+        } else if roll < self.config.mix.put + self.config.mix.delete {
+            Op::Delete { key }
+        } else {
+            Op::Get { key }
+        }
+    }
+
+    /// Draws `n` operations.
+    pub fn take_ops(&mut self, n: usize) -> Vec<Op> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
 /// Zipfian sampler using the Gray et al. rejection-free method
 /// (precomputed zeta constants), as in YCSB.
 #[derive(Debug)]
@@ -734,6 +945,101 @@ mod tests {
             StormFaultKind::StaleVersion.to_spec(PageId(0)),
             FaultSpec::SilentCorruption(CorruptionMode::StaleVersion)
         ));
+    }
+
+    #[test]
+    fn scan_heavy_point_ops_match_plain_workload() {
+        // The point-op portion must be replayable on a scan-free twin:
+        // the stream minus scans equals a plain Workload with the same
+        // seed (the FaultStorm twin idiom).
+        let cfg = ScanHeavyConfig {
+            scan_every: 10,
+            scan_limit: 25,
+            mix: OpMix::read_mostly(),
+        };
+        let mut heavy = ScanHeavy::new(5, 400, KeyDistribution::Zipfian { theta: 0.99 }, 16, cfg);
+        let mut twin = ScanHeavy::new(5, 400, KeyDistribution::Zipfian { theta: 0.99 }, 16, cfg);
+        let ops = heavy.take_ops(2_200);
+        assert_eq!(ops, twin.take_ops(2_200), "same seed, same stream");
+        let scans: Vec<&Op> = ops
+            .iter()
+            .filter(|o| matches!(o, Op::Scan { .. }))
+            .collect();
+        assert_eq!(scans.len(), 2_200 / 11, "one scan per scan_every+1 ops");
+        for op in &scans {
+            let Op::Scan { start, limit } = op else {
+                unreachable!()
+            };
+            assert_eq!(*limit, 25);
+            assert!(*start < Workload::encode_key(400));
+        }
+        let point_ops: Vec<Op> = ops
+            .into_iter()
+            .filter(|o| !matches!(o, Op::Scan { .. }))
+            .collect();
+        let mut plain = Workload::new(
+            5,
+            400,
+            KeyDistribution::Zipfian { theta: 0.99 },
+            OpMix::read_mostly(),
+            16,
+        );
+        assert_eq!(point_ops, plain.take_ops(point_ops.len()));
+    }
+
+    #[test]
+    fn shifting_hotspot_sweeps_and_shifts_deterministically() {
+        let cfg = ShiftingHotspotConfig {
+            window: 100,
+            shift_every: 200,
+            shift_by: 50,
+            jitter: 4,
+            stride: 1,
+            mix: OpMix::read_mostly(),
+        };
+        let mut a = ShiftingHotspot::new(9, 10_000, 16, cfg);
+        let mut b = ShiftingHotspot::new(9, 10_000, 16, cfg);
+        assert_eq!(
+            a.take_ops(1_000),
+            b.take_ops(1_000),
+            "same seed, same stream"
+        );
+
+        // Keys in the first epoch stay inside [0, window + jitter); the
+        // second epoch starts at shift_by.
+        let mut w = ShiftingHotspot::new(9, 10_000, 16, cfg);
+        let first: Vec<u64> = (0..200).map(|_| w.next_key_index()).collect();
+        assert!(
+            first.iter().all(|&k| k < 100 + 4),
+            "epoch 0 stays in window"
+        );
+        assert_eq!(w.current_base(), 50, "base advanced by shift_by");
+        let second: Vec<u64> = (0..200).map(|_| w.next_key_index()).collect();
+        assert!(second.iter().all(|&k| (50..50 + 100 + 4).contains(&k)));
+
+        // The sweep is near-sequential: consecutive deltas are small and
+        // mostly forward (jitter can locally reorder a pair) — the
+        // signal a delta predictor learns.
+        let forward = first
+            .windows(2)
+            .filter(|p| p[1] >= p[0] && p[1] - p[0] <= 1 + 4)
+            .count();
+        assert!(forward > 140, "sweep must be near-sequential: {forward}");
+    }
+
+    #[test]
+    fn stride_advances_the_sweep_in_fixed_steps() {
+        let cfg = ShiftingHotspotConfig {
+            window: 70,
+            shift_every: 10_000,
+            shift_by: 0,
+            jitter: 0,
+            stride: 7,
+            mix: OpMix::read_mostly(),
+        };
+        let mut w = ShiftingHotspot::new(3, 1_000, 16, cfg);
+        let keys: Vec<u64> = (0..12).map(|_| w.next_key_index()).collect();
+        assert_eq!(keys, [0, 7, 14, 21, 28, 35, 42, 49, 56, 63, 0, 7]);
     }
 
     #[test]

@@ -57,6 +57,9 @@ fn main() {
                 spf_workload::Op::Delete { key } => {
                     let _ = db.delete(tx, &key);
                 }
+                spf_workload::Op::Scan { start, limit } => {
+                    let _ = db.scan(&start, limit).unwrap();
+                }
             }
         }
         db.commit(tx).unwrap();
