@@ -19,11 +19,15 @@ use spf_storage::{Page, StorageDevice};
 use spf_util::{IoKind, SimDuration};
 
 fn main() {
-    // Experiment e19 re-executes this binary as a crash victim: the
-    // child runs a workload against a file-backed database and aborts
-    // itself at a seeded kill point. Dispatch before anything else.
+    // Experiments e19 and e22 re-execute this binary as a crash victim:
+    // the child runs a workload against a file-backed database and dies
+    // at a seeded point (abort for e19, panic-with-black-box for e22).
+    // Dispatch before anything else.
     if std::env::var("SPF_E19_CHILD").is_ok() {
         e19_child();
+    }
+    if std::env::var("SPF_E22_CHILD").is_ok() {
+        e22_child();
     }
     let filter: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
     let run = |id: &str| filter.is_empty() || filter.iter().any(|f| f == id || f == "all");
@@ -50,6 +54,7 @@ fn main() {
         ("e19", e19_crash_restart_oracle),
         ("e20", e20_observability),
         ("e21", e21_prefetch_and_scan_resistance),
+        ("e22", e22_causal_tracing),
     ];
     for (id, f) in experiments {
         if run(id) {
@@ -2713,5 +2718,291 @@ fn e21_prefetch_and_scan_resistance() {
          the clock at priority 0 and leave the hot set's tail latency \
          untouched; prefetch and scrub together never overdraw the one \
          background-I/O budget."
+    );
+}
+
+// ======================================================================
+// E22 — causal tracing, wait-state profiling, crash black box
+// ======================================================================
+
+fn e22_config() -> DatabaseConfig {
+    DatabaseConfig {
+        data_pages: 2048,
+        pool_frames: 256,
+        seed: 0xE22,
+        scrub: spf::ScrubConfig::disabled(),
+        archive: spf::ArchiveConfig::disabled(),
+        trace_sample_every: 1,
+        ..DatabaseConfig::default()
+    }
+}
+
+/// Child process for the black-box leg: repairs an injected single-page
+/// fault, then panics so the panic hook persists `blackbox.spfb` into
+/// the database directory for the parent to decode.
+fn e22_child() -> ! {
+    use spf::Database;
+
+    let dir = std::path::PathBuf::from(std::env::var("SPF_E22_CHILD").unwrap());
+    let db = Database::create_at(e22_config(), &dir).unwrap();
+    spf_obs::install_panic_hook(db.obs().clone());
+    load(&db, 300);
+    db.checkpoint().unwrap();
+    let victim = db.any_leaf_page().expect("leaves exist");
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }),
+    );
+    db.drop_cache();
+    read_all(&db, 300);
+    assert_eq!(db.stats().spf.recoveries, 1, "repair must have happened");
+    panic!("e22: deliberate panic after repairing page {}", victim.0);
+}
+
+fn e22_causal_tracing() {
+    use std::collections::HashMap;
+    use std::process::Command;
+    use std::sync::Barrier;
+    use std::time::Instant;
+
+    use spf_obs::{BlackBox, EventKind, SpanKind, WaitClass, BLACKBOX_FILE};
+    use spf_workload::{ConcurrentWorkload, KeyPartition, Op};
+    use tempdir::TempDir;
+
+    banner(
+        "E22",
+        "spf-trace (causal spans, wait profiles, persisted black box)",
+        "single-page repair must stay invisible to the user — proving \
+         that needs per-operation causality (which commit waited on \
+         whose log force, which descent paid a miss or a repair), and \
+         the proof must survive the process: a crash leaves a black box.",
+    );
+
+    // ------------------------------------------------------------------
+    // (a) Sampling overhead: saturated 4-thread put_auto, tracing off
+    //     (sample_every = 0) vs on (every 32nd operation), five paired
+    //     rounds, minimum overhead is the measurement (same protocol as
+    //     e20's recorder-overhead leg).
+    // ------------------------------------------------------------------
+    const OPS_PER_THREAD: usize = 2_500;
+    const KEYS_PER_THREAD: u64 = 800;
+    const THREADS: usize = 4;
+
+    let run = |sample_every: u64| -> f64 {
+        let db = engine(|c| {
+            c.data_pages = 8192;
+            c.pool_frames = 4096;
+            c.trace_sample_every = sample_every;
+        });
+        let wl = ConcurrentWorkload::new(0xE22, THREADS, KEYS_PER_THREAD, KeyPartition::Disjoint);
+        let streams: Vec<Vec<Op>> = (0..THREADS)
+            .map(|t| wl.thread_ops(t, OPS_PER_THREAD))
+            .collect();
+        let barrier = Barrier::new(THREADS + 1);
+        let wall = std::thread::scope(|s| {
+            for stream in &streams {
+                let db = &db;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    for op in stream {
+                        if let Op::Put { key, value } = op {
+                            db.put_auto(key, value).unwrap();
+                        }
+                    }
+                    barrier.wait();
+                });
+            }
+            barrier.wait();
+            let start = Instant::now();
+            barrier.wait();
+            start.elapsed()
+        });
+        (THREADS * OPS_PER_THREAD) as f64 / wall.as_secs_f64()
+    };
+
+    let mut best_off = 0.0f64;
+    let mut best_on = 0.0f64;
+    let mut overhead_pct = f64::INFINITY;
+    for _ in 0..5 {
+        let off = run(0);
+        let on = run(32);
+        best_off = best_off.max(off);
+        best_on = best_on.max(on);
+        overhead_pct = overhead_pct.min(100.0 * (1.0 - on / off));
+    }
+    let overhead_pct = overhead_pct.max(0.0);
+
+    let mut table = Table::new(&["sampling", "txn/s (best of 5)"]);
+    table.row(&["off".into(), format!("{best_off:.0}")]);
+    table.row(&["every 32nd op".into(), format!("{best_on:.0}")]);
+    table.print();
+    println!("sampling overhead: {overhead_pct:.2}% (min over 5 paired rounds)");
+    assert!(
+        overhead_pct < 5.0,
+        "sampled tracing must cost < 5% throughput: off {best_off:.0} -> \
+         on {best_on:.0} txn/s ({overhead_pct:.2}%)"
+    );
+
+    // ------------------------------------------------------------------
+    // (b) Causal reconstruction: with a tiny pool and sample_every = 1,
+    //     drained trace trees must show a descent paying a real miss
+    //     (PutAuto -> Descent -> PageMiss classed MissIo) and a
+    //     group-commit follower whose ForceWait links to the *leader's*
+    //     LogForce span on another thread. Wait classes must account
+    //     for the whole root span (within 10%).
+    // ------------------------------------------------------------------
+    let db = engine(|c| {
+        c.data_pages = 4096;
+        c.pool_frames = 64;
+        c.trace_sample_every = 1;
+    });
+    let wl = ConcurrentWorkload::new(0xE22B, THREADS, 400, KeyPartition::Disjoint);
+    load(&db, 100);
+    db.checkpoint().unwrap();
+    let _ = db.drain_trace_trees(); // discard load-phase traces
+
+    let mut miss_profile: Option<(u64, u64, u64)> = None; // (total, classified, miss_ns)
+    let mut link: Option<(u64, u64)> = None; // (follower thread, leader thread)
+    let mut chrome_ok = false;
+    'rounds: for round in 0..40usize {
+        db.drop_cache();
+        let streams: Vec<Vec<Op>> = (0..THREADS)
+            .map(|t| wl.thread_ops(t, 40 + round)) // vary length round to round
+            .collect();
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|s| {
+            for stream in &streams {
+                let db = &db;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    for op in stream {
+                        if let Op::Put { key, value } = op {
+                            db.put_auto(key, value).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        let stitched = db.drain_trace_trees();
+        // Index every span (tree or orphan) for cross-trace link lookup.
+        let mut by_id: HashMap<u64, (SpanKind, u64)> = HashMap::new();
+        for tree in &stitched.trees {
+            tree.each_node(|n| {
+                by_id.insert(n.record.span_id, (n.record.kind, n.record.thread));
+            });
+        }
+        for r in &stitched.orphans {
+            by_id.insert(r.span_id, (r.kind, r.thread));
+        }
+        for tree in &stitched.trees {
+            let root_is_put = tree
+                .roots
+                .first()
+                .is_some_and(|r| r.record.kind == SpanKind::PutAuto);
+            if !root_is_put {
+                continue;
+            }
+            let mut has_descent = false;
+            let mut miss_ns = 0u64;
+            let mut follower: Option<(u64, u64)> = None;
+            tree.each_node(|n| match n.record.kind {
+                SpanKind::Descent => has_descent = true,
+                SpanKind::PageMiss if n.record.class == WaitClass::MissIo => {
+                    miss_ns += n.record.dur_nanos;
+                }
+                SpanKind::ForceWait if n.record.link != 0 => {
+                    if let Some(&(SpanKind::LogForce, leader_thread)) = by_id.get(&n.record.link) {
+                        if leader_thread != n.record.thread {
+                            follower = Some((n.record.thread, leader_thread));
+                        }
+                    }
+                }
+                _ => {}
+            });
+            let profile = tree.wait_profile();
+            let within_10pct = profile.total_nanos > 0
+                && profile.total_nanos.abs_diff(profile.classified_nanos())
+                    <= profile.total_nanos / 10;
+            if miss_profile.is_none() && has_descent && miss_ns > 0 && within_10pct {
+                miss_profile = Some((profile.total_nanos, profile.classified_nanos(), miss_ns));
+            }
+            if link.is_none() && follower.is_some() && within_10pct {
+                link = follower;
+            }
+            if miss_profile.is_some() && link.is_some() {
+                let json = spf_obs::to_chrome_json(&stitched);
+                chrome_ok = json.contains("\"traceEvents\"")
+                    && json.contains("\"name\":\"put_auto\"")
+                    && json.contains("\"name\":\"log_force\"");
+                break 'rounds;
+            }
+        }
+    }
+    let (total_ns, classified_ns, miss_ns) =
+        miss_profile.expect("a sampled put_auto must pay a MissIo-classed PageMiss");
+    let (follower_thread, leader_thread) =
+        link.expect("a sampled follower commit must link to another thread's LogForce");
+    assert!(
+        chrome_ok,
+        "chrome export must carry the reconstructed spans"
+    );
+    println!(
+        "miss trace: root {total_ns} ns, classified {classified_ns} ns \
+         ({miss_ns} ns in MissIo)"
+    );
+    println!(
+        "group commit: follower on ring {follower_thread} linked to \
+         leader LogForce on ring {leader_thread}"
+    );
+
+    // ------------------------------------------------------------------
+    // (c) Crash black box: a child repairs an injected fault and then
+    //     panics; the parent decodes blackbox.spfb and must find the
+    //     detect -> repair chain without any help from the child.
+    // ------------------------------------------------------------------
+    let exe = std::env::current_exe().unwrap();
+    let tmp = TempDir::new("spf-e22").unwrap();
+    let dir = tmp.path().join("db");
+    let status = Command::new(&exe)
+        .env("SPF_E22_CHILD", &dir)
+        .status()
+        .expect("spawn crash victim");
+    assert!(!status.success(), "the victim must die in its panic");
+    let bb = BlackBox::load(&dir.join(BLACKBOX_FILE))
+        .expect("the panic hook must leave a decodable black box");
+    assert!(
+        bb.reason.starts_with("panic"),
+        "black-box reason records the panic: {}",
+        bb.reason
+    );
+    let chains = bb.render_repair_chains();
+    print!("black-box repair forensics: {chains}");
+    assert!(
+        chains.contains("detected(") && chains.contains("repair_ok"),
+        "black box must hold the detect -> repair chain: {chains}"
+    );
+    let detected = bb
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::FaultDetected)
+        .count();
+    assert!(detected >= 1, "FaultDetected survives into the black box");
+
+    println!(
+        "PERF_JSON {{\"experiment\":\"e22\",\"txn_per_s_sampling_off\":{best_off:.0},\
+         \"txn_per_s_sampling_on\":{best_on:.0},\"overhead_pct\":{overhead_pct:.2},\
+         \"miss_wait_ns\":{miss_ns},\"root_span_ns\":{total_ns},\
+         \"blackbox_events\":{},\"blackbox_spans\":{}}}",
+        bb.events.len(),
+        bb.spans.len(),
+    );
+    println!(
+        "shape check: per-op sampling costs < 5% at full sampling rate \
+         1/32; a sampled commit reconstructs descent -> miss -> commit -> \
+         another thread's leader force with the wait breakdown accounting \
+         for the root span; a panicked process leaves a CRC-guarded black \
+         box from which the repair chain is recovered."
     );
 }

@@ -1,0 +1,102 @@
+//! Post-mortem viewer for the crash black box (`blackbox.spfb`).
+//!
+//! ```sh
+//! spf-dump <db-dir | blackbox.spfb>     # pretty-print a black box
+//! spf-dump --crash-demo <dir>           # die on purpose, leaving one
+//! ```
+//!
+//! The first form decodes and renders a persisted [`BlackBox`]: reason,
+//! event timeline, per-page detect → repair chains, in-flight trace
+//! trees with wait profiles, a flame rollup, and the final metrics
+//! snapshot. Given a directory it looks for `blackbox.spfb` inside it.
+//!
+//! `--crash-demo` exists for CI: it runs a small workload against a
+//! file-backed database in `dir`, injects a single-page fault, repairs
+//! it on the read path, then panics — exercising the panic hook's
+//! black-box capture end to end. The process exits non-zero (it
+//! panicked); the black box it leaves behind is then dumped with the
+//! first form and must contain the detect → repair chain.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use spf::{CorruptionMode, Database, DatabaseConfig, FaultSpec};
+use spf_obs::{BlackBox, BLACKBOX_FILE};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: spf-dump <db-dir | blackbox.spfb>");
+    eprintln!("       spf-dump --crash-demo <dir>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag, dir] if flag == "--crash-demo" => crash_demo(Path::new(dir)),
+        [path] => dump(Path::new(path)),
+        _ => usage(),
+    }
+}
+
+/// Resolves `path` (file or database directory) to a black-box file,
+/// decodes it, and prints the rendered post-mortem.
+fn dump(path: &Path) -> ExitCode {
+    let file: PathBuf = if path.is_dir() {
+        path.join(BLACKBOX_FILE)
+    } else {
+        path.to_path_buf()
+    };
+    match BlackBox::load(&file) {
+        Ok(bb) => {
+            print!("{}", bb.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("spf-dump: {}: {e}", file.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs an injected-fault workload and panics, so the panic hook
+/// persists a black box into `dir`. Never returns normally.
+fn crash_demo(dir: &Path) -> ExitCode {
+    let config = DatabaseConfig {
+        data_pages: 2048,
+        pool_frames: 256,
+        trace_sample_every: 4,
+        seed: 0xD0D0,
+        ..DatabaseConfig::default()
+    };
+    let db = Database::create_at(config, dir).expect("create demo database");
+    spf_obs::install_panic_hook(db.obs().clone());
+    let tx = db.begin();
+    for i in 0..300u64 {
+        let key = format!("key-{i:08}").into_bytes();
+        let val = format!("value-{i:08}-gen0000").into_bytes();
+        db.insert(tx, &key, &val).expect("load");
+    }
+    db.commit(tx).expect("commit load");
+    db.checkpoint().expect("checkpoint");
+    let victim = db.any_leaf_page().expect("leaves exist");
+    db.inject_fault(
+        victim,
+        FaultSpec::SilentCorruption(CorruptionMode::BitRot { bits: 8 }),
+    );
+    db.drop_cache();
+    for i in 0..300u64 {
+        let key = format!("key-{i:08}").into_bytes();
+        assert!(db.get(&key).expect("read").is_some(), "key {i} lost");
+    }
+    assert_eq!(
+        db.stats().spf.recoveries,
+        1,
+        "the injected fault must be repaired on the read path"
+    );
+    panic!(
+        "crash demo: deliberate panic after repairing page {} — \
+         the black box in {} now holds the forensics",
+        victim.0,
+        dir.display()
+    );
+}

@@ -38,7 +38,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::Mutex;
 
 use spf_buffer::{BufferPool, FetchHint, PageReadGuard, PageWriteGuard};
-use spf_obs::{EventKind, Obs};
+use spf_obs::{ActiveSpan, EventKind, Obs, SpanKind, TraceCtx, WaitClass};
 use spf_storage::{Page, PageId, SlottedPage};
 use spf_txn::{SysAttempt, TxKind, TxnManager};
 use spf_wal::{CompressedPageImage, LogPayload, Lsn, PageOp, TxId};
@@ -351,6 +351,20 @@ impl FosterBTree {
     /// between release and re-acquire. The lookup then hops the foster
     /// chain or re-descends, bounded by the retry limit.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, BTreeError> {
+        self.get_traced(key, TraceCtx::NONE)
+    }
+
+    /// [`get`](Self::get) within a sampled trace: the whole lookup —
+    /// descent, foster-chain hops, re-descents — is one `Descent` span,
+    /// and buffer faults along the way appear as its children.
+    pub fn get_traced(&self, key: &[u8], ctx: TraceCtx) -> Result<Option<Vec<u8>>, BTreeError> {
+        let span = match self.obs.get() {
+            Some(o) if ctx.sampled() => {
+                o.trace_span(ctx, SpanKind::Descent, WaitClass::Run, self.root.0)
+            }
+            _ => ActiveSpan::inert(),
+        };
+        let ctx = span.ctx();
         enum Hop {
             Done(Option<Vec<u8>>),
             Chain(PageId, Bound, Bound),
@@ -359,11 +373,11 @@ impl FosterBTree {
         let limit = self.retry_limit.load(Ordering::Relaxed);
         let mut retries = 0usize;
         loop {
-            let (guard, _, _) = self.descend(key)?;
+            let (guard, _, _) = self.descend_ctx(key, FetchHint::Normal, ctx)?;
             let leaf = guard.page_id();
             drop(guard);
             self.fire_reacquire_hook(leaf);
-            let mut guard = self.pool.fetch(leaf)?;
+            let mut guard = self.pool.fetch_with_ctx(leaf, FetchHint::Normal, ctx)?;
             loop {
                 let hop = {
                     let view = NodeView::new(&guard)?;
@@ -399,7 +413,7 @@ impl FosterBTree {
                         if retries > limit {
                             return Err(BTreeError::TooManyRetries { retries });
                         }
-                        let next = self.pool.fetch(child)?;
+                        let next = self.pool.fetch_with_ctx(child, FetchHint::Normal, ctx)?;
                         self.check_fences(&next, &separator, &high)?;
                         guard = next;
                     }
@@ -419,7 +433,8 @@ impl FosterBTree {
 
     /// Inserts `key → value` under `tx`; duplicate live keys are an error.
     pub fn insert(&self, tx: TxId, key: &[u8], value: &[u8]) -> Result<(), BTreeError> {
-        self.leaf_write(tx, key, value, LeafOp::Insert).map(|_| ())
+        self.leaf_write(tx, key, value, LeafOp::Insert, TraceCtx::NONE)
+            .map(|_| ())
     }
 
     /// Inserts or replaces `key → value`; returns the previous live value.
@@ -429,12 +444,24 @@ impl FosterBTree {
         key: &[u8],
         value: &[u8],
     ) -> Result<Option<Vec<u8>>, BTreeError> {
-        self.leaf_write(tx, key, value, LeafOp::Upsert)
+        self.leaf_write(tx, key, value, LeafOp::Upsert, TraceCtx::NONE)
+    }
+
+    /// [`upsert`](Self::upsert) within a sampled trace (see
+    /// [`get_traced`](Self::get_traced)).
+    pub fn upsert_traced(
+        &self,
+        tx: TxId,
+        key: &[u8],
+        value: &[u8],
+        ctx: TraceCtx,
+    ) -> Result<Option<Vec<u8>>, BTreeError> {
+        self.leaf_write(tx, key, value, LeafOp::Upsert, ctx)
     }
 
     /// Logically deletes `key` (ghost bit), returning the old value.
     pub fn delete(&self, tx: TxId, key: &[u8]) -> Result<Vec<u8>, BTreeError> {
-        self.leaf_write(tx, key, &[], LeafOp::Delete)?
+        self.leaf_write(tx, key, &[], LeafOp::Delete, TraceCtx::NONE)?
             .ok_or(BTreeError::KeyNotFound)
     }
 
@@ -536,17 +563,24 @@ impl FosterBTree {
     /// drops as soon as the child guard exists. With the latch held
     /// across the hop, a fence mismatch here is real corruption, not a
     /// benign race.
-    fn descend(&self, key: &[u8]) -> Result<(PageReadGuard, Bound, Bound), BTreeError> {
-        self.descend_with(key, FetchHint::Normal)
-    }
-
-    /// [`descend`](Self::descend) with an explicit buffer-pool hint for
-    /// **leaf-level** fetches. Inner nodes always fetch `Normal`: every
-    /// descent re-crosses them, so even a scan must keep them hot.
+    /// The buffer-pool hint applies to **leaf-level** fetches. Inner
+    /// nodes always fetch `Normal`: every descent re-crosses them, so
+    /// even a scan must keep them hot.
     fn descend_with(
         &self,
         key: &[u8],
         leaf_hint: FetchHint,
+    ) -> Result<(PageReadGuard, Bound, Bound), BTreeError> {
+        self.descend_ctx(key, leaf_hint, TraceCtx::NONE)
+    }
+
+    /// [`descend_with`](Self::descend_with) carrying a trace context so
+    /// buffer faults on the descent path attribute to the caller's span.
+    fn descend_ctx(
+        &self,
+        key: &[u8],
+        leaf_hint: FetchHint,
+        ctx: TraceCtx,
     ) -> Result<(PageReadGuard, Bound, Bound), BTreeError> {
         let hint_for = |level: u8| {
             if level == 0 {
@@ -555,7 +589,9 @@ impl FosterBTree {
                 FetchHint::Normal
             }
         };
-        let mut guard = self.pool.fetch(self.root)?;
+        let mut guard = self
+            .pool
+            .fetch_with_ctx(self.root, FetchHint::Normal, ctx)?;
         TreeStatCounters::bump(&self.stats.node_visits);
         let mut expected: Option<(Bound, Bound)> = None;
         for _ in 0..MAX_RETRIES * 4 {
@@ -569,7 +605,7 @@ impl FosterBTree {
                     separator,
                     high,
                 } => {
-                    let next = self.pool.fetch_with_hint(child, hint_for(level))?;
+                    let next = self.pool.fetch_with_ctx(child, hint_for(level), ctx)?;
                     TreeStatCounters::bump(&self.stats.node_visits);
                     self.check_fences(&next, &separator, &high)?;
                     self.check_level(&next, level)?;
@@ -579,7 +615,7 @@ impl FosterBTree {
                 Descent::Child {
                     child, low, high, ..
                 } => {
-                    let next = self.pool.fetch_with_hint(child, hint_for(level - 1))?;
+                    let next = self.pool.fetch_with_ctx(child, hint_for(level - 1), ctx)?;
                     TreeStatCounters::bump(&self.stats.node_visits);
                     self.check_fences(&next, &low, &high)?;
                     self.check_level(&next, level - 1)?;
@@ -650,7 +686,15 @@ impl FosterBTree {
         key: &[u8],
         value: &[u8],
         op: LeafOp,
+        ctx: TraceCtx,
     ) -> Result<Option<Vec<u8>>, BTreeError> {
+        let span = match self.obs.get() {
+            Some(o) if ctx.sampled() => {
+                o.trace_span(ctx, SpanKind::Descent, WaitClass::Run, self.root.0)
+            }
+            _ => ActiveSpan::inert(),
+        };
+        let ctx = span.ctx();
         let record = leaf_record(key, value);
         if record.len() > self.max_record_size() {
             return Err(BTreeError::RecordTooLarge {
@@ -675,7 +719,7 @@ impl FosterBTree {
                 return Err(BTreeError::TooManyRetries { retries: progress });
             }
             // Opportunistic maintenance: shorten foster chains on the path.
-            if self.maintain_path(key)? {
+            if self.maintain_path(key, ctx)? {
                 progress += 1;
                 continue;
             }
@@ -683,11 +727,11 @@ impl FosterBTree {
             // leaf: the descent guard drops here and the leaf is
             // re-latched in write mode below — the window a concurrent
             // restructure can slip into, handled by the bounded retries.
-            let (guard, _, _) = self.descend(key)?;
+            let (guard, _, _) = self.descend_ctx(key, FetchHint::Normal, ctx)?;
             let mut target = guard.page_id();
             drop(guard);
             self.fire_reacquire_hook(target);
-            let mut guard = self.pool.fetch_mut(target)?;
+            let mut guard = self.pool.fetch_mut_ctx(target, ctx)?;
             loop {
                 let step = {
                     let view = NodeView::new(&guard)?;
@@ -714,7 +758,7 @@ impl FosterBTree {
                         if conflicts > limit {
                             return Err(BTreeError::TooManyRetries { retries: conflicts });
                         }
-                        let next = self.pool.fetch_mut(child)?;
+                        let next = self.pool.fetch_mut_ctx(child, ctx)?;
                         self.check_fences(&next, &separator, &high)?;
                         target = child;
                         guard = next;
@@ -838,10 +882,10 @@ impl FosterBTree {
     /// latch dropped) because it is purely opportunistic: a stale
     /// observation at worst skips or re-attempts maintenance, and the
     /// structural change itself re-validates under write latches.
-    fn maintain_path(&self, key: &[u8]) -> Result<bool, BTreeError> {
+    fn maintain_path(&self, key: &[u8], ctx: TraceCtx) -> Result<bool, BTreeError> {
         let mut current = self.root;
         for _ in 0..MAX_RETRIES * 4 {
-            let guard = self.pool.fetch(current)?;
+            let guard = self.pool.fetch_with_ctx(current, FetchHint::Normal, ctx)?;
             let view = NodeView::new(&guard)?;
             if current == self.root && view.has_foster() {
                 drop(guard);
@@ -860,7 +904,7 @@ impl FosterBTree {
                 Descent::Child { child, .. } => {
                     let parent = current;
                     drop(guard);
-                    let child_guard = self.pool.fetch(child)?;
+                    let child_guard = self.pool.fetch_with_ctx(child, FetchHint::Normal, ctx)?;
                     let child_view = NodeView::new(&child_guard)?;
                     let has_foster = child_view.has_foster();
                     drop(child_guard);

@@ -50,7 +50,7 @@ use std::sync::{Condvar, Mutex as StdMutex, OnceLock};
 use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
 use parking_lot::{Mutex, RawRwLock, RwLock};
 
-use spf_obs::{EventKind, Obs, Span};
+use spf_obs::{ActiveSpan, EventKind, Obs, Span, SpanKind, TraceCtx, WaitClass};
 use spf_storage::{Page, PageId, StorageDevice, StorageError};
 use spf_wal::{LogManager, Lsn};
 
@@ -701,9 +701,36 @@ impl BufferPool {
         id: PageId,
         hint: FetchHint,
     ) -> Result<PageReadGuard, FetchError> {
-        let (frame_idx, page_arc) = self.fetch_frame(id, hint)?;
+        self.fetch_with_ctx(id, hint, TraceCtx::NONE)
+    }
+
+    /// Fetches `id` for reading within a sampled trace: a buffer fault
+    /// records a `PageMiss` span classed as miss I/O, and contention on
+    /// the page latch records a `LatchWait` span. Unsampled contexts pay
+    /// one branch.
+    pub fn fetch_with_ctx(
+        &self,
+        id: PageId,
+        hint: FetchHint,
+        ctx: TraceCtx,
+    ) -> Result<PageReadGuard, FetchError> {
+        let (frame_idx, page_arc) = self.fetch_frame(id, hint, ctx)?;
+        // Try-then-block: the common uncontended acquire stays span-free
+        // even when sampled, so `LatchWait` spans measure real blocking.
+        let guard = match RwLock::try_read_arc(&page_arc) {
+            Some(g) => g,
+            None => {
+                let _span = match self.inner.obs.get() {
+                    Some(o) if ctx.sampled() => {
+                        o.trace_span(ctx, SpanKind::LatchWait, WaitClass::LatchWait, id.0)
+                    }
+                    _ => ActiveSpan::inert(),
+                };
+                RwLock::read_arc(&page_arc)
+            }
+        };
         Ok(PageReadGuard {
-            guard: RwLock::read_arc(&page_arc),
+            guard,
             _pin: Pin {
                 pool: Arc::clone(&self.inner),
                 frame_idx,
@@ -713,9 +740,27 @@ impl BufferPool {
 
     /// Fetches `id` for writing.
     pub fn fetch_mut(&self, id: PageId) -> Result<PageWriteGuard, FetchError> {
-        let (frame_idx, page_arc) = self.fetch_frame(id, FetchHint::Normal)?;
+        self.fetch_mut_ctx(id, TraceCtx::NONE)
+    }
+
+    /// Fetches `id` for writing within a sampled trace (see
+    /// [`fetch_with_ctx`](BufferPool::fetch_with_ctx)).
+    pub fn fetch_mut_ctx(&self, id: PageId, ctx: TraceCtx) -> Result<PageWriteGuard, FetchError> {
+        let (frame_idx, page_arc) = self.fetch_frame(id, FetchHint::Normal, ctx)?;
+        let guard = match RwLock::try_write_arc(&page_arc) {
+            Some(g) => g,
+            None => {
+                let _span = match self.inner.obs.get() {
+                    Some(o) if ctx.sampled() => {
+                        o.trace_span(ctx, SpanKind::LatchWait, WaitClass::LatchWait, id.0)
+                    }
+                    _ => ActiveSpan::inert(),
+                };
+                RwLock::write_arc(&page_arc)
+            }
+        };
         Ok(PageWriteGuard {
-            guard: RwLock::write_arc(&page_arc),
+            guard,
             pool: Arc::clone(&self.inner),
             frame_idx,
             _pin: Pin {
@@ -733,7 +778,7 @@ impl BufferPool {
     /// restructures yield to foreground traffic instead of deadlocking
     /// against it.
     pub fn try_fetch_mut(&self, id: PageId) -> Result<Option<PageWriteGuard>, FetchError> {
-        let (frame_idx, page_arc) = self.fetch_frame(id, FetchHint::Normal)?;
+        let (frame_idx, page_arc) = self.fetch_frame(id, FetchHint::Normal, TraceCtx::NONE)?;
         let pin = Pin {
             pool: Arc::clone(&self.inner),
             frame_idx,
@@ -1182,6 +1227,7 @@ impl BufferPool {
         &self,
         id: PageId,
         hint: FetchHint,
+        ctx: TraceCtx,
     ) -> Result<(usize, Arc<RwLock<Page>>), FetchError> {
         loop {
             enum Probe {
@@ -1246,9 +1292,15 @@ impl BufferPool {
                     // (normally a hit; on leader failure each waiter
                     // retries as leader).
                     bump(&self.inner.stats.coalesced_misses);
+                    let _span = match self.inner.obs.get() {
+                        Some(o) if ctx.sampled() => {
+                            o.trace_span(ctx, SpanKind::PageMiss, WaitClass::MissIo, id.0)
+                        }
+                        _ => ActiveSpan::inert(),
+                    };
                     fl.wait();
                 }
-                Probe::Lead => return self.load_miss(id, hint),
+                Probe::Lead => return self.load_miss(id, hint, ctx),
             }
         }
     }
@@ -1260,6 +1312,7 @@ impl BufferPool {
         &self,
         id: PageId,
         hint: FetchHint,
+        ctx: TraceCtx,
     ) -> Result<(usize, Arc<RwLock<Page>>), FetchError> {
         bump(&self.inner.stats.misses);
         if let Some(ao) = self.inner.access_observer.get() {
@@ -1273,6 +1326,12 @@ impl BufferPool {
                 o.emit(EventKind::PageMiss, id.0, 0);
                 o.span(Span::PageMiss)
             });
+        let _tspan = match self.inner.obs.get() {
+            Some(o) if ctx.sampled() => {
+                o.trace_span(ctx, SpanKind::PageMiss, WaitClass::MissIo, id.0)
+            }
+            _ => ActiveSpan::inert(),
+        };
         let staged = self.read_verified(id).and_then(|(page, recovered)| {
             let idx = self.claim_victim(hint)?;
             let rec_lsn = Lsn(page.page_lsn());

@@ -109,6 +109,13 @@ pub struct DatabaseConfig {
     /// only per-event tracing. Can also be toggled at runtime via
     /// `Database::obs`. Experiment e20 measures the overhead (< 5%).
     pub obs: bool,
+    /// Causal tracing: every Nth `put_auto` (and every Nth scrub sweep)
+    /// is sampled into a trace tree spanning descent, buffer faults,
+    /// latch and group-commit waits (see `spf-trace`). 0 disables
+    /// sampling — unsampled operations pay one branch. Can be retuned at
+    /// runtime via `Database::obs().set_trace_sampling`. Experiment e22
+    /// measures the overhead (< 5%).
+    pub trace_sample_every: u64,
 }
 
 impl Default for DatabaseConfig {
@@ -129,6 +136,7 @@ impl Default for DatabaseConfig {
             mirror: false,
             wall_clock_io: false,
             obs: true,
+            trace_sample_every: 0,
         }
     }
 }

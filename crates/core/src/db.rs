@@ -9,7 +9,9 @@ use parking_lot::Mutex;
 use spf_archive::{ArchiveReport, ArchiveStore, LogArchiver, MergePolicy};
 use spf_btree::{BTreeError, BumpAllocator, FosterBTree, KvPairs, PageAllocator};
 use spf_buffer::{BufferPool, BufferPoolConfig, FetchError};
-use spf_obs::{EventKind, MetricsSnapshot, Obs, Span};
+use spf_obs::{
+    ActiveSpan, EventKind, MetricsSnapshot, Obs, Span, SpanKind, Stitched, TraceCtx, WaitClass,
+};
 use spf_prefetch::{AccessObserver, GovernorConfig, IoGovernor, Prefetcher};
 use spf_recovery::{
     BackupStore, FailureClass, MediaRecovery, MediaReport, PageRecoveryIndex, PriMaintainer,
@@ -60,7 +62,7 @@ pub struct Database {
     spr: Option<Arc<SinglePageRecovery>>,
     archive: Option<Arc<ArchiveStore>>,
     archiver: Option<LogArchiver>,
-    tree: FosterBTree,
+    tree: Arc<FosterBTree>,
     last_full_backup: Mutex<Option<(PageId, Lsn)>>,
     scrubber: Option<Arc<Scrubber>>,
     scrub_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
@@ -98,6 +100,77 @@ impl std::fmt::Debug for Database {
 }
 
 const ROOT: PageId = PageId(0);
+
+/// Cheap clones of every statistics source, detached from the façade so
+/// the black-box arm (stored inside [`Obs`]) can snapshot at panic time.
+/// Holds `Obs` weakly — the arm must not keep its own owner alive.
+struct MetricsSources {
+    pool: BufferPool,
+    log: LogManager,
+    txn: TxnManager,
+    tree: Arc<FosterBTree>,
+    spr: Option<Arc<SinglePageRecovery>>,
+    pri: Arc<PageRecoveryIndex>,
+    backups: Arc<BackupStore>,
+    maintainer: Arc<PriMaintainer>,
+    device: Device,
+    mirror: Option<Device>,
+    archive: Option<Arc<ArchiveStore>>,
+    scrubber: Option<Arc<Scrubber>>,
+    prefetcher: Option<Arc<Prefetcher>>,
+    governor: Arc<IoGovernor>,
+    obs: std::sync::Weak<Obs>,
+}
+
+impl MetricsSources {
+    /// Flattens every subsystem's statistics into one hierarchical
+    /// metrics snapshot with JSON and Prometheus-text exposition.
+    fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.add("pool", &self.pool.stats());
+        snap.add("wal", &self.log.stats());
+        snap.add("txn", &self.txn.stats());
+        snap.add("tree", &self.tree.stats());
+        snap.add(
+            "spf",
+            &self.spr.as_ref().map(|s| s.stats()).unwrap_or_default(),
+        );
+        snap.add("pri", &self.pri.stats());
+        snap.add("backups", &self.backups.stats());
+        snap.add("maintainer", &self.maintainer.stats());
+        snap.add("device", &self.device.stats());
+        if let Some(m) = &self.mirror {
+            snap.add("mirror_device", &m.stats());
+        }
+        snap.add("backup_device", &self.backups.device().stats());
+        snap.add(
+            "archive",
+            &self.archive.as_ref().map(|a| a.stats()).unwrap_or_default(),
+        );
+        snap.add(
+            "scrub",
+            &self
+                .scrubber
+                .as_ref()
+                .map(|s| s.stats())
+                .unwrap_or_default(),
+        );
+        snap.add(
+            "prefetch",
+            &self
+                .prefetcher
+                .as_ref()
+                .map(|p| p.stats())
+                .unwrap_or_default(),
+        );
+        snap.add("governor", &self.governor.stats());
+        if let Some(obs) = self.obs.upgrade() {
+            snap.add("latency", obs.spans());
+            snap.add("trace", &obs.tracer().stats());
+        }
+        snap
+    }
+}
 
 /// Everything [`Database::assemble`] needs that differs between the
 /// in-memory, fresh-directory, and reopened-directory constructors.
@@ -240,6 +313,11 @@ impl Database {
     pub fn open(path: &Path, mut config: DatabaseConfig) -> Result<Self, DbError> {
         let manifest =
             Manifest::load(path).map_err(|e| DbError::RecoveryFailed(format!("open: {e}")))?;
+        // Keep the previous incarnation's black box (clean shutdown or
+        // crash forensics) out of this run's way: rotate it aside before
+        // the engine arms a fresh one. Best-effort — a read-only rename
+        // failure must not block recovery.
+        let _ = Obs::rotate_blackbox(path);
         config.page_size = manifest.page_size;
         config.data_pages = manifest.data_pages;
         config.seed = manifest.seed;
@@ -351,7 +429,12 @@ impl Database {
             .device()
             .sync()
             .map_err(|e| self.escalate(e.to_string()))?;
-        self.persist_manifest()
+        self.persist_manifest()?;
+        // The shutdown black box: the same capture a panic would take,
+        // labelled clean — so "was the last run healthy?" is answerable
+        // from the directory alone.
+        self.obs.write_blackbox("clean shutdown");
+        Ok(())
     }
 
     fn new_archive(config: &DatabaseConfig, clock: &Arc<SimClock>) -> ArchiveStore {
@@ -439,6 +522,7 @@ impl Database {
         // already traced). Attaching is unconditional; `config.obs`
         // gates the per-event hot path.
         let obs = Arc::new(Obs::new(Arc::clone(&clock), config.obs));
+        obs.set_trace_sampling(config.trace_sample_every);
         log.attach_obs(Arc::clone(&obs));
         pool.attach_obs(Arc::clone(&obs));
         let txn = TxnManager::new(log.clone());
@@ -489,6 +573,7 @@ impl Database {
             GovernorConfig::from_scrub(config.scrub.pages_per_tick, config.scrub.tick_idle),
             Arc::clone(&clock),
         ));
+        governor.attach_obs(Arc::clone(&obs));
 
         let scrubber = config.scrub.enabled.then(|| {
             let s = Arc::new(Scrubber::new(
@@ -541,8 +626,9 @@ impl Database {
             )
         };
         tree.attach_obs(Arc::clone(&obs));
+        let tree = Arc::new(tree);
 
-        Ok(Self {
+        let db = Self {
             config,
             clock,
             device,
@@ -567,7 +653,18 @@ impl Database {
             prefetcher,
             prefetch_thread: Mutex::new(None),
             obs,
-        })
+        };
+        // File-backed engines arm black-box capture: a panic (with the
+        // hook installed) or a clean close persists the flight recorder,
+        // open trace rings, and a metrics snapshot next to the data. The
+        // closure holds its own subsystem handles — weakly for `Obs`, so
+        // the arm stored inside `Obs` never keeps it alive.
+        if let Some(dir) = db.path.clone() {
+            let sources = db.metrics_sources();
+            db.obs
+                .arm_blackbox(dir, Box::new(move || sources.snapshot().to_json()));
+        }
+        Ok(db)
     }
 
     /// Writes the manifest durably (create–rename–fsync). A no-op for
@@ -604,8 +701,14 @@ impl Database {
 
     /// Commits `tx` (forces the log — durability).
     pub fn commit(&self, tx: TxId) -> Result<Lsn, DbError> {
+        self.commit_traced(tx, TraceCtx::NONE)
+    }
+
+    /// [`commit`](Database::commit) within a sampled trace: the commit
+    /// and its log force (or group-commit wait) become child spans.
+    pub fn commit_traced(&self, tx: TxId, ctx: TraceCtx) -> Result<Lsn, DbError> {
         self.locks.release_all(tx);
-        Ok(self.txn.commit(tx)?)
+        Ok(self.txn.commit_traced(tx, ctx)?)
     }
 
     /// Rolls `tx` back through the per-transaction log chain.
@@ -626,8 +729,20 @@ impl Database {
 
     /// Inserts or replaces `key → value`; returns the previous value.
     pub fn put(&self, tx: TxId, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, DbError> {
+        self.put_traced(tx, key, value, TraceCtx::NONE)
+    }
+
+    /// [`put`](Database::put) within a sampled trace: the descent, any
+    /// buffer faults it takes, and any inline repair become child spans.
+    pub fn put_traced(
+        &self,
+        tx: TxId,
+        key: &[u8],
+        value: &[u8],
+        ctx: TraceCtx,
+    ) -> Result<Option<Vec<u8>>, DbError> {
         self.lock_key(tx, key)?;
-        self.with_repair(|| self.tree.upsert(tx, key, value))
+        self.with_repair_ctx(ctx, || self.tree.upsert_traced(tx, key, value, ctx))
     }
 
     /// Inserts `key → value`; duplicate keys are an error.
@@ -661,10 +776,21 @@ impl Database {
     /// (experiment e18 drives exactly this path from N threads).
     pub fn put_auto(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>, DbError> {
         let _span = self.obs.span(Span::PutAuto);
+        // The causal-tracing entry point: one in `trace_sample_every`
+        // calls roots a trace tree here, and the context rides by value
+        // through descent, buffer faults, commit, and the WAL force.
+        let ctx = self.obs.sample_trace();
+        let tspan = if ctx.sampled() {
+            self.obs
+                .trace_span(ctx, SpanKind::PutAuto, WaitClass::Run, 0)
+        } else {
+            ActiveSpan::inert()
+        };
+        let ctx = tspan.ctx();
         let tx = self.begin();
-        match self.put(tx, key, value) {
+        match self.put_traced(tx, key, value, ctx) {
             Ok(old) => {
-                self.commit(tx)?;
+                self.commit_traced(tx, ctx)?;
                 Ok(old)
             }
             Err(e) => {
@@ -685,6 +811,17 @@ impl Database {
     /// delayed. Without single-page recovery configured the failure
     /// escalates per Figure 1.
     fn with_repair<T>(&self, f: impl Fn() -> Result<T, BTreeError>) -> Result<T, DbError> {
+        self.with_repair_ctx(TraceCtx::NONE, f)
+    }
+
+    /// [`with_repair`](Database::with_repair) within a sampled trace: an
+    /// inline single-page repair shows up as a `Repair` span classed as
+    /// repair wait — the time the delayed transaction spent healing.
+    fn with_repair_ctx<T>(
+        &self,
+        ctx: TraceCtx,
+        f: impl Fn() -> Result<T, BTreeError>,
+    ) -> Result<T, DbError> {
         let mut last_page = None;
         for _ in 0..8 {
             match f() {
@@ -712,6 +849,12 @@ impl Database {
                     last_page = Some(page);
                     self.pool.discard_page(page);
                     self.obs.emit(EventKind::RepairAttempt, page.0, 0);
+                    let _rspan = if ctx.sampled() {
+                        self.obs
+                            .trace_span(ctx, SpanKind::Repair, WaitClass::RepairWait, page.0)
+                    } else {
+                        ActiveSpan::inert()
+                    };
                     match spr.recover_page(page) {
                         Ok(image) => {
                             self.obs.emit(EventKind::RepairOk, page.0, 0);
@@ -1344,6 +1487,7 @@ impl Database {
                 .map(|p| p.stats())
                 .unwrap_or_default(),
             governor: self.governor.stats(),
+            trace: self.obs.tracer().stats(),
             now: self.clock.now(),
         }
     }
@@ -1355,46 +1499,46 @@ impl Database {
     /// whether or not event tracing is enabled.
     #[must_use]
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        let mut snap = MetricsSnapshot::new();
-        snap.add("pool", &self.pool.stats());
-        snap.add("wal", &self.log.stats());
-        snap.add("txn", &self.txn.stats());
-        snap.add("tree", &self.tree.stats());
-        snap.add(
-            "spf",
-            &self.spr.as_ref().map(|s| s.stats()).unwrap_or_default(),
-        );
-        snap.add("pri", &self.pri.stats());
-        snap.add("backups", &self.backups.stats());
-        snap.add("maintainer", &self.maintainer.stats());
-        snap.add("device", &self.device.stats());
-        if let Some(m) = &self.mirror {
-            snap.add("mirror_device", &m.stats());
+        self.metrics_sources().snapshot()
+    }
+
+    /// The detached snapshot builder: cheap handles to every subsystem,
+    /// good for as long as the engine lives. This is what the black-box
+    /// arm captures, so a panic snapshot and `metrics_snapshot` can
+    /// never drift apart.
+    fn metrics_sources(&self) -> MetricsSources {
+        MetricsSources {
+            pool: self.pool.clone(),
+            log: self.log.clone(),
+            txn: self.txn.clone(),
+            tree: Arc::clone(&self.tree),
+            spr: self.spr.clone(),
+            pri: Arc::clone(&self.pri),
+            backups: Arc::clone(&self.backups),
+            maintainer: Arc::clone(&self.maintainer),
+            device: self.device.clone(),
+            mirror: self.mirror.clone(),
+            archive: self.archive.clone(),
+            scrubber: self.scrubber.clone(),
+            prefetcher: self.prefetcher.clone(),
+            governor: Arc::clone(&self.governor),
+            obs: Arc::downgrade(&self.obs),
         }
-        snap.add("backup_device", &self.backups.device().stats());
-        snap.add(
-            "archive",
-            &self.archive.as_ref().map(|a| a.stats()).unwrap_or_default(),
-        );
-        snap.add(
-            "scrub",
-            &self
-                .scrubber
-                .as_ref()
-                .map(|s| s.stats())
-                .unwrap_or_default(),
-        );
-        snap.add(
-            "prefetch",
-            &self
-                .prefetcher
-                .as_ref()
-                .map(|p| p.stats())
-                .unwrap_or_default(),
-        );
-        snap.add("governor", &self.governor.stats());
-        snap.add("latency", self.obs.spans());
-        snap
+    }
+
+    /// Drains every completed trace ring and stitches the spans into
+    /// trace trees (plus cross-trace orphans such as another operation's
+    /// group-commit leader force).
+    #[must_use]
+    pub fn drain_trace_trees(&self) -> Stitched {
+        self.obs.tracer().drain_trees()
+    }
+
+    /// Drains the trace rings and renders every stitched trace as Chrome
+    /// tracing JSON (load it at `chrome://tracing` or in Perfetto).
+    #[must_use]
+    pub fn export_traces(&self) -> String {
+        spf_obs::to_chrome_json(&self.drain_trace_trees())
     }
 
     /// The engine's observability handle: flight-recorder drain, runtime

@@ -3,6 +3,7 @@
 use spf_archive::ArchiveStats;
 use spf_btree::TreeStats;
 use spf_buffer::PoolStats;
+use spf_obs::TracerStats;
 use spf_prefetch::{GovernorStats, PrefetchStats};
 use spf_recovery::{BackupStats, MaintainerStats, PriStats, SpfStats};
 use spf_scrub::ScrubStats;
@@ -48,6 +49,9 @@ pub struct DbStats {
     /// Background-I/O governor counters: pages granted per consumer,
     /// prefetch deferrals, and scrub throttle waits.
     pub governor: GovernorStats,
+    /// Causal-tracing counters: sampled traces, spans recorded, live
+    /// per-thread rings.
+    pub trace: TracerStats,
     /// Current simulated time.
     pub now: SimDuration,
 }

@@ -306,3 +306,45 @@ fn lost_write_at_sync_is_detected_and_repaired() {
     assert_all(&db, 300, 1);
     assert!(db.verify_tree().unwrap().is_empty());
 }
+
+// ----------------------------------------------------------------------
+// Crash black box
+// ----------------------------------------------------------------------
+
+/// Clean shutdown persists a black box next to the data; reopening
+/// rotates it aside (`blackbox.prev.spfb`) so the new incarnation can
+/// never clobber the previous run's forensics.
+#[test]
+fn close_writes_blackbox_and_reopen_rotates_it() {
+    let tmp = TempDir::new("spf-blackbox").unwrap();
+    let dir = tmp.path().join("db");
+    let cur = dir.join(spf_obs::BLACKBOX_FILE);
+    let prev = dir.join(spf_obs::BLACKBOX_PREV_FILE);
+
+    let db = Database::create_at(file_config(), &dir).unwrap();
+    assert!(db.obs().blackbox_armed(), "file-backed engines arm capture");
+    load(&db, 100, 0);
+    db.close().unwrap();
+
+    let bb = spf_obs::BlackBox::load(&cur).expect("close must persist a black box");
+    assert_eq!(bb.reason, "clean shutdown");
+    assert!(
+        bb.metrics_json.contains("\"txn\""),
+        "snapshot rides along: {}",
+        &bb.metrics_json[..bb.metrics_json.len().min(200)]
+    );
+
+    // Reopen: the old box rotates aside before the engine re-arms.
+    let db = Database::open(&dir, file_config()).unwrap();
+    assert!(prev.exists(), "previous box must rotate, not vanish");
+    assert!(
+        !cur.exists(),
+        "current slot is empty until the next capture"
+    );
+    assert_all(&db, 100, 0);
+    db.close().unwrap();
+
+    assert!(cur.exists() && prev.exists(), "both generations retained");
+    let rotated = spf_obs::BlackBox::load(&prev).unwrap();
+    assert_eq!(rotated.reason, "clean shutdown");
+}

@@ -126,6 +126,7 @@ fn snapshot_serializes_every_group_in_json_and_prometheus() {
         "prefetch",
         "governor",
         "latency",
+        "trace",
     ] {
         assert!(
             snap.groups.iter().any(|g| g.name == expected),
@@ -135,6 +136,10 @@ fn snapshot_serializes_every_group_in_json_and_prometheus() {
 
     let json = snap.to_json();
     let prom = snap.to_prometheus();
+    // The exposition must be parseable Prometheus text: every family
+    // declared once with a `# TYPE`, summaries complete with their
+    // `_count`/`_sum` series, every value numeric.
+    spf_obs::validate_prometheus(&prom).expect("exposition must parse");
     assert_eq!(
         json.matches('{').count(),
         json.matches('}').count(),
@@ -184,6 +189,7 @@ fn stats_fields_cannot_drift_from_metrics() {
         ("scrub", format!("{:#?}", stats.scrub)),
         ("prefetch", format!("{:#?}", stats.prefetch)),
         ("governor", format!("{:#?}", stats.governor)),
+        ("trace", format!("{:#?}", stats.trace)),
     ];
     for (group, debug) in cases {
         let fields = spf_obs::debug_field_names(&debug);
@@ -308,4 +314,81 @@ fn disabled_tracing_is_silent_but_metrics_still_work() {
         .of_kind(EventKind::TxCommit)
         .next()
         .is_some());
+}
+
+/// Causal tracing end to end: with sampling on, a `put_auto` roots a
+/// trace tree whose children reconstruct the operation — descent, the
+/// buffer fault it took through a cold cache, the commit and its log
+/// force — with every nanosecond classified by wait state.
+#[test]
+fn sampled_put_auto_reconstructs_the_causal_chain() {
+    let db = Database::create(DatabaseConfig {
+        trace_sample_every: 1,
+        ..obs_config()
+    })
+    .unwrap();
+    for i in 0..50 {
+        db.put_auto(&key(i), &val(i)).unwrap();
+    }
+    db.checkpoint().unwrap();
+    db.drop_cache();
+    let _ = db.drain_trace_trees(); // only the post-cold-cache ops matter
+    let _ = db.obs().drain_trace();
+    db.put_auto(&key(0), &val(1)).unwrap();
+
+    // The sampling gate left its mark in the flight recorder.
+    assert!(
+        db.obs()
+            .drain_trace()
+            .of_kind(EventKind::TraceSampled)
+            .next()
+            .is_some(),
+        "sampled operation must emit TraceSampled"
+    );
+
+    let stitched = db.drain_trace_trees();
+    let tree = stitched
+        .trees
+        .iter()
+        .find(|t| {
+            t.roots
+                .iter()
+                .any(|r| r.record.kind == spf_obs::SpanKind::PutAuto)
+        })
+        .expect("a put_auto-rooted trace tree");
+    let root = &tree.roots[0];
+
+    let mut kinds = Vec::new();
+    tree.each_node(|n| kinds.push(n.record.kind));
+    for want in [
+        spf_obs::SpanKind::Descent,
+        spf_obs::SpanKind::PageMiss,
+        spf_obs::SpanKind::Commit,
+    ] {
+        assert!(kinds.contains(&want), "missing {want:?} in {kinds:?}");
+    }
+
+    // Children nest inside the root, so the wait-state decomposition
+    // telescopes: every nanosecond of the operation is classified.
+    tree.each_node(|n| {
+        assert!(n.record.start_nanos >= root.record.start_nanos);
+        assert!(n.record.end_nanos() <= root.record.end_nanos());
+    });
+    let profile = tree.wait_profile();
+    assert_eq!(profile.total_nanos, root.record.dur_nanos);
+    assert_eq!(profile.classified_nanos(), profile.total_nanos);
+    assert!(
+        profile.class_nanos(spf_obs::WaitClass::MissIo) > 0,
+        "the cold-cache fault must be classified as miss I/O"
+    );
+
+    // The same drain renders as Chrome tracing JSON.
+    db.put_auto(&key(1), &val(1)).unwrap();
+    let json = db.export_traces();
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("put_auto"));
+
+    let stats = db.stats();
+    assert!(stats.trace.sampled_traces >= 50);
+    assert!(stats.trace.spans_recorded > stats.trace.sampled_traces);
 }

@@ -19,20 +19,34 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod blackbox;
 mod hist;
 mod ledger;
 mod recorder;
 mod registry;
 
+pub use blackbox::{BlackBox, BLACKBOX_FILE, BLACKBOX_PREV_FILE, BLACKBOX_TMP};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use ledger::{EscalationRecord, RepairLedger};
 pub use recorder::{Event, EventKind, FlightRecorder, Trace, RING_SLOTS};
-pub use registry::{GroupBuilder, Metric, MetricGroup, MetricValue, MetricsSnapshot, Observable};
+pub use registry::{
+    validate_prometheus, GroupBuilder, Metric, MetricGroup, MetricValue, MetricsSnapshot,
+    Observable,
+};
+// The causal-tracing plane (`spf-trace`) is re-exported wholesale so
+// subsystems reach it through their existing `Arc<Obs>` attach points
+// without growing a second dependency edge.
+pub use spf_trace::{
+    render_flame, stitch, to_chrome_json, ActiveSpan, SpanKind, SpanNode, SpanRecord, Stitched,
+    TraceCtx, TraceTree, Tracer, TracerStats, WaitClass, WaitProfile, TRACE_RING_SLOTS,
+};
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use parking_lot::Mutex;
 use spf_util::SimClock;
 
 /// Detector-class codes carried in [`EventKind::FaultDetected`]'s `b`
@@ -158,6 +172,14 @@ impl Spans {
     }
 }
 
+impl Observable for TracerStats {
+    fn observe(&self, g: &mut GroupBuilder) {
+        g.counter("sampled_traces", self.sampled_traces)
+            .counter("spans_recorded", self.spans_recorded)
+            .gauge("rings", self.rings);
+    }
+}
+
 impl Observable for Spans {
     fn observe(&self, g: &mut GroupBuilder) {
         g.histogram("put_auto_ns", self.put_auto.snapshot())
@@ -194,6 +216,22 @@ impl Drop for SpanGuard<'_> {
     }
 }
 
+/// A black-box destination plus the closure that produces the metrics
+/// snapshot at capture time (built by the database from its subsystem
+/// handles, so `Obs` never depends on them).
+struct BlackBoxArm {
+    dir: PathBuf,
+    metrics: Box<dyn Fn() -> String + Send + Sync>,
+}
+
+impl std::fmt::Debug for BlackBoxArm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlackBoxArm")
+            .field("dir", &self.dir)
+            .finish()
+    }
+}
+
 /// Per-database observability handle.
 #[derive(Debug)]
 pub struct Obs {
@@ -201,6 +239,8 @@ pub struct Obs {
     recorder: FlightRecorder,
     ledger: RepairLedger,
     spans: Spans,
+    tracer: Tracer,
+    blackbox: Mutex<Option<BlackBoxArm>>,
 }
 
 impl Obs {
@@ -213,6 +253,8 @@ impl Obs {
             recorder: FlightRecorder::new(clock),
             ledger: RepairLedger::new(),
             spans: Spans::default(),
+            tracer: Tracer::new(),
+            blackbox: Mutex::new(None),
         }
     }
 
@@ -266,11 +308,94 @@ impl Obs {
     pub fn spans(&self) -> &Spans {
         &self.spans
     }
+
+    /// The causal tracer (trace ids, span rings, sampling gate).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Sets the trace sampling rate: one operation in `every` gets a
+    /// [`TraceCtx`] (0 turns causal tracing off).
+    pub fn set_trace_sampling(&self, every: u64) {
+        self.tracer.set_sample_every(every);
+    }
+
+    /// The sampling gate for a traced entry point: returns a fresh root
+    /// context for one in `trace_sample_every` operations (and notes it
+    /// in the flight recorder), [`TraceCtx::NONE`] otherwise. Unsampled
+    /// operations pay one branch past the enabled check.
+    #[inline]
+    pub fn sample_trace(&self) -> TraceCtx {
+        if !self.enabled() {
+            return TraceCtx::NONE;
+        }
+        let ctx = self.tracer.sample();
+        if ctx.sampled() {
+            self.recorder.emit(EventKind::TraceSampled, ctx.trace_id, 0);
+        }
+        ctx
+    }
+
+    /// Starts a trace span under `ctx` (inert when unsampled).
+    #[inline]
+    pub fn trace_span(
+        &self,
+        ctx: TraceCtx,
+        kind: SpanKind,
+        class: WaitClass,
+        a: u64,
+    ) -> ActiveSpan<'_> {
+        self.tracer.begin(ctx, kind, class, a)
+    }
+
+    /// Arms black-box capture: on panic (see [`install_panic_hook`])
+    /// and on clean shutdown, a [`BlackBox`] is persisted into `dir`
+    /// with `metrics` supplying the snapshot JSON.
+    pub fn arm_blackbox(&self, dir: PathBuf, metrics: Box<dyn Fn() -> String + Send + Sync>) {
+        *self.blackbox.lock() = Some(BlackBoxArm { dir, metrics });
+    }
+
+    /// Whether black-box capture is armed.
+    #[must_use]
+    pub fn blackbox_armed(&self) -> bool {
+        self.blackbox.lock().is_some()
+    }
+
+    /// Captures and durably writes a black box (flight recorder, open
+    /// trace rings, metrics snapshot) if armed. Returns the written
+    /// path; `None` when unarmed or on I/O failure — a black box is
+    /// best-effort forensics and must never turn a shutdown or panic
+    /// into a second failure.
+    pub fn write_blackbox(&self, reason: &str) -> Option<PathBuf> {
+        let guard = self.blackbox.lock();
+        let arm = guard.as_ref()?;
+        let bb = BlackBox {
+            reason: reason.to_string(),
+            events: self.recorder.drain().events,
+            spans: self.tracer.drain(),
+            metrics_json: (arm.metrics)(),
+        };
+        bb.save(&arm.dir).ok()
+    }
+
+    /// Rotates a pre-existing black box in `dir` to
+    /// [`BLACKBOX_PREV_FILE`] so a new run never clobbers the previous
+    /// run's forensics. No-op when none exists.
+    pub fn rotate_blackbox(dir: &Path) -> std::io::Result<()> {
+        let cur = dir.join(BLACKBOX_FILE);
+        if cur.exists() {
+            std::fs::rename(&cur, dir.join(BLACKBOX_PREV_FILE))?;
+        }
+        Ok(())
+    }
 }
 
 /// Installs a panic hook that dumps `obs`'s flight recorder to stderr
-/// before the default hook runs. Meant for experiment binaries, where a
-/// panic should leave a forensic trace; libraries should not call this.
+/// and, when black-box capture is armed, persists a [`BlackBox`] into
+/// the database directory before the default hook runs. Meant for
+/// experiment binaries, where a panic should leave a forensic trace;
+/// libraries should not call this.
 pub fn install_panic_hook(obs: Arc<Obs>) {
     let prev = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
@@ -280,6 +405,9 @@ pub fn install_panic_hook(obs: Arc<Obs>) {
             trace.len(),
             trace.render()
         );
+        if let Some(path) = obs.write_blackbox(&format!("panic: {info}")) {
+            eprintln!("=== black box written to {} ===", path.display());
+        }
         prev(info);
     }));
 }
@@ -353,6 +481,72 @@ mod tests {
         snap.add("latency", obs.spans());
         assert_eq!(snap.get("latency", "log_force_ns"), Some(1));
         assert!(snap.to_json().contains("\"log_force_ns\""));
+    }
+
+    #[test]
+    fn sample_trace_gates_and_notes_in_recorder() {
+        let obs = Obs::new(Arc::new(SimClock::new()), true);
+        assert_eq!(
+            obs.sample_trace(),
+            TraceCtx::NONE,
+            "sampling off by default"
+        );
+        obs.set_trace_sampling(2);
+        let sampled = (0..10).filter(|_| obs.sample_trace().sampled()).count();
+        assert_eq!(sampled, 5);
+        let trace = obs.drain_trace();
+        assert_eq!(trace.of_kind(EventKind::TraceSampled).count(), 5);
+        // Disabled obs never samples even with the knob armed.
+        obs.set_enabled(false);
+        assert_eq!(obs.sample_trace(), TraceCtx::NONE);
+    }
+
+    #[test]
+    fn trace_spans_flow_through_obs() {
+        let obs = Obs::new(Arc::new(SimClock::new()), true);
+        obs.set_trace_sampling(1);
+        let ctx = obs.sample_trace();
+        {
+            let root = obs.trace_span(ctx, SpanKind::PutAuto, WaitClass::Run, 0);
+            let _child = obs.trace_span(root.ctx(), SpanKind::Commit, WaitClass::Run, 0);
+        }
+        let stitched = obs.tracer().drain_trees();
+        assert_eq!(stitched.trees.len(), 1);
+        assert_eq!(stitched.trees[0].span_count(), 2);
+    }
+
+    #[test]
+    fn blackbox_write_requires_arming_and_round_trips() {
+        let obs = Obs::new(Arc::new(SimClock::new()), true);
+        assert!(obs.write_blackbox("too early").is_none());
+        let dir = tempdir::TempDir::new("obs_bb").unwrap();
+        obs.arm_blackbox(dir.path().to_path_buf(), Box::new(|| "{\"x\":1}".into()));
+        assert!(obs.blackbox_armed());
+        obs.emit(EventKind::FaultDetected, 7, detector::CHECKSUM);
+        obs.set_trace_sampling(1);
+        let ctx = obs.sample_trace();
+        {
+            let _s = obs.trace_span(ctx, SpanKind::Get, WaitClass::Run, 0);
+        }
+        let path = obs.write_blackbox("unit test").expect("armed write");
+        let bb = BlackBox::load(&path).unwrap();
+        assert_eq!(bb.reason, "unit test");
+        assert!(bb.events.iter().any(|e| e.kind == EventKind::FaultDetected));
+        assert!(bb.spans.iter().any(|s| s.kind == SpanKind::Get));
+        assert_eq!(bb.metrics_json, "{\"x\":1}");
+    }
+
+    #[test]
+    fn blackbox_rotation_moves_old_box_aside() {
+        let dir = tempdir::TempDir::new("obs_rot").unwrap();
+        Obs::rotate_blackbox(dir.path()).unwrap(); // no-op when absent
+        let obs = Obs::new(Arc::new(SimClock::new()), true);
+        obs.arm_blackbox(dir.path().to_path_buf(), Box::new(String::new));
+        obs.write_blackbox("first run").unwrap();
+        Obs::rotate_blackbox(dir.path()).unwrap();
+        assert!(!dir.path().join(BLACKBOX_FILE).exists());
+        let prev = BlackBox::load(&dir.path().join(BLACKBOX_PREV_FILE)).unwrap();
+        assert_eq!(prev.reason, "first run");
     }
 
     #[test]

@@ -55,11 +55,16 @@ pub enum EventKind {
     /// A foreground fetch hit (or coalesced behind) a prefetched page
     /// before it was referenced (`a` = page id).
     PrefetchHit = 14,
+    /// An operation passed the trace sampling gate (`a` = trace id).
+    TraceSampled = 15,
+    /// The background-I/O governor withheld tokens before an I/O
+    /// (`a` = pages requested, `b` = wait nanos).
+    GovernorThrottle = 16,
 }
 
 impl EventKind {
     /// All variants, for exposition and tests.
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::TxCommit,
         EventKind::LogForce,
         EventKind::PageMiss,
@@ -74,6 +79,8 @@ impl EventKind {
         EventKind::ScrubSweep,
         EventKind::PrefetchIssued,
         EventKind::PrefetchHit,
+        EventKind::TraceSampled,
+        EventKind::GovernorThrottle,
     ];
 
     /// Short stable name used in trace dumps and JSON.
@@ -94,10 +101,12 @@ impl EventKind {
             EventKind::ScrubSweep => "scrub_sweep",
             EventKind::PrefetchIssued => "prefetch_issued",
             EventKind::PrefetchHit => "prefetch_hit",
+            EventKind::TraceSampled => "trace_sampled",
+            EventKind::GovernorThrottle => "governor_throttle",
         }
     }
 
-    fn from_code(code: u8) -> Option<Self> {
+    pub(crate) fn from_code(code: u8) -> Option<Self> {
         EventKind::ALL.get(code.wrapping_sub(1) as usize).copied()
     }
 }

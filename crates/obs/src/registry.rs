@@ -206,6 +206,130 @@ impl MetricsSnapshot {
     }
 }
 
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parse-validates Prometheus text exposition as produced by
+/// [`MetricsSnapshot::to_prometheus`]: every line is either a `# TYPE`
+/// declaration or a `name[{labels}] value` sample, every sample belongs
+/// to a family declared exactly once before it, and every `summary`
+/// family exposes `_count`, `_sum`, and at least one quantile series.
+/// Returns the first violation. Used by the serialization tests and
+/// available to scrape-endpoint smoke checks.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    let mut families: Vec<(String, String)> = Vec::new(); // (name, type)
+    let mut sampled: Vec<(String, bool, bool, bool)> = Vec::new(); // (family, count, sum, quantile)
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let (Some(name), Some(ty), None) = (it.next(), it.next(), it.next()) else {
+                return Err(format!("line {ln}: malformed TYPE line {line:?}"));
+            };
+            if !valid_metric_name(name) {
+                return Err(format!("line {ln}: invalid family name {name:?}"));
+            }
+            if !matches!(ty, "counter" | "gauge" | "summary") {
+                return Err(format!("line {ln}: unknown metric type {ty:?}"));
+            }
+            if families.iter().any(|(n, _)| n == name) {
+                return Err(format!("line {ln}: family {name:?} declared twice"));
+            }
+            families.push((name.to_string(), ty.to_string()));
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("line {ln}: unexpected comment {line:?}"));
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            return Err(format!("line {ln}: sample without value {line:?}"));
+        };
+        if value.parse::<f64>().is_err() {
+            return Err(format!("line {ln}: unparseable value {value:?}"));
+        }
+        let (name, labels) = match series.split_once('{') {
+            Some((name, rest)) => {
+                let Some(labels) = rest.strip_suffix('}') else {
+                    return Err(format!("line {ln}: unterminated label set {series:?}"));
+                };
+                (name, Some(labels))
+            }
+            None => (series, None),
+        };
+        if !valid_metric_name(name) {
+            return Err(format!("line {ln}: invalid metric name {name:?}"));
+        }
+        if let Some(labels) = labels {
+            for pair in labels.split(',') {
+                let Some((k, v)) = pair.split_once('=') else {
+                    return Err(format!("line {ln}: malformed label {pair:?}"));
+                };
+                if !valid_metric_name(k) || !v.starts_with('"') || !v.ends_with('"') {
+                    return Err(format!("line {ln}: malformed label {pair:?}"));
+                }
+            }
+        }
+        // Resolve the family: the name itself, or name minus a summary
+        // suffix. The family must have been declared above this sample.
+        let family = families
+            .iter()
+            .find(|(n, _)| {
+                n == name
+                    || (name.strip_suffix("_count") == Some(n))
+                    || (name.strip_suffix("_sum") == Some(n))
+            })
+            .cloned();
+        let Some((family, ty)) = family else {
+            return Err(format!(
+                "line {ln}: sample {name:?} has no TYPE declaration"
+            ));
+        };
+        if family != name && (name.ends_with("_count") || name.ends_with("_sum")) && ty != "summary"
+        {
+            return Err(format!(
+                "line {ln}: suffixed sample {name:?} on non-summary family {family:?}"
+            ));
+        }
+        let entry = match sampled.iter_mut().find(|(f, ..)| *f == family) {
+            Some(e) => e,
+            None => {
+                sampled.push((family.clone(), false, false, false));
+                sampled.last_mut().expect("just pushed")
+            }
+        };
+        if name.strip_suffix("_count") == Some(family.as_str()) {
+            entry.1 = true;
+        } else if name.strip_suffix("_sum") == Some(family.as_str()) {
+            entry.2 = true;
+        } else if labels.is_some_and(|l| l.contains("quantile=")) {
+            entry.3 = true;
+        }
+    }
+    for (name, ty) in &families {
+        if ty == "summary" {
+            let Some((_, count, sum, quantile)) = sampled.iter().find(|(f, ..)| f == name) else {
+                return Err(format!("summary family {name:?} has no samples"));
+            };
+            if !count || !sum || !quantile {
+                return Err(format!(
+                    "summary family {name:?} missing _count/_sum/quantile series \
+                     (count={count}, sum={sum}, quantile={quantile})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,5 +388,37 @@ mod tests {
         assert!(p.contains("# TYPE spf_pool_resident gauge"));
         assert!(p.contains("spf_pool_latency{quantile=\"0.99\"} 20"));
         assert!(p.contains("spf_pool_latency_count 2"));
+    }
+
+    #[test]
+    fn prometheus_output_parse_validates() {
+        let mut snap = MetricsSnapshot::new();
+        snap.add("pool", &Fake);
+        snap.add("wal", &Fake);
+        validate_prometheus(&snap.to_prometheus()).expect("exposition must parse");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_exposition() {
+        // A sample with no TYPE declaration.
+        assert!(validate_prometheus("spf_pool_hits 10\n").is_err());
+        // A duplicate family declaration.
+        assert!(
+            validate_prometheus("# TYPE spf_x counter\n# TYPE spf_x counter\nspf_x 1\n").is_err()
+        );
+        // A summary without its _count/_sum series.
+        assert!(
+            validate_prometheus("# TYPE spf_lat summary\nspf_lat{quantile=\"0.5\"} 1\n").is_err()
+        );
+        // An unparseable value.
+        assert!(validate_prometheus("# TYPE spf_x gauge\nspf_x banana\n").is_err());
+        // An unterminated label set.
+        assert!(validate_prometheus("# TYPE spf_x gauge\nspf_x{quantile=\"1\" 2\n").is_err());
+        // A well-formed summary passes.
+        validate_prometheus(
+            "# TYPE spf_lat summary\nspf_lat_count 2\nspf_lat_sum 30\n\
+             spf_lat{quantile=\"0.5\"} 10\n",
+        )
+        .expect("well-formed summary");
     }
 }

@@ -24,9 +24,10 @@
 //! throttles background work, so the foreground preempts by
 //! construction.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
+use spf_obs::{ActiveSpan, EventKind, Obs, SpanKind, TraceCtx, WaitClass};
 use spf_util::{SimClock, SimDuration};
 
 /// Token-bucket units: one page = `PAGE_UNITS` nano-pages, so refill
@@ -136,6 +137,7 @@ pub struct IoGovernor {
     config: GovernorConfig,
     clock: Arc<SimClock>,
     bucket: Mutex<Bucket>,
+    obs: OnceLock<Arc<Obs>>,
 }
 
 impl std::fmt::Debug for IoGovernor {
@@ -161,7 +163,16 @@ impl IoGovernor {
                 refilled_at: now,
                 stats: GovernorStats::default(),
             }),
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Installs the observability handle: throttle waits then surface in
+    /// the flight recorder ([`EventKind::GovernorThrottle`]) and, in
+    /// sampled traces, as `GovernorWait` spans. At most one handle per
+    /// governor; later calls are ignored.
+    pub fn attach_obs(&self, obs: Arc<Obs>) {
+        let _ = self.obs.set(obs);
     }
 
     /// The configuration in force.
@@ -204,6 +215,14 @@ impl IoGovernor {
     /// draw then succeeds. Also yields the OS thread so foreground work
     /// gets through on real hardware.
     pub fn acquire(&self, kind: BackgroundIo, pages: u64) {
+        self.acquire_traced(kind, pages, TraceCtx::NONE);
+    }
+
+    /// [`acquire`](IoGovernor::acquire) within a sampled trace: a draw
+    /// that has to wait for refill records a `GovernorWait` span (its
+    /// payload word is the simulated idle charged) and a
+    /// `GovernorThrottle` flight-recorder event.
+    pub fn acquire_traced(&self, kind: BackgroundIo, pages: u64, ctx: TraceCtx) {
         let Some(rate) = self.config.pages_per_sec else {
             self.bucket.lock().stats.grant(kind, pages);
             return;
@@ -216,6 +235,23 @@ impl IoGovernor {
             // ceil(shortfall / rate) nanoseconds buys the missing budget.
             let wait_nanos =
                 (shortfall.div_ceil(u128::from(rate))).min(u128::from(u64::MAX)) as u64;
+            let mut span = match self.obs.get() {
+                Some(o) => {
+                    o.emit(EventKind::GovernorThrottle, pages, wait_nanos);
+                    if ctx.sampled() {
+                        o.trace_span(
+                            ctx,
+                            SpanKind::GovernorWait,
+                            WaitClass::GovernorThrottle,
+                            pages,
+                        )
+                    } else {
+                        ActiveSpan::inert()
+                    }
+                }
+                None => ActiveSpan::inert(),
+            };
+            span.set_a(wait_nanos);
             let wait = SimDuration::from_nanos(wait_nanos);
             self.clock.advance(wait);
             bucket.stats.throttle_waits += 1;
@@ -346,6 +382,47 @@ mod tests {
             GovernorConfig::from_scrub(usize::MAX, SimDuration::from_millis(1)),
             GovernorConfig::unthrottled()
         );
+    }
+
+    #[test]
+    fn throttle_wait_emits_event_and_trace_span() {
+        let clock = Arc::new(SimClock::new());
+        let gov = IoGovernor::new(
+            GovernorConfig {
+                pages_per_sec: Some(1000),
+                burst: 1,
+            },
+            Arc::clone(&clock),
+        );
+        let obs = Arc::new(Obs::new(Arc::clone(&clock), true));
+        obs.set_trace_sampling(1);
+        gov.attach_obs(Arc::clone(&obs));
+
+        let ctx = obs.sample_trace();
+        gov.acquire_traced(BackgroundIo::Scrub, 1, ctx); // burst: no wait
+        gov.acquire_traced(BackgroundIo::Scrub, 1, ctx); // must wait 1 ms
+
+        let throttles: Vec<_> = obs
+            .drain_trace()
+            .events
+            .into_iter()
+            .filter(|e| e.kind == EventKind::GovernorThrottle)
+            .collect();
+        assert_eq!(throttles.len(), 1);
+        assert_eq!(throttles[0].a, 1, "pages requested");
+        assert_eq!(throttles[0].b, 1_000_000, "simulated wait nanos");
+
+        let stitched = obs.tracer().drain_trees();
+        let tree = stitched.tree(ctx.trace_id).expect("sampled trace");
+        let mut wait = None;
+        tree.each_node(|n| {
+            if n.record.kind == SpanKind::GovernorWait {
+                wait = Some(n.record);
+            }
+        });
+        let span = wait.expect("governor wait span");
+        assert_eq!(span.class, WaitClass::GovernorThrottle);
+        assert_eq!(span.a, 1_000_000, "span payload carries the idle charged");
     }
 
     #[test]

@@ -384,6 +384,26 @@ impl Scrubber {
             .obs
             .get()
             .map_or_else(spf_obs::SpanGuard::inert, |o| o.span(Span::ScrubSweep));
+        // Sweeps are sampled like foreground operations: a sampled sweep
+        // becomes its own trace tree, with any governor throttling as
+        // child wait spans.
+        let tspan = match self.obs.get() {
+            Some(o) => {
+                let ctx = o.sample_trace();
+                if ctx.sampled() {
+                    o.tracer().begin(
+                        ctx,
+                        spf_obs::SpanKind::ScrubSweep,
+                        spf_obs::WaitClass::Run,
+                        0,
+                    )
+                } else {
+                    spf_obs::ActiveSpan::inert()
+                }
+            }
+            None => spf_obs::ActiveSpan::inert(),
+        };
+        let tctx = tspan.ctx();
         let mut report = ScrubCycleReport::default();
         {
             let mut state = self.state.lock();
@@ -405,7 +425,7 @@ impl Scrubber {
             if let Some(gov) = self.governor.get() {
                 // Unified budget: pay for the page before reading it,
                 // idling the simulated clock if the bucket is short.
-                gov.acquire(BackgroundIo::Scrub, 1);
+                gov.acquire_traced(BackgroundIo::Scrub, 1, tctx);
             }
             if !self.scrub_page(PageId(pid), &mut image, &mut report) {
                 completed = false;

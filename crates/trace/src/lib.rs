@@ -1,0 +1,219 @@
+//! Causal per-operation tracing for the single-page-failure engine.
+//!
+//! `spf-obs` answers aggregate questions (MTTD, p99 commit latency);
+//! this crate answers the per-operation one: *where did this specific
+//! slow commit spend its time, and whose log force made it durable?*
+//!
+//! - A [`TraceCtx`] is allocated for a sampled operation and threaded
+//!   **by value** through tree descent, buffer-pool fetch, commit, and
+//!   the WAL force path — no thread-local magic on the hot path, so a
+//!   span started on one thread can reference work done on another.
+//! - Each timed region is an [`ActiveSpan`] that records a compact
+//!   fixed-width [`SpanRecord`] into a per-thread seqlock ring
+//!   ([`Tracer`]) on drop, reusing the flight-recorder discipline:
+//!   single-writer rings, torn slots detected and skipped by drainers,
+//!   newest [`TRACE_RING_SLOTS`] spans per thread survive.
+//! - Every span carries a [`WaitClass`], so a drained trace decomposes
+//!   end-to-end latency into an exhaustive wait breakdown
+//!   ([`TraceTree::wait_profile`]).
+//! - Drained records are stitched into [`TraceTree`]s by trace id and
+//!   exported as Chrome `chrome://tracing` JSON or a collapsed
+//!   flamegraph rollup.
+//!
+//! Unsampled operations pay one relaxed load and a branch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ring;
+mod tree;
+
+pub use ring::{ActiveSpan, SpanRecord, Tracer, TracerStats, TRACE_RING_SLOTS};
+pub use tree::{render_flame, stitch, to_chrome_json, SpanNode, Stitched, TraceTree, WaitProfile};
+
+/// Sampled trace identity, passed **by value** through the engine.
+///
+/// `trace_id == 0` is the "unsampled" sentinel: every traced entry point
+/// checks it with one branch and does nothing else. `span_seq` is the
+/// span id of the enclosing span — children started under this context
+/// attach to it (0 at the root of a trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Trace this operation belongs to (0 = unsampled).
+    pub trace_id: u64,
+    /// Enclosing span id (0 = root of the trace).
+    pub span_seq: u64,
+}
+
+impl TraceCtx {
+    /// The unsampled sentinel; all tracing calls are no-ops under it.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: 0,
+        span_seq: 0,
+    };
+
+    /// Whether this operation was sampled for tracing.
+    #[inline]
+    #[must_use]
+    pub fn sampled(self) -> bool {
+        self.trace_id != 0
+    }
+}
+
+impl Default for TraceCtx {
+    fn default() -> Self {
+        TraceCtx::NONE
+    }
+}
+
+/// What a span was *doing* — the operation taxonomy. Discriminants are
+/// packed into ring slots, so variants must stay `u8`-sized and stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// `Database::put_auto` end to end (trace root).
+    PutAuto = 1,
+    /// A read operation end to end (trace root).
+    Get = 2,
+    /// B-tree descent + leaf operation.
+    Descent = 3,
+    /// Buffer-pool miss: device read + verify + install, or the
+    /// coalesced wait behind another thread's in-flight read.
+    PageMiss = 4,
+    /// Blocking acquisition of a page latch after a failed try.
+    LatchWait = 5,
+    /// Transaction commit including the log-force wait.
+    Commit = 6,
+    /// WAL group-leader force (write + sync). Followers link to it.
+    LogForce = 7,
+    /// Group-commit follower waiting for a leader's force batch.
+    ForceWait = 8,
+    /// Background-I/O governor withheld tokens before an I/O.
+    GovernorWait = 9,
+    /// Single-page repair (backup fetch + log replay).
+    Repair = 10,
+    /// One scrubber sweep (trace root when sampled).
+    ScrubSweep = 11,
+}
+
+impl SpanKind {
+    /// All variants, for exposition and tests.
+    pub const ALL: [SpanKind; 11] = [
+        SpanKind::PutAuto,
+        SpanKind::Get,
+        SpanKind::Descent,
+        SpanKind::PageMiss,
+        SpanKind::LatchWait,
+        SpanKind::Commit,
+        SpanKind::LogForce,
+        SpanKind::ForceWait,
+        SpanKind::GovernorWait,
+        SpanKind::Repair,
+        SpanKind::ScrubSweep,
+    ];
+
+    /// Short stable name used in exports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::PutAuto => "put_auto",
+            SpanKind::Get => "get",
+            SpanKind::Descent => "descent",
+            SpanKind::PageMiss => "page_miss",
+            SpanKind::LatchWait => "latch_wait",
+            SpanKind::Commit => "commit",
+            SpanKind::LogForce => "log_force",
+            SpanKind::ForceWait => "force_wait",
+            SpanKind::GovernorWait => "governor_wait",
+            SpanKind::Repair => "repair",
+            SpanKind::ScrubSweep => "scrub_sweep",
+        }
+    }
+
+    /// Decodes a packed discriminant (None for unknown codes).
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        SpanKind::ALL.get(code.wrapping_sub(1) as usize).copied()
+    }
+}
+
+/// What a span's time *was* — the exhaustive wait-state taxonomy. A
+/// trace's end-to-end latency decomposes into these classes by
+/// exclusive span time (see [`TraceTree::wait_profile`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum WaitClass {
+    /// On-CPU (or at least not in a recognized wait): the remainder.
+    Run = 0,
+    /// Blocked acquiring a page latch.
+    LatchWait = 1,
+    /// Waiting for a log force — one's own or a group leader's batch.
+    ForceWait = 2,
+    /// Waiting on a buffer-pool miss read (own or coalesced).
+    MissIo = 3,
+    /// Throttled by the background-I/O governor's token bucket.
+    GovernorThrottle = 4,
+    /// Waiting for an inline single-page repair.
+    RepairWait = 5,
+}
+
+impl WaitClass {
+    /// All variants, in discriminant order (indexable by `as usize`).
+    pub const ALL: [WaitClass; 6] = [
+        WaitClass::Run,
+        WaitClass::LatchWait,
+        WaitClass::ForceWait,
+        WaitClass::MissIo,
+        WaitClass::GovernorThrottle,
+        WaitClass::RepairWait,
+    ];
+
+    /// Short stable name used in exports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            WaitClass::Run => "run",
+            WaitClass::LatchWait => "latch_wait",
+            WaitClass::ForceWait => "force_wait",
+            WaitClass::MissIo => "miss_io",
+            WaitClass::GovernorThrottle => "governor_throttle",
+            WaitClass::RepairWait => "repair_wait",
+        }
+    }
+
+    /// Decodes a packed discriminant (None for unknown codes).
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        WaitClass::ALL.get(code as usize).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_sentinel_is_unsampled() {
+        assert!(!TraceCtx::NONE.sampled());
+        assert!(!TraceCtx::default().sampled());
+        assert!(TraceCtx {
+            trace_id: 7,
+            span_seq: 0
+        }
+        .sampled());
+    }
+
+    #[test]
+    fn kind_and_class_codes_round_trip() {
+        for k in SpanKind::ALL {
+            assert_eq!(SpanKind::from_code(k as u8), Some(k));
+        }
+        assert_eq!(SpanKind::from_code(0), None);
+        assert_eq!(SpanKind::from_code(200), None);
+        for (i, c) in WaitClass::ALL.into_iter().enumerate() {
+            assert_eq!(c as usize, i, "WaitClass must be densely indexable");
+            assert_eq!(WaitClass::from_code(c as u8), Some(c));
+        }
+        assert_eq!(WaitClass::from_code(99), None);
+    }
+}

@@ -1,0 +1,736 @@
+//! Per-thread seqlock span rings and the [`Tracer`] that owns them.
+//!
+//! Same discipline as the flight recorder in `spf-obs`: each emitting
+//! thread owns a single-writer ring of versioned fixed-width slots, so
+//! recording a span is wait-free; drainers re-check the version word and
+//! skip torn slots. The newest [`TRACE_RING_SLOTS`] spans per thread
+//! survive, bounding memory for arbitrarily long runs.
+
+use std::fmt;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use spf_util::{codec::DecodeError, Decoder, Encoder};
+
+use crate::{SpanKind, TraceCtx, WaitClass};
+
+/// Spans retained per emitting thread (power of two).
+pub const TRACE_RING_SLOTS: usize = 256;
+
+/// Kind/class live in the top two bytes of word 0; a 48-bit per-thread
+/// sequence number below them doubles as the stale-slot detector.
+const SEQ_MASK: u64 = (1 << 48) - 1;
+
+/// A decoded trace span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Emitting thread's ring id (stable for the thread's lifetime).
+    pub thread: u64,
+    /// Per-thread sequence number (strictly increasing within a thread).
+    pub seq: u64,
+    /// Trace this span belongs to (0 = infrastructure work recorded
+    /// outside any sampled trace, e.g. a group-commit leader's force
+    /// that unsampled followers still link to).
+    pub trace_id: u64,
+    /// Globally unique span id within the tracer.
+    pub span_id: u64,
+    /// Parent span id (0 = root of its trace).
+    pub parent: u64,
+    /// What the span was doing.
+    pub kind: SpanKind,
+    /// What its time counts as in the wait breakdown.
+    pub class: WaitClass,
+    /// Start, in nanoseconds since the tracer was created.
+    pub start_nanos: u64,
+    /// Duration in nanoseconds.
+    pub dur_nanos: u64,
+    /// Kind-specific payload (page id, LSN, ...).
+    pub a: u64,
+    /// Cross-trace causal link: span id of the work this span waited on
+    /// (0 = none). Set by group-commit followers to the leader's
+    /// `LogForce` span.
+    pub link: u64,
+}
+
+impl SpanRecord {
+    /// End of the span, in nanoseconds since the tracer was created.
+    #[must_use]
+    pub fn end_nanos(&self) -> u64 {
+        self.start_nanos.saturating_add(self.dur_nanos)
+    }
+
+    /// Fixed-width binary encoding (for the crash black box).
+    pub fn encode(&self, e: &mut Encoder) {
+        e.put_u64(self.thread);
+        e.put_u64(self.seq);
+        e.put_u64(self.trace_id);
+        e.put_u64(self.span_id);
+        e.put_u64(self.parent);
+        e.put_u8(self.kind as u8);
+        e.put_u8(self.class as u8);
+        e.put_u64(self.start_nanos);
+        e.put_u64(self.dur_nanos);
+        e.put_u64(self.a);
+        e.put_u64(self.link);
+    }
+
+    /// Decodes one record written by [`SpanRecord::encode`].
+    pub fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let thread = d.get_u64()?;
+        let seq = d.get_u64()?;
+        let trace_id = d.get_u64()?;
+        let span_id = d.get_u64()?;
+        let parent = d.get_u64()?;
+        let kind_code = d.get_u8()?;
+        let kind = SpanKind::from_code(kind_code).ok_or(DecodeError::InvalidTag {
+            tag: kind_code,
+            what: "SpanKind",
+        })?;
+        let class_code = d.get_u8()?;
+        let class = WaitClass::from_code(class_code).ok_or(DecodeError::InvalidTag {
+            tag: class_code,
+            what: "WaitClass",
+        })?;
+        Ok(Self {
+            thread,
+            seq,
+            trace_id,
+            span_id,
+            parent,
+            kind,
+            class,
+            start_nanos: d.get_u64()?,
+            dur_nanos: d.get_u64()?,
+            a: d.get_u64()?,
+            link: d.get_u64()?,
+        })
+    }
+}
+
+impl fmt::Display for SpanRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[trace {} span {} <- {} t{}] {:<13} {:<17} start={}ns dur={}ns a={} link={}",
+            self.trace_id,
+            self.span_id,
+            self.parent,
+            self.thread,
+            self.kind.name(),
+            self.class.name(),
+            self.start_nanos,
+            self.dur_nanos,
+            self.a,
+            self.link
+        )
+    }
+}
+
+/// One seqlock-protected slot: `ver` is odd while a write is in flight.
+#[derive(Debug)]
+struct Slot {
+    ver: AtomicU64,
+    words: [AtomicU64; 8],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            ver: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A single-writer span ring. Only the owning thread pushes; any thread
+/// may collect.
+#[derive(Debug)]
+struct ThreadRing {
+    id: u64,
+    /// Next sequence number; doubles as the ring head.
+    head: AtomicU64,
+    /// Everything below this sequence number has been drained already.
+    /// Only touched under the tracer's ring-list lock (drainers
+    /// serialize); the owning writer never reads it.
+    drained: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+impl ThreadRing {
+    fn new(id: u64) -> Self {
+        Self {
+            id,
+            head: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            slots: (0..TRACE_RING_SLOTS).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    fn push(&self, rec: &SpanRecord) {
+        let seq = self.head.load(Ordering::Relaxed) & SEQ_MASK;
+        let idx = (seq as usize) & (TRACE_RING_SLOTS - 1);
+        let w0 = ((rec.kind as u64) << 56) | ((rec.class as u64) << 48) | seq;
+        let slot = &self.slots[idx];
+        let v = slot.ver.load(Ordering::Relaxed);
+        slot.ver.store(v | 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.words[0].store(w0, Ordering::Relaxed);
+        slot.words[1].store(rec.trace_id, Ordering::Relaxed);
+        slot.words[2].store(rec.span_id, Ordering::Relaxed);
+        slot.words[3].store(rec.parent, Ordering::Relaxed);
+        slot.words[4].store(rec.start_nanos, Ordering::Relaxed);
+        slot.words[5].store(rec.dur_nanos, Ordering::Relaxed);
+        slot.words[6].store(rec.a, Ordering::Relaxed);
+        slot.words[7].store(rec.link, Ordering::Relaxed);
+        slot.ver.store((v | 1).wrapping_add(1), Ordering::Release);
+        self.head.store(seq.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Seqlock read side: keep a slot only if its version word is even
+    /// and unchanged across the payload reads. Consuming: spans below
+    /// the drained watermark were handed out before and are skipped;
+    /// spans pushed after the head snapshot wait for the next drain.
+    fn collect(&self, out: &mut Vec<SpanRecord>) {
+        let floor = self.drained.load(Ordering::Relaxed);
+        let ceiling = self.head.load(Ordering::Acquire) & SEQ_MASK;
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let v1 = slot.ver.load(Ordering::Acquire);
+            if v1 == 0 || v1 & 1 == 1 {
+                continue;
+            }
+            let w: [u64; 8] = std::array::from_fn(|i| slot.words[i].load(Ordering::Relaxed));
+            fence(Ordering::Acquire);
+            if slot.ver.load(Ordering::Relaxed) != v1 {
+                continue; // torn: writer landed mid-read
+            }
+            let seq = w[0] & SEQ_MASK;
+            if (seq as usize) & (TRACE_RING_SLOTS - 1) != idx {
+                continue; // stale slot from before a wrap reset
+            }
+            if seq < floor || seq >= ceiling {
+                continue; // already drained, or pushed mid-collect
+            }
+            let Some(kind) = SpanKind::from_code((w[0] >> 56) as u8) else {
+                continue;
+            };
+            let Some(class) = WaitClass::from_code((w[0] >> 48) as u8) else {
+                continue;
+            };
+            out.push(SpanRecord {
+                thread: self.id,
+                seq,
+                trace_id: w[1],
+                span_id: w[2],
+                parent: w[3],
+                kind,
+                class,
+                start_nanos: w[4],
+                dur_nanos: w[5],
+                a: w[6],
+                link: w[7],
+            });
+        }
+        self.drained.store(ceiling, Ordering::Relaxed);
+    }
+}
+
+/// Counters summarizing a tracer's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TracerStats {
+    /// Operations that passed the sampling gate and got a trace id.
+    pub sampled_traces: u64,
+    /// Spans recorded into rings (sampled + orphan infrastructure).
+    pub spans_recorded: u64,
+    /// Registered per-thread rings.
+    pub rings: u64,
+}
+
+static TRACER_UID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// (tracer uid → this thread's ring) cache, mirroring the flight
+    /// recorder's: a Vec beats a map at one or two engines per process.
+    static TLS_RINGS: std::cell::RefCell<Vec<(u64, Arc<ThreadRing>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Allocates trace/span ids, owns the per-thread rings, and applies the
+/// sampling gate. One per database instance (inside `Obs`).
+pub struct Tracer {
+    uid: u64,
+    rings: Mutex<Vec<Arc<ThreadRing>>>,
+    next_ring: AtomicU64,
+    /// Next trace id (starts at 1; 0 is the unsampled sentinel).
+    next_trace: AtomicU64,
+    /// Next span id (starts at 1; 0 means "no span"). Only sampled
+    /// operations allocate, so contention is 1/sample_every.
+    next_span: AtomicU64,
+    origin: Instant,
+    /// Sample one operation in N (0 = tracing off).
+    sample_every: AtomicU64,
+    ops: AtomicU64,
+    sampled: AtomicU64,
+    recorded: AtomicU64,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("uid", &self.uid)
+            .field("sample_every", &self.sample_every.load(Ordering::Relaxed))
+            .field("rings", &self.rings.lock().len())
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// Creates a tracer with sampling off.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            uid: TRACER_UID.fetch_add(1, Ordering::Relaxed),
+            rings: Mutex::new(Vec::new()),
+            next_ring: AtomicU64::new(0),
+            next_trace: AtomicU64::new(1),
+            next_span: AtomicU64::new(1),
+            origin: Instant::now(),
+            sample_every: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+            sampled: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the sampling rate: one operation in `every` gets a trace
+    /// (0 turns tracing off).
+    pub fn set_sample_every(&self, every: u64) {
+        self.sample_every.store(every, Ordering::Relaxed);
+    }
+
+    /// Current sampling rate (0 = off).
+    #[must_use]
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every.load(Ordering::Relaxed)
+    }
+
+    /// Whether any sampling is armed (one relaxed load).
+    #[inline]
+    #[must_use]
+    pub fn sampling_on(&self) -> bool {
+        self.sample_every.load(Ordering::Relaxed) != 0
+    }
+
+    /// Nanoseconds since the tracer was created (the span time base).
+    #[must_use]
+    pub fn now_nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// The sampling gate: returns a fresh root context for one in
+    /// `sample_every` calls, [`TraceCtx::NONE`] otherwise. Unsampled
+    /// callers pay one load, one fetch-add, and a branch.
+    #[inline]
+    pub fn sample(&self) -> TraceCtx {
+        let every = self.sample_every.load(Ordering::Relaxed);
+        if every == 0 {
+            return TraceCtx::NONE;
+        }
+        let n = self.ops.fetch_add(1, Ordering::Relaxed);
+        if !n.is_multiple_of(every) {
+            return TraceCtx::NONE;
+        }
+        self.sampled.fetch_add(1, Ordering::Relaxed);
+        TraceCtx {
+            trace_id: self.next_trace.fetch_add(1, Ordering::Relaxed),
+            span_seq: 0,
+        }
+    }
+
+    /// Starts a span under `ctx`. Inert (no clock read, nothing
+    /// recorded) when the context is unsampled.
+    #[inline]
+    pub fn begin(&self, ctx: TraceCtx, kind: SpanKind, class: WaitClass, a: u64) -> ActiveSpan<'_> {
+        if !ctx.sampled() {
+            return ActiveSpan { armed: None };
+        }
+        self.begin_armed(ctx.trace_id, ctx.span_seq, kind, class, a)
+    }
+
+    /// Starts an *orphan* span: infrastructure work outside any sampled
+    /// trace (trace id 0) that sampled spans may still [`link`] to —
+    /// e.g. a group-commit leader's force batch whose own operation was
+    /// not sampled. Inert when sampling is off entirely.
+    ///
+    /// [`link`]: SpanRecord::link
+    #[inline]
+    pub fn begin_orphan(&self, kind: SpanKind, class: WaitClass, a: u64) -> ActiveSpan<'_> {
+        if !self.sampling_on() {
+            return ActiveSpan { armed: None };
+        }
+        self.begin_armed(0, 0, kind, class, a)
+    }
+
+    fn begin_armed(
+        &self,
+        trace_id: u64,
+        parent: u64,
+        kind: SpanKind,
+        class: WaitClass,
+        a: u64,
+    ) -> ActiveSpan<'_> {
+        ActiveSpan {
+            armed: Some(ArmedSpan {
+                tracer: self,
+                trace_id,
+                span_id: self.next_span.fetch_add(1, Ordering::Relaxed),
+                parent,
+                kind,
+                class,
+                a,
+                link: 0,
+                start_nanos: self.now_nanos(),
+            }),
+        }
+    }
+
+    /// Records a finished span into the calling thread's ring.
+    fn record(&self, rec: &SpanRecord) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        TLS_RINGS.with(|cell| {
+            let mut cache = cell.borrow_mut();
+            let pos = match cache.iter().position(|(uid, _)| *uid == self.uid) {
+                Some(pos) => pos,
+                None => {
+                    let ring = Arc::new(ThreadRing::new(
+                        self.next_ring.fetch_add(1, Ordering::Relaxed),
+                    ));
+                    self.rings.lock().push(Arc::clone(&ring));
+                    cache.push((self.uid, ring));
+                    cache.len() - 1
+                }
+            };
+            cache[pos].1.push(rec);
+        });
+    }
+
+    /// Snapshots every ring, sorted by start time. Rings keep recording
+    /// while the drain runs; torn slots are skipped.
+    #[must_use]
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        let rings = self.rings.lock();
+        let mut out = Vec::new();
+        for ring in rings.iter() {
+            ring.collect(&mut out);
+        }
+        drop(rings);
+        out.sort_by_key(|r| (r.start_nanos, r.thread, r.seq));
+        out
+    }
+
+    /// Drains and stitches into trace trees (see [`crate::stitch`]).
+    #[must_use]
+    pub fn drain_trees(&self) -> crate::Stitched {
+        crate::stitch(self.drain())
+    }
+
+    /// Activity counters.
+    #[must_use]
+    pub fn stats(&self) -> TracerStats {
+        TracerStats {
+            sampled_traces: self.sampled.load(Ordering::Relaxed),
+            spans_recorded: self.recorded.load(Ordering::Relaxed),
+            rings: self.rings.lock().len() as u64,
+        }
+    }
+}
+
+struct ArmedSpan<'a> {
+    tracer: &'a Tracer,
+    trace_id: u64,
+    span_id: u64,
+    parent: u64,
+    kind: SpanKind,
+    class: WaitClass,
+    a: u64,
+    link: u64,
+    start_nanos: u64,
+}
+
+/// A span being timed; records into the thread's ring on drop. Obtained
+/// from [`Tracer::begin`]; inert for unsampled contexts.
+#[must_use = "an active span measures until it is dropped"]
+pub struct ActiveSpan<'a> {
+    armed: Option<ArmedSpan<'a>>,
+}
+
+impl ActiveSpan<'_> {
+    /// An always-inert span (for default paths without a tracer).
+    pub fn inert() -> ActiveSpan<'static> {
+        ActiveSpan { armed: None }
+    }
+
+    /// Whether this span will record anything.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.armed.is_some()
+    }
+
+    /// This span's id (0 when inert) — the token other threads link to.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.armed.as_ref().map_or(0, |a| a.span_id)
+    }
+
+    /// Context for child spans started under this one.
+    #[must_use]
+    pub fn ctx(&self) -> TraceCtx {
+        self.armed.as_ref().map_or(TraceCtx::NONE, |a| TraceCtx {
+            trace_id: a.trace_id,
+            span_seq: a.span_id,
+        })
+    }
+
+    /// Sets the cross-trace link (the span id this one waited on).
+    pub fn set_link(&mut self, link: u64) {
+        if let Some(a) = self.armed.as_mut() {
+            a.link = link;
+        }
+    }
+
+    /// Replaces the payload word.
+    pub fn set_a(&mut self, v: u64) {
+        if let Some(a) = self.armed.as_mut() {
+            a.a = v;
+        }
+    }
+
+    /// Reclassifies the span's wait class before it records.
+    pub fn set_class(&mut self, class: WaitClass) {
+        if let Some(a) = self.armed.as_mut() {
+            a.class = class;
+        }
+    }
+
+    /// Disarms the span: it drops without recording anything. For
+    /// speculative spans that turn out not to describe a wait (e.g. a
+    /// force request that ended up leading rather than waiting).
+    pub fn cancel(mut self) {
+        self.armed = None;
+    }
+}
+
+impl fmt::Debug for ActiveSpan<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ActiveSpan")
+            .field("armed", &self.armed.is_some())
+            .field("span_id", &self.id())
+            .finish()
+    }
+}
+
+impl Drop for ActiveSpan<'_> {
+    fn drop(&mut self) {
+        if let Some(a) = self.armed.take() {
+            let dur = a.tracer.now_nanos().saturating_sub(a.start_nanos);
+            a.tracer.record(&SpanRecord {
+                thread: 0, // assigned by the ring
+                seq: 0,    // assigned by the ring
+                trace_id: a.trace_id,
+                span_id: a.span_id,
+                parent: a.parent,
+                kind: a.kind,
+                class: a.class,
+                start_nanos: a.start_nanos,
+                dur_nanos: dur,
+                a: a.a,
+                link: a.link,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn armed_tracer() -> Tracer {
+        let t = Tracer::new();
+        t.set_sample_every(1);
+        t
+    }
+
+    #[test]
+    fn unsampled_ctx_records_nothing() {
+        let t = armed_tracer();
+        {
+            let _s = t.begin(TraceCtx::NONE, SpanKind::PutAuto, WaitClass::Run, 0);
+        }
+        assert!(t.drain().is_empty());
+        assert_eq!(t.stats().spans_recorded, 0);
+    }
+
+    #[test]
+    fn sampling_off_means_none() {
+        let t = Tracer::new();
+        for _ in 0..10 {
+            assert_eq!(t.sample(), TraceCtx::NONE);
+        }
+        assert!(!t
+            .begin_orphan(SpanKind::LogForce, WaitClass::Run, 0)
+            .is_armed());
+    }
+
+    #[test]
+    fn sample_every_n_gates() {
+        let t = Tracer::new();
+        t.set_sample_every(4);
+        let sampled = (0..40).filter(|_| t.sample().sampled()).count();
+        assert_eq!(sampled, 10);
+        assert_eq!(t.stats().sampled_traces, 10);
+    }
+
+    #[test]
+    fn span_round_trips_through_ring() {
+        let t = armed_tracer();
+        let ctx = t.sample();
+        let child_ctx;
+        {
+            let root = t.begin(ctx, SpanKind::PutAuto, WaitClass::Run, 42);
+            child_ctx = root.ctx();
+            let mut child = t.begin(child_ctx, SpanKind::PageMiss, WaitClass::MissIo, 7);
+            child.set_link(99);
+        }
+        let recs = t.drain();
+        assert_eq!(recs.len(), 2);
+        let root = recs.iter().find(|r| r.kind == SpanKind::PutAuto).unwrap();
+        let child = recs.iter().find(|r| r.kind == SpanKind::PageMiss).unwrap();
+        assert_eq!(root.trace_id, ctx.trace_id);
+        assert_eq!(root.parent, 0);
+        assert_eq!(root.a, 42);
+        assert_eq!(child.parent, root.span_id);
+        assert_eq!(child.span_id, child_ctx.span_seq + 1);
+        assert_eq!(child.class, WaitClass::MissIo);
+        assert_eq!(child.link, 99);
+        assert!(child.start_nanos >= root.start_nanos);
+        assert!(child.end_nanos() <= root.end_nanos());
+    }
+
+    #[test]
+    fn orphan_spans_land_in_trace_zero() {
+        let t = armed_tracer();
+        let id;
+        {
+            let s = t.begin_orphan(SpanKind::LogForce, WaitClass::ForceWait, 5);
+            id = s.id();
+        }
+        assert_ne!(id, 0);
+        let recs = t.drain();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].trace_id, 0);
+        assert_eq!(recs[0].span_id, id);
+    }
+
+    #[test]
+    fn ring_keeps_newest_spans() {
+        let t = armed_tracer();
+        let ctx = t.sample();
+        for i in 0..(TRACE_RING_SLOTS as u64 * 3) {
+            let _s = t.begin(ctx, SpanKind::Get, WaitClass::Run, i);
+        }
+        let recs = t.drain();
+        assert_eq!(recs.len(), TRACE_RING_SLOTS);
+        let min_a = recs.iter().map(|r| r.a).min().unwrap();
+        assert_eq!(
+            min_a,
+            TRACE_RING_SLOTS as u64 * 2,
+            "only the newest survive"
+        );
+    }
+
+    #[test]
+    fn concurrent_drain_sees_no_torn_spans() {
+        // 3 writers spin while 2 drainers snapshot; every decoded span
+        // must be internally consistent (link == a * 3, as written).
+        let t = Arc::new(armed_tracer());
+        let stop = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let ctx = t.sample();
+                    let mut i = 0u64;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        let mut sp = t.begin(ctx, SpanKind::Descent, WaitClass::Run, i);
+                        sp.set_link(i.wrapping_mul(3));
+                        drop(sp);
+                        i += 1;
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        for r in t.drain() {
+                            assert_eq!(r.link, r.a.wrapping_mul(3), "torn span: {r:?}");
+                        }
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            stop.store(1, Ordering::Relaxed);
+        });
+        assert_eq!(t.stats().rings, 3, "drainers never allocate rings");
+    }
+
+    #[test]
+    fn two_tracers_do_not_share_rings() {
+        let t1 = armed_tracer();
+        let t2 = armed_tracer();
+        let c1 = t1.sample();
+        let c2 = t2.sample();
+        {
+            let _a = t1.begin(c1, SpanKind::PutAuto, WaitClass::Run, 1);
+        }
+        {
+            let _b = t2.begin(c2, SpanKind::Commit, WaitClass::Run, 2);
+        }
+        assert_eq!(t1.drain().len(), 1);
+        let d2 = t2.drain();
+        assert_eq!(d2.len(), 1);
+        assert_eq!(d2[0].kind, SpanKind::Commit);
+        assert!(t2.drain().is_empty(), "drains consume");
+    }
+
+    #[test]
+    fn record_encoding_round_trips() {
+        let rec = SpanRecord {
+            thread: 3,
+            seq: 17,
+            trace_id: 5,
+            span_id: 6,
+            parent: 2,
+            kind: SpanKind::ForceWait,
+            class: WaitClass::ForceWait,
+            start_nanos: 100,
+            dur_nanos: 50,
+            a: 9,
+            link: 4,
+        };
+        let mut e = Encoder::new();
+        rec.encode(&mut e);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(SpanRecord::decode(&mut d).unwrap(), rec);
+        assert!(d.is_exhausted());
+    }
+}

@@ -7,7 +7,7 @@ use std::sync::OnceLock;
 
 use parking_lot::Mutex;
 
-use spf_obs::{EventKind, Obs, Span};
+use spf_obs::{EventKind, Obs, Span, SpanKind, TraceCtx, WaitClass};
 use spf_storage::PageId;
 use spf_wal::{LogManager, LogPayload, LogRecord, Lsn, PageOp, TxId};
 
@@ -239,6 +239,13 @@ impl TxnManager {
     /// flush — while system commits do not force at all (Figure 5 /
     /// Section 5.1.5). Returns the commit record's LSN.
     pub fn commit(&self, tx: TxId) -> Result<Lsn, TxError> {
+        self.commit_traced(tx, TraceCtx::NONE)
+    }
+
+    /// [`TxnManager::commit`] carrying a sampled operation's trace
+    /// context: the commit (and its log-force wait, with group-commit
+    /// leader/follower attribution) is recorded as spans of that trace.
+    pub fn commit_traced(&self, tx: TxId, ctx: TraceCtx) -> Result<Lsn, TxError> {
         let entry = {
             let mut active = self.inner.active.lock();
             active.remove(&tx).ok_or(TxError::NotActive(tx))?
@@ -266,7 +273,11 @@ impl TxnManager {
                 {
                     let _span =
                         obs.map_or_else(spf_obs::SpanGuard::inert, |o| o.span(Span::Commit));
-                    self.inner.log.force_through(lsn);
+                    let tspan = match obs {
+                        Some(o) => o.trace_span(ctx, SpanKind::Commit, WaitClass::Run, lsn.0),
+                        None => spf_obs::ActiveSpan::inert(),
+                    };
+                    self.inner.log.force_through_traced(lsn, tspan.ctx());
                 }
                 if let Some(o) = obs {
                     o.emit(EventKind::TxCommit, lsn.0, 0);

@@ -33,7 +33,16 @@ pub(crate) enum Forced {
     /// The target was already durable; nothing happened.
     Noop(u64),
     /// A concurrent leader's flush covered the target while we waited.
-    Absorbed(u64),
+    /// `token` is the attribution token the covering flush returned
+    /// (the leader's `LogForce` trace-span id; 0 = none), so a
+    /// follower's wait span can point at the exact force batch that
+    /// made it durable.
+    Absorbed {
+        /// Durable end when the waiter woke.
+        durable: u64,
+        /// The covering flush's attribution token (0 = none).
+        token: u64,
+    },
     /// This request led one or more flushes; the final durable end.
     Led(u64),
 }
@@ -42,7 +51,7 @@ impl Forced {
     /// The durable end after the request, whatever the role.
     pub(crate) fn durable(self) -> u64 {
         match self {
-            Forced::Noop(d) | Forced::Absorbed(d) | Forced::Led(d) => d,
+            Forced::Noop(d) | Forced::Absorbed { durable: d, .. } | Forced::Led(d) => d,
         }
     }
 }
@@ -57,6 +66,9 @@ struct State {
     durable: u64,
     /// Requests currently blocked on the condvar.
     waiters: u64,
+    /// Attribution token returned by the last completed flush (the
+    /// leader's `LogForce` trace-span id; 0 = none).
+    last_token: u64,
 }
 
 /// The group-force coordinator.
@@ -73,6 +85,7 @@ impl GroupForce {
                 max_requested: durable,
                 durable,
                 waiters: 0,
+                last_token: 0,
             }),
             cv: Condvar::new(),
         }
@@ -86,8 +99,14 @@ impl GroupForce {
     /// concurrent requests. `flush(from, to, batched)` performs the
     /// actual durability step for `[from, to)`; `batched` reports
     /// whether the flush covers more than this request alone (for
-    /// telemetry).
-    pub(crate) fn force_to(&self, target: u64, mut flush: impl FnMut(u64, u64, bool)) -> Forced {
+    /// telemetry). The value `flush` returns is an attribution token
+    /// (the leader's `LogForce` trace-span id; 0 = none) handed to
+    /// every waiter the flush absorbed.
+    pub(crate) fn force_to(
+        &self,
+        target: u64,
+        mut flush: impl FnMut(u64, u64, bool) -> u64,
+    ) -> Forced {
         let mut st = self.lock();
         if st.durable >= target {
             return Forced::Noop(st.durable);
@@ -101,7 +120,10 @@ impl GroupForce {
                 st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
             st.waiters -= 1;
-            return Forced::Absorbed(st.durable);
+            return Forced::Absorbed {
+                durable: st.durable,
+                token: st.last_token,
+            };
         }
         st.leader = true;
         let mut durable = st.durable;
@@ -117,10 +139,11 @@ impl GroupForce {
                 goal = st.max_requested;
                 batched = st.waiters > 0 || goal > target;
             }
-            flush(durable, goal, batched);
+            let token = flush(durable, goal, batched);
             durable = goal;
             let mut st = self.lock();
             st.durable = goal;
+            st.last_token = token;
             self.cv.notify_all();
             if st.max_requested <= goal {
                 st.leader = false;
@@ -149,7 +172,10 @@ mod tests {
     fn single_request_leads_exactly_one_flush() {
         let gf = GroupForce::new(0);
         let mut flushes = Vec::new();
-        let out = gf.force_to(100, |from, to, batched| flushes.push((from, to, batched)));
+        let out = gf.force_to(100, |from, to, batched| {
+            flushes.push((from, to, batched));
+            0
+        });
         assert_eq!(out, Forced::Led(100));
         assert_eq!(flushes, vec![(0, 100, false)]);
         // Idempotent: already durable.
@@ -171,10 +197,17 @@ mod tests {
                 let barrier = Arc::clone(&barrier);
                 s.spawn(move || {
                     barrier.wait();
-                    let out = gf.force_to((t * 10) as u64, |_, _, _| {
+                    let out = gf.force_to((t * 10) as u64, |_, to, _| {
                         flushes.fetch_add(1, Ordering::Relaxed);
+                        to // token: identify the flush by its goal
                     });
                     assert!(out.durable() >= (t * 10) as u64);
+                    if let Forced::Absorbed { durable, token } = out {
+                        assert!(
+                            token >= (t * 10) as u64 && token <= durable,
+                            "absorbed waiter must carry the covering flush's token"
+                        );
+                    }
                 });
             }
         });
@@ -195,6 +228,7 @@ mod tests {
                 assert_eq!(from, prev_to, "flush ranges must chain");
                 assert!(to > from);
                 prev_to = to;
+                0
             });
         }
         assert_eq!(prev_to, 300);

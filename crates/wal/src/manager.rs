@@ -45,7 +45,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
-use spf_obs::{EventKind, Obs, Span};
+use spf_obs::{ActiveSpan, EventKind, Obs, Span, SpanKind, TraceCtx, WaitClass};
 
 use spf_storage::PageId;
 use spf_util::{IoCostModel, IoKind, SimClock};
@@ -509,11 +509,32 @@ impl LogManager {
     /// finish their short copies), charges the simulated clock one
     /// sequential write for the batch, and advances the durable
     /// boundary.
-    fn combined_force(&self, target: u64) -> Lsn {
+    fn combined_force(&self, target: u64, ctx: TraceCtx) -> Lsn {
         let inner = &self.inner;
+        let obs = inner.obs.get();
+        // Speculative follower span: recorded (with a link to the
+        // covering leader's LogForce span) only if this request is
+        // absorbed by another thread's flush; cancelled otherwise.
+        let mut wait_span = match obs {
+            Some(o) => o.trace_span(ctx, SpanKind::ForceWait, WaitClass::ForceWait, target),
+            None => ActiveSpan::inert(),
+        };
         let outcome = inner.force.force_to(target, |from, to, batched| {
-            let obs = inner.obs.get();
             let _span = obs.map_or_else(spf_obs::SpanGuard::inert, |o| o.span(Span::LogForce));
+            // Leader attribution: record a LogForce trace span even when
+            // this committer itself is unsampled (an orphan in trace 0),
+            // so absorbed waiters can always link to the batch that made
+            // them durable.
+            let tspan = match obs {
+                Some(o) if ctx.sampled() => {
+                    o.tracer()
+                        .begin(ctx, SpanKind::LogForce, WaitClass::ForceWait, to)
+                }
+                Some(o) => o
+                    .tracer()
+                    .begin_orphan(SpanKind::LogForce, WaitClass::ForceWait, to),
+                None => ActiveSpan::inert(),
+            };
             while inner.buf.complete_end(from) < to {
                 std::thread::yield_now();
             }
@@ -549,12 +570,18 @@ impl LogManager {
             if let Some(o) = obs {
                 o.emit(EventKind::LogForce, to, to - from);
             }
+            tspan.id() // attribution token for absorbed waiters
         });
-        if matches!(outcome, Forced::Absorbed(_)) {
-            inner
-                .stats
-                .force_waiters_absorbed
-                .fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            Forced::Absorbed { token, .. } => {
+                inner
+                    .stats
+                    .force_waiters_absorbed
+                    .fetch_add(1, Ordering::Relaxed);
+                wait_span.set_link(token);
+                drop(wait_span); // records the follower's force wait
+            }
+            Forced::Noop(_) | Forced::Led(_) => wait_span.cancel(),
         }
         Lsn(outcome.durable())
     }
@@ -563,7 +590,7 @@ impl LogManager {
     /// LSN. Concurrent forces combine: the batch is charged as **one**
     /// sequential write of all the flushed bytes.
     pub fn force(&self) -> Lsn {
-        self.combined_force(self.inner.buf.end())
+        self.combined_force(self.inner.buf.end(), TraceCtx::NONE)
     }
 
     /// Forces the log **through** the record starting at `lsn` (the WAL
@@ -573,6 +600,14 @@ impl LogManager {
     /// No-op if that prefix is already durable. User commits take this
     /// path too, so commits and write-backs share the group-commit batch.
     pub fn force_through(&self, lsn: Lsn) -> Lsn {
+        self.force_through_traced(lsn, TraceCtx::NONE)
+    }
+
+    /// [`LogManager::force_through`] carrying a sampled operation's
+    /// trace context: the force wait (or led flush) is recorded as a
+    /// span of that trace, with group-commit leader/follower
+    /// attribution.
+    pub fn force_through_traced(&self, lsn: Lsn, ctx: TraceCtx) -> Lsn {
         let durable = self.inner.durable.load(Ordering::Acquire);
         if !lsn.is_valid() || lsn.0 < durable {
             return Lsn(durable);
@@ -588,7 +623,7 @@ impl LogManager {
                 Err(_) => end,
             }
         };
-        self.combined_force(target)
+        self.combined_force(target, ctx)
     }
 
     /// One past the last durable byte.

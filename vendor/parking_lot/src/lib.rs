@@ -261,6 +261,23 @@ impl<T: ?Sized> RwLock<T> {
         }
     }
 
+    /// Attempts shared access without blocking, returning an owned
+    /// guard on success; the `arc_lock` variant of a `try_read`.
+    /// Honors writer preference like [`RwLock::read_arc`]: fails while
+    /// a writer holds or waits for the lock.
+    pub fn try_read_arc(this: &Arc<Self>) -> Option<lock_api::ArcRwLockReadGuard<RawRwLock, T>> {
+        let mut s = this.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.writer || s.waiting_writers > 0 {
+            return None;
+        }
+        s.readers += 1;
+        drop(s);
+        Some(lock_api::ArcRwLockReadGuard {
+            lock: Arc::clone(this),
+            _raw: PhantomData,
+        })
+    }
+
     /// Attempts exclusive access without blocking, returning an owned
     /// guard on success; the `arc_lock` variant of [`RwLock::try_write`].
     pub fn try_write_arc(this: &Arc<Self>) -> Option<lock_api::ArcRwLockWriteGuard<RawRwLock, T>> {
@@ -419,6 +436,20 @@ mod tests {
         drop(l); // the guard keeps the lock alive
         assert_eq!(*g, 7);
         drop(g);
+    }
+
+    #[test]
+    fn try_read_arc_backs_off_under_a_writer() {
+        let l = Arc::new(RwLock::new(1u32));
+        {
+            let r1 = RwLock::try_read_arc(&l).expect("uncontended try_read succeeds");
+            let r2 = RwLock::try_read_arc(&l).expect("readers share");
+            assert_eq!(*r1 + *r2, 2);
+        }
+        let w = RwLock::write_arc(&l);
+        assert!(RwLock::try_read_arc(&l).is_none());
+        drop(w);
+        assert!(RwLock::try_read_arc(&l).is_some());
     }
 
     #[test]
